@@ -1,0 +1,292 @@
+//! Idealized protocols and the annotation procedure (Section 2.3).
+//!
+//! An idealized protocol is a sequence of steps `P → Q : X` with `X` a
+//! statement of the logic. To analyze it, one writes the initial
+//! assumptions before the first step, asserts `Q sees X` after each step
+//! `P → Q : X`, carries assertions forward (formulas of the original logic
+//! are *stable*), and closes under the inference rules. The analysis
+//! succeeds if the protocol's goals are derivable at the final step.
+
+use crate::engine::Engine;
+use crate::stmt::BanStmt;
+use atl_lang::Principal;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One step `from → to : message` of an idealized protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdealStep {
+    /// The sender.
+    pub from: Principal,
+    /// The receiver.
+    pub to: Principal,
+    /// The idealized message.
+    pub message: BanStmt,
+}
+
+impl IdealStep {
+    /// Creates a step.
+    pub fn new(from: impl Into<Principal>, to: impl Into<Principal>, message: BanStmt) -> Self {
+        IdealStep {
+            from: from.into(),
+            to: to.into(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for IdealStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} : {}", self.from, self.to, self.message)
+    }
+}
+
+/// An idealized protocol: a name, initial assumptions, steps, and goals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdealProtocol {
+    /// The protocol's name.
+    pub name: String,
+    /// The initial assumptions (the annotation before the first step).
+    pub assumptions: Vec<BanStmt>,
+    /// The steps, in order.
+    pub steps: Vec<IdealStep>,
+    /// The expected correctness conditions at the final step.
+    pub goals: Vec<BanStmt>,
+}
+
+impl IdealProtocol {
+    /// Creates an empty protocol.
+    pub fn new(name: impl Into<String>) -> Self {
+        IdealProtocol {
+            name: name.into(),
+            assumptions: Vec::new(),
+            steps: Vec::new(),
+            goals: Vec::new(),
+        }
+    }
+
+    /// Adds an initial assumption.
+    pub fn assume(mut self, stmt: BanStmt) -> Self {
+        self.assumptions.push(stmt);
+        self
+    }
+
+    /// Adds a step `from → to : message`.
+    pub fn step(
+        mut self,
+        from: impl Into<Principal>,
+        to: impl Into<Principal>,
+        message: BanStmt,
+    ) -> Self {
+        self.steps.push(IdealStep::new(from, to, message));
+        self
+    }
+
+    /// Adds a goal.
+    pub fn goal(mut self, stmt: BanStmt) -> Self {
+        self.goals.push(stmt);
+        self
+    }
+}
+
+/// The result of annotating a protocol: the closed assertion set after each
+/// step, plus per-goal outcomes.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// `annotations[0]` is the closure of the initial assumptions;
+    /// `annotations[i + 1]` is the closure after step `i`.
+    pub annotations: Vec<BTreeSet<BanStmt>>,
+    /// The engine in its final, saturated state (with the full derivation
+    /// trace).
+    pub engine: Engine,
+    /// `(goal, achieved)` for each declared goal.
+    pub goals: Vec<(BanStmt, bool)>,
+}
+
+impl Analysis {
+    /// True if every declared goal was derived.
+    pub fn succeeded(&self) -> bool {
+        self.goals.iter().all(|(_, ok)| *ok)
+    }
+
+    /// The goals that failed.
+    pub fn failed_goals(&self) -> impl Iterator<Item = &BanStmt> {
+        self.goals
+            .iter()
+            .filter(|(_, ok)| !*ok)
+            .map(|(g, _)| g)
+    }
+
+    /// Statements newly derivable after step `i` (1-based over steps; 0 is
+    /// the assumption closure).
+    pub fn new_at_step(&self, i: usize) -> BTreeSet<BanStmt> {
+        if i == 0 {
+            return self.annotations[0].clone();
+        }
+        self.annotations[i]
+            .difference(&self.annotations[i - 1])
+            .cloned()
+            .collect()
+    }
+}
+
+/// Renders an analysis in the paper's annotated-protocol style: the
+/// initial assumptions, then each step followed by the assertions that
+/// become derivable after it.
+pub fn render_annotated(protocol: &IdealProtocol, analysis: &Analysis) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "protocol {}", protocol.name);
+    let _ = writeln!(out, "-- initial assumptions:");
+    for a in &protocol.assumptions {
+        let _ = writeln!(out, "     {a}");
+    }
+    for (i, step) in protocol.steps.iter().enumerate() {
+        let _ = writeln!(out, "{}. {}", i + 1, step);
+        let mut new: Vec<String> = analysis
+            .new_at_step(i + 1)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        new.sort();
+        for stmt in new {
+            let _ = writeln!(out, "     |- {stmt}");
+        }
+    }
+    let _ = writeln!(out, "-- goals:");
+    for (goal, achieved) in &analysis.goals {
+        let _ = writeln!(out, "     [{}] {goal}", if *achieved { "ok" } else { "--" });
+    }
+    out
+}
+
+/// Runs the annotation procedure of Section 2.3 on `protocol`.
+///
+/// The soundness of carrying annotations forward rests on the *stability*
+/// of the original logic's formulas: with no negation, every formula stays
+/// true once true, so the saturated set only grows step to step.
+pub fn analyze(protocol: &IdealProtocol) -> Analysis {
+    let mut engine = Engine::new(protocol.assumptions.iter().cloned());
+    engine.saturate();
+    let mut annotations = vec![engine.known().clone()];
+    for step in &protocol.steps {
+        engine.see(step.to.clone(), step.message.clone());
+        engine.saturate();
+        annotations.push(engine.known().clone());
+    }
+    let goals = protocol
+        .goals
+        .iter()
+        .map(|g| (g.clone(), engine.holds(g)))
+        .collect();
+    Analysis {
+        annotations,
+        engine,
+        goals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The idealized Figure 1 protocol (the first step is omitted, as the
+    /// paper notes, since it contributes nothing to anyone's beliefs).
+    fn figure1() -> IdealProtocol {
+        let kab = || BanStmt::shared_key("A", "Kab", "B");
+        let ts = || BanStmt::nonce("Ts");
+        let inner = || BanStmt::encrypted(BanStmt::conj([ts(), kab()]), "Kbs", "S");
+        IdealProtocol::new("kerberos-figure1")
+            .assume(BanStmt::believes("A", BanStmt::shared_key("A", "Kas", "S")))
+            .assume(BanStmt::believes("B", BanStmt::shared_key("B", "Kbs", "S")))
+            .assume(BanStmt::believes("A", BanStmt::controls("S", kab())))
+            .assume(BanStmt::believes("B", BanStmt::controls("S", kab())))
+            .assume(BanStmt::believes("A", BanStmt::fresh(ts())))
+            .assume(BanStmt::believes("B", BanStmt::fresh(ts())))
+            .step(
+                "S",
+                "A",
+                BanStmt::encrypted(BanStmt::conj([ts(), kab(), inner()]), "Kas", "S"),
+            )
+            .step("A", "B", inner())
+            .goal(BanStmt::believes("A", kab()))
+            .goal(BanStmt::believes("B", kab()))
+            .goal(BanStmt::believes(
+                "A",
+                BanStmt::believes("S", kab()),
+            ))
+    }
+
+    #[test]
+    fn figure1_analysis_succeeds() {
+        let analysis = analyze(&figure1());
+        assert!(
+            analysis.succeeded(),
+            "failed goals: {:?}",
+            analysis.failed_goals().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn annotations_grow_monotonically() {
+        let analysis = analyze(&figure1());
+        assert_eq!(analysis.annotations.len(), 3);
+        for w in analysis.annotations.windows(2) {
+            assert!(w[0].is_subset(&w[1]));
+        }
+    }
+
+    #[test]
+    fn b_learns_nothing_before_step_two() {
+        let analysis = analyze(&figure1());
+        let goal = BanStmt::believes("B", BanStmt::shared_key("A", "Kab", "B"));
+        assert!(!analysis.annotations[1].contains(&goal));
+        assert!(analysis.annotations[2].contains(&goal));
+    }
+
+    #[test]
+    fn missing_freshness_assumption_breaks_the_proof() {
+        // Drop B's freshness belief: B can no longer rule out replay, so
+        // the goal must fail — the logic catches the flaw.
+        let mut proto = figure1();
+        proto
+            .assumptions
+            .retain(|a| a != &BanStmt::believes("B", BanStmt::fresh(BanStmt::nonce("Ts"))));
+        let analysis = analyze(&proto);
+        assert!(!analysis.succeeded());
+        let failed: Vec<_> = analysis.failed_goals().collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(
+            failed[0],
+            &BanStmt::believes("B", BanStmt::shared_key("A", "Kab", "B"))
+        );
+    }
+
+    #[test]
+    fn new_at_step_reports_increments() {
+        let analysis = analyze(&figure1());
+        let after_step2 = analysis.new_at_step(2);
+        assert!(after_step2.contains(&BanStmt::believes(
+            "B",
+            BanStmt::shared_key("A", "Kab", "B")
+        )));
+    }
+
+    #[test]
+    fn rendering_matches_paper_layout() {
+        let proto = figure1();
+        let analysis = analyze(&proto);
+        let text = render_annotated(&proto, &analysis);
+        assert!(text.contains("-- initial assumptions:"));
+        assert!(text.contains("1. S -> A"));
+        assert!(text.contains("2. A -> B"));
+        assert!(text.contains("|- B believes (A <-Kab-> B)"));
+        assert!(text.contains("[ok]"));
+    }
+
+    #[test]
+    fn step_display() {
+        let s = IdealStep::new("A", "B", BanStmt::nonce("X"));
+        assert_eq!(s.to_string(), "A -> B : X");
+    }
+}

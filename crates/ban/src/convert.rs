@@ -1,0 +1,163 @@
+//! Conversions between the original untyped BAN language and the typed
+//! language of the reformulated logic.
+//!
+//! Converting a [`BanStmt`] into a typed [`Formula`] fails exactly when the
+//! statement is one of the ill-typed expressions the paper criticizes
+//! (e.g. `A believes Na`); converting into a [`Message`] fails only when a
+//! formula-shaped sub-statement is itself ill-typed.
+
+use crate::stmt::BanStmt;
+use atl_lang::{Formula, Message};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a BAN statement has no typed formula counterpart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IllTyped {
+    /// The offending sub-statement (a datum in formula position).
+    pub offender: BanStmt,
+}
+
+impl fmt::Display for IllTyped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` is data, not a formula — the original logic permits it in formula position, the reformulated logic does not",
+            self.offender
+        )
+    }
+}
+
+impl Error for IllTyped {}
+
+/// Converts a BAN statement into a typed message of `MT`.
+///
+/// Data (nonces, keys, names, ciphertext, tuples) converts directly;
+/// formula-shaped statements embed via condition M1 — which requires them
+/// to be well-typed formulas.
+///
+/// # Errors
+///
+/// [`IllTyped`] if a formula-shaped sub-statement has data where a formula
+/// is required (e.g. `believes` applied to a nonce) — such statements have
+/// no counterpart in the typed language at all.
+pub fn to_message(stmt: &BanStmt) -> Result<Message, IllTyped> {
+    match stmt {
+        BanStmt::Nonce(n) => Ok(Message::Nonce(n.clone())),
+        BanStmt::Key(k) => Ok(Message::Key(k.clone())),
+        BanStmt::Name(p) => Ok(Message::Principal(p.clone())),
+        BanStmt::Conj(items) => {
+            let parts: Result<Vec<Message>, IllTyped> = items.iter().map(to_message).collect();
+            Ok(Message::tuple(parts?))
+        }
+        BanStmt::Encrypted { body, key, from } => Ok(Message::encrypted(
+            to_message(body)?,
+            key.clone(),
+            from.clone(),
+        )),
+        BanStmt::Combined { body, secret, from } => Ok(Message::combined(
+            to_message(body)?,
+            to_message(secret)?,
+            from.clone(),
+        )),
+        BanStmt::PubEncrypted { body, key, from } => Ok(Message::pub_encrypted(
+            to_message(body)?,
+            key.clone(),
+            from.clone(),
+        )),
+        BanStmt::Signed { body, key, from } => Ok(Message::signed(
+            to_message(body)?,
+            key.clone(),
+            from.clone(),
+        )),
+        // Formula-shaped statements embed via M1.
+        other => Ok(to_formula(other)?.into_message()),
+    }
+}
+
+/// Converts a BAN statement into a typed formula of `FT`.
+///
+/// # Errors
+///
+/// [`IllTyped`] if a datum (nonce, key, name, ciphertext) occurs where the
+/// typed language requires a formula — e.g. under `believes` or
+/// `controls`.
+pub fn to_formula(stmt: &BanStmt) -> Result<Formula, IllTyped> {
+    match stmt {
+        BanStmt::Believes(p, x) => Ok(Formula::believes(p.clone(), to_formula(x)?)),
+        BanStmt::Controls(p, x) => Ok(Formula::controls(p.clone(), to_formula(x)?)),
+        BanStmt::Sees(p, x) => Ok(Formula::sees(p.clone(), to_message(x)?)),
+        BanStmt::Said(p, x) => Ok(Formula::said(p.clone(), to_message(x)?)),
+        BanStmt::Fresh(x) => Ok(Formula::fresh(to_message(x)?)),
+        BanStmt::SharedKey(p, k, q) => Ok(Formula::shared_key(p.clone(), k.clone(), q.clone())),
+        BanStmt::PublicKey(k, p) => Ok(Formula::public_key(k.clone(), p.clone())),
+        BanStmt::SharedSecret(p, y, q) => {
+            Ok(Formula::shared_secret(p.clone(), to_message(y)?, q.clone()))
+        }
+        BanStmt::Conj(items) => {
+            let parts: Result<Vec<Formula>, IllTyped> = items.iter().map(to_formula).collect();
+            Ok(Formula::conj(parts?))
+        }
+        BanStmt::Encrypted { .. }
+        | BanStmt::PubEncrypted { .. }
+        | BanStmt::Signed { .. }
+        | BanStmt::Combined { .. }
+        | BanStmt::Nonce(_)
+        | BanStmt::Key(_)
+        | BanStmt::Name(_) => Err(IllTyped {
+            offender: stmt.clone(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensible_statements_convert_to_formulas() {
+        let s = BanStmt::believes("A", BanStmt::shared_key("A", "K", "B"));
+        let f = to_formula(&s).unwrap();
+        assert_eq!(f.to_string(), "A believes (A <-K-> B)");
+    }
+
+    #[test]
+    fn belief_of_a_nonce_is_ill_typed() {
+        let s = BanStmt::believes("A", BanStmt::nonce("Na"));
+        let err = to_formula(&s).unwrap_err();
+        assert_eq!(err.offender, BanStmt::nonce("Na"));
+        assert!(err.to_string().contains("data, not a formula"));
+    }
+
+    #[test]
+    fn messages_always_convert() {
+        let s = BanStmt::encrypted(
+            BanStmt::conj([BanStmt::nonce("Ts"), BanStmt::shared_key("A", "Kab", "B")]),
+            "Kbs",
+            "S",
+        );
+        let m = to_message(&s).unwrap();
+        assert_eq!(m.to_string(), "{Ts, <<A <-Kab-> B>>}Kbs@S");
+    }
+
+    #[test]
+    fn mixed_conjunction_converts_as_message() {
+        let s = BanStmt::conj([BanStmt::nonce("Na"), BanStmt::shared_key("A", "K", "B")]);
+        assert!(to_formula(&s).is_err());
+        let m = to_message(&s).unwrap();
+        assert_eq!(m.components().len(), 2);
+    }
+
+    #[test]
+    fn ill_typed_matches_sensibility_check() {
+        let cases = [
+            BanStmt::believes("A", BanStmt::nonce("N")),
+            BanStmt::believes("A", BanStmt::shared_key("A", "K", "B")),
+            BanStmt::fresh(BanStmt::nonce("N")),
+            BanStmt::controls("S", BanStmt::key("K")),
+        ];
+        for c in cases {
+            assert_eq!(c.is_sensible_formula(), to_formula(&c).is_ok(), "{c}");
+        }
+    }
+}

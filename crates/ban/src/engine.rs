@@ -1,0 +1,742 @@
+//! The inference rules of the original BAN logic (Section 2.2) and a
+//! forward-chaining derivation engine.
+//!
+//! The engine saturates a set of statements under the rules, recording a
+//! derivation trace. Saturation terminates: no rule invents new messages —
+//! conclusions are assembled from subterms of the assumptions — and belief
+//! nesting grows only through nonce-verification, which is bounded by the
+//! depth of available `said` statements.
+
+use crate::stmt::BanStmt;
+use atl_lang::Principal;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The names of the BAN inference rules (grouped as in Section 2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleName {
+    /// An initial assumption or protocol annotation (`Q sees X` after a
+    /// step).
+    Assumption,
+    /// Message-meaning for shared keys.
+    MessageMeaningKey,
+    /// Message-meaning for shared secrets.
+    MessageMeaningSecret,
+    /// Message-meaning for public-key signatures (extension).
+    MessageMeaningPublicKey,
+    /// Nonce-verification.
+    NonceVerification,
+    /// Jurisdiction.
+    Jurisdiction,
+    /// Belief distributes over conjunction (decomposition, any belief
+    /// depth).
+    BeliefDecomposition,
+    /// Belief conjunction introduction (`P believes X, P believes Y ⊢
+    /// P believes (X, Y)`), applied on demand during goal checking.
+    BeliefConjunction,
+    /// A principal said every component of what it said.
+    Saying,
+    /// Seeing components of tuples.
+    SeeingTuple,
+    /// Seeing the body of a combined message.
+    SeeingCombined,
+    /// Seeing the contents of decryptable ciphertext.
+    SeeingDecrypt,
+    /// A conjunction with a fresh component is fresh.
+    Freshness,
+    /// Shared keys work in both directions.
+    KeySymmetry,
+    /// Shared secrets work in both directions.
+    SecretSymmetry,
+}
+
+impl fmt::Display for RuleName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleName::Assumption => "assumption",
+            RuleName::MessageMeaningKey => "message-meaning (key)",
+            RuleName::MessageMeaningSecret => "message-meaning (secret)",
+            RuleName::MessageMeaningPublicKey => "message-meaning (public key)",
+            RuleName::NonceVerification => "nonce-verification",
+            RuleName::Jurisdiction => "jurisdiction",
+            RuleName::BeliefDecomposition => "belief",
+            RuleName::BeliefConjunction => "belief (conjunction)",
+            RuleName::Saying => "saying",
+            RuleName::SeeingTuple => "seeing (tuple)",
+            RuleName::SeeingCombined => "seeing (combined)",
+            RuleName::SeeingDecrypt => "seeing (decrypt)",
+            RuleName::Freshness => "freshness",
+            RuleName::KeySymmetry => "shared-key symmetry",
+            RuleName::SecretSymmetry => "shared-secret symmetry",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One step in a derivation trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// The derived statement.
+    pub conclusion: BanStmt,
+    /// The rule that produced it.
+    pub rule: RuleName,
+    /// The premises it was derived from.
+    pub premises: Vec<BanStmt>,
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}  [{}", self.conclusion, self.rule)?;
+        for p in &self.premises {
+            write!(f, "; {p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A forward-chaining saturation engine for the BAN rules.
+///
+/// # Examples
+///
+/// The heart of the Figure 1 derivation:
+///
+/// ```
+/// use atl_ban::{BanStmt, Engine};
+/// let assumptions = [
+///     BanStmt::believes("B", BanStmt::shared_key("B", "Kbs", "S")),
+///     BanStmt::believes("B", BanStmt::fresh(BanStmt::nonce("Ts"))),
+///     BanStmt::believes("B", BanStmt::controls("S", BanStmt::shared_key("A", "Kab", "B"))),
+/// ];
+/// let mut engine = Engine::new(assumptions);
+/// // B receives {Ts, A <-Kab-> B}Kbs (sent by S, relayed by A).
+/// engine.see(
+///     "B",
+///     BanStmt::encrypted(
+///         BanStmt::conj([BanStmt::nonce("Ts"), BanStmt::shared_key("A", "Kab", "B")]),
+///         "Kbs",
+///         "S",
+///     ),
+/// );
+/// engine.saturate();
+/// assert!(engine.holds(&BanStmt::believes("B", BanStmt::shared_key("A", "Kab", "B"))));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    known: BTreeSet<BanStmt>,
+    trace: Vec<Derivation>,
+}
+
+/// Splits a statement into its belief prefix (outermost first) and body.
+fn strip_beliefs(stmt: &BanStmt) -> (Vec<&Principal>, &BanStmt) {
+    let mut chain = Vec::new();
+    let mut cur = stmt;
+    while let BanStmt::Believes(p, inner) = cur {
+        chain.push(p);
+        cur = inner;
+    }
+    (chain, cur)
+}
+
+/// Rewraps a body in a belief prefix.
+fn wrap_beliefs(chain: &[&Principal], body: BanStmt) -> BanStmt {
+    chain
+        .iter()
+        .rev()
+        .fold(body, |acc, p| BanStmt::believes((*p).clone(), acc))
+}
+
+impl Engine {
+    /// Creates an engine seeded with assumptions.
+    pub fn new(assumptions: impl IntoIterator<Item = BanStmt>) -> Self {
+        let mut engine = Engine::default();
+        for a in assumptions {
+            engine.assume(a);
+        }
+        engine
+    }
+
+    /// Adds an assumption.
+    pub fn assume(&mut self, stmt: BanStmt) {
+        self.add(stmt, RuleName::Assumption, Vec::new());
+    }
+
+    /// Records that `p` sees `x` (the annotation added after a protocol
+    /// step `… → P : X`).
+    pub fn see(&mut self, p: impl Into<Principal>, x: BanStmt) {
+        self.assume(BanStmt::sees(p, x));
+    }
+
+    /// The statements currently known.
+    pub fn known(&self) -> &BTreeSet<BanStmt> {
+        &self.known
+    }
+
+    /// The derivation trace, in derivation order.
+    pub fn trace(&self) -> &[Derivation] {
+        &self.trace
+    }
+
+    /// The derivation step that concluded `stmt`, if it was derived.
+    pub fn derivation_of(&self, stmt: &BanStmt) -> Option<&Derivation> {
+        self.trace.iter().find(|d| &d.conclusion == stmt)
+    }
+
+    fn add(&mut self, stmt: BanStmt, rule: RuleName, premises: Vec<BanStmt>) -> bool {
+        if self.known.insert(stmt.clone()) {
+            self.trace.push(Derivation {
+                conclusion: stmt,
+                rule,
+                premises,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if `goal` is known, decomposing goal conjunctions (so a
+    /// conjunction goal holds iff each conjunct does, including under a
+    /// belief prefix — the belief conjunction-introduction rule applied on
+    /// demand).
+    pub fn holds(&self, goal: &BanStmt) -> bool {
+        if self.known.contains(goal) {
+            return true;
+        }
+        let (chain, body) = strip_beliefs(goal);
+        if let BanStmt::Conj(items) = body {
+            return items
+                .iter()
+                .all(|item| self.holds(&wrap_beliefs(&chain, item.clone())));
+        }
+        false
+    }
+
+    /// Saturates under all rules until a fixpoint, returning the number of
+    /// statements derived.
+    pub fn saturate(&mut self) -> usize {
+        let before = self.known.len();
+        loop {
+            let fresh = self.pass();
+            if fresh == 0 {
+                break;
+            }
+        }
+        self.known.len() - before
+    }
+
+    /// One saturation pass over a snapshot of the known set.
+    fn pass(&mut self) -> usize {
+        let snapshot: Vec<BanStmt> = self.known.iter().cloned().collect();
+        let tuples = self.tuple_universe(&snapshot);
+        let mut added = 0;
+        for stmt in &snapshot {
+            added += self.structural_rules(stmt);
+            added += self.freshness_rule(stmt, &tuples);
+            added += self.message_meaning(stmt, &snapshot);
+            added += self.nonce_verification(stmt, &snapshot);
+            added += self.jurisdiction(stmt, &snapshot);
+            added += self.seeing_decrypt(stmt, &snapshot);
+        }
+        added
+    }
+
+    /// All conjunction statements occurring anywhere in the known set —
+    /// the candidates for the freshness rule's conclusion.
+    fn tuple_universe(&self, snapshot: &[BanStmt]) -> BTreeSet<BanStmt> {
+        fn collect(s: &BanStmt, out: &mut BTreeSet<BanStmt>) {
+            match s {
+                BanStmt::Conj(items) => {
+                    out.insert(s.clone());
+                    for item in items {
+                        collect(item, out);
+                    }
+                }
+                BanStmt::Believes(_, x)
+                | BanStmt::Sees(_, x)
+                | BanStmt::Said(_, x)
+                | BanStmt::Controls(_, x)
+                | BanStmt::Fresh(x) => collect(x, out),
+                BanStmt::SharedSecret(_, y, _) => collect(y, out),
+                BanStmt::Encrypted { body, .. }
+                | BanStmt::PubEncrypted { body, .. }
+                | BanStmt::Signed { body, .. } => collect(body, out),
+                BanStmt::Combined { body, secret, .. } => {
+                    collect(body, out);
+                    collect(secret, out);
+                }
+                BanStmt::SharedKey(..)
+                | BanStmt::PublicKey(..)
+                | BanStmt::Nonce(_)
+                | BanStmt::Key(_)
+                | BanStmt::Name(_) => {}
+            }
+        }
+        let mut out = BTreeSet::new();
+        for s in snapshot {
+            collect(s, &mut out);
+        }
+        out
+    }
+
+    /// Decomposition and symmetry rules that look only at one statement.
+    fn structural_rules(&mut self, stmt: &BanStmt) -> usize {
+        let mut added = 0;
+        let (chain, body) = strip_beliefs(stmt);
+        // Symmetry at any belief depth.
+        match body {
+            BanStmt::SharedKey(r, k, r2) => {
+                let sym = wrap_beliefs(&chain, BanStmt::shared_key(r2.clone(), k.clone(), r.clone()));
+                if self.add(sym, RuleName::KeySymmetry, vec![stmt.clone()]) {
+                    added += 1;
+                }
+            }
+            BanStmt::SharedSecret(r, y, r2) => {
+                let sym = wrap_beliefs(
+                    &chain,
+                    BanStmt::shared_secret(r2.clone(), (**y).clone(), r.clone()),
+                );
+                if self.add(sym, RuleName::SecretSymmetry, vec![stmt.clone()]) {
+                    added += 1;
+                }
+            }
+            // Belief distributes over conjunction (decomposition).
+            BanStmt::Conj(items) if !chain.is_empty() => {
+                for item in items.clone() {
+                    let piece = wrap_beliefs(&chain, item);
+                    if self.add(piece, RuleName::BeliefDecomposition, vec![stmt.clone()]) {
+                        added += 1;
+                    }
+                }
+            }
+            // Saying rule (under any belief prefix, including none).
+            BanStmt::Said(q, inner) => {
+                if let BanStmt::Conj(items) = &**inner {
+                    for item in items.clone() {
+                        let piece = wrap_beliefs(&chain, BanStmt::said(q.clone(), item));
+                        if self.add(piece, RuleName::Saying, vec![stmt.clone()]) {
+                            added += 1;
+                        }
+                    }
+                }
+            }
+            // Seeing rules for tuples and combined messages (top level).
+            BanStmt::Sees(p, inner) if chain.is_empty() => {
+                match &**inner {
+                    BanStmt::Conj(items) => {
+                        for item in items.clone() {
+                            let piece = BanStmt::sees(p.clone(), item);
+                            if self.add(piece, RuleName::SeeingTuple, vec![stmt.clone()]) {
+                                added += 1;
+                            }
+                        }
+                    }
+                    BanStmt::Combined { body: b, .. } => {
+                        let piece = BanStmt::sees(p.clone(), (**b).clone());
+                        if self.add(piece, RuleName::SeeingCombined, vec![stmt.clone()]) {
+                            added += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        added
+    }
+
+    /// Freshness: `P believes fresh(X) ⊢ P believes fresh((X, Y))` for any
+    /// conjunction in the universe containing `X` as a component.
+    fn freshness_rule(&mut self, stmt: &BanStmt, tuples: &BTreeSet<BanStmt>) -> usize {
+        let mut added = 0;
+        let BanStmt::Believes(p, inner) = stmt else {
+            return 0;
+        };
+        let BanStmt::Fresh(x) = &**inner else {
+            return 0;
+        };
+        for t in tuples {
+            let BanStmt::Conj(items) = t else { continue };
+            if items.contains(x) {
+                let concl = BanStmt::believes(p.clone(), BanStmt::fresh(t.clone()));
+                if self.add(concl, RuleName::Freshness, vec![stmt.clone()]) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Message-meaning rules, driven by a `P sees …` statement.
+    fn message_meaning(&mut self, stmt: &BanStmt, snapshot: &[BanStmt]) -> usize {
+        let mut added = 0;
+        let BanStmt::Sees(p, seen) = stmt else {
+            return 0;
+        };
+        match &**seen {
+            BanStmt::Encrypted { body, key, from } if from != p => {
+                for other in snapshot {
+                    let BanStmt::Believes(p2, inner) = other else {
+                        continue;
+                    };
+                    if p2 != p {
+                        continue;
+                    }
+                    let BanStmt::SharedKey(q, k, q2) = &**inner else {
+                        continue;
+                    };
+                    if k != key {
+                        continue;
+                    }
+                    // Identify the peer: the rule requires P believes
+                    // Q ↔K↔ P.
+                    let peer = if q2 == p {
+                        q.clone()
+                    } else if q == p {
+                        q2.clone()
+                    } else {
+                        continue;
+                    };
+                    let concl =
+                        BanStmt::believes(p.clone(), BanStmt::said(peer, (**body).clone()));
+                    if self.add(
+                        concl,
+                        RuleName::MessageMeaningKey,
+                        vec![other.clone(), stmt.clone()],
+                    ) {
+                        added += 1;
+                    }
+                }
+            }
+            BanStmt::Signed { body, key, from } if from != p => {
+                // Public-key message meaning: if P believes →K Q and P
+                // sees {X}K⁻¹, then P believes Q said X.
+                for other in snapshot {
+                    let BanStmt::Believes(p2, inner) = other else {
+                        continue;
+                    };
+                    if p2 != p {
+                        continue;
+                    }
+                    let BanStmt::PublicKey(k, owner) = &**inner else {
+                        continue;
+                    };
+                    if k != key {
+                        continue;
+                    }
+                    let concl = BanStmt::believes(
+                        p.clone(),
+                        BanStmt::said(owner.clone(), (**body).clone()),
+                    );
+                    if self.add(
+                        concl,
+                        RuleName::MessageMeaningPublicKey,
+                        vec![other.clone(), stmt.clone()],
+                    ) {
+                        added += 1;
+                    }
+                }
+            }
+            BanStmt::Combined { body, secret, from } if from != p => {
+                for other in snapshot {
+                    let BanStmt::Believes(p2, inner) = other else {
+                        continue;
+                    };
+                    if p2 != p {
+                        continue;
+                    }
+                    let BanStmt::SharedSecret(q, y, q2) = &**inner else {
+                        continue;
+                    };
+                    if **y != **secret {
+                        continue;
+                    }
+                    let peer = if q2 == p {
+                        q.clone()
+                    } else if q == p {
+                        q2.clone()
+                    } else {
+                        continue;
+                    };
+                    let concl =
+                        BanStmt::believes(p.clone(), BanStmt::said(peer, (**body).clone()));
+                    if self.add(
+                        concl,
+                        RuleName::MessageMeaningSecret,
+                        vec![other.clone(), stmt.clone()],
+                    ) {
+                        added += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        added
+    }
+
+    /// Nonce-verification: `P believes fresh(X), P believes Q said X ⊢
+    /// P believes Q believes X`.
+    fn nonce_verification(&mut self, stmt: &BanStmt, snapshot: &[BanStmt]) -> usize {
+        let mut added = 0;
+        let BanStmt::Believes(p, inner) = stmt else {
+            return 0;
+        };
+        let BanStmt::Said(q, x) = &**inner else {
+            return 0;
+        };
+        let wanted = BanStmt::believes(p.clone(), BanStmt::fresh((**x).clone()));
+        if snapshot.contains(&wanted) {
+            let concl = BanStmt::believes(
+                p.clone(),
+                BanStmt::believes(q.clone(), (**x).clone()),
+            );
+            if self.add(
+                concl,
+                RuleName::NonceVerification,
+                vec![wanted, stmt.clone()],
+            ) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Jurisdiction: `P believes Q controls X, P believes Q believes X ⊢
+    /// P believes X`.
+    fn jurisdiction(&mut self, stmt: &BanStmt, snapshot: &[BanStmt]) -> usize {
+        let mut added = 0;
+        let BanStmt::Believes(p, inner) = stmt else {
+            return 0;
+        };
+        let BanStmt::Believes(q, x) = &**inner else {
+            return 0;
+        };
+        let wanted = BanStmt::believes(
+            p.clone(),
+            BanStmt::controls(q.clone(), (**x).clone()),
+        );
+        if snapshot.contains(&wanted) {
+            let concl = BanStmt::believes(p.clone(), (**x).clone());
+            if self.add(concl, RuleName::Jurisdiction, vec![wanted, stmt.clone()]) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Seeing through decryption: `P believes Q ↔K↔ P, P sees {X}_K ⊢
+    /// P sees X`, with the public-key analogues: a known public key opens
+    /// signatures, and one's own public key opens public-key ciphertext.
+    fn seeing_decrypt(&mut self, stmt: &BanStmt, snapshot: &[BanStmt]) -> usize {
+        let mut added = 0;
+        let BanStmt::Sees(p, seen) = stmt else {
+            return 0;
+        };
+        let believes = |pred: &dyn Fn(&BanStmt) -> bool| {
+            snapshot.iter().any(|other| {
+                let BanStmt::Believes(p2, inner) = other else {
+                    return false;
+                };
+                p2 == p && pred(inner)
+            })
+        };
+        match &**seen {
+            BanStmt::Encrypted { body, key, .. } => {
+                let ok = believes(&|inner| {
+                    matches!(inner, BanStmt::SharedKey(q, k, q2) if k == key && (q == p || q2 == p))
+                });
+                if ok {
+                    let concl = BanStmt::sees(p.clone(), (**body).clone());
+                    if self.add(concl, RuleName::SeeingDecrypt, vec![stmt.clone()]) {
+                        added += 1;
+                    }
+                }
+            }
+            BanStmt::Signed { body, key, .. } => {
+                let ok = believes(&|inner| {
+                    matches!(inner, BanStmt::PublicKey(k, _) if k == key)
+                });
+                if ok {
+                    let concl = BanStmt::sees(p.clone(), (**body).clone());
+                    if self.add(concl, RuleName::SeeingDecrypt, vec![stmt.clone()]) {
+                        added += 1;
+                    }
+                }
+            }
+            BanStmt::PubEncrypted { body, key, .. } => {
+                let ok = believes(&|inner| {
+                    matches!(inner, BanStmt::PublicKey(k, owner) if k == key && owner == p)
+                });
+                if ok {
+                    let concl = BanStmt::sees(p.clone(), (**body).clone());
+                    if self.add(concl, RuleName::SeeingDecrypt, vec![stmt.clone()]) {
+                        added += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sk(p: &str, k: &str, q: &str) -> BanStmt {
+        BanStmt::shared_key(p, k, q)
+    }
+
+    #[test]
+    fn message_meaning_identifies_sender() {
+        let mut e = Engine::new([BanStmt::believes("A", sk("A", "Kas", "S"))]);
+        e.see(
+            "A",
+            BanStmt::encrypted(BanStmt::nonce("Ts"), "Kas", "S"),
+        );
+        e.saturate();
+        assert!(e.holds(&BanStmt::believes(
+            "A",
+            BanStmt::said("S", BanStmt::nonce("Ts"))
+        )));
+    }
+
+    #[test]
+    fn message_meaning_ignores_own_messages() {
+        // Side condition R ≠ P: A's own ciphertext proves nothing.
+        let mut e = Engine::new([BanStmt::believes("A", sk("A", "Kas", "S"))]);
+        e.see(
+            "A",
+            BanStmt::encrypted(BanStmt::nonce("Ts"), "Kas", "A"),
+        );
+        e.saturate();
+        assert!(!e.holds(&BanStmt::believes(
+            "A",
+            BanStmt::said("S", BanStmt::nonce("Ts"))
+        )));
+    }
+
+    #[test]
+    fn message_meaning_for_secrets() {
+        let mut e = Engine::new([BanStmt::believes(
+            "B",
+            BanStmt::shared_secret("A", BanStmt::nonce("pw"), "B"),
+        )]);
+        e.see(
+            "B",
+            BanStmt::combined(BanStmt::nonce("hello"), BanStmt::nonce("pw"), "A"),
+        );
+        e.saturate();
+        assert!(e.holds(&BanStmt::believes(
+            "B",
+            BanStmt::said("A", BanStmt::nonce("hello"))
+        )));
+    }
+
+    #[test]
+    fn nonce_verification_promotes_said_to_believes() {
+        let mut e = Engine::new([
+            BanStmt::believes("A", BanStmt::fresh(BanStmt::nonce("N"))),
+            BanStmt::believes("A", BanStmt::said("S", BanStmt::nonce("N"))),
+        ]);
+        e.saturate();
+        assert!(e.holds(&BanStmt::believes(
+            "A",
+            BanStmt::believes("S", BanStmt::nonce("N"))
+        )));
+    }
+
+    #[test]
+    fn jurisdiction_transfers_belief() {
+        let good = sk("A", "Kab", "B");
+        let mut e = Engine::new([
+            BanStmt::believes("A", BanStmt::controls("S", good.clone())),
+            BanStmt::believes("A", BanStmt::believes("S", good.clone())),
+        ]);
+        e.saturate();
+        assert!(e.holds(&BanStmt::believes("A", good)));
+    }
+
+    #[test]
+    fn freshness_extends_to_containing_tuples() {
+        let tuple = BanStmt::conj([BanStmt::nonce("Ts"), sk("A", "Kab", "B")]);
+        let mut e = Engine::new([
+            BanStmt::believes("B", BanStmt::fresh(BanStmt::nonce("Ts"))),
+            BanStmt::believes("B", BanStmt::said("S", tuple.clone())),
+        ]);
+        e.saturate();
+        assert!(e.holds(&BanStmt::believes("B", BanStmt::fresh(tuple.clone()))));
+        // … which drives nonce-verification over the whole tuple.
+        assert!(e.holds(&BanStmt::believes("B", BanStmt::believes("S", tuple))));
+        // … and belief decomposition extracts the key belief.
+        assert!(e.holds(&BanStmt::believes(
+            "B",
+            BanStmt::believes("S", sk("A", "Kab", "B"))
+        )));
+    }
+
+    #[test]
+    fn symmetry_applies_under_beliefs() {
+        let mut e = Engine::new([BanStmt::believes(
+            "P",
+            BanStmt::believes("Q", sk("R", "K", "R2")),
+        )]);
+        e.saturate();
+        assert!(e.holds(&BanStmt::believes(
+            "P",
+            BanStmt::believes("Q", sk("R2", "K", "R"))
+        )));
+    }
+
+    #[test]
+    fn seeing_rules_decompose() {
+        let mut e = Engine::new([BanStmt::believes("P", sk("Q", "K", "P"))]);
+        e.see(
+            "P",
+            BanStmt::conj([
+                BanStmt::nonce("N1"),
+                BanStmt::encrypted(BanStmt::nonce("N2"), "K", "Q"),
+                BanStmt::combined(BanStmt::nonce("N3"), BanStmt::nonce("Y"), "Q"),
+            ]),
+        );
+        e.saturate();
+        assert!(e.holds(&BanStmt::sees("P", BanStmt::nonce("N1"))));
+        assert!(e.holds(&BanStmt::sees("P", BanStmt::nonce("N2"))));
+        assert!(e.holds(&BanStmt::sees("P", BanStmt::nonce("N3"))));
+    }
+
+    #[test]
+    fn conjunction_goals_decompose() {
+        let mut e = Engine::new([
+            BanStmt::believes("A", BanStmt::nonce("X")),
+            BanStmt::believes("A", BanStmt::nonce("Y")),
+        ]);
+        e.saturate();
+        let goal = BanStmt::believes(
+            "A",
+            BanStmt::conj([BanStmt::nonce("X"), BanStmt::nonce("Y")]),
+        );
+        assert!(e.holds(&goal));
+    }
+
+    #[test]
+    fn trace_records_derivations() {
+        let mut e = Engine::new([BanStmt::believes("A", sk("A", "Kas", "S"))]);
+        e.see("A", BanStmt::encrypted(BanStmt::nonce("T"), "Kas", "S"));
+        e.saturate();
+        let concl = BanStmt::believes("A", BanStmt::said("S", BanStmt::nonce("T")));
+        let d = e.derivation_of(&concl).expect("derived");
+        assert_eq!(d.rule, RuleName::MessageMeaningKey);
+        assert_eq!(d.premises.len(), 2);
+        assert!(d.to_string().contains("message-meaning"));
+    }
+
+    #[test]
+    fn saturation_reaches_fixpoint() {
+        let mut e = Engine::new([BanStmt::believes("A", sk("A", "K", "B"))]);
+        let first = e.saturate();
+        assert!(first >= 1); // symmetry fires
+        let second = e.saturate();
+        assert_eq!(second, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # atl-ban
+//!
+//! The *original* BAN logic of authentication (Burrows–Abadi–Needham 1989)
+//! as reviewed in Section 2 of Abadi & Tuttle 1991 — the baseline the
+//! reformulated logic is compared against.
+//!
+//! The crate provides the original untyped language ([`BanStmt`]), the
+//! inference rules of Section 2.2 with a forward-chaining [`Engine`], the
+//! idealized-protocol annotation procedure of Section 2.3
+//! ([`IdealProtocol`], [`analyze`]), and conversions into the typed
+//! language of the reformulated logic ([`to_formula`], [`to_message`]) that
+//! fail precisely on the ill-typed statements the paper criticizes.
+//!
+//! ```
+//! use atl_ban::{analyze, BanStmt, IdealProtocol};
+//! let kab = BanStmt::shared_key("A", "Kab", "B");
+//! let proto = IdealProtocol::new("demo")
+//!     .assume(BanStmt::believes("A", BanStmt::shared_key("A", "Kas", "S")))
+//!     .assume(BanStmt::believes("A", BanStmt::fresh(BanStmt::nonce("Ts"))))
+//!     .assume(BanStmt::believes("A", BanStmt::controls("S", kab.clone())))
+//!     .step("S", "A", BanStmt::encrypted(
+//!         BanStmt::conj([BanStmt::nonce("Ts"), kab.clone()]), "Kas", "S"))
+//!     .goal(BanStmt::believes("A", kab));
+//! assert!(analyze(&proto).succeeded());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod annotate;
+mod convert;
+mod engine;
+mod stmt;
+
+pub use annotate::{analyze, render_annotated, Analysis, IdealProtocol, IdealStep};
+pub use convert::{to_formula, to_message, IllTyped};
+pub use engine::{Derivation, Engine, RuleName};
+pub use stmt::BanStmt;

@@ -1,0 +1,325 @@
+//! The original BAN language (Section 2.1).
+//!
+//! In \[BAN89\] there is *no distinction* between arbitrary expressions and
+//! formulas: beliefs, nonces, keys, and ciphertext all live in one untyped
+//! language, and conjunction doubles as concatenation (the comma). The
+//! paper criticizes exactly this ("it is possible to prove that a principal
+//! believes a nonce, which doesn't make much sense"); this crate implements
+//! the original language faithfully so the reformulated logic can be
+//! compared against it.
+
+use atl_lang::{Key, Nonce, Principal};
+use std::fmt;
+
+/// A statement (or message — the original logic does not distinguish) in
+/// the BAN language.
+///
+/// # Examples
+///
+/// The Figure 1 assumption `A believes A ↔Kas↔ S`:
+///
+/// ```
+/// use atl_ban::BanStmt;
+/// let f = BanStmt::believes("A", BanStmt::shared_key("A", "Kas", "S"));
+/// assert_eq!(f.to_string(), "A believes (A <-Kas-> S)");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BanStmt {
+    /// `P believes X`.
+    Believes(Principal, Box<BanStmt>),
+    /// `P sees X`.
+    Sees(Principal, Box<BanStmt>),
+    /// `P said X`.
+    Said(Principal, Box<BanStmt>),
+    /// `P controls X`.
+    Controls(Principal, Box<BanStmt>),
+    /// `fresh(X)`.
+    Fresh(Box<BanStmt>),
+    /// `P ↔K↔ Q`.
+    SharedKey(Principal, Key, Principal),
+    /// `P =Y= Q`.
+    SharedSecret(Principal, Box<BanStmt>, Principal),
+    /// `(X1, …, Xk)` — conjunction and concatenation alike.
+    Conj(Vec<BanStmt>),
+    /// `{X}_K` from `P`.
+    Encrypted {
+        /// The content.
+        body: Box<BanStmt>,
+        /// The encryption key.
+        key: Key,
+        /// The from field.
+        from: Principal,
+    },
+    /// `(X)_Y` from `P` — combined with a secret.
+    Combined {
+        /// The visible content.
+        body: Box<BanStmt>,
+        /// The proving secret.
+        secret: Box<BanStmt>,
+        /// The from field.
+        from: Principal,
+    },
+    /// Public-key extension: `→K P` — `K` is `P`'s public key.
+    PublicKey(Key, Principal),
+    /// Public-key extension: `{X}_K` — encrypted under the public key `K`.
+    PubEncrypted {
+        /// The content.
+        body: Box<BanStmt>,
+        /// The public key.
+        key: Key,
+        /// The from field.
+        from: Principal,
+    },
+    /// Public-key extension: `{X}_K⁻¹` — signed with the private
+    /// counterpart of `K`.
+    Signed {
+        /// The signed content.
+        body: Box<BanStmt>,
+        /// The verifying public key.
+        key: Key,
+        /// The from field.
+        from: Principal,
+    },
+    /// A nonce, timestamp, or other data constant.
+    Nonce(Nonce),
+    /// A key used as data.
+    Key(Key),
+    /// A principal name used as data.
+    Name(Principal),
+}
+
+impl BanStmt {
+    /// `P believes X`.
+    pub fn believes(p: impl Into<Principal>, x: BanStmt) -> Self {
+        BanStmt::Believes(p.into(), Box::new(x))
+    }
+
+    /// `P sees X`.
+    pub fn sees(p: impl Into<Principal>, x: BanStmt) -> Self {
+        BanStmt::Sees(p.into(), Box::new(x))
+    }
+
+    /// `P said X`.
+    pub fn said(p: impl Into<Principal>, x: BanStmt) -> Self {
+        BanStmt::Said(p.into(), Box::new(x))
+    }
+
+    /// `P controls X`.
+    pub fn controls(p: impl Into<Principal>, x: BanStmt) -> Self {
+        BanStmt::Controls(p.into(), Box::new(x))
+    }
+
+    /// `fresh(X)`.
+    pub fn fresh(x: BanStmt) -> Self {
+        BanStmt::Fresh(Box::new(x))
+    }
+
+    /// `P ↔K↔ Q`.
+    pub fn shared_key(
+        p: impl Into<Principal>,
+        k: impl Into<Key>,
+        q: impl Into<Principal>,
+    ) -> Self {
+        BanStmt::SharedKey(p.into(), k.into(), q.into())
+    }
+
+    /// `P =Y= Q`.
+    pub fn shared_secret(p: impl Into<Principal>, y: BanStmt, q: impl Into<Principal>) -> Self {
+        BanStmt::SharedSecret(p.into(), Box::new(y), q.into())
+    }
+
+    /// `(X1, …, Xk)`; a single item collapses to itself.
+    pub fn conj(items: impl IntoIterator<Item = BanStmt>) -> Self {
+        let mut v: Vec<BanStmt> = items.into_iter().collect();
+        if v.len() == 1 {
+            v.pop().expect("len checked")
+        } else {
+            BanStmt::Conj(v)
+        }
+    }
+
+    /// `{X}_K` from `P`.
+    pub fn encrypted(body: BanStmt, key: impl Into<Key>, from: impl Into<Principal>) -> Self {
+        BanStmt::Encrypted {
+            body: Box::new(body),
+            key: key.into(),
+            from: from.into(),
+        }
+    }
+
+    /// `(X)_Y` from `P`.
+    pub fn combined(body: BanStmt, secret: BanStmt, from: impl Into<Principal>) -> Self {
+        BanStmt::Combined {
+            body: Box::new(body),
+            secret: Box::new(secret),
+            from: from.into(),
+        }
+    }
+
+    /// A nonce constant.
+    pub fn nonce(n: impl Into<Nonce>) -> Self {
+        BanStmt::Nonce(n.into())
+    }
+
+    /// A key used as data.
+    pub fn key(k: impl Into<Key>) -> Self {
+        BanStmt::Key(k.into())
+    }
+
+    /// Public-key extension: `→K P`.
+    pub fn public_key(k: impl Into<Key>, p: impl Into<Principal>) -> Self {
+        BanStmt::PublicKey(k.into(), p.into())
+    }
+
+    /// Public-key extension: `{X}_K`.
+    pub fn pub_encrypted(body: BanStmt, key: impl Into<Key>, from: impl Into<Principal>) -> Self {
+        BanStmt::PubEncrypted {
+            body: Box::new(body),
+            key: key.into(),
+            from: from.into(),
+        }
+    }
+
+    /// Public-key extension: `{X}_K⁻¹`.
+    pub fn signed(body: BanStmt, key: impl Into<Key>, from: impl Into<Principal>) -> Self {
+        BanStmt::Signed {
+            body: Box::new(body),
+            key: key.into(),
+            from: from.into(),
+        }
+    }
+
+    /// A principal name used as data.
+    pub fn name(p: impl Into<Principal>) -> Self {
+        BanStmt::Name(p.into())
+    }
+
+    /// The conjunct components (itself for non-conjunctions).
+    pub fn components(&self) -> &[BanStmt] {
+        match self {
+            BanStmt::Conj(items) => items,
+            other => std::slice::from_ref(other),
+        }
+    }
+
+    /// The number of grammar nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            BanStmt::Believes(_, x)
+            | BanStmt::Sees(_, x)
+            | BanStmt::Said(_, x)
+            | BanStmt::Controls(_, x)
+            | BanStmt::Fresh(x) => 1 + x.size(),
+            BanStmt::SharedKey(..)
+            | BanStmt::PublicKey(..)
+            | BanStmt::Nonce(_)
+            | BanStmt::Key(_)
+            | BanStmt::Name(_) => 1,
+            BanStmt::SharedSecret(_, y, _) => 1 + y.size(),
+            BanStmt::Conj(items) => 1 + items.iter().map(BanStmt::size).sum::<usize>(),
+            BanStmt::Encrypted { body, .. }
+            | BanStmt::PubEncrypted { body, .. }
+            | BanStmt::Signed { body, .. } => 1 + body.size(),
+            BanStmt::Combined { body, secret, .. } => 1 + body.size() + secret.size(),
+        }
+    }
+
+    /// True if this is a statement the paper considers meaningful to
+    /// assign a truth value (i.e. it corresponds to a formula of the
+    /// reformulated language `FT`). `A believes Na` is *not* sensible.
+    pub fn is_sensible_formula(&self) -> bool {
+        match self {
+            BanStmt::Believes(_, x) | BanStmt::Controls(_, x) => x.is_sensible_formula(),
+            BanStmt::Sees(..) | BanStmt::Said(..) | BanStmt::Fresh(_) => true,
+            BanStmt::SharedKey(..) | BanStmt::SharedSecret(..) | BanStmt::PublicKey(..) => true,
+            BanStmt::Conj(items) => items.iter().all(BanStmt::is_sensible_formula),
+            BanStmt::Encrypted { .. }
+            | BanStmt::PubEncrypted { .. }
+            | BanStmt::Signed { .. }
+            | BanStmt::Combined { .. }
+            | BanStmt::Nonce(_)
+            | BanStmt::Key(_)
+            | BanStmt::Name(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for BanStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BanStmt::Believes(p, x) => write!(f, "{p} believes ({x})"),
+            BanStmt::Sees(p, x) => write!(f, "{p} sees ({x})"),
+            BanStmt::Said(p, x) => write!(f, "{p} said ({x})"),
+            BanStmt::Controls(p, x) => write!(f, "{p} controls ({x})"),
+            BanStmt::Fresh(x) => write!(f, "fresh({x})"),
+            BanStmt::SharedKey(p, k, q) => write!(f, "{p} <-{k}-> {q}"),
+            BanStmt::SharedSecret(p, y, q) => write!(f, "{p} ={y}= {q}"),
+            BanStmt::Conj(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match item {
+                        BanStmt::Conj(_) => write!(f, "({item})")?,
+                        _ => write!(f, "{item}")?,
+                    }
+                }
+                Ok(())
+            }
+            BanStmt::Encrypted { body, key, from } => write!(f, "{{{body}}}{key}@{from}"),
+            BanStmt::PublicKey(k, p) => write!(f, "pubkey({k}, {p})"),
+            BanStmt::PubEncrypted { body, key, from } => write!(f, "pk{{{body}}}{key}@{from}"),
+            BanStmt::Signed { body, key, from } => write!(f, "sig{{{body}}}{key}@{from}"),
+            BanStmt::Combined { body, secret, from } => write!(f, "[{body}]({secret})@{from}"),
+            BanStmt::Nonce(n) => write!(f, "{n}"),
+            BanStmt::Key(k) => write!(f, "{k}"),
+            BanStmt::Name(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conj_collapses_singletons() {
+        let x = BanStmt::nonce("Na");
+        assert_eq!(BanStmt::conj([x.clone()]), x);
+    }
+
+    #[test]
+    fn untyped_language_permits_belief_of_a_nonce() {
+        // The paper's criticism of the original syntax: this is expressible.
+        let odd = BanStmt::believes("A", BanStmt::nonce("Na"));
+        assert!(!odd.is_sensible_formula());
+        let fine = BanStmt::believes("A", BanStmt::shared_key("A", "K", "B"));
+        assert!(fine.is_sensible_formula());
+    }
+
+    #[test]
+    fn display_is_paperlike() {
+        let step3 = BanStmt::encrypted(
+            BanStmt::conj([
+                BanStmt::nonce("Ts"),
+                BanStmt::shared_key("A", "Kab", "B"),
+            ]),
+            "Kbs",
+            "S",
+        );
+        assert_eq!(step3.to_string(), "{Ts, A <-Kab-> B}Kbs@S");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let s = BanStmt::believes("A", BanStmt::conj([BanStmt::nonce("N"), BanStmt::nonce("M")]));
+        assert_eq!(s.size(), 4);
+    }
+
+    #[test]
+    fn components_of_conj() {
+        let c = BanStmt::conj([BanStmt::nonce("N"), BanStmt::nonce("M")]);
+        assert_eq!(c.components().len(), 2);
+        assert_eq!(BanStmt::nonce("N").components().len(), 1);
+    }
+}

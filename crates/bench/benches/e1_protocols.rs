@@ -1,0 +1,96 @@
+//! E1/E8 — regenerating the protocol analyses: how long each derivation
+//! takes in the original and reformulated logics, per protocol.
+//!
+//! The "shape" reproduced from the paper: every analysis terminates in
+//! milliseconds (the logic is *tractable*, its stated design goal), and
+//! the reformulated logic's analyses are comparable in cost to the
+//! original's on the same protocols.
+
+use atl_ban::analyze;
+use atl_core::annotate::analyze_at;
+use atl_protocols::{
+    andrew, kerberos, needham_schroeder, nessett, otway_rees, suite, wide_mouthed_frog, x509,
+    yahalom,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e1_kerberos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_kerberos");
+    g.bench_function("figure1_ban", |b| {
+        let proto = kerberos::figure1_ban();
+        b.iter(|| black_box(analyze(&proto).succeeded()))
+    });
+    g.bench_function("figure1_at", |b| {
+        let proto = kerberos::figure1_at();
+        b.iter(|| black_box(analyze_at(&proto).succeeded()))
+    });
+    g.bench_function("full_ban", |b| {
+        let proto = kerberos::full_ban();
+        b.iter(|| black_box(analyze(&proto).succeeded()))
+    });
+    g.bench_function("full_at", |b| {
+        let proto = kerberos::full_at();
+        b.iter(|| black_box(analyze_at(&proto).succeeded()))
+    });
+    g.finish();
+}
+
+fn bench_e8_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_suite");
+    g.bench_function("needham_schroeder_ban", |b| {
+        let proto = needham_schroeder::ban_protocol(true);
+        b.iter(|| black_box(analyze(&proto).succeeded()))
+    });
+    g.bench_function("needham_schroeder_at", |b| {
+        let proto = needham_schroeder::at_protocol(true);
+        b.iter(|| black_box(analyze_at(&proto).succeeded()))
+    });
+    g.bench_function("yahalom_at", |b| {
+        let proto = yahalom::at_protocol(true);
+        b.iter(|| black_box(analyze_at(&proto).succeeded()))
+    });
+    g.bench_function("otway_rees_ban", |b| {
+        let proto = otway_rees::ban_protocol();
+        b.iter(|| black_box(analyze(&proto).succeeded()))
+    });
+    g.bench_function("wide_mouthed_frog_ban", |b| {
+        let proto = wide_mouthed_frog::ban_protocol();
+        b.iter(|| black_box(analyze(&proto).succeeded()))
+    });
+    g.bench_function("wide_mouthed_frog_at", |b| {
+        let proto = wide_mouthed_frog::at_protocol();
+        b.iter(|| black_box(analyze_at(&proto).succeeded()))
+    });
+    g.bench_function("andrew_ban", |b| {
+        let proto = andrew::ban_protocol(true);
+        b.iter(|| black_box(analyze(&proto).succeeded()))
+    });
+    g.bench_function("x509_at", |b| {
+        let proto = x509::at_protocol(true);
+        b.iter(|| black_box(analyze_at(&proto).succeeded()))
+    });
+    g.bench_function("nessett_ban", |b| {
+        let proto = nessett::ban_protocol();
+        b.iter(|| black_box(analyze(&proto).succeeded()))
+    });
+    g.bench_function("whole_suite", |b| {
+        b.iter(|| black_box(suite::run_suite().len()))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_e1_kerberos, bench_e8_suite
+}
+criterion_main!(benches);

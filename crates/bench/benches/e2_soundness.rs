@@ -1,0 +1,71 @@
+//! E2 (Theorem 1) — the soundness model-checker's cost as the system
+//! grows, in runs and in run length.
+//!
+//! Shape reproduced: checking is polynomial in system size (points ×
+//! instances), so doubling runs roughly doubles time; no blow-up.
+
+use atl_core::semantics::GoodRuns;
+use atl_core::soundness::{check_axioms, SoundnessConfig};
+use atl_model::{random_system, GenConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_runs_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_soundness_vs_runs");
+    let config = SoundnessConfig {
+        max_instances_per_axiom: 40,
+        ..SoundnessConfig::default()
+    };
+    for n_runs in [1usize, 2, 4, 8] {
+        let sys = random_system(&GenConfig::default(), n_runs, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n_runs), &sys, |b, sys| {
+            b.iter(|| {
+                let report =
+                    check_axioms(sys, GoodRuns::all_runs(sys), &config).expect("check ok");
+                assert!(report.sound());
+                black_box(report.total_instances())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_length_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_soundness_vs_length");
+    let config = SoundnessConfig {
+        max_instances_per_axiom: 40,
+        ..SoundnessConfig::default()
+    };
+    for steps in [4usize, 8, 16] {
+        let gen = GenConfig {
+            past_steps: steps / 2,
+            present_steps: steps,
+            ..GenConfig::default()
+        };
+        let sys = random_system(&gen, 3, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(steps), &sys, |b, sys| {
+            b.iter(|| {
+                let report =
+                    check_axioms(sys, GoodRuns::all_runs(sys), &config).expect("check ok");
+                assert!(report.sound());
+                black_box(report.total_instances())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_runs_scaling, bench_length_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E3/E4 (Theorems 2 and 3) — the good-run construction's cost by belief
+//! nesting depth, and the optimality search on the coin-toss system.
+//!
+//! Shape reproduced: the construction is one semantics pass per nesting
+//! level (linear in depth); the exhaustive optimality check is exponential
+//! in runs × principals and feasible only for small counterexamples —
+//! which is all the paper needs it for.
+
+use atl_core::examples::coin_toss;
+use atl_core::goodruns::{construct, is_optimum, supports, InitialAssumptions};
+use atl_lang::{Formula, Key};
+use atl_model::{random_system, GenConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn assumptions_of_depth(depth: usize) -> InitialAssumptions {
+    let base = Formula::shared_key("A", Key::new("Kas"), "S");
+    let mut i = InitialAssumptions::new();
+    // An I2-compliant chain: S believes base, B believes S believes it, …
+    let owners = ["S", "B", "A"];
+    let mut body = base;
+    for owner in owners.iter().take(depth) {
+        i.assume(*owner, body.clone());
+        body = Formula::believes(*owner, body);
+    }
+    i
+}
+
+fn bench_construction_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_construct_vs_depth");
+    let sys = random_system(&GenConfig::default(), 4, 11);
+    for depth in [1usize, 2, 3] {
+        let i = assumptions_of_depth(depth);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &i, |b, i| {
+            b.iter(|| {
+                let goods = construct(&sys, i).expect("construct ok");
+                assert!(supports(&sys, &goods, i).expect("support check ok"));
+                black_box(goods)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_construction_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_construct_vs_runs");
+    let i = assumptions_of_depth(2);
+    for n_runs in [2usize, 4, 8, 16] {
+        let sys = random_system(&GenConfig::default(), n_runs, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n_runs), &sys, |b, sys| {
+            b.iter(|| black_box(construct(sys, &i).expect("construct ok")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e4_optimality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_optimality");
+    g.bench_function("coin_toss_no_optimum", |b| {
+        let (sys, assumptions) = coin_toss();
+        let goods = construct(&sys, &assumptions).expect("construct ok");
+        b.iter(|| {
+            let optimum =
+                is_optimum(&sys, &goods, &assumptions, 1 << 24).expect("search ok");
+            assert!(!optimum);
+            black_box(optimum)
+        })
+    });
+    g.bench_function("depth1_is_optimum", |b| {
+        let sys = random_system(&GenConfig::default(), 3, 5);
+        let mut i = InitialAssumptions::new();
+        i.assume("A", Formula::shared_key("A", Key::new("Kas"), "S"));
+        let goods = construct(&sys, &i).expect("construct ok");
+        b.iter(|| {
+            let optimum = is_optimum(&sys, &goods, &i, 1 << 24).expect("search ok");
+            assert!(optimum);
+            black_box(optimum)
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_construction_depth, bench_construction_runs, bench_e4_optimality
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Benchmarks for the extension modules: secrecy audits, Kripke
+//! materialization, spec parsing, and checked theorem reconstruction.
+
+use atl_core::kripke::PossibilityRelation;
+use atl_core::secrecy::{known_messages, leaks};
+use atl_core::semantics::{GoodRuns, Semantics};
+use atl_core::spec::parse_spec;
+use atl_core::theorems;
+use atl_lang::{Key, KeyTerm, Message, Nonce, Principal};
+use atl_model::{random_system, GenConfig, System};
+use atl_protocols::ns_public_key;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_secrecy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_secrecy");
+    let sys = System::new([ns_public_key::honest_run(), ns_public_key::lowe_run()]);
+    let nb = Message::nonce(Nonce::new("Nb"));
+    g.bench_function("leak_audit_lowe", |b| {
+        let allowed = [Principal::new("A"), Principal::new("B")];
+        b.iter(|| black_box(leaks(&sys, &nb, &allowed).len()))
+    });
+    g.bench_function("known_messages", |b| {
+        let run = &sys.runs()[1];
+        let env = Principal::environment();
+        b.iter(|| black_box(known_messages(run, &env, run.horizon()).len()))
+    });
+    g.finish();
+}
+
+fn bench_kripke(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_kripke");
+    for n_runs in [2usize, 6] {
+        let sys = random_system(&GenConfig::default(), n_runs, 31);
+        g.bench_with_input(BenchmarkId::new("materialize", n_runs), &sys, |b, sys| {
+            let sem = Semantics::new(sys, GoodRuns::all_runs(sys));
+            b.iter(|| {
+                let rel = PossibilityRelation::of(&sem, &Principal::new("A"));
+                black_box(rel.edges.len())
+            })
+        });
+    }
+    let sys = random_system(&GenConfig::default(), 4, 31);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let rel = PossibilityRelation::of(&sem, &Principal::new("A"));
+    g.bench_function("frame_checks", |b| {
+        b.iter(|| black_box(rel.is_transitive() && rel.is_euclidean() && rel.is_serial()))
+    });
+    g.bench_function("to_dot", |b| b.iter(|| black_box(rel.to_dot().len())));
+    g.finish();
+}
+
+fn bench_spec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_spec");
+    let spec = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../specs/kerberos_figure1.atl"
+    ))
+    .expect("spec file present");
+    g.bench_function("parse_kerberos_spec", |b| {
+        b.iter(|| black_box(parse_spec(&spec).expect("parses").0.steps.len()))
+    });
+    g.finish();
+}
+
+fn bench_theorems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_theorems");
+    let p = Principal::new("P");
+    let q = Principal::new("Q");
+    let s = Principal::new("S");
+    let k = KeyTerm::Key(Key::new("K"));
+    let x = Message::nonce(Nonce::new("X"));
+    g.bench_function("ban_message_meaning_build_and_check", |b| {
+        b.iter(|| {
+            let proof = theorems::ban_message_meaning(&p, &k, &q, &x, &s).expect("derives");
+            black_box(proof.steps().len())
+        })
+    });
+    g.bench_function("nonce_verification_build_and_check", |b| {
+        b.iter(|| {
+            let proof = theorems::nonce_verification(&q, &x).expect("derives");
+            black_box(proof.steps().len())
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_secrecy, bench_kripke, bench_spec, bench_theorems
+}
+criterion_main!(benches);

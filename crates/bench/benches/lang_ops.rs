@@ -1,0 +1,104 @@
+//! Language-operation microbenchmarks: the submessage operators, hiding,
+//! and the parser, as message depth grows.
+//!
+//! Shape: all operators are linear in message size; `hide` and
+//! `seen-submsgs` track each other (they walk the same structure).
+
+use atl_lang::parser::{parse_formula, Symbols};
+use atl_lang::{
+    hide_message, said_submsgs, seen_submsgs, submsgs, Formula, Key, KeySet, Message, MessageSet,
+    Nonce, Principal,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A balanced message of the given depth: alternating tuples and
+/// encryptions under rotating keys.
+fn deep_message(depth: usize) -> Message {
+    let mut m = Message::nonce(Nonce::new("N0"));
+    for level in 0..depth {
+        let key = Key::new(format!("K{}", level % 3));
+        m = Message::tuple([
+            Message::encrypted(m.clone(), key, Principal::new("S")),
+            Message::nonce(Nonce::new(format!("N{level}"))),
+            Message::forwarded(m),
+        ]);
+    }
+    m
+}
+
+fn keyset() -> KeySet {
+    [Key::new("K0"), Key::new("K1")].into_iter().collect()
+}
+
+fn bench_submsg_operators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lang_submsgs");
+    for depth in [2usize, 4, 6, 8] {
+        let m = deep_message(depth);
+        g.bench_with_input(BenchmarkId::new("submsgs", depth), &m, |b, m| {
+            b.iter(|| black_box(submsgs(m).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("seen", depth), &m, |b, m| {
+            let ks = keyset();
+            b.iter(|| black_box(seen_submsgs(m, &ks).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("said", depth), &m, |b, m| {
+            let ks = keyset();
+            let received = MessageSet::new();
+            b.iter(|| black_box(said_submsgs(m, &ks, &received).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("hide", depth), &m, |b, m| {
+            let ks = keyset();
+            b.iter(|| black_box(hide_message(m, &ks)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lang_parser");
+    let syms = Symbols::new()
+        .principals(["A", "B", "S"])
+        .keys(["Kab", "Kas", "Kbs"]);
+    let inputs = [
+        ("shared_key", "A believes (A <-Kab-> B)"),
+        (
+            "figure1",
+            "B believes (B sees {Ts, <<A <-Kab-> B>>}Kbs@S)",
+        ),
+        (
+            "conjunction",
+            "A has Kas & B has Kbs & S controls (A <-Kab-> B) & fresh(Ts)",
+        ),
+    ];
+    for (name, input) in inputs {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(parse_formula(input, &syms).expect("parse ok")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_display_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lang_display");
+    let m = deep_message(5);
+    g.bench_function("display_deep", |b| b.iter(|| black_box(m.to_string())));
+    let f = Formula::believes("A", Formula::sees("B", deep_message(4)));
+    g.bench_function("display_formula", |b| b.iter(|| black_box(f.to_string())));
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_submsg_operators, bench_parser, bench_display_roundtrip
+}
+criterion_main!(benches);

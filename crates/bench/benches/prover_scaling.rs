@@ -1,0 +1,156 @@
+//! Derivation-engine scaling: saturation cost against the number of
+//! assumptions and parallel sessions, for both the BAN engine and the
+//! reformulated-logic prover; plus the axioms-only ablation.
+//!
+//! Shape: saturation is polynomial in the fact count; the reformulated
+//! prover pays a modest constant over the BAN engine for its context
+//! bookkeeping, and disabling the semantic promotion rules shrinks the
+//! fact set (and cost) further.
+
+use atl_ban::{BanStmt, Engine};
+use atl_core::prover::{Prover, ProverConfig};
+use atl_lang::{Formula, Key, Message, Nonce};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// `n` parallel Figure 1 sessions with disjoint names, as BAN facts.
+fn ban_sessions(n: usize) -> Vec<BanStmt> {
+    let mut facts = Vec::new();
+    for i in 0..n {
+        let a = format!("A{i}");
+        let b = format!("B{i}");
+        let kab = BanStmt::shared_key(a.as_str(), format!("Kab{i}"), b.as_str());
+        let ts = BanStmt::nonce(format!("Ts{i}"));
+        facts.push(BanStmt::believes(
+            b.as_str(),
+            BanStmt::shared_key(b.as_str(), format!("Kbs{i}"), "S"),
+        ));
+        facts.push(BanStmt::believes(b.as_str(), BanStmt::fresh(ts.clone())));
+        facts.push(BanStmt::believes(
+            b.as_str(),
+            BanStmt::controls("S", kab.clone()),
+        ));
+        facts.push(BanStmt::sees(
+            b.as_str(),
+            BanStmt::encrypted(BanStmt::conj([ts, kab]), format!("Kbs{i}"), "S"),
+        ));
+    }
+    facts
+}
+
+/// The same sessions in the reformulated logic.
+fn at_sessions(n: usize) -> Vec<Formula> {
+    let mut facts = Vec::new();
+    for i in 0..n {
+        let a = format!("A{i}");
+        let b = format!("B{i}");
+        let kab = Formula::shared_key(
+            a.as_str(),
+            Key::new(format!("Kab{i}")),
+            b.as_str(),
+        );
+        let ts = Message::nonce(Nonce::new(format!("Ts{i}")));
+        let kbs = Key::new(format!("Kbs{i}"));
+        facts.push(Formula::believes(
+            b.as_str(),
+            Formula::shared_key(b.as_str(), kbs.clone(), "S"),
+        ));
+        facts.push(Formula::believes(b.as_str(), Formula::fresh(ts.clone())));
+        facts.push(Formula::believes(
+            b.as_str(),
+            Formula::controls("S", kab.clone()),
+        ));
+        facts.push(Formula::has(b.as_str(), kbs.clone()));
+        facts.push(Formula::sees(
+            b.as_str(),
+            Message::encrypted(
+                Message::tuple([ts, kab.into_message()]),
+                kbs,
+                "S",
+            ),
+        ));
+    }
+    facts
+}
+
+fn bench_ban_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prover_ban_vs_sessions");
+    for n in [1usize, 2, 4, 8] {
+        let facts = ban_sessions(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &facts, |b, facts| {
+            b.iter(|| {
+                let mut engine = Engine::new(facts.iter().cloned());
+                engine.saturate();
+                black_box(engine.known().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_at_prover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prover_at_vs_sessions");
+    for n in [1usize, 2, 4, 8] {
+        let facts = at_sessions(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &facts, |b, facts| {
+            b.iter(|| {
+                let mut prover = Prover::new(facts.iter().cloned());
+                prover.saturate();
+                black_box(prover.facts().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_axioms_only_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_axioms_only");
+    let facts = at_sessions(4);
+    g.bench_function("with_promotions", |b| {
+        b.iter(|| {
+            let mut prover = Prover::new(facts.iter().cloned());
+            prover.saturate();
+            black_box(prover.facts().len())
+        })
+    });
+    g.bench_function("axioms_only", |b| {
+        let config = ProverConfig {
+            axioms_only: true,
+            ..ProverConfig::default()
+        };
+        b.iter(|| {
+            let mut prover = Prover::with_config(facts.iter().cloned(), config);
+            prover.saturate();
+            black_box(prover.facts().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_goal_checking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prover_goal_check");
+    let facts = at_sessions(4);
+    let mut prover = Prover::new(facts);
+    prover.saturate();
+    let goal = Formula::believes(
+        "B2",
+        Formula::shared_key("A2", Key::new("Kab2"), "B2"),
+    );
+    g.bench_function("holds", |b| b.iter(|| black_box(prover.holds(&goal))));
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ban_engine, bench_at_prover, bench_axioms_only_ablation, bench_goal_checking
+}
+criterion_main!(benches);

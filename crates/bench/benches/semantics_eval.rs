@@ -1,0 +1,121 @@
+//! Semantics evaluation throughput, and the belief-cache ablation.
+//!
+//! Design choice measured (DESIGN.md §5): grouping each principal's
+//! points by hidden local state once, up front, versus rescanning the
+//! good runs on every belief query. The cache wins as soon as more than a
+//! handful of belief queries are made against the same evaluator.
+
+use atl_core::semantics::{GoodRuns, Semantics};
+use atl_lang::{Formula, Key, Message, Nonce};
+use atl_model::{random_system, GenConfig, System};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn test_system(n_runs: usize) -> System {
+    random_system(&GenConfig::default(), n_runs, 23)
+}
+
+fn belief_query() -> Formula {
+    Formula::believes(
+        "A",
+        Formula::or(
+            Formula::has("A", Key::new("Kas")),
+            Formula::sees("A", Message::nonce(Nonce::new("Na"))),
+        ),
+    )
+}
+
+fn bench_belief_cache_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_belief_cache");
+    let sys = test_system(6);
+    let query = belief_query();
+    g.bench_function("cached", |b| {
+        // Build once, query many times — the intended usage.
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        b.iter(|| {
+            let mut n = 0usize;
+            for point in sys.points() {
+                if sem.eval(point, &query).expect("eval ok") {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("uncached", |b| {
+        let sem = Semantics::without_belief_cache(&sys, GoodRuns::all_runs(&sys));
+        b.iter(|| {
+            let mut n = 0usize;
+            for point in sys.points() {
+                if sem.eval(point, &query).expect("eval ok") {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("cached_including_build", |b| {
+        // Amortization check: cache build + one sweep.
+        b.iter(|| {
+            let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+            let mut n = 0usize;
+            for point in sys.points() {
+                if sem.eval(point, &query).expect("eval ok") {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_construct_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semantics_valid_vs_runs");
+    let query = belief_query();
+    for n_runs in [2usize, 4, 8, 16] {
+        let sys = test_system(n_runs);
+        g.bench_with_input(BenchmarkId::from_parameter(n_runs), &sys, |b, sys| {
+            let sem = Semantics::new(sys, GoodRuns::all_runs(sys));
+            b.iter(|| black_box(sem.valid(&query).expect("eval ok")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_construct_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semantics_constructor");
+    for n_runs in [4usize, 16] {
+        let sys = test_system(n_runs);
+        g.bench_with_input(BenchmarkId::from_parameter(n_runs), &sys, |b, sys| {
+            b.iter(|| black_box(Semantics::new(sys, GoodRuns::all_runs(sys))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_shared_key_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semantics_shared_key");
+    let sys = test_system(6);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let sk = Formula::shared_key("A", Key::new("Kas"), "S");
+    g.bench_function("valid_shared_key", |b| {
+        b.iter(|| black_box(sem.valid(&sk).expect("eval ok")))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_belief_cache_ablation, bench_construct_scaling, bench_construct_cost, bench_shared_key_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see the `benches/` directory. Each bench target
+//! regenerates one of the experiments indexed in DESIGN.md §4 or one of
+//! the §5 ablations.

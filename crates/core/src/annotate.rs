@@ -1,0 +1,284 @@
+//! The annotation procedure for the reformulated logic (Section 4.3).
+//!
+//! Analysis proceeds as with the original logic — initial assumptions,
+//! then an assertion after each step, closed under the derived rules —
+//! with two novelties:
+//!
+//! 1. formulas annotating protocols must be **stable** (the language now
+//!    has negation); the analyzer reports any assumption that fails the
+//!    linguistic check of Section 4.3;
+//! 2. idealized protocols may contain steps `P : newkey(K)`, after which
+//!    `P has K` is asserted.
+
+use crate::prover::{Prover, ProverConfig};
+use crate::stability::is_linguistically_stable;
+use atl_lang::{Formula, Key, Message, Principal};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One step of an idealized protocol in the reformulated logic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AtStep {
+    /// `from → to : message`.
+    Send {
+        /// The sender.
+        from: Principal,
+        /// The receiver (who is asserted to see the message).
+        to: Principal,
+        /// The idealized message.
+        message: Message,
+    },
+    /// `P : newkey(K)` — `P` adds `K` to its key set.
+    NewKey {
+        /// The acquiring principal.
+        principal: Principal,
+        /// The key acquired.
+        key: Key,
+    },
+}
+
+impl fmt::Display for AtStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtStep::Send { from, to, message } => write!(f, "{from} -> {to} : {message}"),
+            AtStep::NewKey { principal, key } => write!(f, "{principal} : newkey({key})"),
+        }
+    }
+}
+
+/// An idealized protocol for the reformulated logic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtProtocol {
+    /// The protocol's name.
+    pub name: String,
+    /// Initial assumptions (should be stable; the analysis reports
+    /// violations).
+    pub assumptions: Vec<Formula>,
+    /// The steps, in order.
+    pub steps: Vec<AtStep>,
+    /// Expected correctness conditions at the final step.
+    pub goals: Vec<Formula>,
+}
+
+impl AtProtocol {
+    /// Creates an empty protocol.
+    pub fn new(name: impl Into<String>) -> Self {
+        AtProtocol {
+            name: name.into(),
+            assumptions: Vec::new(),
+            steps: Vec::new(),
+            goals: Vec::new(),
+        }
+    }
+
+    /// Adds an initial assumption.
+    pub fn assume(mut self, f: Formula) -> Self {
+        self.assumptions.push(f);
+        self
+    }
+
+    /// Adds a send step.
+    pub fn step(
+        mut self,
+        from: impl Into<Principal>,
+        to: impl Into<Principal>,
+        message: Message,
+    ) -> Self {
+        self.steps.push(AtStep::Send {
+            from: from.into(),
+            to: to.into(),
+            message,
+        });
+        self
+    }
+
+    /// Adds a `newkey` step.
+    pub fn new_key(mut self, principal: impl Into<Principal>, key: impl Into<Key>) -> Self {
+        self.steps.push(AtStep::NewKey {
+            principal: principal.into(),
+            key: key.into(),
+        });
+        self
+    }
+
+    /// Adds a goal.
+    pub fn goal(mut self, f: Formula) -> Self {
+        self.goals.push(f);
+        self
+    }
+}
+
+/// The result of annotating an [`AtProtocol`].
+#[derive(Clone, Debug)]
+pub struct AtAnalysis {
+    /// `annotations[0]` is the closure of the assumptions;
+    /// `annotations[i + 1]` the closure after step `i`.
+    pub annotations: Vec<BTreeSet<Formula>>,
+    /// The prover in its final state (with the full trace).
+    pub prover: Prover,
+    /// `(goal, achieved)` for each goal.
+    pub goals: Vec<(Formula, bool)>,
+    /// Assumptions that fail the linguistic stability check of
+    /// Section 4.3 (the annotation procedure's soundness is not guaranteed
+    /// for these).
+    pub unstable_assumptions: Vec<Formula>,
+}
+
+impl AtAnalysis {
+    /// True if every goal was derived.
+    pub fn succeeded(&self) -> bool {
+        self.goals.iter().all(|(_, ok)| *ok)
+    }
+
+    /// The goals that failed.
+    pub fn failed_goals(&self) -> impl Iterator<Item = &Formula> {
+        self.goals.iter().filter(|(_, ok)| !*ok).map(|(g, _)| g)
+    }
+}
+
+/// Runs the Section 4.3 annotation procedure with default prover options.
+pub fn analyze_at(protocol: &AtProtocol) -> AtAnalysis {
+    analyze_at_with(protocol, ProverConfig::default())
+}
+
+/// Runs the annotation procedure with explicit prover options.
+pub fn analyze_at_with(protocol: &AtProtocol, config: ProverConfig) -> AtAnalysis {
+    let unstable_assumptions = protocol
+        .assumptions
+        .iter()
+        .filter(|f| !is_linguistically_stable(f))
+        .cloned()
+        .collect();
+    let mut prover = Prover::with_config(protocol.assumptions.iter().cloned(), config);
+    prover.saturate();
+    let mut annotations = vec![prover.facts().clone()];
+    for step in &protocol.steps {
+        match step {
+            AtStep::Send { to, message, .. } => {
+                prover.assume(Formula::sees(to.clone(), message.clone()));
+            }
+            AtStep::NewKey { principal, key } => {
+                prover.assume(Formula::has(principal.clone(), key.clone()));
+            }
+        }
+        prover.saturate();
+        annotations.push(prover.facts().clone());
+    }
+    let goals = protocol
+        .goals
+        .iter()
+        .map(|g| (g.clone(), prover.holds(g)))
+        .collect();
+    AtAnalysis {
+        annotations,
+        prover,
+        goals,
+        unstable_assumptions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_lang::Nonce;
+
+    fn kab() -> Formula {
+        Formula::shared_key("A", Key::new("Kab"), "B")
+    }
+
+    fn figure1_at() -> AtProtocol {
+        let ts = Message::nonce(Nonce::new("Ts"));
+        let inner = Message::encrypted(
+            Message::tuple([ts.clone(), kab().into_message()]),
+            Key::new("Kbs"),
+            "S",
+        );
+        let outer = Message::encrypted(
+            Message::tuple([ts.clone(), kab().into_message(), inner.clone()]),
+            Key::new("Kas"),
+            "S",
+        );
+        AtProtocol::new("kerberos-figure1-at")
+            .assume(Formula::believes("A", Formula::shared_key("A", Key::new("Kas"), "S")))
+            .assume(Formula::believes("B", Formula::shared_key("B", Key::new("Kbs"), "S")))
+            .assume(Formula::believes("A", Formula::controls("S", kab())))
+            .assume(Formula::believes("B", Formula::controls("S", kab())))
+            .assume(Formula::believes("A", Formula::fresh(ts.clone())))
+            .assume(Formula::believes("B", Formula::fresh(ts)))
+            .assume(Formula::has("A", Key::new("Kas")))
+            .assume(Formula::has("B", Key::new("Kbs")))
+            .step("S", "A", outer)
+            .step("A", "B", inner)
+            .goal(Formula::believes("A", kab()))
+            .goal(Formula::believes("B", kab()))
+    }
+
+    #[test]
+    fn figure1_succeeds_in_reformulated_logic() {
+        let analysis = analyze_at(&figure1_at());
+        assert!(
+            analysis.succeeded(),
+            "failed: {:?}",
+            analysis.failed_goals().collect::<Vec<_>>()
+        );
+        assert!(analysis.unstable_assumptions.is_empty());
+    }
+
+    #[test]
+    fn annotations_grow_monotonically() {
+        let analysis = analyze_at(&figure1_at());
+        assert_eq!(analysis.annotations.len(), 3);
+        for w in analysis.annotations.windows(2) {
+            assert!(w[0].is_subset(&w[1]));
+        }
+    }
+
+    #[test]
+    fn possession_is_load_bearing() {
+        // Remove `B has Kbs`: B cannot decrypt, so the goal fails — the
+        // has/believes decoupling of Section 3.1 made explicit.
+        let mut proto = figure1_at();
+        proto
+            .assumptions
+            .retain(|a| a != &Formula::has("B", Key::new("Kbs")));
+        let analysis = analyze_at(&proto);
+        assert!(!analysis.succeeded());
+        assert!(analysis
+            .failed_goals()
+            .any(|g| g == &Formula::believes("B", kab())));
+    }
+
+    #[test]
+    fn newkey_steps_assert_possession() {
+        let proto = AtProtocol::new("newkey")
+            .new_key("A", "K")
+            .goal(Formula::has("A", Key::new("K")));
+        let analysis = analyze_at(&proto);
+        assert!(analysis.succeeded());
+    }
+
+    #[test]
+    fn unstable_assumptions_reported() {
+        let proto = AtProtocol::new("unstable").assume(Formula::not(Formula::sees(
+            "A",
+            Message::nonce(Nonce::new("X")),
+        )));
+        let analysis = analyze_at(&proto);
+        assert_eq!(analysis.unstable_assumptions.len(), 1);
+    }
+
+    #[test]
+    fn step_display() {
+        let s = AtStep::Send {
+            from: Principal::new("A"),
+            to: Principal::new("B"),
+            message: Message::nonce(Nonce::new("X")),
+        };
+        assert_eq!(s.to_string(), "A -> B : X");
+        let k = AtStep::NewKey {
+            principal: Principal::new("A"),
+            key: Key::new("K"),
+        };
+        assert_eq!(k.to_string(), "A : newkey(K)");
+    }
+}

@@ -1,0 +1,565 @@
+//! The axiomatization of the reformulated logic (Section 4.2).
+//!
+//! The proof system has two inference rules — modus ponens (R1) and
+//! necessitation (R2) — and takes as axioms all instances of propositional
+//! tautologies plus the schemas **A1–A21** below. Each function builds one
+//! instance of a schema; [`AxiomName`] identifies schemas for reporting and
+//! the soundness model-checker.
+//!
+//! Schemas with side conditions ([`a5`], [`a6`]) return `None` when the
+//! side condition fails.
+
+use atl_lang::{Formula, Key, KeyTerm, Message, Principal};
+use std::fmt;
+
+/// Identifies an axiom schema of Section 4.2 (plus the `says` analogues of
+/// A12–A14, which the paper states hold as well).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum AxiomName {
+    A1,
+    A2,
+    A3,
+    A4,
+    A5,
+    A6,
+    A7,
+    A8,
+    A9,
+    A10,
+    A11,
+    A12,
+    A12Says,
+    A13,
+    A13Says,
+    A14,
+    A14Says,
+    A15,
+    A16,
+    A17,
+    A18,
+    A19,
+    A20,
+    A21Key,
+    A21Secret,
+    A22SigMeaning,
+    A23SeesSigned,
+    A24SeesPubEnc,
+    A25FreshSigned,
+    A26FreshPubEnc,
+    A27BelievesSeesSigned,
+    A28BelievesSeesPubEnc,
+}
+
+impl AxiomName {
+    /// Every schema name, for exhaustive iteration by the model checker.
+    pub const ALL: [AxiomName; 32] = [
+        AxiomName::A1,
+        AxiomName::A2,
+        AxiomName::A3,
+        AxiomName::A4,
+        AxiomName::A5,
+        AxiomName::A6,
+        AxiomName::A7,
+        AxiomName::A8,
+        AxiomName::A9,
+        AxiomName::A10,
+        AxiomName::A11,
+        AxiomName::A12,
+        AxiomName::A12Says,
+        AxiomName::A13,
+        AxiomName::A13Says,
+        AxiomName::A14,
+        AxiomName::A14Says,
+        AxiomName::A15,
+        AxiomName::A16,
+        AxiomName::A17,
+        AxiomName::A18,
+        AxiomName::A19,
+        AxiomName::A20,
+        AxiomName::A21Key,
+        AxiomName::A21Secret,
+        AxiomName::A22SigMeaning,
+        AxiomName::A23SeesSigned,
+        AxiomName::A24SeesPubEnc,
+        AxiomName::A25FreshSigned,
+        AxiomName::A26FreshPubEnc,
+        AxiomName::A27BelievesSeesSigned,
+        AxiomName::A28BelievesSeesPubEnc,
+    ];
+
+    /// A one-line description of the schema.
+    pub fn description(self) -> &'static str {
+        match self {
+            AxiomName::A1 => "belief closed under consequence",
+            AxiomName::A2 => "positive introspection",
+            AxiomName::A3 => "negative introspection",
+            AxiomName::A4 => "belief collects conjunctions (derived)",
+            AxiomName::A5 => "message meaning (shared key)",
+            AxiomName::A6 => "message meaning (shared secret)",
+            AxiomName::A7 => "seeing tuple components",
+            AxiomName::A8 => "seeing through held keys",
+            AxiomName::A9 => "seeing combined bodies",
+            AxiomName::A10 => "seeing forwarded bodies",
+            AxiomName::A11 => "believing one sees decryptable ciphertext",
+            AxiomName::A12 => "saying tuple components",
+            AxiomName::A12Says => "recently saying tuple components",
+            AxiomName::A13 => "saying combined bodies",
+            AxiomName::A13Says => "recently saying combined bodies",
+            AxiomName::A14 => "accountability for misused forwarding",
+            AxiomName::A14Says => "recent accountability for misused forwarding",
+            AxiomName::A15 => "jurisdiction over recent claims",
+            AxiomName::A16 => "freshness of containing tuples",
+            AxiomName::A17 => "freshness of encryptions",
+            AxiomName::A18 => "freshness of combinations",
+            AxiomName::A19 => "freshness of forwards",
+            AxiomName::A20 => "nonce verification: fresh sayings are recent",
+            AxiomName::A21Key => "shared keys are directionless",
+            AxiomName::A21Secret => "shared secrets are directionless",
+            AxiomName::A22SigMeaning => "message meaning (signature, public-key extension)",
+            AxiomName::A23SeesSigned => "seeing signed contents with the public key",
+            AxiomName::A24SeesPubEnc => "seeing public-key ciphertext with the private key",
+            AxiomName::A25FreshSigned => "freshness of signatures",
+            AxiomName::A26FreshPubEnc => "freshness of public-key encryptions",
+            AxiomName::A27BelievesSeesSigned => "believing one sees verifiable signatures",
+            AxiomName::A28BelievesSeesPubEnc => "believing one sees decryptable public-key ciphertext",
+        }
+    }
+}
+
+impl fmt::Display for AxiomName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A1: `P believes φ ∧ P believes (φ ⊃ ψ) ⊃ P believes ψ`.
+pub fn a1(p: &Principal, phi: &Formula, psi: &Formula) -> Formula {
+    Formula::implies(
+        Formula::and(
+            Formula::believes(p.clone(), phi.clone()),
+            Formula::believes(p.clone(), Formula::implies(phi.clone(), psi.clone())),
+        ),
+        Formula::believes(p.clone(), psi.clone()),
+    )
+}
+
+/// A2: `P believes φ ⊃ P believes (P believes φ)`.
+pub fn a2(p: &Principal, phi: &Formula) -> Formula {
+    let b = Formula::believes(p.clone(), phi.clone());
+    Formula::implies(b.clone(), Formula::believes(p.clone(), b))
+}
+
+/// A3: `¬P believes φ ⊃ P believes (¬P believes φ)`.
+pub fn a3(p: &Principal, phi: &Formula) -> Formula {
+    let nb = Formula::not(Formula::believes(p.clone(), phi.clone()));
+    Formula::implies(nb.clone(), Formula::believes(p.clone(), nb))
+}
+
+/// A4 (derived from A1 and propositional reasoning, stated in the paper):
+/// `P believes φ ∧ P believes ψ ⊃ P believes (φ ∧ ψ)`.
+pub fn a4(p: &Principal, phi: &Formula, psi: &Formula) -> Formula {
+    Formula::implies(
+        Formula::and(
+            Formula::believes(p.clone(), phi.clone()),
+            Formula::believes(p.clone(), psi.clone()),
+        ),
+        Formula::believes(p.clone(), Formula::and(phi.clone(), psi.clone())),
+    )
+}
+
+/// A5: `P ↔K↔ Q ∧ R sees {X^S}_K ⊃ Q said X`, provided `P ≠ S`.
+///
+/// Returns `None` when the side condition fails.
+pub fn a5(
+    p: &Principal,
+    k: &KeyTerm,
+    q: &Principal,
+    r: &Principal,
+    x: &Message,
+    s: &Principal,
+) -> Option<Formula> {
+    if p == s {
+        return None;
+    }
+    Some(Formula::implies(
+        Formula::and(
+            Formula::shared_key(p.clone(), k.clone(), q.clone()),
+            Formula::sees(r.clone(), Message::encrypted(x.clone(), k.clone(), s.clone())),
+        ),
+        Formula::said(q.clone(), x.clone()),
+    ))
+}
+
+/// A6: `P =Y= Q ∧ R sees (X^S)_Y ⊃ Q said X`, provided `P ≠ S`.
+///
+/// Returns `None` when the side condition fails.
+pub fn a6(
+    p: &Principal,
+    y: &Message,
+    q: &Principal,
+    r: &Principal,
+    x: &Message,
+    s: &Principal,
+) -> Option<Formula> {
+    if p == s {
+        return None;
+    }
+    Some(Formula::implies(
+        Formula::and(
+            Formula::shared_secret(p.clone(), y.clone(), q.clone()),
+            Formula::sees(
+                r.clone(),
+                Message::combined(x.clone(), y.clone(), s.clone()),
+            ),
+        ),
+        Formula::said(q.clone(), x.clone()),
+    ))
+}
+
+/// A7: `P sees (X1, …, Xk) ⊃ P sees Xi`.
+pub fn a7(p: &Principal, items: &[Message], i: usize) -> Formula {
+    Formula::implies(
+        Formula::sees(p.clone(), Message::Tuple(items.to_vec())),
+        Formula::sees(p.clone(), items[i].clone()),
+    )
+}
+
+/// A8: `P sees {X^Q}_K ∧ P has K ⊃ P sees X`.
+pub fn a8(p: &Principal, x: &Message, q: &Principal, k: &KeyTerm) -> Formula {
+    Formula::implies(
+        Formula::and(
+            Formula::sees(p.clone(), Message::encrypted(x.clone(), k.clone(), q.clone())),
+            Formula::has(p.clone(), k.clone()),
+        ),
+        Formula::sees(p.clone(), x.clone()),
+    )
+}
+
+/// A9: `P sees (X^Q)_Y ⊃ P sees X`.
+pub fn a9(p: &Principal, x: &Message, q: &Principal, y: &Message) -> Formula {
+    Formula::implies(
+        Formula::sees(
+            p.clone(),
+            Message::combined(x.clone(), y.clone(), q.clone()),
+        ),
+        Formula::sees(p.clone(), x.clone()),
+    )
+}
+
+/// A10: `P sees 'X' ⊃ P sees X`.
+pub fn a10(p: &Principal, x: &Message) -> Formula {
+    Formula::implies(
+        Formula::sees(p.clone(), Message::forwarded(x.clone())),
+        Formula::sees(p.clone(), x.clone()),
+    )
+}
+
+/// A11: `P sees {X^Q}_K ∧ P has K ⊃ P believes (P sees {X^Q}_K)`.
+pub fn a11(p: &Principal, x: &Message, q: &Principal, k: &KeyTerm) -> Formula {
+    let cipher = Message::encrypted(x.clone(), k.clone(), q.clone());
+    Formula::implies(
+        Formula::and(
+            Formula::sees(p.clone(), cipher.clone()),
+            Formula::has(p.clone(), k.clone()),
+        ),
+        Formula::believes(p.clone(), Formula::sees(p.clone(), cipher)),
+    )
+}
+
+/// A12: `P said (X1, …, Xk) ⊃ P said Xi` (`says` analogue via `says`).
+pub fn a12(p: &Principal, items: &[Message], i: usize, says: bool) -> Formula {
+    let tuple = Message::Tuple(items.to_vec());
+    if says {
+        Formula::implies(
+            Formula::says(p.clone(), tuple),
+            Formula::says(p.clone(), items[i].clone()),
+        )
+    } else {
+        Formula::implies(
+            Formula::said(p.clone(), tuple),
+            Formula::said(p.clone(), items[i].clone()),
+        )
+    }
+}
+
+/// A13: `P said (X^Q)_Y ⊃ P said X` (`says` analogue via `says`).
+pub fn a13(p: &Principal, x: &Message, q: &Principal, y: &Message, says: bool) -> Formula {
+    let combined = Message::combined(x.clone(), y.clone(), q.clone());
+    if says {
+        Formula::implies(
+            Formula::says(p.clone(), combined),
+            Formula::says(p.clone(), x.clone()),
+        )
+    } else {
+        Formula::implies(
+            Formula::said(p.clone(), combined),
+            Formula::said(p.clone(), x.clone()),
+        )
+    }
+}
+
+/// A14: `P said 'X' ∧ ¬P sees X ⊃ P said X` (`says` analogue via `says`).
+///
+/// Any principal misusing the forwarding syntax is held accountable for the
+/// forwarded contents.
+pub fn a14(p: &Principal, x: &Message, says: bool) -> Formula {
+    let fwd = Message::forwarded(x.clone());
+    let not_seen = Formula::not(Formula::sees(p.clone(), x.clone()));
+    if says {
+        Formula::implies(
+            Formula::and(Formula::says(p.clone(), fwd), not_seen),
+            Formula::says(p.clone(), x.clone()),
+        )
+    } else {
+        Formula::implies(
+            Formula::and(Formula::said(p.clone(), fwd), not_seen),
+            Formula::said(p.clone(), x.clone()),
+        )
+    }
+}
+
+/// A15: `P controls φ ∧ P says φ ⊃ φ` — the honesty-free jurisdiction
+/// axiom (Section 3.2).
+pub fn a15(p: &Principal, phi: &Formula) -> Formula {
+    Formula::implies(
+        Formula::and(
+            Formula::controls(p.clone(), phi.clone()),
+            Formula::says(p.clone(), phi.clone().into_message()),
+        ),
+        phi.clone(),
+    )
+}
+
+/// A16: `fresh(Xi) ⊃ fresh((X1, …, Xk))`.
+pub fn a16(items: &[Message], i: usize) -> Formula {
+    Formula::implies(
+        Formula::fresh(items[i].clone()),
+        Formula::fresh(Message::Tuple(items.to_vec())),
+    )
+}
+
+/// A17: `fresh(X) ⊃ fresh({X^Q}_K)`.
+pub fn a17(x: &Message, q: &Principal, k: &KeyTerm) -> Formula {
+    Formula::implies(
+        Formula::fresh(x.clone()),
+        Formula::fresh(Message::encrypted(x.clone(), k.clone(), q.clone())),
+    )
+}
+
+/// A18: `fresh(X) ⊃ fresh((X^Q)_Y)`.
+pub fn a18(x: &Message, q: &Principal, y: &Message) -> Formula {
+    Formula::implies(
+        Formula::fresh(x.clone()),
+        Formula::fresh(Message::combined(x.clone(), y.clone(), q.clone())),
+    )
+}
+
+/// A19: `fresh(X) ⊃ fresh('X')`.
+pub fn a19(x: &Message) -> Formula {
+    Formula::implies(
+        Formula::fresh(x.clone()),
+        Formula::fresh(Message::forwarded(x.clone())),
+    )
+}
+
+/// A20: `fresh(X) ∧ P said X ⊃ P says X` — the heart of
+/// nonce-verification, now a definition of freshness.
+pub fn a20(p: &Principal, x: &Message) -> Formula {
+    Formula::implies(
+        Formula::and(
+            Formula::fresh(x.clone()),
+            Formula::said(p.clone(), x.clone()),
+        ),
+        Formula::says(p.clone(), x.clone()),
+    )
+}
+
+/// A21 (keys): `P ↔K↔ Q ≡ Q ↔K↔ P`.
+pub fn a21_key(p: &Principal, k: &KeyTerm, q: &Principal) -> Formula {
+    Formula::iff(
+        Formula::shared_key(p.clone(), k.clone(), q.clone()),
+        Formula::shared_key(q.clone(), k.clone(), p.clone()),
+    )
+}
+
+/// A22 (public-key extension): `→K Q ∧ R sees {X^S}_K⁻¹ ⊃ Q said X` —
+/// only `Q` signs with `K⁻¹`, so any verifiable signature traces to `Q`.
+/// Unlike A5, no side condition is needed: signing capability, not the
+/// from field, identifies the author.
+pub fn a22(
+    k: &KeyTerm,
+    q: &Principal,
+    r: &Principal,
+    x: &Message,
+    s: &Principal,
+) -> Formula {
+    Formula::implies(
+        Formula::and(
+            Formula::public_key(k.clone(), q.clone()),
+            Formula::sees(r.clone(), Message::signed(x.clone(), k.clone(), s.clone())),
+        ),
+        Formula::said(q.clone(), x.clone()),
+    )
+}
+
+/// A23 (public-key extension): `P sees {X^Q}_K⁻¹ ∧ P has K ⊃ P sees X` —
+/// the verification key opens signatures.
+pub fn a23(p: &Principal, x: &Message, q: &Principal, k: &KeyTerm) -> Formula {
+    Formula::implies(
+        Formula::and(
+            Formula::sees(p.clone(), Message::signed(x.clone(), k.clone(), q.clone())),
+            Formula::has(p.clone(), k.clone()),
+        ),
+        Formula::sees(p.clone(), x.clone()),
+    )
+}
+
+/// A24 (public-key extension): `P sees {X^Q}_K ∧ P has K⁻¹ ⊃ P sees X` —
+/// the private key opens public-key ciphertext.
+pub fn a24(p: &Principal, x: &Message, q: &Principal, k: &Key) -> Formula {
+    Formula::implies(
+        Formula::and(
+            Formula::sees(
+                p.clone(),
+                Message::pub_encrypted(x.clone(), k.clone(), q.clone()),
+            ),
+            Formula::has(p.clone(), k.inverse()),
+        ),
+        Formula::sees(p.clone(), x.clone()),
+    )
+}
+
+/// A25 (public-key extension): `fresh(X) ⊃ fresh({X^Q}_K⁻¹)`.
+pub fn a25(x: &Message, q: &Principal, k: &KeyTerm) -> Formula {
+    Formula::implies(
+        Formula::fresh(x.clone()),
+        Formula::fresh(Message::signed(x.clone(), k.clone(), q.clone())),
+    )
+}
+
+/// A26 (public-key extension): `fresh(X) ⊃ fresh({X^Q}_K)`.
+pub fn a26(x: &Message, q: &Principal, k: &KeyTerm) -> Formula {
+    Formula::implies(
+        Formula::fresh(x.clone()),
+        Formula::fresh(Message::pub_encrypted(x.clone(), k.clone(), q.clone())),
+    )
+}
+
+/// A27 (public-key extension): the A11 analogue for signatures.
+pub fn a27(p: &Principal, x: &Message, q: &Principal, k: &KeyTerm) -> Formula {
+    let sig = Message::signed(x.clone(), k.clone(), q.clone());
+    Formula::implies(
+        Formula::and(
+            Formula::sees(p.clone(), sig.clone()),
+            Formula::has(p.clone(), k.clone()),
+        ),
+        Formula::believes(p.clone(), Formula::sees(p.clone(), sig)),
+    )
+}
+
+/// A28 (public-key extension): the A11 analogue for public-key
+/// ciphertext.
+pub fn a28(p: &Principal, x: &Message, q: &Principal, k: &Key) -> Formula {
+    let cipher = Message::pub_encrypted(x.clone(), k.clone(), q.clone());
+    Formula::implies(
+        Formula::and(
+            Formula::sees(p.clone(), cipher.clone()),
+            Formula::has(p.clone(), k.inverse()),
+        ),
+        Formula::believes(p.clone(), Formula::sees(p.clone(), cipher)),
+    )
+}
+
+/// A21 (secrets): `P =Y= Q ≡ Q =Y= P`.
+pub fn a21_secret(p: &Principal, y: &Message, q: &Principal) -> Formula {
+    Formula::iff(
+        Formula::shared_secret(p.clone(), y.clone(), q.clone()),
+        Formula::shared_secret(q.clone(), y.clone(), p.clone()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_lang::{Key, Nonce};
+
+    fn setup() -> (Principal, Principal, Principal, KeyTerm, Message) {
+        (
+            Principal::new("A"),
+            Principal::new("B"),
+            Principal::new("S"),
+            KeyTerm::Key(Key::new("Kab")),
+            Message::nonce(Nonce::new("Na")),
+        )
+    }
+
+    #[test]
+    fn a5_respects_side_condition() {
+        let (a, b, s, k, x) = setup();
+        assert!(a5(&a, &k, &b, &a, &x, &a).is_none());
+        let f = a5(&a, &k, &b, &a, &x, &s).unwrap();
+        assert!(f.to_string().contains("B said"));
+    }
+
+    #[test]
+    fn a6_respects_side_condition() {
+        let (a, b, s, _, x) = setup();
+        let y = Message::nonce(Nonce::new("pw"));
+        assert!(a6(&a, &y, &b, &a, &x, &a).is_none());
+        assert!(a6(&a, &y, &b, &a, &x, &s).is_some());
+    }
+
+    #[test]
+    fn a15_embeds_formula_as_message() {
+        let (a, b, s, k, _) = setup();
+        let phi = Formula::shared_key(a.clone(), k, b);
+        let f = a15(&s, &phi);
+        assert!(f.to_string().contains("S says <<A <-Kab-> B>>"));
+    }
+
+    #[test]
+    fn a12_says_variant_uses_says() {
+        let (a, _, _, _, x) = setup();
+        let items = vec![x.clone(), Message::nonce(Nonce::new("Nb"))];
+        let said = a12(&a, &items, 0, false);
+        let says = a12(&a, &items, 0, true);
+        assert!(said.to_string().contains("said"));
+        assert!(says.to_string().contains("says"));
+        assert_ne!(said, says);
+    }
+
+    #[test]
+    fn a21_is_a_biconditional() {
+        let (a, b, _, k, _) = setup();
+        let f = a21_key(&a, &k, &b);
+        // iff = (⊃) ∧ (⊂), elaborated through ¬/∧.
+        assert!(matches!(f, Formula::And(..)));
+    }
+
+    #[test]
+    fn descriptions_exist_for_all() {
+        for name in AxiomName::ALL {
+            assert!(!name.description().is_empty());
+        }
+        assert_eq!(AxiomName::ALL.len(), 32);
+    }
+
+    #[test]
+    fn a22_has_no_side_condition() {
+        let (a, b, s, k, x) = setup();
+        let f = a22(&k, &b, &a, &x, &s);
+        assert!(f.to_string().contains("B said"));
+        // Even with the from field naming the key owner, the instance is
+        // well-formed (the signature itself is the evidence).
+        let f2 = a22(&k, &b, &a, &x, &b);
+        assert!(f2.to_string().contains("B said"));
+    }
+
+    #[test]
+    fn a24_uses_the_inverse_key() {
+        let (a, b, _, _, x) = setup();
+        let f = a24(&a, &x, &b, &Key::new("Kb"));
+        assert!(f.to_string().contains("Kb_inv"));
+    }
+}

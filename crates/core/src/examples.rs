@@ -1,0 +1,120 @@
+//! Worked examples from the paper.
+//!
+//! Currently: the three-principal coin-toss system of Section 7, with
+//! which the paper shows that initial assumptions violating restriction
+//! **I2** admit *no* optimum good-run vector.
+
+use crate::goodruns::InitialAssumptions;
+use atl_lang::{Formula, Prop};
+use atl_model::{Interpretation, RunBuilder, System};
+
+/// The coin-toss counterexample (Section 7).
+///
+/// Three principals `P1`, `P2`, `P3`; each principal's state records a
+/// coin outcome. The two runs differ only in `P2`'s coin — heads in run 0,
+/// tails in run 1 — which neither `P1` nor `P3` can observe. The
+/// assumptions make `P1` and `P3` *mistaken about each other's beliefs*:
+///
+/// - `P1` believes the coin landed tails, and believes `P3` believes the
+///   same;
+/// - `P3` believes the coin landed heads, and believes `P1` believes the
+///   same.
+///
+/// These violate I2, and the paper shows `G_1` can contain the tails run
+/// or `G_3` the heads run, **but not both** — so no maximum supporting
+/// vector exists.
+pub fn coin_toss() -> (System, InitialAssumptions) {
+    let mk = |p2_coin: &str| {
+        let mut b = RunBuilder::new(0);
+        b.principal("P1", []);
+        b.principal("P2", []);
+        b.principal("P3", []);
+        b.datum("P1", "coin", "T");
+        b.datum("P2", "coin", p2_coin);
+        b.datum("P3", "coin", "H");
+        b.build().expect("single-state run reaches time 0")
+    };
+    let system = System::new([mk("H"), mk("T")])
+        .with_interpretation(Interpretation::empty().with_data_props());
+
+    let heads = Formula::prop(Prop::new("P2.coin=H"));
+    let tails = Formula::prop(Prop::new("P2.coin=T"));
+    let mut assumptions = InitialAssumptions::new();
+    assumptions.assume("P1", tails.clone());
+    assumptions.assume("P1", Formula::believes("P3", tails));
+    assumptions.assume("P3", heads.clone());
+    assumptions.assume("P3", Formula::believes("P1", heads));
+    (system, assumptions)
+}
+
+/// Index of the heads run in the [`coin_toss`] system.
+pub const HEADS_RUN: usize = 0;
+/// Index of the tails run in the [`coin_toss`] system.
+pub const TAILS_RUN: usize = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goodruns::{construct, find_witness_above, supports};
+    use crate::semantics::GoodRuns;
+    use atl_lang::Principal;
+    use std::collections::BTreeSet;
+
+    fn set(runs: &[usize]) -> BTreeSet<usize> {
+        runs.iter().copied().collect()
+    }
+
+    #[test]
+    fn assumptions_violate_i2() {
+        let (_, assumptions) = coin_toss();
+        assert!(assumptions.violates_i2().is_some());
+    }
+
+    #[test]
+    fn the_two_maximal_vectors_both_support() {
+        let (sys, assumptions) = coin_toss();
+        // G1 = {tails run}, G3 = ∅.
+        let mut via_p1 = GoodRuns::all_runs(&sys);
+        via_p1.set("P1", set(&[TAILS_RUN]));
+        via_p1.set("P3", set(&[]));
+        assert!(supports(&sys, &via_p1, &assumptions).unwrap());
+        // G1 = ∅, G3 = {heads run}.
+        let mut via_p3 = GoodRuns::all_runs(&sys);
+        via_p3.set("P1", set(&[]));
+        via_p3.set("P3", set(&[HEADS_RUN]));
+        assert!(supports(&sys, &via_p3, &assumptions).unwrap());
+        // They are incomparable.
+        assert!(!via_p1.le(&via_p3));
+        assert!(!via_p3.le(&via_p1));
+    }
+
+    #[test]
+    fn their_join_does_not_support() {
+        // The would-be maximum — G1 = {tails}, G3 = {heads} — fails:
+        // relative to it, P1 believes P3 believes tails is false at the
+        // tails run (P3's possible points lie in the heads run).
+        let (sys, assumptions) = coin_toss();
+        let mut join = GoodRuns::all_runs(&sys);
+        join.set("P1", set(&[TAILS_RUN]));
+        join.set("P3", set(&[HEADS_RUN]));
+        assert!(!supports(&sys, &join, &assumptions).unwrap());
+    }
+
+    #[test]
+    fn construction_supports_but_is_not_optimum() {
+        // Theorem 2 still applies (I1 holds): the construction supports I.
+        // Theorem 3 does not (I2 fails): the result is not optimum.
+        let (sys, assumptions) = coin_toss();
+        let goods = construct(&sys, &assumptions).unwrap();
+        assert!(supports(&sys, &goods, &assumptions).unwrap());
+        // Stage 2 empties both belief sets.
+        assert!(goods.get(&Principal::new("P1")).is_empty());
+        assert!(goods.get(&Principal::new("P3")).is_empty());
+        // And a supporting vector strictly above exists.
+        let witness = find_witness_above(&sys, &goods, &assumptions, 1 << 20)
+            .unwrap()
+            .expect("no optimum without I2");
+        assert!(supports(&sys, &witness, &assumptions).unwrap());
+        assert!(!witness.le(&goods));
+    }
+}

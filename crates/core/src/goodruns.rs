@@ -1,0 +1,514 @@
+//! Choosing the good runs (Section 7).
+//!
+//! Belief is defined relative to a vector `G = (G_1, …, G_n)` of good-run
+//! sets. Section 7 shows how to *construct* `G` from each principal's
+//! initial assumptions `I_i` (formulas `P_i believes φ`):
+//!
+//! - under restriction **I1** (no belief within a negation) the iterative
+//!   construction below yields a `G` that *supports* `I` — every initial
+//!   assumption holds at every time-0 point relative to `G` (Theorem 2);
+//! - under **I1 + I2** (no mistaken cross-beliefs) the constructed `G` is
+//!   *optimum*: the maximum, under pointwise inclusion, of all supporting
+//!   vectors (Theorem 3);
+//! - without I2 there is in general **no** optimum — see
+//!   [`examples::coin_toss`](crate::examples) for the paper's
+//!   counterexample.
+
+use crate::semantics::{GoodRuns, Semantics, SemanticsError};
+use atl_lang::{Formula, Principal};
+use atl_model::{Point, System};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the good-run construction and its checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GoodRunsError {
+    /// An assumption registered for `P` is not of the form `P believes ψ`.
+    BadShape(Formula),
+    /// An assumption violates restriction I1 (belief within a negation).
+    ViolatesI1(Formula),
+    /// Evaluation failed (unbound parameter or bad point).
+    Semantics(SemanticsError),
+    /// The optimality search space exceeds the caller's limit.
+    SearchSpaceTooLarge {
+        /// Candidate vectors that would need checking.
+        candidates: u128,
+        /// The configured cap.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for GoodRunsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoodRunsError::BadShape(formula) => {
+                write!(f, "assumption {formula} is not of the form `P believes ψ` for its principal")
+            }
+            GoodRunsError::ViolatesI1(formula) => {
+                write!(f, "assumption {formula} places belief under negation (restriction I1)")
+            }
+            GoodRunsError::Semantics(e) => write!(f, "{e}"),
+            GoodRunsError::SearchSpaceTooLarge { candidates, limit } => {
+                write!(f, "optimality search over {candidates} vectors exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for GoodRunsError {}
+
+impl From<SemanticsError> for GoodRunsError {
+    fn from(e: SemanticsError) -> Self {
+        GoodRunsError::Semantics(e)
+    }
+}
+
+/// The initial-assumption vector `I = (I_1, …, I_n)`: for each principal,
+/// the formulas `P_i believes ψ` describing its preconceived beliefs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InitialAssumptions {
+    map: BTreeMap<Principal, Vec<Formula>>,
+}
+
+impl InitialAssumptions {
+    /// An empty vector.
+    pub fn new() -> Self {
+        InitialAssumptions::default()
+    }
+
+    /// Registers the assumption `P believes body`.
+    pub fn assume(&mut self, p: impl Into<Principal>, body: Formula) -> &mut Self {
+        let p = p.into();
+        self.map
+            .entry(p.clone())
+            .or_default()
+            .push(Formula::believes(p, body));
+        self
+    }
+
+    /// The principals with assumptions.
+    pub fn principals(&self) -> impl Iterator<Item = &Principal> {
+        self.map.keys()
+    }
+
+    /// `P`'s assumptions (each of the form `P believes ψ`).
+    pub fn of(&self, p: &Principal) -> &[Formula] {
+        self.map.get(p).map_or(&[], Vec::as_slice)
+    }
+
+    /// Every assumption, tagged with its principal.
+    pub fn iter(&self) -> impl Iterator<Item = (&Principal, &Formula)> {
+        self.map
+            .iter()
+            .flat_map(|(p, fs)| fs.iter().map(move |f| (p, f)))
+    }
+
+    /// Checks the structural requirements: each assumption for `P` has the
+    /// shape `P believes ψ` and satisfies restriction I1.
+    ///
+    /// # Errors
+    ///
+    /// [`GoodRunsError::BadShape`] or [`GoodRunsError::ViolatesI1`].
+    pub fn check(&self) -> Result<(), GoodRunsError> {
+        for (p, f) in self.iter() {
+            match f {
+                Formula::Believes(q, _) if q == p => {}
+                _ => return Err(GoodRunsError::BadShape(f.clone())),
+            }
+            if f.has_belief_under_negation() {
+                return Err(GoodRunsError::ViolatesI1(f.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks restriction **I2**: if `I_i` contains
+    /// `P_i believes (P_j believes φ)`, then `I_j` contains
+    /// `P_j believes φ` — one principal's assumptions make no claims about
+    /// another's beliefs that the other does not itself assume.
+    ///
+    /// Returns the first offending assumption, if any.
+    pub fn violates_i2(&self) -> Option<&Formula> {
+        for (_, f) in self.iter() {
+            let Formula::Believes(_, body) = f else {
+                continue;
+            };
+            if let Formula::Believes(j, _) = &**body {
+                let present = self.of(j).iter().any(|g| g == &**body);
+                if !present {
+                    return Some(f);
+                }
+            }
+        }
+        None
+    }
+
+    /// The maximum belief nesting depth across all assumptions.
+    pub fn max_depth(&self) -> usize {
+        self.iter().map(|(_, f)| f.belief_depth()).max().unwrap_or(0)
+    }
+}
+
+/// A record of the Section 7 construction's progress: the size of each
+/// principal's good-run set after every stage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConstructionReport {
+    /// `stages[j][p]` is |G_p^{j+1}| (stage 0 of the vector is `G^1`).
+    pub stages: Vec<BTreeMap<Principal, usize>>,
+}
+
+impl ConstructionReport {
+    /// The number of iteration stages performed (the maximum belief
+    /// depth of the assumptions).
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if some principal's good-run set became empty — that
+    /// principal believes the absurd relative to the constructed vector.
+    pub fn emptied(&self) -> Vec<&Principal> {
+        self.stages
+            .last()
+            .map(|m| m.iter().filter(|(_, n)| **n == 0).map(|(p, _)| p).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// The iterative construction of Section 7.
+///
+/// `G⁰ = (R, …, R)`; at stage `j`, `G_i^j` keeps the runs of `G_i^{j-1}`
+/// whose time-0 point satisfies, relative to `G^{j-1}`, the body of every
+/// depth-`j` assumption of `P_i`; the result is `G_i = ⋂_j G_i^j`.
+///
+/// # Errors
+///
+/// Structural errors from [`InitialAssumptions::check`], or evaluation
+/// errors.
+pub fn construct(
+    system: &System,
+    assumptions: &InitialAssumptions,
+) -> Result<GoodRuns, GoodRunsError> {
+    construct_with_report(system, assumptions).map(|(g, _)| g)
+}
+
+/// As [`construct`], also returning the per-stage [`ConstructionReport`].
+///
+/// # Errors
+///
+/// As for [`construct`].
+pub fn construct_with_report(
+    system: &System,
+    assumptions: &InitialAssumptions,
+) -> Result<(GoodRuns, ConstructionReport), GoodRunsError> {
+    assumptions.check()?;
+    let mut current = GoodRuns::all_runs(system);
+    let all: BTreeSet<usize> = (0..system.len()).collect();
+    // Make every assuming principal explicit so `set` updates land.
+    for p in assumptions.principals() {
+        current.set(p.clone(), all.clone());
+    }
+    let mut report = ConstructionReport::default();
+    for j in 1..=assumptions.max_depth() {
+        let sem = Semantics::new(system, current.clone());
+        let mut next = current.clone();
+        let mut stage = BTreeMap::new();
+        for p in assumptions.principals() {
+            let mut keep = current.get(p).clone();
+            for f in assumptions.of(p) {
+                if f.belief_depth() != j {
+                    continue;
+                }
+                let Formula::Believes(_, body) = f else {
+                    unreachable!("checked shape");
+                };
+                let mut surviving = BTreeSet::new();
+                for &ri in &keep {
+                    if sem.eval(Point::new(ri, 0), body)? {
+                        surviving.insert(ri);
+                    }
+                }
+                keep = surviving;
+            }
+            stage.insert(p.clone(), keep.len());
+            next.set(p.clone(), keep);
+        }
+        report.stages.push(stage);
+        current = next;
+    }
+    Ok((current, report))
+}
+
+/// True if `goods` *supports* `assumptions`: every assumption holds at
+/// every time-0 point of the system, relative to `goods`.
+///
+/// # Errors
+///
+/// Evaluation errors.
+pub fn supports(
+    system: &System,
+    goods: &GoodRuns,
+    assumptions: &InitialAssumptions,
+) -> Result<bool, GoodRunsError> {
+    let sem = Semantics::new(system, goods.clone());
+    for (_, f) in assumptions.iter() {
+        for point in system.initial_points() {
+            if !sem.eval(point, f)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Exhaustively decides whether `goods` is the **optimum** supporting
+/// vector: every supporting vector `G'` satisfies `G' ≤ goods`.
+///
+/// Only the principals carrying assumptions are varied (others are fixed
+/// at "all runs", which is trivially maximal).
+///
+/// # Errors
+///
+/// [`GoodRunsError::SearchSpaceTooLarge`] if more than `limit` candidate
+/// vectors would be examined; evaluation errors.
+pub fn is_optimum(
+    system: &System,
+    goods: &GoodRuns,
+    assumptions: &InitialAssumptions,
+    limit: u128,
+) -> Result<bool, GoodRunsError> {
+    Ok(find_witness_above(system, goods, assumptions, limit)?.is_none())
+}
+
+/// If `goods` is not optimum, returns a supporting vector not below it.
+///
+/// # Errors
+///
+/// As for [`is_optimum`].
+pub fn find_witness_above(
+    system: &System,
+    goods: &GoodRuns,
+    assumptions: &InitialAssumptions,
+    limit: u128,
+) -> Result<Option<GoodRuns>, GoodRunsError> {
+    let principals: Vec<&Principal> = assumptions.principals().collect();
+    let n_runs = system.len() as u32;
+    let per = 1u128 << n_runs;
+    let candidates = per.checked_pow(principals.len() as u32).unwrap_or(u128::MAX);
+    if candidates > limit {
+        return Err(GoodRunsError::SearchSpaceTooLarge { candidates, limit });
+    }
+    let mut counter = vec![0u128; principals.len()];
+    loop {
+        // Materialize the candidate vector from the counters.
+        let mut candidate = GoodRuns::all_runs(system);
+        for (i, p) in principals.iter().enumerate() {
+            let mask = counter[i];
+            let runs: BTreeSet<usize> = (0..system.len())
+                .filter(|r| mask & (1 << r) != 0)
+                .collect();
+            candidate.set((*p).clone(), runs);
+        }
+        if !candidate.le(goods) && supports(system, &candidate, assumptions)? {
+            return Ok(Some(candidate));
+        }
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == principals.len() {
+                return Ok(None);
+            }
+            counter[i] += 1;
+            if counter[i] < per {
+                break;
+            }
+            counter[i] = 0;
+            i += 1;
+        }
+        if principals.is_empty() {
+            return Ok(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_lang::{Key, Message, Nonce};
+    use atl_model::RunBuilder;
+
+    fn nonce(s: &str) -> Message {
+        Message::nonce(Nonce::new(s))
+    }
+
+    /// Two runs: in run 0 the environment never touches Kab; in run 1 the
+    /// environment guesses Kab and encrypts with it (so Kab is not a good
+    /// key there).
+    fn two_run_system() -> System {
+        let good = {
+            let mut b = RunBuilder::new(0);
+            b.principal("A", [Key::new("Kab")]);
+            b.principal("B", [Key::new("Kab")]);
+            let c = Message::encrypted(nonce("X"), Key::new("Kab"), Principal::new("A"));
+            b.send("A", c.clone(), "B").unwrap();
+            b.receive("B", &c).unwrap();
+            b.build().unwrap()
+        };
+        let bad = {
+            let mut b = RunBuilder::new(0);
+            b.principal("A", [Key::new("Kab")]);
+            b.principal("B", [Key::new("Kab")]);
+            let env = Principal::environment();
+            b.new_key(env.clone(), "Kab");
+            let forged = Message::encrypted(nonce("X"), Key::new("Kab"), Principal::new("A"));
+            b.send(env, forged.clone(), "B").unwrap();
+            b.receive("B", &forged).unwrap();
+            b.build().unwrap()
+        };
+        System::new([good, bad])
+    }
+
+    fn key_assumption() -> InitialAssumptions {
+        let mut i = InitialAssumptions::new();
+        i.assume("A", Formula::shared_key("A", Key::new("Kab"), "B"));
+        i
+    }
+
+    #[test]
+    fn knowledge_alone_cannot_support_key_beliefs() {
+        // The Section 6 motivation: with G = all runs, A cannot believe
+        // Kab is good, because a key-guessing run is indistinguishable.
+        let sys = two_run_system();
+        let goods = GoodRuns::all_runs(&sys);
+        assert!(!supports(&sys, &goods, &key_assumption()).unwrap());
+    }
+
+    #[test]
+    fn construction_supports_depth_one_assumptions() {
+        let sys = two_run_system();
+        let i = key_assumption();
+        let goods = construct(&sys, &i).unwrap();
+        // Run 1 (environment encrypts with Kab) is excluded from A's good
+        // runs; run 0 stays.
+        assert_eq!(goods.get(&Principal::new("A")), &[0usize].into_iter().collect());
+        assert!(supports(&sys, &goods, &i).unwrap());
+    }
+
+    #[test]
+    fn construction_is_optimum_under_i1_i2_depth_one() {
+        let sys = two_run_system();
+        let i = key_assumption();
+        assert!(i.violates_i2().is_none());
+        let goods = construct(&sys, &i).unwrap();
+        assert!(is_optimum(&sys, &goods, &i, 1 << 20).unwrap());
+    }
+
+    #[test]
+    fn nested_assumptions_stratify() {
+        let sys = two_run_system();
+        let mut i = InitialAssumptions::new();
+        let base = Formula::shared_key("A", Key::new("Kab"), "B");
+        i.assume("A", base.clone());
+        i.assume("B", base.clone());
+        // Depth-2: A believes (B believes base); I2 satisfied since B
+        // assumes base itself.
+        i.assume("A", Formula::believes("B", base));
+        assert!(i.violates_i2().is_none());
+        assert_eq!(i.max_depth(), 2);
+        let goods = construct(&sys, &i).unwrap();
+        assert!(supports(&sys, &goods, &i).unwrap());
+        assert!(is_optimum(&sys, &goods, &i, 1 << 20).unwrap());
+    }
+
+    #[test]
+    fn i1_violations_rejected() {
+        let mut i = InitialAssumptions::new();
+        i.assume(
+            "A",
+            Formula::not(Formula::believes("A", Formula::True)),
+        );
+        let sys = two_run_system();
+        assert!(matches!(
+            construct(&sys, &i),
+            Err(GoodRunsError::ViolatesI1(_))
+        ));
+    }
+
+    #[test]
+    fn negation_inside_belief_is_allowed_by_i1() {
+        // "A believes K is not a good key" is fine.
+        let sys = two_run_system();
+        let mut i = InitialAssumptions::new();
+        i.assume(
+            "A",
+            Formula::not(Formula::shared_key("A", Key::new("Kother"), "B")),
+        );
+        assert!(construct(&sys, &i).is_ok());
+    }
+
+    #[test]
+    fn i2_detection() {
+        let mut i = InitialAssumptions::new();
+        i.assume("A", Formula::believes("B", Formula::True));
+        assert!(i.violates_i2().is_some());
+        let mut ok = InitialAssumptions::new();
+        ok.assume("B", Formula::True);
+        ok.assume("A", Formula::believes("B", Formula::True));
+        assert!(ok.violates_i2().is_none());
+    }
+
+    #[test]
+    fn search_space_guard() {
+        let sys = two_run_system();
+        let i = key_assumption();
+        let goods = construct(&sys, &i).unwrap();
+        let err = is_optimum(&sys, &goods, &i, 1).unwrap_err();
+        assert!(matches!(err, GoodRunsError::SearchSpaceTooLarge { .. }));
+    }
+
+    #[test]
+    fn unsatisfiable_assumption_empties_good_set() {
+        // An assumption false at all time-0 points leaves no good runs:
+        // the principal then believes everything (including the
+        // assumption), so the construction still supports I.
+        let sys = two_run_system();
+        let mut i = InitialAssumptions::new();
+        i.assume("A", Formula::falsum());
+        let goods = construct(&sys, &i).unwrap();
+        assert!(goods.get(&Principal::new("A")).is_empty());
+        assert!(supports(&sys, &goods, &i).unwrap());
+    }
+
+    #[test]
+    fn construction_report_tracks_stages() {
+        let sys = two_run_system();
+        let mut i = InitialAssumptions::new();
+        let base = Formula::shared_key("A", Key::new("Kab"), "B");
+        i.assume("A", base.clone());
+        i.assume("B", base.clone());
+        i.assume("A", Formula::believes("B", base));
+        let (_, report) = construct_with_report(&sys, &i).unwrap();
+        assert_eq!(report.depth(), 2);
+        // Stage 1 trims both to the clean run; stage 2 keeps them there.
+        assert_eq!(report.stages[0][&Principal::new("A")], 1);
+        assert_eq!(report.stages[1][&Principal::new("A")], 1);
+        assert!(report.emptied().is_empty());
+    }
+
+    #[test]
+    fn construction_report_flags_absurd_believers() {
+        let (sys, assumptions) = crate::examples::coin_toss();
+        let (_, report) = construct_with_report(&sys, &assumptions).unwrap();
+        let emptied = report.emptied();
+        assert_eq!(emptied.len(), 2); // P1 and P3
+    }
+
+    #[test]
+    fn empty_assumptions_yield_all_runs() {
+        let sys = two_run_system();
+        let i = InitialAssumptions::new();
+        let goods = construct(&sys, &i).unwrap();
+        assert_eq!(goods, GoodRuns::all_runs(&sys));
+        assert!(supports(&sys, &goods, &i).unwrap());
+    }
+}

@@ -1,0 +1,189 @@
+//! Exporting the possibility relation as a Kripke structure.
+//!
+//! The Section 6 semantics is a Kripke model whose worlds are the points
+//! of the system and whose per-principal accessibility is the
+//! hidden-state/good-run possibility relation. This module materializes
+//! that structure — for inspection, for graph rendering (Graphviz DOT),
+//! and for tests that reason about the relation's shape (e.g. its
+//! euclidean-transitivity on good runs, which is what makes A2/A3 sound).
+
+use crate::semantics::Semantics;
+use atl_lang::Principal;
+use atl_model::Point;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The materialized possibility relation of one principal: for each point,
+/// the points it considers possible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PossibilityRelation {
+    /// The principal whose relation this is.
+    pub principal: Principal,
+    /// `edges[w]` lists the worlds accessible from `w`.
+    pub edges: BTreeMap<Point, Vec<Point>>,
+}
+
+impl PossibilityRelation {
+    /// Materializes `p`'s possibility relation over every point of the
+    /// evaluator's system.
+    pub fn of(sem: &Semantics<'_>, p: &Principal) -> Self {
+        let mut edges = BTreeMap::new();
+        for point in sem.system().points() {
+            edges.insert(point, sem.possible_points(point, p));
+        }
+        PossibilityRelation {
+            principal: p.clone(),
+            edges,
+        }
+    }
+
+    /// True if the relation is *transitive*: `w → u` and `u → v` imply
+    /// `w → v`.
+    pub fn is_transitive(&self) -> bool {
+        self.edges.iter().all(|(_, succs)| {
+            succs.iter().all(|u| {
+                self.edges
+                    .get(u)
+                    .is_none_or(|vs| vs.iter().all(|v| succs.contains(v)))
+            })
+        })
+    }
+
+    /// True if the relation is *euclidean*: `w → u` and `w → v` imply
+    /// `u → v`.
+    pub fn is_euclidean(&self) -> bool {
+        self.edges.values().all(|succs| {
+            succs.iter().all(|u| {
+                self.edges
+                    .get(u)
+                    .is_none_or(|us| succs.iter().all(|v| us.contains(v)))
+            })
+        })
+    }
+
+    /// True if the relation is *serial* (every world accesses something) —
+    /// fails exactly where a principal's good-run set excludes every
+    /// matching point, i.e. where it believes the absurd.
+    pub fn is_serial(&self) -> bool {
+        self.edges.values().all(|succs| !succs.is_empty())
+    }
+
+    /// Renders the relation as a Graphviz DOT digraph. Worlds are labeled
+    /// `rR/tT`; reflexive edges are drawn dotted for legibility.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph possibility_{} {{", self.principal);
+        let _ = writeln!(out, "  label=\"~ for {}\";", self.principal);
+        let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+        let id = |p: &Point| format!("\"r{}t{}\"", p.run, p.time);
+        for (w, succs) in &self.edges {
+            let _ = writeln!(out, "  {};", id(w));
+            for v in succs {
+                if v == w {
+                    let _ = writeln!(out, "  {} -> {} [style=dotted];", id(w), id(v));
+                } else {
+                    let _ = writeln!(out, "  {} -> {};", id(w), id(v));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::GoodRuns;
+    use atl_lang::{Key, Message, Nonce};
+    use atl_model::{RunBuilder, System};
+    use std::collections::BTreeSet;
+
+    fn two_run_system() -> System {
+        let mk = |inner: &str| {
+            let mut b = RunBuilder::new(0);
+            b.principal("A", [Key::new("K")]);
+            b.principal("B", []);
+            let c = Message::encrypted(
+                Message::nonce(Nonce::new(inner)),
+                Key::new("K"),
+                atl_lang::Principal::new("A"),
+            );
+            b.send("A", c.clone(), "B").unwrap();
+            b.receive("B", &c).unwrap();
+            b.build().unwrap()
+        };
+        System::new([mk("X"), mk("Y")])
+    }
+
+    #[test]
+    fn relation_is_transitive_and_euclidean() {
+        // These two frame properties are exactly what A2 (positive) and A3
+        // (negative introspection) need.
+        let sys = two_run_system();
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        for p in ["A", "B"] {
+            let rel = PossibilityRelation::of(&sem, &Principal::new(p));
+            assert!(rel.is_transitive(), "{p} not transitive");
+            assert!(rel.is_euclidean(), "{p} not euclidean");
+            assert!(rel.is_serial(), "{p} not serial with all runs good");
+        }
+    }
+
+    #[test]
+    fn frame_properties_survive_good_run_restriction() {
+        let sys = two_run_system();
+        let mut goods = GoodRuns::all_runs(&sys);
+        goods.set("B", [0usize].into_iter().collect());
+        let sem = Semantics::new(&sys, goods);
+        let rel = PossibilityRelation::of(&sem, &Principal::new("B"));
+        assert!(rel.is_transitive());
+        assert!(rel.is_euclidean());
+        // Still serial here: B's states in run 1 match states in run 0.
+        assert!(rel.is_serial());
+    }
+
+    #[test]
+    fn empty_good_set_breaks_seriality_only() {
+        let sys = two_run_system();
+        let mut goods = GoodRuns::all_runs(&sys);
+        goods.set("B", BTreeSet::new());
+        let sem = Semantics::new(&sys, goods);
+        let rel = PossibilityRelation::of(&sem, &Principal::new("B"));
+        assert!(!rel.is_serial()); // B believes the absurd…
+        assert!(rel.is_transitive()); // …but introspection is intact.
+        assert!(rel.is_euclidean());
+    }
+
+    #[test]
+    fn hiding_merges_worlds_for_the_keyless() {
+        // B (no key) cannot distinguish the X-run from the Y-run: its
+        // relation connects points ACROSS the two runs.
+        let sys = two_run_system();
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let rel = PossibilityRelation::of(&sem, &Principal::new("B"));
+        let cross = rel.edges[&Point::new(0, 2)]
+            .iter()
+            .any(|p| p.run == 1);
+        assert!(cross, "hiding should merge the two runs for B");
+        // A (key holder) keeps them apart at the post-send points.
+        let rel_a = PossibilityRelation::of(&sem, &Principal::new("A"));
+        let cross_a = rel_a.edges[&Point::new(0, 1)]
+            .iter()
+            .any(|p| p.run == 1);
+        assert!(!cross_a, "A distinguishes the plaintexts it encrypted");
+    }
+
+    #[test]
+    fn dot_export_is_wellformed() {
+        let sys = two_run_system();
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let rel = PossibilityRelation::of(&sem, &Principal::new("B"));
+        let dot = rel.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"r0t0\""));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every edge endpoint is a declared world.
+        assert!(dot.matches(" -> ").count() >= sys.points().count());
+    }
+}

@@ -1,0 +1,57 @@
+//! # atl-core
+//!
+//! The primary contribution of *A Semantics for a Logic of Authentication*
+//! (Abadi & Tuttle, PODC 1991): the reformulated logic and its
+//! possible-worlds semantics.
+//!
+//! - [`axioms`] — the axiomatization A1–A21 of Section 4.2;
+//! - [`proof`] — checkable Hilbert proofs with modus ponens and
+//!   (theorem-only) necessitation;
+//! - [`tautology`] — deciding instances of propositional tautologies;
+//! - [`prover`] — a derived-rule saturation engine and the protocol
+//!   annotation style of Section 4.3;
+//! - [`stability`] — the stability requirement on annotations;
+//! - [`semantics`] — truth at points of a system, with belief as
+//!   resource-bounded defensible knowledge (Section 6);
+//! - [`goodruns`] — the Section 7 construction of good-run vectors, with
+//!   support and optimality checks (Theorems 2 and 3);
+//! - [`soundness`] — the Theorem 1 model-checker over generated systems;
+//! - [`quantifier`] — bounded universal quantification (Section 8);
+//! - [`examples`] — the coin-toss counterexample;
+//! - [`theorems`] — machine-checked reconstructions of the BAN rules;
+//! - [`secrecy`] — the semantic secrecy audit (the paper's future work);
+//! - [`kripke`] — the possibility relation as an exportable Kripke frame;
+//! - [`spec`] — a textual protocol format for the `atl` CLI.
+//!
+//! ```
+//! use atl_core::prover::Prover;
+//! use atl_lang::{Formula, Key, Message, Nonce};
+//! // Nonce verification, honesty-free: a fresh said message was said
+//! // recently (A20), and jurisdiction applies to says, not believes (A15).
+//! let n = Message::nonce(Nonce::new("N"));
+//! let mut prover = Prover::new([
+//!     Formula::fresh(n.clone()),
+//!     Formula::said("S", n.clone()),
+//! ]);
+//! prover.saturate();
+//! assert!(prover.holds(&Formula::says("S", n)));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod annotate;
+pub mod axioms;
+pub mod examples;
+pub mod goodruns;
+pub mod kripke;
+pub mod proof;
+pub mod prover;
+pub mod quantifier;
+pub mod secrecy;
+pub mod semantics;
+pub mod soundness;
+pub mod spec;
+pub mod stability;
+pub mod tautology;
+pub mod theorems;

@@ -1,0 +1,421 @@
+//! Proof objects for the axiomatic system (Section 4.2) and their checker.
+//!
+//! A proof is a sequence of steps, each justified as a premise, a
+//! propositional tautology instance, an axiom-schema instance, or an
+//! application of modus ponens (R1) or necessitation (R2). Necessitation
+//! (`from ⊢ φ infer ⊢ P believes φ`) applies only to *theorems* — steps
+//! whose derivation used no premises — which the checker tracks per step.
+
+use crate::axioms::AxiomName;
+use crate::tautology::is_tautology;
+use atl_lang::{Formula, Principal};
+use std::error::Error;
+use std::fmt;
+
+/// The justification of one proof step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Justification {
+    /// An undischarged premise (e.g. an initial assumption or a protocol
+    /// annotation).
+    Premise,
+    /// An instance of a propositional tautology.
+    Tautology,
+    /// An instance of an axiom schema (checked by pattern, named for the
+    /// record).
+    Axiom(AxiomName),
+    /// R1: modus ponens from steps `imp` (the implication) and `ant` (the
+    /// antecedent).
+    ModusPonens {
+        /// Index of the step proving `φ ⊃ ψ`.
+        imp: usize,
+        /// Index of the step proving `φ`.
+        ant: usize,
+    },
+    /// R2: necessitation of theorem step `of` by `believer`.
+    Necessitation {
+        /// Index of the theorem step proving `φ`.
+        of: usize,
+        /// The principal `P` in the conclusion `P believes φ`.
+        believer: Principal,
+    },
+}
+
+/// One step of a proof: a formula and its justification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The formula asserted by this step.
+    pub formula: Formula,
+    /// Why it is asserted.
+    pub justification: Justification,
+}
+
+/// Error describing why a proof fails to check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofError {
+    /// Index of the offending step.
+    pub step: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proof step {} invalid: {}", self.step, self.reason)
+    }
+}
+
+impl Error for ProofError {}
+
+/// A checkable proof: a sequence of steps ending in its conclusion.
+///
+/// # Examples
+///
+/// Deriving `A believes ψ` from premises `A believes φ` and
+/// `A believes (φ ⊃ ψ)` via A1 and modus ponens:
+///
+/// ```
+/// use atl_core::proof::{Justification, Proof};
+/// use atl_core::axioms::{a1, AxiomName};
+/// use atl_lang::{Formula, Principal, Prop};
+/// let a = Principal::new("A");
+/// let phi = Formula::prop(Prop::new("p"));
+/// let psi = Formula::prop(Prop::new("q"));
+/// let bp = Formula::believes(a.clone(), phi.clone());
+/// let bimp = Formula::believes(a.clone(), Formula::implies(phi.clone(), psi.clone()));
+/// let mut proof = Proof::new();
+/// let s0 = proof.premise(bp.clone());
+/// let s1 = proof.premise(bimp.clone());
+/// let s2 = proof.axiom(a1(&a, &phi, &psi), AxiomName::A1);
+/// // A1 is (bp ∧ bimp) ⊃ bψ; conjoin the premises first.
+/// let s3 = proof.tautology(Formula::implies(bp.clone(),
+///     Formula::implies(bimp.clone(), Formula::and(bp.clone(), bimp.clone()))));
+/// let s4 = proof.modus_ponens(s3, s0);
+/// let s5 = proof.modus_ponens(s4, s1);
+/// let s6 = proof.modus_ponens(s2, s5);
+/// assert_eq!(proof.step(s6).formula, Formula::believes(a, psi));
+/// proof.check()?;
+/// # Ok::<(), atl_core::proof::ProofError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// Creates an empty proof.
+    pub fn new() -> Self {
+        Proof::default()
+    }
+
+    /// The steps so far.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// The step at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn step(&self, i: usize) -> &ProofStep {
+        &self.steps[i]
+    }
+
+    /// The conclusion (the last step's formula), if any step exists.
+    pub fn conclusion(&self) -> Option<&Formula> {
+        self.steps.last().map(|s| &s.formula)
+    }
+
+    fn push(&mut self, formula: Formula, justification: Justification) -> usize {
+        self.steps.push(ProofStep {
+            formula,
+            justification,
+        });
+        self.steps.len() - 1
+    }
+
+    /// Appends a premise, returning its index.
+    pub fn premise(&mut self, formula: Formula) -> usize {
+        self.push(formula, Justification::Premise)
+    }
+
+    /// Appends a tautology instance, returning its index.
+    pub fn tautology(&mut self, formula: Formula) -> usize {
+        self.push(formula, Justification::Tautology)
+    }
+
+    /// Appends an axiom instance, returning its index.
+    pub fn axiom(&mut self, formula: Formula, name: AxiomName) -> usize {
+        self.push(formula, Justification::Axiom(name))
+    }
+
+    /// Appends a modus ponens step; the formula is computed from the
+    /// implication at `imp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imp` does not hold an implication shape `¬(φ ∧ ¬ψ)`; the
+    /// checker reports the error instead if you build steps manually.
+    pub fn modus_ponens(&mut self, imp: usize, ant: usize) -> usize {
+        let concl = consequent_of(&self.steps[imp].formula)
+            .expect("modus_ponens target must be an implication")
+            .clone();
+        self.push(concl, Justification::ModusPonens { imp, ant })
+    }
+
+    /// Appends a necessitation step over theorem step `of`.
+    pub fn necessitation(&mut self, of: usize, believer: impl Into<Principal>) -> usize {
+        let believer = believer.into();
+        let f = Formula::believes(believer.clone(), self.steps[of].formula.clone());
+        self.push(f, Justification::Necessitation { of, believer })
+    }
+
+    /// Checks the whole proof.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProofError`]: an unsound tautology claim, a
+    /// modus ponens mismatch, a forward reference, or necessitation of a
+    /// premise-dependent step.
+    pub fn check(&self) -> Result<(), ProofError> {
+        // is_theorem[i]: step i's derivation uses no premises.
+        let mut is_theorem = vec![false; self.steps.len()];
+        for (i, step) in self.steps.iter().enumerate() {
+            match &step.justification {
+                Justification::Premise => {
+                    is_theorem[i] = false;
+                }
+                Justification::Tautology => {
+                    if !is_tautology(&step.formula) {
+                        return Err(ProofError {
+                            step: i,
+                            reason: format!("{} is not a propositional tautology", step.formula),
+                        });
+                    }
+                    is_theorem[i] = true;
+                }
+                Justification::Axiom(_) => {
+                    // Axiom instances are constructed by the schema
+                    // functions; the checker accepts them as theorems. (The
+                    // soundness model-checker validates the schemas
+                    // themselves against the semantics.)
+                    is_theorem[i] = true;
+                }
+                Justification::ModusPonens { imp, ant } => {
+                    let (imp, ant) = (*imp, *ant);
+                    if imp >= i || ant >= i {
+                        return Err(ProofError {
+                            step: i,
+                            reason: "modus ponens may only reference earlier steps".into(),
+                        });
+                    }
+                    let Some(consequent) = consequent_of(&self.steps[imp].formula) else {
+                        return Err(ProofError {
+                            step: i,
+                            reason: format!(
+                                "step {imp} is not an implication: {}",
+                                self.steps[imp].formula
+                            ),
+                        });
+                    };
+                    let Some(antecedent) = antecedent_of(&self.steps[imp].formula) else {
+                        return Err(ProofError {
+                            step: i,
+                            reason: "implication missing antecedent".into(),
+                        });
+                    };
+                    if antecedent != &self.steps[ant].formula {
+                        return Err(ProofError {
+                            step: i,
+                            reason: format!(
+                                "antecedent mismatch: expected {antecedent}, step {ant} proves {}",
+                                self.steps[ant].formula
+                            ),
+                        });
+                    }
+                    if consequent != &step.formula {
+                        return Err(ProofError {
+                            step: i,
+                            reason: format!(
+                                "conclusion mismatch: implication yields {consequent}"
+                            ),
+                        });
+                    }
+                    is_theorem[i] = is_theorem[imp] && is_theorem[ant];
+                }
+                Justification::Necessitation { of, believer } => {
+                    let of = *of;
+                    if of >= i {
+                        return Err(ProofError {
+                            step: i,
+                            reason: "necessitation may only reference earlier steps".into(),
+                        });
+                    }
+                    if !is_theorem[of] {
+                        return Err(ProofError {
+                            step: i,
+                            reason: format!(
+                                "necessitation applies only to theorems; step {of} depends on premises"
+                            ),
+                        });
+                    }
+                    let expected =
+                        Formula::believes(believer.clone(), self.steps[of].formula.clone());
+                    if expected != step.formula {
+                        return Err(ProofError {
+                            step: i,
+                            reason: format!("necessitation should conclude {expected}"),
+                        });
+                    }
+                    is_theorem[i] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Proof {
+    /// Renders the proof as a numbered Hilbert derivation:
+    ///
+    /// ```text
+    /// 1. fresh(X)                         [premise]
+    /// 2. S said X                         [premise]
+    /// 3. fresh(X) & S said X -> S says X  [axiom A20]
+    /// ...
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            let just = match &step.justification {
+                Justification::Premise => "premise".to_string(),
+                Justification::Tautology => "tautology".to_string(),
+                Justification::Axiom(name) => format!("axiom {name}"),
+                Justification::ModusPonens { imp, ant } => {
+                    format!("MP {}, {}", imp + 1, ant + 1)
+                }
+                Justification::Necessitation { of, believer } => {
+                    format!("NEC {} by {believer}", of + 1)
+                }
+            };
+            writeln!(f, "{:>3}. {}  [{just}]", i + 1, step.formula)?;
+        }
+        Ok(())
+    }
+}
+
+/// If `f` has the implication shape `¬(φ ∧ ¬ψ)`, returns `φ`.
+pub fn antecedent_of(f: &Formula) -> Option<&Formula> {
+    let Formula::Not(inner) = f else { return None };
+    let Formula::And(a, b) = &**inner else {
+        return None;
+    };
+    let Formula::Not(_) = &**b else { return None };
+    Some(a)
+}
+
+/// If `f` has the implication shape `¬(φ ∧ ¬ψ)`, returns `ψ`.
+pub fn consequent_of(f: &Formula) -> Option<&Formula> {
+    let Formula::Not(inner) = f else { return None };
+    let Formula::And(_, b) = &**inner else {
+        return None;
+    };
+    let Formula::Not(psi) = &**b else { return None };
+    Some(psi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_lang::Prop;
+
+    fn p() -> Formula {
+        Formula::prop(Prop::new("p"))
+    }
+
+    fn q() -> Formula {
+        Formula::prop(Prop::new("q"))
+    }
+
+    #[test]
+    fn implication_shape_accessors() {
+        let imp = Formula::implies(p(), q());
+        assert_eq!(antecedent_of(&imp), Some(&p()));
+        assert_eq!(consequent_of(&imp), Some(&q()));
+        assert_eq!(antecedent_of(&p()), None);
+    }
+
+    #[test]
+    fn simple_modus_ponens_checks() {
+        let mut proof = Proof::new();
+        let s0 = proof.premise(p());
+        let s1 = proof.tautology(Formula::implies(p(), Formula::or(p(), q())));
+        let s2 = proof.modus_ponens(s1, s0);
+        assert_eq!(proof.step(s2).formula, Formula::or(p(), q()));
+        proof.check().unwrap();
+    }
+
+    #[test]
+    fn bogus_tautology_rejected() {
+        let mut proof = Proof::new();
+        proof.tautology(Formula::implies(p(), q()));
+        let err = proof.check().unwrap_err();
+        assert!(err.reason.contains("not a propositional tautology"));
+    }
+
+    #[test]
+    fn necessitation_of_theorem_allowed() {
+        let mut proof = Proof::new();
+        let t = proof.tautology(Formula::or(p(), Formula::not(p())));
+        proof.necessitation(t, "A");
+        proof.check().unwrap();
+    }
+
+    #[test]
+    fn necessitation_of_premise_rejected() {
+        // `p ⊢ A believes p` would be wildly unsound; the checker refuses.
+        let mut proof = Proof::new();
+        let prem = proof.premise(p());
+        proof.necessitation(prem, "A");
+        let err = proof.check().unwrap_err();
+        assert!(err.reason.contains("only to theorems"));
+    }
+
+    #[test]
+    fn necessitation_propagates_through_modus_ponens() {
+        // A theorem derived from theorems stays necessitatable; one derived
+        // from a premise does not.
+        let mut proof = Proof::new();
+        let t0 = proof.tautology(Formula::implies(p(), Formula::implies(q(), p())));
+        let prem = proof.premise(p());
+        let mixed = proof.modus_ponens(t0, prem); // q ⊃ p, depends on premise
+        proof.necessitation(mixed, "A");
+        assert!(proof.check().is_err());
+    }
+
+    #[test]
+    fn antecedent_mismatch_detected() {
+        let mut proof = Proof::new();
+        let s0 = proof.premise(q());
+        let s1 = proof.tautology(Formula::implies(p(), Formula::or(p(), p())));
+        let bad = ProofStep {
+            formula: Formula::or(p(), p()),
+            justification: Justification::ModusPonens { imp: s1, ant: s0 },
+        };
+        let mut steps = proof.steps().to_vec();
+        steps.push(bad);
+        let manual = Proof { steps };
+        let err = manual.check().unwrap_err();
+        assert!(err.reason.contains("antecedent mismatch"));
+    }
+
+    #[test]
+    fn forward_references_rejected() {
+        let manual = Proof {
+            steps: vec![ProofStep {
+                formula: p(),
+                justification: Justification::ModusPonens { imp: 5, ant: 6 },
+            }],
+        };
+        assert!(manual.check().is_err());
+    }
+}

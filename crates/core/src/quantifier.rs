@@ -1,0 +1,128 @@
+//! Bounded universal quantification over constants (Section 8).
+//!
+//! The paper observes that since the set of keys (or principals, or
+//! nonces) in use is finite in practice, a formula like
+//! `A believes ∀K.(S controls A ↔K↔ B)` is equivalent to a finite
+//! conjunction of instances. This module performs that expansion: a
+//! parameter plays the role of the bound variable, and the quantifier
+//! elaborates to the conjunction of the body under each substitution.
+
+use atl_lang::{Bindings, Formula, Key, Message, Param, SubstError};
+
+/// Expands `∀param ∈ domain. body` into the conjunction of instances,
+/// where the parameter ranges over keys.
+///
+/// # Errors
+///
+/// [`SubstError`] if the parameter occurs in a non-key position
+/// incompatible with a key value — impossible here since keys are bound —
+/// or if other parameters remain unbound in `body` (they are left in
+/// place; only `param` is substituted).
+///
+/// # Examples
+///
+/// ```
+/// use atl_core::quantifier::forall_keys;
+/// use atl_lang::{Formula, Key, Param};
+/// let body = Formula::controls(
+///     "S",
+///     Formula::shared_key("A", Param::new("K"), "B"),
+/// );
+/// let f = forall_keys(&Param::new("K"), [Key::new("K1"), Key::new("K2")], &body)?;
+/// assert_eq!(
+///     f.to_string(),
+///     "S controls (A <-K1-> B) & S controls (A <-K2-> B)"
+/// );
+/// # Ok::<(), atl_lang::SubstError>(())
+/// ```
+pub fn forall_keys(
+    param: &Param,
+    domain: impl IntoIterator<Item = Key>,
+    body: &Formula,
+) -> Result<Formula, SubstError> {
+    let mut instances = Vec::new();
+    for k in domain {
+        let mut b = Bindings::new();
+        b.bind_key(param.clone(), k);
+        instances.push(b.apply_formula_partial(body)?);
+    }
+    Ok(Formula::conj(instances))
+}
+
+/// Expands `∀param ∈ domain. body` where the parameter ranges over
+/// arbitrary message constants (nonces, principals-as-data, …).
+///
+/// # Errors
+///
+/// [`SubstError::NotAKey`] if `param` occurs in a key position but a
+/// non-key value is supplied.
+pub fn forall_messages(
+    param: &Param,
+    domain: impl IntoIterator<Item = Message>,
+    body: &Formula,
+) -> Result<Formula, SubstError> {
+    let mut instances = Vec::new();
+    for m in domain {
+        let mut b = Bindings::new();
+        b.bind(param.clone(), m);
+        instances.push(b.apply_formula_partial(body)?);
+    }
+    Ok(Formula::conj(instances))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_lang::Nonce;
+
+    #[test]
+    fn empty_domain_gives_true() {
+        let body = Formula::has("A", Param::new("K"));
+        let f = forall_keys(&Param::new("K"), [], &body).unwrap();
+        assert_eq!(f, Formula::True);
+    }
+
+    #[test]
+    fn single_instance_collapses() {
+        let body = Formula::has("A", Param::new("K"));
+        let f = forall_keys(&Param::new("K"), [Key::new("K7")], &body).unwrap();
+        assert_eq!(f, Formula::has("A", Key::new("K7")));
+    }
+
+    #[test]
+    fn message_domain_expansion() {
+        let body = Formula::fresh(Message::param(Param::new("N")));
+        let f = forall_messages(
+            &Param::new("N"),
+            [
+                Message::nonce(Nonce::new("N1")),
+                Message::nonce(Nonce::new("N2")),
+            ],
+            &body,
+        )
+        .unwrap();
+        assert_eq!(f.to_string(), "fresh(N1) & fresh(N2)");
+    }
+
+    #[test]
+    fn key_position_rejects_message_value() {
+        let body = Formula::has("A", Param::new("K"));
+        let err = forall_messages(
+            &Param::new("K"),
+            [Message::nonce(Nonce::new("N"))],
+            &body,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SubstError::NotAKey(_)));
+    }
+
+    #[test]
+    fn untouched_parameters_survive() {
+        let body = Formula::and(
+            Formula::has("A", Param::new("K")),
+            Formula::fresh(Message::param(Param::new("N"))),
+        );
+        let f = forall_keys(&Param::new("K"), [Key::new("K1")], &body).unwrap();
+        assert!(f.to_string().contains("$N"));
+    }
+}

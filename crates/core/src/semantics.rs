@@ -1,0 +1,694 @@
+//! The semantics of the reformulated logic (Section 6).
+//!
+//! Truth of a formula is defined at a *point* `(r, k)` of a [`System`],
+//! relative to a vector `G = (G_1, …, G_n)` of **good runs** ([`GoodRuns`])
+//! that parameterizes belief:
+//!
+//! - `P sees X` — `X` is readable, under `P`'s current keys, in some
+//!   message `P` has received;
+//! - `P said X` — `X` is among the accountable components of some message
+//!   `P` has sent (with `P`'s keys and received set *at send time*);
+//! - `P says X` — likewise, restricted to sends in the current epoch;
+//! - `P controls φ` — at every time ≥ 0 of the run, `P says φ` implies
+//!   `φ` (so jurisdiction is more than `P says φ ⊃ φ`);
+//! - `fresh(X)` — `X` is not a submessage of anything sent before time 0;
+//! - `P ↔K↔ Q` — at all times, anyone who said ciphertext under `K`
+//!   either saw it first or is `P` or `Q`;
+//! - `P =Y= Q` — likewise for messages combined with `Y`;
+//! - `P has K` — `K` is in `P`'s key set;
+//! - `P believes φ` — `φ` holds at every point of a *good* run (for `P`)
+//!   whose hidden local state matches `P`'s current hidden local state.
+//!
+//! Run parameters (Section 8) are resolved against the outer run's
+//! bindings before the inductive definition is applied.
+
+use atl_lang::{can_see, submsgs_of_set, Formula, KeyTerm, Message, MessageSet, Principal};
+use atl_model::{LocalState, Point, Run, System};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced during evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SemanticsError {
+    /// The formula still contains a parameter the run does not bind.
+    NotGround(Formula),
+    /// The point's run index or time is outside the system.
+    BadPoint(Point),
+    /// Parameter substitution failed (non-key bound in key position).
+    Subst(String),
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::NotGround(formula) => {
+                write!(f, "formula {formula} has parameters unbound by the run")
+            }
+            SemanticsError::BadPoint(p) => {
+                write!(f, "point (run {}, time {}) outside the system", p.run, p.time)
+            }
+            SemanticsError::Subst(why) => write!(f, "parameter substitution failed: {why}"),
+        }
+    }
+}
+
+impl Error for SemanticsError {}
+
+/// The vector `G = (G_1, …, G_n)` of good-run sets, one per principal;
+/// principals without an entry default to *all* runs (belief as plain
+/// hidden-state knowledge).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GoodRuns {
+    all: BTreeSet<usize>,
+    map: BTreeMap<Principal, BTreeSet<usize>>,
+}
+
+impl GoodRuns {
+    /// The trivial vector: every run is good for every principal.
+    pub fn all_runs(system: &System) -> Self {
+        GoodRuns {
+            all: (0..system.len()).collect(),
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Sets `P`'s good-run set.
+    pub fn set(&mut self, p: impl Into<Principal>, runs: BTreeSet<usize>) -> &mut Self {
+        self.map.insert(p.into(), runs);
+        self
+    }
+
+    /// `P`'s good-run set.
+    pub fn get(&self, p: &Principal) -> &BTreeSet<usize> {
+        self.map.get(p).unwrap_or(&self.all)
+    }
+
+    /// The principals with explicit (non-default) entries.
+    pub fn principals(&self) -> impl Iterator<Item = &Principal> {
+        self.map.keys()
+    }
+
+    /// Pointwise order: `self ≤ other` iff `G_i ⊆ G'_i` for every
+    /// principal mentioned by either (Section 7).
+    pub fn le(&self, other: &GoodRuns) -> bool {
+        let names: BTreeSet<&Principal> = self.map.keys().chain(other.map.keys()).collect();
+        names.into_iter().all(|p| self.get(p).is_subset(other.get(p)))
+    }
+}
+
+/// An evaluator for a fixed system and good-run vector.
+///
+/// Belief evaluation groups the points of each principal's good runs by
+/// hidden local state once, up front; [`Semantics::without_belief_cache`]
+/// disables this (the ablation measured by `bench_ablation_belief_cache`).
+///
+/// # Examples
+///
+/// ```
+/// use atl_core::semantics::{GoodRuns, Semantics};
+/// use atl_lang::{Formula, Key, Message, Nonce};
+/// use atl_model::{Point, RunBuilder, System};
+/// let mut b = RunBuilder::new(0);
+/// b.principal("A", [Key::new("K")]);
+/// b.principal("B", []);
+/// b.send("A", Message::nonce(Nonce::new("X")), "B")?;
+/// b.receive("B", &Message::nonce(Nonce::new("X")))?;
+/// let sys = System::new([b.build()?]);
+/// let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+/// let sees = Formula::sees("B", Message::nonce(Nonce::new("X")));
+/// assert!(sem.eval(Point::new(0, 2), &sees)?);
+/// assert!(!sem.eval(Point::new(0, 1), &sees)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Semantics<'a> {
+    system: &'a System,
+    goods: GoodRuns,
+    belief_cache: Option<BTreeMap<Principal, BTreeMap<LocalState, Vec<Point>>>>,
+}
+
+impl<'a> Semantics<'a> {
+    /// Creates an evaluator with the belief cache enabled.
+    pub fn new(system: &'a System, goods: GoodRuns) -> Self {
+        Semantics {
+            system,
+            goods,
+            belief_cache: Some(BTreeMap::new()),
+        }
+        .warm()
+    }
+
+    /// Creates an evaluator that recomputes the possibility relation on
+    /// every belief query (for the ablation benchmark).
+    pub fn without_belief_cache(system: &'a System, goods: GoodRuns) -> Self {
+        Semantics {
+            system,
+            goods,
+            belief_cache: None,
+        }
+    }
+
+    fn warm(mut self) -> Self {
+        let Some(cache) = self.belief_cache.as_mut() else {
+            return self;
+        };
+        let mut principals: BTreeSet<Principal> = self.system.principals();
+        principals.insert(Principal::environment());
+        for p in &self.goods.map {
+            principals.insert(p.0.clone());
+        }
+        for p in principals {
+            let mut by_state: BTreeMap<LocalState, Vec<Point>> = BTreeMap::new();
+            for &ri in self.goods.get(&p) {
+                let Some(run) = self.system.runs().get(ri) else {
+                    continue;
+                };
+                for k in run.times() {
+                    let state = run.state(k).expect("time in range");
+                    let hidden = state.local(&p).hidden();
+                    by_state.entry(hidden).or_default().push(Point::new(ri, k));
+                }
+            }
+            cache.insert(p, by_state);
+        }
+        self
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    /// The good-run vector.
+    pub fn goods(&self) -> &GoodRuns {
+        &self.goods
+    }
+
+    fn run(&self, point: Point) -> Result<&Run, SemanticsError> {
+        self.system
+            .runs()
+            .get(point.run)
+            .filter(|r| r.state(point.time).is_some())
+            .ok_or(SemanticsError::BadPoint(point))
+    }
+
+    /// Evaluates `φ` at `point`, resolving run parameters first
+    /// (Section 8).
+    ///
+    /// # Errors
+    ///
+    /// [`SemanticsError::NotGround`] if a parameter is unbound by the run;
+    /// [`SemanticsError::BadPoint`] for a point outside the system.
+    pub fn eval(&self, point: Point, phi: &Formula) -> Result<bool, SemanticsError> {
+        let run = self.run(point)?;
+        let resolved = run
+            .bindings()
+            .apply_formula_partial(phi)
+            .map_err(|e| SemanticsError::Subst(e.to_string()))?;
+        if !resolved.is_ground() {
+            return Err(SemanticsError::NotGround(resolved));
+        }
+        Ok(self.eval_ground(point, &resolved))
+    }
+
+    /// True if `φ` holds at every point of the system.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Semantics::eval`].
+    pub fn valid(&self, phi: &Formula) -> Result<bool, SemanticsError> {
+        for point in self.system.points() {
+            if !self.eval(point, phi)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Evaluates a ground formula (callers must have resolved parameters).
+    fn eval_ground(&self, point: Point, phi: &Formula) -> bool {
+        let run = &self.system.runs()[point.run];
+        match phi {
+            Formula::True => true,
+            Formula::Prop(p) => self.system.interpretation().holds(p, run, point),
+            Formula::Not(f) => !self.eval_ground(point, f),
+            Formula::And(a, b) => self.eval_ground(point, a) && self.eval_ground(point, b),
+            Formula::Believes(p, f) => self.eval_believes(point, p, f),
+            Formula::Controls(p, f) => self.eval_controls(point, p, f),
+            Formula::Sees(p, m) => self.eval_sees(point, p, m),
+            Formula::Said(p, m) => self.eval_said(point, p, m, false),
+            Formula::Says(p, m) => self.eval_said(point, p, m, true),
+            Formula::SharedSecret(p, y, q) => self.eval_shared_secret(point, p, y, q),
+            Formula::SharedKey(p, k, q) => self.eval_shared_key(point, p, k, q),
+            Formula::Fresh(m) => self.eval_fresh(point, m),
+            Formula::Has(p, k) => self.eval_has(point, p, k),
+            Formula::PublicKey(k, p) => self.eval_public_key(point, k, p),
+        }
+    }
+
+    /// `→K P` (public-key extension): whoever signed with `K⁻¹`, at any
+    /// time of the run, saw the signature first or is `P` — the signing
+    /// analogue of the shared-key definition.
+    fn eval_public_key(&self, point: Point, k: &KeyTerm, p: &Principal) -> bool {
+        let KeyTerm::Key(key) = k else { return false };
+        let run = &self.system.runs()[point.run];
+        run.send_records().iter().all(|rec| {
+            if rec.sender == *p {
+                return true;
+            }
+            rec.said_submsgs().iter().all(|sub| {
+                let Message::Signed { key: kk, .. } = sub else {
+                    return true;
+                };
+                if kk.as_key() != Some(key) {
+                    return true;
+                }
+                self.eval_sees(Point::new(point.run, rec.time + 1), &rec.sender, sub)
+            })
+        })
+    }
+
+    /// `P sees X` at `(r, k)`: some received message reveals `X` under
+    /// `P`'s keys at time `k`.
+    fn eval_sees(&self, point: Point, p: &Principal, x: &Message) -> bool {
+        let run = &self.system.runs()[point.run];
+        let Some(state) = run.state(point.time) else {
+            return false;
+        };
+        let local = state.local(p);
+        local
+            .received()
+            .iter()
+            .any(|m| can_see(x, m, &local.key_set))
+    }
+
+    /// `P said X` (or `P says X` when `recent`) at `(r, k)`.
+    fn eval_said(&self, point: Point, p: &Principal, x: &Message, recent: bool) -> bool {
+        let run = &self.system.runs()[point.run];
+        run.send_records().iter().any(|rec| {
+            rec.sender == *p
+                && rec.time < point.time
+                && (!recent || rec.time >= 0)
+                && rec.said_submsgs().contains(x)
+        })
+    }
+
+    /// `P controls φ` at `(r, k)`: for every time `k' ≥ 0` of the run,
+    /// `P says φ` at `k'` implies `φ` at `k'`. (Holds at one point of a
+    /// run iff at all points of it.)
+    fn eval_controls(&self, point: Point, p: &Principal, phi: &Formula) -> bool {
+        let run = &self.system.runs()[point.run];
+        let claim = phi.clone().into_message();
+        run.times().filter(|k| *k >= 0).all(|k| {
+            let here = Point::new(point.run, k);
+            !self.eval_said(here, p, &claim, true) || self.eval_ground(here, phi)
+        })
+    }
+
+    /// `fresh(X)` at `(r, k)`: `X` is not a submessage of any message sent
+    /// before time 0.
+    fn eval_fresh(&self, point: Point, x: &Message) -> bool {
+        let run = &self.system.runs()[point.run];
+        let past: MessageSet = run.sent_before_epoch();
+        !submsgs_of_set(past.iter()).contains(x)
+    }
+
+    /// `P has K` at `(r, k)`.
+    fn eval_has(&self, point: Point, p: &Principal, k: &KeyTerm) -> bool {
+        let KeyTerm::Key(key) = k else { return false };
+        let run = &self.system.runs()[point.run];
+        run.state(point.time)
+            .is_some_and(|s| s.key_set(p).contains(key))
+    }
+
+    /// `P ↔K↔ Q`: whoever said ciphertext under `K`, at any time of the
+    /// run, saw it first or is `P` or `Q`.
+    fn eval_shared_key(&self, point: Point, p: &Principal, k: &KeyTerm, q: &Principal) -> bool {
+        let KeyTerm::Key(key) = k else { return false };
+        let run = &self.system.runs()[point.run];
+        run.send_records().iter().all(|rec| {
+            if rec.sender == *p || rec.sender == *q {
+                return true;
+            }
+            rec.said_submsgs().iter().all(|sub| {
+                let Message::Encrypted { key: kk, .. } = sub else {
+                    return true;
+                };
+                if kk.as_key() != Some(key) {
+                    return true;
+                }
+                // The sender must have seen the ciphertext by the time the
+                // send lands in its history (sees is monotone, so checking
+                // at rec.time + 1 decides all later times; at earlier
+                // times "said" is false and the implication vacuous).
+                self.eval_sees(Point::new(point.run, rec.time + 1), &rec.sender, sub)
+            })
+        })
+    }
+
+    /// `P =Y= Q`: likewise for messages combined with the secret `Y`.
+    fn eval_shared_secret(&self, point: Point, p: &Principal, y: &Message, q: &Principal) -> bool {
+        let run = &self.system.runs()[point.run];
+        run.send_records().iter().all(|rec| {
+            if rec.sender == *p || rec.sender == *q {
+                return true;
+            }
+            rec.said_submsgs().iter().all(|sub| {
+                let Message::Combined { secret, .. } = sub else {
+                    return true;
+                };
+                if **secret != *y {
+                    return true;
+                }
+                self.eval_sees(Point::new(point.run, rec.time + 1), &rec.sender, sub)
+            })
+        })
+    }
+
+    /// The points `P` considers possible at `point`: points of `P`-good
+    /// runs whose hidden local state equals `P`'s here.
+    pub fn possible_points(&self, point: Point, p: &Principal) -> Vec<Point> {
+        let run = &self.system.runs()[point.run];
+        let Some(state) = run.state(point.time) else {
+            return Vec::new();
+        };
+        let hidden = state.local(p).hidden();
+        if let Some(by_state) = self.belief_cache.as_ref().and_then(|c| c.get(p)) {
+            // Cached principals were enumerated at construction; fall
+            // through to the scan for principals the cache never saw.
+            return by_state.get(&hidden).cloned().unwrap_or_default();
+        }
+        let mut out = Vec::new();
+        for &ri in self.goods.get(p) {
+            let Some(r2) = self.system.runs().get(ri) else {
+                continue;
+            };
+            for k in r2.times() {
+                let s2 = r2.state(k).expect("time in range");
+                if s2.local(p).hidden() == hidden {
+                    out.push(Point::new(ri, k));
+                }
+            }
+        }
+        out
+    }
+
+    /// `P believes φ` at `point`.
+    fn eval_believes(&self, point: Point, p: &Principal, phi: &Formula) -> bool {
+        self.possible_points(point, p)
+            .into_iter()
+            .all(|pt| self.eval_ground(pt, phi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_lang::{Key, Nonce};
+    use atl_model::RunBuilder;
+
+    fn nonce(s: &str) -> Message {
+        Message::nonce(Nonce::new(s))
+    }
+
+    /// A ↦ B : {X}Kab, with both holding Kab; one run.
+    fn simple_system() -> System {
+        let mut b = RunBuilder::new(-1);
+        b.principal("A", [Key::new("Kab")]);
+        b.principal("B", [Key::new("Kab")]);
+        b.new_key("A", "Spare"); // past-epoch activity
+        let cipher = Message::encrypted(nonce("X"), Key::new("Kab"), Principal::new("A"));
+        b.send("A", cipher.clone(), "B").unwrap();
+        b.receive("B", &cipher).unwrap();
+        System::new([b.build().unwrap()])
+    }
+
+    fn sem(sys: &System) -> Semantics<'_> {
+        Semantics::new(sys, GoodRuns::all_runs(sys))
+    }
+
+    #[test]
+    fn sees_becomes_true_after_receive_and_stays() {
+        let sys = simple_system();
+        let s = sem(&sys);
+        let f = Formula::sees("B", nonce("X"));
+        assert!(!s.eval(Point::new(0, 1), &f).unwrap());
+        assert!(s.eval(Point::new(0, 2), &f).unwrap());
+    }
+
+    #[test]
+    fn said_and_says_track_epoch() {
+        let mut b = RunBuilder::new(-1);
+        b.principal("A", []);
+        b.principal("B", []);
+        b.send("A", nonce("old"), "B").unwrap(); // time -1 (past)
+        b.send("A", nonce("new"), "B").unwrap(); // time 0 (present)
+        let sys = System::new([b.build().unwrap()]);
+        let s = sem(&sys);
+        let at = Point::new(0, 1);
+        assert!(s.eval(at, &Formula::said("A", nonce("old"))).unwrap());
+        assert!(!s.eval(at, &Formula::says("A", nonce("old"))).unwrap());
+        assert!(s.eval(at, &Formula::said("A", nonce("new"))).unwrap());
+        assert!(s.eval(at, &Formula::says("A", nonce("new"))).unwrap());
+    }
+
+    #[test]
+    fn said_descends_ciphertext_only_with_key_at_send_time() {
+        let sys = simple_system();
+        let s = sem(&sys);
+        let end = Point::new(0, 2);
+        assert!(s.eval(end, &Formula::said("A", nonce("X"))).unwrap());
+    }
+
+    #[test]
+    fn fresh_is_relative_to_epoch() {
+        let mut b = RunBuilder::new(-1);
+        b.principal("A", []);
+        b.principal("B", []);
+        b.send("A", nonce("old"), "B").unwrap();
+        b.send("A", nonce("new"), "B").unwrap();
+        let sys = System::new([b.build().unwrap()]);
+        let s = sem(&sys);
+        let at = Point::new(0, 1);
+        assert!(!s.eval(at, &Formula::fresh(nonce("old"))).unwrap());
+        assert!(s.eval(at, &Formula::fresh(nonce("new"))).unwrap());
+        assert!(s.eval(at, &Formula::fresh(nonce("unseen"))).unwrap());
+    }
+
+    #[test]
+    fn has_reflects_key_set_growth() {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", []);
+        b.new_key("A", "K");
+        let sys = System::new([b.build().unwrap()]);
+        let s = sem(&sys);
+        let f = Formula::has("A", Key::new("K"));
+        assert!(!s.eval(Point::new(0, 0), &f).unwrap());
+        assert!(s.eval(Point::new(0, 1), &f).unwrap());
+    }
+
+    #[test]
+    fn shared_key_holds_when_only_pair_encrypts() {
+        let sys = simple_system();
+        let s = sem(&sys);
+        let f = Formula::shared_key("A", Key::new("Kab"), "B");
+        assert!(s.eval(Point::new(0, 0), &f).unwrap());
+    }
+
+    #[test]
+    fn shared_key_fails_when_third_party_encrypts() {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", [Key::new("Kab")]);
+        b.principal("B", [Key::new("Kab")]);
+        b.principal("C", [Key::new("Kab")]);
+        let cipher = Message::encrypted(nonce("X"), Key::new("Kab"), Principal::new("C"));
+        b.send("C", cipher, "B").unwrap();
+        let sys = System::new([b.build().unwrap()]);
+        let s = sem(&sys);
+        let f = Formula::shared_key("A", Key::new("Kab"), "B");
+        assert!(!s.eval(Point::new(0, 0), &f).unwrap());
+    }
+
+    #[test]
+    fn shared_key_tolerates_replay_by_third_party() {
+        // C resends A's ciphertext (having received it): still a good key —
+        // the Section 3.1 point that who *sends copies* is irrelevant.
+        let mut b = RunBuilder::new(0);
+        b.principal("A", [Key::new("Kab")]);
+        b.principal("B", [Key::new("Kab")]);
+        b.principal("C", []);
+        let cipher = Message::encrypted(nonce("X"), Key::new("Kab"), Principal::new("A"));
+        b.send("A", cipher.clone(), "C").unwrap();
+        b.receive("C", &cipher).unwrap();
+        b.send("C", cipher, "B").unwrap();
+        let sys = System::new([b.build().unwrap()]);
+        let s = sem(&sys);
+        let f = Formula::shared_key("A", Key::new("Kab"), "B");
+        assert!(s.eval(Point::new(0, 0), &f).unwrap());
+    }
+
+    #[test]
+    fn shared_key_is_time_independent_within_run() {
+        let sys = simple_system();
+        let s = sem(&sys);
+        let f = Formula::shared_key("A", Key::new("Kab"), "B");
+        let vals: BTreeSet<bool> = sys.run(0).times()
+            .map(|k| s.eval(Point::new(0, k), &f).unwrap())
+            .collect();
+        assert_eq!(vals.len(), 1);
+    }
+
+    #[test]
+    fn belief_requires_truth_at_indistinguishable_points() {
+        // Two runs: in run 0 the ciphertext contains X, in run 1 it
+        // contains Y. B holds no key, so the runs are indistinguishable to
+        // B after hiding: B cannot believe the ciphertext contains X.
+        let mk = |inner: &str| {
+            let mut b = RunBuilder::new(0);
+            b.principal("A", [Key::new("K")]);
+            b.principal("B", []);
+            let cipher = Message::encrypted(nonce(inner), Key::new("K"), Principal::new("A"));
+            b.send("A", cipher.clone(), "B").unwrap();
+            b.receive("B", &cipher).unwrap();
+            b.build().unwrap()
+        };
+        let sys = System::new([mk("X"), mk("Y")]);
+        let s = sem(&sys);
+        let cipher_x = Message::encrypted(nonce("X"), Key::new("K"), Principal::new("A"));
+        let believes_sees = Formula::believes("B", Formula::sees("B", cipher_x.clone()));
+        assert!(!s.eval(Point::new(0, 2), &believes_sees).unwrap());
+        // A holds the key, so A CAN distinguish and does believe it said X.
+        let believes_said = Formula::believes("A", Formula::said("A", nonce("X")));
+        assert!(s.eval(Point::new(0, 2), &believes_said).unwrap());
+    }
+
+    #[test]
+    fn good_runs_enable_preconceived_beliefs() {
+        // Same two-run system; restrict B's good runs to run 0. Now B
+        // believes everything true across run 0's matching points.
+        let mk = |inner: &str| {
+            let mut b = RunBuilder::new(0);
+            b.principal("A", [Key::new("K")]);
+            b.principal("B", []);
+            let cipher = Message::encrypted(nonce(inner), Key::new("K"), Principal::new("A"));
+            b.send("A", cipher.clone(), "B").unwrap();
+            b.receive("B", &cipher).unwrap();
+            b.build().unwrap()
+        };
+        let sys = System::new([mk("X"), mk("Y")]);
+        let mut goods = GoodRuns::all_runs(&sys);
+        goods.set("B", [0usize].into_iter().collect());
+        let s = Semantics::new(&sys, goods);
+        let said_x = Formula::believes("B", Formula::said("A", nonce("X")));
+        // At the end of run 0 — and even of run 1! — B's possible points
+        // lie in run 0 only.
+        assert!(s.eval(Point::new(0, 2), &said_x).unwrap());
+        assert!(s.eval(Point::new(1, 2), &said_x).unwrap());
+    }
+
+    #[test]
+    fn belief_cache_matches_uncached() {
+        let sys = simple_system();
+        let cached = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let uncached = Semantics::without_belief_cache(&sys, GoodRuns::all_runs(&sys));
+        let f = Formula::believes("A", Formula::said("A", nonce("X")));
+        for point in sys.points() {
+            assert_eq!(
+                cached.eval(point, &f).unwrap(),
+                uncached.eval(point, &f).unwrap(),
+                "mismatch at {point:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn controls_is_not_just_material_implication() {
+        // S never says φ in this run, so `S controls φ` holds vacuously at
+        // every point — including points where φ is false.
+        let mut b = RunBuilder::new(0);
+        b.principal("S", []);
+        b.principal("A", []);
+        b.new_key("S", "K");
+        let sys = System::new([b.build().unwrap()]);
+        let s = sem(&sys);
+        let phi = Formula::has("A", Key::new("Kx"));
+        let f = Formula::controls("S", phi);
+        assert!(s.eval(Point::new(0, 0), &f).unwrap());
+    }
+
+    #[test]
+    fn controls_fails_when_claim_is_false() {
+        // S says "A has Kx" but A never acquires it: no jurisdiction.
+        let mut b = RunBuilder::new(0);
+        b.principal("S", []);
+        b.principal("A", []);
+        let phi = Formula::has("A", Key::new("Kx"));
+        b.send("S", phi.clone().into_message(), "A").unwrap();
+        let sys = System::new([b.build().unwrap()]);
+        let s = sem(&sys);
+        assert!(!s.eval(Point::new(0, 0), &Formula::controls("S", phi)).unwrap());
+    }
+
+    #[test]
+    fn controls_holds_when_claims_are_true() {
+        let mut b = RunBuilder::new(0);
+        b.principal("S", []);
+        b.principal("A", []);
+        b.new_key("A", "Kx"); // time 0: A has Kx from time 1 on
+        let phi = Formula::has("A", Key::new("Kx"));
+        b.send("S", phi.clone().into_message(), "A").unwrap(); // says at time 2+
+        let sys = System::new([b.build().unwrap()]);
+        let s = sem(&sys);
+        assert!(s.eval(Point::new(0, 0), &Formula::controls("S", phi)).unwrap());
+    }
+
+    #[test]
+    fn parameters_resolve_per_run() {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", [Key::new("K9")]);
+        b.bind_param(atl_lang::Param::new("Kab"), Message::Key(Key::new("K9")));
+        b.new_key("A", "K10");
+        let sys = System::new([b.build().unwrap()]);
+        let s = sem(&sys);
+        let schematic = Formula::has("A", atl_lang::Param::new("Kab"));
+        assert!(s.eval(Point::new(0, 0), &schematic).unwrap());
+        let unbound = Formula::has("A", atl_lang::Param::new("Nope"));
+        assert!(matches!(
+            s.eval(Point::new(0, 0), &unbound),
+            Err(SemanticsError::NotGround(_))
+        ));
+    }
+
+    #[test]
+    fn bad_points_are_errors() {
+        let sys = simple_system();
+        let s = sem(&sys);
+        assert!(matches!(
+            s.eval(Point::new(7, 0), &Formula::True),
+            Err(SemanticsError::BadPoint(_))
+        ));
+        assert!(matches!(
+            s.eval(Point::new(0, 99), &Formula::True),
+            Err(SemanticsError::BadPoint(_))
+        ));
+    }
+
+    #[test]
+    fn goodruns_partial_order() {
+        let sys = simple_system();
+        let all = GoodRuns::all_runs(&sys);
+        let mut smaller = all.clone();
+        smaller.set("A", BTreeSet::new());
+        assert!(smaller.le(&all));
+        assert!(!all.le(&smaller));
+        assert!(all.le(&all));
+    }
+
+    #[test]
+    fn valid_checks_every_point() {
+        let sys = simple_system();
+        let s = sem(&sys);
+        assert!(s.valid(&Formula::True).unwrap());
+        assert!(!s.valid(&Formula::sees("B", nonce("X"))).unwrap());
+    }
+}

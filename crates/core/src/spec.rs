@@ -1,0 +1,254 @@
+//! A textual format for idealized protocols, so analyses can be run from
+//! files (see the `atl` CLI in the umbrella crate).
+//!
+//! The format is line-based; `#` starts a comment. Directives:
+//!
+//! ```text
+//! protocol kerberos-figure1
+//! principals A B S
+//! keys Kab Kas Kbs
+//!
+//! assume A believes (A <-Kas-> S)
+//! assume A has Kas
+//!
+//! step S -> A : {Ts, <<A <-Kab-> B>>}Kas@S
+//! newkey A Kab
+//!
+//! goal A believes (A <-Kab-> B)
+//! ```
+//!
+//! Formulas and messages use the [`atl_lang::parser`] concrete syntax;
+//! `principals` and `keys` seed its symbol table.
+
+use crate::annotate::AtProtocol;
+use atl_lang::parser::{parse_formula, parse_message, ParseError, Symbols};
+use atl_lang::Key;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a protocol spec fails to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn lang_err(line: usize, e: ParseError) -> SpecError {
+    err(line, e.to_string())
+}
+
+/// Parses a protocol spec into an [`AtProtocol`] (plus the symbol table it
+/// declared, for parsing further queries against it).
+///
+/// # Errors
+///
+/// [`SpecError`] with the offending line on any syntax problem.
+pub fn parse_spec(input: &str) -> Result<(AtProtocol, Symbols), SpecError> {
+    let mut name = String::from("unnamed");
+    let mut syms = Symbols::new();
+    let mut assumptions = Vec::new();
+    let mut steps: Vec<crate::annotate::AtStep> = Vec::new();
+    let mut goals = Vec::new();
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = match line.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (line, ""),
+        };
+        match keyword {
+            "protocol" => {
+                if rest.is_empty() {
+                    return Err(err(lineno, "protocol needs a name"));
+                }
+                name = rest.to_string();
+            }
+            "principals" => {
+                syms = syms.principals(rest.split_whitespace().map(str::to_string));
+            }
+            "keys" => {
+                syms = syms.keys(rest.split_whitespace().map(str::to_string));
+            }
+            "assume" => {
+                let f = parse_formula(rest, &syms).map_err(|e| lang_err(lineno, e))?;
+                assumptions.push(f);
+            }
+            "goal" => {
+                let f = parse_formula(rest, &syms).map_err(|e| lang_err(lineno, e))?;
+                goals.push(f);
+            }
+            "newkey" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(p), Some(k), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(err(lineno, "newkey takes exactly `newkey P K`"));
+                };
+                steps.push(crate::annotate::AtStep::NewKey {
+                    principal: p.into(),
+                    key: Key::new(k),
+                });
+            }
+            "step" => {
+                // step FROM -> TO : MESSAGE
+                let Some((route, message)) = rest.split_once(':') else {
+                    return Err(err(lineno, "step needs `FROM -> TO : MESSAGE`"));
+                };
+                let Some((from, to)) = route.split_once("->") else {
+                    return Err(err(lineno, "step route needs `FROM -> TO`"));
+                };
+                let (from, to) = (from.trim(), to.trim());
+                if from.is_empty() || to.is_empty() {
+                    return Err(err(lineno, "step route needs `FROM -> TO`"));
+                }
+                let m =
+                    parse_message(message.trim(), &syms).map_err(|e| lang_err(lineno, e))?;
+                steps.push(crate::annotate::AtStep::Send {
+                    from: from.into(),
+                    to: to.into(),
+                    message: m,
+                });
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    format!("unknown directive `{other}` (expected protocol/principals/keys/assume/step/newkey/goal)"),
+                ));
+            }
+        }
+    }
+
+    let mut proto = AtProtocol::new(name);
+    proto.assumptions = assumptions;
+    proto.steps = steps;
+    proto.goals = goals;
+    Ok((proto, syms))
+}
+
+/// Renders an [`AtProtocol`] back into the spec format (a round-trippable
+/// inverse of [`parse_spec`] up to symbol declarations supplied by the
+/// caller).
+pub fn render_spec(proto: &AtProtocol, syms_principals: &[&str], syms_keys: &[&str]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("protocol {}\n", proto.name));
+    if !syms_principals.is_empty() {
+        out.push_str(&format!("principals {}\n", syms_principals.join(" ")));
+    }
+    if !syms_keys.is_empty() {
+        out.push_str(&format!("keys {}\n", syms_keys.join(" ")));
+    }
+    out.push('\n');
+    for a in &proto.assumptions {
+        out.push_str(&format!("assume {a}\n"));
+    }
+    out.push('\n');
+    for s in &proto.steps {
+        match s {
+            crate::annotate::AtStep::Send { from, to, message } => {
+                out.push_str(&format!("step {from} -> {to} : {message}\n"));
+            }
+            crate::annotate::AtStep::NewKey { principal, key } => {
+                out.push_str(&format!("newkey {principal} {key}\n"));
+            }
+        }
+    }
+    out.push('\n');
+    for g in &proto.goals {
+        out.push_str(&format!("goal {g}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::analyze_at;
+
+    const FIGURE1: &str = r#"
+# Figure 1 of Abadi & Tuttle 1991 (B's half).
+protocol kerberos-figure1-spec
+principals A B S
+keys Kab Kas Kbs
+
+assume B believes (B <-Kbs-> S)
+assume B believes (S controls (A <-Kab-> B))
+assume B believes fresh(Ts)
+assume B has Kbs
+
+step A -> B : {Ts, <<A <-Kab-> B>>}Kbs@S
+
+goal B believes (A <-Kab-> B)
+"#;
+
+    #[test]
+    fn parses_and_analyzes_figure1() {
+        let (proto, _) = parse_spec(FIGURE1).unwrap();
+        assert_eq!(proto.name, "kerberos-figure1-spec");
+        assert_eq!(proto.assumptions.len(), 4);
+        assert_eq!(proto.steps.len(), 1);
+        assert_eq!(proto.goals.len(), 1);
+        let analysis = analyze_at(&proto);
+        assert!(analysis.succeeded());
+    }
+
+    #[test]
+    fn newkey_directive() {
+        let spec = "protocol t\nnewkey A Kab\ngoal A has Kab\n";
+        let (proto, _) = parse_spec(spec).unwrap();
+        assert!(analyze_at(&proto).succeeded());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let spec = "protocol t\nassume A believes\n";
+        let e = parse_spec(spec).unwrap_err();
+        assert_eq!(e.line, 2);
+        let spec2 = "protocol t\n\nfrobnicate x\n";
+        let e2 = parse_spec(spec2).unwrap_err();
+        assert_eq!(e2.line, 3);
+        assert!(e2.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn malformed_steps_rejected() {
+        assert!(parse_spec("step A B : X\n").is_err());
+        assert!(parse_spec("step A -> B X\n").is_err());
+        assert!(parse_spec("newkey A\n").is_err());
+        assert!(parse_spec("protocol\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = "# comment\n\nprotocol t # trailing\n";
+        let (proto, _) = parse_spec(spec).unwrap();
+        assert_eq!(proto.name, "t");
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let (proto, _) = parse_spec(FIGURE1).unwrap();
+        let rendered = render_spec(&proto, &["A", "B", "S"], &["Kab", "Kas", "Kbs"]);
+        let (again, _) = parse_spec(&rendered).unwrap();
+        assert_eq!(proto, again);
+    }
+}

@@ -1,0 +1,193 @@
+//! Stability analysis (Sections 2.3 and 4.3).
+//!
+//! A formula is *stable* if it remains true once it becomes true within a
+//! run. The annotation procedure carries assertions from one protocol step
+//! to later steps, which is sound only for stable formulas. The original
+//! logic had no negation, so every formula was stable; the reformulated
+//! logic admits unstable formulas, and Section 4.3 requires the formulas
+//! annotating protocols (in practice: the initial assumptions) to be
+//! stable, enforced by a simple linguistic restriction.
+//!
+//! This module provides both the conservative linguistic check
+//! ([`is_linguistically_stable`]) and a semantic check over a concrete
+//! system ([`is_semantically_stable`]).
+
+use crate::semantics::{Semantics, SemanticsError};
+use atl_lang::Formula;
+use atl_model::Point;
+
+/// True if `f` is *rigid*: its truth value is constant across the points
+/// of any single run (so both it and its negation are stable).
+///
+/// Rigid constructs: `fresh` (fixed by the pre-epoch traffic), shared keys
+/// and secrets (quantified over all times), `controls` (quantified over
+/// the epoch), and propositional combinations thereof.
+fn is_rigid(f: &Formula) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::Fresh(_)
+        | Formula::SharedKey(..)
+        | Formula::SharedSecret(..)
+        | Formula::PublicKey(..) => true,
+        Formula::Controls(_, g) => is_monotone(g) || is_rigid(g),
+        Formula::Not(g) => is_rigid(g),
+        Formula::And(a, b) => is_rigid(a) && is_rigid(b),
+        _ => false,
+    }
+}
+
+/// True if `f` is *monotone*: once true, it stays true (the core stability
+/// notion).
+///
+/// Monotone constructs: everything rigid; `sees`/`said`/`says`/`has`
+/// (histories and key sets only grow); conjunctions of monotone formulas;
+/// negations of rigid formulas; and `P believes φ` for monotone `φ` whose
+/// truth `P`'s growing information can only confirm — conservatively, we
+/// accept belief of rigid bodies only, which covers the initial
+/// assumptions used in practice (beliefs in shared keys, freshness,
+/// jurisdiction, and nested such beliefs).
+fn is_monotone(f: &Formula) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::Sees(..) | Formula::Said(..) | Formula::Says(..) | Formula::Has(..) => true,
+        Formula::Fresh(_)
+        | Formula::SharedKey(..)
+        | Formula::SharedSecret(..)
+        | Formula::PublicKey(..) => true,
+        Formula::Controls(_, g) => is_monotone(g) || is_rigid(g),
+        Formula::Not(g) => is_rigid(g),
+        Formula::And(a, b) => is_monotone(a) && is_monotone(b),
+        Formula::Believes(_, g) => is_rigid(g) || is_belief_of_rigid(g),
+        Formula::Prop(_) => false,
+    }
+}
+
+fn is_belief_of_rigid(f: &Formula) -> bool {
+    match f {
+        Formula::Believes(_, g) => is_rigid(g) || is_belief_of_rigid(g),
+        Formula::And(a, b) => {
+            (is_rigid(a) || is_belief_of_rigid(a)) && (is_rigid(b) || is_belief_of_rigid(b))
+        }
+        _ => is_rigid(f),
+    }
+}
+
+/// The conservative linguistic stability check of Section 4.3.
+///
+/// Accepts formulas built so that truth can only be gained over a run:
+/// primitive propositions are rejected (their interpretation is
+/// arbitrary), and `believes`/negation are restricted as described on
+/// `is_monotone` above. A `false` answer does not mean the formula is
+/// unstable — use [`is_semantically_stable`] to check against a system.
+pub fn is_linguistically_stable(f: &Formula) -> bool {
+    is_monotone(f)
+}
+
+/// Checks stability of `f` semantically: in every run of the evaluator's
+/// system, once `f` is true at a time it stays true at later times.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn is_semantically_stable(sem: &Semantics<'_>, f: &Formula) -> Result<bool, SemanticsError> {
+    for (ri, run) in sem.system().runs().iter().enumerate() {
+        let mut seen_true = false;
+        for k in run.times() {
+            let now = sem.eval(Point::new(ri, k), f)?;
+            if seen_true && !now {
+                return Ok(false);
+            }
+            seen_true = seen_true || now;
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::GoodRuns;
+    use atl_lang::{Key, Message, Nonce, Prop};
+    use atl_model::{RunBuilder, System};
+
+    fn nonce(s: &str) -> Message {
+        Message::nonce(Nonce::new(s))
+    }
+
+    #[test]
+    fn monotone_constructs_accepted() {
+        let cases = [
+            Formula::sees("A", nonce("X")),
+            Formula::said("A", nonce("X")),
+            Formula::has("A", Key::new("K")),
+            Formula::fresh(nonce("X")),
+            Formula::shared_key("A", Key::new("K"), "B"),
+            Formula::believes("A", Formula::shared_key("A", Key::new("K"), "B")),
+            Formula::believes("A", Formula::believes("B", Formula::fresh(nonce("T")))),
+            Formula::controls("S", Formula::shared_key("A", Key::new("K"), "B")),
+            Formula::believes("A", Formula::not(Formula::fresh(nonce("T")))),
+        ];
+        for f in cases {
+            assert!(is_linguistically_stable(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn unstable_shapes_rejected() {
+        let cases = [
+            Formula::prop(Prop::new("p")),
+            Formula::not(Formula::sees("A", nonce("X"))),
+            Formula::not(Formula::has("A", Key::new("K"))),
+            Formula::believes("A", Formula::sees("A", nonce("X"))),
+        ];
+        for f in cases {
+            assert!(!is_linguistically_stable(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn semantic_stability_of_sees() {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", []);
+        b.principal("B", []);
+        b.send("A", nonce("X"), "B").unwrap();
+        b.receive("B", &nonce("X")).unwrap();
+        b.new_key("B", "K");
+        let sys = System::new([b.build().unwrap()]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        assert!(is_semantically_stable(&sem, &Formula::sees("B", nonce("X"))).unwrap());
+        // The negation of sees becomes false and stays false — unstable in
+        // the formal sense only if it flips true→false; ¬sees flips
+        // exactly that way here.
+        assert!(
+            !is_semantically_stable(&sem, &Formula::not(Formula::sees("B", nonce("X")))).unwrap()
+        );
+    }
+
+    #[test]
+    fn linguistic_check_is_sound_for_samples() {
+        // Every linguistically stable sample formula is semantically
+        // stable on a concrete system.
+        let mut b = RunBuilder::new(-1);
+        b.principal("A", [Key::new("K")]);
+        b.principal("B", [Key::new("K")]);
+        let c = Message::encrypted(nonce("X"), Key::new("K"), atl_lang::Principal::new("A"));
+        b.send("A", c.clone(), "B").unwrap();
+        b.receive("B", &c).unwrap();
+        let sys = System::new([b.build().unwrap()]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let samples = [
+            Formula::sees("B", c.clone()),
+            Formula::said("A", nonce("X")),
+            Formula::has("A", Key::new("K")),
+            Formula::fresh(nonce("Y")),
+            Formula::shared_key("A", Key::new("K"), "B"),
+            Formula::believes("B", Formula::shared_key("A", Key::new("K"), "B")),
+        ];
+        for f in samples {
+            if is_linguistically_stable(&f) {
+                assert!(is_semantically_stable(&sem, &f).unwrap(), "{f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Deciding instances of propositional tautologies.
+//!
+//! The axiom system takes "all the instances of tautologies of
+//! propositional calculus" as axioms (Section 4.2). The checker abstracts
+//! the maximal non-propositional subformulas of a formula as atoms and
+//! evaluates the resulting propositional skeleton over all assignments.
+
+use atl_lang::Formula;
+use std::collections::BTreeMap;
+
+/// The propositional skeleton of a formula: `True`, `Not`, and `And` nodes
+/// over opaque atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Skeleton {
+    True,
+    Atom(usize),
+    Not(Box<Skeleton>),
+    And(Box<Skeleton>, Box<Skeleton>),
+}
+
+fn skeletonize(f: &Formula, atoms: &mut BTreeMap<Formula, usize>) -> Skeleton {
+    match f {
+        Formula::True => Skeleton::True,
+        Formula::Not(inner) => Skeleton::Not(Box::new(skeletonize(inner, atoms))),
+        Formula::And(a, b) => Skeleton::And(
+            Box::new(skeletonize(a, atoms)),
+            Box::new(skeletonize(b, atoms)),
+        ),
+        other => {
+            let next = atoms.len();
+            let id = *atoms.entry(other.clone()).or_insert(next);
+            Skeleton::Atom(id)
+        }
+    }
+}
+
+fn eval(s: &Skeleton, assignment: u64) -> bool {
+    match s {
+        Skeleton::True => true,
+        Skeleton::Atom(i) => assignment & (1 << i) != 0,
+        Skeleton::Not(inner) => !eval(inner, assignment),
+        Skeleton::And(a, b) => eval(a, assignment) && eval(b, assignment),
+    }
+}
+
+/// The largest number of distinct atoms [`is_tautology`] will truth-table.
+pub const MAX_ATOMS: usize = 20;
+
+/// True if `f` is an instance of a propositional tautology: abstracting its
+/// maximal non-`¬`/`∧`/`true` subformulas as atoms yields a formula true
+/// under every assignment.
+///
+/// Identical subformulas share an atom, so `φ ∨ ¬φ` is recognized for any
+/// `φ`.
+///
+/// # Panics
+///
+/// Panics if the skeleton has more than [`MAX_ATOMS`] distinct atoms (no
+/// axiom instance used by this crate comes close).
+pub fn is_tautology(f: &Formula) -> bool {
+    let mut atoms = BTreeMap::new();
+    let skel = skeletonize(f, &mut atoms);
+    let n = atoms.len();
+    assert!(
+        n <= MAX_ATOMS,
+        "tautology check over {n} atoms exceeds MAX_ATOMS = {MAX_ATOMS}"
+    );
+    (0..(1u64 << n)).all(|assignment| eval(&skel, assignment))
+}
+
+/// True if `f` is propositionally *satisfiable* (true under some
+/// assignment of its modal atoms). Useful for sanity checks on derived
+/// rules.
+///
+/// # Panics
+///
+/// As for [`is_tautology`].
+pub fn is_satisfiable(f: &Formula) -> bool {
+    let mut atoms = BTreeMap::new();
+    let skel = skeletonize(f, &mut atoms);
+    let n = atoms.len();
+    assert!(n <= MAX_ATOMS, "satisfiability check over too many atoms");
+    (0..(1u64 << n)).any(|assignment| eval(&skel, assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_lang::{Key, Principal, Prop};
+
+    fn p() -> Formula {
+        Formula::prop(Prop::new("p"))
+    }
+
+    fn q() -> Formula {
+        Formula::prop(Prop::new("q"))
+    }
+
+    #[test]
+    fn excluded_middle() {
+        assert!(is_tautology(&Formula::or(p(), Formula::not(p()))));
+    }
+
+    #[test]
+    fn modal_subformulas_are_atoms() {
+        let b = Formula::believes(
+            Principal::new("A"),
+            Formula::shared_key(Principal::new("A"), Key::new("K"), Principal::new("B")),
+        );
+        // φ ∨ ¬φ for a modal φ.
+        assert!(is_tautology(&Formula::or(b.clone(), Formula::not(b))));
+    }
+
+    #[test]
+    fn conjunction_elimination_and_introduction() {
+        let elim = Formula::implies(Formula::and(p(), q()), p());
+        assert!(is_tautology(&elim));
+        let intro = Formula::implies(p(), Formula::implies(q(), Formula::and(p(), q())));
+        assert!(is_tautology(&intro));
+    }
+
+    #[test]
+    fn non_tautologies_rejected() {
+        assert!(!is_tautology(&p()));
+        assert!(!is_tautology(&Formula::implies(p(), q())));
+        assert!(!is_tautology(&Formula::falsum()));
+    }
+
+    #[test]
+    fn identical_modal_atoms_are_shared() {
+        let s1 = Formula::sees(
+            Principal::new("A"),
+            atl_lang::Message::nonce(atl_lang::Nonce::new("N")),
+        );
+        let f = Formula::implies(s1.clone(), s1);
+        assert!(is_tautology(&f));
+    }
+
+    #[test]
+    fn different_modal_atoms_are_distinct() {
+        let s1 = Formula::has(Principal::new("A"), Key::new("K1"));
+        let s2 = Formula::has(Principal::new("A"), Key::new("K2"));
+        assert!(!is_tautology(&Formula::implies(s1, s2)));
+    }
+
+    #[test]
+    fn satisfiability() {
+        assert!(is_satisfiable(&p()));
+        assert!(!is_satisfiable(&Formula::and(p(), Formula::not(p()))));
+    }
+
+    #[test]
+    fn true_constant_is_tautology() {
+        assert!(is_tautology(&Formula::True));
+        assert!(!is_tautology(&Formula::falsum()));
+    }
+
+    #[test]
+    fn pierce_law() {
+        // ((p ⊃ q) ⊃ p) ⊃ p — a classical (non-intuitionistic) tautology.
+        let f = Formula::implies(
+            Formula::implies(Formula::implies(p(), q()), p()),
+            p(),
+        );
+        assert!(is_tautology(&f));
+    }
+}

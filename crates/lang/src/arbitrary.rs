@@ -1,0 +1,186 @@
+//! Proptest strategies for randomly generating messages and formulas.
+//!
+//! Available with the `arbitrary` feature. The strategies draw symbols from
+//! small fixed pools so that generated terms collide often enough to
+//! exercise set-based code paths (submessage closure, hiding, freshness).
+
+use crate::formula::Formula;
+use crate::message::{KeyTerm, Message};
+use crate::name::{Key, Nonce, Param, Principal, Prop};
+use proptest::prelude::*;
+
+/// Pool sizes used by the symbol strategies.
+const POOL: usize = 4;
+
+/// A strategy producing one of a small pool of principals `P0..P3`.
+pub fn arb_principal() -> impl Strategy<Value = Principal> {
+    (0..POOL).prop_map(|i| Principal::new(format!("P{i}")))
+}
+
+/// A strategy producing one of a small pool of keys `K0..K3`.
+pub fn arb_key() -> impl Strategy<Value = Key> {
+    (0..POOL).prop_map(|i| Key::new(format!("K{i}")))
+}
+
+/// A strategy producing one of a small pool of nonces `N0..N3`.
+pub fn arb_nonce() -> impl Strategy<Value = Nonce> {
+    (0..POOL).prop_map(|i| Nonce::new(format!("N{i}")))
+}
+
+/// A strategy producing one of a small pool of propositions `p0..p3`.
+pub fn arb_prop() -> impl Strategy<Value = Prop> {
+    (0..POOL).prop_map(|i| Prop::new(format!("p{i}")))
+}
+
+/// A strategy producing one of a small pool of parameters `X0..X3`.
+pub fn arb_param() -> impl Strategy<Value = Param> {
+    (0..POOL).prop_map(|i| Param::new(format!("X{i}")))
+}
+
+/// A strategy producing a key term (concrete key or parameter).
+pub fn arb_keyterm() -> impl Strategy<Value = KeyTerm> {
+    prop_oneof![
+        4 => arb_key().prop_map(KeyTerm::Key),
+        1 => arb_param().prop_map(KeyTerm::Param),
+    ]
+}
+
+/// A strategy producing a *ground* key term (no parameters).
+pub fn arb_ground_keyterm() -> impl Strategy<Value = KeyTerm> {
+    arb_key().prop_map(KeyTerm::Key)
+}
+
+/// A strategy producing ground messages of bounded depth.
+pub fn arb_message(depth: u32) -> BoxedStrategy<Message> {
+    let leaf = prop_oneof![
+        arb_nonce().prop_map(Message::Nonce),
+        arb_key().prop_map(Message::Key),
+        arb_principal().prop_map(Message::Principal),
+    ];
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Message::Tuple),
+            (inner.clone(), arb_key(), arb_principal())
+                .prop_map(|(body, key, from)| Message::encrypted(body, key, from)),
+            (inner.clone(), inner.clone(), arb_principal())
+                .prop_map(|(body, secret, from)| Message::combined(body, secret, from)),
+            (inner.clone(), arb_key(), arb_principal())
+                .prop_map(|(body, key, from)| Message::pub_encrypted(body, key, from)),
+            (inner.clone(), arb_key(), arb_principal())
+                .prop_map(|(body, key, from)| Message::signed(body, key, from)),
+            inner.prop_map(Message::forwarded),
+        ]
+    })
+    .boxed()
+}
+
+/// A strategy producing ground formulas of bounded depth.
+pub fn arb_formula(depth: u32) -> BoxedStrategy<Formula> {
+    let msg = arb_message(2);
+    let leaf = prop_oneof![
+        arb_prop().prop_map(Formula::Prop),
+        Just(Formula::True),
+        (arb_principal(), arb_ground_keyterm(), arb_principal())
+            .prop_map(|(p, k, q)| Formula::shared_key(p, k, q)),
+        (arb_principal(), arb_ground_keyterm()).prop_map(|(p, k)| Formula::has(p, k)),
+        (arb_ground_keyterm(), arb_principal()).prop_map(|(k, p)| Formula::public_key(k, p)),
+        (arb_principal(), msg.clone()).prop_map(|(p, m)| Formula::sees(p, m)),
+        (arb_principal(), msg.clone()).prop_map(|(p, m)| Formula::said(p, m)),
+        (arb_principal(), msg.clone()).prop_map(|(p, m)| Formula::says(p, m)),
+        (arb_principal(), msg.clone(), arb_principal())
+            .prop_map(|(p, m, q)| Formula::shared_secret(p, m, q)),
+        msg.prop_map(Formula::fresh),
+    ];
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (arb_principal(), inner.clone()).prop_map(|(p, f)| Formula::believes(p, f)),
+            (arb_principal(), inner).prop_map(|(p, f)| Formula::controls(p, f)),
+        ]
+    })
+    .boxed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_formula, parse_message, Symbols};
+    use crate::submsgs::{seen_submsgs, submsgs, KeySet};
+
+    fn syms() -> Symbols {
+        Symbols::new()
+            .principals((0..POOL).map(|i| format!("P{i}")))
+            .keys((0..POOL).map(|i| format!("K{i}")))
+    }
+
+    proptest! {
+        #[test]
+        fn generated_messages_are_ground(m in arb_message(4)) {
+            prop_assert!(m.is_ground());
+        }
+
+        #[test]
+        fn message_display_roundtrips(m in arb_message(4)) {
+            let printed = m.to_string();
+            let parsed = parse_message(&printed, &syms())
+                .map_err(|e| TestCaseError::fail(format!("{e}: {printed}")))?;
+            prop_assert_eq!(parsed, m);
+        }
+
+        #[test]
+        fn formula_display_roundtrips(f in arb_formula(3)) {
+            let printed = f.to_string();
+            let parsed = parse_formula(&printed, &syms())
+                .map_err(|e| TestCaseError::fail(format!("{e}: {printed}")))?;
+            prop_assert_eq!(parsed, f);
+        }
+
+        #[test]
+        fn seen_is_subset_of_submsgs(m in arb_message(4), nkeys in 0usize..POOL) {
+            let keys: KeySet = (0..nkeys).map(|i| Key::new(format!("K{i}"))).collect();
+            let seen = seen_submsgs(&m, &keys);
+            let all = submsgs(&m);
+            prop_assert!(seen.is_subset(&all));
+        }
+
+        #[test]
+        fn seen_is_monotone_in_keys(m in arb_message(4), nkeys in 0usize..POOL) {
+            let small: KeySet = (0..nkeys).map(|i| Key::new(format!("K{i}"))).collect();
+            let big: KeySet = (0..POOL).map(|i| Key::new(format!("K{i}"))).collect();
+            let seen_small = seen_submsgs(&m, &small);
+            let seen_big = seen_submsgs(&m, &big);
+            prop_assert!(seen_small.is_subset(&seen_big));
+        }
+
+        #[test]
+        fn full_keys_make_seen_equal_submsgs_without_secrets(m in arb_message(4)) {
+            // With every key available, the only submessages still hidden
+            // are the secrets of combined messages.
+            let all_keys: KeySet = (0..POOL).map(|i| Key::new(format!("K{i}"))).collect();
+            let seen = seen_submsgs(&m, &all_keys);
+            let all = submsgs(&m);
+            prop_assert!(seen.is_subset(&all));
+        }
+
+        #[test]
+        fn hide_is_idempotent(m in arb_message(4), nkeys in 0usize..POOL) {
+            let keys: KeySet = (0..nkeys).map(|i| Key::new(format!("K{i}"))).collect();
+            let once = crate::hide::hide_message(&m, &keys);
+            let twice = crate::hide::hide_message(&once, &keys);
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn hide_with_all_keys_and_inverses_is_identity(m in arb_message(4)) {
+            // Public-key ciphertext needs the inverse keys to stay visible.
+            let keys: KeySet = (0..POOL)
+                .flat_map(|i| {
+                    let k = Key::new(format!("K{i}"));
+                    [k.inverse(), k]
+                })
+                .collect();
+            prop_assert_eq!(crate::hide::hide_message(&m, &keys), m);
+        }
+    }
+}

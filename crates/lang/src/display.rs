@@ -1,0 +1,302 @@
+//! Pretty-printing of messages and formulas in paper-style ASCII notation.
+//!
+//! The concrete syntax produced here is accepted back by the
+//! [`parser`](crate::parser), so `Display` and [`parse_formula`] round-trip:
+//!
+//! | Construct | Notation |
+//! |---|---|
+//! | conjunction | `phi & psi` |
+//! | negation | `~phi` |
+//! | belief | `P believes phi` |
+//! | jurisdiction | `P controls phi` |
+//! | sees / said / says / has | keywords |
+//! | shared key | `P <-Kab-> Q` |
+//! | shared secret | `secret(P, X, Q)` |
+//! | freshness | `fresh(X)` |
+//! | encryption | `{X}Kab@P` (`@P` is the from field) |
+//! | combination | `[X]Y@P` |
+//! | forwarding | `'X'` |
+//! | tuple | `X1, X2, …` (parenthesized when nested) |
+//!
+//! [`parse_formula`]: crate::parser::parse_formula
+
+use crate::formula::Formula;
+use crate::message::{KeyTerm, Message};
+use std::fmt;
+
+impl fmt::Display for KeyTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyTerm::Key(k) => write!(f, "{k}"),
+            KeyTerm::Param(p) => write!(f, "${p}"),
+        }
+    }
+}
+
+/// Precedence levels for formula printing, loosest first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    And,
+    Unary,
+    Atom,
+}
+
+fn fmt_formula(phi: &Formula, prec: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match phi {
+        Formula::Prop(p) => write!(f, "{p}"),
+        Formula::True => write!(f, "true"),
+        Formula::Not(inner) => {
+            if prec > Prec::Unary {
+                write!(f, "(~")?;
+                fmt_formula(inner, Prec::Unary, f)?;
+                write!(f, ")")
+            } else {
+                write!(f, "~")?;
+                fmt_formula(inner, Prec::Unary, f)
+            }
+        }
+        Formula::And(a, b) => {
+            let parens = prec > Prec::And;
+            if parens {
+                write!(f, "(")?;
+            }
+            fmt_formula(a, Prec::Unary, f)?;
+            write!(f, " & ")?;
+            fmt_formula(b, Prec::Unary, f)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Believes(p, inner) => {
+            let parens = prec > Prec::Unary;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "{p} believes ")?;
+            fmt_formula(inner, Prec::Atom, f)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Controls(p, inner) => {
+            let parens = prec > Prec::Unary;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "{p} controls ")?;
+            fmt_formula(inner, Prec::Atom, f)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Sees(p, m) => fmt_modal(f, p.as_str(), "sees", m, prec),
+        Formula::Said(p, m) => fmt_modal(f, p.as_str(), "said", m, prec),
+        Formula::Says(p, m) => fmt_modal(f, p.as_str(), "says", m, prec),
+        Formula::SharedSecret(p, m, q) => {
+            write!(f, "secret({p}, ")?;
+            fmt_message(m, true, f)?;
+            write!(f, ", {q})")
+        }
+        Formula::SharedKey(p, k, q) => {
+            let parens = prec > Prec::Unary;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "{p} <-{k}-> {q}")?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Fresh(m) => {
+            write!(f, "fresh(")?;
+            fmt_message(m, false, f)?;
+            write!(f, ")")
+        }
+        Formula::PublicKey(k, p) => {
+            write!(f, "pubkey({k}, {p})")
+        }
+        Formula::Has(p, k) => {
+            let parens = prec > Prec::Unary;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "{p} has {k}")?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn fmt_modal(
+    f: &mut fmt::Formatter<'_>,
+    p: &str,
+    verb: &str,
+    m: &Message,
+    prec: Prec,
+) -> fmt::Result {
+    let parens = prec > Prec::Unary;
+    if parens {
+        write!(f, "(")?;
+    }
+    write!(f, "{p} {verb} ")?;
+    fmt_message(m, true, f)?;
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+/// `atomic` requests parentheses around bare tuples so the message reads as
+/// a single operand.
+fn fmt_message(m: &Message, atomic: bool, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match m {
+        Message::Formula(phi) => {
+            write!(f, "<<")?;
+            fmt_formula(phi, Prec::And, f)?;
+            write!(f, ">>")
+        }
+        Message::Principal(p) => write!(f, "{p}"),
+        Message::Key(k) => write!(f, "{k}"),
+        Message::Nonce(n) => write!(f, "{n}"),
+        Message::Param(p) => write!(f, "${p}"),
+        Message::Opaque => write!(f, "_|_"),
+        Message::Tuple(items) => {
+            if atomic {
+                write!(f, "(")?;
+            }
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_message(item, true, f)?;
+            }
+            if atomic {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Message::Encrypted { body, key, from } => {
+            write!(f, "{{")?;
+            fmt_message(body, false, f)?;
+            write!(f, "}}{key}@{from}")
+        }
+        Message::Combined { body, secret, from } => {
+            write!(f, "[")?;
+            fmt_message(body, false, f)?;
+            write!(f, "]")?;
+            fmt_message(secret, true, f)?;
+            write!(f, "@{from}")
+        }
+        Message::Forwarded(body) => {
+            write!(f, "'")?;
+            fmt_message(body, false, f)?;
+            write!(f, "'")
+        }
+        Message::PubEncrypted { body, key, from } => {
+            write!(f, "pk{{")?;
+            fmt_message(body, false, f)?;
+            write!(f, "}}{key}@{from}")
+        }
+        Message::Signed { body, key, from } => {
+            write!(f, "sig{{")?;
+            fmt_message(body, false, f)?;
+            write!(f, "}}{key}@{from}")
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_formula(self, Prec::And, f)
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_message(self, false, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::formula::Formula;
+    use crate::message::Message;
+    use crate::name::{Key, Nonce, Param, Principal, Prop};
+
+    fn abs() -> (Principal, Principal, Principal) {
+        (
+            Principal::new("A"),
+            Principal::new("B"),
+            Principal::new("S"),
+        )
+    }
+
+    #[test]
+    fn shared_key_notation() {
+        let (a, b, _) = abs();
+        let f = Formula::shared_key(a, Key::new("Kab"), b);
+        assert_eq!(f.to_string(), "A <-Kab-> B");
+    }
+
+    #[test]
+    fn belief_of_shared_key() {
+        let (a, b, _) = abs();
+        let f = Formula::believes(a.clone(), Formula::shared_key(a, Key::new("Kab"), b));
+        assert_eq!(f.to_string(), "A believes (A <-Kab-> B)");
+    }
+
+    #[test]
+    fn figure1_step3_display() {
+        let (a, b, _) = abs();
+        let body = Message::tuple([
+            Message::nonce(Nonce::new("Ts")),
+            Formula::shared_key(a.clone(), Key::new("Kab"), b.clone()).into_message(),
+        ]);
+        let m = Message::encrypted(body, Key::new("Kbs"), a);
+        assert_eq!(m.to_string(), "{Ts, <<A <-Kab-> B>>}Kbs@A");
+    }
+
+    #[test]
+    fn conjunction_and_negation() {
+        let p = Formula::prop(Prop::new("p"));
+        let q = Formula::prop(Prop::new("q"));
+        let f = Formula::and(Formula::not(p), q);
+        assert_eq!(f.to_string(), "~p & q");
+    }
+
+    #[test]
+    fn forwarded_and_combined() {
+        let (a, _, _) = abs();
+        let m = Message::forwarded(Message::combined(
+            Message::nonce(Nonce::new("N")),
+            Message::nonce(Nonce::new("Y")),
+            a,
+        ));
+        assert_eq!(m.to_string(), "'[N]Y@A'");
+    }
+
+    #[test]
+    fn param_displays_with_dollar() {
+        let m = Message::param(Param::new("Kab"));
+        assert_eq!(m.to_string(), "$Kab");
+    }
+
+    #[test]
+    fn tuple_parenthesized_in_operand_position() {
+        let (a, _, _) = abs();
+        let f = Formula::sees(
+            a,
+            Message::tuple([
+                Message::nonce(Nonce::new("N1")),
+                Message::nonce(Nonce::new("N2")),
+            ]),
+        );
+        assert_eq!(f.to_string(), "A sees (N1, N2)");
+    }
+}

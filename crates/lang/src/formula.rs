@@ -1,0 +1,464 @@
+//! The language `FT` of formulas (Section 4.1, conditions F1–F8).
+//!
+//! Formulas are the sublanguage of messages to which a truth value can be
+//! assigned:
+//!
+//! - **F1** a primitive proposition is a formula;
+//! - **F2** `¬φ` and `φ ∧ ψ` are formulas (∨, ⊃, ≡ are derived);
+//! - **F3** `P believes φ` and `P controls φ` are formulas;
+//! - **F4** `P sees X`, `P said X`, and `P says X` are formulas;
+//! - **F5** `P =X= Q` (shared secret) is a formula;
+//! - **F6** `P ↔K↔ Q` (shared key) is a formula;
+//! - **F7** `fresh(X)` is a formula;
+//! - **F8** `P has K` is a formula.
+
+use crate::message::{KeyTerm, Message};
+use crate::name::{Key, Param, Principal, Prop};
+use std::collections::BTreeSet;
+
+/// A formula in the language `FT` (conditions F1–F8 of Section 4.1).
+///
+/// # Examples
+///
+/// The Figure 1 initial assumption `A believes (A ↔Kas↔ S)`:
+///
+/// ```
+/// use atl_lang::{Formula, Key, Principal};
+/// let (a, s) = (Principal::new("A"), Principal::new("S"));
+/// let f = Formula::believes(
+///     a.clone(),
+///     Formula::shared_key(a, Key::new("Kas"), s),
+/// );
+/// assert_eq!(f.belief_depth(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formula {
+    /// F1: a primitive proposition.
+    Prop(Prop),
+    /// The constant true proposition (Section 7 uses `P believes true`).
+    True,
+    /// F2: negation `¬φ`.
+    Not(Box<Formula>),
+    /// F2: conjunction `φ ∧ ψ`.
+    And(Box<Formula>, Box<Formula>),
+    /// F3: `P believes φ`.
+    Believes(Principal, Box<Formula>),
+    /// F3: `P controls φ` — `P` has jurisdiction over `φ`.
+    Controls(Principal, Box<Formula>),
+    /// F4: `P sees X`.
+    Sees(Principal, Box<Message>),
+    /// F4: `P said X` — `P` sent `X` at some time.
+    Said(Principal, Box<Message>),
+    /// F4: `P says X` — `P` sent `X` in the current epoch.
+    Says(Principal, Box<Message>),
+    /// F5: `P =X= Q` — `X` is a shared secret between `P` and `Q`.
+    SharedSecret(Principal, Box<Message>, Principal),
+    /// F6: `P ↔K↔ Q` — `K` is a shared key for `P` and `Q`.
+    SharedKey(Principal, KeyTerm, Principal),
+    /// F7: `fresh(X)` — `X` was not part of any message sent before the
+    /// current epoch.
+    Fresh(Box<Message>),
+    /// F8: `P has K` — `K` is in `P`'s key set.
+    Has(Principal, KeyTerm),
+    /// Public-key extension: `→K P` — `K` is `P`'s public key (only `P`
+    /// signs with `K⁻¹`).
+    PublicKey(KeyTerm, Principal),
+}
+
+impl Formula {
+    /// F2: `¬φ`.
+    #[allow(clippy::should_implement_trait)] // paper notation, takes an operand
+    pub fn not(f: Formula) -> Self {
+        Formula::Not(Box::new(f))
+    }
+
+    /// F2: `φ ∧ ψ`.
+    pub fn and(a: Formula, b: Formula) -> Self {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// The conjunction of all formulas in the iterator ([`Formula::True`]
+    /// for an empty iterator).
+    pub fn conj(items: impl IntoIterator<Item = Formula>) -> Self {
+        let mut iter = items.into_iter();
+        match iter.next() {
+            None => Formula::True,
+            Some(first) => iter.fold(first, Formula::and),
+        }
+    }
+
+    /// Derived: `φ ∨ ψ`, defined as `¬(¬φ ∧ ¬ψ)`.
+    pub fn or(a: Formula, b: Formula) -> Self {
+        Formula::not(Formula::and(Formula::not(a), Formula::not(b)))
+    }
+
+    /// Derived: `φ ⊃ ψ`, defined as `¬(φ ∧ ¬ψ)`.
+    pub fn implies(a: Formula, b: Formula) -> Self {
+        Formula::not(Formula::and(a, Formula::not(b)))
+    }
+
+    /// Derived: `φ ≡ ψ`, defined as `(φ ⊃ ψ) ∧ (ψ ⊃ φ)`.
+    pub fn iff(a: Formula, b: Formula) -> Self {
+        Formula::and(
+            Formula::implies(a.clone(), b.clone()),
+            Formula::implies(b, a),
+        )
+    }
+
+    /// The constant false proposition, `¬true`.
+    pub fn falsum() -> Self {
+        Formula::not(Formula::True)
+    }
+
+    /// F1: a primitive proposition.
+    pub fn prop(p: impl Into<Prop>) -> Self {
+        Formula::Prop(p.into())
+    }
+
+    /// F3: `P believes φ`.
+    pub fn believes(p: impl Into<Principal>, f: Formula) -> Self {
+        Formula::Believes(p.into(), Box::new(f))
+    }
+
+    /// Nested belief `P1 believes P2 believes … believes φ`.
+    pub fn believes_chain(ps: impl IntoIterator<Item = Principal>, f: Formula) -> Self {
+        let chain: Vec<Principal> = ps.into_iter().collect();
+        chain
+            .into_iter()
+            .rev()
+            .fold(f, |acc, p| Formula::believes(p, acc))
+    }
+
+    /// F3: `P controls φ`.
+    pub fn controls(p: impl Into<Principal>, f: Formula) -> Self {
+        Formula::Controls(p.into(), Box::new(f))
+    }
+
+    /// F4: `P sees X`.
+    pub fn sees(p: impl Into<Principal>, m: Message) -> Self {
+        Formula::Sees(p.into(), Box::new(m))
+    }
+
+    /// F4: `P said X`.
+    pub fn said(p: impl Into<Principal>, m: Message) -> Self {
+        Formula::Said(p.into(), Box::new(m))
+    }
+
+    /// F4: `P says X`.
+    pub fn says(p: impl Into<Principal>, m: Message) -> Self {
+        Formula::Says(p.into(), Box::new(m))
+    }
+
+    /// F5: `P =X= Q`.
+    pub fn shared_secret(p: impl Into<Principal>, m: Message, q: impl Into<Principal>) -> Self {
+        Formula::SharedSecret(p.into(), Box::new(m), q.into())
+    }
+
+    /// F6: `P ↔K↔ Q`.
+    pub fn shared_key(p: impl Into<Principal>, k: impl Into<KeyTerm>, q: impl Into<Principal>) -> Self {
+        Formula::SharedKey(p.into(), k.into(), q.into())
+    }
+
+    /// F7: `fresh(X)`.
+    pub fn fresh(m: Message) -> Self {
+        Formula::Fresh(Box::new(m))
+    }
+
+    /// F8: `P has K`.
+    pub fn has(p: impl Into<Principal>, k: impl Into<KeyTerm>) -> Self {
+        Formula::Has(p.into(), k.into())
+    }
+
+    /// Public-key extension: `→K P`.
+    pub fn public_key(k: impl Into<KeyTerm>, p: impl Into<Principal>) -> Self {
+        Formula::PublicKey(k.into(), p.into())
+    }
+
+    /// M1: wraps the formula as a [`Message`].
+    pub fn into_message(self) -> Message {
+        Message::formula(self)
+    }
+
+    /// True if the formula contains no unresolved [`Param`] (and no opaque
+    /// token in an embedded message).
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Formula::Prop(_) | Formula::True => true,
+            Formula::Not(f) => f.is_ground(),
+            Formula::And(a, b) => a.is_ground() && b.is_ground(),
+            Formula::Believes(_, f) | Formula::Controls(_, f) => f.is_ground(),
+            Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => m.is_ground(),
+            Formula::SharedSecret(_, m, _) => m.is_ground(),
+            Formula::SharedKey(_, k, _) | Formula::Has(_, k) => k.is_ground(),
+            Formula::PublicKey(k, _) => k.is_ground(),
+            Formula::Fresh(m) => m.is_ground(),
+        }
+    }
+
+    /// The structural depth of the formula.
+    pub fn depth(&self) -> usize {
+        match self {
+            Formula::Prop(_) | Formula::True => 1,
+            Formula::Not(f) => 1 + f.depth(),
+            Formula::And(a, b) => 1 + a.depth().max(b.depth()),
+            Formula::Believes(_, f) | Formula::Controls(_, f) => 1 + f.depth(),
+            Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => 1 + m.depth(),
+            Formula::SharedSecret(_, m, _) => 1 + m.depth(),
+            Formula::SharedKey(..) | Formula::Has(..) | Formula::PublicKey(..) => 1,
+            Formula::Fresh(m) => 1 + m.depth(),
+        }
+    }
+
+    /// The total number of grammar nodes in the formula.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Prop(_) | Formula::True => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(a, b) => 1 + a.size() + b.size(),
+            Formula::Believes(_, f) | Formula::Controls(_, f) => 1 + f.size(),
+            Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => 1 + m.size(),
+            Formula::SharedSecret(_, m, _) => 1 + m.size(),
+            Formula::SharedKey(..) | Formula::Has(..) | Formula::PublicKey(..) => 1,
+            Formula::Fresh(m) => 1 + m.size(),
+        }
+    }
+
+    /// The maximum nesting depth of `believes` operators.
+    ///
+    /// Section 7 stratifies initial assumptions by this measure (the sets
+    /// `I_i^j` collect assumptions with `j` levels of belief).
+    pub fn belief_depth(&self) -> usize {
+        match self {
+            Formula::Prop(_) | Formula::True => 0,
+            Formula::Not(f) | Formula::Controls(_, f) => f.belief_depth(),
+            Formula::And(a, b) => a.belief_depth().max(b.belief_depth()),
+            Formula::Believes(_, f) => 1 + f.belief_depth(),
+            Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => {
+                m.as_formula().map_or(0, Formula::belief_depth)
+            }
+            Formula::SharedSecret(..)
+            | Formula::SharedKey(..)
+            | Formula::Fresh(_)
+            | Formula::Has(..)
+            | Formula::PublicKey(..) => 0,
+        }
+    }
+
+    /// True if a `believes` operator occurs within the scope of a negation
+    /// (including negations introduced by the derived connectives ∨ and ⊃).
+    ///
+    /// Restriction **I1** of Section 7 forbids this in initial assumptions.
+    pub fn has_belief_under_negation(&self) -> bool {
+        fn contains_belief(f: &Formula) -> bool {
+            match f {
+                Formula::Prop(_) | Formula::True => false,
+                Formula::Not(g) => contains_belief(g),
+                Formula::And(a, b) => contains_belief(a) || contains_belief(b),
+                Formula::Believes(..) => true,
+                Formula::Controls(_, g) => contains_belief(g),
+                Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => {
+                    m.as_formula().is_some_and(contains_belief)
+                }
+                Formula::SharedSecret(..)
+                | Formula::SharedKey(..)
+                | Formula::Fresh(_)
+                | Formula::Has(..)
+                | Formula::PublicKey(..) => false,
+            }
+        }
+        match self {
+            Formula::Prop(_) | Formula::True => false,
+            Formula::Not(f) => contains_belief(f),
+            Formula::And(a, b) => a.has_belief_under_negation() || b.has_belief_under_negation(),
+            Formula::Believes(_, f) | Formula::Controls(_, f) => f.has_belief_under_negation(),
+            Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => m
+                .as_formula()
+                .is_some_and(Formula::has_belief_under_negation),
+            Formula::SharedSecret(..)
+            | Formula::SharedKey(..)
+            | Formula::Fresh(_)
+            | Formula::Has(..)
+            | Formula::PublicKey(..) => false,
+        }
+    }
+
+    /// Collects every key constant occurring in the formula.
+    pub fn keys(&self) -> BTreeSet<Key> {
+        let mut out = BTreeSet::new();
+        self.collect_keys(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_keys(&self, out: &mut BTreeSet<Key>) {
+        match self {
+            Formula::Prop(_) | Formula::True => {}
+            Formula::Not(f) => f.collect_keys(out),
+            Formula::And(a, b) => {
+                a.collect_keys(out);
+                b.collect_keys(out);
+            }
+            Formula::Believes(_, f) | Formula::Controls(_, f) => f.collect_keys(out),
+            Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => m.collect_keys(out),
+            Formula::SharedSecret(_, m, _) => m.collect_keys(out),
+            Formula::SharedKey(_, k, _) | Formula::Has(_, k) | Formula::PublicKey(k, _) => {
+                if let KeyTerm::Key(k) = k {
+                    out.insert(k.clone());
+                }
+            }
+            Formula::Fresh(m) => m.collect_keys(out),
+        }
+    }
+
+    /// Collects every parameter occurring in the formula.
+    pub fn params(&self) -> BTreeSet<Param> {
+        let mut out = BTreeSet::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    pub(crate) fn collect_params(&self, out: &mut BTreeSet<Param>) {
+        match self {
+            Formula::Prop(_) | Formula::True => {}
+            Formula::Not(f) => f.collect_params(out),
+            Formula::And(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            Formula::Believes(_, f) | Formula::Controls(_, f) => f.collect_params(out),
+            Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => {
+                m.collect_params(out)
+            }
+            Formula::SharedSecret(_, m, _) => m.collect_params(out),
+            Formula::SharedKey(_, k, _) | Formula::Has(_, k) | Formula::PublicKey(k, _) => {
+                if let KeyTerm::Param(p) = k {
+                    out.insert(p.clone());
+                }
+            }
+            Formula::Fresh(m) => m.collect_params(out),
+        }
+    }
+
+    /// Strips a prefix of `believes` operators, returning the chain of
+    /// believers (outermost first) and the innermost body.
+    ///
+    /// Section 7 normalizes initial assumptions to the form
+    /// `P_i believes … P_k believes φ` with `φ` belief-free; this accessor
+    /// performs the decomposition.
+    pub fn strip_beliefs(&self) -> (Vec<&Principal>, &Formula) {
+        let mut chain = Vec::new();
+        let mut cur = self;
+        while let Formula::Believes(p, inner) = cur {
+            chain.push(p);
+            cur = inner;
+        }
+        (chain, cur)
+    }
+}
+
+impl From<Prop> for Formula {
+    fn from(p: Prop) -> Self {
+        Formula::Prop(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::Nonce;
+
+    fn ab() -> (Principal, Principal) {
+        (Principal::new("A"), Principal::new("B"))
+    }
+
+    #[test]
+    fn derived_connectives_reduce_to_not_and() {
+        let p = Formula::prop(Prop::new("p"));
+        let q = Formula::prop(Prop::new("q"));
+        let or = Formula::or(p.clone(), q.clone());
+        assert!(matches!(or, Formula::Not(_)));
+        let imp = Formula::implies(p, q);
+        assert!(matches!(imp, Formula::Not(_)));
+    }
+
+    #[test]
+    fn conj_of_empty_is_true() {
+        assert_eq!(Formula::conj([]), Formula::True);
+        let p = Formula::prop(Prop::new("p"));
+        assert_eq!(Formula::conj([p.clone()]), p);
+    }
+
+    #[test]
+    fn belief_depth_counts_nesting() {
+        let (a, b) = ab();
+        let base = Formula::shared_key(a.clone(), Key::new("K"), b.clone());
+        assert_eq!(base.belief_depth(), 0);
+        let one = Formula::believes(a.clone(), base.clone());
+        assert_eq!(one.belief_depth(), 1);
+        let two = Formula::believes(b, one);
+        assert_eq!(two.belief_depth(), 2);
+        // An `and` takes the max of its branches.
+        let mixed = Formula::and(two.clone(), base);
+        assert_eq!(mixed.belief_depth(), 2);
+        let _ = a;
+    }
+
+    #[test]
+    fn believes_chain_builds_outermost_first() {
+        let (a, b) = ab();
+        let body = Formula::True;
+        let f = Formula::believes_chain([a.clone(), b.clone()], body.clone());
+        assert_eq!(
+            f,
+            Formula::believes(a.clone(), Formula::believes(b.clone(), body))
+        );
+        let (chain, inner) = f.strip_beliefs();
+        assert_eq!(chain, vec![&a, &b]);
+        assert_eq!(inner, &Formula::True);
+    }
+
+    #[test]
+    fn i1_restriction_detects_belief_under_negation() {
+        let (a, b) = ab();
+        let belief = Formula::believes(a.clone(), Formula::True);
+        assert!(!belief.has_belief_under_negation());
+        assert!(Formula::not(belief.clone()).has_belief_under_negation());
+        // "A believes K is not a good key" is allowed by I1.
+        let allowed = Formula::believes(
+            a.clone(),
+            Formula::not(Formula::shared_key(a.clone(), Key::new("K"), b.clone())),
+        );
+        assert!(!allowed.has_belief_under_negation());
+        // Derived connectives introduce negations: `belief ∨ p` violates I1.
+        let disj = Formula::or(belief, Formula::True);
+        assert!(disj.has_belief_under_negation());
+    }
+
+    #[test]
+    fn belief_depth_looks_inside_said_formulas() {
+        let (a, b) = ab();
+        let inner = Formula::believes(b.clone(), Formula::True);
+        let f = Formula::said(a, inner.into_message());
+        assert_eq!(f.belief_depth(), 1);
+    }
+
+    #[test]
+    fn formula_keys_include_embedded_message_keys() {
+        let (a, b) = ab();
+        let k = Key::new("Kab");
+        let f = Formula::sees(
+            a.clone(),
+            Message::encrypted(Message::nonce(Nonce::new("T")), k.clone(), b),
+        );
+        assert!(f.keys().contains(&k));
+        let g = Formula::has(a, k.clone());
+        assert!(g.keys().contains(&k));
+    }
+
+    #[test]
+    fn groundness_of_formulas() {
+        let (a, b) = ab();
+        let f = Formula::shared_key(a.clone(), Param::new("Kab"), b);
+        assert!(!f.is_ground());
+        assert!(Formula::has(a, Key::new("K")).is_ground());
+    }
+}

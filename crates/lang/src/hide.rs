@@ -1,0 +1,148 @@
+//! The `hide` operation of Section 6.
+//!
+//! Before computing the points a principal considers possible, the contents
+//! of encrypted messages it cannot read are hidden — otherwise a principal
+//! holding `{X^Q}_K` but not `K` would spuriously "believe" that the
+//! ciphertext contains `X`. Hiding replaces every such ciphertext with the
+//! opaque token `⊥` ([`Message::Opaque`]).
+
+use crate::message::{KeyTerm, Message};
+use crate::submsgs::KeySet;
+
+/// Replaces every encrypted submessage of `m` whose key is not in `keys`
+/// with the opaque token `⊥`.
+///
+/// Decryptable ciphertext is preserved (and its body recursively hidden, in
+/// case it nests ciphertext under unavailable keys). The paper's example:
+/// with a key set lacking `K`, the message `({X^Q}_K, {Y^R}_K')` becomes
+/// `(⊥, {Y^R}_K')` when `K' ∈ keys`.
+///
+/// # Examples
+///
+/// ```
+/// use atl_lang::*;
+/// let s = Principal::new("S");
+/// let x = Message::nonce(Nonce::new("X"));
+/// let m = Message::encrypted(x, Key::new("K"), s);
+/// assert_eq!(hide_message(&m, &KeySet::new()), Message::Opaque);
+/// let mut ks = KeySet::new();
+/// ks.insert(Key::new("K"));
+/// assert_eq!(hide_message(&m, &ks), m);
+/// ```
+pub fn hide_message(m: &Message, keys: &KeySet) -> Message {
+    match m {
+        Message::Encrypted { body, key, from } => match key {
+            KeyTerm::Key(k) if keys.contains(k) => Message::Encrypted {
+                body: Box::new(hide_message(body, keys)),
+                key: key.clone(),
+                from: from.clone(),
+            },
+            _ => Message::Opaque,
+        },
+        Message::Tuple(items) => {
+            Message::Tuple(items.iter().map(|item| hide_message(item, keys)).collect())
+        }
+        Message::Combined { body, secret, from } => Message::Combined {
+            body: Box::new(hide_message(body, keys)),
+            secret: Box::new(hide_message(secret, keys)),
+            from: from.clone(),
+        },
+        Message::Forwarded(body) => Message::Forwarded(Box::new(hide_message(body, keys))),
+        Message::PubEncrypted { body, key, from } => match key {
+            // Readable only with the inverse (private) key.
+            KeyTerm::Key(k) if keys.contains(&k.inverse()) => Message::PubEncrypted {
+                body: Box::new(hide_message(body, keys)),
+                key: key.clone(),
+                from: from.clone(),
+            },
+            _ => Message::Opaque,
+        },
+        Message::Signed { body, key, from } => match key {
+            // Readable by anyone holding the (public) verification key.
+            KeyTerm::Key(k) if keys.contains(k) => Message::Signed {
+                body: Box::new(hide_message(body, keys)),
+                key: key.clone(),
+                from: from.clone(),
+            },
+            _ => Message::Opaque,
+        },
+        Message::Formula(_)
+        | Message::Principal(_)
+        | Message::Key(_)
+        | Message::Nonce(_)
+        | Message::Param(_)
+        | Message::Opaque => m.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::{Key, Nonce, Principal};
+
+    fn nonce(s: &str) -> Message {
+        Message::nonce(Nonce::new(s))
+    }
+
+    fn keyset(keys: &[&str]) -> KeySet {
+        keys.iter().map(Key::new).collect()
+    }
+
+    #[test]
+    fn paper_example_partial_hiding() {
+        let s = Principal::new("S");
+        let m = Message::tuple([
+            Message::encrypted(nonce("X"), Key::new("K"), s.clone()),
+            Message::encrypted(nonce("Y"), Key::new("Kp"), s.clone()),
+        ]);
+        let hidden = hide_message(&m, &keyset(&["Kp"]));
+        assert_eq!(
+            hidden,
+            Message::tuple([
+                Message::Opaque,
+                Message::encrypted(nonce("Y"), Key::new("Kp"), s),
+            ])
+        );
+    }
+
+    #[test]
+    fn nested_ciphertext_hidden_inside_readable_ciphertext() {
+        let s = Principal::new("S");
+        let inner = Message::encrypted(nonce("X"), Key::new("Kb"), s.clone());
+        let outer = Message::encrypted(inner, Key::new("Ka"), s.clone());
+        let hidden = hide_message(&outer, &keyset(&["Ka"]));
+        assert_eq!(hidden, Message::encrypted(Message::Opaque, Key::new("Ka"), s));
+    }
+
+    #[test]
+    fn hiding_is_idempotent() {
+        let s = Principal::new("S");
+        let m = Message::tuple([
+            Message::encrypted(nonce("X"), Key::new("K"), s.clone()),
+            Message::forwarded(Message::combined(nonce("A"), nonce("B"), s)),
+        ]);
+        let ks = keyset(&[]);
+        let once = hide_message(&m, &ks);
+        let twice = hide_message(&once, &ks);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn indistinguishable_ciphertexts_hide_identically() {
+        // The crux of the definition: two different unreadable ciphertexts
+        // hide to the same opaque token, so a principal cannot distinguish
+        // points that differ only in ciphertext it cannot read.
+        let s = Principal::new("S");
+        let m1 = Message::encrypted(nonce("X"), Key::new("K"), s.clone());
+        let m2 = Message::encrypted(nonce("Y"), Key::new("K2"), s);
+        let ks = keyset(&[]);
+        assert_eq!(hide_message(&m1, &ks), hide_message(&m2, &ks));
+    }
+
+    #[test]
+    fn param_keyed_ciphertext_is_always_opaque() {
+        let s = Principal::new("S");
+        let m = Message::encrypted(nonce("X"), crate::name::Param::new("K"), s);
+        assert_eq!(hide_message(&m, &keyset(&["K"])), Message::Opaque);
+    }
+}

@@ -1,0 +1,692 @@
+//! A text parser for the concrete syntax produced by the crate's `Display`
+//! impls.
+//!
+//! The parser lets tests, examples, and protocol descriptions be written in
+//! paper-like notation:
+//!
+//! ```
+//! use atl_lang::parser::{parse_formula, Symbols};
+//! let syms = Symbols::new().principals(["A", "B", "S"]).keys(["Kab", "Kas"]);
+//! let f = parse_formula("A believes (A <-Kab-> B)", &syms)?;
+//! assert_eq!(f.to_string(), "A believes (A <-Kab-> B)");
+//! # Ok::<(), atl_lang::parser::ParseError>(())
+//! ```
+//!
+//! Identifier classification is contextual: names appearing where a
+//! principal or key is required are coerced; bare identifiers in message
+//! position default to nonces (unless declared in [`Symbols`]), and bare
+//! identifiers in formula position default to primitive propositions.
+//!
+//! In addition to the `Display` syntax, the parser accepts the derived
+//! connectives `|` (disjunction) and `->` (implication), which elaborate to
+//! `~`/`&` as in Section 4.1.
+
+use crate::formula::Formula;
+use crate::message::{KeyTerm, Message};
+use crate::name::{Key, Nonce, Param, Principal, Prop};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when parsing fails, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Declares which identifiers denote principals and keys.
+///
+/// Everything else defaults to a nonce (in message position) or a primitive
+/// proposition (in formula position).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Symbols {
+    principals: BTreeSet<String>,
+    keys: BTreeSet<String>,
+}
+
+impl Symbols {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Symbols::default()
+    }
+
+    /// Declares principal names.
+    pub fn principals<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.principals.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares key names.
+    pub fn keys<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.keys.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    fn is_principal(&self, s: &str) -> bool {
+        self.principals.contains(s)
+    }
+
+    fn is_key(&self, s: &str) -> bool {
+        self.keys.contains(s)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Param(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Quote,
+    At,
+    Tilde,
+    Amp,
+    Pipe,
+    Arrow,     // ->
+    KeyOpen,   // <-
+    MsgOpen,   // <<
+    MsgClose,  // >>
+    Bottom,    // _|_
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    toks: Vec<(usize, Tok)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(src: &'a str) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut lx = Lexer {
+            src,
+            pos: 0,
+            toks: Vec::new(),
+        };
+        lx.lex()?;
+        Ok(lx.toks)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn push(&mut self, t: Tok, len: usize) {
+        self.toks.push((self.pos, t));
+        self.pos += len;
+    }
+
+    fn lex(&mut self) -> Result<(), ParseError> {
+        while self.pos < self.src.len() {
+            let rest = self.rest();
+            let c = rest.chars().next().expect("non-empty rest");
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+                continue;
+            }
+            if rest.starts_with("_|_") {
+                self.push(Tok::Bottom, 3);
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let len = rest
+                    .char_indices()
+                    .find(|(_, ch)| !ch.is_alphanumeric() && *ch != '_')
+                    .map_or(rest.len(), |(i, _)| i);
+                let word = rest[..len].to_string();
+                self.push(Tok::Ident(word), len);
+                continue;
+            }
+            if c == '$' {
+                let after = &rest[1..];
+                let len = after
+                    .char_indices()
+                    .find(|(_, ch)| !ch.is_alphanumeric() && *ch != '_')
+                    .map_or(after.len(), |(i, _)| i);
+                if len == 0 {
+                    return Err(ParseError {
+                        offset: self.pos,
+                        message: "expected identifier after `$`".into(),
+                    });
+                }
+                let word = after[..len].to_string();
+                self.push(Tok::Param(word), len + 1);
+                continue;
+            }
+            if rest.starts_with("<<") {
+                self.push(Tok::MsgOpen, 2);
+                continue;
+            }
+            if rest.starts_with(">>") {
+                self.push(Tok::MsgClose, 2);
+                continue;
+            }
+            if rest.starts_with("<-") {
+                self.push(Tok::KeyOpen, 2);
+                continue;
+            }
+            if rest.starts_with("->") {
+                self.push(Tok::Arrow, 2);
+                continue;
+            }
+            let tok = match c {
+                '(' => Tok::LParen,
+                ')' => Tok::RParen,
+                '{' => Tok::LBrace,
+                '}' => Tok::RBrace,
+                '[' => Tok::LBracket,
+                ']' => Tok::RBracket,
+                ',' => Tok::Comma,
+                '\'' => Tok::Quote,
+                '@' => Tok::At,
+                '~' => Tok::Tilde,
+                '&' => Tok::Amp,
+                '|' => Tok::Pipe,
+                other => {
+                    return Err(ParseError {
+                        offset: self.pos,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            };
+            self.push(tok, 1);
+        }
+        Ok(())
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+    syms: &'a Symbols,
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.idx).map_or(self.end, |(o, _)| *o)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.idx += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => {
+                self.idx = self.idx.saturating_sub(1);
+                Err(self.err(format!("expected {what}")))
+            }
+        }
+    }
+
+    // formula := implication
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.disjunction()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.idx += 1;
+            let rhs = self.formula()?;
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.conjunction()?;
+        while self.peek() == Some(&Tok::Pipe) {
+            self.idx += 1;
+            let rhs = self.conjunction()?;
+            lhs = Formula::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == Some(&Tok::Amp) {
+            self.idx += 1;
+            let rhs = self.unary()?;
+            lhs = Formula::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.peek() == Some(&Tok::Tilde) {
+            self.idx += 1;
+            return Ok(Formula::not(self.unary()?));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.idx += 1;
+                let f = self.formula()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                Ok(f)
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.ident("identifier")?;
+                match name.as_str() {
+                    "true" => Ok(Formula::True),
+                    "fresh" => {
+                        self.eat(&Tok::LParen, "`(` after `fresh`")?;
+                        let m = self.message()?;
+                        self.eat(&Tok::RParen, "`)`")?;
+                        Ok(Formula::fresh(m))
+                    }
+                    "pubkey" => {
+                        self.eat(&Tok::LParen, "`(` after `pubkey`")?;
+                        let k = self.keyterm()?;
+                        self.eat(&Tok::Comma, "`,`")?;
+                        let p = self.ident("principal")?;
+                        self.eat(&Tok::RParen, "`)`")?;
+                        Ok(Formula::public_key(k, Principal::new(p)))
+                    }
+                    "secret" => {
+                        self.eat(&Tok::LParen, "`(` after `secret`")?;
+                        let p = self.ident("principal")?;
+                        self.eat(&Tok::Comma, "`,`")?;
+                        let m = self.msgatom()?;
+                        self.eat(&Tok::Comma, "`,`")?;
+                        let q = self.ident("principal")?;
+                        self.eat(&Tok::RParen, "`)`")?;
+                        Ok(Formula::shared_secret(
+                            Principal::new(p),
+                            m,
+                            Principal::new(q),
+                        ))
+                    }
+                    _ => self.after_subject(name),
+                }
+            }
+            _ => Err(self.err("expected a formula".into())),
+        }
+    }
+
+    /// Parses the continuation of a formula that began with an identifier:
+    /// either a modal verb, the shared-key arrow, or nothing (a bare
+    /// proposition).
+    fn after_subject(&mut self, subject: String) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(verb)) => {
+                let verb = verb.clone();
+                match verb.as_str() {
+                    "believes" => {
+                        self.idx += 1;
+                        let body = self.unary()?;
+                        Ok(Formula::believes(Principal::new(subject), body))
+                    }
+                    "controls" => {
+                        self.idx += 1;
+                        let body = self.unary()?;
+                        Ok(Formula::controls(Principal::new(subject), body))
+                    }
+                    "sees" => {
+                        self.idx += 1;
+                        let m = self.message_operand()?;
+                        Ok(Formula::sees(Principal::new(subject), m))
+                    }
+                    "said" => {
+                        self.idx += 1;
+                        let m = self.message_operand()?;
+                        Ok(Formula::said(Principal::new(subject), m))
+                    }
+                    "says" => {
+                        self.idx += 1;
+                        let m = self.message_operand()?;
+                        Ok(Formula::says(Principal::new(subject), m))
+                    }
+                    "has" => {
+                        self.idx += 1;
+                        let k = self.keyterm()?;
+                        Ok(Formula::has(Principal::new(subject), k))
+                    }
+                    _ => Err(self.err(format!(
+                        "expected a modal verb (believes/controls/sees/said/says/has), found `{verb}`"
+                    ))),
+                }
+            }
+            Some(Tok::KeyOpen) => {
+                self.idx += 1;
+                let k = self.keyterm()?;
+                self.eat(&Tok::Arrow, "`->` closing the shared-key arrow")?;
+                let q = self.ident("principal")?;
+                Ok(Formula::shared_key(
+                    Principal::new(subject),
+                    k,
+                    Principal::new(q),
+                ))
+            }
+            _ => Ok(Formula::prop(Prop::new(subject))),
+        }
+    }
+
+    fn keyterm(&mut self) -> Result<KeyTerm, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(KeyTerm::Key(Key::new(s))),
+            Some(Tok::Param(s)) => Ok(KeyTerm::Param(Param::new(s))),
+            _ => {
+                self.idx = self.idx.saturating_sub(1);
+                Err(self.err("expected a key or $parameter".into()))
+            }
+        }
+    }
+
+    // message := msgatom (',' msgatom)*
+    fn message(&mut self) -> Result<Message, ParseError> {
+        let mut items = vec![self.msgatom()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.idx += 1;
+            items.push(self.msgatom()?);
+        }
+        Ok(Message::tuple(items))
+    }
+
+    /// A message in operand position (after `sees` etc.): a single atom, so
+    /// tuples must be parenthesized.
+    fn message_operand(&mut self) -> Result<Message, ParseError> {
+        self.msgatom()
+    }
+
+    fn msgatom(&mut self) -> Result<Message, ParseError> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.idx += 1;
+                let m = self.message()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                Ok(m)
+            }
+            Some(Tok::LBrace) => {
+                self.idx += 1;
+                let body = self.message()?;
+                self.eat(&Tok::RBrace, "`}`")?;
+                let key = self.keyterm()?;
+                let from = self.from_field()?;
+                Ok(Message::Encrypted {
+                    body: Box::new(body),
+                    key,
+                    from,
+                })
+            }
+            Some(Tok::LBracket) => {
+                self.idx += 1;
+                let body = self.message()?;
+                self.eat(&Tok::RBracket, "`]`")?;
+                let secret = self.msgatom()?;
+                let from = self.from_field()?;
+                Ok(Message::Combined {
+                    body: Box::new(body),
+                    secret: Box::new(secret),
+                    from,
+                })
+            }
+            Some(Tok::Quote) => {
+                self.idx += 1;
+                let body = self.message()?;
+                self.eat(&Tok::Quote, "closing `'`")?;
+                Ok(Message::forwarded(body))
+            }
+            Some(Tok::MsgOpen) => {
+                self.idx += 1;
+                let f = self.formula()?;
+                self.eat(&Tok::MsgClose, "`>>`")?;
+                Ok(Message::formula(f))
+            }
+            Some(Tok::Bottom) => {
+                self.idx += 1;
+                Ok(Message::Opaque)
+            }
+            Some(Tok::Param(_)) => {
+                let Some(Tok::Param(s)) = self.bump() else {
+                    unreachable!("peeked Param")
+                };
+                Ok(Message::param(Param::new(s)))
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.ident("identifier")?;
+                if (name == "pk" || name == "sig") && self.peek() == Some(&Tok::LBrace) {
+                    self.idx += 1;
+                    let body = self.message()?;
+                    self.eat(&Tok::RBrace, "`}`")?;
+                    let key = self.keyterm()?;
+                    let from = self.from_field()?;
+                    return Ok(if name == "pk" {
+                        Message::PubEncrypted {
+                            body: Box::new(body),
+                            key,
+                            from,
+                        }
+                    } else {
+                        Message::Signed {
+                            body: Box::new(body),
+                            key,
+                            from,
+                        }
+                    });
+                }
+                if self.syms.is_principal(&name) {
+                    Ok(Message::principal(Principal::new(name)))
+                } else if self.syms.is_key(&name) {
+                    Ok(Message::key(Key::new(name)))
+                } else {
+                    Ok(Message::nonce(Nonce::new(name)))
+                }
+            }
+            _ => Err(self.err("expected a message".into())),
+        }
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses the `@P` from-field
+    fn from_field(&mut self) -> Result<Principal, ParseError> {
+        if self.peek() == Some(&Tok::At) {
+            self.idx += 1;
+            let p = self.ident("principal after `@`")?;
+            Ok(Principal::new(p))
+        } else {
+            Ok(Principal::environment())
+        }
+    }
+
+    fn finish<T>(self, value: T) -> Result<T, ParseError> {
+        if self.idx == self.toks.len() {
+            Ok(value)
+        } else {
+            Err(self.err("unexpected trailing input".into()))
+        }
+    }
+}
+
+/// Parses a formula written in the crate's `Display` syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the byte offset of the first problem.
+pub fn parse_formula(input: &str, syms: &Symbols) -> Result<Formula, ParseError> {
+    let toks = Lexer::run(input)?;
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        syms,
+        end: input.len(),
+    };
+    let f = p.formula()?;
+    p.finish(f)
+}
+
+/// Parses a message written in the crate's `Display` syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the byte offset of the first problem.
+pub fn parse_message(input: &str, syms: &Symbols) -> Result<Message, ParseError> {
+    let toks = Lexer::run(input)?;
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        syms,
+        end: input.len(),
+    };
+    let m = p.message()?;
+    p.finish(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms() -> Symbols {
+        Symbols::new()
+            .principals(["A", "B", "S", "Env"])
+            .keys(["Kab", "Kas", "Kbs"])
+    }
+
+    #[test]
+    fn parses_shared_key_formula() {
+        let f = parse_formula("A <-Kab-> B", &syms()).unwrap();
+        assert_eq!(
+            f,
+            Formula::shared_key(Principal::new("A"), Key::new("Kab"), Principal::new("B"))
+        );
+    }
+
+    #[test]
+    fn parses_nested_belief() {
+        let f = parse_formula("A believes (B believes (A <-Kab-> B))", &syms()).unwrap();
+        assert_eq!(f.belief_depth(), 2);
+    }
+
+    #[test]
+    fn parses_figure1_message() {
+        let m = parse_message("{Ts, <<A <-Kab-> B>>}Kbs@S", &syms()).unwrap();
+        assert_eq!(m.to_string(), "{Ts, <<A <-Kab-> B>>}Kbs@S");
+        assert!(matches!(m, Message::Encrypted { .. }));
+    }
+
+    #[test]
+    fn classification_uses_symbol_table() {
+        let m = parse_message("A, Kab, Ts", &syms()).unwrap();
+        let Message::Tuple(items) = m else {
+            panic!("expected tuple")
+        };
+        assert!(matches!(items[0], Message::Principal(_)));
+        assert!(matches!(items[1], Message::Key(_)));
+        assert!(matches!(items[2], Message::Nonce(_)));
+    }
+
+    #[test]
+    fn derived_connectives_elaborate() {
+        let f = parse_formula("p -> q | r", &syms()).unwrap();
+        let expected = Formula::implies(
+            Formula::prop(Prop::new("p")),
+            Formula::or(Formula::prop(Prop::new("q")), Formula::prop(Prop::new("r"))),
+        );
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn roundtrips_display_syntax() {
+        let cases = [
+            "A believes (A <-Kab-> B)",
+            "~p & q",
+            "A sees (N1, N2)",
+            "A says {Ts}Kas@S",
+            "fresh(Ts)",
+            "secret(A, Na, B)",
+            "A has Kab",
+            "A controls fresh(Ts)",
+            "S said 'Na'",
+            "A sees [X]Y@B",
+            "A sees _|_",
+            "A has $K",
+            "B sees sig{Xa}Ka@A",
+            "B sees pk{Na}Kb@A",
+            "pubkey(Ka, A)",
+        ];
+        for case in cases {
+            let f = parse_formula(case, &syms()).unwrap();
+            assert_eq!(f.to_string(), case, "roundtrip failed for {case}");
+        }
+    }
+
+    #[test]
+    fn reports_offset_on_error() {
+        let err = parse_formula("A believes", &syms()).unwrap_err();
+        assert!(err.offset >= 10, "offset was {}", err.offset);
+        let err2 = parse_formula("A ? B", &syms()).unwrap_err();
+        assert_eq!(err2.offset, 2);
+    }
+
+    #[test]
+    fn rejects_trailing_input() {
+        assert!(parse_formula("p q", &syms()).is_err());
+        assert!(parse_message("Na )", &syms()).is_err());
+    }
+
+    #[test]
+    fn default_from_field_is_environment() {
+        let m = parse_message("{Na}Kab", &syms()).unwrap();
+        let Message::Encrypted { from, .. } = m else {
+            panic!("expected encryption")
+        };
+        assert!(from.is_environment());
+    }
+
+    #[test]
+    fn parses_quantifier_free_section8_schema() {
+        let f = parse_formula("S controls (A <-$Kab-> B)", &syms()).unwrap();
+        assert!(!f.is_ground());
+        assert_eq!(f.to_string(), "S controls (A <-$Kab-> B)");
+    }
+}

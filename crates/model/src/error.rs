@@ -1,0 +1,81 @@
+//! Error types for run construction and protocol execution.
+
+use atl_lang::{Message, Principal};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or executing a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A `receive` was requested for a message not in the principal's
+    /// buffer (restriction 2 would be violated).
+    NotInBuffer {
+        /// The would-be receiver.
+        principal: Principal,
+        /// The message that was not buffered.
+        message: Message,
+    },
+    /// A `send` violates restriction 3, 4, or 5 of Section 5.
+    SendViolation {
+        /// The offending sender.
+        actor: Principal,
+        /// Which restriction failed and why.
+        reason: String,
+    },
+    /// A message containing unresolved parameters was used in a run.
+    NotGround(Message),
+    /// The run's shape is inconsistent (state/event counts, or it does not
+    /// reach time 0).
+    MalformedRun(String),
+    /// A protocol script referenced an undeclared principal.
+    UnknownPrincipal(Principal),
+    /// Protocol execution stalled: a role is waiting for a message that
+    /// never arrives.
+    Stalled {
+        /// The waiting role.
+        principal: Principal,
+        /// Description of what it was waiting for.
+        waiting_for: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotInBuffer { principal, message } => {
+                write!(f, "message {message} is not buffered for {principal}")
+            }
+            ModelError::SendViolation { actor, reason } => {
+                write!(f, "illegal send by {actor}: {reason}")
+            }
+            ModelError::NotGround(m) => {
+                write!(f, "message {m} contains unresolved parameters")
+            }
+            ModelError::MalformedRun(why) => write!(f, "malformed run: {why}"),
+            ModelError::UnknownPrincipal(p) => write!(f, "unknown principal {p}"),
+            ModelError::Stalled {
+                principal,
+                waiting_for,
+            } => write!(f, "protocol stalled: {principal} waiting for {waiting_for}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_lang::Nonce;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::NotInBuffer {
+            principal: Principal::new("B"),
+            message: Message::nonce(Nonce::new("X")),
+        };
+        assert_eq!(e.to_string(), "message X is not buffered for B");
+        let e2 = ModelError::MalformedRun("oops".into());
+        assert!(e2.to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Executing protocols into runs.
+//!
+//! The executor interleaves the role scripts of a [`Protocol`] into a
+//! well-formed [`Run`]: at each step it picks an *enabled* role (one whose
+//! next script step can fire) and performs that step through the checked
+//! [`RunBuilder`]. Different schedules yield different runs of the same
+//! protocol; [`execute_schedules`] collects several into a [`System`].
+
+use crate::error::ModelError;
+use crate::protocol::{Protocol, Role, RoleStep};
+use crate::run::{Run, RunBuilder};
+use crate::system::System;
+use atl_lang::{Message, Principal};
+
+/// Options controlling execution.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct ExecOptions {
+    /// Time assigned to the run's first state (≤ 0). A negative start time
+    /// places the protocol's prologue in the past epoch.
+    pub start_time: i64,
+    /// If true, every send also posts a copy to the environment principal,
+    /// modeling a public channel the attacker taps.
+    pub public_channel: bool,
+    /// Fixed schedule: at step `i`, try to fire role `schedule[i % len]`.
+    /// Empty means round-robin over roles.
+    pub schedule: Vec<usize>,
+}
+
+
+/// Executes `protocol` under `options`, producing one run.
+///
+/// # Errors
+///
+/// [`ModelError::Stalled`] if no role can make progress before all scripts
+/// finish (e.g. an `Expect` for a message never sent);
+/// [`ModelError::SendViolation`] if a script violates the Section 5
+/// restrictions.
+pub fn execute(protocol: &Protocol, options: &ExecOptions) -> Result<Run, ModelError> {
+    let mut builder = RunBuilder::new(options.start_time);
+    for role in protocol.roles() {
+        builder.principal(role.principal.clone(), role.initial_keys.iter().cloned());
+    }
+    let mut cursors: Vec<usize> = vec![0; protocol.roles().len()];
+    let n = protocol.roles().len();
+    let mut clock = 0usize;
+    let env = Principal::environment();
+
+    loop {
+        if cursors
+            .iter()
+            .zip(protocol.roles())
+            .all(|(c, r)| *c >= r.steps.len())
+        {
+            break;
+        }
+        // Find an enabled role, starting from the scheduled preference.
+        let mut fired = false;
+        for offset in 0..n {
+            let idx = if options.schedule.is_empty() {
+                (clock + offset) % n
+            } else {
+                (options.schedule[clock % options.schedule.len()] + offset) % n
+            };
+            let role = &protocol.roles()[idx];
+            if cursors[idx] >= role.steps.len() {
+                continue;
+            }
+            if try_fire(&mut builder, role, &mut cursors[idx], options, &env)? {
+                fired = true;
+                break;
+            }
+        }
+        if !fired {
+            let (idx, role) = protocol
+                .roles()
+                .iter()
+                .enumerate()
+                .find(|(i, r)| cursors[*i] < r.steps.len())
+                .expect("unfinished role exists");
+            let step = &role.steps[cursors[idx]];
+            return Err(ModelError::Stalled {
+                principal: role.principal.clone(),
+                waiting_for: format!("{step:?}"),
+            });
+        }
+        clock += 1;
+    }
+    builder.build()
+}
+
+/// Attempts to fire the next step of `role`; returns whether it fired.
+fn try_fire(
+    builder: &mut RunBuilder,
+    role: &Role,
+    cursor: &mut usize,
+    options: &ExecOptions,
+    env: &Principal,
+) -> Result<bool, ModelError> {
+    let step = &role.steps[*cursor];
+    match step {
+        RoleStep::Send { message, to } => {
+            builder.send(role.principal.clone(), message.clone(), to.clone())?;
+            if options.public_channel && to != env {
+                builder.send(role.principal.clone(), message.clone(), env.clone())?;
+            }
+            *cursor += 1;
+            Ok(true)
+        }
+        RoleStep::NewKey(k) => {
+            builder.new_key(role.principal.clone(), k.clone());
+            *cursor += 1;
+            Ok(true)
+        }
+        RoleStep::Expect(pattern) => {
+            let buffered: Option<Message> = builder
+                .current_state()
+                .env
+                .buffer(&role.principal)
+                .iter()
+                .find(|m| pattern.matches(m))
+                .cloned();
+            match buffered {
+                Some(m) => {
+                    builder.receive(role.principal.clone(), &m)?;
+                    *cursor += 1;
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+    }
+}
+
+/// Executes the protocol under each provided schedule, collecting the
+/// resulting runs into a system. Schedules that stall are skipped.
+pub fn execute_schedules(
+    protocol: &Protocol,
+    base: &ExecOptions,
+    schedules: &[Vec<usize>],
+) -> System {
+    let mut runs = Vec::new();
+    for schedule in schedules {
+        let options = ExecOptions {
+            schedule: schedule.clone(),
+            ..base.clone()
+        };
+        if let Ok(run) = execute(protocol, &options) {
+            if !runs.contains(&run) {
+                runs.push(run);
+            }
+        }
+    }
+    System::new(runs)
+}
+
+/// All rotations of `0..n` — a cheap family of distinct schedules.
+pub fn rotation_schedules(n: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|s| (0..n).map(|i| (i + s) % n).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Role;
+    use crate::validate::validate_run;
+    use atl_lang::{Key, Nonce};
+
+    fn nonce(s: &str) -> Message {
+        Message::nonce(Nonce::new(s))
+    }
+
+    fn ping_pong() -> Protocol {
+        Protocol::new("ping-pong")
+            .role(
+                Role::new("A", [])
+                    .send(nonce("ping"), "B")
+                    .expect(nonce("pong")),
+            )
+            .role(
+                Role::new("B", [])
+                    .expect(nonce("ping"))
+                    .send(nonce("pong"), "A"),
+            )
+    }
+
+    #[test]
+    fn executes_ping_pong() {
+        let run = execute(&ping_pong(), &ExecOptions::default()).unwrap();
+        assert!(validate_run(&run).is_empty());
+        assert_eq!(run.send_records().len(), 2);
+        let a = Principal::new("A");
+        let final_state = run.state(run.horizon()).unwrap();
+        assert!(final_state.local(&a).received().contains(&nonce("pong")));
+    }
+
+    #[test]
+    fn stalls_when_message_never_sent() {
+        let proto = Protocol::new("stuck").role(Role::new("A", []).expect(nonce("never")));
+        let err = execute(&proto, &ExecOptions::default()).unwrap_err();
+        assert!(matches!(err, ModelError::Stalled { .. }));
+    }
+
+    #[test]
+    fn public_channel_copies_to_environment() {
+        let opts = ExecOptions {
+            public_channel: true,
+            ..ExecOptions::default()
+        };
+        let run = execute(&ping_pong(), &opts).unwrap();
+        // Each of the two protocol sends is mirrored to Env.
+        assert_eq!(run.send_records().len(), 4);
+        let env_buffer = run
+            .state(run.horizon())
+            .unwrap()
+            .env
+            .buffer(&Principal::environment())
+            .to_vec();
+        assert!(env_buffer.contains(&nonce("ping")));
+        assert!(env_buffer.contains(&nonce("pong")));
+    }
+
+    #[test]
+    fn negative_start_time_places_prefix_in_past() {
+        let opts = ExecOptions {
+            start_time: -2,
+            ..ExecOptions::default()
+        };
+        let run = execute(&ping_pong(), &opts).unwrap();
+        assert_eq!(run.start_time(), -2);
+        assert!(run.sent_before_epoch().contains(&nonce("ping")));
+    }
+
+    #[test]
+    fn schedules_generate_distinct_runs() {
+        // Two independent senders: order matters, so rotations differ.
+        let proto = Protocol::new("par")
+            .role(Role::new("A", []).send(nonce("a"), "C"))
+            .role(Role::new("B", []).send(nonce("b"), "C"))
+            .role(
+                Role::new("C", [])
+                    .expect_any()
+                    .expect_any(),
+            );
+        let sys = execute_schedules(&proto, &ExecOptions::default(), &rotation_schedules(3));
+        assert!(sys.len() >= 2, "expected multiple distinct runs, got {}", sys.len());
+        for run in sys.runs() {
+            assert!(validate_run(run).is_empty());
+        }
+    }
+
+    #[test]
+    fn keyed_protocol_respects_restrictions() {
+        let k = Key::new("Kab");
+        let cipher = Message::encrypted(nonce("X"), k.clone(), Principal::new("A"));
+        let proto = Protocol::new("enc")
+            .role(Role::new("A", [k.clone()]).send(cipher.clone(), "B"))
+            .role(Role::new("B", [k]).expect(cipher));
+        let run = execute(&proto, &ExecOptions::default()).unwrap();
+        assert!(validate_run(&run).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Scripted local protocols (Section 5).
+//!
+//! A *local protocol* maps a principal's local state to its next action.
+//! Authentication protocols are straight-line: each role alternates between
+//! waiting for an expected message and sending the next one. A
+//! [`Role`] captures this as a script of [`RoleStep`]s; the
+//! [`executor`](crate::executor) interleaves the scripts into runs.
+
+use atl_lang::{Key, KeySet, Message, Principal};
+
+/// A pattern an incoming message must match before a role proceeds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MsgPattern {
+    /// Accept any buffered message.
+    Any,
+    /// Accept exactly this message.
+    Exact(Message),
+}
+
+impl MsgPattern {
+    /// True if `m` matches the pattern.
+    pub fn matches(&self, m: &Message) -> bool {
+        match self {
+            MsgPattern::Any => true,
+            MsgPattern::Exact(want) => want == m,
+        }
+    }
+}
+
+/// One step of a role's script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoleStep {
+    /// Wait until a matching message is buffered, then receive it.
+    Expect(MsgPattern),
+    /// Send a message.
+    Send {
+        /// The message to send.
+        message: Message,
+        /// The recipient.
+        to: Principal,
+    },
+    /// Acquire a key (generation or out-of-band distribution).
+    NewKey(Key),
+}
+
+/// A principal's role in a protocol: its initial keys and its script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Role {
+    /// The principal playing the role.
+    pub principal: Principal,
+    /// Keys held before the run starts.
+    pub initial_keys: KeySet,
+    /// The script, executed in order.
+    pub steps: Vec<RoleStep>,
+}
+
+impl Role {
+    /// Creates a role with no script.
+    pub fn new(principal: impl Into<Principal>, keys: impl IntoIterator<Item = Key>) -> Self {
+        Role {
+            principal: principal.into(),
+            initial_keys: keys.into_iter().collect(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a send step.
+    pub fn send(mut self, message: Message, to: impl Into<Principal>) -> Self {
+        self.steps.push(RoleStep::Send {
+            message,
+            to: to.into(),
+        });
+        self
+    }
+
+    /// Appends an expect step for an exact message.
+    pub fn expect(mut self, message: Message) -> Self {
+        self.steps.push(RoleStep::Expect(MsgPattern::Exact(message)));
+        self
+    }
+
+    /// Appends an expect step accepting any message.
+    pub fn expect_any(mut self) -> Self {
+        self.steps.push(RoleStep::Expect(MsgPattern::Any));
+        self
+    }
+
+    /// Appends a key-acquisition step.
+    pub fn new_key(mut self, key: impl Into<Key>) -> Self {
+        self.steps.push(RoleStep::NewKey(key.into()));
+        self
+    }
+}
+
+/// A protocol: a named collection of roles.
+///
+/// # Examples
+///
+/// A one-message protocol:
+///
+/// ```
+/// use atl_lang::{Key, Message, Nonce};
+/// use atl_model::{Protocol, Role};
+/// let m = Message::nonce(Nonce::new("hello"));
+/// let proto = Protocol::new("ping")
+///     .role(Role::new("A", [Key::new("K")]).send(m.clone(), "B"))
+///     .role(Role::new("B", []).expect(m));
+/// assert_eq!(proto.roles().len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Protocol {
+    name: String,
+    roles: Vec<Role>,
+}
+
+impl Protocol {
+    /// Creates an empty protocol.
+    pub fn new(name: impl Into<String>) -> Self {
+        Protocol {
+            name: name.into(),
+            roles: Vec::new(),
+        }
+    }
+
+    /// Adds a role.
+    pub fn role(mut self, role: Role) -> Self {
+        self.roles.push(role);
+        self
+    }
+
+    /// The protocol's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The protocol's roles.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// The total number of script steps across roles.
+    pub fn total_steps(&self) -> usize {
+        self.roles.iter().map(|r| r.steps.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_lang::Nonce;
+
+    #[test]
+    fn builder_accumulates_steps() {
+        let m = Message::nonce(Nonce::new("X"));
+        let r = Role::new("A", [Key::new("K")])
+            .new_key("K2")
+            .send(m.clone(), "B")
+            .expect(m.clone())
+            .expect_any();
+        assert_eq!(r.steps.len(), 4);
+        assert!(matches!(&r.steps[0], RoleStep::NewKey(k) if k == &Key::new("K2")));
+        assert!(matches!(&r.steps[3], RoleStep::Expect(MsgPattern::Any)));
+    }
+
+    #[test]
+    fn patterns_match() {
+        let m = Message::nonce(Nonce::new("X"));
+        assert!(MsgPattern::Any.matches(&m));
+        assert!(MsgPattern::Exact(m.clone()).matches(&m));
+        assert!(!MsgPattern::Exact(m).matches(&Message::nonce(Nonce::new("Y"))));
+    }
+
+    #[test]
+    fn protocol_totals() {
+        let proto = Protocol::new("t")
+            .role(Role::new("A", []).send(Message::nonce(Nonce::new("X")), "B"))
+            .role(Role::new("B", []).expect_any());
+        assert_eq!(proto.total_steps(), 2);
+        assert_eq!(proto.name(), "t");
+    }
+}

@@ -1,0 +1,310 @@
+//! A textual trace format for runs, so concrete executions can be
+//! written, audited, and queried from files (see the `atl` CLI).
+//!
+//! The format is line-based; `#` starts a comment:
+//!
+//! ```text
+//! run start -2
+//! principal A keys Kas
+//! principal S keys Kas Kbs
+//! env keys Ke
+//! bind Kab = K9                # run parameter (Section 8)
+//!
+//! send A -> S : Na             # one action per line, in order
+//! recv S : Na
+//! newkey S Kab
+//! ```
+//!
+//! Messages use the [`atl_lang::parser`] concrete syntax; principals and
+//! keys declared in the header seed its symbol table. Construction goes
+//! through the *unchecked* path so deliberately ill-formed traces can be
+//! written and then audited with
+//! [`validate_run`](crate::validate::validate_run).
+
+use crate::error::ModelError;
+use crate::run::{Run, RunBuilder};
+use atl_lang::parser::{parse_message, Symbols};
+use atl_lang::{Key, Param};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a trace fails to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Splits `A keys K1 K2 …` (the key list may be absent).
+fn split_keys(rest: &str, lineno: usize) -> Result<(String, Vec<String>), TraceError> {
+    let mut parts = rest.split_whitespace();
+    let name = parts
+        .next()
+        .ok_or_else(|| err(lineno, "principal needs a name"))?
+        .to_string();
+    let keys: Vec<String> = match parts.next() {
+        Some("keys") => parts.map(str::to_string).collect(),
+        None => Vec::new(),
+        Some(other) => return Err(err(lineno, format!("expected `keys`, found `{other}`"))),
+    };
+    Ok((name, keys))
+}
+
+/// Parses a trace into a [`Run`] (unchecked — audit with
+/// [`validate_run`](crate::validate::validate_run)) plus the declared
+/// symbol table, for parsing queries against the run.
+///
+/// # Errors
+///
+/// [`TraceError`] with the offending line on any problem, including a
+/// `recv` of a message that was never sent to that principal (the only
+/// model-level check that cannot be deferred).
+pub fn parse_trace(input: &str) -> Result<(Run, Symbols), TraceError> {
+    let mut start_time: i64 = 0;
+    // The environment principal is always known to the symbol table.
+    let mut syms = Symbols::new().principals(["Env".to_string()]);
+    let mut builder: Option<RunBuilder> = None;
+    let mut header_done = false;
+    let mut pending: Vec<(usize, String)> = Vec::new();
+
+    // First pass: header (so the symbol table is complete before any
+    // message parses).
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = match line.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (line, ""),
+        };
+        match keyword {
+            "run" => {
+                let rest = rest
+                    .strip_prefix("start")
+                    .map(str::trim)
+                    .ok_or_else(|| err(lineno, "expected `run start <time>`"))?;
+                start_time = rest
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad start time `{rest}`")))?;
+            }
+            "principal" => {
+                let (name, keys) = split_keys(rest, lineno)?;
+                syms = syms.principals([name.clone()]).keys(keys.clone());
+                builder
+                    .get_or_insert_with(|| RunBuilder::new(start_time))
+                    .principal(name.as_str(), keys.iter().map(Key::new));
+                if header_done {
+                    return Err(err(lineno, "principal declarations must precede actions"));
+                }
+            }
+            "env" => {
+                let keys = rest
+                    .strip_prefix("keys")
+                    .map(str::trim)
+                    .ok_or_else(|| err(lineno, "expected `env keys K1 K2 …`"))?;
+                let keys: Vec<String> = keys.split_whitespace().map(str::to_string).collect();
+                syms = syms.keys(keys.clone()).principals(["Env".to_string()]);
+                builder
+                    .get_or_insert_with(|| RunBuilder::new(start_time))
+                    .env_keys(keys.iter().map(Key::new));
+            }
+            "bind" => {
+                let Some((param, value)) = rest.split_once('=') else {
+                    return Err(err(lineno, "expected `bind PARAM = MESSAGE`"));
+                };
+                pending.push((lineno, format!("bind\u{1}{}\u{1}{}", param.trim(), value.trim())));
+            }
+            "send" | "recv" | "newkey" => {
+                header_done = true;
+                pending.push((lineno, line.to_string()));
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+    let mut builder = builder.ok_or_else(|| err(0, "trace declares no principals"))?;
+
+    // Second pass: actions, with the full symbol table.
+    for (lineno, line) in pending {
+        if let Some(rest) = line.strip_prefix("bind\u{1}") {
+            let (param, value) = rest.split_once('\u{1}').expect("encoded above");
+            let m = parse_message(value, &syms).map_err(|e| err(lineno, e.to_string()))?;
+            builder.bind_param(Param::new(param), m);
+            continue;
+        }
+        let (keyword, rest) = line.split_once(char::is_whitespace).expect("actions have args");
+        let rest = rest.trim();
+        match keyword {
+            "send" => {
+                let Some((route, message)) = rest.split_once(':') else {
+                    return Err(err(lineno, "send needs `FROM -> TO : MESSAGE`"));
+                };
+                let Some((from, to)) = route.split_once("->") else {
+                    return Err(err(lineno, "send route needs `FROM -> TO`"));
+                };
+                let m = parse_message(message.trim(), &syms)
+                    .map_err(|e| err(lineno, e.to_string()))?;
+                builder.send_unchecked(from.trim(), m, to.trim());
+            }
+            "recv" => {
+                let Some((p, message)) = rest.split_once(':') else {
+                    return Err(err(lineno, "recv needs `P : MESSAGE`"));
+                };
+                let m = parse_message(message.trim(), &syms)
+                    .map_err(|e| err(lineno, e.to_string()))?;
+                builder
+                    .receive(p.trim(), &m)
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            }
+            "newkey" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(p), Some(k), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(err(lineno, "newkey takes exactly `newkey P K`"));
+                };
+                builder.new_key(p, k);
+            }
+            _ => unreachable!("filtered in first pass"),
+        }
+    }
+    let run = builder
+        .build()
+        .map_err(|e: ModelError| err(0, e.to_string()))?;
+    Ok((run, syms))
+}
+
+/// Renders a run back into the trace format. Parameters, principal key
+/// sets, and all actions are preserved; symbol declarations are inferred
+/// from the run.
+pub fn render_trace(run: &Run) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "run start {}", run.start_time());
+    let first = run
+        .state(run.start_time())
+        .expect("first state exists");
+    for p in run.principals() {
+        let keys: Vec<String> = first
+            .key_set(p)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let _ = writeln!(out, "principal {p} keys {}", keys.join(" "));
+    }
+    let env_keys: Vec<String> = first.env.key_set.iter().map(ToString::to_string).collect();
+    let _ = writeln!(out, "env keys {}", env_keys.join(" ").trim_end());
+    for (param, value) in run.bindings().iter() {
+        let _ = writeln!(out, "bind {param} = {value}");
+    }
+    for (_, event) in run.events() {
+        match &event.action {
+            crate::action::Action::Send { message, to } => {
+                let _ = writeln!(out, "send {} -> {to} : {message}", event.actor);
+            }
+            crate::action::Action::Receive { message } => {
+                let _ = writeln!(out, "recv {} : {message}", event.actor);
+            }
+            crate::action::Action::NewKey { key } => {
+                let _ = writeln!(out, "newkey {} {key}", event.actor);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_run;
+
+    const GOOD: &str = r#"
+# A tiny well-formed trace.
+run start -1
+principal A keys Kas
+principal S keys Kas
+send A -> S : Na          # past epoch
+recv S : Na
+send S -> A : {Na}Kas@S
+recv A : {Na}Kas@S
+"#;
+
+    #[test]
+    fn parses_and_validates() {
+        let (run, _) = parse_trace(GOOD).unwrap();
+        assert_eq!(run.start_time(), -1);
+        assert_eq!(run.horizon(), 3);
+        assert!(validate_run(&run).is_empty());
+    }
+
+    #[test]
+    fn illformed_traces_parse_but_fail_the_audit() {
+        // The environment says ciphertext it could never construct.
+        let bad = r#"
+run start 0
+principal B keys Kas
+send Env -> B : {X}Kzz@Env
+recv B : {X}Kzz@Env
+"#;
+        let (run, _) = parse_trace(bad).unwrap();
+        let violations = validate_run(&run);
+        assert!(violations.iter().any(|v| v.restriction == 3));
+    }
+
+    #[test]
+    fn recv_of_unsent_message_is_rejected_at_parse() {
+        let bad = "run start 0\nprincipal A keys K\nrecv A : Na\n";
+        let e = parse_trace(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("not buffered"));
+    }
+
+    #[test]
+    fn bind_directive_sets_run_parameters() {
+        let t = "run start 0\nprincipal A keys K9\nbind Kab = K9\nnewkey A K2\n";
+        let (run, _) = parse_trace(t).unwrap();
+        assert_eq!(
+            run.bindings().get_key(&Param::new("Kab")),
+            Some(&Key::new("K9"))
+        );
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let (run, _) = parse_trace(GOOD).unwrap();
+        let rendered = render_trace(&run);
+        let (again, _) = parse_trace(&rendered).unwrap();
+        assert_eq!(run, again);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_trace("run start x\nprincipal A keys K\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e2 = parse_trace("run start 0\nprincipal A keys K\nfrobnicate\n").unwrap_err();
+        assert_eq!(e2.line, 3);
+    }
+
+    #[test]
+    fn principals_after_actions_rejected() {
+        let bad = "run start 0\nprincipal A keys K\nnewkey A K2\nprincipal B keys K\n";
+        assert!(parse_trace(bad).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Auditing runs against the five well-formedness restrictions of
+//! Section 5.
+//!
+//! [`RunBuilder`](crate::run::RunBuilder) enforces these restrictions as a
+//! run is constructed; this module re-checks a finished [`Run`] — useful
+//! for runs assembled from parts, for adversarial test fixtures built with
+//! `send_unchecked`, and as an executable statement of the model's
+//! invariants.
+
+use crate::action::Action;
+use crate::run::Run;
+use atl_lang::{can_see, said_submsgs, seen_submsgs_of_set, Message, Principal};
+use std::fmt;
+
+/// A violation of one of the Section 5 restrictions, located in a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which restriction (1–5) was violated.
+    pub restriction: u8,
+    /// The time at which the offending action was performed.
+    pub time: i64,
+    /// The principal responsible.
+    pub actor: Principal,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "restriction {} violated at time {} by {}: {}",
+            self.restriction, self.time, self.actor, self.detail
+        )
+    }
+}
+
+/// Checks all five restrictions on `run`, returning every violation found
+/// (empty if the run is well-formed).
+///
+/// 1. A principal's key set never decreases.
+/// 2. A message must be sent (to that principal) before it is received.
+/// 3. A principal must possess keys it uses for encryption: for each
+///    ciphertext it is considered to have said, it saw the ciphertext or
+///    holds the key.
+/// 4. A system principal sets from fields correctly on ciphertext and
+///    combined messages it constructs.
+/// 5. A system principal forwards only messages it has seen.
+pub fn validate_run(run: &Run) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_key_monotonicity(run, &mut out);
+    check_send_before_receive(run, &mut out);
+    check_send_restrictions(run, &mut out);
+    out
+}
+
+fn check_key_monotonicity(run: &Run, out: &mut Vec<Violation>) {
+    let principals: Vec<Principal> = run.principals().cloned().collect();
+    for w in run.times().collect::<Vec<_>>().windows(2) {
+        let (k0, k1) = (w[0], w[1]);
+        let (Some(s0), Some(s1)) = (run.state(k0), run.state(k1)) else {
+            continue;
+        };
+        for p in &principals {
+            if !s0.key_set(p).is_subset(s1.key_set(p)) {
+                out.push(Violation {
+                    restriction: 1,
+                    time: k1,
+                    actor: p.clone(),
+                    detail: format!("key set of {p} shrank between {k0} and {k1}"),
+                });
+            }
+        }
+        if !s0.env.key_set.is_subset(&s1.env.key_set) {
+            out.push(Violation {
+                restriction: 1,
+                time: k1,
+                actor: Principal::environment(),
+                detail: "environment key set shrank".into(),
+            });
+        }
+    }
+}
+
+fn check_send_before_receive(run: &Run, out: &mut Vec<Violation>) {
+    let mut sent: Vec<(Principal, Message)> = Vec::new();
+    for (time, event) in run.events() {
+        match &event.action {
+            Action::Send { message, to } => sent.push((to.clone(), message.clone())),
+            Action::Receive { message } => {
+                let pos = sent
+                    .iter()
+                    .position(|(to, m)| to == &event.actor && m == message);
+                match pos {
+                    Some(i) => {
+                        // Consume the matching send so one send delivers at
+                        // most one receive.
+                        sent.remove(i);
+                    }
+                    None => out.push(Violation {
+                        restriction: 2,
+                        time,
+                        actor: event.actor.clone(),
+                        detail: format!("{message} received without a prior matching send"),
+                    }),
+                }
+            }
+            Action::NewKey { .. } => {}
+        }
+    }
+}
+
+fn check_send_restrictions(run: &Run, out: &mut Vec<Violation>) {
+    let system: Vec<Principal> = run.principals().cloned().collect();
+    for rec in run.send_records() {
+        let is_system = system.contains(&rec.sender);
+        let seen = seen_submsgs_of_set(rec.received.iter(), &rec.key_set);
+        let said = said_submsgs(&rec.message, &rec.key_set, &rec.received);
+        for sub in &said {
+            match sub {
+                Message::Encrypted { key, from, .. } => {
+                    let holds = key
+                        .as_key()
+                        .is_some_and(|k| rec.key_set.contains(k));
+                    let saw = seen.contains(sub);
+                    if !holds && !saw {
+                        out.push(Violation {
+                            restriction: 3,
+                            time: rec.time,
+                            actor: rec.sender.clone(),
+                            detail: format!("said {sub} without key or prior sight"),
+                        });
+                    }
+                    if is_system && from != &rec.sender && !saw {
+                        out.push(Violation {
+                            restriction: 4,
+                            time: rec.time,
+                            actor: rec.sender.clone(),
+                            detail: format!("constructed {sub} with foreign from field {from}"),
+                        });
+                    }
+                }
+                Message::Combined { from, .. }
+                    if is_system && from != &rec.sender && !seen.contains(sub) => {
+                        out.push(Violation {
+                            restriction: 4,
+                            time: rec.time,
+                            actor: rec.sender.clone(),
+                            detail: format!("constructed {sub} with foreign from field {from}"),
+                        });
+                    }
+                Message::Forwarded(body) => {
+                    let saw_body = rec
+                        .received
+                        .iter()
+                        .any(|r| can_see(body, r, &rec.key_set));
+                    if is_system && !saw_body {
+                        out.push(Violation {
+                            restriction: 5,
+                            time: rec.time,
+                            actor: rec.sender.clone(),
+                            detail: format!("forwarded {body} without having seen it"),
+                        });
+                    }
+                }
+                Message::PubEncrypted { key, from, .. } => {
+                    let holds = key.as_key().is_some_and(|k| rec.key_set.contains(k));
+                    let saw = seen.contains(sub);
+                    if !holds && !saw {
+                        out.push(Violation {
+                            restriction: 3,
+                            time: rec.time,
+                            actor: rec.sender.clone(),
+                            detail: format!("said {sub} without the public key or prior sight"),
+                        });
+                    }
+                    if is_system && from != &rec.sender && !saw {
+                        out.push(Violation {
+                            restriction: 4,
+                            time: rec.time,
+                            actor: rec.sender.clone(),
+                            detail: format!("constructed {sub} with foreign from field {from}"),
+                        });
+                    }
+                }
+                Message::Signed { key, from, .. } => {
+                    let holds = key
+                        .as_key()
+                        .is_some_and(|k| rec.key_set.contains(&k.inverse()));
+                    let saw = seen.contains(sub);
+                    if !holds && !saw {
+                        out.push(Violation {
+                            restriction: 3,
+                            time: rec.time,
+                            actor: rec.sender.clone(),
+                            detail: format!("said {sub} without the private key or prior sight"),
+                        });
+                    }
+                    if is_system && from != &rec.sender && !saw {
+                        out.push(Violation {
+                            restriction: 4,
+                            time: rec.time,
+                            actor: rec.sender.clone(),
+                            detail: format!("constructed {sub} with foreign from field {from}"),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::RunBuilder;
+    use atl_lang::{Key, Nonce};
+
+    fn nonce(s: &str) -> Message {
+        Message::nonce(Nonce::new(s))
+    }
+
+    #[test]
+    fn well_formed_run_passes() {
+        let mut b = RunBuilder::new(-1);
+        b.principal("A", [Key::new("K")]);
+        b.principal("B", [Key::new("K")]);
+        let cipher = Message::encrypted(nonce("X"), Key::new("K"), Principal::new("A"));
+        b.send("A", cipher.clone(), "B").unwrap();
+        b.receive("B", &cipher).unwrap();
+        let run = b.build().unwrap();
+        assert!(validate_run(&run).is_empty());
+    }
+
+    #[test]
+    fn detects_restriction_3() {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", []);
+        b.principal("B", []);
+        let cipher = Message::encrypted(nonce("X"), Key::new("K"), Principal::new("A"));
+        b.send_unchecked("A", cipher, "B");
+        let run = b.build().unwrap();
+        let violations = validate_run(&run);
+        assert!(violations.iter().any(|v| v.restriction == 3), "{violations:?}");
+    }
+
+    #[test]
+    fn detects_restriction_4() {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", [Key::new("K")]);
+        b.principal("B", []);
+        let forged = Message::encrypted(nonce("X"), Key::new("K"), Principal::new("B"));
+        b.send_unchecked("A", forged, "B");
+        let run = b.build().unwrap();
+        assert!(validate_run(&run).iter().any(|v| v.restriction == 4));
+    }
+
+    #[test]
+    fn detects_restriction_5() {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", []);
+        b.principal("B", []);
+        b.send_unchecked("A", Message::forwarded(nonce("X")), "B");
+        let run = b.build().unwrap();
+        assert!(validate_run(&run).iter().any(|v| v.restriction == 5));
+    }
+
+    #[test]
+    fn environment_is_exempt_from_4_and_5_but_not_3() {
+        let mut b = RunBuilder::new(0);
+        b.principal("B", []);
+        let env = Principal::environment();
+        b.send_unchecked(env.clone(), Message::forwarded(nonce("X")), "B");
+        let run = b.build().unwrap();
+        let violations = validate_run(&run);
+        assert!(violations.iter().all(|v| v.restriction != 5), "{violations:?}");
+    }
+
+    #[test]
+    fn detects_unmatched_receive() {
+        // Build a run by parts with a receive that was never sent.
+        use crate::action::{Action, Event};
+        use crate::state::{GlobalState, LocalState};
+        use atl_lang::Bindings;
+        let mut s0 = GlobalState::default();
+        s0.locals.insert(Principal::new("B"), LocalState::default());
+        let mut s1 = s0.clone();
+        s1.locals
+            .get_mut(&Principal::new("B"))
+            .unwrap()
+            .history
+            .push(Action::receive(nonce("ghost")));
+        let run = Run::from_parts(
+            0,
+            vec![s0, s1],
+            vec![Event::new("B", Action::receive(nonce("ghost")))],
+            Bindings::new(),
+        )
+        .unwrap();
+        assert!(validate_run(&run).iter().any(|v| v.restriction == 2));
+    }
+
+    #[test]
+    fn one_send_delivers_at_most_once() {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", []);
+        b.principal("B", []);
+        b.send("A", nonce("X"), "B").unwrap();
+        b.receive("B", &nonce("X")).unwrap();
+        let mut run = b.build().unwrap();
+        // Splice in a second receive of the same message by editing parts.
+        use crate::action::{Action, Event};
+        let mut states: Vec<_> = run.times().filter_map(|k| run.state(k).cloned()).collect();
+        let mut last = states.last().cloned().unwrap();
+        last.locals
+            .get_mut(&Principal::new("B"))
+            .unwrap()
+            .history
+            .push(Action::receive(nonce("X")));
+        states.push(last);
+        let mut events: Vec<Event> = run.events().map(|(_, e)| e.clone()).collect();
+        events.push(Event::new("B", Action::receive(nonce("X"))));
+        run = Run::from_parts(0, states, events, atl_lang::Bindings::new()).unwrap();
+        assert!(validate_run(&run).iter().any(|v| v.restriction == 2));
+    }
+
+    use crate::run::Run;
+}

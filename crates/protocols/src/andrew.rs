@@ -1,0 +1,140 @@
+//! The Andrew Secure RPC handshake, and BAN's finding of its flaw.
+//!
+//! Concrete protocol (final two messages; the first two authenticate the
+//! parties under the old key `Kab`):
+//!
+//! ```text
+//! 3. B → A : {Kab', Nb'}Kab
+//! 4. A → B : {Nb'}Kab'
+//! ```
+//!
+//! BAN89's finding: message 3 contains **nothing `A` knows to be fresh**
+//! — `Kab'` and `Nb'` are both `B`'s inventions — so `A` cannot conclude
+//! that the new key is current; an attacker can replay an old message 3
+//! and make `A` adopt a stale (possibly compromised) key. The fix BAN
+//! propose is to include `A`'s own nonce `Na` in message 3.
+
+use atl_ban::{BanStmt, IdealProtocol};
+use atl_core::annotate::AtProtocol;
+use atl_lang::{Formula, Key, Message, Nonce};
+
+/// The new session key belief `A ↔Kab'↔ B` as a typed formula.
+pub fn new_key() -> Formula {
+    Formula::shared_key("A", Key::new("KabNew"), "B")
+}
+
+fn ban_new_key() -> BanStmt {
+    BanStmt::shared_key("A", "KabNew", "B")
+}
+
+/// The idealized exchange in the original BAN logic.
+///
+/// With `fixed = false` this is the published protocol (message 3 carries
+/// only `B`'s material); with `fixed = true` it is BAN's repaired version
+/// carrying `A`'s nonce `Na`.
+pub fn ban_protocol(fixed: bool) -> IdealProtocol {
+    let payload = if fixed {
+        BanStmt::conj([
+            BanStmt::nonce("Na"),
+            ban_new_key(),
+            BanStmt::nonce("NbP"),
+        ])
+    } else {
+        BanStmt::conj([ban_new_key(), BanStmt::nonce("NbP")])
+    };
+    let msg3 = BanStmt::encrypted(payload, "Kab", "B");
+    IdealProtocol::new(if fixed {
+        "andrew-rpc fixed (BAN)"
+    } else {
+        "andrew-rpc (BAN)"
+    })
+    .assume(BanStmt::believes("A", BanStmt::shared_key("A", "Kab", "B")))
+    .assume(BanStmt::believes("B", BanStmt::shared_key("A", "Kab", "B")))
+    .assume(BanStmt::believes("A", BanStmt::controls("B", ban_new_key())))
+    .assume(BanStmt::believes("A", BanStmt::fresh(BanStmt::nonce("Na"))))
+    .assume(BanStmt::believes("B", BanStmt::fresh(ban_new_key())))
+    .step("B", "A", msg3)
+    .goal(BanStmt::believes("A", ban_new_key()))
+}
+
+/// The idealized exchange in the reformulated logic.
+pub fn at_protocol(fixed: bool) -> AtProtocol {
+    let na = Message::nonce(Nonce::new("Na"));
+    let nbp = Message::nonce(Nonce::new("NbP"));
+    let payload = if fixed {
+        Message::tuple([na.clone(), new_key().into_message(), nbp])
+    } else {
+        Message::tuple([new_key().into_message(), nbp])
+    };
+    let msg3 = Message::encrypted(payload, Key::new("Kab"), "B");
+    AtProtocol::new(if fixed {
+        "andrew-rpc fixed (AT)"
+    } else {
+        "andrew-rpc (AT)"
+    })
+    .assume(Formula::believes(
+        "A",
+        Formula::shared_key("A", Key::new("Kab"), "B"),
+    ))
+    .assume(Formula::believes("A", Formula::controls("B", new_key())))
+    .assume(Formula::believes("A", Formula::fresh(na)))
+    .assume(Formula::has("A", Key::new("Kab")))
+    .step("B", "A", msg3)
+    .goal(Formula::believes("A", new_key()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_ban::analyze;
+    use atl_core::annotate::analyze_at;
+
+    #[test]
+    fn published_protocol_fails_in_both_logics() {
+        // The flaw: nothing fresh to A in message 3.
+        assert!(!analyze(&ban_protocol(false)).succeeded());
+        assert!(!analyze_at(&at_protocol(false)).succeeded());
+    }
+
+    #[test]
+    fn fixed_protocol_succeeds_in_both_logics() {
+        let ban = analyze(&ban_protocol(true));
+        assert!(
+            ban.succeeded(),
+            "failed: {:?}",
+            ban.failed_goals().collect::<Vec<_>>()
+        );
+        let at = analyze_at(&at_protocol(true));
+        assert!(
+            at.succeeded(),
+            "failed: {:?}",
+            at.failed_goals().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn a_still_learns_b_said_the_key_in_the_flawed_version() {
+        // Message meaning works — A knows B once said the key; what's
+        // missing is exactly recency.
+        let analysis = analyze(&ban_protocol(false));
+        let said = BanStmt::believes(
+            "A",
+            BanStmt::said(
+                "B",
+                BanStmt::conj([ban_new_key(), BanStmt::nonce("NbP")]),
+            ),
+        );
+        assert!(analysis.engine.holds(&said));
+        // In the AT version: `A believes B said …` holds but the
+        // `says` (recent) form does not.
+        let at = analyze_at(&at_protocol(false));
+        assert!(at.prover.holds(&Formula::believes(
+            "A",
+            Formula::said("B", new_key().into_message())
+        )));
+        assert!(!at.prover.holds(&Formula::believes(
+            "A",
+            Formula::says("B", new_key().into_message())
+        )));
+    }
+}

@@ -1,0 +1,147 @@
+//! Concrete attacks, executed on the model of computation (E9).
+//!
+//! The star exhibit is the Denning–Sacco replay on Needham–Schroeder: the
+//! semantic counterpart of the missing `B believes fresh(A ↔Kab↔ B)`
+//! assumption. An attacker who compromises an *old* session key replays
+//! the old ticket, completes the handshake itself, and leaves `B` with a
+//! belief that is false at the actual point.
+
+use crate::needham_schroeder::kab;
+use atl_lang::{Key, Message, Nonce, Principal};
+use atl_model::{Run, RunBuilder};
+
+/// The NS ticket `{A ↔Kab↔ B}Kbs`, minted by `S` in the *previous* epoch.
+pub fn old_ticket() -> Message {
+    Message::encrypted(kab().into_message(), Key::new("Kbs"), "S")
+}
+
+fn handshake(from: &str) -> Message {
+    Message::encrypted(
+        Message::tuple([Message::nonce(Nonce::new("NbNew")), kab().into_message()]),
+        Key::new("Kab"),
+        from,
+    )
+}
+
+/// The Denning–Sacco replay run.
+///
+/// Past epoch: a legitimate session distributes `Kab`; the ticket crosses
+/// the public wire, so the environment records it. Present epoch: the
+/// environment replays the ticket, intercepts `B`'s challenge, adds the
+/// compromised `Kab` to its key set, and answers impersonating `A`.
+pub fn denning_sacco_run() -> Run {
+    let env = Principal::environment();
+    let mut b = RunBuilder::new(-8);
+    b.principal("A", [Key::new("Kas")]);
+    b.principal("B", [Key::new("Kbs")]);
+    b.principal("S", [Key::new("Kas"), Key::new("Kbs"), Key::new("Kab")]);
+
+    // ---- Past epoch (times -8 … -1): the legitimate old session.
+    let msg2 = Message::encrypted(
+        Message::tuple([
+            Message::nonce(Nonce::new("Na")),
+            kab().into_message(),
+            old_ticket(),
+        ]),
+        Key::new("Kas"),
+        "S",
+    );
+    b.send("S", msg2.clone(), "A").unwrap(); // -8
+    b.receive("A", &msg2).unwrap(); // -7
+    b.new_key("A", "Kab"); // -6: A adopts the session key
+    b.send("A", old_ticket(), "B").unwrap(); // -5
+    b.send("A", old_ticket(), env.clone()).unwrap(); // -4: public wire
+    b.receive("B", &old_ticket()).unwrap(); // -3
+    b.new_key("B", "Kab"); // -2: B adopts it too
+    b.receive(env.clone(), &old_ticket()).unwrap(); // -1: attacker records
+
+    // ---- Present epoch: the replay.
+    b.send(env.clone(), old_ticket(), "B").unwrap(); // 0: replayed ticket
+    b.receive("B", &old_ticket()).unwrap(); // 1
+    b.send("B", handshake("B"), "A").unwrap(); // 2: challenge to "A"
+    b.send("B", handshake("B"), env.clone()).unwrap(); // 3: wire copy
+    b.receive(env.clone(), &handshake("B")).unwrap(); // 4
+    b.new_key(env.clone(), "Kab"); // 5: the compromise
+    b.send(env.clone(), handshake("A"), "B").unwrap(); // 6: forged reply
+    b.receive("B", &handshake("A")).unwrap(); // 7
+    b.build().expect("well-formed attack run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_core::semantics::{GoodRuns, Semantics};
+    use atl_lang::Formula;
+    use atl_model::{validate_run, Point, System};
+
+    fn at_end() -> (System, i64) {
+        let run = denning_sacco_run();
+        let end = run.horizon();
+        (System::new([run]), end)
+    }
+
+    #[test]
+    fn attack_run_is_well_formed() {
+        // Every step is legal under restrictions 1–5: the attack needs no
+        // rule-breaking, only a compromised old key.
+        let violations = validate_run(&denning_sacco_run());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn the_ticket_is_not_fresh() {
+        // Exactly the assumption the BAN analysis needed and could not
+        // justify: the key statement was inside a past-epoch message.
+        let (sys, end) = at_end();
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        assert!(!sem
+            .eval(Point::new(0, end), &Formula::fresh(kab().into_message()))
+            .unwrap());
+        assert!(!sem
+            .eval(Point::new(0, end), &Formula::fresh(old_ticket()))
+            .unwrap());
+    }
+
+    #[test]
+    fn the_old_key_is_semantically_bad() {
+        // The environment encrypts with Kab in the present: A ↔Kab↔ B is
+        // false in the attack run.
+        let (sys, end) = at_end();
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        assert!(!sem.eval(Point::new(0, end), &kab()).unwrap());
+    }
+
+    #[test]
+    fn b_is_deceived_about_liveness() {
+        // B's protocol logic would conclude `A says (A ↔Kab↔ B)` from the
+        // forged handshake; semantically A says nothing in this epoch.
+        let (sys, end) = at_end();
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let a_recent = Formula::says("A", kab().into_message());
+        assert!(!sem.eval(Point::new(0, end), &a_recent).unwrap());
+        // A did not even say it in the past (it only relayed the ticket,
+        // which it cannot open).
+        assert!(!sem
+            .eval(Point::new(0, end), &Formula::said("A", kab().into_message()))
+            .unwrap());
+        // Yet B saw a handshake naming A under the session key — the raw
+        // material of the deception.
+        assert!(sem
+            .eval(Point::new(0, end), &Formula::sees("B", handshake("A")))
+            .unwrap());
+    }
+
+    #[test]
+    fn s_really_did_say_the_key_once() {
+        // The grain of truth the replay exploits: S said the key was good
+        // — an epoch ago.
+        let (sys, end) = at_end();
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        assert!(sem
+            .eval(Point::new(0, end), &Formula::said("S", kab().into_message()))
+            .unwrap());
+        assert!(!sem
+            .eval(Point::new(0, end), &Formula::says("S", kab().into_message()))
+            .unwrap());
+    }
+}

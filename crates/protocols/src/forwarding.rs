@@ -1,0 +1,143 @@
+//! Honesty-free forwarding (E7, Sections 3.2 and 4).
+//!
+//! The original logic implicitly assumed *honesty*: every principal
+//! believes every message it sends. Reasonable protocols violate this —
+//! `A` in Figure 1 forwards a certificate it cannot even read. The
+//! reformulation removes honesty entirely: the forwarding mark `'X'`
+//! (M6), axiom A14 (accountability only for *misused* forwarding), and
+//! the `says`-based jurisdiction axiom A15 together let the analysis go
+//! through with no assumption about what `A` believes.
+
+use atl_core::annotate::AtProtocol;
+use atl_lang::{Formula, Key, Message, Nonce, Principal};
+use atl_model::{Run, RunBuilder};
+
+/// `A ↔Kab↔ B` as a typed formula.
+pub fn kab() -> Formula {
+    Formula::shared_key("A", Key::new("Kab"), "B")
+}
+
+/// The certificate `{Ts, A ↔Kab↔ B}Kbs`, unreadable by `A`.
+pub fn certificate() -> Message {
+    Message::encrypted(
+        Message::tuple([Message::nonce(Nonce::new("Ts")), kab().into_message()]),
+        Key::new("Kbs"),
+        "S",
+    )
+}
+
+/// Figure 1 with the third step written as an explicit forward
+/// `A → B : '{Ts, A ↔Kab↔ B}Kbs'`. `B`'s goals hold with **no**
+/// assumption about `A`'s beliefs or honesty.
+pub fn at_protocol() -> AtProtocol {
+    let ts = Message::nonce(Nonce::new("Ts"));
+    AtProtocol::new("forwarded-certificate (AT)")
+        .assume(Formula::believes(
+            "B",
+            Formula::shared_key("B", Key::new("Kbs"), "S"),
+        ))
+        .assume(Formula::believes("B", Formula::controls("S", kab())))
+        .assume(Formula::believes("B", Formula::fresh(ts)))
+        .assume(Formula::has("B", Key::new("Kbs")))
+        // S gives A the certificate (opaque to A)…
+        .step("S", "A", certificate())
+        // …and A forwards it, vouching for nothing.
+        .step("A", "B", Message::forwarded(certificate()))
+        .goal(Formula::believes("B", kab()))
+}
+
+/// A run in which `A` honestly forwards the certificate it received.
+pub fn honest_forward_run() -> Run {
+    let mut b = RunBuilder::new(0);
+    b.principal("A", []);
+    b.principal("B", [Key::new("Kbs")]);
+    b.principal("S", [Key::new("Kbs")]);
+    b.send("S", certificate(), "A").unwrap();
+    b.receive("A", &certificate()).unwrap();
+    b.send("A", Message::forwarded(certificate()), "B").unwrap();
+    b.receive("B", &Message::forwarded(certificate())).unwrap();
+    b.build().expect("well-formed")
+}
+
+/// A run in which the environment *misuses* the forwarding notation,
+/// sending `'X'` for an `X` it never saw (it invents the nonce itself).
+pub fn misused_forward_run() -> Run {
+    let env = Principal::environment();
+    let mut b = RunBuilder::new(0);
+    b.principal("B", []);
+    let x = Message::nonce(Nonce::new("X"));
+    b.send(env, Message::forwarded(x.clone()), "B").unwrap();
+    b.receive("B", &Message::forwarded(x)).unwrap();
+    b.build().expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_core::annotate::analyze_at;
+    use atl_core::axioms;
+    use atl_core::semantics::{GoodRuns, Semantics};
+    use atl_model::{validate_run, Point, System};
+
+    #[test]
+    fn e7_analysis_needs_nothing_from_a() {
+        let analysis = analyze_at(&at_protocol());
+        assert!(
+            analysis.succeeded(),
+            "failed: {:?}",
+            analysis.failed_goals().collect::<Vec<_>>()
+        );
+        // No assumption even mentions A.
+        for a in &at_protocol().assumptions {
+            assert!(!a.to_string().starts_with('A'), "assumption about A: {a}");
+        }
+    }
+
+    #[test]
+    fn honest_forwarding_absolves_the_relay() {
+        let run = honest_forward_run();
+        assert!(validate_run(&run).is_empty());
+        let sys = System::new([run]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let end = Point::new(0, sys.run(0).horizon());
+        // A said the *wrapper*, not the certificate:
+        assert!(sem
+            .eval(end, &Formula::said("A", Message::forwarded(certificate())))
+            .unwrap());
+        assert!(!sem
+            .eval(end, &Formula::said("A", certificate()))
+            .unwrap());
+        // S, the author, said the contents.
+        assert!(sem
+            .eval(end, &Formula::said("S", kab().into_message()))
+            .unwrap());
+    }
+
+    #[test]
+    fn misused_forwarding_assigns_accountability() {
+        let run = misused_forward_run();
+        assert!(validate_run(&run).is_empty());
+        let sys = System::new([run]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let env = Principal::environment();
+        let x = Message::nonce(Nonce::new("X"));
+        let end = Point::new(0, sys.run(0).horizon());
+        // The environment is held to have said X itself (A14's semantics).
+        assert!(sem.eval(end, &Formula::said(env, x)).unwrap());
+    }
+
+    #[test]
+    fn a14_instances_valid_on_both_runs() {
+        let sys = System::new([honest_forward_run(), misused_forward_run()]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let x = Message::nonce(Nonce::new("X"));
+        for p in [Principal::new("A"), Principal::environment()] {
+            for says in [false, true] {
+                let inst = axioms::a14(&p, &x, says);
+                assert!(sem.valid(&inst).unwrap(), "A14 failed for {p}");
+                let inst2 = axioms::a14(&p, &certificate(), says);
+                assert!(sem.valid(&inst2).unwrap());
+            }
+        }
+    }
+}

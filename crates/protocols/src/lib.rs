@@ -1,0 +1,44 @@
+//! # atl-protocols
+//!
+//! The protocol suite for the Abadi–Tuttle reproduction: each of the
+//! classic authentication protocols analyzed by BAN89 and revisited by
+//! the 1991 semantics paper, in three forms —
+//!
+//! 1. idealized in the **original BAN logic** ([`atl_ban`]),
+//! 2. idealized in the **reformulated logic** with `has`/`says`/
+//!    forwarding ([`atl_core::annotate`]),
+//! 3. **concrete** runs on the model of computation, where attacks and
+//!    semantic evaluations live.
+//!
+//! | Module | Protocol | Headline |
+//! |---|---|---|
+//! | [`kerberos`] | Figure 1 + full Kerberos | the paper's running example (E1) |
+//! | [`needham_schroeder`] | NS shared-key | the contentious `fresh(Kab)` assumption |
+//! | [`yahalom`] | Yahalom | `has`/`newkey` make the analysis possible (E6) |
+//! | [`otway_rees`] | Otway–Rees | no second-level beliefs |
+//! | [`wide_mouthed_frog`] | WMF | `says`-idealization replaces honesty |
+//! | [`andrew`] | Andrew RPC | nothing fresh to `A` in message 3 |
+//! | [`x509`] | CCITT X.509 (shared-key adaptation) | zero timestamps kill recency |
+//! | [`nessett`] | Nessett's example | belief is defensible, not true |
+//! | [`ns_public_key`] | NS public-key + Lowe's MITM | the logic's deliberate boundary: secrecy and agreement |
+//! | [`forwarding`] | forwarded certificates | honesty removed end to end (E7) |
+//! | [`reflection`] | reflected challenge–response | why A5 carries the side condition `P ≠ S` |
+//! | [`attacks`] | Denning–Sacco replay | the semantic face of missing freshness (E9) |
+//! | [`suite`] | everything | the aggregated findings table (E8) |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod andrew;
+pub mod attacks;
+pub mod forwarding;
+pub mod kerberos;
+pub mod needham_schroeder;
+pub mod nessett;
+pub mod ns_public_key;
+pub mod otway_rees;
+pub mod reflection;
+pub mod suite;
+pub mod wide_mouthed_frog;
+pub mod x509;
+pub mod yahalom;

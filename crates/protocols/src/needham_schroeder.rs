@@ -1,0 +1,227 @@
+//! The Needham–Schroeder shared-key protocol, and BAN's famous finding.
+//!
+//! Concrete protocol:
+//!
+//! ```text
+//! 1. A → S : A, B, Na
+//! 2. S → A : {Na, B, Kab, {Kab, A}Kbs}Kas
+//! 3. A → B : {Kab, A}Kbs
+//! 4. B → A : {Nb}Kab
+//! 5. A → B : {Nb - 1}Kab
+//! ```
+//!
+//! The BAN analysis exposed the protocol's classic weakness: deriving
+//! `B believes A ↔Kab↔ B` from message 3 requires the assumption
+//! `B believes fresh(A ↔Kab↔ B)` — which nothing in the protocol
+//! justifies, since message 3 carries no nonce of `B`'s. Dropping the
+//! assumption makes the goal underivable; the matching concrete attack is
+//! the Denning–Sacco replay ([`crate::attacks`]).
+
+use atl_ban::{BanStmt, IdealProtocol};
+use atl_core::annotate::AtProtocol;
+use atl_lang::{Formula, Key, Message, Nonce};
+
+/// `A ↔Kab↔ B` as a typed formula.
+pub fn kab() -> Formula {
+    Formula::shared_key("A", Key::new("Kab"), "B")
+}
+
+fn ban_kab() -> BanStmt {
+    BanStmt::shared_key("A", "Kab", "B")
+}
+
+/// The idealized protocol in the original BAN logic, following \[BAN89\]:
+///
+/// ```text
+/// 2. S → A : {Na, (A ↔Kab↔ B), fresh(A ↔Kab↔ B), {A ↔Kab↔ B}Kbs}Kas
+/// 3. A → B : {A ↔Kab↔ B}Kbs
+/// 4. B → A : {Nb, (A ↔Kab↔ B)}Kab   from B
+/// 5. A → B : {Nb, (A ↔Kab↔ B)}Kab   from A
+/// ```
+///
+/// `with_fresh_kab` adds the contentious assumption
+/// `B believes fresh(A ↔Kab↔ B)`.
+pub fn ban_protocol(with_fresh_kab: bool) -> IdealProtocol {
+    let msg2 = BanStmt::encrypted(
+        BanStmt::conj([
+            BanStmt::nonce("Na"),
+            ban_kab(),
+            BanStmt::fresh(ban_kab()),
+            BanStmt::encrypted(ban_kab(), "Kbs", "S"),
+        ]),
+        "Kas",
+        "S",
+    );
+    let msg3 = BanStmt::encrypted(ban_kab(), "Kbs", "S");
+    let msg4 = BanStmt::encrypted(
+        BanStmt::conj([BanStmt::nonce("Nb"), ban_kab()]),
+        "Kab",
+        "B",
+    );
+    let msg5 = BanStmt::encrypted(
+        BanStmt::conj([BanStmt::nonce("Nb"), ban_kab()]),
+        "Kab",
+        "A",
+    );
+    let name = if with_fresh_kab {
+        "needham-schroeder (BAN)"
+    } else {
+        "needham-schroeder, no fresh-Kab (BAN)"
+    };
+    let mut proto = IdealProtocol::new(name)
+        .assume(BanStmt::believes("A", BanStmt::shared_key("A", "Kas", "S")))
+        .assume(BanStmt::believes("B", BanStmt::shared_key("B", "Kbs", "S")))
+        .assume(BanStmt::believes("A", BanStmt::controls("S", ban_kab())))
+        .assume(BanStmt::believes("B", BanStmt::controls("S", ban_kab())))
+        .assume(BanStmt::believes(
+            "A",
+            BanStmt::controls("S", BanStmt::fresh(ban_kab())),
+        ))
+        .assume(BanStmt::believes("A", BanStmt::fresh(BanStmt::nonce("Na"))))
+        .assume(BanStmt::believes("B", BanStmt::fresh(BanStmt::nonce("Nb"))));
+    if with_fresh_kab {
+        proto = proto.assume(BanStmt::believes("B", BanStmt::fresh(ban_kab())));
+    }
+    proto
+        .step("S", "A", msg2)
+        .step("A", "B", msg3)
+        .step("B", "A", msg4)
+        .step("A", "B", msg5)
+        .goal(BanStmt::believes("A", ban_kab()))
+        .goal(BanStmt::believes("B", ban_kab()))
+        .goal(BanStmt::believes("A", BanStmt::believes("B", ban_kab())))
+        .goal(BanStmt::believes("B", BanStmt::believes("A", ban_kab())))
+}
+
+/// The protocol in the reformulated logic, with explicit key possession
+/// and acquisition.
+pub fn at_protocol(with_fresh_kab: bool) -> AtProtocol {
+    let na = Message::nonce(Nonce::new("Na"));
+    let nb = Message::nonce(Nonce::new("Nb"));
+    let fresh_kab = Formula::fresh(kab().into_message());
+    let msg2 = Message::encrypted(
+        Message::tuple([
+            na.clone(),
+            kab().into_message(),
+            fresh_kab.clone().into_message(),
+            Message::encrypted(kab().into_message(), Key::new("Kbs"), "S"),
+        ]),
+        Key::new("Kas"),
+        "S",
+    );
+    let msg3 = Message::encrypted(kab().into_message(), Key::new("Kbs"), "S");
+    let msg4 = Message::encrypted(
+        Message::tuple([nb.clone(), kab().into_message()]),
+        Key::new("Kab"),
+        "B",
+    );
+    let msg5 = Message::encrypted(
+        Message::tuple([nb.clone(), kab().into_message()]),
+        Key::new("Kab"),
+        "A",
+    );
+    let name = if with_fresh_kab {
+        "needham-schroeder (AT)"
+    } else {
+        "needham-schroeder, no fresh-Kab (AT)"
+    };
+    let mut proto = AtProtocol::new(name)
+        .assume(Formula::believes(
+            "A",
+            Formula::shared_key("A", Key::new("Kas"), "S"),
+        ))
+        .assume(Formula::believes(
+            "B",
+            Formula::shared_key("B", Key::new("Kbs"), "S"),
+        ))
+        .assume(Formula::believes("A", Formula::controls("S", kab())))
+        .assume(Formula::believes("B", Formula::controls("S", kab())))
+        .assume(Formula::believes(
+            "A",
+            Formula::controls("S", fresh_kab.clone()),
+        ))
+        .assume(Formula::believes("A", Formula::fresh(na)))
+        .assume(Formula::believes("B", Formula::fresh(nb.clone())))
+        .assume(Formula::has("A", Key::new("Kas")))
+        .assume(Formula::has("B", Key::new("Kbs")));
+    if with_fresh_kab {
+        proto = proto.assume(Formula::believes("B", fresh_kab));
+    }
+    proto
+        .step("S", "A", msg2)
+        .new_key("A", "Kab")
+        .step("A", "B", msg3)
+        .new_key("B", "Kab")
+        .step("B", "A", msg4)
+        .step("A", "B", msg5)
+        .goal(Formula::believes("A", kab()))
+        .goal(Formula::believes("B", kab()))
+        .goal(Formula::believes("A", Formula::says("B", kab().into_message())))
+        .goal(Formula::believes("B", Formula::says("A", kab().into_message())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_ban::analyze;
+    use atl_core::annotate::analyze_at;
+
+    #[test]
+    fn succeeds_with_the_contentious_assumption() {
+        let analysis = analyze(&ban_protocol(true));
+        assert!(
+            analysis.succeeded(),
+            "failed: {:?}",
+            analysis.failed_goals().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ban_finding_b_side_fails_without_fresh_kab() {
+        let analysis = analyze(&ban_protocol(false));
+        assert!(!analysis.succeeded());
+        let failed: Vec<_> = analysis.failed_goals().collect();
+        // Exactly B's goals fail: B cannot believe the key is good, hence
+        // also cannot reach the second-level goal.
+        assert!(!failed.contains(&&BanStmt::believes("A", ban_kab())));
+        assert!(failed.contains(&&BanStmt::believes("B", ban_kab())));
+        assert!(failed.contains(&&BanStmt::believes(
+            "B",
+            BanStmt::believes("A", ban_kab())
+        )));
+    }
+
+    #[test]
+    fn a_side_survives_without_the_assumption() {
+        let analysis = analyze(&ban_protocol(false));
+        let ok: Vec<_> = analysis
+            .goals
+            .iter()
+            .filter(|(_, achieved)| *achieved)
+            .map(|(g, _)| g.clone())
+            .collect();
+        assert!(ok.contains(&BanStmt::believes("A", ban_kab())));
+        assert!(ok.contains(&BanStmt::believes("A", BanStmt::believes("B", ban_kab()))));
+    }
+
+    #[test]
+    fn at_version_mirrors_the_finding() {
+        let with = analyze_at(&at_protocol(true));
+        assert!(
+            with.succeeded(),
+            "failed: {:?}",
+            with.failed_goals().collect::<Vec<_>>()
+        );
+        let without = analyze_at(&at_protocol(false));
+        assert!(!without.succeeded());
+        assert!(without
+            .failed_goals()
+            .any(|g| g == &Formula::believes("B", kab())));
+    }
+
+    #[test]
+    fn at_assumptions_are_stable() {
+        let analysis = analyze_at(&at_protocol(true));
+        assert!(analysis.unstable_assumptions.is_empty());
+    }
+}

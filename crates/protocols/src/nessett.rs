@@ -1,0 +1,192 @@
+//! Nessett's counterexample, and how the semantics resolves it.
+//!
+//! Nessett \[Nes90\] criticized BAN with a protocol that *provably* deceives
+//! itself: `A` signs a session key and publishes it, so everyone learns
+//! the key, yet the BAN proof of `B believes A ↔Kab↔ B` goes through.
+//!
+//! **Substitution.** Nessett's original signs with a public key; this
+//! shared-key adaptation has `A` send the new key *in the clear* next to
+//! a certificate under the long-term key:
+//!
+//! ```text
+//! 1. A → B : Kab, {Na, A ↔Kab↔ B}Kab0
+//! ```
+//!
+//! The derivations (in both logics) still succeed. The semantics shows
+//! what that means — and why it is not unsoundness:
+//!
+//! - in the leak run, the environment picks `Kab` off the wire and
+//!   encrypts with it, so `A ↔Kab↔ B` is semantically **false** there;
+//! - consequently `B`'s *initial trust assumption*
+//!   `B believes (A controls A ↔Kab↔ B)` cannot be supported by any
+//!   good-run vector containing the leak run: `A` recently says the key
+//!   is good and it is not, so `A controls …` is false in that run;
+//! - the good-run construction therefore excludes the leak run from
+//!   `G_B`: `B`'s belief is *defensible* (true at all worlds compatible
+//!   with its preconceptions) yet *wrong* at the actual point. Belief is
+//!   resource-bounded defensible knowledge, not truth — and the logic
+//!   deliberately says nothing about secrecy.
+
+use atl_ban::{BanStmt, IdealProtocol};
+use atl_core::annotate::AtProtocol;
+use atl_lang::{Formula, Key, Message, Nonce, Principal};
+use atl_model::{Run, RunBuilder};
+
+/// `A ↔Kab↔ B` (the session key claim) as a typed formula.
+pub fn kab() -> Formula {
+    Formula::shared_key("A", Key::new("Kab"), "B")
+}
+
+fn certificate() -> Message {
+    Message::encrypted(
+        Message::tuple([Message::nonce(Nonce::new("Na")), kab().into_message()]),
+        Key::new("Kab0"),
+        "A",
+    )
+}
+
+/// The broadcast: the key in the clear, then the certificate.
+pub fn broadcast() -> Message {
+    Message::tuple([Message::key(Key::new("Kab")), certificate()])
+}
+
+/// The idealized protocol in the original BAN logic — the proof succeeds,
+/// which is Nessett's point.
+pub fn ban_protocol() -> IdealProtocol {
+    let kab = BanStmt::shared_key("A", "Kab", "B");
+    let msg = BanStmt::conj([
+        BanStmt::key("Kab"),
+        BanStmt::encrypted(
+            BanStmt::conj([BanStmt::nonce("Na"), kab.clone()]),
+            "Kab0",
+            "A",
+        ),
+    ]);
+    IdealProtocol::new("nessett (BAN)")
+        .assume(BanStmt::believes("B", BanStmt::shared_key("A", "Kab0", "B")))
+        .assume(BanStmt::believes("B", BanStmt::fresh(BanStmt::nonce("Na"))))
+        .assume(BanStmt::believes("B", BanStmt::controls("A", kab.clone())))
+        .step("A", "B", msg)
+        .goal(BanStmt::believes("B", kab))
+}
+
+/// The idealized protocol in the reformulated logic — also succeeds.
+pub fn at_protocol() -> AtProtocol {
+    AtProtocol::new("nessett (AT)")
+        .assume(Formula::believes(
+            "B",
+            Formula::shared_key("A", Key::new("Kab0"), "B"),
+        ))
+        .assume(Formula::believes(
+            "B",
+            Formula::fresh(Message::nonce(Nonce::new("Na"))),
+        ))
+        .assume(Formula::believes("B", Formula::controls("A", kab())))
+        .assume(Formula::has("B", Key::new("Kab0")))
+        .step("A", "B", broadcast())
+        .goal(Formula::believes("B", kab()))
+}
+
+/// A clean run: the broadcast is delivered, the environment stays quiet.
+pub fn clean_run() -> Run {
+    let mut b = builder();
+    b.send("A", broadcast(), "B").unwrap();
+    b.receive("B", &broadcast()).unwrap();
+    b.build().expect("well-formed")
+}
+
+/// The leak run: the broadcast also reaches the environment (public
+/// channel), which adopts the cleartext key and encrypts with it.
+pub fn leak_run() -> Run {
+    let env = Principal::environment();
+    let mut b = builder();
+    b.send("A", broadcast(), "B").unwrap();
+    b.send("A", broadcast(), env.clone()).unwrap();
+    b.receive("B", &broadcast()).unwrap();
+    b.receive(env.clone(), &broadcast()).unwrap();
+    b.new_key(env.clone(), "Kab");
+    let forged = Message::encrypted(
+        Message::nonce(Nonce::new("evil")),
+        Key::new("Kab"),
+        env.clone(),
+    );
+    b.send(env, forged, "B").unwrap();
+    b.build().expect("well-formed")
+}
+
+fn builder() -> RunBuilder {
+    let mut b = RunBuilder::new(0);
+    b.principal("A", [Key::new("Kab0"), Key::new("Kab")]);
+    b.principal("B", [Key::new("Kab0")]);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_ban::analyze;
+    use atl_core::annotate::analyze_at;
+    use atl_core::goodruns::{construct, supports, InitialAssumptions};
+    use atl_core::semantics::{GoodRuns, Semantics};
+    use atl_model::{validate_run, Point, System};
+
+    #[test]
+    fn derivations_succeed_in_both_logics() {
+        assert!(analyze(&ban_protocol()).succeeded());
+        let at = analyze_at(&at_protocol());
+        assert!(
+            at.succeeded(),
+            "failed: {:?}",
+            at.failed_goals().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn runs_are_well_formed() {
+        assert!(validate_run(&clean_run()).is_empty());
+        assert!(validate_run(&leak_run()).is_empty());
+    }
+
+    #[test]
+    fn the_key_is_semantically_bad_in_the_leak_run() {
+        let sys = System::new([clean_run(), leak_run()]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        assert!(sem.eval(Point::new(0, 0), &kab()).unwrap());
+        assert!(!sem.eval(Point::new(1, 0), &kab()).unwrap());
+    }
+
+    #[test]
+    fn b_trust_assumption_is_false_in_the_leak_run() {
+        // A says the key is good in the leak run, and it is not: A's
+        // jurisdiction fails there.
+        let sys = System::new([clean_run(), leak_run()]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let trust = Formula::controls("A", kab());
+        assert!(sem.eval(Point::new(0, 0), &trust).unwrap());
+        assert!(!sem.eval(Point::new(1, 0), &trust).unwrap());
+    }
+
+    #[test]
+    fn good_runs_exclude_the_leak_and_make_the_belief_defensible() {
+        let sys = System::new([clean_run(), leak_run()]);
+        let mut assumptions = InitialAssumptions::new();
+        assumptions.assume("B", Formula::shared_key("A", Key::new("Kab0"), "B"));
+        assumptions.assume("B", Formula::controls("A", kab()));
+        // Plain knowledge (all runs good) cannot support the trust
+        // assumption…
+        assert!(!supports(&sys, &GoodRuns::all_runs(&sys), &assumptions).unwrap());
+        // …but the construction does, by excluding the leak run for B.
+        let goods = construct(&sys, &assumptions).unwrap();
+        assert!(supports(&sys, &goods, &assumptions).unwrap());
+        assert!(!goods.get(&Principal::new("B")).contains(&1));
+        // Relative to those good runs, B believes the key is good — even
+        // at the leak point, where the key is in fact bad. Belief is
+        // defensible, not correct.
+        let sem = Semantics::new(&sys, goods);
+        let end = sys.run(1).horizon();
+        assert!(sem
+            .eval(Point::new(1, end), &Formula::believes("B", kab()))
+            .unwrap());
+        assert!(!sem.eval(Point::new(1, end), &kab()).unwrap());
+    }
+}

@@ -1,0 +1,218 @@
+//! The Needham–Schroeder *public-key* protocol, and Lowe's
+//! man-in-the-middle — a boundary demonstration.
+//!
+//! Concrete protocol (serverless core):
+//!
+//! ```text
+//! 1. A → B : {Na, A}Kb
+//! 2. B → A : {Na, Nb}Ka
+//! 3. A → B : {Nb}Kb
+//! ```
+//!
+//! Lowe's 1995 attack interleaves two sessions: `A` runs the protocol
+//! with the attacker `C`, who replays `A`'s messages at `B`, so `B`
+//! finishes convinced it spoke with `A` while the attacker holds `Nb`.
+//!
+//! The instructive point for *this* paper: the attack does **not**
+//! falsify any BAN-style conclusion. `A` really did recently say `Nb`
+//! (it decrypted message 2 and re-encrypted `Nb` — for `C`); what breaks
+//! is *secrecy* (the attacker reads `Nb`) and *agreement* (who `A`
+//! thought it was talking to), both of which the logic deliberately
+//! ignores ("it sheds no light on the secrecy of message contents",
+//! Section 1). The semantics makes the boundary exact: every formula the
+//! analysis derives is true in the attack run; the properties the attack
+//! violates are not expressible.
+
+use atl_lang::{Formula, Key, Message, Nonce, Principal};
+use atl_model::{Run, RunBuilder};
+
+fn na() -> Message {
+    Message::nonce(Nonce::new("Na"))
+}
+
+fn nb() -> Message {
+    Message::nonce(Nonce::new("Nb"))
+}
+
+/// Message 1 of a session with responder public key `kr`: `{Na, A}Kr`.
+pub fn msg1(kr: &Key) -> Message {
+    Message::pub_encrypted(
+        Message::tuple([na(), Message::principal("A")]),
+        kr.clone(),
+        "A",
+    )
+}
+
+/// Message 2: `{Na, Nb}Ka`, from `B`.
+pub fn msg2() -> Message {
+    Message::pub_encrypted(Message::tuple([na(), nb()]), Key::new("Ka"), "B")
+}
+
+/// Message 3 of a session with responder public key `kr`: `{Nb}Kr`.
+pub fn msg3(kr: &Key, from: &str) -> Message {
+    Message::pub_encrypted(nb(), kr.clone(), from)
+}
+
+/// An honest A–B session: both parties hold each other's public keys and
+/// their own private keys.
+pub fn honest_run() -> Run {
+    let kb = Key::new("Kb");
+    let ka = Key::new("Ka");
+    let mut b = RunBuilder::new(0);
+    b.principal("A", [ka.clone(), kb.clone(), ka.inverse()]);
+    b.principal("B", [ka.clone(), kb.clone(), kb.inverse()]);
+    b.send("A", msg1(&kb), "B").unwrap();
+    b.receive("B", &msg1(&kb)).unwrap();
+    b.send("B", msg2(), "A").unwrap();
+    b.receive("A", &msg2()).unwrap();
+    b.send("A", msg3(&kb, "A"), "B").unwrap();
+    b.receive("B", &msg3(&kb, "A")).unwrap();
+    b.build().expect("well-formed")
+}
+
+/// Lowe's man-in-the-middle run.
+///
+/// `A` initiates with the environment (`Kc` is the attacker's public
+/// key); the attacker decrypts, re-encrypts for `B`, and shuttles the
+/// remaining messages, learning `Nb` on the way. Every step satisfies
+/// restrictions 1–5.
+pub fn lowe_run() -> Run {
+    let env = Principal::environment();
+    let (ka, kb, kc) = (Key::new("Ka"), Key::new("Kb"), Key::new("Kc"));
+    let mut b = RunBuilder::new(0);
+    b.principal("A", [ka.clone(), kb.clone(), kc.clone(), ka.inverse()]);
+    b.principal("B", [ka.clone(), kb.clone(), kc.clone(), kb.inverse()]);
+    b.env_keys([ka.clone(), kb.clone(), kc.clone(), kc.inverse()]);
+
+    // Session 1: A → C (the attacker).
+    b.send("A", msg1(&kc), env.clone()).unwrap();
+    b.receive(env.clone(), &msg1(&kc)).unwrap();
+    // The attacker decrypts with Kc⁻¹ and re-encrypts A's nonce for B,
+    // impersonating A (a from-field forgery only the environment may
+    // commit).
+    let forged1 = Message::pub_encrypted(
+        Message::tuple([na(), Message::principal("A")]),
+        kb.clone(),
+        "A",
+    );
+    b.send(env.clone(), forged1.clone(), "B").unwrap();
+    b.receive("B", &forged1).unwrap();
+    // B answers "A" — the wire routes through the attacker, who cannot
+    // read it (no Ka⁻¹) and passes it along.
+    b.send("B", msg2(), env.clone()).unwrap();
+    b.receive(env.clone(), &msg2()).unwrap();
+    b.send(env.clone(), msg2(), "A").unwrap();
+    b.receive("A", &msg2()).unwrap();
+    // A completes its session with C.
+    b.send("A", msg3(&kc, "A"), env.clone()).unwrap();
+    b.receive(env.clone(), &msg3(&kc, "A")).unwrap();
+    // The attacker now KNOWS Nb; it re-encrypts for B, completing B's
+    // session.
+    let forged3 = Message::pub_encrypted(nb(), kb.clone(), "A");
+    b.send(env.clone(), forged3.clone(), "B").unwrap();
+    b.receive("B", &forged3).unwrap();
+    b.build().expect("well-formed")
+}
+
+/// The conclusion `B` draws at the end: `A` recently said `Nb`.
+pub fn b_conclusion() -> Formula {
+    Formula::says("A", nb())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_core::semantics::{GoodRuns, Semantics};
+    use atl_model::{validate_run, Point, System};
+
+    #[test]
+    fn both_runs_are_well_formed() {
+        assert!(validate_run(&honest_run()).is_empty());
+        let violations = validate_run(&lowe_run());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn the_attack_does_not_falsify_the_logical_conclusions() {
+        // B's BAN-style conclusion — A recently said Nb — is TRUE in the
+        // attack run: A really did decrypt and re-encrypt Nb (for C).
+        let run = lowe_run();
+        let end = run.horizon();
+        let sys = System::new([run]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        assert!(sem.eval(Point::new(0, end), &b_conclusion()).unwrap());
+        // And A's conclusion about B is also true.
+        assert!(sem
+            .eval(Point::new(0, end), &Formula::says("B", na()))
+            .unwrap());
+    }
+
+    #[test]
+    fn what_breaks_is_secrecy_which_the_logic_does_not_address() {
+        // The attacker ends up seeing Nb — the secrecy failure, which has
+        // no BAN-logic counterpart.
+        let run = lowe_run();
+        let end = run.horizon();
+        let sys = System::new([run]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let env = Principal::environment();
+        assert!(sem
+            .eval(Point::new(0, end), &Formula::sees(env, nb()))
+            .unwrap());
+        // In the honest run, it does not (and could not — no copy even
+        // reaches it).
+        let honest = honest_run();
+        let hend = honest.horizon();
+        let hsys = System::new([honest]);
+        let hsem = Semantics::new(&hsys, GoodRuns::all_runs(&hsys));
+        assert!(!hsem
+            .eval(
+                Point::new(0, hend),
+                &Formula::sees(Principal::environment(), nb())
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn public_keys_remain_semantically_good_throughout() {
+        // →Ka A and →Kb B hold even in the attack run: only A signs with
+        // Ka⁻¹ (nobody signs at all here), and the definition constrains
+        // signing, not encryption — public-key encryption by the attacker
+        // is exactly what public keys permit.
+        let run = lowe_run();
+        let sys = System::new([run]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        assert!(sem
+            .eval(Point::new(0, 0), &Formula::public_key(Key::new("Ka"), "A"))
+            .unwrap());
+        assert!(sem
+            .eval(Point::new(0, 0), &Formula::public_key(Key::new("Kb"), "B"))
+            .unwrap());
+    }
+
+    #[test]
+    fn pub_encryption_gives_no_message_meaning() {
+        // The deeper reason the logic cannot see the attack: seeing
+        // {X}Kb proves nothing about the sender — anyone holds Kb. The
+        // prover therefore derives no `said` facts from pub-encrypted
+        // traffic alone (there is no pub-encryption analogue of A5/A22).
+        use atl_core::prover::Prover;
+        let kb = Key::new("Kb");
+        let mut prover = Prover::new([
+            Formula::believes("B", Formula::public_key(kb.clone(), "B")),
+            Formula::believes("B", Formula::sees("B", msg1(&kb))),
+            Formula::believes("B", Formula::has("B", kb.inverse())),
+        ]);
+        prover.saturate();
+        // B can read the contents…
+        assert!(prover.holds(&Formula::believes(
+            "B",
+            Formula::sees("B", Message::tuple([na(), Message::principal("A")]))
+        )));
+        // …but cannot attribute them to anyone.
+        assert!(!prover.holds(&Formula::believes(
+            "B",
+            Formula::said("A", na())
+        )));
+    }
+}

@@ -1,0 +1,177 @@
+//! The reflection attack, and the side condition that blocks it.
+//!
+//! A naive challenge–response lets each party prove liveness by
+//! returning the other's nonce under the shared key:
+//!
+//! ```text
+//! 1. A → B : {Na}Kab
+//! 2. B → A : {Na}Kab
+//! ```
+//!
+//! An attacker can *reflect* message 1 straight back at `A`: `A` then
+//! holds a ciphertext that proves nothing except its own earlier send.
+//! This is precisely why the message-meaning machinery carries from
+//! fields and the side condition `P ≠ S` (A5): "a principal can detect
+//! and ignore its own messages". With the side condition, the reflected
+//! ciphertext — whose from field is `A` itself — licenses no conclusion
+//! about `B`; without it, the logic would be unsound on the reflection
+//! run, as the semantic checks below make exact.
+//!
+//! The repaired protocol has the responder *re-encrypt*, producing a
+//! ciphertext with its own from field, and the analysis goes through.
+
+use atl_core::annotate::AtProtocol;
+use atl_lang::{Formula, Key, Message, Nonce, Principal};
+use atl_model::{Run, RunBuilder};
+
+fn na() -> Message {
+    Message::nonce(Nonce::new("Na"))
+}
+
+/// `A`'s challenge `{Na}Kab` with from field `A`.
+pub fn challenge() -> Message {
+    Message::encrypted(na(), Key::new("Kab"), "A")
+}
+
+/// The honest response: `B` re-encrypts, so the from field is `B`.
+pub fn response() -> Message {
+    Message::encrypted(na(), Key::new("Kab"), "B")
+}
+
+/// The repaired protocol, in the reformulated logic: the response carries
+/// `B`'s from field, so A5 applies and `A` learns `B` recently said `Na`.
+pub fn at_protocol() -> AtProtocol {
+    AtProtocol::new("challenge-response (AT)")
+        .assume(Formula::believes(
+            "A",
+            Formula::shared_key("A", Key::new("Kab"), "B"),
+        ))
+        .assume(Formula::believes("A", Formula::fresh(na())))
+        .assume(Formula::has("A", Key::new("Kab")))
+        .step("A", "B", challenge())
+        .step("B", "A", response())
+        .goal(Formula::believes("A", Formula::says("B", na())))
+}
+
+/// The *reflected* protocol: the annotation records `A` seeing its own
+/// challenge back. The analysis must NOT conclude anything about `B`.
+pub fn reflected_at_protocol() -> AtProtocol {
+    AtProtocol::new("challenge-response, reflected (AT)")
+        .assume(Formula::believes(
+            "A",
+            Formula::shared_key("A", Key::new("Kab"), "B"),
+        ))
+        .assume(Formula::believes("A", Formula::fresh(na())))
+        .assume(Formula::has("A", Key::new("Kab")))
+        .step("A", "B", challenge())
+        // The attacker sends A's own ciphertext back (from field A!).
+        .step("Env", "A", challenge())
+        .goal(Formula::believes("A", Formula::says("B", na())))
+}
+
+/// The concrete reflection run: the environment intercepts the challenge
+/// and bounces it back; `B` never acts at all.
+pub fn reflection_run() -> Run {
+    let env = Principal::environment();
+    let mut b = RunBuilder::new(0);
+    b.principal("A", [Key::new("Kab")]);
+    b.principal("B", [Key::new("Kab")]);
+    b.send("A", challenge(), env.clone()).unwrap();
+    b.receive(env.clone(), &challenge()).unwrap();
+    b.send(env, challenge(), "A").unwrap(); // a legal replay
+    b.receive("A", &challenge()).unwrap();
+    b.build().expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_core::annotate::analyze_at;
+    use atl_core::axioms;
+    use atl_core::semantics::{GoodRuns, Semantics};
+    use atl_lang::KeyTerm;
+    use atl_model::{validate_run, Point, System};
+
+    #[test]
+    fn repaired_protocol_succeeds() {
+        let analysis = analyze_at(&at_protocol());
+        assert!(
+            analysis.succeeded(),
+            "failed: {:?}",
+            analysis.failed_goals().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reflection_derives_nothing_about_b() {
+        // The side condition in action: the reflected ciphertext's from
+        // field is A, so message meaning only ever names A itself.
+        let analysis = analyze_at(&reflected_at_protocol());
+        assert!(!analysis.succeeded());
+        assert!(!analysis.prover.holds(&Formula::believes(
+            "A",
+            Formula::said("B", na())
+        )));
+        // What A can conclude is the harmless truth that A itself once
+        // said Na.
+        assert!(analysis.prover.holds(&Formula::believes(
+            "A",
+            Formula::said("A", na())
+        )));
+    }
+
+    #[test]
+    fn the_blocked_a5_instance_would_be_false() {
+        // Semantically: on the reflection run, the conclusion the side
+        // condition forbids ("B said Na") is FALSE — A5 without `P ≠ S`
+        // would be unsound, which is exactly the paper's justification.
+        let run = reflection_run();
+        assert!(validate_run(&run).is_empty());
+        let end = run.horizon();
+        let sys = System::new([run]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let at = Point::new(0, end);
+        // The premises of the would-be instance hold…
+        assert!(sem
+            .eval(at, &Formula::shared_key("A", Key::new("Kab"), "B"))
+            .unwrap());
+        assert!(sem.eval(at, &Formula::sees("A", challenge())).unwrap());
+        // …but the conclusion is false:
+        assert!(!sem.eval(at, &Formula::said("B", na())).unwrap());
+        // And the schema constructor refuses to build the instance.
+        assert!(axioms::a5(
+            &Principal::new("A"),
+            &KeyTerm::Key(Key::new("Kab")),
+            &Principal::new("B"),
+            &Principal::new("A"),
+            &na(),
+            &Principal::new("A"), // from field = A = P: side condition
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn admissible_a5_instances_stay_valid_on_the_reflection_run() {
+        // Every instance the side condition ADMITS is still true here.
+        let run = reflection_run();
+        let sys = System::new([run]);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        let k = KeyTerm::Key(Key::new("Kab"));
+        let names = [
+            Principal::new("A"),
+            Principal::new("B"),
+            Principal::environment(),
+        ];
+        for p in &names {
+            for q in &names {
+                for r in &names {
+                    for s in &names {
+                        if let Some(inst) = axioms::a5(p, &k, q, r, &na(), s) {
+                            assert!(sem.valid(&inst).unwrap(), "falsified: {inst}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The protocol suite, aggregated (E8).
+//!
+//! Runs every protocol analysis in both logics and collects the per-goal
+//! outcomes into a table — the executable counterpart of BAN89's
+//! protocol-comparison discussion, reproducing each published finding.
+
+use crate::{andrew, kerberos, needham_schroeder, nessett, otway_rees, wide_mouthed_frog, x509, yahalom};
+use atl_ban::analyze;
+use atl_core::annotate::analyze_at;
+use std::fmt;
+
+/// Which logic an entry was analyzed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Logic {
+    /// The original BAN logic (Section 2).
+    Ban,
+    /// The reformulated Abadi–Tuttle logic (Section 4).
+    Reformulated,
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Logic::Ban => write!(f, "BAN"),
+            Logic::Reformulated => write!(f, "AT"),
+        }
+    }
+}
+
+/// One analyzed protocol with its goal outcomes.
+#[derive(Clone, Debug)]
+pub struct SuiteEntry {
+    /// Protocol name.
+    pub name: String,
+    /// The logic used.
+    pub logic: Logic,
+    /// `(goal, achieved)` pairs, in goal order.
+    pub goals: Vec<(String, bool)>,
+    /// Whether the analysis is *expected* to succeed (false for the
+    /// deliberately flawed variants).
+    pub expected_success: bool,
+}
+
+impl SuiteEntry {
+    /// True if every goal was achieved.
+    pub fn succeeded(&self) -> bool {
+        self.goals.iter().all(|(_, ok)| *ok)
+    }
+
+    /// True if the outcome matches the published finding.
+    pub fn matches_expectation(&self) -> bool {
+        self.succeeded() == self.expected_success
+    }
+}
+
+fn ban_entry(proto: &atl_ban::IdealProtocol, expected_success: bool) -> SuiteEntry {
+    let analysis = analyze(proto);
+    SuiteEntry {
+        name: proto.name.clone(),
+        logic: Logic::Ban,
+        goals: analysis
+            .goals
+            .iter()
+            .map(|(g, ok)| (g.to_string(), *ok))
+            .collect(),
+        expected_success,
+    }
+}
+
+fn at_entry(proto: &atl_core::annotate::AtProtocol, expected_success: bool) -> SuiteEntry {
+    let analysis = analyze_at(proto);
+    SuiteEntry {
+        name: proto.name.clone(),
+        logic: Logic::Reformulated,
+        goals: analysis
+            .goals
+            .iter()
+            .map(|(g, ok)| (g.to_string(), *ok))
+            .collect(),
+        expected_success,
+    }
+}
+
+/// Analyzes the whole suite.
+pub fn run_suite() -> Vec<SuiteEntry> {
+    vec![
+        ban_entry(&kerberos::figure1_ban(), true),
+        at_entry(&kerberos::figure1_at(), true),
+        ban_entry(&kerberos::full_ban(), true),
+        at_entry(&kerberos::full_at(), true),
+        ban_entry(&needham_schroeder::ban_protocol(true), true),
+        ban_entry(&needham_schroeder::ban_protocol(false), false),
+        at_entry(&needham_schroeder::at_protocol(true), true),
+        at_entry(&needham_schroeder::at_protocol(false), false),
+        at_entry(&yahalom::at_protocol(true), true),
+        at_entry(&yahalom::at_protocol(false), false),
+        ban_entry(&otway_rees::ban_protocol(), true),
+        ban_entry(&otway_rees::ban_protocol_with_second_level_goals(), false),
+        at_entry(&otway_rees::at_protocol(), true),
+        ban_entry(&wide_mouthed_frog::ban_protocol(), true),
+        at_entry(&wide_mouthed_frog::at_protocol(), true),
+        ban_entry(&andrew::ban_protocol(false), false),
+        ban_entry(&andrew::ban_protocol(true), true),
+        at_entry(&andrew::at_protocol(false), false),
+        at_entry(&andrew::at_protocol(true), true),
+        ban_entry(&x509::ban_protocol(true), true),
+        ban_entry(&x509::ban_protocol(false), false),
+        at_entry(&x509::at_protocol(true), true),
+        at_entry(&x509::at_protocol(false), false),
+        at_entry(&x509::at_protocol_signed(true), true),
+        at_entry(&x509::at_protocol_signed(false), false),
+        ban_entry(&nessett::ban_protocol(), true),
+        at_entry(&nessett::at_protocol(), true),
+        at_entry(&crate::forwarding::at_protocol(), true),
+        at_entry(&crate::reflection::at_protocol(), true),
+        at_entry(&crate::reflection::reflected_at_protocol(), false),
+    ]
+}
+
+/// Renders the suite outcome as an aligned text table.
+pub fn summary_table(entries: &[SuiteEntry]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:>5} {:>7} {:>8} {:>8}\n",
+        "protocol", "logic", "goals", "achieved", "expected"
+    ));
+    for e in entries {
+        let achieved = e.goals.iter().filter(|(_, ok)| *ok).count();
+        out.push_str(&format!(
+            "{:<44} {:>5} {:>7} {:>8} {:>8}\n",
+            e.name,
+            e.logic.to_string(),
+            e.goals.len(),
+            achieved,
+            if e.expected_success { "all" } else { "partial" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_every_entry_matches_its_published_finding() {
+        for entry in run_suite() {
+            assert!(
+                entry.matches_expectation(),
+                "{} [{}]: expected success={}, goals: {:?}",
+                entry.name,
+                entry.logic,
+                entry.expected_success,
+                entry.goals
+            );
+        }
+    }
+
+    #[test]
+    fn suite_covers_both_logics() {
+        let entries = run_suite();
+        assert!(entries.iter().any(|e| e.logic == Logic::Ban));
+        assert!(entries.iter().any(|e| e.logic == Logic::Reformulated));
+        assert!(entries.len() >= 20);
+    }
+
+    #[test]
+    fn table_renders_every_entry() {
+        let entries = run_suite();
+        let table = summary_table(&entries);
+        for e in &entries {
+            assert!(table.contains(&e.name), "missing {}", e.name);
+        }
+    }
+
+    #[test]
+    fn flawed_variants_fail_partially_not_totally() {
+        // Each deliberately flawed variant still achieves some goals —
+        // the analyses are discriminating, not broken.
+        for entry in run_suite() {
+            if !entry.expected_success {
+                let achieved = entry.goals.iter().filter(|(_, ok)| *ok).count();
+                assert!(
+                    achieved < entry.goals.len(),
+                    "{} unexpectedly achieved everything",
+                    entry.name
+                );
+            }
+        }
+    }
+}

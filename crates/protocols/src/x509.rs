@@ -1,0 +1,168 @@
+//! The CCITT X.509 one-message protocol, adapted to shared keys.
+//!
+//! **Substitution.** X.509 uses public-key signatures; the extended
+//! abstract omits public keys ("its treatment is similar to the treatment
+//! of shared keys"), so we model the signature `{…}Ka⁻¹` as encryption
+//! under a key `Kab` shared by the two parties. The finding this
+//! reproduces is orthogonal to the key type: CCITT permitted the
+//! timestamp `Ta` to be zero/omitted, in which case the message carries
+//! no freshness and the recipient learns only that the content was said
+//! *at some time* — the l'Anson–Mitchell criticism cited by the paper
+//! (\[AM90\]).
+//!
+//! ```text
+//! 1. A → B : {Ta, Na, Xa}Kab
+//! ```
+
+use atl_ban::{BanStmt, IdealProtocol};
+use atl_core::annotate::AtProtocol;
+use atl_lang::{Formula, Key, Message, Nonce};
+
+/// The signed payload claim: here, a data item `Xa` that `A` vouches for.
+fn ban_payload() -> BanStmt {
+    BanStmt::nonce("Xa")
+}
+
+fn payload() -> Message {
+    Message::nonce(Nonce::new("Xa"))
+}
+
+/// The one-message protocol in the original BAN logic; `with_timestamp`
+/// selects whether `Ta` is a real timestamp (believed fresh by `B`) or
+/// the zero CCITT allowed.
+pub fn ban_protocol(with_timestamp: bool) -> IdealProtocol {
+    let msg = BanStmt::encrypted(
+        BanStmt::conj([BanStmt::nonce("Ta"), BanStmt::nonce("Na"), ban_payload()]),
+        "Kab",
+        "A",
+    );
+    let mut proto = IdealProtocol::new(if with_timestamp {
+        "x509 one-message (BAN)"
+    } else {
+        "x509 one-message, zero timestamp (BAN)"
+    })
+    .assume(BanStmt::believes("B", BanStmt::shared_key("A", "Kab", "B")));
+    if with_timestamp {
+        proto = proto.assume(BanStmt::believes("B", BanStmt::fresh(BanStmt::nonce("Ta"))));
+    }
+    proto
+        .step("A", "B", msg)
+        .goal(BanStmt::believes("B", BanStmt::believes("A", ban_payload())))
+}
+
+/// The one-message protocol in the reformulated logic. The goal is the
+/// honest `B believes A says Xa` — recency, not belief, since honesty is
+/// gone.
+pub fn at_protocol(with_timestamp: bool) -> AtProtocol {
+    let msg = Message::encrypted(
+        Message::tuple([
+            Message::nonce(Nonce::new("Ta")),
+            Message::nonce(Nonce::new("Na")),
+            payload(),
+        ]),
+        Key::new("Kab"),
+        "A",
+    );
+    let mut proto = AtProtocol::new(if with_timestamp {
+        "x509 one-message (AT)"
+    } else {
+        "x509 one-message, zero timestamp (AT)"
+    })
+    .assume(Formula::believes(
+        "B",
+        Formula::shared_key("A", Key::new("Kab"), "B"),
+    ))
+    .assume(Formula::has("B", Key::new("Kab")));
+    if with_timestamp {
+        proto = proto.assume(Formula::believes(
+            "B",
+            Formula::fresh(Message::nonce(Nonce::new("Ta"))),
+        ));
+    }
+    proto
+        .step("A", "B", msg)
+        .goal(Formula::believes("B", Formula::says("A", payload())))
+}
+
+/// The protocol with *real* public-key signatures (the construct the
+/// extended abstract omitted and this library restores): `A` signs the
+/// payload with `Ka⁻¹`, and `B` — believing `Ka` is `A`'s public key and
+/// holding `Ka` — verifies it. Message meaning is A22: no from-field side
+/// condition, because signing capability identifies the author.
+pub fn at_protocol_signed(with_timestamp: bool) -> AtProtocol {
+    let ka = Key::new("Ka");
+    let msg = Message::signed(
+        Message::tuple([
+            Message::nonce(Nonce::new("Ta")),
+            Message::nonce(Nonce::new("Na")),
+            payload(),
+        ]),
+        ka.clone(),
+        "A",
+    );
+    let mut proto = AtProtocol::new(if with_timestamp {
+        "x509 one-message, signed (AT)"
+    } else {
+        "x509 one-message, signed, zero timestamp (AT)"
+    })
+    .assume(Formula::believes("B", Formula::public_key(ka.clone(), "A")))
+    .assume(Formula::has("B", ka));
+    if with_timestamp {
+        proto = proto.assume(Formula::believes(
+            "B",
+            Formula::fresh(Message::nonce(Nonce::new("Ta"))),
+        ));
+    }
+    proto
+        .step("A", "B", msg)
+        .goal(Formula::believes("B", Formula::says("A", payload())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_ban::analyze;
+    use atl_core::annotate::analyze_at;
+
+    #[test]
+    fn with_timestamp_goals_hold() {
+        assert!(analyze(&ban_protocol(true)).succeeded());
+        let at = analyze_at(&at_protocol(true));
+        assert!(
+            at.succeeded(),
+            "failed: {:?}",
+            at.failed_goals().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn signed_variant_mirrors_the_finding() {
+        // The genuine public-key form of the CCITT analysis.
+        let good = analyze_at(&at_protocol_signed(true));
+        assert!(
+            good.succeeded(),
+            "failed: {:?}",
+            good.failed_goals().collect::<Vec<_>>()
+        );
+        let flawed = analyze_at(&at_protocol_signed(false));
+        assert!(!flawed.succeeded());
+        // Timeless authorship still derives (A22 without freshness):
+        assert!(flawed.prover.holds(&Formula::believes(
+            "B",
+            Formula::said("A", payload())
+        )));
+    }
+
+    #[test]
+    fn zero_timestamp_breaks_recency() {
+        // The CCITT flaw: without a fresh timestamp the message could be a
+        // replay; only the timeless `said` survives.
+        assert!(!analyze(&ban_protocol(false)).succeeded());
+        let at = analyze_at(&at_protocol(false));
+        assert!(!at.succeeded());
+        assert!(at.prover.holds(&Formula::believes(
+            "B",
+            Formula::said("A", payload())
+        )));
+    }
+}

@@ -1,0 +1,164 @@
+//! The Yahalom protocol — the paper's showcase for `P has K` (E6).
+//!
+//! Concrete protocol (nonce-carrying variant):
+//!
+//! ```text
+//! 1. A → B : A, Na
+//! 2. B → S : B, {A, Na, Nb}Kbs
+//! 3. S → A : {B, Kab, Na, Nb}Kas, {A, Kab, Nb}Kbs
+//! 4. A → B : {A, Kab, Nb}Kbs, {Nb}Kab
+//! ```
+//!
+//! Yahalom stresses exactly what the original logic could not express
+//! (Section 3.1): in step 4, `A` *forwards* a certificate it cannot read,
+//! and `B` must *acquire* `Kab` from that certificate before it can
+//! decrypt `{Nb}Kab`. Possession (`has`, `newkey`) is distinct from any
+//! belief about the key's quality; with it, the analysis "becomes easy".
+
+use atl_core::annotate::AtProtocol;
+use atl_lang::{Formula, Key, Message, Nonce};
+
+/// `A ↔Kab↔ B` as a typed formula.
+pub fn kab() -> Formula {
+    Formula::shared_key("A", Key::new("Kab"), "B")
+}
+
+fn na() -> Message {
+    Message::nonce(Nonce::new("Na"))
+}
+
+fn nb() -> Message {
+    Message::nonce(Nonce::new("Nb"))
+}
+
+/// The certificate `{A ↔Kab↔ B, Nb}Kbs` that `S` mints for `B` and `A`
+/// forwards unread.
+pub fn certificate() -> Message {
+    Message::encrypted(
+        Message::tuple([kab().into_message(), nb()]),
+        Key::new("Kbs"),
+        "S",
+    )
+}
+
+/// `S`'s reply to `A`: `{A ↔Kab↔ B, Na, Nb}Kas` paired with the
+/// certificate. `S` sends the certificate plainly — it *minted* it, so
+/// the forwarding mark (which restriction 5 reserves for messages one has
+/// received) appears only on `A`'s hop.
+pub fn server_reply() -> Message {
+    Message::tuple([
+        Message::encrypted(
+            Message::tuple([kab().into_message(), na(), nb()]),
+            Key::new("Kas"),
+            "S",
+        ),
+        certificate(),
+    ])
+}
+
+/// Step 4's payload: the forwarded certificate plus the handshake
+/// `{Nb}Kab`.
+pub fn final_message() -> Message {
+    Message::tuple([
+        Message::forwarded(certificate()),
+        Message::encrypted(nb(), Key::new("Kab"), "A"),
+    ])
+}
+
+/// The idealized Yahalom in the reformulated logic.
+///
+/// `with_acquisition` controls whether the `newkey(Kab)` steps appear —
+/// without them the analysis collapses exactly where the original logic
+/// did.
+pub fn at_protocol(with_acquisition: bool) -> AtProtocol {
+    let name = if with_acquisition {
+        "yahalom (AT)"
+    } else {
+        "yahalom, no acquisition (AT)"
+    };
+    let mut proto = AtProtocol::new(name)
+        .assume(Formula::believes(
+            "A",
+            Formula::shared_key("A", Key::new("Kas"), "S"),
+        ))
+        .assume(Formula::believes(
+            "B",
+            Formula::shared_key("B", Key::new("Kbs"), "S"),
+        ))
+        .assume(Formula::believes("A", Formula::controls("S", kab())))
+        .assume(Formula::believes("B", Formula::controls("S", kab())))
+        .assume(Formula::believes("A", Formula::fresh(na())))
+        .assume(Formula::believes("B", Formula::fresh(nb())))
+        .assume(Formula::has("A", Key::new("Kas")))
+        .assume(Formula::has("B", Key::new("Kbs")));
+    // Steps 1 and 2 only move nonces; they contribute nothing to beliefs
+    // and are omitted from the idealization (as the paper does for
+    // Figure 1's first step).
+    proto = proto.step("S", "A", server_reply());
+    if with_acquisition {
+        proto = proto.new_key("A", "Kab");
+    }
+    proto = proto.step("A", "B", final_message());
+    if with_acquisition {
+        proto = proto.new_key("B", "Kab");
+    }
+    proto
+        .goal(Formula::believes("A", kab()))
+        .goal(Formula::believes("B", kab()))
+        .goal(Formula::believes(
+            "B",
+            Formula::says("A", nb()),
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atl_core::annotate::analyze_at;
+
+    #[test]
+    fn e6_full_analysis_succeeds_with_possession() {
+        let analysis = analyze_at(&at_protocol(true));
+        assert!(
+            analysis.succeeded(),
+            "failed: {:?}",
+            analysis.failed_goals().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn e6_liveness_goal_needs_key_acquisition() {
+        // Without newkey(Kab), B cannot decrypt {Nb}Kab: the liveness goal
+        // `B believes A says Nb` is underivable — the precise gap the
+        // original logic could not even state.
+        let analysis = analyze_at(&at_protocol(false));
+        assert!(!analysis.succeeded());
+        let failed: Vec<_> = analysis.failed_goals().collect();
+        assert!(failed.contains(&&Formula::believes("B", Formula::says("A", nb()))));
+        // The pure-jurisdiction goals survive: B's certificate is readable
+        // with Kbs alone.
+        assert!(!failed.contains(&&Formula::believes("B", kab())));
+    }
+
+    #[test]
+    fn a_never_reads_the_certificate() {
+        // The certificate is encrypted under Kbs, which A never has; A's
+        // belief set contains nothing about the certificate's contents
+        // beyond the opaque blob itself.
+        let analysis = analyze_at(&at_protocol(true));
+        let leaked = Formula::believes(
+            "A",
+            Formula::sees("A", Message::tuple([kab().into_message(), nb()])),
+        );
+        assert!(!analysis.prover.holds(&leaked));
+    }
+
+    #[test]
+    fn forwarding_spares_a_accountability() {
+        // A forwards 'certificate' — nothing in the analysis makes A say
+        // the certificate's contents.
+        let analysis = analyze_at(&at_protocol(true));
+        let accountable = Formula::said("A", kab().into_message());
+        assert!(!analysis.prover.holds(&accountable));
+    }
+}

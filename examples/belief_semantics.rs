@@ -1,0 +1,99 @@
+//! Belief as resource-bounded, defensible knowledge (Sections 6–7):
+//! hiding, good runs, the iterative construction, and the coin-toss
+//! counterexample to optimality.
+//!
+//! ```sh
+//! cargo run --example belief_semantics
+//! ```
+
+use atl::core::examples::{coin_toss, HEADS_RUN, TAILS_RUN};
+use atl::core::goodruns::{construct, find_witness_above, supports, InitialAssumptions};
+use atl::core::semantics::{GoodRuns, Semantics};
+use atl::lang::{Formula, Key, Message, Nonce, Principal};
+use atl::model::{Point, RunBuilder, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------
+    // Part 1: why knowledge is not enough (the Section 6 motivation).
+    // ---------------------------------------------------------------
+    println!("== Part 1: knowledge cannot support preconceived key beliefs ==\n");
+    let good = {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", [Key::new("Kab")]);
+        b.principal("B", [Key::new("Kab")]);
+        let c = Message::encrypted(Message::nonce(Nonce::new("X")), Key::new("Kab"), "A");
+        b.send("A", c.clone(), "B")?;
+        b.receive("B", &c)?;
+        b.build()?
+    };
+    let lucky_guess = {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", [Key::new("Kab")]);
+        b.principal("B", [Key::new("Kab")]);
+        let env = Principal::environment();
+        b.new_key(env.clone(), "Kab"); // the environment stumbles on Kab
+        let c = Message::encrypted(Message::nonce(Nonce::new("X")), Key::new("Kab"), env.clone());
+        b.send(env, c.clone(), "B")?;
+        b.receive("B", &c)?;
+        b.build()?
+    };
+    let sys = System::new([good, lucky_guess]);
+    let kab = Formula::shared_key("A", Key::new("Kab"), "B");
+
+    let knowledge = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    println!(
+        "relative to ALL runs, `A believes A<->Kab<->B` at (good run, 0): {}",
+        knowledge.eval(Point::new(0, 0), &Formula::believes("A", kab.clone()))?
+    );
+    println!("  — a key-guessing run is indistinguishable to A, so belief-as-knowledge fails.\n");
+
+    let mut assumptions = InitialAssumptions::new();
+    assumptions.assume("A", kab.clone());
+    let goods = construct(&sys, &assumptions)?;
+    println!(
+        "the Section 7 construction keeps runs {:?} for A",
+        goods.get(&Principal::new("A"))
+    );
+    let defensible = Semantics::new(&sys, goods);
+    println!(
+        "relative to those good runs, the same belief: {}\n",
+        defensible.eval(Point::new(0, 0), &Formula::believes("A", kab))?
+    );
+
+    // ---------------------------------------------------------------
+    // Part 2: the coin-toss counterexample (no optimum without I2).
+    // ---------------------------------------------------------------
+    println!("== Part 2: the coin-toss counterexample ==\n");
+    let (sys, assumptions) = coin_toss();
+    println!("P1 believes tails and believes P3 agrees;");
+    println!("P3 believes heads and believes P1 agrees.");
+    println!(
+        "restriction I2 violated: {}\n",
+        assumptions.violates_i2().is_some()
+    );
+
+    let constructed = construct(&sys, &assumptions)?;
+    println!(
+        "the construction still SUPPORTS the assumptions: {}",
+        supports(&sys, &constructed, &assumptions)?
+    );
+    println!(
+        "…by emptying both belief sets: G_P1 = {:?}, G_P3 = {:?}",
+        constructed.get(&Principal::new("P1")),
+        constructed.get(&Principal::new("P3"))
+    );
+
+    let witness = find_witness_above(&sys, &constructed, &assumptions, 1 << 20)?
+        .expect("the paper says no optimum exists");
+    println!(
+        "\nbut a supporting vector NOT below it exists: G_P1 = {:?}, G_P3 = {:?}",
+        witness.get(&Principal::new("P1")),
+        witness.get(&Principal::new("P3"))
+    );
+    println!(
+        "(runs: {HEADS_RUN} = heads, {TAILS_RUN} = tails)"
+    );
+    println!("\neither G_P1 may keep the tails run, or G_P3 the heads run — never");
+    println!("both: there is no maximum supporting vector, exactly as Section 7 argues.");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! The Denning–Sacco replay on Needham–Schroeder, end to end:
+//! the missing assumption in the logic, and the attack it licenses in the
+//! model.
+//!
+//! ```sh
+//! cargo run --example needham_schroeder_attack
+//! ```
+
+use atl::ban::analyze;
+use atl::core::semantics::{GoodRuns, Semantics};
+use atl::lang::Formula;
+use atl::model::{validate_run, Point, System};
+use atl::protocols::{attacks, needham_schroeder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Needham-Schroeder and the Denning-Sacco replay ==\n");
+
+    // --- The logical finding: B's proof needs `B believes fresh(Kab)`.
+    let with = analyze(&needham_schroeder::ban_protocol(true));
+    let without = analyze(&needham_schroeder::ban_protocol(false));
+    println!(
+        "with `B believes fresh(A<->Kab<->B)` : {} of {} goals",
+        with.goals.iter().filter(|(_, ok)| *ok).count(),
+        with.goals.len()
+    );
+    println!(
+        "without it                           : {} of {} goals",
+        without.goals.iter().filter(|(_, ok)| *ok).count(),
+        without.goals.len()
+    );
+    for goal in without.failed_goals() {
+        println!("  underivable: {goal}");
+    }
+
+    // --- The semantic counterpart: a well-formed run where that
+    //     assumption is false, and B is deceived.
+    let run = attacks::denning_sacco_run();
+    println!(
+        "\nattack run: times {}..={}, restrictions: {}",
+        run.start_time(),
+        run.horizon(),
+        if validate_run(&run).is_empty() { "all satisfied" } else { "VIOLATED" }
+    );
+    for (t, event) in run.events() {
+        let epoch = if t < 0 { "past   " } else { "present" };
+        println!("  [{epoch} t={t:>2}] {event}");
+    }
+
+    let end = run.horizon();
+    let sys = System::new([run]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let kab = needham_schroeder::kab();
+    println!("\nsemantic verdicts at the end of the attack:");
+    let verdicts = [
+        ("the ticket's key statement is fresh", Formula::fresh(kab.clone().into_message())),
+        ("A<->Kab<->B is a good key", kab.clone()),
+        ("A recently vouched for the key", Formula::says("A", kab.clone().into_message())),
+        ("S did once say the key was good", Formula::said("S", kab.into_message())),
+        (
+            "B saw a handshake apparently from A",
+            Formula::sees(
+                "B",
+                atl::lang::Message::encrypted(
+                    atl::lang::Message::tuple([
+                        atl::lang::Message::nonce(atl::lang::Nonce::new("NbNew")),
+                        needham_schroeder::kab().into_message(),
+                    ]),
+                    atl::lang::Key::new("Kab"),
+                    "A",
+                ),
+            ),
+        ),
+    ];
+    for (label, f) in verdicts {
+        println!(
+            "  [{}] {label}",
+            if sem.eval(Point::new(0, end), &f)? { "true " } else { "false" }
+        );
+    }
+    println!("\nB's deception: it saw a fresh-looking handshake, but the key is");
+    println!("old, compromised, and the 'A' on the wire is the environment.");
+    Ok(())
+}

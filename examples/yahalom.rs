@@ -1,0 +1,35 @@
+//! E6 — Yahalom: why `P has K` extends the logic's reach.
+//!
+//! ```sh
+//! cargo run --example yahalom
+//! ```
+
+use atl::core::annotate::analyze_at;
+use atl::protocols::yahalom;
+
+fn main() {
+    println!("== Yahalom in the reformulated logic ==\n");
+    println!("  1. A -> B : A, Na");
+    println!("  2. B -> S : B, {{A, Na, Nb}}Kbs");
+    println!("  3. S -> A : {{A<->Kab<->B, Na, Nb}}Kas, '{{A<->Kab<->B, Nb}}Kbs'");
+    println!("  4. A -> B : '{{A<->Kab<->B, Nb}}Kbs', {{Nb}}Kab\n");
+    println!("A forwards a certificate it cannot read; B must ACQUIRE Kab from");
+    println!("that certificate before it can open {{Nb}}Kab. The original logic");
+    println!("conflated believing-a-key-good with possessing it and could not");
+    println!("express this; `has` and `newkey` (Section 3.1) make it direct.\n");
+
+    let with = analyze_at(&yahalom::at_protocol(true));
+    println!("WITH the newkey(Kab) steps:");
+    for (goal, achieved) in &with.goals {
+        println!("  [{}] {}", if *achieved { "ok" } else { "--" }, goal);
+    }
+
+    let without = analyze_at(&yahalom::at_protocol(false));
+    println!("\nWITHOUT them (the old logic's blind spot):");
+    for (goal, achieved) in &without.goals {
+        println!("  [{}] {}", if *achieved { "ok" } else { "--" }, goal);
+    }
+    println!("\nThe jurisdiction goals survive (the certificate is under Kbs,");
+    println!("which B always had), but the liveness goal `B believes A says Nb`");
+    println!("is underivable without possession of the session key.");
+}

@@ -1,0 +1,178 @@
+//! The `atl` command-line tool.
+//!
+//! ```text
+//! atl analyze <spec.atl>        run the annotation procedure on a protocol spec
+//! atl trace <spec.atl> <goal>   show the derivation of a goal
+//! atl suite                     print the built-in protocol suite table
+//! atl proof message-meaning     print the checked reconstruction of a BAN rule
+//! atl proof nonce-verification
+//! atl check-run <trace.run>     audit a run against restrictions 1-5
+//! atl eval <trace.run> <formula> [time]   evaluate a formula on the run
+//! ```
+
+use atl::core::annotate::analyze_at;
+use atl::core::spec::parse_spec;
+use atl::core::theorems;
+use atl::lang::parser::parse_formula;
+use atl::lang::{Formula, Key, KeyTerm, Message, Nonce, Principal};
+use atl::protocols::suite;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(args.get(1)),
+        Some("trace") => cmd_trace(args.get(1), args.get(2)),
+        Some("suite") => cmd_suite(),
+        Some("proof") => cmd_proof(args.get(1)),
+        Some("check-run") => cmd_check_run(args.get(1)),
+        Some("eval") => cmd_eval(args.get(1), args.get(2), args.get(3)),
+        _ => {
+            eprintln!(
+                "usage: atl <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME]>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: Option<&String>) -> Result<String, Box<dyn std::error::Error>> {
+    let path = path.ok_or("missing spec path")?;
+    Ok(std::fs::read_to_string(path)?)
+}
+
+fn cmd_analyze(path: Option<&String>) -> Result<bool, Box<dyn std::error::Error>> {
+    let (proto, _) = parse_spec(&load(path)?)?;
+    let analysis = analyze_at(&proto);
+    println!(
+        "protocol {}: {} assumptions, {} steps, {} facts derived",
+        proto.name,
+        proto.assumptions.len(),
+        proto.steps.len(),
+        analysis.prover.facts().len()
+    );
+    for f in &analysis.unstable_assumptions {
+        println!("  warning: assumption not linguistically stable: {f}");
+    }
+    for (goal, achieved) in &analysis.goals {
+        println!("  [{}] {}", if *achieved { "ok" } else { "--" }, goal);
+    }
+    Ok(analysis.succeeded())
+}
+
+fn cmd_trace(
+    path: Option<&String>,
+    goal: Option<&String>,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let (proto, syms) = parse_spec(&load(path)?)?;
+    let goal_text = goal.ok_or("missing goal formula")?;
+    let goal = parse_formula(goal_text, &syms)?;
+    let analysis = analyze_at(&proto);
+    if !analysis.prover.holds(&goal) {
+        println!("goal not derivable: {goal}");
+        return Ok(false);
+    }
+    println!("derivation of {goal}:");
+    let mut frontier = vec![goal];
+    let mut printed = 0;
+    while let Some(f) = frontier.pop() {
+        if let Some(step) = analysis.prover.derivation_of(&f) {
+            println!("  {} [{}]", step.conclusion, step.rule);
+            frontier.extend(step.premises.iter().cloned());
+            printed += 1;
+            if printed > 200 {
+                println!("  … (truncated)");
+                break;
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn cmd_suite() -> Result<bool, Box<dyn std::error::Error>> {
+    let entries = suite::run_suite();
+    print!("{}", suite::summary_table(&entries));
+    Ok(entries.iter().all(suite::SuiteEntry::matches_expectation))
+}
+
+fn cmd_check_run(path: Option<&String>) -> Result<bool, Box<dyn std::error::Error>> {
+    let (run, _) = atl::model::parse_trace(&load(path)?)?;
+    println!(
+        "run: times {}..={}, {} events, {} sends",
+        run.start_time(),
+        run.horizon(),
+        run.events().count(),
+        run.send_records().len()
+    );
+    let violations = atl::model::validate_run(&run);
+    if violations.is_empty() {
+        println!("restrictions 1-5: all satisfied");
+        Ok(true)
+    } else {
+        for v in &violations {
+            println!("  !! {v}");
+        }
+        Ok(false)
+    }
+}
+
+fn cmd_eval(
+    path: Option<&String>,
+    formula: Option<&String>,
+    time: Option<&String>,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    use atl::core::semantics::{GoodRuns, Semantics};
+    use atl::model::{Point, System};
+    let (run, syms) = atl::model::parse_trace(&load(path)?)?;
+    let phi = parse_formula(formula.ok_or("missing formula")?, &syms)?;
+    let k: i64 = match time {
+        Some(t) => t.parse()?,
+        None => run.horizon(),
+    };
+    let sys = System::new([run]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let verdict = sem.eval(Point::new(0, k), &phi)?;
+    println!("at (run 0, time {k}): {phi} = {verdict}");
+    Ok(verdict)
+}
+
+fn cmd_proof(which: Option<&String>) -> Result<bool, Box<dyn std::error::Error>> {
+    let p = Principal::new("P");
+    let q = Principal::new("Q");
+    let s = Principal::new("S");
+    let k = KeyTerm::Key(Key::new("K"));
+    let x = Message::nonce(Nonce::new("X"));
+    let proof = match which.map(String::as_str) {
+        Some("message-meaning") => theorems::ban_message_meaning(&p, &k, &q, &x, &s)?,
+        Some("nonce-verification") => theorems::nonce_verification(&q, &x)?,
+        Some("belief-conjunction") => theorems::belief_conjunction(
+            &p,
+            &Formula::has(p.clone(), k.clone()),
+            &Formula::fresh(x.clone()),
+        )?,
+        _ => {
+            eprintln!(
+                "usage: atl proof <message-meaning | nonce-verification | belief-conjunction>"
+            );
+            return Ok(false);
+        }
+    };
+    print!("{proof}");
+    println!("-- conclusion: {}", proof.conclusion().expect("nonempty"));
+    proof.check()?;
+    println!("-- checked: ok");
+    Ok(true)
+}

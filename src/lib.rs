@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the ATL workspace public API.
+pub use atl_ban as ban;
+pub use atl_core as core;
+pub use atl_lang as lang;
+pub use atl_model as model;
+pub use atl_protocols as protocols;

@@ -1,0 +1,134 @@
+//! E10 — the Section 8 extensions: run-valued parameters and bounded
+//! universal quantification, end to end.
+
+use atl::core::annotate::{analyze_at, AtProtocol};
+use atl::core::quantifier::{forall_keys, forall_messages};
+use atl::core::semantics::{GoodRuns, Semantics};
+use atl::lang::{Bindings, Formula, Key, Message, Nonce, Param};
+use atl::model::{Point, RunBuilder, System};
+
+/// Two runs of the schematic Figure 1, with different concrete keys bound
+/// to the parameter `Kab`.
+fn parameterized_system() -> System {
+    let mk = |concrete: &str| {
+        let mut b = RunBuilder::new(0);
+        b.principal("A", [Key::new("Kas")]);
+        b.principal("S", [Key::new("Kas"), Key::new(concrete)]);
+        b.bind_param(Param::new("Kab"), Message::Key(Key::new(concrete)));
+        let cipher = Message::encrypted(
+            Message::key(Key::new(concrete)),
+            Key::new("Kas"),
+            "S",
+        );
+        b.send("S", cipher.clone(), "A").unwrap();
+        b.receive("A", &cipher).unwrap();
+        b.new_key("A", concrete);
+        b.build().unwrap()
+    };
+    System::new([mk("K9"), mk("K17")])
+}
+
+#[test]
+fn parameters_resolve_per_run() {
+    let sys = parameterized_system();
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    // One schematic formula, true in both runs under different values.
+    let schematic = Formula::has("A", Param::new("Kab"));
+    for run in 0..2 {
+        let horizon = sys.run(run).horizon();
+        assert!(sem.eval(Point::new(run, horizon), &schematic).unwrap());
+        assert!(!sem.eval(Point::new(run, 0), &schematic).unwrap());
+    }
+    // The concrete instantiations differ: run 0 has K9, not K17.
+    let concrete_k17 = Formula::has("A", Key::new("K17"));
+    let h0 = sys.run(0).horizon();
+    assert!(!sem.eval(Point::new(0, h0), &concrete_k17).unwrap());
+}
+
+#[test]
+fn schematic_says_tracks_the_bound_key() {
+    let sys = parameterized_system();
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let schematic = Formula::says("S", Message::param(Param::new("Kab")));
+    for run in 0..2 {
+        let horizon = sys.run(run).horizon();
+        assert!(sem.eval(Point::new(run, horizon), &schematic).unwrap());
+    }
+}
+
+#[test]
+fn quantified_trust_expands_and_derives() {
+    // `A believes ∀K.(S controls A ↔K↔ B)` — the Section 8 example —
+    // expands over the key universe and lets the Figure 1 proof go
+    // through for whichever key the server picks.
+    let domain = [Key::new("K9"), Key::new("K17")];
+    let body = Formula::controls(
+        "S",
+        Formula::shared_key("A", Param::new("K"), "B"),
+    );
+    let trust = forall_keys(&Param::new("K"), domain.clone(), &body).unwrap();
+
+    for picked in domain {
+        let kab = Formula::shared_key("A", picked.clone(), "B");
+        let ts = Message::nonce(Nonce::new("Ts"));
+        let msg = Message::encrypted(
+            Message::tuple([ts.clone(), kab.clone().into_message()]),
+            Key::new("Kas"),
+            "S",
+        );
+        let proto = AtProtocol::new("quantified-kerberos")
+            .assume(Formula::believes(
+                "A",
+                Formula::shared_key("A", Key::new("Kas"), "S"),
+            ))
+            .assume(Formula::believes("A", trust.clone()))
+            .assume(Formula::believes("A", Formula::fresh(ts)))
+            .assume(Formula::has("A", Key::new("Kas")))
+            .step("S", "A", msg)
+            .goal(Formula::believes("A", kab));
+        let analysis = analyze_at(&proto);
+        assert!(
+            analysis.succeeded(),
+            "failed for {picked}: {:?}",
+            analysis.failed_goals().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn message_quantification_expands() {
+    let body = Formula::fresh(Message::param(Param::new("N")));
+    let f = forall_messages(
+        &Param::new("N"),
+        [
+            Message::nonce(Nonce::new("N1")),
+            Message::nonce(Nonce::new("N2")),
+            Message::nonce(Nonce::new("N3")),
+        ],
+        &body,
+    )
+    .unwrap();
+    assert_eq!(f.to_string(), "(fresh(N1) & fresh(N2)) & fresh(N3)");
+}
+
+#[test]
+fn bindings_and_semantics_agree() {
+    // Applying the run's bindings by hand and evaluating the ground
+    // formula gives the same verdict as evaluating the schematic formula.
+    let sys = parameterized_system();
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let schematic = Formula::has("A", Param::new("Kab"));
+    for run_idx in 0..2 {
+        let run = sys.run(run_idx);
+        let ground = run.bindings().apply_formula(&schematic).unwrap();
+        let horizon = run.horizon();
+        assert_eq!(
+            sem.eval(Point::new(run_idx, horizon), &schematic).unwrap(),
+            sem.eval(Point::new(run_idx, horizon), &ground).unwrap()
+        );
+    }
+    // Sanity on Bindings' API surface.
+    let mut b = Bindings::new();
+    b.bind_key(Param::new("Kab"), Key::new("K1"));
+    assert_eq!(b.get_key(&Param::new("Kab")), Some(&Key::new("K1")));
+}

@@ -1,0 +1,140 @@
+//! E11 — the public-key extension (the full paper's omitted treatment):
+//! signatures, public-key ciphertext, A22–A28, and the secrecy boundary.
+
+use atl::core::annotate::analyze_at;
+use atl::core::secrecy::{is_secret_from, leaks, secrecy_horizon};
+use atl::core::semantics::{GoodRuns, Semantics};
+use atl::core::soundness::{check_axioms, SoundnessConfig};
+use atl::core::theorems;
+use atl::lang::{Formula, Key, KeyTerm, Message, Nonce, Principal};
+use atl::model::{validate_run, Point, System};
+use atl::protocols::{ns_public_key, x509};
+
+#[test]
+fn signed_x509_analysis_matches_the_shared_key_one() {
+    assert!(analyze_at(&x509::at_protocol_signed(true)).succeeded());
+    assert!(!analyze_at(&x509::at_protocol_signed(false)).succeeded());
+}
+
+#[test]
+fn a22_a28_are_sound_on_public_key_traffic() {
+    // Build a system whose traffic exercises signatures and public-key
+    // ciphertext, then run the full schema check (all 32 schemas).
+    let sys = System::new([ns_public_key::honest_run(), ns_public_key::lowe_run()]);
+    let config = SoundnessConfig {
+        max_instances_per_axiom: 80,
+        ..SoundnessConfig::default()
+    };
+    let report = check_axioms(&sys, GoodRuns::all_runs(&sys), &config).unwrap();
+    assert!(report.sound(), "{report}");
+    use atl::core::axioms::AxiomName;
+    for name in [
+        AxiomName::A22SigMeaning,
+        AxiomName::A23SeesSigned,
+        AxiomName::A24SeesPubEnc,
+        AxiomName::A27BelievesSeesSigned,
+        AxiomName::A28BelievesSeesPubEnc,
+    ] {
+        assert!(report.instances[&name] > 0, "{name} uninstantiated");
+    }
+}
+
+#[test]
+fn signature_meaning_has_no_from_field_loophole() {
+    // Contrast with A5's documented subtlety: even a forged from field on
+    // a signature cannot misattribute it, because only the key owner can
+    // sign. The environment here *relays* A's signature under a forged
+    // from field; A22 still (correctly) attributes it to A.
+    let env = Principal::environment();
+    let ka = Key::new("Ka");
+    let x = Message::nonce(Nonce::new("X"));
+    let mut b = atl::model::RunBuilder::new(0);
+    b.principal("A", [ka.clone(), ka.inverse()]);
+    b.principal("B", [ka.clone()]);
+    let sig = Message::signed(x.clone(), ka.clone(), "A");
+    b.send("A", sig.clone(), env.clone()).unwrap();
+    b.receive(env.clone(), &sig).unwrap();
+    b.send(env, sig.clone(), "B").unwrap();
+    b.receive("B", &sig).unwrap();
+    let sys = System::new([b.build().unwrap()]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let end = Point::new(0, sys.run(0).horizon());
+    // →Ka A holds, B sees the signature, and A said X — the A22 instance
+    // is non-vacuously true.
+    let inst = atl::core::axioms::a22(
+        &KeyTerm::Key(ka.clone()),
+        &Principal::new("A"),
+        &Principal::new("B"),
+        &x,
+        &Principal::new("A"),
+    );
+    assert!(sem.eval(end, &Formula::public_key(ka, "A")).unwrap());
+    assert!(sem.eval(end, &Formula::sees("B", sig)).unwrap());
+    assert!(sem.eval(end, &Formula::said("A", x)).unwrap());
+    assert!(sem.valid(&inst).unwrap());
+}
+
+#[test]
+fn lowe_attack_is_a_secrecy_failure_not_a_logic_failure() {
+    let honest = ns_public_key::honest_run();
+    let attack = ns_public_key::lowe_run();
+    assert!(validate_run(&attack).is_empty());
+    let nb = Message::nonce(Nonce::new("Nb"));
+    let env = Principal::environment();
+
+    // Secrecy audit: Nb is meant for {A, B}.
+    let sys = System::new([honest, attack]);
+    let found = leaks(&sys, &nb, &[Principal::new("A"), Principal::new("B")]);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].run, 1);
+    assert_eq!(found[0].principal, env);
+
+    // Yet the logic-level conclusion survives in the attack run.
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let end = Point::new(1, sys.run(1).horizon());
+    assert!(sem.eval(end, &ns_public_key::b_conclusion()).unwrap());
+}
+
+#[test]
+fn secrecy_horizon_pinpoints_the_compromise() {
+    let attack = ns_public_key::lowe_run();
+    let env = Principal::environment();
+    let nb = Message::nonce(Nonce::new("Nb"));
+    // The attacker derives Nb exactly when it receives A's message 3
+    // (encrypted under the attacker's own public key).
+    let t = secrecy_horizon(&attack, &nb, &env).expect("the attack leaks Nb");
+    // Before that, Nb was already in traffic the attacker relayed (msg 2,
+    // under Ka) but underivable.
+    assert!(is_secret_from(&attack, &nb, &env, t - 1));
+    assert!(!is_secret_from(&attack, &nb, &env, t));
+}
+
+#[test]
+fn derived_theorem_proofs_check() {
+    // The theorem library's reconstructions, re-checked from the umbrella
+    // crate (they power the claim that analyses carry over unchanged).
+    let p = Principal::new("P");
+    let q = Principal::new("Q");
+    let k = KeyTerm::Key(Key::new("K"));
+    let x = Message::nonce(Nonce::new("X"));
+    let proof = theorems::ban_message_meaning(&p, &k, &q, &x, &Principal::new("S")).unwrap();
+    proof.check().unwrap();
+    assert_eq!(
+        proof.conclusion().unwrap(),
+        &Formula::believes(p, Formula::said(q.clone(), x.clone()))
+    );
+    theorems::nonce_verification(&q, &x).unwrap();
+}
+
+#[test]
+fn private_keys_never_travel() {
+    // Sanity on both NSPK runs: no private key appears in any sent
+    // message.
+    for run in [ns_public_key::honest_run(), ns_public_key::lowe_run()] {
+        for rec in run.send_records() {
+            for k in rec.message.keys() {
+                assert!(!k.is_private(), "private key {k} on the wire");
+            }
+        }
+    }
+}

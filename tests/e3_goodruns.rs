@@ -1,0 +1,144 @@
+//! E3 (Theorem 2) — the Section 7 construction supports any
+//! initial-assumption vector satisfying restriction I1, across assumption
+//! shapes and nesting depths, on generated systems.
+
+use atl::core::goodruns::{construct, supports, GoodRunsError, InitialAssumptions};
+use atl::core::semantics::GoodRuns;
+use atl::lang::{Formula, Key, Message, Nonce};
+use atl::model::{random_system, GenConfig, System};
+
+fn base_system(seed: u64) -> System {
+    random_system(&GenConfig::default(), 4, seed)
+}
+
+/// A pool of I1-respecting assumption bodies of varying character.
+fn bodies() -> Vec<Formula> {
+    vec![
+        Formula::shared_key("A", Key::new("Kas"), "S"),
+        Formula::shared_key("B", Key::new("Kbs"), "S"),
+        Formula::fresh(Message::nonce(Nonce::new("Zunused"))),
+        Formula::not(Formula::shared_key("A", Key::new("Ke"), "B")),
+        Formula::has("S", Key::new("Kas")),
+        Formula::controls("S", Formula::shared_key("A", Key::new("Kab"), "B")),
+        Formula::True,
+    ]
+}
+
+#[test]
+fn theorem2_depth_one_assumptions_always_supported() {
+    for seed in 0..5 {
+        let sys = base_system(seed);
+        for body in bodies() {
+            let mut i = InitialAssumptions::new();
+            i.assume("A", body.clone());
+            let goods = construct(&sys, &i).unwrap();
+            assert!(
+                supports(&sys, &goods, &i).unwrap(),
+                "seed {seed}, body {body}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem2_depth_two_with_i2_supported() {
+    for seed in 0..4 {
+        let sys = base_system(seed);
+        for body in bodies() {
+            let mut i = InitialAssumptions::new();
+            // I2-compliant nesting: B assumes the body, A assumes B's belief.
+            i.assume("B", body.clone());
+            i.assume("A", Formula::believes("B", body.clone()));
+            assert!(i.violates_i2().is_none());
+            let goods = construct(&sys, &i).unwrap();
+            assert!(
+                supports(&sys, &goods, &i).unwrap(),
+                "seed {seed}, body {body}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem2_depth_three_chain() {
+    let sys = base_system(9);
+    let body = Formula::shared_key("A", Key::new("Kas"), "S");
+    let mut i = InitialAssumptions::new();
+    i.assume("S", body.clone());
+    i.assume("B", Formula::believes("S", body.clone()));
+    i.assume(
+        "A",
+        Formula::believes("B", Formula::believes("S", body)),
+    );
+    assert!(i.violates_i2().is_none());
+    assert_eq!(i.max_depth(), 3);
+    let goods = construct(&sys, &i).unwrap();
+    assert!(supports(&sys, &goods, &i).unwrap());
+}
+
+#[test]
+fn theorem2_holds_even_when_i2_fails() {
+    // I2 is only needed for optimality; support survives mistaken
+    // cross-beliefs.
+    for seed in 0..4 {
+        let sys = base_system(seed);
+        let mut i = InitialAssumptions::new();
+        i.assume("A", Formula::believes("B", Formula::fresh(Message::nonce(Nonce::new("Q")))));
+        assert!(i.violates_i2().is_some());
+        let goods = construct(&sys, &i).unwrap();
+        assert!(supports(&sys, &goods, &i).unwrap(), "seed {seed}");
+    }
+}
+
+#[test]
+fn construction_is_below_all_runs_and_monotone_in_assumptions() {
+    let sys = base_system(2);
+    let body = Formula::shared_key("A", Key::new("Kas"), "S");
+    let mut weak = InitialAssumptions::new();
+    weak.assume("A", body.clone());
+    let mut strong = InitialAssumptions::new();
+    strong.assume("A", body.clone());
+    strong.assume("A", Formula::has("A", Key::new("Kas")));
+    let g_weak = construct(&sys, &weak).unwrap();
+    let g_strong = construct(&sys, &strong).unwrap();
+    assert!(g_weak.le(&GoodRuns::all_runs(&sys)));
+    // More assumptions can only shrink the good sets.
+    assert!(g_strong.le(&g_weak));
+}
+
+#[test]
+fn i1_violation_is_rejected_with_the_offending_formula() {
+    let sys = base_system(0);
+    let mut i = InitialAssumptions::new();
+    let bad = Formula::not(Formula::believes("B", Formula::True));
+    i.assume("A", bad.clone());
+    match construct(&sys, &i) {
+        Err(GoodRunsError::ViolatesI1(f)) => {
+            assert_eq!(f, Formula::believes("A", bad));
+        }
+        other => panic!("expected I1 violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn support_check_distinguishes_vectors() {
+    // supports() is a real predicate: the all-runs vector fails for an
+    // assumption falsified somewhere, while the construction passes.
+    let sys = base_system(4);
+    // "Zfresh2 was never sent" is true in every run (the generator's
+    // nonce pool doesn't contain it), so pick something falsifiable:
+    // sharing of a key the adversary may well use.
+    let mut i = InitialAssumptions::new();
+    i.assume("A", Formula::shared_key("A", Key::new("Kab"), "B"));
+    let all = GoodRuns::all_runs(&sys);
+    let constructed = construct(&sys, &i).unwrap();
+    let all_ok = supports(&sys, &all, &i).unwrap();
+    let constructed_ok = supports(&sys, &constructed, &i).unwrap();
+    assert!(constructed_ok);
+    // On an adversarial system the trivial vector generally fails; if the
+    // particular seed happens to keep Kab clean everywhere, both pass.
+    if !all_ok {
+        assert!(constructed.le(&all));
+        assert_ne!(&constructed, &all);
+    }
+}

@@ -1,0 +1,138 @@
+//! E3b — the boundary of Theorem 2's support argument, exhibited.
+//!
+//! Support of `P believes φ` at a time-0 point requires `φ` at *every*
+//! point of a good run whose hidden state matches P's — including points
+//! at other times. For the assumption classes used in practice this is
+//! automatic:
+//!
+//! - **rigid** bodies (`fresh`, shared keys/secrets, `controls`,
+//!   `pubkey`) have one truth value per run;
+//! - **self-local** bodies (`P has K`, `P sees X` for the believer `P`
+//!   itself) are functions of the matched state.
+//!
+//! But a *non-rigid, cross-principal* body can be true at every time-0
+//! point of the kept runs and still fail at a matching non-zero point —
+//! and then the construction's output does **not** support the
+//! assumption. This file pins down both sides of that boundary.
+
+use atl::core::goodruns::{construct, supports, InitialAssumptions};
+use atl::lang::{Formula, Key, Message, Nonce};
+use atl::model::{RunBuilder, System};
+
+/// A run in which S acquires K only *after* the epoch starts, while A
+/// does nothing at all — so A's (empty) state at time 0 matches A's
+/// state at the earlier time where S lacked the key… provided the run
+/// extends into the past.
+fn late_key_run() -> atl::model::Run {
+    let mut b = RunBuilder::new(-2);
+    b.principal("A", []);
+    b.principal("S", []);
+    // Two past-epoch padding actions by S that A cannot see.
+    b.new_key("S", "Kpad1"); // t = -2
+    b.new_key("S", "Kpad2"); // t = -1
+    b.new_key("S", "K"); // t = 0: S has K only from t = 1 onward
+    b.build().unwrap()
+}
+
+#[test]
+fn cross_principal_nonrigid_bodies_can_defeat_support() {
+    // Assumption: A believes (S has K). At time 0, S does NOT yet have K
+    // (it acquires it at t=0, visible from t=1): the construction keeps
+    // no runs, so support holds vacuously… but flip the timing and the
+    // subtlety appears. Use a run where S has K at time 0 but not
+    // earlier:
+    let run = {
+        let mut b = RunBuilder::new(-2);
+        b.principal("A", []);
+        b.principal("S", []);
+        b.new_key("S", "K"); // t = -2: S has K from t = -1 on
+        b.new_key("S", "Kpad1"); // t = -1
+        b.new_key("S", "Kpad2"); // t = 0
+        b.build().unwrap()
+    };
+    let sys = System::new([run]);
+    let mut i = InitialAssumptions::new();
+    i.assume("A", Formula::has("S", Key::new("K")));
+    let goods = construct(&sys, &i).unwrap();
+    // The body holds at (r, 0), so the run is kept…
+    assert!(!goods.get(&atl::lang::Principal::new("A")).is_empty());
+    // …and yet support FAILS: A's empty state at time 0 also matches
+    // A's state at time -2, where S lacked K.
+    assert!(!supports(&sys, &goods, &i).unwrap());
+}
+
+#[test]
+fn rigid_bodies_are_immune() {
+    // The same shape with a rigid body: fresh(X) has one value per run,
+    // so time-0 truth extends to every matching point.
+    let sys = System::new([late_key_run()]);
+    let mut i = InitialAssumptions::new();
+    i.assume("A", Formula::fresh(Message::nonce(Nonce::new("Zq"))));
+    let goods = construct(&sys, &i).unwrap();
+    assert!(supports(&sys, &goods, &i).unwrap());
+}
+
+#[test]
+fn self_local_bodies_are_immune() {
+    // `A has K` as A's own assumption: the body is a function of A's
+    // matched local state, so matching points agree on it.
+    let run = {
+        let mut b = RunBuilder::new(-1);
+        b.principal("A", []);
+        b.new_key("A", "K"); // t = -1: A has K from t = 0 on
+        b.new_key("A", "K2"); // t = 0
+        b.build().unwrap()
+    };
+    let sys = System::new([run]);
+    let mut i = InitialAssumptions::new();
+    i.assume("A", Formula::has("A", Key::new("K")));
+    let goods = construct(&sys, &i).unwrap();
+    assert!(supports(&sys, &goods, &i).unwrap());
+}
+
+#[test]
+fn practical_assumption_vectors_are_in_the_safe_classes() {
+    // Every assumption used by the protocol suite's AT idealizations is
+    // rigid, self-local, or a belief-nesting of such — the classes for
+    // which Theorem 2's argument goes through.
+    use atl::protocols::{kerberos, needham_schroeder, wide_mouthed_frog, yahalom};
+    fn safe(f: &Formula) -> bool {
+        match f {
+            Formula::Believes(p, inner) => safe_body(p, inner),
+            _ => false,
+        }
+    }
+    fn safe_body(owner: &atl::lang::Principal, f: &Formula) -> bool {
+        match f {
+            // Rigid constructs.
+            Formula::Fresh(_)
+            | Formula::SharedKey(..)
+            | Formula::SharedSecret(..)
+            | Formula::PublicKey(..) => true,
+            Formula::Controls(..) => true,
+            Formula::Not(inner) => safe_body(owner, inner),
+            Formula::And(a, b) => safe_body(owner, a) && safe_body(owner, b),
+            // Self-local constructs.
+            Formula::Has(p, _) | Formula::Sees(p, _) => p == owner,
+            // Nested belief: safe relative to the inner believer.
+            Formula::Believes(q, inner) => safe_body(q, inner),
+            _ => false,
+        }
+    }
+    for proto in [
+        kerberos::figure1_at(),
+        needham_schroeder::at_protocol(true),
+        yahalom::at_protocol(true),
+        wide_mouthed_frog::at_protocol(),
+    ] {
+        for a in &proto.assumptions {
+            match a {
+                Formula::Believes(..) => assert!(safe(a), "unsafe assumption: {a}"),
+                // Top-level possession facts are annotations, not belief
+                // assumptions — they do not go through the construction.
+                Formula::Has(..) => {}
+                other => panic!("unexpected assumption shape: {other}"),
+            }
+        }
+    }
+}

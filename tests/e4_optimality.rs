@@ -1,0 +1,110 @@
+//! E4 (Theorem 3) — with I1 + I2 the construction is optimum; without I2
+//! there is in general no optimum (the coin-toss counterexample).
+
+use atl::core::examples::{coin_toss, HEADS_RUN, TAILS_RUN};
+use atl::core::goodruns::{
+    construct, find_witness_above, is_optimum, supports, InitialAssumptions,
+};
+use atl::core::semantics::GoodRuns;
+use atl::lang::{Formula, Key, Principal};
+use atl::model::{random_system, GenConfig};
+use std::collections::BTreeSet;
+
+const LIMIT: u128 = 1 << 24;
+
+#[test]
+fn theorem3_depth_one_is_optimum_on_random_systems() {
+    for seed in 0..4 {
+        let sys = random_system(&GenConfig::default(), 3, seed);
+        let mut i = InitialAssumptions::new();
+        i.assume("A", Formula::shared_key("A", Key::new("Kas"), "S"));
+        i.assume("B", Formula::shared_key("B", Key::new("Kbs"), "S"));
+        assert!(i.violates_i2().is_none());
+        let goods = construct(&sys, &i).unwrap();
+        assert!(
+            is_optimum(&sys, &goods, &i, LIMIT).unwrap(),
+            "seed {seed} not optimum"
+        );
+    }
+}
+
+#[test]
+fn theorem3_nested_beliefs_with_i2_are_optimum() {
+    let sys = random_system(&GenConfig::default(), 3, 13);
+    let base = Formula::shared_key("A", Key::new("Kas"), "S");
+    let mut i = InitialAssumptions::new();
+    i.assume("S", base.clone());
+    i.assume("A", Formula::believes("S", base));
+    assert!(i.violates_i2().is_none());
+    let goods = construct(&sys, &i).unwrap();
+    assert!(supports(&sys, &goods, &i).unwrap());
+    assert!(is_optimum(&sys, &goods, &i, LIMIT).unwrap());
+}
+
+#[test]
+fn coin_toss_admits_no_optimum() {
+    let (sys, assumptions) = coin_toss();
+    assert!(assumptions.violates_i2().is_some());
+    // Enumerate ALL supporting vectors; show the maximal ones are
+    // incomparable, so no maximum exists.
+    let constructed = construct(&sys, &assumptions).unwrap();
+    assert!(!is_optimum(&sys, &constructed, &assumptions, LIMIT).unwrap());
+
+    // The paper's two maximal vectors.
+    let p1 = Principal::new("P1");
+    let p3 = Principal::new("P3");
+    let set = |runs: &[usize]| -> BTreeSet<usize> { runs.iter().copied().collect() };
+    let mut via_p1 = GoodRuns::all_runs(&sys);
+    via_p1.set(p1.clone(), set(&[TAILS_RUN]));
+    via_p1.set(p3.clone(), set(&[]));
+    let mut via_p3 = GoodRuns::all_runs(&sys);
+    via_p3.set(p1, set(&[]));
+    via_p3.set(p3, set(&[HEADS_RUN]));
+    assert!(supports(&sys, &via_p1, &assumptions).unwrap());
+    assert!(supports(&sys, &via_p3, &assumptions).unwrap());
+    // NEITHER is optimum either — each has a supporter not below it.
+    assert!(!is_optimum(&sys, &via_p1, &assumptions, LIMIT).unwrap());
+    assert!(!is_optimum(&sys, &via_p3, &assumptions, LIMIT).unwrap());
+    // And the witness machinery can exhibit the incomparable supporter.
+    let w = find_witness_above(&sys, &via_p1, &assumptions, LIMIT)
+        .unwrap()
+        .expect("witness exists");
+    assert!(supports(&sys, &w, &assumptions).unwrap());
+    assert!(!w.le(&via_p1));
+}
+
+#[test]
+fn repairing_i2_restores_the_optimum() {
+    // Make the coin-toss assumptions I2-compliant by weakening them to a
+    // consistent story (everyone sides with tails); the construction is
+    // then optimum again.
+    let (sys, _) = coin_toss();
+    let tails = Formula::prop(atl::lang::Prop::new("P2.coin=T"));
+    let mut i = InitialAssumptions::new();
+    i.assume("P3", tails.clone());
+    i.assume("P1", tails.clone());
+    i.assume("P1", Formula::believes("P3", tails));
+    assert!(i.violates_i2().is_none());
+    let goods = construct(&sys, &i).unwrap();
+    assert!(supports(&sys, &goods, &i).unwrap());
+    assert!(is_optimum(&sys, &goods, &i, LIMIT).unwrap());
+    // The tails run survives for both believers.
+    assert_eq!(
+        goods.get(&Principal::new("P1")),
+        &[TAILS_RUN].into_iter().collect::<BTreeSet<_>>()
+    );
+}
+
+#[test]
+fn optimum_vectors_dominate_every_supporter() {
+    // Directly verify the defining property on a small instance.
+    let (sys, _) = coin_toss();
+    let tails = Formula::prop(atl::lang::Prop::new("P2.coin=T"));
+    let mut i = InitialAssumptions::new();
+    i.assume("P1", tails);
+    let goods = construct(&sys, &i).unwrap();
+    assert!(is_optimum(&sys, &goods, &i, LIMIT).unwrap());
+    assert!(
+        find_witness_above(&sys, &goods, &i, LIMIT).unwrap().is_none()
+    );
+}

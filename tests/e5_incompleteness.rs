@@ -1,0 +1,117 @@
+//! E5 — the paper's incompleteness remark: a formula valid in the
+//! semantics that the proof machinery does not derive.
+//!
+//! `P controls (P has K) ∧ P says (P has K, {X^P}_K) ⊃ P says X`
+
+use atl::core::prover::{Prover, ProverConfig};
+use atl::core::semantics::{GoodRuns, Semantics};
+use atl::core::soundness::incompleteness_example;
+use atl::lang::{Formula, Key, Message, Nonce, Principal};
+use atl::model::{random_system, GenConfig, RunBuilder, System};
+
+fn instance() -> Formula {
+    incompleteness_example(
+        &Principal::new("A"),
+        &Key::new("Kas"),
+        &Message::nonce(Nonce::new("Na")),
+    )
+}
+
+#[test]
+fn valid_on_random_systems() {
+    let f = instance();
+    for seed in 0..8 {
+        let sys = random_system(&GenConfig::default(), 4, seed);
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        assert!(sem.valid(&f).unwrap(), "seed {seed}");
+    }
+}
+
+#[test]
+fn valid_on_a_run_exercising_the_premises() {
+    // A run where the premises actually fire: A holds K, says the pair,
+    // and (being the only claimant of `A has K`) has jurisdiction over it.
+    let k = Key::new("K");
+    let x = Message::nonce(Nonce::new("X"));
+    let has = Formula::has("A", k.clone());
+    let pair = Message::tuple([
+        has.clone().into_message(),
+        Message::encrypted(x.clone(), k.clone(), "A"),
+    ]);
+    let mut b = RunBuilder::new(0);
+    b.principal("A", [k.clone()]);
+    b.principal("B", []);
+    b.send("A", pair, "B").unwrap();
+    let sys = System::new([b.build().unwrap()]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let f = incompleteness_example(&Principal::new("A"), &k, &x);
+    assert!(sem.valid(&f).unwrap());
+    // The premises are non-vacuous at the end:
+    let end = atl::model::Point::new(0, 1);
+    assert!(sem.eval(end, &Formula::controls("A", has.clone())).unwrap());
+    assert!(sem
+        .eval(
+            end,
+            &Formula::says(
+                "A",
+                Message::tuple([
+                    has.into_message(),
+                    Message::encrypted(x.clone(), k, "A")
+                ])
+            )
+        )
+        .unwrap());
+    assert!(sem.eval(end, &Formula::says("A", x)).unwrap());
+}
+
+#[test]
+fn not_derivable_by_the_axiom_rules() {
+    // Seed the prover with the premises; in axioms-only mode the
+    // conclusion is out of reach: no axiom connects possession *at send
+    // time* to the descent of `says` into ciphertext.
+    let k = Key::new("K");
+    let x = Message::nonce(Nonce::new("X"));
+    let has = Formula::has("A", k.clone());
+    let pair = Message::tuple([
+        has.clone().into_message(),
+        Message::encrypted(x.clone(), k.clone(), "A"),
+    ]);
+    let mut prover = Prover::with_config(
+        [
+            Formula::controls("A", has),
+            Formula::says("A", pair),
+        ],
+        ProverConfig {
+            axioms_only: true,
+            ..ProverConfig::default()
+        },
+    );
+    prover.saturate();
+    assert!(!prover.holds(&Formula::says("A", x.clone())));
+    // A12 does fire on the tuple: the prover gets as far as the two
+    // components, including the ciphertext itself…
+    assert!(prover.holds(&Formula::says(
+        "A",
+        Message::encrypted(x.clone(), k.clone(), "A")
+    )));
+    // …and A15 discharges the jurisdiction premise:
+    assert!(prover.holds(&Formula::has("A", Key::new("K"))));
+    // but the plaintext stays out of reach.
+    assert!(!prover.holds(&Formula::says("A", x)));
+}
+
+#[test]
+fn even_the_extended_rules_do_not_bridge_it() {
+    // The semantic promotion rules don't help either — the gap is about
+    // `says` descending ciphertext, not about belief.
+    let k = Key::new("K");
+    let x = Message::nonce(Nonce::new("X"));
+    let has = Formula::has("A", k.clone());
+    let pair = Message::tuple([
+        has.clone().into_message(),
+        Message::encrypted(x.clone(), k, "A"),
+    ]);
+    let mut prover = Prover::new([Formula::controls("A", has), Formula::says("A", pair)]);
+    prover.saturate();
+    assert!(!prover.holds(&Formula::says("A", x)));
+}

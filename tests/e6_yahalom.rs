@@ -1,0 +1,91 @@
+//! E6 — Yahalom: `has`/`newkey` extend the logic's applicability
+//! (Section 3.1), checked end to end against a concrete execution.
+
+use atl::core::annotate::analyze_at;
+use atl::core::semantics::{GoodRuns, Semantics};
+use atl::lang::{Formula, Key, Message, Nonce};
+use atl::model::{execute, validate_run, ExecOptions, Point, Protocol, Role, System};
+use atl::protocols::yahalom;
+
+#[test]
+fn analysis_succeeds_only_with_key_acquisition() {
+    assert!(analyze_at(&yahalom::at_protocol(true)).succeeded());
+    assert!(!analyze_at(&yahalom::at_protocol(false)).succeeded());
+}
+
+/// A concrete Yahalom execution matching the idealization.
+fn concrete() -> Protocol {
+    let na = Message::nonce(Nonce::new("Na"));
+    let nb = Message::nonce(Nonce::new("Nb"));
+    let msg1 = Message::tuple([Message::principal("A"), na.clone()]);
+    let msg2 = Message::encrypted(
+        Message::tuple([Message::principal("A"), na, nb.clone()]),
+        Key::new("Kbs"),
+        "B",
+    );
+    let handshake = Message::encrypted(nb, Key::new("Kab"), "A");
+    let final_msg = Message::tuple([
+        Message::forwarded(yahalom::certificate()),
+        handshake,
+    ]);
+    Protocol::new("yahalom-concrete")
+        .role(
+            Role::new("A", [Key::new("Kas")])
+                .send(msg1.clone(), "B")
+                .expect(yahalom::server_reply())
+                .new_key("Kab")
+                .send(final_msg.clone(), "B"),
+        )
+        .role(
+            Role::new("B", [Key::new("Kbs")])
+                .expect(msg1)
+                .send(msg2.clone(), "S")
+                .expect(final_msg)
+                .new_key("Kab"),
+        )
+        .role(
+            Role::new("S", [Key::new("Kas"), Key::new("Kbs"), Key::new("Kab")])
+                .expect(msg2)
+                .send(yahalom::server_reply(), "A"),
+        )
+}
+
+#[test]
+fn concrete_execution_is_well_formed() {
+    let run = execute(&concrete(), &ExecOptions::default()).unwrap();
+    assert!(validate_run(&run).is_empty());
+}
+
+#[test]
+fn possession_timeline_matches_the_idealization() {
+    let run = execute(&concrete(), &ExecOptions::default()).unwrap();
+    let sys = System::new([run]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let has_b = Formula::has("B", Key::new("Kab"));
+    let horizon = sys.run(0).horizon();
+    // B lacks the session key at the start and holds it at the end.
+    assert!(!sem.eval(Point::new(0, 0), &has_b).unwrap());
+    assert!(sem.eval(Point::new(0, horizon), &has_b).unwrap());
+    // Before acquisition B cannot "see" Nb inside the handshake; after,
+    // it can.
+    let nb_via_handshake = Formula::sees("B", Message::nonce(Nonce::new("Nb")));
+    assert!(sem.eval(Point::new(0, horizon), &nb_via_handshake).unwrap());
+}
+
+#[test]
+fn forwarding_keeps_a_unaccountable_concretely() {
+    let run = execute(&concrete(), &ExecOptions::default()).unwrap();
+    let sys = System::new([run]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let end = Point::new(0, sys.run(0).horizon());
+    // A forwarded the certificate without reading it: A never said the
+    // key statement; S did.
+    assert!(!sem
+        .eval(end, &Formula::said("A", yahalom::kab().into_message()))
+        .unwrap());
+    assert!(sem
+        .eval(end, &Formula::said("S", yahalom::kab().into_message()))
+        .unwrap());
+    // And the session key is semantically good here.
+    assert!(sem.eval(end, &yahalom::kab()).unwrap());
+}

@@ -1,0 +1,95 @@
+//! E7 — honesty removed (Section 3.2): forwarding marks, A14
+//! accountability, and says-based jurisdiction, across prover, model, and
+//! semantics.
+
+use atl::core::annotate::analyze_at;
+use atl::core::axioms;
+use atl::core::semantics::{GoodRuns, Semantics};
+use atl::lang::{Formula, Message, Nonce, Principal};
+use atl::model::{validate_run, Point, System};
+use atl::protocols::forwarding;
+
+#[test]
+fn the_relay_needs_no_honesty_assumptions() {
+    let proto = forwarding::at_protocol();
+    let analysis = analyze_at(&proto);
+    assert!(analysis.succeeded());
+    // The analysis never derives any belief of A's at all: A is a pure
+    // relay.
+    for fact in analysis.prover.facts() {
+        if let Formula::Believes(p, _) = fact {
+            assert_ne!(p, &Principal::new("A"), "spurious belief of A: {fact}");
+        }
+    }
+}
+
+#[test]
+fn semantic_accountability_follows_a14_exactly() {
+    let honest = forwarding::honest_forward_run();
+    let misused = forwarding::misused_forward_run();
+    assert!(validate_run(&honest).is_empty());
+    assert!(validate_run(&misused).is_empty());
+    let sys = System::new([honest, misused]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+
+    // Honest relay: A said the wrapper only.
+    let end0 = Point::new(0, sys.run(0).horizon());
+    assert!(!sem
+        .eval(end0, &Formula::said("A", forwarding::certificate()))
+        .unwrap());
+
+    // Misuse: the environment is accountable for the contents.
+    let end1 = Point::new(1, sys.run(1).horizon());
+    let x = Message::nonce(Nonce::new("X"));
+    assert!(sem
+        .eval(end1, &Formula::said(Principal::environment(), x))
+        .unwrap());
+}
+
+#[test]
+fn a14_and_a19_valid_across_the_scenarios() {
+    let sys = System::new([
+        forwarding::honest_forward_run(),
+        forwarding::misused_forward_run(),
+    ]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let subjects = [
+        Principal::new("A"),
+        Principal::new("B"),
+        Principal::new("S"),
+        Principal::environment(),
+    ];
+    let messages = [
+        Message::nonce(Nonce::new("X")),
+        forwarding::certificate(),
+        forwarding::kab().into_message(),
+    ];
+    for p in &subjects {
+        for m in &messages {
+            for says in [false, true] {
+                assert!(sem.valid(&axioms::a14(p, m, says)).unwrap());
+            }
+        }
+    }
+    for m in &messages {
+        assert!(sem.valid(&axioms::a19(m)).unwrap());
+    }
+}
+
+#[test]
+fn says_jurisdiction_never_promotes_mere_saying() {
+    // The honesty-free A15 is strictly about *recent* claims: the prover
+    // must not let `controls + said` conclude anything.
+    use atl::core::prover::Prover;
+    let claim = forwarding::kab();
+    let mut prover = Prover::new([
+        Formula::controls("S", claim.clone()),
+        Formula::said("S", claim.clone().into_message()),
+    ]);
+    prover.saturate();
+    assert!(!prover.holds(&claim));
+    // With freshness the chain completes: said + fresh → says → A15.
+    prover.assume(Formula::fresh(claim.clone().into_message()));
+    prover.saturate();
+    assert!(prover.holds(&claim));
+}

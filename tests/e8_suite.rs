@@ -1,0 +1,85 @@
+//! E8 — the protocol suite reproduces every published finding, and the
+//! two logics agree on every shared verdict.
+
+use atl::protocols::suite::{run_suite, summary_table, Logic};
+
+#[test]
+fn all_entries_match_published_findings() {
+    let entries = run_suite();
+    for e in &entries {
+        assert!(
+            e.matches_expectation(),
+            "{} [{}]: goals {:?}",
+            e.name,
+            e.logic,
+            e.goals
+        );
+    }
+}
+
+#[test]
+fn logics_agree_on_paired_protocols() {
+    // Where the same protocol variant exists in both logics, the verdicts
+    // agree — the reformulation loses none of the original's analyses
+    // (protocols are analyzed "in much the same way", Section 1).
+    let entries = run_suite();
+    let base = |name: &str| {
+        name.trim_end_matches(" (BAN)")
+            .trim_end_matches(" (AT)")
+            .to_string()
+    };
+    for ban in entries.iter().filter(|e| e.logic == Logic::Ban) {
+        for at in entries.iter().filter(|e| e.logic == Logic::Reformulated) {
+            if base(&ban.name) == base(&at.name) {
+                assert_eq!(
+                    ban.succeeded(),
+                    at.succeeded(),
+                    "verdict mismatch on {}: BAN={}, AT={}",
+                    base(&ban.name),
+                    ban.succeeded(),
+                    at.succeeded()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_table_summarizes_everything() {
+    let entries = run_suite();
+    let table = summary_table(&entries);
+    assert_eq!(table.lines().count(), entries.len() + 1);
+    assert!(table.contains("kerberos"));
+    assert!(table.contains("yahalom"));
+    assert!(table.contains("nessett"));
+}
+
+#[test]
+fn findings_inventory() {
+    // The canonical list of reproduced findings, pinned.
+    let entries = run_suite();
+    let failing: Vec<String> = entries
+        .iter()
+        .filter(|e| !e.succeeded())
+        .map(|e| e.name.clone())
+        .collect();
+    let expected_failures = [
+        "needham-schroeder, no fresh-Kab (BAN)", // missing fresh(Kab) for B
+        "needham-schroeder, no fresh-Kab (AT)",
+        "yahalom, no acquisition (AT)",
+        "otway-rees + second-level goals (BAN)",
+        "andrew-rpc (BAN)", // nothing fresh to A
+        "andrew-rpc (AT)",
+        "x509 one-message, zero timestamp (BAN)",
+        "x509 one-message, zero timestamp (AT)",
+        "x509 one-message, signed, zero timestamp (AT)",
+        "challenge-response, reflected (AT)",
+    ];
+    for name in expected_failures {
+        assert!(
+            failing.iter().any(|f| f == name),
+            "expected {name} to fail; failing set: {failing:?}"
+        );
+    }
+    assert_eq!(failing.len(), expected_failures.len(), "{failing:?}");
+}

@@ -1,0 +1,83 @@
+//! E9 — concrete attacks on the model, and the run restrictions that
+//! frame them.
+
+use atl::core::semantics::{GoodRuns, Semantics};
+use atl::lang::{Formula, Principal};
+use atl::model::{random_run, validate_run, GenConfig, Point, System};
+use atl::protocols::{attacks, nessett};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn denning_sacco_is_legal_yet_deceptive() {
+    let run = attacks::denning_sacco_run();
+    assert!(validate_run(&run).is_empty());
+    let end = run.horizon();
+    let sys = System::new([run]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let kab = atl::protocols::needham_schroeder::kab();
+    // The attack inverts every guarantee the NS goals promise:
+    assert!(!sem.eval(Point::new(0, end), &kab).unwrap());
+    assert!(!sem
+        .eval(Point::new(0, end), &Formula::fresh(kab.clone().into_message()))
+        .unwrap());
+    assert!(!sem
+        .eval(Point::new(0, end), &Formula::says("A", kab.into_message()))
+        .unwrap());
+}
+
+#[test]
+fn nessett_leak_separates_belief_from_truth() {
+    let sys = System::new([nessett::clean_run(), nessett::leak_run()]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    assert!(sem.eval(Point::new(0, 0), &nessett::kab()).unwrap());
+    assert!(!sem.eval(Point::new(1, 0), &nessett::kab()).unwrap());
+}
+
+#[test]
+fn all_attack_runs_satisfy_the_restrictions() {
+    // The attacks need no rule-breaking: they live inside the model.
+    for run in [
+        attacks::denning_sacco_run(),
+        nessett::clean_run(),
+        nessett::leak_run(),
+    ] {
+        let violations = validate_run(&run);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}
+
+#[test]
+fn random_adversarial_runs_always_validate() {
+    // The generator's output is well-formed across a wide sweep — the
+    // restrictions and the checked builder agree.
+    let config = GenConfig {
+        past_steps: 4,
+        present_steps: 12,
+        adversary_bias: 0.5,
+        ..GenConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(2024);
+    for i in 0..40 {
+        let run = random_run(&config, &mut rng);
+        let violations = validate_run(&run);
+        assert!(violations.is_empty(), "run {i}: {violations:?}");
+    }
+}
+
+#[test]
+fn environment_beliefs_are_also_evaluable() {
+    // The environment principal has a synthesized local view; belief
+    // queries about it are well-defined.
+    let run = attacks::denning_sacco_run();
+    let end = run.horizon();
+    let sys = System::new([run]);
+    let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+    let env = Principal::environment();
+    // The attacker knows it holds the compromised key.
+    let knows_key = Formula::believes(
+        env.clone(),
+        Formula::has(env, atl::lang::Key::new("Kab")),
+    );
+    assert!(sem.eval(Point::new(0, end), &knows_key).unwrap());
+}
