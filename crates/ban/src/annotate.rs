@@ -111,10 +111,7 @@ impl Analysis {
 
     /// The goals that failed.
     pub fn failed_goals(&self) -> impl Iterator<Item = &BanStmt> {
-        self.goals
-            .iter()
-            .filter(|(_, ok)| !*ok)
-            .map(|(g, _)| g)
+        self.goals.iter().filter(|(_, ok)| !*ok).map(|(g, _)| g)
     }
 
     /// Statements newly derivable after step `i` (1-based over steps; 0 is
@@ -211,10 +208,7 @@ mod tests {
             .step("A", "B", inner())
             .goal(BanStmt::believes("A", kab()))
             .goal(BanStmt::believes("B", kab()))
-            .goal(BanStmt::believes(
-                "A",
-                BanStmt::believes("S", kab()),
-            ))
+            .goal(BanStmt::believes("A", BanStmt::believes("S", kab())))
     }
 
     #[test]

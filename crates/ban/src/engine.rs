@@ -285,7 +285,10 @@ impl Engine {
         // Symmetry at any belief depth.
         match body {
             BanStmt::SharedKey(r, k, r2) => {
-                let sym = wrap_beliefs(&chain, BanStmt::shared_key(r2.clone(), k.clone(), r.clone()));
+                let sym = wrap_beliefs(
+                    &chain,
+                    BanStmt::shared_key(r2.clone(), k.clone(), r.clone()),
+                );
                 if self.add(sym, RuleName::KeySymmetry, vec![stmt.clone()]) {
                     added += 1;
                 }
@@ -320,25 +323,23 @@ impl Engine {
                 }
             }
             // Seeing rules for tuples and combined messages (top level).
-            BanStmt::Sees(p, inner) if chain.is_empty() => {
-                match &**inner {
-                    BanStmt::Conj(items) => {
-                        for item in items.clone() {
-                            let piece = BanStmt::sees(p.clone(), item);
-                            if self.add(piece, RuleName::SeeingTuple, vec![stmt.clone()]) {
-                                added += 1;
-                            }
-                        }
-                    }
-                    BanStmt::Combined { body: b, .. } => {
-                        let piece = BanStmt::sees(p.clone(), (**b).clone());
-                        if self.add(piece, RuleName::SeeingCombined, vec![stmt.clone()]) {
+            BanStmt::Sees(p, inner) if chain.is_empty() => match &**inner {
+                BanStmt::Conj(items) => {
+                    for item in items.clone() {
+                        let piece = BanStmt::sees(p.clone(), item);
+                        if self.add(piece, RuleName::SeeingTuple, vec![stmt.clone()]) {
                             added += 1;
                         }
                     }
-                    _ => {}
                 }
-            }
+                BanStmt::Combined { body: b, .. } => {
+                    let piece = BanStmt::sees(p.clone(), (**b).clone());
+                    if self.add(piece, RuleName::SeeingCombined, vec![stmt.clone()]) {
+                        added += 1;
+                    }
+                }
+                _ => {}
+            },
             _ => {}
         }
         added
@@ -396,8 +397,7 @@ impl Engine {
                     } else {
                         continue;
                     };
-                    let concl =
-                        BanStmt::believes(p.clone(), BanStmt::said(peer, (**body).clone()));
+                    let concl = BanStmt::believes(p.clone(), BanStmt::said(peer, (**body).clone()));
                     if self.add(
                         concl,
                         RuleName::MessageMeaningKey,
@@ -457,8 +457,7 @@ impl Engine {
                     } else {
                         continue;
                     };
-                    let concl =
-                        BanStmt::believes(p.clone(), BanStmt::said(peer, (**body).clone()));
+                    let concl = BanStmt::believes(p.clone(), BanStmt::said(peer, (**body).clone()));
                     if self.add(
                         concl,
                         RuleName::MessageMeaningSecret,
@@ -485,10 +484,7 @@ impl Engine {
         };
         let wanted = BanStmt::believes(p.clone(), BanStmt::fresh((**x).clone()));
         if snapshot.contains(&wanted) {
-            let concl = BanStmt::believes(
-                p.clone(),
-                BanStmt::believes(q.clone(), (**x).clone()),
-            );
+            let concl = BanStmt::believes(p.clone(), BanStmt::believes(q.clone(), (**x).clone()));
             if self.add(
                 concl,
                 RuleName::NonceVerification,
@@ -510,10 +506,7 @@ impl Engine {
         let BanStmt::Believes(q, x) = &**inner else {
             return 0;
         };
-        let wanted = BanStmt::believes(
-            p.clone(),
-            BanStmt::controls(q.clone(), (**x).clone()),
-        );
+        let wanted = BanStmt::believes(p.clone(), BanStmt::controls(q.clone(), (**x).clone()));
         if snapshot.contains(&wanted) {
             let concl = BanStmt::believes(p.clone(), (**x).clone());
             if self.add(concl, RuleName::Jurisdiction, vec![wanted, stmt.clone()]) {
@@ -541,9 +534,9 @@ impl Engine {
         };
         match &**seen {
             BanStmt::Encrypted { body, key, .. } => {
-                let ok = believes(&|inner| {
-                    matches!(inner, BanStmt::SharedKey(q, k, q2) if k == key && (q == p || q2 == p))
-                });
+                let ok = believes(
+                    &|inner| matches!(inner, BanStmt::SharedKey(q, k, q2) if k == key && (q == p || q2 == p)),
+                );
                 if ok {
                     let concl = BanStmt::sees(p.clone(), (**body).clone());
                     if self.add(concl, RuleName::SeeingDecrypt, vec![stmt.clone()]) {
@@ -552,9 +545,7 @@ impl Engine {
                 }
             }
             BanStmt::Signed { body, key, .. } => {
-                let ok = believes(&|inner| {
-                    matches!(inner, BanStmt::PublicKey(k, _) if k == key)
-                });
+                let ok = believes(&|inner| matches!(inner, BanStmt::PublicKey(k, _) if k == key));
                 if ok {
                     let concl = BanStmt::sees(p.clone(), (**body).clone());
                     if self.add(concl, RuleName::SeeingDecrypt, vec![stmt.clone()]) {
@@ -563,9 +554,9 @@ impl Engine {
                 }
             }
             BanStmt::PubEncrypted { body, key, .. } => {
-                let ok = believes(&|inner| {
-                    matches!(inner, BanStmt::PublicKey(k, owner) if k == key && owner == p)
-                });
+                let ok = believes(
+                    &|inner| matches!(inner, BanStmt::PublicKey(k, owner) if k == key && owner == p),
+                );
                 if ok {
                     let concl = BanStmt::sees(p.clone(), (**body).clone());
                     if self.add(concl, RuleName::SeeingDecrypt, vec![stmt.clone()]) {
@@ -590,10 +581,7 @@ mod tests {
     #[test]
     fn message_meaning_identifies_sender() {
         let mut e = Engine::new([BanStmt::believes("A", sk("A", "Kas", "S"))]);
-        e.see(
-            "A",
-            BanStmt::encrypted(BanStmt::nonce("Ts"), "Kas", "S"),
-        );
+        e.see("A", BanStmt::encrypted(BanStmt::nonce("Ts"), "Kas", "S"));
         e.saturate();
         assert!(e.holds(&BanStmt::believes(
             "A",
@@ -605,10 +593,7 @@ mod tests {
     fn message_meaning_ignores_own_messages() {
         // Side condition R ≠ P: A's own ciphertext proves nothing.
         let mut e = Engine::new([BanStmt::believes("A", sk("A", "Kas", "S"))]);
-        e.see(
-            "A",
-            BanStmt::encrypted(BanStmt::nonce("Ts"), "Kas", "A"),
-        );
+        e.see("A", BanStmt::encrypted(BanStmt::nonce("Ts"), "Kas", "A"));
         e.saturate();
         assert!(!e.holds(&BanStmt::believes(
             "A",

@@ -115,11 +115,7 @@ impl BanStmt {
     }
 
     /// `P ↔K↔ Q`.
-    pub fn shared_key(
-        p: impl Into<Principal>,
-        k: impl Into<Key>,
-        q: impl Into<Principal>,
-    ) -> Self {
+    pub fn shared_key(p: impl Into<Principal>, k: impl Into<Key>, q: impl Into<Principal>) -> Self {
         BanStmt::SharedKey(p.into(), k.into(), q.into())
     }
 
@@ -300,10 +296,7 @@ mod tests {
     #[test]
     fn display_is_paperlike() {
         let step3 = BanStmt::encrypted(
-            BanStmt::conj([
-                BanStmt::nonce("Ts"),
-                BanStmt::shared_key("A", "Kab", "B"),
-            ]),
+            BanStmt::conj([BanStmt::nonce("Ts"), BanStmt::shared_key("A", "Kab", "B")]),
             "Kbs",
             "S",
         );
@@ -312,7 +305,10 @@ mod tests {
 
     #[test]
     fn size_counts_nodes() {
-        let s = BanStmt::believes("A", BanStmt::conj([BanStmt::nonce("N"), BanStmt::nonce("M")]));
+        let s = BanStmt::believes(
+            "A",
+            BanStmt::conj([BanStmt::nonce("N"), BanStmt::nonce("M")]),
+        );
         assert_eq!(s.size(), 4);
     }
 

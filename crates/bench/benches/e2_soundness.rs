@@ -21,8 +21,7 @@ fn bench_runs_scaling(c: &mut Criterion) {
         let sys = random_system(&GenConfig::default(), n_runs, 42);
         g.bench_with_input(BenchmarkId::from_parameter(n_runs), &sys, |b, sys| {
             b.iter(|| {
-                let report =
-                    check_axioms(sys, GoodRuns::all_runs(sys), &config).expect("check ok");
+                let report = check_axioms(sys, GoodRuns::all_runs(sys), &config).expect("check ok");
                 assert!(report.sound());
                 black_box(report.total_instances())
             })
@@ -46,8 +45,7 @@ fn bench_length_scaling(c: &mut Criterion) {
         let sys = random_system(&gen, 3, 7);
         g.bench_with_input(BenchmarkId::from_parameter(steps), &sys, |b, sys| {
             b.iter(|| {
-                let report =
-                    check_axioms(sys, GoodRuns::all_runs(sys), &config).expect("check ok");
+                let report = check_axioms(sys, GoodRuns::all_runs(sys), &config).expect("check ok");
                 assert!(report.sound());
                 black_box(report.total_instances())
             })

@@ -61,8 +61,7 @@ fn bench_e4_optimality(c: &mut Criterion) {
         let (sys, assumptions) = coin_toss();
         let goods = construct(&sys, &assumptions).expect("construct ok");
         b.iter(|| {
-            let optimum =
-                is_optimum(&sys, &goods, &assumptions, 1 << 24).expect("search ok");
+            let optimum = is_optimum(&sys, &goods, &assumptions, 1 << 24).expect("search ok");
             assert!(!optimum);
             black_box(optimum)
         })

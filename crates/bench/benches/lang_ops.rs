@@ -63,10 +63,7 @@ fn bench_parser(c: &mut Criterion) {
         .keys(["Kab", "Kas", "Kbs"]);
     let inputs = [
         ("shared_key", "A believes (A <-Kab-> B)"),
-        (
-            "figure1",
-            "B believes (B sees {Ts, <<A <-Kab-> B>>}Kbs@S)",
-        ),
+        ("figure1", "B believes (B sees {Ts, <<A <-Kab-> B>>}Kbs@S)"),
         (
             "conjunction",
             "A has Kas & B has Kbs & S controls (A <-Kab-> B) & fresh(Ts)",

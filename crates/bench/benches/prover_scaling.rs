@@ -45,11 +45,7 @@ fn at_sessions(n: usize) -> Vec<Formula> {
     for i in 0..n {
         let a = format!("A{i}");
         let b = format!("B{i}");
-        let kab = Formula::shared_key(
-            a.as_str(),
-            Key::new(format!("Kab{i}")),
-            b.as_str(),
-        );
+        let kab = Formula::shared_key(a.as_str(), Key::new(format!("Kab{i}")), b.as_str());
         let ts = Message::nonce(Nonce::new(format!("Ts{i}")));
         let kbs = Key::new(format!("Kbs{i}"));
         facts.push(Formula::believes(
@@ -64,11 +60,7 @@ fn at_sessions(n: usize) -> Vec<Formula> {
         facts.push(Formula::has(b.as_str(), kbs.clone()));
         facts.push(Formula::sees(
             b.as_str(),
-            Message::encrypted(
-                Message::tuple([ts, kab.into_message()]),
-                kbs,
-                "S",
-            ),
+            Message::encrypted(Message::tuple([ts, kab.into_message()]), kbs, "S"),
         ));
     }
     facts
@@ -133,10 +125,7 @@ fn bench_goal_checking(c: &mut Criterion) {
     let facts = at_sessions(4);
     let mut prover = Prover::new(facts);
     prover.saturate();
-    let goal = Formula::believes(
-        "B2",
-        Formula::shared_key("A2", Key::new("Kab2"), "B2"),
-    );
+    let goal = Formula::believes("B2", Formula::shared_key("A2", Key::new("Kab2"), "B2"));
     g.bench_function("holds", |b| b.iter(|| black_box(prover.holds(&goal))));
     g.finish();
 }

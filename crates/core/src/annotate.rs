@@ -199,8 +199,14 @@ mod tests {
             "S",
         );
         AtProtocol::new("kerberos-figure1-at")
-            .assume(Formula::believes("A", Formula::shared_key("A", Key::new("Kas"), "S")))
-            .assume(Formula::believes("B", Formula::shared_key("B", Key::new("Kbs"), "S")))
+            .assume(Formula::believes(
+                "A",
+                Formula::shared_key("A", Key::new("Kas"), "S"),
+            ))
+            .assume(Formula::believes(
+                "B",
+                Formula::shared_key("B", Key::new("Kbs"), "S"),
+            ))
             .assume(Formula::believes("A", Formula::controls("S", kab())))
             .assume(Formula::believes("B", Formula::controls("S", kab())))
             .assume(Formula::believes("A", Formula::fresh(ts.clone())))

@@ -122,7 +122,9 @@ impl AxiomName {
             AxiomName::A25FreshSigned => "freshness of signatures",
             AxiomName::A26FreshPubEnc => "freshness of public-key encryptions",
             AxiomName::A27BelievesSeesSigned => "believing one sees verifiable signatures",
-            AxiomName::A28BelievesSeesPubEnc => "believing one sees decryptable public-key ciphertext",
+            AxiomName::A28BelievesSeesPubEnc => {
+                "believing one sees decryptable public-key ciphertext"
+            }
         }
     }
 }
@@ -185,7 +187,10 @@ pub fn a5(
     Some(Formula::implies(
         Formula::and(
             Formula::shared_key(p.clone(), k.clone(), q.clone()),
-            Formula::sees(r.clone(), Message::encrypted(x.clone(), k.clone(), s.clone())),
+            Formula::sees(
+                r.clone(),
+                Message::encrypted(x.clone(), k.clone(), s.clone()),
+            ),
         ),
         Formula::said(q.clone(), x.clone()),
     ))
@@ -229,7 +234,10 @@ pub fn a7(p: &Principal, items: &[Message], i: usize) -> Formula {
 pub fn a8(p: &Principal, x: &Message, q: &Principal, k: &KeyTerm) -> Formula {
     Formula::implies(
         Formula::and(
-            Formula::sees(p.clone(), Message::encrypted(x.clone(), k.clone(), q.clone())),
+            Formula::sees(
+                p.clone(),
+                Message::encrypted(x.clone(), k.clone(), q.clone()),
+            ),
             Formula::has(p.clone(), k.clone()),
         ),
         Formula::sees(p.clone(), x.clone()),
@@ -387,13 +395,7 @@ pub fn a21_key(p: &Principal, k: &KeyTerm, q: &Principal) -> Formula {
 /// only `Q` signs with `K⁻¹`, so any verifiable signature traces to `Q`.
 /// Unlike A5, no side condition is needed: signing capability, not the
 /// from field, identifies the author.
-pub fn a22(
-    k: &KeyTerm,
-    q: &Principal,
-    r: &Principal,
-    x: &Message,
-    s: &Principal,
-) -> Formula {
+pub fn a22(k: &KeyTerm, q: &Principal, r: &Principal, x: &Message, s: &Principal) -> Formula {
     Formula::implies(
         Formula::and(
             Formula::public_key(k.clone(), q.clone()),

@@ -1,0 +1,244 @@
+//! Graceful-degradation budgets for expensive analyses.
+//!
+//! Saturation ([`Prover::saturate`](crate::prover::Prover::saturate)) and
+//! the good-run construction
+//! ([`construct_budgeted`](crate::goodruns::construct_budgeted)) are
+//! fixpoint computations whose cost grows with the fact set and the
+//! system. A [`Budget`] caps that work along three independent axes —
+//! derivation steps, total facts, and wall-clock time — and the
+//! [`Saturation`] outcome says whether the fixpoint was actually reached.
+//! Analyses never *lose* work when a budget runs out: everything derived
+//! up to that point is kept, and queries answer with a three-valued
+//! [`Verdict`] so "not derived" under an exhausted budget reads as
+//! *unknown*, not as a refutation.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Resource limits for a saturation-style analysis. The default is
+/// unlimited on every axis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum derivation steps (rule applications / evaluations).
+    pub max_steps: Option<u64>,
+    /// Maximum size of the fact set; derivation stops once reached.
+    pub max_facts: Option<usize>,
+    /// Wall-clock cap in milliseconds.
+    pub max_millis: Option<u64>,
+}
+
+impl Budget {
+    /// No limits: saturation always runs to the fixpoint.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Caps derivation steps.
+    pub fn steps(mut self, n: u64) -> Self {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Caps the fact-set size.
+    pub fn facts(mut self, n: usize) -> Self {
+        self.max_facts = Some(n);
+        self
+    }
+
+    /// Caps wall-clock time, in milliseconds.
+    pub fn millis(mut self, ms: u64) -> Self {
+        self.max_millis = Some(ms);
+        self
+    }
+
+    /// True if any axis is capped.
+    pub fn is_limited(&self) -> bool {
+        self.max_steps.is_some() || self.max_facts.is_some() || self.max_millis.is_some()
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_limited() {
+            return f.write_str("unlimited");
+        }
+        let mut sep = "";
+        if let Some(n) = self.max_steps {
+            write!(f, "{sep}steps≤{n}")?;
+            sep = ", ";
+        }
+        if let Some(n) = self.max_facts {
+            write!(f, "{sep}facts≤{n}")?;
+            sep = ", ";
+        }
+        if let Some(ms) = self.max_millis {
+            write!(f, "{sep}time≤{ms}ms")?;
+        }
+        Ok(())
+    }
+}
+
+/// Running consumption against a [`Budget`]. Once any axis is exceeded
+/// the meter latches exhausted and refuses all further charges.
+#[derive(Clone, Debug)]
+pub struct BudgetMeter {
+    budget: Budget,
+    steps: u64,
+    started: Instant,
+    exhausted: bool,
+}
+
+impl BudgetMeter {
+    /// Starts metering against `budget` (the wall clock starts now).
+    pub fn start(budget: Budget) -> Self {
+        BudgetMeter {
+            budget,
+            steps: 0,
+            started: Instant::now(),
+            exhausted: false,
+        }
+    }
+
+    /// Steps charged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// True once any axis has been exceeded.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Attempts to charge one derivation step while the tracked fact set
+    /// holds `facts_now` entries. Returns false — latching the exhausted
+    /// state — if the budget does not cover it.
+    pub fn charge(&mut self, facts_now: usize) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        let over = self.budget.max_steps.is_some_and(|cap| self.steps >= cap)
+            || self.budget.max_facts.is_some_and(|cap| facts_now >= cap)
+            || self
+                .budget
+                .max_millis
+                .is_some_and(|cap| self.started.elapsed().as_millis() as u64 >= cap);
+        if over {
+            self.exhausted = true;
+            return false;
+        }
+        self.steps += 1;
+        true
+    }
+}
+
+/// The outcome of a budgeted fixpoint computation.
+///
+/// Not `#[must_use]`: callers that saturate purely for the side effect of
+/// growing the fact set may discard it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Saturation {
+    /// The fixpoint was reached; nothing more is derivable.
+    Complete {
+        /// Facts added by this saturation call.
+        new_facts: usize,
+    },
+    /// The budget ran out first. All facts derived before exhaustion are
+    /// retained, but absence of a fact is inconclusive.
+    BudgetExhausted {
+        /// Size of the fact set when the budget ran out.
+        facts: usize,
+        /// Derivation steps performed.
+        steps: u64,
+    },
+}
+
+impl Saturation {
+    /// True if the fixpoint was reached.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Saturation::Complete { .. })
+    }
+}
+
+impl fmt::Display for Saturation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Saturation::Complete { new_facts } => {
+                write!(f, "complete ({new_facts} new facts)")
+            }
+            Saturation::BudgetExhausted { facts, steps } => {
+                write!(
+                    f,
+                    "budget exhausted after {steps} steps ({facts} facts held)"
+                )
+            }
+        }
+    }
+}
+
+/// Three-valued answer for a goal queried against a budgeted analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The goal is derivable from the facts on hand.
+    Proved,
+    /// Saturation completed and the goal is not derivable.
+    NotProved,
+    /// The goal is not (yet) derivable, but the budget ran out before the
+    /// fixpoint — derivability is undecided.
+    Unknown,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Proved => "proved",
+            Verdict::NotProved => "not proved",
+            Verdict::Unknown => "unknown (budget exhausted)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let mut m = BudgetMeter::start(Budget::unlimited());
+        for i in 0..10_000 {
+            assert!(m.charge(i));
+        }
+        assert!(!m.exhausted());
+        assert_eq!(m.steps(), 10_000);
+    }
+
+    #[test]
+    fn step_cap_latches() {
+        let mut m = BudgetMeter::start(Budget::unlimited().steps(3));
+        assert!(m.charge(0));
+        assert!(m.charge(0));
+        assert!(m.charge(0));
+        assert!(!m.charge(0));
+        assert!(m.exhausted());
+        // Latched: even a charge that would otherwise fit is refused.
+        assert!(!m.charge(0));
+        assert_eq!(m.steps(), 3);
+    }
+
+    #[test]
+    fn fact_cap_checks_current_size() {
+        let mut m = BudgetMeter::start(Budget::unlimited().facts(5));
+        assert!(m.charge(4));
+        assert!(!m.charge(5));
+        assert!(m.exhausted());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Budget::unlimited().to_string(), "unlimited");
+        let b = Budget::unlimited().steps(7).millis(20);
+        assert_eq!(b.to_string(), "steps≤7, time≤20ms");
+        assert!(Saturation::Complete { new_facts: 2 }.is_complete());
+        assert!(!Saturation::BudgetExhausted { facts: 9, steps: 7 }.is_complete());
+        assert_eq!(Verdict::Unknown.to_string(), "unknown (budget exhausted)");
+    }
+}

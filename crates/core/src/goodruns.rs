@@ -14,6 +14,7 @@
 //!   [`examples::coin_toss`](crate::examples) for the paper's
 //!   counterexample.
 
+use crate::budget::{Budget, BudgetMeter, Saturation};
 use crate::semantics::{GoodRuns, Semantics, SemanticsError};
 use atl_lang::{Formula, Principal};
 use atl_model::{Point, System};
@@ -43,14 +44,23 @@ impl fmt::Display for GoodRunsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GoodRunsError::BadShape(formula) => {
-                write!(f, "assumption {formula} is not of the form `P believes ψ` for its principal")
+                write!(
+                    f,
+                    "assumption {formula} is not of the form `P believes ψ` for its principal"
+                )
             }
             GoodRunsError::ViolatesI1(formula) => {
-                write!(f, "assumption {formula} places belief under negation (restriction I1)")
+                write!(
+                    f,
+                    "assumption {formula} places belief under negation (restriction I1)"
+                )
             }
             GoodRunsError::Semantics(e) => write!(f, "{e}"),
             GoodRunsError::SearchSpaceTooLarge { candidates, limit } => {
-                write!(f, "optimality search over {candidates} vectors exceeds limit {limit}")
+                write!(
+                    f,
+                    "optimality search over {candidates} vectors exceeds limit {limit}"
+                )
             }
         }
     }
@@ -146,7 +156,10 @@ impl InitialAssumptions {
 
     /// The maximum belief nesting depth across all assumptions.
     pub fn max_depth(&self) -> usize {
-        self.iter().map(|(_, f)| f.belief_depth()).max().unwrap_or(0)
+        self.iter()
+            .map(|(_, f)| f.belief_depth())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -201,7 +214,29 @@ pub fn construct_with_report(
     system: &System,
     assumptions: &InitialAssumptions,
 ) -> Result<(GoodRuns, ConstructionReport), GoodRunsError> {
+    construct_budgeted(system, assumptions, Budget::unlimited()).map(|(g, r, _)| (g, r))
+}
+
+/// As [`construct_with_report`], but metered against `budget`: each
+/// semantic evaluation of an assumption body at a point charges one step.
+///
+/// When the budget runs out the refinement stops where it stands and the
+/// vector built so far is returned with
+/// [`Saturation::BudgetExhausted`] — a *coarser* (larger) vector than the
+/// full construction would produce, whose completed stages are exact. In
+/// the returned outcome, `steps` counts evaluations and `facts` counts
+/// fully completed stages.
+///
+/// # Errors
+///
+/// As for [`construct`].
+pub fn construct_budgeted(
+    system: &System,
+    assumptions: &InitialAssumptions,
+    budget: Budget,
+) -> Result<(GoodRuns, ConstructionReport, Saturation), GoodRunsError> {
     assumptions.check()?;
+    let mut meter = BudgetMeter::start(budget);
     let mut current = GoodRuns::all_runs(system);
     let all: BTreeSet<usize> = (0..system.len()).collect();
     // Make every assuming principal explicit so `set` updates land.
@@ -209,7 +244,7 @@ pub fn construct_with_report(
         current.set(p.clone(), all.clone());
     }
     let mut report = ConstructionReport::default();
-    for j in 1..=assumptions.max_depth() {
+    'stages: for j in 1..=assumptions.max_depth() {
         let sem = Semantics::new(system, current.clone());
         let mut next = current.clone();
         let mut stage = BTreeMap::new();
@@ -224,6 +259,11 @@ pub fn construct_with_report(
                 };
                 let mut surviving = BTreeSet::new();
                 for &ri in &keep {
+                    if !meter.charge(report.stages.len()) {
+                        // Out of budget mid-stage: the partial stage is
+                        // discarded and the last completed vector stands.
+                        break 'stages;
+                    }
                     if sem.eval(Point::new(ri, 0), body)? {
                         surviving.insert(ri);
                     }
@@ -236,7 +276,17 @@ pub fn construct_with_report(
         report.stages.push(stage);
         current = next;
     }
-    Ok((current, report))
+    let outcome = if meter.exhausted() {
+        Saturation::BudgetExhausted {
+            facts: report.stages.len(),
+            steps: meter.steps(),
+        }
+    } else {
+        Saturation::Complete {
+            new_facts: report.stages.len(),
+        }
+    };
+    Ok((current, report, outcome))
 }
 
 /// True if `goods` *supports* `assumptions`: every assumption holds at
@@ -294,7 +344,9 @@ pub fn find_witness_above(
     let principals: Vec<&Principal> = assumptions.principals().collect();
     let n_runs = system.len() as u32;
     let per = 1u128 << n_runs;
-    let candidates = per.checked_pow(principals.len() as u32).unwrap_or(u128::MAX);
+    let candidates = per
+        .checked_pow(principals.len() as u32)
+        .unwrap_or(u128::MAX);
     if candidates > limit {
         return Err(GoodRunsError::SearchSpaceTooLarge { candidates, limit });
     }
@@ -304,9 +356,8 @@ pub fn find_witness_above(
         let mut candidate = GoodRuns::all_runs(system);
         for (i, p) in principals.iter().enumerate() {
             let mask = counter[i];
-            let runs: BTreeSet<usize> = (0..system.len())
-                .filter(|r| mask & (1 << r) != 0)
-                .collect();
+            let runs: BTreeSet<usize> =
+                (0..system.len()).filter(|r| mask & (1 << r) != 0).collect();
             candidate.set((*p).clone(), runs);
         }
         if !candidate.le(goods) && supports(system, &candidate, assumptions)? {
@@ -390,7 +441,10 @@ mod tests {
         let goods = construct(&sys, &i).unwrap();
         // Run 1 (environment encrypts with Kab) is excluded from A's good
         // runs; run 0 stays.
-        assert_eq!(goods.get(&Principal::new("A")), &[0usize].into_iter().collect());
+        assert_eq!(
+            goods.get(&Principal::new("A")),
+            &[0usize].into_iter().collect()
+        );
         assert!(supports(&sys, &goods, &i).unwrap());
     }
 
@@ -423,10 +477,7 @@ mod tests {
     #[test]
     fn i1_violations_rejected() {
         let mut i = InitialAssumptions::new();
-        i.assume(
-            "A",
-            Formula::not(Formula::believes("A", Formula::True)),
-        );
+        i.assume("A", Formula::not(Formula::believes("A", Formula::True)));
         let sys = two_run_system();
         assert!(matches!(
             construct(&sys, &i),
@@ -501,6 +552,30 @@ mod tests {
         let (_, report) = construct_with_report(&sys, &assumptions).unwrap();
         let emptied = report.emptied();
         assert_eq!(emptied.len(), 2); // P1 and P3
+    }
+
+    #[test]
+    fn budgeted_construction_degrades_to_coarser_vector() {
+        let sys = two_run_system();
+        let i = key_assumption();
+        // One evaluation is not enough for the two runs of the system.
+        let (goods, report, outcome) =
+            construct_budgeted(&sys, &i, Budget::unlimited().steps(1)).unwrap();
+        assert!(matches!(
+            outcome,
+            Saturation::BudgetExhausted { steps: 1, .. }
+        ));
+        assert!(report.stages.is_empty(), "partial stage must be discarded");
+        // The degraded answer is the coarser, pre-refinement vector.
+        assert_eq!(goods, {
+            let mut g = GoodRuns::all_runs(&sys);
+            g.set(Principal::new("A"), [0, 1].into_iter().collect());
+            g
+        });
+        // An unlimited budget reproduces the exact construction.
+        let (full, _, outcome) = construct_budgeted(&sys, &i, Budget::unlimited()).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(full, construct(&sys, &i).unwrap());
     }
 
     #[test]

@@ -162,15 +162,11 @@ mod tests {
         let sys = two_run_system();
         let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
         let rel = PossibilityRelation::of(&sem, &Principal::new("B"));
-        let cross = rel.edges[&Point::new(0, 2)]
-            .iter()
-            .any(|p| p.run == 1);
+        let cross = rel.edges[&Point::new(0, 2)].iter().any(|p| p.run == 1);
         assert!(cross, "hiding should merge the two runs for B");
         // A (key holder) keeps them apart at the post-send points.
         let rel_a = PossibilityRelation::of(&sem, &Principal::new("A"));
-        let cross_a = rel_a.edges[&Point::new(0, 1)]
-            .iter()
-            .any(|p| p.run == 1);
+        let cross_a = rel_a.edges[&Point::new(0, 1)].iter().any(|p| p.run == 1);
         assert!(!cross_a, "A distinguishes the plaintexts it encrypted");
     }
 

@@ -10,6 +10,9 @@
 //! - [`tautology`] — deciding instances of propositional tautologies;
 //! - [`prover`] — a derived-rule saturation engine and the protocol
 //!   annotation style of Section 4.3;
+//! - [`budget`] — graceful-degradation budgets (steps/facts/wall-clock)
+//!   for the prover and the good-run construction, with three-valued
+//!   verdicts under exhaustion;
 //! - [`stability`] — the stability requirement on annotations;
 //! - [`semantics`] — truth at points of a system, with belief as
 //!   resource-bounded defensible knowledge (Section 6);
@@ -17,6 +20,8 @@
 //!   support and optimality checks (Theorems 2 and 3);
 //! - [`soundness`] — the Theorem 1 model-checker over generated systems;
 //! - [`quantifier`] — bounded universal quantification (Section 8);
+//! - [`enact`] — turning an idealized protocol into an executable model
+//!   protocol, so runs can be produced, audited, and fault-injected;
 //! - [`examples`] — the coin-toss counterexample;
 //! - [`theorems`] — machine-checked reconstructions of the BAN rules;
 //! - [`secrecy`] — the semantic secrecy audit (the paper's future work);
@@ -42,6 +47,8 @@
 
 pub mod annotate;
 pub mod axioms;
+pub mod budget;
+pub mod enact;
 pub mod examples;
 pub mod goodruns;
 pub mod kripke;

@@ -236,9 +236,7 @@ impl Proof {
                     if consequent != &step.formula {
                         return Err(ProofError {
                             step: i,
-                            reason: format!(
-                                "conclusion mismatch: implication yields {consequent}"
-                            ),
+                            reason: format!("conclusion mismatch: implication yields {consequent}"),
                         });
                     }
                     is_theorem[i] = is_theorem[imp] && is_theorem[ant];

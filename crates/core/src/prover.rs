@@ -21,6 +21,7 @@
 //! Both are enabled by default and can be disabled with
 //! [`ProverConfig::axioms_only`].
 
+use crate::budget::{Budget, BudgetMeter, Saturation, Verdict};
 use atl_lang::{Formula, KeyTerm, Message, Principal};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -148,6 +149,12 @@ pub struct ProverConfig {
     /// sees-promotion, has-promotion) may create — without it, repeated
     /// introspection would generate `P believes P believes …` forever.
     pub max_belief_depth: usize,
+    /// Resource budget for [`Prover::saturate`]. When it runs out,
+    /// saturation stops early (keeping everything derived so far) and
+    /// reports [`Saturation::BudgetExhausted`]; [`Prover::verdict`] then
+    /// answers [`Verdict::Unknown`] for underivable goals instead of
+    /// refuting them.
+    pub budget: Budget,
 }
 
 impl Default for ProverConfig {
@@ -156,6 +163,7 @@ impl Default for ProverConfig {
             axioms_only: false,
             max_passes: 64,
             max_belief_depth: 3,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -195,6 +203,7 @@ pub struct Prover {
     facts: BTreeSet<Formula>,
     trace: Vec<Step>,
     config: ProverConfig,
+    meter: BudgetMeter,
 }
 
 /// Splits off the belief prefix of a formula.
@@ -223,14 +232,12 @@ impl Prover {
     }
 
     /// Creates a prover with explicit options.
-    pub fn with_config(
-        facts: impl IntoIterator<Item = Formula>,
-        config: ProverConfig,
-    ) -> Self {
+    pub fn with_config(facts: impl IntoIterator<Item = Formula>, config: ProverConfig) -> Self {
         let mut prover = Prover {
             facts: BTreeSet::new(),
             trace: Vec::new(),
             config,
+            meter: BudgetMeter::start(Budget::unlimited()),
         };
         for f in facts {
             prover.add(f, DerivedRule::Given, Vec::new());
@@ -259,6 +266,11 @@ impl Prover {
     }
 
     fn add(&mut self, f: Formula, rule: DerivedRule, premises: Vec<Formula>) -> bool {
+        // Seeding (`Given`) is free; every rule application during
+        // saturation charges the budget, whether or not it is novel.
+        if rule != DerivedRule::Given && !self.meter.charge(self.facts.len()) {
+            return false;
+        }
         if self.facts.insert(f.clone()) {
             self.trace.push(Step {
                 conclusion: f,
@@ -285,15 +297,54 @@ impl Prover {
         false
     }
 
-    /// Saturates to a fixpoint; returns the number of new facts.
-    pub fn saturate(&mut self) -> usize {
+    /// Saturates to a fixpoint — or until the configured budget runs out.
+    ///
+    /// Facts derived before exhaustion are always kept; resaturating
+    /// (e.g. with a larger budget via [`saturate_with`](Self::saturate_with))
+    /// resumes from them.
+    pub fn saturate(&mut self) -> Saturation {
+        self.saturate_with(self.config.budget)
+    }
+
+    /// As [`saturate`](Self::saturate), but against an explicit budget
+    /// (overriding the configured one for this call only).
+    pub fn saturate_with(&mut self, budget: Budget) -> Saturation {
+        self.meter = BudgetMeter::start(budget);
         let before = self.facts.len();
         for _ in 0..self.config.max_passes {
-            if self.pass() == 0 {
+            if self.meter.exhausted() || self.pass() == 0 {
                 break;
             }
         }
-        self.facts.len() - before
+        if self.meter.exhausted() {
+            Saturation::BudgetExhausted {
+                facts: self.facts.len(),
+                steps: self.meter.steps(),
+            }
+        } else {
+            Saturation::Complete {
+                new_facts: self.facts.len() - before,
+            }
+        }
+    }
+
+    /// True if the most recent saturation ran out of budget, making
+    /// negative [`holds`](Self::holds) answers inconclusive.
+    pub fn budget_exhausted(&self) -> bool {
+        self.meter.exhausted()
+    }
+
+    /// Three-valued query: [`Verdict::Proved`] if `goal` is derivable,
+    /// [`Verdict::Unknown`] if it is not but the last saturation was cut
+    /// short by its budget, [`Verdict::NotProved`] otherwise.
+    pub fn verdict(&self, goal: &Formula) -> Verdict {
+        if self.holds(goal) {
+            Verdict::Proved
+        } else if self.budget_exhausted() {
+            Verdict::Unknown
+        } else {
+            Verdict::NotProved
+        }
     }
 
     /// Facts grouped by belief prefix (a fact contributes its body to the
@@ -366,8 +417,18 @@ impl Prover {
         };
         match body {
             Formula::And(a, b) => {
-                n += emit(self, wrap(prefix, (**a).clone()), DerivedRule::AndSplit, vec![fact.clone()]);
-                n += emit(self, wrap(prefix, (**b).clone()), DerivedRule::AndSplit, vec![fact.clone()]);
+                n += emit(
+                    self,
+                    wrap(prefix, (**a).clone()),
+                    DerivedRule::AndSplit,
+                    vec![fact.clone()],
+                );
+                n += emit(
+                    self,
+                    wrap(prefix, (**b).clone()),
+                    DerivedRule::AndSplit,
+                    vec![fact.clone()],
+                );
             }
             Formula::Sees(p, m) => {
                 match &**m {
@@ -483,16 +544,17 @@ impl Prover {
                 }
             }
             Formula::Has(p, k)
-                if !self.config.axioms_only && prefix.len() < self.config.max_belief_depth => {
-                    let mut deeper = prefix.to_vec();
-                    deeper.push(p.clone());
-                    n += emit(
-                        self,
-                        wrap(&deeper, Formula::Has(p.clone(), k.clone())),
-                        DerivedRule::HasPromotion,
-                        vec![fact.clone()],
-                    );
-                }
+                if !self.config.axioms_only && prefix.len() < self.config.max_belief_depth =>
+            {
+                let mut deeper = prefix.to_vec();
+                deeper.push(p.clone());
+                n += emit(
+                    self,
+                    wrap(&deeper, Formula::Has(p.clone(), k.clone())),
+                    DerivedRule::HasPromotion,
+                    vec![fact.clone()],
+                );
+            }
             Formula::Said(p, m) | Formula::Says(p, m) => {
                 let says = matches!(body, Formula::Says(..));
                 let rebuild = |p: &Principal, x: Message| {
@@ -553,21 +615,15 @@ impl Prover {
             Formula::Fresh(x) => {
                 for m in universe {
                     let (rule, fires) = match m {
-                        Message::Tuple(items) => {
-                            (DerivedRule::FreshTuple, items.contains(x))
-                        }
+                        Message::Tuple(items) => (DerivedRule::FreshTuple, items.contains(x)),
                         Message::Encrypted { body, .. } => {
                             (DerivedRule::FreshEncrypted, **body == **x)
                         }
                         Message::Combined { body, .. } => {
                             (DerivedRule::FreshCombined, **body == **x)
                         }
-                        Message::Forwarded(body) => {
-                            (DerivedRule::FreshForwarded, **body == **x)
-                        }
-                        Message::Signed { body, .. } => {
-                            (DerivedRule::FreshSigned, **body == **x)
-                        }
+                        Message::Forwarded(body) => (DerivedRule::FreshForwarded, **body == **x),
+                        Message::Signed { body, .. } => (DerivedRule::FreshSigned, **body == **x),
                         Message::PubEncrypted { body, .. } => {
                             (DerivedRule::FreshPubEnc, **body == **x)
                         }
@@ -621,7 +677,9 @@ impl Prover {
         match m {
             Message::Encrypted { body, key, from } => {
                 for f in ctx {
-                    let Formula::SharedKey(p, k, q) = f else { continue };
+                    let Formula::SharedKey(p, k, q) = f else {
+                        continue;
+                    };
                     if k != key {
                         continue;
                     }
@@ -629,8 +687,7 @@ impl Prover {
                     // the peer named opposite the matching side.
                     for (side, peer) in [(p, q), (q, p)] {
                         if side != from {
-                            let concl =
-                                wrap(prefix, Formula::said(peer.clone(), (**body).clone()));
+                            let concl = wrap(prefix, Formula::said(peer.clone(), (**body).clone()));
                             if self.add(
                                 concl,
                                 DerivedRule::MessageMeaningKey,
@@ -645,7 +702,9 @@ impl Prover {
             Message::Signed { body, key, .. } => {
                 // A22: only the key's owner signs; no side condition.
                 for f in ctx {
-                    let Formula::PublicKey(k, owner) = f else { continue };
+                    let Formula::PublicKey(k, owner) = f else {
+                        continue;
+                    };
                     if k != key {
                         continue;
                     }
@@ -661,14 +720,15 @@ impl Prover {
             }
             Message::Combined { body, secret, from } => {
                 for f in ctx {
-                    let Formula::SharedSecret(p, y, q) = f else { continue };
+                    let Formula::SharedSecret(p, y, q) = f else {
+                        continue;
+                    };
                     if **y != **secret {
                         continue;
                     }
                     for (side, peer) in [(p, q), (q, p)] {
                         if side != from {
-                            let concl =
-                                wrap(prefix, Formula::said(peer.clone(), (**body).clone()));
+                            let concl = wrap(prefix, Formula::said(peer.clone(), (**body).clone()));
                             if self.add(
                                 concl,
                                 DerivedRule::MessageMeaningSecret,
@@ -688,12 +748,7 @@ impl Prover {
 
     /// True if every ciphertext inside `m` is under a key the context
     /// knows `p` to hold — then `hide` leaves `m` intact for `p`.
-    fn readable_with_held_keys(
-        &self,
-        m: &Message,
-        p: &Principal,
-        ctx: &BTreeSet<Formula>,
-    ) -> bool {
+    fn readable_with_held_keys(&self, m: &Message, p: &Principal, ctx: &BTreeSet<Formula>) -> bool {
         match m {
             Message::Encrypted { body, key, .. } => {
                 let held = matches!(key, KeyTerm::Key(_))
@@ -709,11 +764,9 @@ impl Prover {
             }
             Message::Forwarded(body) => self.readable_with_held_keys(body, p, ctx),
             Message::PubEncrypted { body, key, .. } => {
-                let held = key
-                    .as_key()
-                    .is_some_and(|k| {
-                        ctx.contains(&Formula::Has(p.clone(), KeyTerm::Key(k.inverse())))
-                    });
+                let held = key.as_key().is_some_and(|k| {
+                    ctx.contains(&Formula::Has(p.clone(), KeyTerm::Key(k.inverse())))
+                });
                 held && self.readable_with_held_keys(body, p, ctx)
             }
             Message::Signed { body, key, .. } => {
@@ -721,10 +774,9 @@ impl Prover {
                     && ctx.contains(&Formula::Has(p.clone(), key.clone()));
                 held && self.readable_with_held_keys(body, p, ctx)
             }
-            Message::Formula(_)
-            | Message::Principal(_)
-            | Message::Key(_)
-            | Message::Nonce(_) => true,
+            Message::Formula(_) | Message::Principal(_) | Message::Key(_) | Message::Nonce(_) => {
+                true
+            }
             Message::Param(_) | Message::Opaque => false,
         }
     }
@@ -806,7 +858,11 @@ mod tests {
             Formula::sees("B", cipher),
         ]);
         p.saturate();
-        assert!(p.holds(&Formula::believes("B", kab())), "facts: {:#?}", p.facts());
+        assert!(
+            p.holds(&Formula::believes("B", kab())),
+            "facts: {:#?}",
+            p.facts()
+        );
         // The intermediate says-belief is also present.
         assert!(p.holds(&Formula::believes(
             "B",
@@ -817,7 +873,10 @@ mod tests {
     #[test]
     fn axioms_only_mode_blocks_promotions() {
         let mut p = Prover::with_config(
-            [Formula::has("B", Key::new("K")), Formula::sees("B", nonce("X"))],
+            [
+                Formula::has("B", Key::new("K")),
+                Formula::sees("B", nonce("X")),
+            ],
             ProverConfig {
                 axioms_only: true,
                 ..ProverConfig::default()
@@ -884,7 +943,10 @@ mod tests {
         let mut p = Prover::new([
             Formula::fresh(x),
             // Mention the composite messages so they enter the universe.
-            Formula::sees("A", Message::tuple([enc.clone(), comb.clone(), fwd.clone(), tup.clone()])),
+            Formula::sees(
+                "A",
+                Message::tuple([enc.clone(), comb.clone(), fwd.clone(), tup.clone()]),
+            ),
         ]);
         p.saturate();
         for m in [enc, comb, fwd, tup] {
@@ -910,11 +972,85 @@ mod tests {
     }
 
     #[test]
+    fn tiny_step_budget_exhausts_without_losing_facts() {
+        let ts = nonce("Ts");
+        let payload = Message::tuple([ts.clone(), kab().into_message()]);
+        let cipher = Message::encrypted(payload, Key::new("Kbs"), Principal::new("S"));
+        let seeds = [
+            Formula::believes("B", Formula::shared_key("B", Key::new("Kbs"), "S")),
+            Formula::believes("B", Formula::fresh(ts)),
+            Formula::believes("B", Formula::controls("S", kab())),
+            Formula::has("B", Key::new("Kbs")),
+            Formula::sees("B", cipher),
+        ];
+        let mut p = Prover::with_config(
+            seeds.clone(),
+            ProverConfig {
+                budget: Budget::unlimited().steps(10),
+                ..ProverConfig::default()
+            },
+        );
+        let outcome = p.saturate();
+        let Saturation::BudgetExhausted { facts, steps } = outcome else {
+            panic!("expected exhaustion, got {outcome:?}");
+        };
+        assert_eq!(steps, 10);
+        assert!(facts >= seeds.len(), "seeded facts must survive");
+        assert_eq!(p.facts().len(), facts);
+        // Everything derived before the cutoff is retained and resumable:
+        // a fresh saturation with an unlimited budget reaches the goal.
+        let kept = p.facts().len();
+        assert!(p.saturate_with(Budget::unlimited()).is_complete());
+        assert!(p.facts().len() >= kept);
+        assert!(p.holds(&Formula::believes("B", kab())));
+    }
+
+    #[test]
+    fn verdict_is_unknown_only_under_exhaustion() {
+        let goal = Formula::believes("B", Formula::says("S", nonce("Ts")));
+        let seeds = [
+            Formula::believes("B", Formula::fresh(nonce("Ts"))),
+            Formula::believes("B", Formula::said("S", nonce("Ts"))),
+        ];
+        // Budget too small to derive the says-belief: unknown.
+        let mut p = Prover::with_config(
+            seeds.clone(),
+            ProverConfig {
+                budget: Budget::unlimited().steps(0),
+                ..ProverConfig::default()
+            },
+        );
+        p.saturate();
+        assert!(p.budget_exhausted());
+        assert_eq!(p.verdict(&goal), Verdict::Unknown);
+        // Unlimited: proved.
+        let mut p = Prover::new(seeds);
+        assert!(p.saturate().is_complete());
+        assert_eq!(p.verdict(&goal), Verdict::Proved);
+        // Complete saturation that genuinely cannot derive it: not proved.
+        let mut p = Prover::new([Formula::believes("B", Formula::said("S", nonce("Ts")))]);
+        assert!(p.saturate().is_complete());
+        assert_eq!(p.verdict(&goal), Verdict::NotProved);
+    }
+
+    #[test]
+    fn fact_budget_caps_the_set_size() {
+        let tup = Message::tuple([nonce("a"), nonce("b"), nonce("c"), nonce("d")]);
+        let mut p = Prover::with_config(
+            [Formula::sees("B", tup)],
+            ProverConfig {
+                budget: Budget::unlimited().facts(3),
+                ..ProverConfig::default()
+            },
+        );
+        let outcome = p.saturate();
+        assert!(!outcome.is_complete());
+        assert!(p.facts().len() <= 3);
+    }
+
+    #[test]
     fn trace_names_rules() {
-        let mut p = Prover::new([
-            Formula::fresh(nonce("N")),
-            Formula::said("S", nonce("N")),
-        ]);
+        let mut p = Prover::new([Formula::fresh(nonce("N")), Formula::said("S", nonce("N"))]);
         p.saturate();
         let step = p
             .derivation_of(&Formula::says("S", nonce("N")))

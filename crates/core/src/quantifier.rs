@@ -107,12 +107,8 @@ mod tests {
     #[test]
     fn key_position_rejects_message_value() {
         let body = Formula::has("A", Param::new("K"));
-        let err = forall_messages(
-            &Param::new("K"),
-            [Message::nonce(Nonce::new("N"))],
-            &body,
-        )
-        .unwrap_err();
+        let err = forall_messages(&Param::new("K"), [Message::nonce(Nonce::new("N"))], &body)
+            .unwrap_err();
         assert!(matches!(err, SubstError::NotAKey(_)));
     }
 

@@ -115,7 +115,12 @@ mod tests {
         let run = keyed_run();
         let end = run.horizon();
         // B (with K) derives X; C (without) does not.
-        assert!(!is_secret_from(&run, &nonce("X"), &Principal::new("B"), end));
+        assert!(!is_secret_from(
+            &run,
+            &nonce("X"),
+            &Principal::new("B"),
+            end
+        ));
         assert!(is_secret_from(&run, &nonce("X"), &Principal::new("C"), end));
         assert!(known_messages(&run, &Principal::new("B"), end).contains(&nonce("X")));
         assert!(!known_messages(&run, &Principal::new("C"), end).contains(&nonce("X")));

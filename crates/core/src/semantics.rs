@@ -46,7 +46,11 @@ impl fmt::Display for SemanticsError {
                 write!(f, "formula {formula} has parameters unbound by the run")
             }
             SemanticsError::BadPoint(p) => {
-                write!(f, "point (run {}, time {}) outside the system", p.run, p.time)
+                write!(
+                    f,
+                    "point (run {}, time {}) outside the system",
+                    p.run, p.time
+                )
             }
             SemanticsError::Subst(why) => write!(f, "parameter substitution failed: {why}"),
         }
@@ -93,7 +97,9 @@ impl GoodRuns {
     /// principal mentioned by either (Section 7).
     pub fn le(&self, other: &GoodRuns) -> bool {
         let names: BTreeSet<&Principal> = self.map.keys().chain(other.map.keys()).collect();
-        names.into_iter().all(|p| self.get(p).is_subset(other.get(p)))
+        names
+            .into_iter()
+            .all(|p| self.get(p).is_subset(other.get(p)))
     }
 }
 
@@ -532,7 +538,9 @@ mod tests {
         let sys = simple_system();
         let s = sem(&sys);
         let f = Formula::shared_key("A", Key::new("Kab"), "B");
-        let vals: BTreeSet<bool> = sys.run(0).times()
+        let vals: BTreeSet<bool> = sys
+            .run(0)
+            .times()
             .map(|k| s.eval(Point::new(0, k), &f).unwrap())
             .collect();
         assert_eq!(vals.len(), 1);
@@ -626,7 +634,9 @@ mod tests {
         b.send("S", phi.clone().into_message(), "A").unwrap();
         let sys = System::new([b.build().unwrap()]);
         let s = sem(&sys);
-        assert!(!s.eval(Point::new(0, 0), &Formula::controls("S", phi)).unwrap());
+        assert!(!s
+            .eval(Point::new(0, 0), &Formula::controls("S", phi))
+            .unwrap());
     }
 
     #[test]
@@ -639,7 +649,9 @@ mod tests {
         b.send("S", phi.clone().into_message(), "A").unwrap(); // says at time 2+
         let sys = System::new([b.build().unwrap()]);
         let s = sem(&sys);
-        assert!(s.eval(Point::new(0, 0), &Formula::controls("S", phi)).unwrap());
+        assert!(s
+            .eval(Point::new(0, 0), &Formula::controls("S", phi))
+            .unwrap());
     }
 
     #[test]

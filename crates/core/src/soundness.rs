@@ -606,11 +606,7 @@ mod tests {
         for seed in 0..3 {
             let sys = random_system(&GenConfig::default(), 3, seed);
             let report = check_axioms(&sys, GoodRuns::all_runs(&sys), &config).unwrap();
-            assert!(
-                report.sound(),
-                "seed {seed}: {}",
-                report
-            );
+            assert!(report.sound(), "seed {seed}: {}", report);
             assert!(report.total_instances() > 0);
         }
     }
@@ -660,7 +656,10 @@ mod tests {
             &Principal::new("A"),
         )
         .unwrap();
-        assert!(!sem.eval(end, &instance).unwrap(), "A5 falsified as expected");
+        assert!(
+            !sem.eval(end, &instance).unwrap(),
+            "A5 falsified as expected"
+        );
     }
 
     #[test]

@@ -100,8 +100,7 @@ pub fn parse_spec(input: &str) -> Result<(AtProtocol, Symbols), SpecError> {
             }
             "newkey" => {
                 let mut parts = rest.split_whitespace();
-                let (Some(p), Some(k), None) = (parts.next(), parts.next(), parts.next())
-                else {
+                let (Some(p), Some(k), None) = (parts.next(), parts.next(), parts.next()) else {
                     return Err(err(lineno, "newkey takes exactly `newkey P K`"));
                 };
                 steps.push(crate::annotate::AtStep::NewKey {
@@ -121,8 +120,7 @@ pub fn parse_spec(input: &str) -> Result<(AtProtocol, Symbols), SpecError> {
                 if from.is_empty() || to.is_empty() {
                     return Err(err(lineno, "step route needs `FROM -> TO`"));
                 }
-                let m =
-                    parse_message(message.trim(), &syms).map_err(|e| lang_err(lineno, e))?;
+                let m = parse_message(message.trim(), &syms).map_err(|e| lang_err(lineno, e))?;
                 steps.push(crate::annotate::AtStep::Send {
                     from: from.into(),
                     to: to.into(),

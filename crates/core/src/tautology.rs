@@ -158,10 +158,7 @@ mod tests {
     #[test]
     fn pierce_law() {
         // ((p ⊃ q) ⊃ p) ⊃ p — a classical (non-intuitionistic) tautology.
-        let f = Formula::implies(
-            Formula::implies(Formula::implies(p(), q()), p()),
-            p(),
-        );
+        let f = Formula::implies(Formula::implies(Formula::implies(p(), q()), p()), p());
         assert!(is_tautology(&f));
     }
 }

@@ -48,10 +48,7 @@ pub fn belief_conjunction(
     let bt = proof.necessitation(t, p.clone());
     // A1 instance: believes φ ∧ believes(φ ⊃ …) ⊃ believes(ψ ⊃ φ∧ψ)
     let inner_imp = Formula::implies(psi.clone(), conj.clone());
-    let a1a = proof.axiom(
-        axioms::a1(p, phi, &inner_imp),
-        AxiomName::A1,
-    );
+    let a1a = proof.axiom(axioms::a1(p, phi, &inner_imp), AxiomName::A1);
     // Premises.
     let prem_bp = proof.premise(bp.clone());
     let prem_bq = proof.premise(bq.clone());
@@ -160,7 +157,10 @@ pub fn ban_message_meaning(
         });
     };
     let believed_antecedent = Formula::and(
-        Formula::believes(p.clone(), Formula::shared_key(p.clone(), k.clone(), q.clone())),
+        Formula::believes(
+            p.clone(),
+            Formula::shared_key(p.clone(), k.clone(), q.clone()),
+        ),
         Formula::believes(
             p.clone(),
             Formula::sees(
@@ -220,10 +220,7 @@ pub fn ban_message_meaning(
     let bax_f = proof.step(bax).formula.clone();
     let pair3 = proof.tautology(Formula::implies(
         b_conj_f.clone(),
-        Formula::implies(
-            bax_f.clone(),
-            Formula::and(b_conj_f.clone(), bax_f.clone()),
-        ),
+        Formula::implies(bax_f.clone(), Formula::and(b_conj_f.clone(), bax_f.clone())),
     ));
     let s5 = proof.modus_ponens(pair3, b_conj);
     let s6 = proof.modus_ponens(s5, bax);
@@ -313,10 +310,7 @@ mod tests {
     fn nonce_verification_reconstructed() {
         let (_, q, _, _, x) = parts();
         let proof = nonce_verification(&q, &x).unwrap();
-        assert_eq!(
-            proof.conclusion().unwrap(),
-            &Formula::says(q, x)
-        );
+        assert_eq!(proof.conclusion().unwrap(), &Formula::says(q, x));
     }
 
     #[test]

@@ -155,7 +155,11 @@ impl Formula {
     }
 
     /// F6: `P ↔K↔ Q`.
-    pub fn shared_key(p: impl Into<Principal>, k: impl Into<KeyTerm>, q: impl Into<Principal>) -> Self {
+    pub fn shared_key(
+        p: impl Into<Principal>,
+        k: impl Into<KeyTerm>,
+        q: impl Into<Principal>,
+    ) -> Self {
         Formula::SharedKey(p.into(), k.into(), q.into())
     }
 

@@ -111,7 +111,10 @@ mod tests {
         let inner = Message::encrypted(nonce("X"), Key::new("Kb"), s.clone());
         let outer = Message::encrypted(inner, Key::new("Ka"), s.clone());
         let hidden = hide_message(&outer, &keyset(&["Ka"]));
-        assert_eq!(hidden, Message::encrypted(Message::Opaque, Key::new("Ka"), s));
+        assert_eq!(
+            hidden,
+            Message::encrypted(Message::Opaque, Key::new("Ka"), s)
+        );
     }
 
     #[test]

@@ -34,8 +34,8 @@ mod formula;
 mod hide;
 mod message;
 mod name;
-mod subst;
 mod submsgs;
+mod subst;
 
 pub mod parser;
 
@@ -46,8 +46,8 @@ pub use formula::Formula;
 pub use hide::hide_message;
 pub use message::{KeyTerm, Message};
 pub use name::{Key, Name, Nonce, Param, Principal, Prop};
-pub use subst::{Bindings, SubstError};
 pub use submsgs::{
     can_see, is_submsg, said_submsgs, seen_submsgs, seen_submsgs_of_set, submsgs, submsgs_of_set,
     KeySet, MessageSet,
 };
+pub use subst::{Bindings, SubstError};

@@ -482,7 +482,11 @@ mod tests {
     fn ordering_allows_btreeset_membership() {
         let (a, _, k) = abk();
         let mut set = BTreeSet::new();
-        set.insert(Message::encrypted(Message::nonce(Nonce::new("T")), k.clone(), a.clone()));
+        set.insert(Message::encrypted(
+            Message::nonce(Nonce::new("T")),
+            k.clone(),
+            a.clone(),
+        ));
         assert!(set.contains(&Message::encrypted(Message::nonce(Nonce::new("T")), k, a)));
     }
 }

@@ -106,11 +106,11 @@ enum Tok {
     Tilde,
     Amp,
     Pipe,
-    Arrow,     // ->
-    KeyOpen,   // <-
-    MsgOpen,   // <<
-    MsgClose,  // >>
-    Bottom,    // _|_
+    Arrow,    // ->
+    KeyOpen,  // <-
+    MsgOpen,  // <<
+    MsgClose, // >>
+    Bottom,   // _|_
 }
 
 struct Lexer<'a> {

@@ -13,9 +13,9 @@
 
 use crate::run::{Run, RunBuilder};
 use crate::system::System;
+use atl_lang::{seen_submsgs_of_set, Key, Message, Nonce, Principal};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use atl_lang::{seen_submsgs_of_set, Key, Message, Nonce, Principal};
 
 /// Configuration for the random run generator.
 #[derive(Clone, Debug)]
@@ -78,7 +78,12 @@ impl Default for GenConfig {
                 (Principal::new("S"), vec![Key::new("Kas"), Key::new("Kbs")]),
             ],
             env_keys: vec![],
-            key_universe: vec![Key::new("Kas"), Key::new("Kbs"), Key::new("Kab"), Key::new("Ke")],
+            key_universe: vec![
+                Key::new("Kas"),
+                Key::new("Kbs"),
+                Key::new("Kab"),
+                Key::new("Ke"),
+            ],
             nonce_pool: vec![Nonce::new("Na"), Nonce::new("Nb"), Nonce::new("Ts")],
             past_steps: 3,
             present_steps: 6,

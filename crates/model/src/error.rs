@@ -1,11 +1,16 @@
 //! Error types for run construction and protocol execution.
 
+use crate::faults::FaultError;
 use atl_lang::{Message, Principal};
 use std::error::Error;
 use std::fmt;
 
 /// Error produced while building or executing a run.
+///
+/// Marked `#[non_exhaustive]`: downstream matchers must carry a wildcard
+/// arm, so new fault conditions can be added without breaking them.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ModelError {
     /// A `receive` was requested for a message not in the principal's
     /// buffer (restriction 2 would be violated).
@@ -37,6 +42,8 @@ pub enum ModelError {
         /// Description of what it was waiting for.
         waiting_for: String,
     },
+    /// A fault-injection plan was ill-formed (see [`FaultError`]).
+    Fault(FaultError),
 }
 
 impl fmt::Display for ModelError {
@@ -57,11 +64,25 @@ impl fmt::Display for ModelError {
                 principal,
                 waiting_for,
             } => write!(f, "protocol stalled: {principal} waiting for {waiting_for}"),
+            ModelError::Fault(e) => write!(f, "fault plan rejected: {e}"),
         }
     }
 }
 
-impl Error for ModelError {}
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultError> for ModelError {
+    fn from(e: FaultError) -> Self {
+        ModelError::Fault(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -77,5 +98,18 @@ mod tests {
         assert_eq!(e.to_string(), "message X is not buffered for B");
         let e2 = ModelError::MalformedRun("oops".into());
         assert!(e2.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn fault_errors_wrap_with_source() {
+        let inner = FaultError::BadProbability {
+            field: "drop",
+            value: "2".into(),
+        };
+        let e: ModelError = inner.clone().into();
+        assert!(e.to_string().contains("fault plan rejected"));
+        let source = Error::source(&e).expect("fault variant carries a source");
+        assert_eq!(source.to_string(), inner.to_string());
+        assert!(Error::source(&ModelError::MalformedRun("x".into())).is_none());
     }
 }

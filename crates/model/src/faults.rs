@@ -1,0 +1,384 @@
+//! Deterministic fault injection for protocol execution.
+//!
+//! The paper's environment (Section 5) is an adversary: it buffers every
+//! message and may deliver, withhold, duplicate, or replay traffic at
+//! will. A [`FaultPlan`] makes that adversary concrete and reproducible:
+//! seeded by a `u64`, it decides per send whether the message is dropped,
+//! duplicated, delayed, reordered, or answered with a replay, and it can
+//! hand the environment a compromised key at a chosen time. Every fault is
+//! realized through the checked [`RunBuilder`](crate::run::RunBuilder)
+//! operations, so a faulted run still satisfies restrictions 1–5 and
+//! passes [`validate_run`](crate::validate::validate_run):
+//!
+//! - **drop** — the buffered copy is never delivered (no receive occurs);
+//! - **duplicate** — the sender retransmits, buffering a second copy;
+//! - **delay / reorder** — delivery of the copy is withheld for a number
+//!   of scheduler rounds, letting later traffic overtake it;
+//! - **replay** — the environment re-sends a message (or visible
+//!   submessage) it has seen, which restriction 3 permits;
+//! - **compromise** — the environment performs `newkey` for the target
+//!   key at the scheduled time (key sets only grow, restriction 1).
+//!
+//! The executor returns an [`ExecReport`] describing exactly which faults
+//! were applied and how the roles degraded (retransmissions performed,
+//! expect steps abandoned), so analyses can correlate belief loss with
+//! injected failures.
+
+use atl_lang::{Key, Principal};
+use std::error::Error;
+use std::fmt;
+
+/// A deterministic, seedable plan of faults to inject during execution.
+///
+/// Probabilities are per qualifying send event and must lie in `[0, 1]`.
+/// The same plan applied to the same protocol and options always yields
+/// the same run.
+///
+/// # Examples
+///
+/// ```
+/// use atl_model::FaultPlan;
+/// let plan = FaultPlan::new(7)
+///     .drop(0.25)
+///     .duplicate(0.1)
+///     .compromise("Kab", 2);
+/// assert!(plan.validate().is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault decision stream.
+    pub seed: u64,
+    /// Probability that a sent message is never delivered.
+    pub drop_p: f64,
+    /// Probability that a sent message is retransmitted by its sender.
+    pub duplicate_p: f64,
+    /// Probability that delivery of a sent message is withheld for
+    /// [`delay_rounds`](Self::delay_rounds) scheduler rounds.
+    pub delay_p: f64,
+    /// How long a delayed message is withheld, in scheduler rounds.
+    pub delay_rounds: u32,
+    /// Probability that a sent message is withheld just long enough for
+    /// later traffic to overtake it.
+    pub reorder_p: f64,
+    /// Probability that a send is followed by the environment replaying
+    /// previously seen material at the same recipient. Any positive value
+    /// makes the environment tap the channel (it receives a copy of every
+    /// send) so it has material to replay.
+    pub replay_p: f64,
+    /// Keys the environment learns (`newkey`) at the paired run time.
+    pub compromises: Vec<(Key, i64)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing, with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            delay_p: 0.0,
+            delay_rounds: 2,
+            reorder_p: 0.0,
+            replay_p: 0.0,
+            compromises: Vec::new(),
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn drop(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Sets the delay probability and the withholding duration in
+    /// scheduler rounds.
+    pub fn delay(mut self, p: f64, rounds: u32) -> Self {
+        self.delay_p = p;
+        self.delay_rounds = rounds;
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn reorder(mut self, p: f64) -> Self {
+        self.reorder_p = p;
+        self
+    }
+
+    /// Sets the replay probability (implies channel tapping when positive).
+    pub fn replay(mut self, p: f64) -> Self {
+        self.replay_p = p;
+        self
+    }
+
+    /// Schedules the environment to learn `key` at run time `time`.
+    pub fn compromise(mut self, key: impl Into<Key>, time: i64) -> Self {
+        self.compromises.push((key.into(), time));
+        self
+    }
+
+    /// True if the plan can inject at least one fault.
+    pub fn is_active(&self) -> bool {
+        self.drop_p > 0.0
+            || self.duplicate_p > 0.0
+            || self.delay_p > 0.0
+            || self.reorder_p > 0.0
+            || self.replay_p > 0.0
+            || !self.compromises.is_empty()
+    }
+
+    /// Checks that probabilities are well-formed.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::BadProbability`] if any probability is outside
+    /// `[0, 1]` or not a number; [`FaultError::BadDelay`] if delays are
+    /// enabled with a zero-round duration.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let fields = [
+            ("drop", self.drop_p),
+            ("duplicate", self.duplicate_p),
+            ("delay", self.delay_p),
+            ("reorder", self.reorder_p),
+            ("replay", self.replay_p),
+        ];
+        for (field, value) in fields {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultError::BadProbability {
+                    field,
+                    value: format!("{value}"),
+                });
+            }
+        }
+        if self.delay_p > 0.0 && self.delay_rounds == 0 {
+            return Err(FaultError::BadDelay { rounds: 0 });
+        }
+        Ok(())
+    }
+}
+
+/// An ill-formed [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A probability field is outside `[0, 1]` (rendered as text so the
+    /// error stays `Eq`-comparable).
+    BadProbability {
+        /// Which probability field is bad.
+        field: &'static str,
+        /// The offending value, rendered.
+        value: String,
+    },
+    /// Delays are enabled but the withholding duration is zero rounds.
+    BadDelay {
+        /// The offending duration.
+        rounds: u32,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::BadProbability { field, value } => {
+                write!(f, "{field} probability {value} is not in [0, 1]")
+            }
+            FaultError::BadDelay { rounds } => {
+                write!(f, "delay of {rounds} rounds cannot be applied")
+            }
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+/// The kind of a fault the executor applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// A message was suppressed and never delivered.
+    Drop,
+    /// A message was retransmitted by its sender.
+    Duplicate,
+    /// Delivery of a message was withheld for a fixed number of rounds.
+    Delay,
+    /// Delivery of a message was withheld so later traffic overtakes it.
+    Reorder,
+    /// The environment re-sent previously seen material.
+    Replay,
+    /// The environment learned a key.
+    Compromise,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Delay => "delay",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Replay => "replay",
+            FaultKind::Compromise => "compromise",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One fault the executor applied, located in run time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The run time at which the fault took effect.
+    pub time: i64,
+    /// What kind of fault it was.
+    pub kind: FaultKind,
+    /// Human-readable details (message, recipient, key…).
+    pub detail: String,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={} {}: {}", self.time, self.kind, self.detail)
+    }
+}
+
+/// An expect step a role gave up on instead of stalling the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbandonedStep {
+    /// The degrading role.
+    pub principal: Principal,
+    /// The index of the abandoned step in the role's script.
+    pub step_index: usize,
+    /// What the role was waiting for.
+    pub detail: String,
+}
+
+impl fmt::Display for AbandonedStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} abandoned step {} ({})",
+            self.principal, self.step_index, self.detail
+        )
+    }
+}
+
+/// What happened while executing a (possibly faulted) run: the faults
+/// applied, the retransmissions performed by degrading roles, and the
+/// expect steps abandoned on timeout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Faults applied, in order of application.
+    pub faults: Vec<FaultEvent>,
+    /// Retransmissions performed by roles under a resend policy.
+    pub retries: u32,
+    /// Expect steps abandoned under a skip (or exhausted-resend) policy.
+    pub abandoned: Vec<AbandonedStep>,
+    /// Scheduler rounds the executor ran.
+    pub rounds: u32,
+}
+
+impl ExecReport {
+    /// True if the run deviated from the clean interleaving in any way.
+    pub fn degraded(&self) -> bool {
+        !self.faults.is_empty() || self.retries > 0 || !self.abandoned.is_empty()
+    }
+
+    /// The faults of one kind, in application order.
+    pub fn faults_of(&self, kind: FaultKind) -> impl Iterator<Item = &FaultEvent> {
+        self.faults.iter().filter(move |f| f.kind == kind)
+    }
+}
+
+impl fmt::Display for ExecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} fault(s), {} retransmission(s), {} step(s) abandoned, {} round(s)",
+            self.faults.len(),
+            self.retries,
+            self.abandoned.len(),
+            self.rounds
+        )?;
+        for fault in &self.faults {
+            writeln!(f, "  fault    {fault}")?;
+        }
+        for a in &self.abandoned {
+            writeln!(f, "  degraded {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_accumulates() {
+        let plan = FaultPlan::new(9)
+            .drop(0.5)
+            .duplicate(0.25)
+            .delay(0.1, 3)
+            .reorder(0.2)
+            .replay(0.3)
+            .compromise("Kab", 2)
+            .compromise("Kas", -1);
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.delay_rounds, 3);
+        assert_eq!(plan.compromises.len(), 2);
+        assert!(plan.is_active());
+        assert!(plan.validate().is_ok());
+        assert!(!FaultPlan::new(0).is_active());
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let e = FaultPlan::new(0).drop(1.5).validate().unwrap_err();
+        assert!(matches!(
+            e,
+            FaultError::BadProbability { field: "drop", .. }
+        ));
+        assert!(e.to_string().contains("1.5"));
+        let e = FaultPlan::new(0).replay(-0.1).validate().unwrap_err();
+        assert!(matches!(
+            e,
+            FaultError::BadProbability {
+                field: "replay",
+                ..
+            }
+        ));
+        let e = FaultPlan::new(0).delay(0.5, 0).validate().unwrap_err();
+        assert!(matches!(e, FaultError::BadDelay { rounds: 0 }));
+        let e = FaultPlan::new(0)
+            .duplicate(f64::NAN)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(e, FaultError::BadProbability { .. }));
+    }
+
+    #[test]
+    fn report_degradation_and_filtering() {
+        let mut report = ExecReport::default();
+        assert!(!report.degraded());
+        report.faults.push(FaultEvent {
+            time: 0,
+            kind: FaultKind::Drop,
+            detail: "X for B".into(),
+        });
+        report.faults.push(FaultEvent {
+            time: 1,
+            kind: FaultKind::Compromise,
+            detail: "Kab".into(),
+        });
+        assert!(report.degraded());
+        assert_eq!(report.faults_of(FaultKind::Drop).count(), 1);
+        assert_eq!(report.faults_of(FaultKind::Replay).count(), 0);
+        let shown = report.to_string();
+        assert!(shown.contains("2 fault(s)"));
+        assert!(shown.contains("compromise"));
+    }
+}

@@ -32,6 +32,7 @@ mod action;
 mod adversary;
 mod error;
 mod executor;
+mod faults;
 mod protocol;
 mod run;
 mod state;
@@ -42,8 +43,12 @@ mod validate;
 pub use action::{Action, Event};
 pub use adversary::{random_run, random_system, GenConfig};
 pub use error::ModelError;
-pub use executor::{execute, execute_schedules, rotation_schedules, ExecOptions};
-pub use protocol::{MsgPattern, Protocol, Role, RoleStep};
+pub use executor::{
+    execute, execute_fault_suite, execute_schedules, execute_with_faults, execute_with_report,
+    rotation_schedules, ExecOptions,
+};
+pub use faults::{AbandonedStep, ExecReport, FaultError, FaultEvent, FaultKind, FaultPlan};
+pub use protocol::{ExpectPolicy, MsgPattern, OnTimeout, Protocol, Role, RoleStep};
 pub use run::{final_env, Run, RunBuilder, SendRecord};
 pub use state::{EnvState, GlobalState, LocalState};
 pub use system::{Interpretation, Point, System};

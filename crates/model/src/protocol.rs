@@ -27,11 +27,71 @@ impl MsgPattern {
     }
 }
 
+/// What a role does when an expected message has not arrived within its
+/// patience (see [`ExpectPolicy`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OnTimeout {
+    /// Keep waiting forever; execution stalls if the message never comes
+    /// (the classic behavior).
+    #[default]
+    Stall,
+    /// Abandon the expect step and continue with the rest of the script.
+    Skip,
+    /// Retransmit the role's most recent send and wait again, up to
+    /// `max_retries` times; once exhausted, abandon the step as with
+    /// [`OnTimeout::Skip`].
+    Resend {
+        /// How many retransmissions to attempt before giving up.
+        max_retries: u32,
+    },
+}
+
+/// Timeout/retry policy attached to an expect step, letting a role degrade
+/// gracefully instead of stalling the whole run when traffic is lost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExpectPolicy {
+    /// Scheduler rounds to wait for a matching message before
+    /// [`on_timeout`](Self::on_timeout) applies. `None` waits forever.
+    pub patience: Option<u32>,
+    /// What to do when patience runs out.
+    pub on_timeout: OnTimeout,
+}
+
+impl ExpectPolicy {
+    /// Waits forever (the classic stalling behavior).
+    pub fn wait_forever() -> Self {
+        ExpectPolicy::default()
+    }
+
+    /// Abandons the step after `patience` fruitless scheduler rounds.
+    pub fn skip_after(patience: u32) -> Self {
+        ExpectPolicy {
+            patience: Some(patience),
+            on_timeout: OnTimeout::Skip,
+        }
+    }
+
+    /// Retransmits the role's last send after each `patience` fruitless
+    /// scheduler rounds, up to `max_retries` times, then abandons the step.
+    pub fn resend_after(patience: u32, max_retries: u32) -> Self {
+        ExpectPolicy {
+            patience: Some(patience),
+            on_timeout: OnTimeout::Resend { max_retries },
+        }
+    }
+}
+
 /// One step of a role's script.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RoleStep {
-    /// Wait until a matching message is buffered, then receive it.
-    Expect(MsgPattern),
+    /// Wait until a matching message is buffered, then receive it. The
+    /// policy decides how (whether) the role degrades if none arrives.
+    Expect {
+        /// The pattern an incoming message must match.
+        pattern: MsgPattern,
+        /// The timeout/retry policy.
+        policy: ExpectPolicy,
+    },
     /// Send a message.
     Send {
         /// The message to send.
@@ -73,15 +133,33 @@ impl Role {
         self
     }
 
-    /// Appends an expect step for an exact message.
-    pub fn expect(mut self, message: Message) -> Self {
-        self.steps.push(RoleStep::Expect(MsgPattern::Exact(message)));
+    /// Appends an expect step for an exact message, waiting forever.
+    pub fn expect(self, message: Message) -> Self {
+        self.expect_with(message, ExpectPolicy::wait_forever())
+    }
+
+    /// Appends an expect step accepting any message, waiting forever.
+    pub fn expect_any(self) -> Self {
+        self.expect_any_with(ExpectPolicy::wait_forever())
+    }
+
+    /// Appends an expect step for an exact message with a degradation
+    /// policy.
+    pub fn expect_with(mut self, message: Message, policy: ExpectPolicy) -> Self {
+        self.steps.push(RoleStep::Expect {
+            pattern: MsgPattern::Exact(message),
+            policy,
+        });
         self
     }
 
-    /// Appends an expect step accepting any message.
-    pub fn expect_any(mut self) -> Self {
-        self.steps.push(RoleStep::Expect(MsgPattern::Any));
+    /// Appends an expect step accepting any message, with a degradation
+    /// policy.
+    pub fn expect_any_with(mut self, policy: ExpectPolicy) -> Self {
+        self.steps.push(RoleStep::Expect {
+            pattern: MsgPattern::Any,
+            policy,
+        });
         self
     }
 
@@ -159,7 +237,49 @@ mod tests {
             .expect_any();
         assert_eq!(r.steps.len(), 4);
         assert!(matches!(&r.steps[0], RoleStep::NewKey(k) if k == &Key::new("K2")));
-        assert!(matches!(&r.steps[3], RoleStep::Expect(MsgPattern::Any)));
+        assert!(matches!(
+            &r.steps[3],
+            RoleStep::Expect {
+                pattern: MsgPattern::Any,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn expect_policies_attach_to_steps() {
+        let m = Message::nonce(Nonce::new("X"));
+        let r = Role::new("A", [])
+            .expect_with(m.clone(), ExpectPolicy::skip_after(3))
+            .expect_any_with(ExpectPolicy::resend_after(2, 4))
+            .expect(m);
+        assert!(matches!(
+            &r.steps[0],
+            RoleStep::Expect {
+                policy: ExpectPolicy {
+                    patience: Some(3),
+                    on_timeout: OnTimeout::Skip,
+                },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &r.steps[1],
+            RoleStep::Expect {
+                policy: ExpectPolicy {
+                    patience: Some(2),
+                    on_timeout: OnTimeout::Resend { max_retries: 4 },
+                },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &r.steps[2],
+            RoleStep::Expect {
+                policy: ExpectPolicy { patience: None, .. },
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -315,8 +315,7 @@ impl RunBuilder {
         let received = local.received();
         let is_system = self.current.locals.contains_key(actor);
         let said = said_submsgs(message, &local.key_set, &received);
-        let seen_in_received =
-            |m: &Message| received.iter().any(|r| can_see(m, r, &local.key_set));
+        let seen_in_received = |m: &Message| received.iter().any(|r| can_see(m, r, &local.key_set));
         for sub in &said {
             match sub {
                 Message::Encrypted { key, from, .. } => {
@@ -583,8 +582,16 @@ mod tests {
         assert_eq!(run.horizon(), 1);
         assert_eq!(run.times().collect::<Vec<_>>(), vec![-2, -1, 0, 1]);
         // Key acquired at time -2 appears in the state at time -1.
-        assert!(!run.state(-2).unwrap().key_set(&Principal::new("A")).contains(&Key::new("K1")));
-        assert!(run.state(-1).unwrap().key_set(&Principal::new("A")).contains(&Key::new("K1")));
+        assert!(!run
+            .state(-2)
+            .unwrap()
+            .key_set(&Principal::new("A"))
+            .contains(&Key::new("K1")));
+        assert!(run
+            .state(-1)
+            .unwrap()
+            .key_set(&Principal::new("A"))
+            .contains(&Key::new("K1")));
     }
 
     #[test]
@@ -593,12 +600,18 @@ mod tests {
         b.principal("A", []);
         b.principal("B", []);
         b.send("A", nonce("X"), "B").unwrap();
-        assert_eq!(b.current_state().env.buffer(&Principal::new("B")), [nonce("X")]);
+        assert_eq!(
+            b.current_state().env.buffer(&Principal::new("B")),
+            [nonce("X")]
+        );
         b.receive("B", &nonce("X")).unwrap();
         let run = b.build().unwrap();
         let final_state = run.state(run.horizon()).unwrap();
         assert!(final_state.env.buffer(&Principal::new("B")).is_empty());
-        assert!(final_state.local(&Principal::new("B")).received().contains(&nonce("X")));
+        assert!(final_state
+            .local(&Principal::new("B"))
+            .received()
+            .contains(&nonce("X")));
     }
 
     #[test]

@@ -140,9 +140,7 @@ impl GlobalState {
     /// The key set of `p` in this state (environment key set for the
     /// environment principal).
     pub fn key_set(&self, p: &Principal) -> &KeySet {
-        self.locals
-            .get(p)
-            .map_or(&self.env.key_set, |s| &s.key_set)
+        self.locals.get(p).map_or(&self.env.key_set, |s| &s.key_set)
     }
 
     /// The system principals present in this state, in order.

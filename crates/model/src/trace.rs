@@ -131,7 +131,10 @@ pub fn parse_trace(input: &str) -> Result<(Run, Symbols), TraceError> {
                 let Some((param, value)) = rest.split_once('=') else {
                     return Err(err(lineno, "expected `bind PARAM = MESSAGE`"));
                 };
-                pending.push((lineno, format!("bind\u{1}{}\u{1}{}", param.trim(), value.trim())));
+                pending.push((
+                    lineno,
+                    format!("bind\u{1}{}\u{1}{}", param.trim(), value.trim()),
+                ));
             }
             "send" | "recv" | "newkey" => {
                 header_done = true;
@@ -145,12 +148,16 @@ pub fn parse_trace(input: &str) -> Result<(Run, Symbols), TraceError> {
     // Second pass: actions, with the full symbol table.
     for (lineno, line) in pending {
         if let Some(rest) = line.strip_prefix("bind\u{1}") {
-            let (param, value) = rest.split_once('\u{1}').expect("encoded above");
+            let (param, value) = rest
+                .split_once('\u{1}')
+                .ok_or_else(|| err(lineno, "expected `bind PARAM = MESSAGE`"))?;
             let m = parse_message(value, &syms).map_err(|e| err(lineno, e.to_string()))?;
             builder.bind_param(Param::new(param), m);
             continue;
         }
-        let (keyword, rest) = line.split_once(char::is_whitespace).expect("actions have args");
+        let (keyword, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(lineno, format!("`{line}` takes arguments")))?;
         let rest = rest.trim();
         match keyword {
             "send" => {
@@ -160,24 +167,23 @@ pub fn parse_trace(input: &str) -> Result<(Run, Symbols), TraceError> {
                 let Some((from, to)) = route.split_once("->") else {
                     return Err(err(lineno, "send route needs `FROM -> TO`"));
                 };
-                let m = parse_message(message.trim(), &syms)
-                    .map_err(|e| err(lineno, e.to_string()))?;
+                let m =
+                    parse_message(message.trim(), &syms).map_err(|e| err(lineno, e.to_string()))?;
                 builder.send_unchecked(from.trim(), m, to.trim());
             }
             "recv" => {
                 let Some((p, message)) = rest.split_once(':') else {
                     return Err(err(lineno, "recv needs `P : MESSAGE`"));
                 };
-                let m = parse_message(message.trim(), &syms)
-                    .map_err(|e| err(lineno, e.to_string()))?;
+                let m =
+                    parse_message(message.trim(), &syms).map_err(|e| err(lineno, e.to_string()))?;
                 builder
                     .receive(p.trim(), &m)
                     .map_err(|e| err(lineno, e.to_string()))?;
             }
             "newkey" => {
                 let mut parts = rest.split_whitespace();
-                let (Some(p), Some(k), None) = (parts.next(), parts.next(), parts.next())
-                else {
+                let (Some(p), Some(k), None) = (parts.next(), parts.next(), parts.next()) else {
                     return Err(err(lineno, "newkey takes exactly `newkey P K`"));
                 };
                 builder.new_key(p, k);
@@ -198,15 +204,9 @@ pub fn render_trace(run: &Run) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "run start {}", run.start_time());
-    let first = run
-        .state(run.start_time())
-        .expect("first state exists");
+    let first = run.state(run.start_time()).expect("first state exists");
     for p in run.principals() {
-        let keys: Vec<String> = first
-            .key_set(p)
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let keys: Vec<String> = first.key_set(p).iter().map(ToString::to_string).collect();
         let _ = writeln!(out, "principal {p} keys {}", keys.join(" "));
     }
     let env_keys: Vec<String> = first.env.key_set.iter().map(ToString::to_string).collect();
@@ -300,6 +300,13 @@ recv B : {X}Kzz@Env
         assert_eq!(e.line, 1);
         let e2 = parse_trace("run start 0\nprincipal A keys K\nfrobnicate\n").unwrap_err();
         assert_eq!(e2.line, 3);
+    }
+
+    #[test]
+    fn bare_action_keyword_is_an_error_not_a_panic() {
+        let e = parse_trace("run start 0\nprincipal A keys K\nsend\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("takes arguments"));
     }
 
     #[test]

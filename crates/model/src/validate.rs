@@ -119,9 +119,7 @@ fn check_send_restrictions(run: &Run, out: &mut Vec<Violation>) {
         for sub in &said {
             match sub {
                 Message::Encrypted { key, from, .. } => {
-                    let holds = key
-                        .as_key()
-                        .is_some_and(|k| rec.key_set.contains(k));
+                    let holds = key.as_key().is_some_and(|k| rec.key_set.contains(k));
                     let saw = seen.contains(sub);
                     if !holds && !saw {
                         out.push(Violation {
@@ -141,19 +139,17 @@ fn check_send_restrictions(run: &Run, out: &mut Vec<Violation>) {
                     }
                 }
                 Message::Combined { from, .. }
-                    if is_system && from != &rec.sender && !seen.contains(sub) => {
-                        out.push(Violation {
-                            restriction: 4,
-                            time: rec.time,
-                            actor: rec.sender.clone(),
-                            detail: format!("constructed {sub} with foreign from field {from}"),
-                        });
-                    }
+                    if is_system && from != &rec.sender && !seen.contains(sub) =>
+                {
+                    out.push(Violation {
+                        restriction: 4,
+                        time: rec.time,
+                        actor: rec.sender.clone(),
+                        detail: format!("constructed {sub} with foreign from field {from}"),
+                    });
+                }
                 Message::Forwarded(body) => {
-                    let saw_body = rec
-                        .received
-                        .iter()
-                        .any(|r| can_see(body, r, &rec.key_set));
+                    let saw_body = rec.received.iter().any(|r| can_see(body, r, &rec.key_set));
                     if is_system && !saw_body {
                         out.push(Violation {
                             restriction: 5,
@@ -242,7 +238,10 @@ mod tests {
         b.send_unchecked("A", cipher, "B");
         let run = b.build().unwrap();
         let violations = validate_run(&run);
-        assert!(violations.iter().any(|v| v.restriction == 3), "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.restriction == 3),
+            "{violations:?}"
+        );
     }
 
     #[test]
@@ -274,7 +273,10 @@ mod tests {
         b.send_unchecked(env.clone(), Message::forwarded(nonce("X")), "B");
         let run = b.build().unwrap();
         let violations = validate_run(&run);
-        assert!(violations.iter().all(|v| v.restriction != 5), "{violations:?}");
+        assert!(
+            violations.iter().all(|v| v.restriction != 5),
+            "{violations:?}"
+        );
     }
 
     #[test]

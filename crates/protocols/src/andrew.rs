@@ -34,11 +34,7 @@ fn ban_new_key() -> BanStmt {
 /// carrying `A`'s nonce `Na`.
 pub fn ban_protocol(fixed: bool) -> IdealProtocol {
     let payload = if fixed {
-        BanStmt::conj([
-            BanStmt::nonce("Na"),
-            ban_new_key(),
-            BanStmt::nonce("NbP"),
-        ])
+        BanStmt::conj([BanStmt::nonce("Na"), ban_new_key(), BanStmt::nonce("NbP")])
     } else {
         BanStmt::conj([ban_new_key(), BanStmt::nonce("NbP")])
     };
@@ -50,7 +46,10 @@ pub fn ban_protocol(fixed: bool) -> IdealProtocol {
     })
     .assume(BanStmt::believes("A", BanStmt::shared_key("A", "Kab", "B")))
     .assume(BanStmt::believes("B", BanStmt::shared_key("A", "Kab", "B")))
-    .assume(BanStmt::believes("A", BanStmt::controls("B", ban_new_key())))
+    .assume(BanStmt::believes(
+        "A",
+        BanStmt::controls("B", ban_new_key()),
+    ))
     .assume(BanStmt::believes("A", BanStmt::fresh(BanStmt::nonce("Na"))))
     .assume(BanStmt::believes("B", BanStmt::fresh(ban_new_key())))
     .step("B", "A", msg3)
@@ -119,10 +118,7 @@ mod tests {
         let analysis = analyze(&ban_protocol(false));
         let said = BanStmt::believes(
             "A",
-            BanStmt::said(
-                "B",
-                BanStmt::conj([ban_new_key(), BanStmt::nonce("NbP")]),
-            ),
+            BanStmt::said("B", BanStmt::conj([ban_new_key(), BanStmt::nonce("NbP")])),
         );
         assert!(analysis.engine.holds(&said));
         // In the AT version: `A believes B said …` holds but the

@@ -122,7 +122,10 @@ mod tests {
         // A did not even say it in the past (it only relayed the ticket,
         // which it cannot open).
         assert!(!sem
-            .eval(Point::new(0, end), &Formula::said("A", kab().into_message()))
+            .eval(
+                Point::new(0, end),
+                &Formula::said("A", kab().into_message())
+            )
             .unwrap());
         // Yet B saw a handshake naming A under the session key — the raw
         // material of the deception.
@@ -138,10 +141,16 @@ mod tests {
         let (sys, end) = at_end();
         let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
         assert!(sem
-            .eval(Point::new(0, end), &Formula::said("S", kab().into_message()))
+            .eval(
+                Point::new(0, end),
+                &Formula::said("S", kab().into_message())
+            )
             .unwrap());
         assert!(!sem
-            .eval(Point::new(0, end), &Formula::says("S", kab().into_message()))
+            .eval(
+                Point::new(0, end),
+                &Formula::says("S", kab().into_message())
+            )
             .unwrap());
     }
 }

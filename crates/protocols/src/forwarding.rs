@@ -104,9 +104,7 @@ mod tests {
         assert!(sem
             .eval(end, &Formula::said("A", Message::forwarded(certificate())))
             .unwrap());
-        assert!(!sem
-            .eval(end, &Formula::said("A", certificate()))
-            .unwrap());
+        assert!(!sem.eval(end, &Formula::said("A", certificate())).unwrap());
         // S, the author, said the contents.
         assert!(sem
             .eval(end, &Formula::said("S", kab().into_message()))

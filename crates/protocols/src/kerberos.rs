@@ -210,9 +210,14 @@ mod tests {
         assert!(sem
             .eval(end, &Formula::said("S", kab().into_message()))
             .unwrap());
-        assert!(sem.eval(end, &Formula::sees("B", inner_certificate())).unwrap());
         assert!(sem
-            .eval(end, &Formula::believes("B", Formula::sees("B", inner_certificate())))
+            .eval(end, &Formula::sees("B", inner_certificate()))
+            .unwrap());
+        assert!(sem
+            .eval(
+                end,
+                &Formula::believes("B", Formula::sees("B", inner_certificate()))
+            )
             .unwrap());
     }
 

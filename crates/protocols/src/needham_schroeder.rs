@@ -53,16 +53,8 @@ pub fn ban_protocol(with_fresh_kab: bool) -> IdealProtocol {
         "S",
     );
     let msg3 = BanStmt::encrypted(ban_kab(), "Kbs", "S");
-    let msg4 = BanStmt::encrypted(
-        BanStmt::conj([BanStmt::nonce("Nb"), ban_kab()]),
-        "Kab",
-        "B",
-    );
-    let msg5 = BanStmt::encrypted(
-        BanStmt::conj([BanStmt::nonce("Nb"), ban_kab()]),
-        "Kab",
-        "A",
-    );
+    let msg4 = BanStmt::encrypted(BanStmt::conj([BanStmt::nonce("Nb"), ban_kab()]), "Kab", "B");
+    let msg5 = BanStmt::encrypted(BanStmt::conj([BanStmt::nonce("Nb"), ban_kab()]), "Kab", "A");
     let name = if with_fresh_kab {
         "needham-schroeder (BAN)"
     } else {
@@ -156,8 +148,14 @@ pub fn at_protocol(with_fresh_kab: bool) -> AtProtocol {
         .step("A", "B", msg5)
         .goal(Formula::believes("A", kab()))
         .goal(Formula::believes("B", kab()))
-        .goal(Formula::believes("A", Formula::says("B", kab().into_message())))
-        .goal(Formula::believes("B", Formula::says("A", kab().into_message())))
+        .goal(Formula::believes(
+            "A",
+            Formula::says("B", kab().into_message()),
+        ))
+        .goal(Formula::believes(
+            "B",
+            Formula::says("A", kab().into_message()),
+        ))
 }
 
 #[cfg(test)]
@@ -185,10 +183,7 @@ mod tests {
         // also cannot reach the second-level goal.
         assert!(!failed.contains(&&BanStmt::believes("A", ban_kab())));
         assert!(failed.contains(&&BanStmt::believes("B", ban_kab())));
-        assert!(failed.contains(&&BanStmt::believes(
-            "B",
-            BanStmt::believes("A", ban_kab())
-        )));
+        assert!(failed.contains(&&BanStmt::believes("B", BanStmt::believes("A", ban_kab()))));
     }
 
     #[test]

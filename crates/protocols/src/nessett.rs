@@ -63,7 +63,10 @@ pub fn ban_protocol() -> IdealProtocol {
         ),
     ]);
     IdealProtocol::new("nessett (BAN)")
-        .assume(BanStmt::believes("B", BanStmt::shared_key("A", "Kab0", "B")))
+        .assume(BanStmt::believes(
+            "B",
+            BanStmt::shared_key("A", "Kab0", "B"),
+        ))
         .assume(BanStmt::believes("B", BanStmt::fresh(BanStmt::nonce("Na"))))
         .assume(BanStmt::believes("B", BanStmt::controls("A", kab.clone())))
         .step("A", "B", msg)

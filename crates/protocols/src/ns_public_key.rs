@@ -210,9 +210,6 @@ mod tests {
             Formula::sees("B", Message::tuple([na(), Message::principal("A")]))
         )));
         // …but cannot attribute them to anyone.
-        assert!(!prover.holds(&Formula::believes(
-            "B",
-            Formula::said("A", na())
-        )));
+        assert!(!prover.holds(&Formula::believes("B", Formula::said("A", na()))));
     }
 }

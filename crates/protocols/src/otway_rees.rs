@@ -30,16 +30,8 @@ fn ban_kab() -> BanStmt {
 /// carry no beliefs and are omitted; message 3's two certificates are
 /// delivered to their readers).
 pub fn ban_protocol() -> IdealProtocol {
-    let a_cert = BanStmt::encrypted(
-        BanStmt::conj([BanStmt::nonce("Na"), ban_kab()]),
-        "Kas",
-        "S",
-    );
-    let b_cert = BanStmt::encrypted(
-        BanStmt::conj([BanStmt::nonce("Nb"), ban_kab()]),
-        "Kbs",
-        "S",
-    );
+    let a_cert = BanStmt::encrypted(BanStmt::conj([BanStmt::nonce("Na"), ban_kab()]), "Kas", "S");
+    let b_cert = BanStmt::encrypted(BanStmt::conj([BanStmt::nonce("Nb"), ban_kab()]), "Kbs", "S");
     IdealProtocol::new("otway-rees (BAN)")
         .assume(BanStmt::believes("A", BanStmt::shared_key("A", "Kas", "S")))
         .assume(BanStmt::believes("B", BanStmt::shared_key("B", "Kbs", "S")))
@@ -92,7 +84,11 @@ pub fn at_protocol() -> AtProtocol {
         .assume(Formula::believes("B", Formula::fresh(nb)))
         .assume(Formula::has("A", Key::new("Kas")))
         .assume(Formula::has("B", Key::new("Kbs")))
-        .step("S", "B", Message::tuple([b_cert, Message::forwarded(a_cert.clone())]))
+        .step(
+            "S",
+            "B",
+            Message::tuple([b_cert, Message::forwarded(a_cert.clone())]),
+        )
         .step("B", "A", Message::forwarded(a_cert))
         .goal(Formula::believes("A", kab()))
         .goal(Formula::believes("B", kab()))
@@ -132,10 +128,7 @@ mod tests {
             "B",
             Formula::sees(
                 "B",
-                Message::tuple([
-                    Message::nonce(Nonce::new("Na")),
-                    kab().into_message(),
-                ]),
+                Message::tuple([Message::nonce(Nonce::new("Na")), kab().into_message()]),
             ),
         );
         assert!(!analysis.prover.holds(&leak));

@@ -108,16 +108,14 @@ mod tests {
         // field is A, so message meaning only ever names A itself.
         let analysis = analyze_at(&reflected_at_protocol());
         assert!(!analysis.succeeded());
-        assert!(!analysis.prover.holds(&Formula::believes(
-            "A",
-            Formula::said("B", na())
-        )));
+        assert!(!analysis
+            .prover
+            .holds(&Formula::believes("A", Formula::said("B", na()))));
         // What A can conclude is the harmless truth that A itself once
         // said Na.
-        assert!(analysis.prover.holds(&Formula::believes(
-            "A",
-            Formula::said("A", na())
-        )));
+        assert!(analysis
+            .prover
+            .holds(&Formula::believes("A", Formula::said("A", na()))));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! outcomes into a table — the executable counterpart of BAN89's
 //! protocol-comparison discussion, reproducing each published finding.
 
-use crate::{andrew, kerberos, needham_schroeder, nessett, otway_rees, wide_mouthed_frog, x509, yahalom};
+use crate::{
+    andrew, kerberos, needham_schroeder, nessett, otway_rees, wide_mouthed_frog, x509, yahalom,
+};
 use atl_ban::analyze;
 use atl_core::annotate::analyze_at;
 use std::fmt;

@@ -35,16 +35,9 @@ fn ban_kab() -> BanStmt {
 /// 2. S → B : {Ts, A believes (A ↔Kab↔ B)}Kbs
 /// ```
 pub fn ban_protocol() -> IdealProtocol {
-    let msg1 = BanStmt::encrypted(
-        BanStmt::conj([BanStmt::nonce("Ta"), ban_kab()]),
-        "Kas",
-        "A",
-    );
+    let msg1 = BanStmt::encrypted(BanStmt::conj([BanStmt::nonce("Ta"), ban_kab()]), "Kas", "A");
     let msg2 = BanStmt::encrypted(
-        BanStmt::conj([
-            BanStmt::nonce("Ts"),
-            BanStmt::believes("A", ban_kab()),
-        ]),
+        BanStmt::conj([BanStmt::nonce("Ts"), BanStmt::believes("A", ban_kab())]),
         "Kbs",
         "S",
     );
@@ -161,10 +154,7 @@ mod tests {
     fn at_freshness_of_ts_is_load_bearing() {
         let mut proto = at_protocol();
         proto.assumptions.retain(|a| {
-            a != &Formula::believes(
-                "B",
-                Formula::fresh(Message::nonce(Nonce::new("Ts"))),
-            )
+            a != &Formula::believes("B", Formula::fresh(Message::nonce(Nonce::new("Ts"))))
         });
         assert!(!analyze_at(&proto).succeeded());
     }

@@ -45,9 +45,10 @@ pub fn ban_protocol(with_timestamp: bool) -> IdealProtocol {
     if with_timestamp {
         proto = proto.assume(BanStmt::believes("B", BanStmt::fresh(BanStmt::nonce("Ta"))));
     }
-    proto
-        .step("A", "B", msg)
-        .goal(BanStmt::believes("B", BanStmt::believes("A", ban_payload())))
+    proto.step("A", "B", msg).goal(BanStmt::believes(
+        "B",
+        BanStmt::believes("A", ban_payload()),
+    ))
 }
 
 /// The one-message protocol in the reformulated logic. The goal is the
@@ -147,10 +148,9 @@ mod tests {
         let flawed = analyze_at(&at_protocol_signed(false));
         assert!(!flawed.succeeded());
         // Timeless authorship still derives (A22 without freshness):
-        assert!(flawed.prover.holds(&Formula::believes(
-            "B",
-            Formula::said("A", payload())
-        )));
+        assert!(flawed
+            .prover
+            .holds(&Formula::believes("B", Formula::said("A", payload()))));
     }
 
     #[test]
@@ -160,9 +160,8 @@ mod tests {
         assert!(!analyze(&ban_protocol(false)).succeeded());
         let at = analyze_at(&at_protocol(false));
         assert!(!at.succeeded());
-        assert!(at.prover.holds(&Formula::believes(
-            "B",
-            Formula::said("A", payload())
-        )));
+        assert!(at
+            .prover
+            .holds(&Formula::believes("B", Formula::said("A", payload()))));
     }
 }

@@ -105,10 +105,7 @@ pub fn at_protocol(with_acquisition: bool) -> AtProtocol {
     proto
         .goal(Formula::believes("A", kab()))
         .goal(Formula::believes("B", kab()))
-        .goal(Formula::believes(
-            "B",
-            Formula::says("A", nb()),
-        ))
+        .goal(Formula::believes("B", Formula::says("A", nb())))
 }
 
 #[cfg(test)]

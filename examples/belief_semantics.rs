@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b.principal("B", [Key::new("Kab")]);
         let env = Principal::environment();
         b.new_key(env.clone(), "Kab"); // the environment stumbles on Kab
-        let c = Message::encrypted(Message::nonce(Nonce::new("X")), Key::new("Kab"), env.clone());
+        let c = Message::encrypted(
+            Message::nonce(Nonce::new("X")),
+            Key::new("Kab"),
+            env.clone(),
+        );
         b.send(env, c.clone(), "B")?;
         b.receive("B", &c)?;
         b.build()?
@@ -90,9 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         witness.get(&Principal::new("P1")),
         witness.get(&Principal::new("P3"))
     );
-    println!(
-        "(runs: {HEADS_RUN} = heads, {TAILS_RUN} = tails)"
-    );
+    println!("(runs: {HEADS_RUN} = heads, {TAILS_RUN} = tails)");
     println!("\neither G_P1 may keep the tails run, or G_P3 the heads run — never");
     println!("both: there is no maximum supporting vector, exactly as Section 7 argues.");
     Ok(())

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "concrete execution: {} events, {} sends, restrictions 1-5: {}",
         run.times().count() - 1,
         run.send_records().len(),
-        if violations.is_empty() { "all satisfied" } else { "VIOLATED" },
+        if violations.is_empty() {
+            "all satisfied"
+        } else {
+            "VIOLATED"
+        },
     );
 
     // --- The semantics (Section 6) agrees with the derivations.

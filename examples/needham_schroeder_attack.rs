@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nattack run: times {}..={}, restrictions: {}",
         run.start_time(),
         run.horizon(),
-        if validate_run(&run).is_empty() { "all satisfied" } else { "VIOLATED" }
+        if validate_run(&run).is_empty() {
+            "all satisfied"
+        } else {
+            "VIOLATED"
+        }
     );
     for (t, event) in run.events() {
         let epoch = if t < 0 { "past   " } else { "present" };
@@ -52,10 +56,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kab = needham_schroeder::kab();
     println!("\nsemantic verdicts at the end of the attack:");
     let verdicts = [
-        ("the ticket's key statement is fresh", Formula::fresh(kab.clone().into_message())),
+        (
+            "the ticket's key statement is fresh",
+            Formula::fresh(kab.clone().into_message()),
+        ),
         ("A<->Kab<->B is a good key", kab.clone()),
-        ("A recently vouched for the key", Formula::says("A", kab.clone().into_message())),
-        ("S did once say the key was good", Formula::said("S", kab.into_message())),
+        (
+            "A recently vouched for the key",
+            Formula::says("A", kab.clone().into_message()),
+        ),
+        (
+            "S did once say the key was good",
+            Formula::said("S", kab.into_message()),
+        ),
         (
             "B saw a handshake apparently from A",
             Formula::sees(
@@ -74,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, f) in verdicts {
         println!(
             "  [{}] {label}",
-            if sem.eval(Point::new(0, end), &f)? { "true " } else { "false" }
+            if sem.eval(Point::new(0, end), &f)? {
+                "true "
+            } else {
+                "false"
+            }
         );
     }
     println!("\nB's deception: it saw a fresh-looking handshake, but the key is");

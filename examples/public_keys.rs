@@ -20,11 +20,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flawed = analyze_at(&x509::at_protocol_signed(false));
     println!(
         "with a live timestamp : {}",
-        if good.succeeded() { "B believes A says Xa  [ok]" } else { "FAILED" }
+        if good.succeeded() {
+            "B believes A says Xa  [ok]"
+        } else {
+            "FAILED"
+        }
     );
     println!(
         "with a zero timestamp : {} (the CCITT flaw — only timeless `said` remains)",
-        if flawed.succeeded() { "??" } else { "recency underivable" }
+        if flawed.succeeded() {
+            "??"
+        } else {
+            "recency underivable"
+        }
     );
 
     println!("\n== Part 2: Lowe's man-in-the-middle on NS public key ==\n");
@@ -32,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "attack run: {} steps, restrictions 1-5: {}",
         attack.events().count(),
-        if validate_run(&attack).is_empty() { "all satisfied" } else { "VIOLATED" }
+        if validate_run(&attack).is_empty() {
+            "all satisfied"
+        } else {
+            "VIOLATED"
+        }
     );
     for (t, event) in attack.events() {
         println!("  [t={t:>2}] {event}");

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    Kerberos fragment (Figure 1 of the paper).
     let protocol = AtProtocol::new("quickstart")
         .assume(parse_formula("B believes (B <-Kbs-> S)", &syms)?)
-        .assume(parse_formula("B believes (S controls (A <-Kab-> B))", &syms)?)
+        .assume(parse_formula(
+            "B believes (S controls (A <-Kab-> B))",
+            &syms,
+        )?)
         .assume(parse_formula("B believes fresh(Ts)", &syms)?)
         .assume(parse_formula("B has Kbs", &syms)?)
         .step("A", "B", certificate)
@@ -36,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "analysis of `{}` {} — {} facts derived",
         protocol.name,
-        if analysis.succeeded() { "succeeded" } else { "FAILED" },
+        if analysis.succeeded() {
+            "succeeded"
+        } else {
+            "FAILED"
+        },
         analysis.prover.facts().len(),
     );
 
@@ -46,7 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut depth = 0;
     while let Some(f) = frontier.pop() {
         if let Some(step) = analysis.prover.derivation_of(&f) {
-            println!("  {:indent$}{} [{}]", "", step.conclusion, step.rule, indent = depth);
+            println!(
+                "  {:indent$}{} [{}]",
+                "",
+                step.conclusion,
+                step.rule,
+                indent = depth
+            );
             frontier.extend(step.premises.iter().cloned());
             depth += 2;
         }

@@ -8,6 +8,12 @@
 //! atl proof nonce-verification
 //! atl check-run <trace.run>     audit a run against restrictions 1-5
 //! atl eval <trace.run> <formula> [time]   evaluate a formula on the run
+//! atl inject <spec.atl> [--seed N] [--drop P] [--dup P] [--delay P[:R]]
+//!            [--reorder P] [--replay P] [--compromise K@T] [--patience N]
+//!            [--retries N] [--public] [--emit-trace FILE]
+//!     execute the protocol under a fault plan, audit the faulted run
+//!     against restrictions 1-5, and report which annotation-procedure
+//!     beliefs survive the degradation
 //! ```
 
 use atl::core::annotate::analyze_at;
@@ -27,9 +33,10 @@ fn main() -> ExitCode {
         Some("proof") => cmd_proof(args.get(1)),
         Some("check-run") => cmd_check_run(args.get(1)),
         Some("eval") => cmd_eval(args.get(1), args.get(2), args.get(3)),
+        Some("inject") => cmd_inject(&args[1..]),
         _ => {
             eprintln!(
-                "usage: atl <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME]>"
+                "usage: atl <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS]>"
             );
             return ExitCode::from(2);
         }
@@ -147,6 +154,233 @@ fn cmd_eval(
     let verdict = sem.eval(Point::new(0, k), &phi)?;
     println!("at (run 0, time {k}): {phi} = {verdict}");
     Ok(verdict)
+}
+
+/// Parsed flags for `atl inject`.
+struct InjectFlags {
+    path: Option<String>,
+    plan: atl::model::FaultPlan,
+    patience: u32,
+    retries: u32,
+    public: bool,
+    emit_trace: Option<String>,
+}
+
+fn parse_inject_flags(args: &[String]) -> Result<InjectFlags, Box<dyn std::error::Error>> {
+    use atl::model::FaultPlan;
+    let mut flags = InjectFlags {
+        path: None,
+        plan: FaultPlan::new(0),
+        patience: 6,
+        retries: 2,
+        public: false,
+        emit_trace: None,
+    };
+    fn need<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+        it.next()
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    }
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => flags.plan.seed = need(&mut it, "--seed")?.parse()?,
+            "--drop" => flags.plan = flags.plan.drop(need(&mut it, "--drop")?.parse()?),
+            "--dup" => flags.plan = flags.plan.duplicate(need(&mut it, "--dup")?.parse()?),
+            "--delay" => {
+                let v = need(&mut it, "--delay")?;
+                let (p, rounds) = match v.split_once(':') {
+                    Some((p, r)) => (p.parse()?, r.parse()?),
+                    None => (v.parse()?, 2),
+                };
+                flags.plan = flags.plan.delay(p, rounds);
+            }
+            "--reorder" => flags.plan = flags.plan.reorder(need(&mut it, "--reorder")?.parse()?),
+            "--replay" => flags.plan = flags.plan.replay(need(&mut it, "--replay")?.parse()?),
+            "--compromise" => {
+                let v = need(&mut it, "--compromise")?;
+                let (key, t) = v
+                    .split_once('@')
+                    .ok_or("--compromise takes KEY@TIME, e.g. Kab@2")?;
+                flags.plan = flags.plan.compromise(Key::new(key), t.parse()?);
+            }
+            "--patience" => flags.patience = need(&mut it, "--patience")?.parse()?,
+            "--retries" => flags.retries = need(&mut it, "--retries")?.parse()?,
+            "--public" => flags.public = true,
+            "--emit-trace" => flags.emit_trace = Some(need(&mut it, "--emit-trace")?.to_string()),
+            other if !other.starts_with("--") && flags.path.is_none() => {
+                flags.path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    Ok(flags)
+}
+
+/// Does `f` mention the key `k` anywhere (directly or inside a message)?
+fn formula_mentions_key(f: &Formula, k: &Key) -> bool {
+    let kt = |t: &KeyTerm| matches!(t, KeyTerm::Key(key) if key == k || &key.inverse() == k);
+    match f {
+        Formula::Prop(_) | Formula::True => false,
+        Formula::Not(g) => formula_mentions_key(g, k),
+        Formula::And(a, b) => formula_mentions_key(a, k) || formula_mentions_key(b, k),
+        Formula::Believes(_, g) | Formula::Controls(_, g) => formula_mentions_key(g, k),
+        Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) | Formula::Fresh(m) => {
+            message_mentions_key(m, k)
+        }
+        Formula::SharedSecret(_, m, _) => message_mentions_key(m, k),
+        Formula::SharedKey(_, t, _) | Formula::Has(_, t) | Formula::PublicKey(t, _) => kt(t),
+    }
+}
+
+fn message_mentions_key(m: &Message, k: &Key) -> bool {
+    let kt = |t: &KeyTerm| matches!(t, KeyTerm::Key(key) if key == k || &key.inverse() == k);
+    match m {
+        Message::Key(key) => key == k,
+        Message::Formula(f) => formula_mentions_key(f, k),
+        Message::Tuple(items) => items.iter().any(|i| message_mentions_key(i, k)),
+        Message::Encrypted { body, key, .. }
+        | Message::Signed { body, key, .. }
+        | Message::PubEncrypted { body, key, .. } => kt(key) || message_mentions_key(body, k),
+        Message::Combined { body, secret, .. } => {
+            message_mentions_key(body, k) || message_mentions_key(secret, k)
+        }
+        Message::Forwarded(body) => message_mentions_key(body, k),
+        _ => false,
+    }
+}
+
+fn cmd_inject(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    use atl::core::annotate::AtStep;
+    use atl::core::enact::{enact_with, EnactOptions};
+    use atl::model::{execute_with_faults, Action, ExecOptions, ExpectPolicy};
+
+    let flags = parse_inject_flags(args)?;
+    let (at, _syms) = parse_spec(&load(flags.path.as_ref())?)?;
+    let policy = if flags.retries > 0 {
+        ExpectPolicy::resend_after(flags.patience, flags.retries)
+    } else {
+        ExpectPolicy::skip_after(flags.patience)
+    };
+    let proto = enact_with(
+        &at,
+        EnactOptions {
+            expect_policy: policy,
+        },
+    );
+    let opts = ExecOptions {
+        public_channel: flags.public,
+        ..ExecOptions::default()
+    };
+    let (run, report) = execute_with_faults(&proto, &opts, &flags.plan)?;
+
+    println!(
+        "protocol {}: {} roles, seed {}",
+        at.name,
+        proto.roles().len(),
+        flags.plan.seed
+    );
+    println!(
+        "execution: {} rounds, times {}..={}, {} sends, {} retransmissions",
+        report.rounds,
+        run.start_time(),
+        run.horizon(),
+        run.send_records().len(),
+        report.retries
+    );
+    if report.faults.is_empty() {
+        println!("faults injected: none");
+    } else {
+        println!("faults injected:");
+        for f in &report.faults {
+            println!("  t={} {}: {}", f.time, f.kind, f.detail);
+        }
+    }
+    for a in &report.abandoned {
+        println!(
+            "  !! {} abandoned step {}: {}",
+            a.principal, a.step_index, a.detail
+        );
+    }
+
+    let violations = atl::model::validate_run(&run);
+    if violations.is_empty() {
+        println!("audit: restrictions 1-5 all satisfied by the faulted run");
+    } else {
+        for v in &violations {
+            println!("  !! {v}");
+        }
+    }
+    if let Some(path) = &flags.emit_trace {
+        std::fs::write(path, atl::model::render_trace(&run))?;
+        println!("trace written to {path}");
+    }
+
+    // Belief survival: re-run the annotation procedure over only the
+    // steps whose messages were actually delivered in the faulted run.
+    let delivered = |to: &Principal, m: &Message| {
+        *to == Principal::environment()
+            || run.events().any(|(_, e)| {
+                e.actor == *to && matches!(&e.action, Action::Receive { message } if message == m)
+            })
+    };
+    let mut degraded = at.clone();
+    degraded.steps = at
+        .steps
+        .iter()
+        .filter(|s| match s {
+            AtStep::Send { to, message, .. } => delivered(to, message),
+            AtStep::NewKey { .. } => true,
+        })
+        .cloned()
+        .collect();
+    let sends = |steps: &[AtStep]| {
+        steps
+            .iter()
+            .filter(|s| matches!(s, AtStep::Send { .. }))
+            .count()
+    };
+    let dropped_steps = sends(&at.steps) - sends(&degraded.steps);
+    let baseline = analyze_at(&at);
+    let after = analyze_at(&degraded);
+    println!(
+        "beliefs: {} of {} idealized messages delivered",
+        sends(&degraded.steps),
+        sends(&at.steps)
+    );
+    let mut lost = 0;
+    for ((goal, base_ok), (_, now_ok)) in baseline.goals.iter().zip(&after.goals) {
+        let tag = match (base_ok, now_ok) {
+            (true, true) => "survives",
+            (true, false) => {
+                lost += 1;
+                "degraded"
+            }
+            (false, _) => "unproven",
+        };
+        println!("  [{tag}] {goal}");
+        for (key, t) in &flags.plan.compromises {
+            if formula_mentions_key(goal, key) {
+                println!(
+                    "      note: mentions {key}, compromised at t={t} — the \
+                     environment holds this key from then on"
+                );
+            }
+        }
+    }
+    if dropped_steps == 0 && lost == 0 && violations.is_empty() {
+        println!("verdict: run well-formed; all idealized beliefs survive this plan");
+    } else {
+        println!(
+            "verdict: run {}; {lost} belief(s) degraded, {dropped_steps} message(s) undelivered",
+            if violations.is_empty() {
+                "well-formed"
+            } else {
+                "ILL-FORMED"
+            }
+        );
+    }
+    Ok(violations.is_empty())
 }
 
 fn cmd_proof(which: Option<&String>) -> Result<bool, Box<dyn std::error::Error>> {

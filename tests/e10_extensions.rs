@@ -15,11 +15,7 @@ fn parameterized_system() -> System {
         b.principal("A", [Key::new("Kas")]);
         b.principal("S", [Key::new("Kas"), Key::new(concrete)]);
         b.bind_param(Param::new("Kab"), Message::Key(Key::new(concrete)));
-        let cipher = Message::encrypted(
-            Message::key(Key::new(concrete)),
-            Key::new("Kas"),
-            "S",
-        );
+        let cipher = Message::encrypted(Message::key(Key::new(concrete)), Key::new("Kas"), "S");
         b.send("S", cipher.clone(), "A").unwrap();
         b.receive("A", &cipher).unwrap();
         b.new_key("A", concrete);
@@ -62,10 +58,7 @@ fn quantified_trust_expands_and_derives() {
     // expands over the key universe and lets the Figure 1 proof go
     // through for whichever key the server picks.
     let domain = [Key::new("K9"), Key::new("K17")];
-    let body = Formula::controls(
-        "S",
-        Formula::shared_key("A", Param::new("K"), "B"),
-    );
+    let body = Formula::controls("S", Formula::shared_key("A", Param::new("K"), "B"));
     let trust = forall_keys(&Param::new("K"), domain.clone(), &body).unwrap();
 
     for picked in domain {

@@ -59,11 +59,7 @@ fn render_parse_roundtrip_for_all_shipped_specs() {
         "andrew_flawed.atl",
     ] {
         let (proto, _) = parse_spec(&spec(name)).unwrap();
-        let rendered = render_spec(
-            &proto,
-            &["A", "B", "S"],
-            &["Kab", "Kas", "Kbs", "KabNew"],
-        );
+        let rendered = render_spec(&proto, &["A", "B", "S"], &["Kab", "Kas", "Kbs", "KabNew"]);
         let (again, _) = parse_spec(&rendered).unwrap();
         assert_eq!(proto, again, "roundtrip failed for {name}");
     }
@@ -198,10 +194,16 @@ fn trace_file_matches_the_builtin_attack() {
         let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
         assert!(!sem.eval(Point::new(0, end), &kab).unwrap());
         assert!(!sem
-            .eval(Point::new(0, end), &Formula::says("A", kab.clone().into_message()))
+            .eval(
+                Point::new(0, end),
+                &Formula::says("A", kab.clone().into_message())
+            )
             .unwrap());
         assert!(sem
-            .eval(Point::new(0, end), &Formula::said("S", kab.clone().into_message()))
+            .eval(
+                Point::new(0, end),
+                &Formula::said("S", kab.clone().into_message())
+            )
             .unwrap());
     }
 }

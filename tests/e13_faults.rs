@@ -1,0 +1,153 @@
+//! E13: fault injection and graceful degradation, end to end.
+//!
+//! Property tests tying the fault layer to the Section 5 restrictions:
+//! however the network misbehaves (within a validated [`FaultPlan`]), the
+//! executor only ever emits *legal* runs — faults degrade the protocol,
+//! never the model. And the prover's budgets degrade answers to
+//! "unknown", never losing facts already derived.
+
+use atl::core::annotate::{analyze_at, analyze_at_with};
+use atl::core::budget::{Budget, Saturation, Verdict};
+use atl::core::enact::{enact_with, EnactOptions};
+use atl::core::prover::{Prover, ProverConfig};
+use atl::core::spec::parse_spec;
+use atl::lang::parser::parse_formula;
+use atl::model::{
+    execute_with_faults, render_trace, validate_run, ExecOptions, ExpectPolicy, FaultPlan, Protocol,
+};
+use proptest::prelude::*;
+
+const NS_SPEC: &str = include_str!("../specs/needham_schroeder.atl");
+
+fn ns_protocol(policy: ExpectPolicy) -> Protocol {
+    let (at, _) = parse_spec(NS_SPEC).expect("fixture parses");
+    enact_with(
+        &at,
+        EnactOptions {
+            expect_policy: policy,
+        },
+    )
+}
+
+/// Decodes a probability level from two bits: off, rare, common, certain.
+fn level(bits: u64) -> f64 {
+    [0.0, 0.25, 0.6, 1.0][(bits & 3) as usize]
+}
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (0u64..300, 0u64..(1 << 13)).prop_map(|(seed, knobs)| {
+        let mut plan = FaultPlan::new(seed)
+            .drop(level(knobs))
+            .duplicate(level(knobs >> 2))
+            .delay(level(knobs >> 4), 1 + (knobs >> 6 & 3) as u32)
+            .reorder(level(knobs >> 8))
+            .replay(level(knobs >> 10));
+        if knobs >> 12 & 1 == 1 {
+            plan = plan.compromise("Kab", 2);
+        }
+        plan
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline robustness property: *any* fault plan, applied to the
+    /// Needham–Schroeder enactment, yields a run satisfying restrictions
+    /// 1–5 — the adversarial network can starve principals but can never
+    /// make the executor forge an illegal event.
+    #[test]
+    fn any_fault_plan_yields_a_wellformed_run(plan in plan_strategy()) {
+        let proto = ns_protocol(ExpectPolicy::resend_after(3, 2));
+        let (run, report) =
+            execute_with_faults(&proto, &ExecOptions::default(), &plan).expect("executes");
+        let violations = validate_run(&run);
+        prop_assert!(violations.is_empty(), "plan {plan:?}: {violations:?}");
+        // Faulted or not, the run reaches the present epoch.
+        prop_assert!(run.horizon() >= 0);
+        // The report never invents retransmissions the policy forbids.
+        prop_assert!(report.retries <= 2 * 4);
+    }
+
+    /// Skip policies degrade too: even with every message dropped, roles
+    /// abandon their expects and the run stays legal.
+    #[test]
+    fn skip_policies_survive_total_loss(seed in 0u64..64) {
+        let proto = ns_protocol(ExpectPolicy::skip_after(2));
+        let plan = FaultPlan::new(seed).drop(1.0);
+        let (run, report) =
+            execute_with_faults(&proto, &ExecOptions::default(), &plan).expect("executes");
+        prop_assert!(validate_run(&run).is_empty());
+        prop_assert!(report.degraded());
+        prop_assert!(!report.abandoned.is_empty());
+    }
+
+    /// Fault decisions are a pure function of the plan: replaying the same
+    /// seed reproduces the identical run, byte for byte.
+    #[test]
+    fn faulted_executions_are_reproducible(plan in plan_strategy()) {
+        let proto = ns_protocol(ExpectPolicy::resend_after(3, 2));
+        let opts = ExecOptions::default();
+        let (a, _) = execute_with_faults(&proto, &opts, &plan).expect("first");
+        let (b, _) = execute_with_faults(&proto, &opts, &plan).expect("second");
+        prop_assert_eq!(render_trace(&a), render_trace(&b));
+    }
+
+    /// Budgeted saturation never loses facts: whatever was derived before
+    /// exhaustion is still there, and resuming with an unlimited budget
+    /// reaches the same fixpoint as never having been limited.
+    #[test]
+    fn budget_exhaustion_loses_no_facts(cap in 1u64..40) {
+        let (at, _) = parse_spec(NS_SPEC).expect("fixture parses");
+        let mut limited = Prover::new(at.assumptions.clone());
+        let before = limited.facts().len();
+        let outcome = limited.saturate_with(Budget::unlimited().steps(cap));
+        prop_assert!(limited.facts().len() >= before);
+        if let Saturation::BudgetExhausted { facts, steps } = outcome {
+            prop_assert_eq!(steps, cap);
+            prop_assert_eq!(facts, limited.facts().len());
+        }
+        // Resume to the fixpoint and compare against a never-limited run.
+        limited.saturate_with(Budget::unlimited());
+        let mut free = Prover::new(at.assumptions.clone());
+        free.saturate();
+        prop_assert_eq!(limited.facts(), free.facts());
+    }
+}
+
+/// The ISSUE's acceptance criterion, verbatim: a step budget of 10 on the
+/// full Needham–Schroeder annotation is exhausted, reported as such, and
+/// goals answer "unknown" rather than "refuted".
+#[test]
+fn ns_annotation_under_step_budget_10_exhausts() {
+    let (at, syms) = parse_spec(NS_SPEC).expect("fixture parses");
+    let config = ProverConfig {
+        budget: Budget::unlimited().steps(10),
+        ..ProverConfig::default()
+    };
+    let analysis = analyze_at_with(&at, config);
+    assert!(analysis.prover.budget_exhausted());
+    let goal = parse_formula("B believes (A <-Kab-> B)", &syms).expect("goal parses");
+    assert_eq!(analysis.prover.verdict(&goal), Verdict::Unknown);
+    // The same goal is proved once the budget is lifted.
+    let full = analyze_at(&at);
+    assert!(!full.prover.budget_exhausted());
+    assert_eq!(full.prover.verdict(&goal), Verdict::Proved);
+}
+
+/// Faults visibly cost beliefs: under total message loss the degraded
+/// annotation (only delivered messages asserted) proves strictly fewer
+/// goals than the fault-free one.
+#[test]
+fn total_loss_degrades_the_annotation() {
+    let (at, _) = parse_spec(NS_SPEC).expect("fixture parses");
+    let baseline = analyze_at(&at);
+    assert!(baseline.succeeded());
+    let mut starved = at.clone();
+    starved
+        .steps
+        .retain(|s| !matches!(s, atl::core::annotate::AtStep::Send { .. }));
+    let after = analyze_at(&starved);
+    assert!(!after.succeeded());
+    assert!(after.failed_goals().count() > baseline.failed_goals().count());
+}

@@ -79,16 +79,19 @@ fn derived_nonmodal_facts_hold_semantically_on_the_execution() {
             _ => {}
         }
     }
-    assert!(checked >= 5, "expected several checkable facts, got {checked}");
+    assert!(
+        checked >= 5,
+        "expected several checkable facts, got {checked}"
+    );
 }
 
 #[test]
 fn dropped_trust_breaks_exactly_the_dependent_goals() {
     // Remove B's jurisdiction assumption: B's goal fails, A's survive.
     let mut proto = kerberos::figure1_at();
-    proto.assumptions.retain(|a| {
-        a != &Formula::believes("B", Formula::controls("S", kerberos::kab()))
-    });
+    proto
+        .assumptions
+        .retain(|a| a != &Formula::believes("B", Formula::controls("S", kerberos::kab())));
     let analysis = analyze_at(&proto);
     assert!(!analysis.succeeded());
     let failed: Vec<_> = analysis.failed_goals().collect();

@@ -90,9 +90,7 @@ fn introspection_axioms_hold_even_with_empty_good_sets() {
     assert!(sem.valid(&axioms::a2(&p, &phi)).unwrap());
     assert!(sem.valid(&axioms::a3(&p, &phi)).unwrap());
     // And indeed A believes the absurd.
-    assert!(sem
-        .valid(&Formula::believes(p, Formula::falsum()))
-        .unwrap());
+    assert!(sem.valid(&Formula::believes(p, Formula::falsum())).unwrap());
 }
 
 #[test]

@@ -66,10 +66,7 @@ fn theorem2_depth_three_chain() {
     let mut i = InitialAssumptions::new();
     i.assume("S", body.clone());
     i.assume("B", Formula::believes("S", body.clone()));
-    i.assume(
-        "A",
-        Formula::believes("B", Formula::believes("S", body)),
-    );
+    i.assume("A", Formula::believes("B", Formula::believes("S", body)));
     assert!(i.violates_i2().is_none());
     assert_eq!(i.max_depth(), 3);
     let goods = construct(&sys, &i).unwrap();
@@ -83,7 +80,10 @@ fn theorem2_holds_even_when_i2_fails() {
     for seed in 0..4 {
         let sys = base_system(seed);
         let mut i = InitialAssumptions::new();
-        i.assume("A", Formula::believes("B", Formula::fresh(Message::nonce(Nonce::new("Q")))));
+        i.assume(
+            "A",
+            Formula::believes("B", Formula::fresh(Message::nonce(Nonce::new("Q")))),
+        );
         assert!(i.violates_i2().is_some());
         let goods = construct(&sys, &i).unwrap();
         assert!(supports(&sys, &goods, &i).unwrap(), "seed {seed}");

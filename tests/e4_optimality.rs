@@ -104,7 +104,7 @@ fn optimum_vectors_dominate_every_supporter() {
     i.assume("P1", tails);
     let goods = construct(&sys, &i).unwrap();
     assert!(is_optimum(&sys, &goods, &i, LIMIT).unwrap());
-    assert!(
-        find_witness_above(&sys, &goods, &i, LIMIT).unwrap().is_none()
-    );
+    assert!(find_witness_above(&sys, &goods, &i, LIMIT)
+        .unwrap()
+        .is_none());
 }

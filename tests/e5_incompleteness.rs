@@ -54,10 +54,7 @@ fn valid_on_a_run_exercising_the_premises() {
             end,
             &Formula::says(
                 "A",
-                Message::tuple([
-                    has.into_message(),
-                    Message::encrypted(x.clone(), k, "A")
-                ])
+                Message::tuple([has.into_message(), Message::encrypted(x.clone(), k, "A")])
             )
         )
         .unwrap());
@@ -77,10 +74,7 @@ fn not_derivable_by_the_axiom_rules() {
         Message::encrypted(x.clone(), k.clone(), "A"),
     ]);
     let mut prover = Prover::with_config(
-        [
-            Formula::controls("A", has),
-            Formula::says("A", pair),
-        ],
+        [Formula::controls("A", has), Formula::says("A", pair)],
         ProverConfig {
             axioms_only: true,
             ..ProverConfig::default()

@@ -24,10 +24,7 @@ fn concrete() -> Protocol {
         "B",
     );
     let handshake = Message::encrypted(nb, Key::new("Kab"), "A");
-    let final_msg = Message::tuple([
-        Message::forwarded(yahalom::certificate()),
-        handshake,
-    ]);
+    let final_msg = Message::tuple([Message::forwarded(yahalom::certificate()), handshake]);
     Protocol::new("yahalom-concrete")
         .role(
             Role::new("A", [Key::new("Kas")])

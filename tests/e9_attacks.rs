@@ -19,7 +19,10 @@ fn denning_sacco_is_legal_yet_deceptive() {
     // The attack inverts every guarantee the NS goals promise:
     assert!(!sem.eval(Point::new(0, end), &kab).unwrap());
     assert!(!sem
-        .eval(Point::new(0, end), &Formula::fresh(kab.clone().into_message()))
+        .eval(
+            Point::new(0, end),
+            &Formula::fresh(kab.clone().into_message())
+        )
         .unwrap());
     assert!(!sem
         .eval(Point::new(0, end), &Formula::says("A", kab.into_message()))
@@ -75,9 +78,6 @@ fn environment_beliefs_are_also_evaluable() {
     let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
     let env = Principal::environment();
     // The attacker knows it holds the compromised key.
-    let knows_key = Formula::believes(
-        env.clone(),
-        Formula::has(env, atl::lang::Key::new("Kab")),
-    );
+    let knows_key = Formula::believes(env.clone(), Formula::has(env, atl::lang::Key::new("Kab")));
     assert!(sem.eval(Point::new(0, end), &knows_key).unwrap());
 }

@@ -1,0 +1,237 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API used by this
+//! workspace's benchmarks.
+//!
+//! The build environment has no access to crates.io, so this crate keeps
+//! the benchmark sources compiling and runnable without the real
+//! statistics machinery: each benchmark routine is timed over a small
+//! fixed number of iterations and a single mean line is printed. Under
+//! `cargo test` (which executes `harness = false` bench binaries) the
+//! whole suite therefore finishes in a fraction of a second; `cargo bench`
+//! gives rough comparative numbers, not rigorous ones.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `use criterion::black_box` keeps working (the workspace
+/// imports it from `std::hint`, but the real crate exposes it too).
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u32 = 2;
+const MEASURED_ITERS: u32 = 5;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Tuning knob accepted for compatibility; ignored.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Tuning knob accepted for compatibility; ignored.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Tuning knob accepted for compatibility; ignored.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Hook used by `criterion_main!`; a no-op here.
+    pub fn final_summary(&mut self) {}
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into().0), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.into().0), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group; a no-op here.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, possibly function name + parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timer handed to each benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a small fixed number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURED_ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = MEASURED_ITERS;
+    }
+}
+
+fn run_one<F>(id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    f(&mut b);
+    let mean = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters
+    };
+    println!("bench {id}: mean {mean:?} over {} iters", b.iters);
+}
+
+/// Defines a function running a list of benchmark functions, accepting
+/// both the flat form and the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("demo");
+        let mut calls = 0u32;
+        g.bench_function("inc", |b| b.iter(|| calls += 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &4u64, |b, n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, n| {
+            b.iter(|| black_box(n + 1))
+        });
+        g.finish();
+        assert!(calls >= 1);
+    }
+
+    mod grouped {
+        fn target_a(c: &mut crate::Criterion) {
+            c.bench_function("a", |b| b.iter(|| 1 + 1));
+        }
+        crate::criterion_group! {
+            name = benches;
+            config = crate::Criterion::default();
+            targets = target_a
+        }
+        crate::criterion_group!(flat, target_a);
+
+        #[test]
+        fn both_forms_invoke_targets() {
+            benches();
+            flat();
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the same surface — `proptest!`, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, `prop_oneof!`, `Strategy` with `prop_map`/
+//! `prop_recursive`/`boxed`, `Just`, `prop::collection::vec`, tuple and
+//! integer-range strategies, and a printable-string strategy — backed by a
+//! small deterministic random-testing engine instead of the real shrinking
+//! framework. Failing cases report their seed but are not shrunk.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    use rand::prelude::*;
+    use std::rc::Rc;
+
+    /// The generator handed to strategies (re-exported for the macros).
+    pub type TestRng = StdRng;
+
+    /// A source of random values of one type.
+    ///
+    /// Unlike real proptest this has no shrinking: a strategy is just a
+    /// recipe for producing one value from a [`TestRng`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+
+        /// Grows values recursively: at each of `depth` levels the result is
+        /// either a leaf from `self` or one application of `recurse` to the
+        /// previous level. The `_desired_size` and `_expected_branch_size`
+        /// tuning knobs of real proptest are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = OneOf::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+            }
+            strat
+        }
+
+        /// Erases the strategy type behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type (the
+    /// engine behind `prop_oneof!`).
+    pub struct OneOf<T> {
+        choices: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a weighted choice. Panics if `choices` is empty or the
+        /// total weight is zero.
+        pub fn new(choices: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = choices.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            OneOf { choices }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.choices.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, strat) in &self.choices {
+                let w = u64::from(*w);
+                if pick < w {
+                    return strat.generate(rng);
+                }
+                pick -= w;
+            }
+            // Unreachable: `pick` is below the total weight.
+            self.choices[self.choices.len() - 1].1.generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $i:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A / 0, B / 1);
+        (A / 0, B / 1, C / 2);
+        (A / 0, B / 1, C / 2, D / 3);
+    }
+
+    /// A string-literal strategy standing in for proptest's regex strings.
+    ///
+    /// Only the trailing `{lo,hi}` repetition count is honored (defaulting
+    /// to `{0,64}`); the character class itself is approximated by a pool
+    /// of printable ASCII and a few multibyte characters, plus punctuation
+    /// that the workspace's parsers treat as structure. This is enough for
+    /// the "junk input never panics the parser" fuzz tests the workspace
+    /// uses string strategies for.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = repetition_bounds(self).unwrap_or((0, 64));
+            let len = rng.gen_range(lo..=hi);
+            const POOL: &[char] = &[
+                'a', 'b', 'z', 'A', 'K', 'N', 'P', '0', '1', '9', ' ', '(', ')', '{', '}', ',',
+                ';', ':', '.', '|', '<', '>', '-', '=', '~', '#', '\'', '"', '\\', '/', '*', '_',
+                'λ', 'é', '→', '測', '∧', '¬',
+            ];
+            (0..len)
+                .map(|_| POOL[rng.gen_range(0..POOL.len())])
+                .collect()
+        }
+    }
+
+    fn repetition_bounds(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_suffix('}')?;
+        let open = body.rfind('{')?;
+        let (lo, hi) = body[open + 1..].split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    /// Collection strategies (`prop::collection`).
+    pub mod collection {
+        use super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// The result of [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// A strategy for vectors whose length lies in `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::prelude::*;
+
+    /// The generator threaded through a property test.
+    pub type TestRng = super::strategy::TestRng;
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property failed; the run as a whole fails.
+        Fail(String),
+        /// The case was rejected (`prop_assume!`); another case is drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Rejections tolerated before the run is abandoned.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    fn name_seed(name: &str) -> u64 {
+        // FNV-1a, so each test gets its own stable stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drives one property: draws cases until `config.cases` pass, a case
+    /// fails (panic, reporting the deterministic case seed), or too many
+    /// cases are rejected.
+    pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = name_seed(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut draw = 0u64;
+        while passed < config.cases {
+            let seed = base.wrapping_add(draw.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            draw += 1;
+            match case(&mut TestRng::seed_from_u64(seed)) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "{name}: too many rejected cases ({rejected}) — \
+                         prop_assume! conditions are too strict"
+                    );
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!("{name}: property failed (case seed {seed:#x}): {reason}")
+                }
+            }
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+pub use strategy::collection;
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_proptest(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    { $body }
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_body!(($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: `{:?}`\n right: `{:?}`",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                $($fmt)+
+            )));
+        }
+    }};
+}
+
+/// Rejects the current test case unless `cond` holds; another is drawn.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses between strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate() {
+        let rng = &mut TestRng::seed_from_u64(1);
+        let strat = (0usize..4, (0u64..10).prop_map(|n| n * 2)).prop_map(|(a, b)| a as u64 + b);
+        for _ in 0..100 {
+            let v = strat.generate(rng);
+            assert!(v <= 3 + 18);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let rng = &mut TestRng::seed_from_u64(2);
+        let strat = prop_oneof![4 => Just(true), 1 => Just(false)];
+        let trues = (0..500).filter(|_| strat.generate(rng)).count();
+        assert!((300..500).contains(&trues), "{trues}");
+    }
+
+    #[test]
+    fn recursive_strategies_nest_and_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(ts) => 1 + ts.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u64..8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 64, 3, |inner| {
+                prop::collection::vec(inner, 2..4).prop_map(Tree::Node)
+            });
+        let rng = &mut TestRng::seed_from_u64(3);
+        let mut max = 0;
+        for _ in 0..200 {
+            max = max.max(depth(&strat.generate(rng)));
+        }
+        assert!(max >= 1, "recursion never fired");
+        assert!(max <= 3, "depth bound exceeded: {max}");
+    }
+
+    #[test]
+    fn string_strategy_honors_bounds() {
+        let rng = &mut TestRng::seed_from_u64(4);
+        let strat = "\\PC{0,200}";
+        for _ in 0..50 {
+            let s: String = Strategy::generate(&strat, rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_draws_and_asserts(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a + b < 199);
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_supports_question_mark(n in 0u64..10) {
+            let parsed: u64 = n.to_string().parse()
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(parsed, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        crate::test_runner::run_proptest(
+            &ProptestConfig::with_cases(4),
+            "failing_property_panics",
+            |_rng| Err(TestCaseError::fail("nope")),
+        );
+    }
+}
