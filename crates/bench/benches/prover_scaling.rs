@@ -120,6 +120,30 @@ fn bench_axioms_only_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_worklist_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_worklist");
+    let facts = at_sessions(8);
+    g.bench_function("worklist", |b| {
+        b.iter(|| {
+            let mut prover = Prover::new(facts.iter().cloned());
+            prover.saturate();
+            black_box(prover.facts().len())
+        })
+    });
+    g.bench_function("rescan", |b| {
+        let config = ProverConfig {
+            use_worklist: false,
+            ..ProverConfig::default()
+        };
+        b.iter(|| {
+            let mut prover = Prover::with_config(facts.iter().cloned(), config);
+            prover.saturate();
+            black_box(prover.facts().len())
+        })
+    });
+    g.finish();
+}
+
 fn bench_goal_checking(c: &mut Criterion) {
     let mut g = c.benchmark_group("prover_goal_check");
     let facts = at_sessions(4);
@@ -140,6 +164,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_ban_engine, bench_at_prover, bench_axioms_only_ablation, bench_goal_checking
+    targets = bench_ban_engine, bench_at_prover, bench_axioms_only_ablation, bench_worklist_ablation, bench_goal_checking
 }
 criterion_main!(benches);

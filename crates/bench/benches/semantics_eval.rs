@@ -71,6 +71,21 @@ fn bench_belief_cache_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_term_cache_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_term_cache");
+    let sys = test_system(6);
+    let query = belief_query();
+    g.bench_function("with_term_cache", |b| {
+        let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+        b.iter(|| black_box(sem.valid(&query).expect("eval ok")))
+    });
+    g.bench_function("without_term_cache", |b| {
+        let sem = Semantics::without_term_cache(&sys, GoodRuns::all_runs(&sys));
+        b.iter(|| black_box(sem.valid(&query).expect("eval ok")))
+    });
+    g.finish();
+}
+
 fn bench_construct_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("semantics_valid_vs_runs");
     let query = belief_query();
@@ -116,6 +131,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_belief_cache_ablation, bench_construct_scaling, bench_construct_cost, bench_shared_key_eval
+    targets = bench_belief_cache_ablation, bench_term_cache_ablation, bench_construct_scaling, bench_construct_cost, bench_shared_key_eval
 }
 criterion_main!(benches);

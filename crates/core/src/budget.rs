@@ -90,12 +90,19 @@ pub struct BudgetMeter {
 
 impl BudgetMeter {
     /// Starts metering against `budget` (the wall clock starts now).
+    ///
+    /// A zero cap on any axis is exhausted before any work: the meter
+    /// starts latched, so callers observe `BudgetExhausted` instead of
+    /// performing (and keeping) one charge's worth of work for free.
     pub fn start(budget: Budget) -> Self {
+        let born_exhausted = budget.max_steps == Some(0)
+            || budget.max_facts == Some(0)
+            || budget.max_millis == Some(0);
         BudgetMeter {
             budget,
             steps: 0,
             started: Instant::now(),
-            exhausted: false,
+            exhausted: born_exhausted,
         }
     }
 
@@ -118,15 +125,16 @@ impl BudgetMeter {
         }
         let over = self.budget.max_steps.is_some_and(|cap| self.steps >= cap)
             || self.budget.max_facts.is_some_and(|cap| facts_now >= cap)
-            || self
-                .budget
-                .max_millis
-                .is_some_and(|cap| self.started.elapsed().as_millis() as u64 >= cap);
+            || self.budget.max_millis.is_some_and(|cap| {
+                // Saturate rather than truncate: a cap near u64::MAX must
+                // not wrap a long elapsed time into "under budget".
+                u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX) >= cap
+            });
         if over {
             self.exhausted = true;
             return false;
         }
-        self.steps += 1;
+        self.steps = self.steps.saturating_add(1);
         true
     }
 }
@@ -222,6 +230,29 @@ mod tests {
         // Latched: even a charge that would otherwise fit is refused.
         assert!(!m.charge(0));
         assert_eq!(m.steps(), 3);
+    }
+
+    #[test]
+    fn zero_budgets_exhaust_before_any_work() {
+        for b in [
+            Budget::unlimited().steps(0),
+            Budget::unlimited().facts(0),
+            Budget::unlimited().millis(0),
+        ] {
+            let mut m = BudgetMeter::start(b);
+            assert!(m.exhausted(), "{b} should start exhausted");
+            assert!(!m.charge(0));
+            assert_eq!(m.steps(), 0);
+        }
+    }
+
+    #[test]
+    fn huge_millis_cap_is_not_truncated() {
+        // `as u64` on the elapsed u128 would wrap for huge caps compared
+        // against; with saturation the charge fits comfortably.
+        let mut m = BudgetMeter::start(Budget::unlimited().millis(u64::MAX));
+        assert!(m.charge(0));
+        assert!(!m.exhausted());
     }
 
     #[test]

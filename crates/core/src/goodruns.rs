@@ -15,12 +15,14 @@
 //!   counterexample.
 
 use crate::budget::{Budget, BudgetMeter, Saturation};
-use crate::semantics::{GoodRuns, Semantics, SemanticsError};
+use crate::semantics::{EvalCache, GoodRuns, Semantics, SemanticsError};
 use atl_lang::{Formula, Principal};
 use atl_model::{Point, System};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 /// Error raised by the good-run construction and its checks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -244,8 +246,11 @@ pub fn construct_budgeted(
         current.set(p.clone(), all.clone());
     }
     let mut report = ConstructionReport::default();
+    // Term-level results depend only on the system, so one cache serves
+    // every stage's evaluator despite their differing good-run vectors.
+    let cache = Rc::new(RefCell::new(EvalCache::default()));
     'stages: for j in 1..=assumptions.max_depth() {
-        let sem = Semantics::new(system, current.clone());
+        let sem = Semantics::new_shared(system, current.clone(), Rc::clone(&cache));
         let mut next = current.clone();
         let mut stage = BTreeMap::new();
         for p in assumptions.principals() {
@@ -300,7 +305,24 @@ pub fn supports(
     goods: &GoodRuns,
     assumptions: &InitialAssumptions,
 ) -> Result<bool, GoodRunsError> {
-    let sem = Semantics::new(system, goods.clone());
+    supports_with(
+        system,
+        goods,
+        assumptions,
+        Rc::new(RefCell::new(EvalCache::default())),
+    )
+}
+
+/// [`supports`] over a shared evaluation cache, so a caller probing many
+/// candidate vectors on one system (the optimality search) pays for each
+/// term-level computation once.
+fn supports_with(
+    system: &System,
+    goods: &GoodRuns,
+    assumptions: &InitialAssumptions,
+    cache: Rc<RefCell<EvalCache>>,
+) -> Result<bool, GoodRunsError> {
+    let sem = Semantics::new_shared(system, goods.clone(), cache);
     for (_, f) in assumptions.iter() {
         for point in system.initial_points() {
             if !sem.eval(point, f)? {
@@ -351,6 +373,7 @@ pub fn find_witness_above(
         return Err(GoodRunsError::SearchSpaceTooLarge { candidates, limit });
     }
     let mut counter = vec![0u128; principals.len()];
+    let cache = Rc::new(RefCell::new(EvalCache::default()));
     loop {
         // Materialize the candidate vector from the counters.
         let mut candidate = GoodRuns::all_runs(system);
@@ -360,7 +383,9 @@ pub fn find_witness_above(
                 (0..system.len()).filter(|r| mask & (1 << r) != 0).collect();
             candidate.set((*p).clone(), runs);
         }
-        if !candidate.le(goods) && supports(system, &candidate, assumptions)? {
+        if !candidate.le(goods)
+            && supports_with(system, &candidate, assumptions, Rc::clone(&cache))?
+        {
             return Ok(Some(candidate));
         }
         // Increment the mixed-radix counter.

@@ -10,7 +10,7 @@
 use crate::semantics::Semantics;
 use atl_lang::Principal;
 use atl_model::Point;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// The materialized possibility relation of one principal: for each point,
@@ -37,14 +37,25 @@ impl PossibilityRelation {
         }
     }
 
+    /// Successor sets, one per world, for O(log n) membership checks (the
+    /// edge lists are plain `Vec`s, and scanning them per query made the
+    /// frame-property checks cubic).
+    fn successor_sets(&self) -> BTreeMap<&Point, BTreeSet<&Point>> {
+        self.edges
+            .iter()
+            .map(|(w, vs)| (w, vs.iter().collect()))
+            .collect()
+    }
+
     /// True if the relation is *transitive*: `w → u` and `u → v` imply
     /// `w → v`.
     pub fn is_transitive(&self) -> bool {
-        self.edges.iter().all(|(_, succs)| {
+        let succ = self.successor_sets();
+        self.edges.iter().all(|(w, succs)| {
             succs.iter().all(|u| {
                 self.edges
                     .get(u)
-                    .is_none_or(|vs| vs.iter().all(|v| succs.contains(v)))
+                    .is_none_or(|vs| vs.iter().all(|v| succ[w].contains(v)))
             })
         })
     }
@@ -52,10 +63,10 @@ impl PossibilityRelation {
     /// True if the relation is *euclidean*: `w → u` and `w → v` imply
     /// `u → v`.
     pub fn is_euclidean(&self) -> bool {
+        let succ = self.successor_sets();
         self.edges.values().all(|succs| {
             succs.iter().all(|u| {
-                self.edges
-                    .get(u)
+                succ.get(u)
                     .is_none_or(|us| succs.iter().all(|v| us.contains(v)))
             })
         })

@@ -23,7 +23,7 @@
 
 use crate::budget::{Budget, BudgetMeter, Saturation, Verdict};
 use atl_lang::{Formula, KeyTerm, Message, Principal};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Names of the derived rules (with their justifying axioms).
@@ -142,8 +142,16 @@ pub struct ProverConfig {
     /// If true, disable the two semantically-validated promotion rules and
     /// use only rules derivable from A1–A21 + R1/R2.
     pub axioms_only: bool,
-    /// Cap on saturation passes (a safety net; protocols converge in a
-    /// handful).
+    /// Use the indexed worklist saturation (the default): each rule fires
+    /// only when one of its triggers — a new fact of the matching kind in
+    /// the matching belief context, or a new universe message — arrives.
+    /// When false, fall back to the rescan-everything fixpoint that
+    /// re-fires every rule on every fact each pass; it computes the same
+    /// closure and is kept as an ablation baseline and cross-check.
+    pub use_worklist: bool,
+    /// Cap on saturation passes of the rescan path (`use_worklist: false`);
+    /// a safety net — protocols converge in a handful. The worklist path
+    /// has no passes and runs to its fixpoint (or budget).
     pub max_passes: usize,
     /// Cap on the belief-prefix depth that the promotion rules (A11,
     /// sees-promotion, has-promotion) may create — without it, repeated
@@ -161,6 +169,7 @@ impl Default for ProverConfig {
     fn default() -> Self {
         ProverConfig {
             axioms_only: false,
+            use_worklist: true,
             max_passes: 64,
             max_belief_depth: 3,
             budget: Budget::unlimited(),
@@ -311,9 +320,13 @@ impl Prover {
     pub fn saturate_with(&mut self, budget: Budget) -> Saturation {
         self.meter = BudgetMeter::start(budget);
         let before = self.facts.len();
-        for _ in 0..self.config.max_passes {
-            if self.meter.exhausted() || self.pass() == 0 {
-                break;
+        if self.config.use_worklist {
+            self.saturate_worklist();
+        } else {
+            for _ in 0..self.config.max_passes {
+                if self.meter.exhausted() || self.pass() == 0 {
+                    break;
+                }
             }
         }
         if self.meter.exhausted() {
@@ -361,424 +374,628 @@ impl Prover {
     /// All messages occurring in the facts (for the freshness rules'
     /// bounded conclusions).
     fn message_universe(&self) -> BTreeSet<Message> {
-        fn collect_formula(f: &Formula, out: &mut BTreeSet<Message>) {
-            match f {
-                Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => {
-                    out.extend(atl_lang::submsgs(m));
-                }
-                Formula::SharedSecret(_, m, _) | Formula::Fresh(m) => {
-                    out.extend(atl_lang::submsgs(m));
-                }
-                Formula::Not(g) => collect_formula(g, out),
-                Formula::And(a, b) => {
-                    collect_formula(a, out);
-                    collect_formula(b, out);
-                }
-                Formula::Believes(_, g) | Formula::Controls(_, g) => collect_formula(g, out),
-                _ => {}
-            }
-        }
         let mut out = BTreeSet::new();
         for f in &self.facts {
-            collect_formula(f, &mut out);
+            collect_messages(f, &mut out);
         }
         out
     }
 
+    /// One rescan pass (`use_worklist: false`): re-fires every rule on
+    /// every fact against snapshots of the contexts and universe.
     fn pass(&mut self) -> usize {
         let contexts = self.contexts();
         let universe = self.message_universe();
         let mut added = 0;
+        let mut out = Vec::new();
         for (prefix, body_set) in &contexts {
-            let bodies: Vec<Formula> = body_set.iter().cloned().collect();
-            for body in &bodies {
-                added += self.unary_rules(prefix, body, body_set, &universe);
+            for body in body_set {
+                rules_for(&self.config, prefix, body, body_set, &universe, &mut out);
+                added += self.apply(&mut out, None);
             }
         }
         added
     }
 
-    /// Rules driven by one fact (possibly consulting its context).
-    fn unary_rules(
+    /// Worklist saturation: each dequeued fact is indexed by its trigger
+    /// shape (fact kind × belief prefix), fires the rules it drives
+    /// forward, and re-fires the already-indexed facts it completes a
+    /// premise pair with. Novel conclusions join the queue; the loop runs
+    /// to the least fixpoint (the same one the rescan path reaches, since
+    /// every rule is monotone) or until the budget runs out.
+    fn saturate_worklist(&mut self) {
+        let mut idx = Indexes::default();
+        // Seed in BTreeSet order so saturation is deterministic; rebuilt
+        // from scratch each call, which also makes an exhausted saturation
+        // resumable with a larger budget.
+        let mut queue: VecDeque<Formula> = self.facts.iter().cloned().collect();
+        let mut out: Vec<Emission> = Vec::new();
+        while let Some(fact) = queue.pop_front() {
+            if self.meter.exhausted() {
+                break;
+            }
+            let (prefix, body) = strip(&fact);
+            let body = body.clone();
+            let new_msgs = idx.insert(&prefix, &body);
+            if let Some(ctx) = idx.ctx.get(&prefix) {
+                rules_for(
+                    &self.config,
+                    &prefix,
+                    &body,
+                    &ctx.bodies,
+                    &idx.universe,
+                    &mut out,
+                );
+                reverse_rules(&self.config, &prefix, &body, ctx, &mut out);
+            }
+            fresh_closure(&idx, &new_msgs, &mut out);
+            self.apply(&mut out, Some(&mut queue));
+        }
+    }
+
+    /// Applies pending emissions, charging the budget per attempt exactly
+    /// as the rules did when they fired inline. Returns the number of
+    /// novel facts; those are also pushed onto `queue` when one is given.
+    fn apply(
         &mut self,
-        prefix: &[Principal],
-        body: &Formula,
-        ctx: &BTreeSet<Formula>,
-        universe: &BTreeSet<Message>,
+        out: &mut Vec<Emission>,
+        mut queue: Option<&mut VecDeque<Formula>>,
     ) -> usize {
-        let mut n = 0;
-        let fact = wrap(prefix, body.clone());
-        let emit = |prover: &mut Prover, concl: Formula, rule: DerivedRule, prem: Vec<Formula>| {
-            if prover.add(concl, rule, prem) {
-                1
+        let mut added = 0;
+        for e in out.drain(..) {
+            let novel = if let Some(q) = queue.as_deref_mut() {
+                let novel = self.add(e.conclusion.clone(), e.rule, e.premises);
+                if novel {
+                    q.push_back(e.conclusion);
+                }
+                novel
             } else {
-                0
+                self.add(e.conclusion, e.rule, e.premises)
+            };
+            if novel {
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+/// A rule firing waiting to be applied: the shared currency of the
+/// worklist and rescan saturation paths, so both apply the same rules in
+/// the same per-trigger order by construction.
+struct Emission {
+    conclusion: Formula,
+    rule: DerivedRule,
+    premises: Vec<Formula>,
+}
+
+impl Emission {
+    fn new(conclusion: Formula, rule: DerivedRule, premises: Vec<Formula>) -> Self {
+        Emission {
+            conclusion,
+            rule,
+            premises,
+        }
+    }
+}
+
+/// One belief context's trigger-shape index: the bodies (for membership
+/// guards) plus the fact kinds that participate in two-premise rules and
+/// so must be re-firable when their partner arrives later.
+#[derive(Clone, Debug, Default)]
+struct CtxIndex {
+    bodies: BTreeSet<Formula>,
+    sees: Vec<(Principal, Message)>,
+    said: Vec<(Principal, Message)>,
+    says: Vec<(Principal, Message)>,
+}
+
+/// The worklist saturation's indices: per-prefix contexts, the message
+/// universe, and the `fresh` facts by their message (for the freshness
+/// closure against later universe arrivals).
+#[derive(Clone, Debug, Default)]
+struct Indexes {
+    ctx: BTreeMap<Vec<Principal>, CtxIndex>,
+    universe: BTreeSet<Message>,
+    fresh: BTreeMap<Message, BTreeSet<Vec<Principal>>>,
+}
+
+impl Indexes {
+    /// Indexes a fact, returning the messages it newly added to the
+    /// universe (the freshness rules must be re-checked against those).
+    fn insert(&mut self, prefix: &[Principal], body: &Formula) -> Vec<Message> {
+        let ctx = self.ctx.entry(prefix.to_vec()).or_default();
+        if !ctx.bodies.insert(body.clone()) {
+            return Vec::new();
+        }
+        match body {
+            Formula::Sees(p, m) => ctx.sees.push((p.clone(), (**m).clone())),
+            Formula::Said(p, m) => ctx.said.push((p.clone(), (**m).clone())),
+            Formula::Says(p, m) => ctx.says.push((p.clone(), (**m).clone())),
+            Formula::Fresh(m) => {
+                self.fresh
+                    .entry((**m).clone())
+                    .or_default()
+                    .insert(prefix.to_vec());
+            }
+            _ => {}
+        }
+        let mut msgs = BTreeSet::new();
+        collect_messages(body, &mut msgs);
+        msgs.into_iter()
+            .filter(|m| self.universe.insert(m.clone()))
+            .collect()
+    }
+}
+
+/// Collects the messages a fact contributes to the universe.
+fn collect_messages(f: &Formula, out: &mut BTreeSet<Message>) {
+    match f {
+        Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) => {
+            out.extend(atl_lang::submsgs(m));
+        }
+        Formula::SharedSecret(_, m, _) | Formula::Fresh(m) => {
+            out.extend(atl_lang::submsgs(m));
+        }
+        Formula::Not(g) => collect_messages(g, out),
+        Formula::And(a, b) => {
+            collect_messages(a, out);
+            collect_messages(b, out);
+        }
+        Formula::Believes(_, g) | Formula::Controls(_, g) => collect_messages(g, out),
+        _ => {}
+    }
+}
+
+/// Rules driven by one fact (possibly consulting its context): the
+/// forward direction, fired when the fact itself is (re)visited.
+fn rules_for(
+    config: &ProverConfig,
+    prefix: &[Principal],
+    body: &Formula,
+    ctx: &BTreeSet<Formula>,
+    universe: &BTreeSet<Message>,
+    out: &mut Vec<Emission>,
+) {
+    match body {
+        Formula::And(a, b) => {
+            let fact = wrap(prefix, body.clone());
+            out.push(Emission::new(
+                wrap(prefix, (**a).clone()),
+                DerivedRule::AndSplit,
+                vec![fact.clone()],
+            ));
+            out.push(Emission::new(
+                wrap(prefix, (**b).clone()),
+                DerivedRule::AndSplit,
+                vec![fact],
+            ));
+        }
+        Formula::Sees(p, m) => sees_rules(config, prefix, p, m, ctx, out),
+        Formula::Has(p, k) if !config.axioms_only && prefix.len() < config.max_belief_depth => {
+            let fact = wrap(prefix, body.clone());
+            let mut deeper = prefix.to_vec();
+            deeper.push(p.clone());
+            out.push(Emission::new(
+                wrap(&deeper, Formula::Has(p.clone(), k.clone())),
+                DerivedRule::HasPromotion,
+                vec![fact],
+            ));
+        }
+        Formula::Said(p, m) => said_rules(prefix, p, m, false, ctx, out),
+        Formula::Says(p, m) => said_rules(prefix, p, m, true, ctx, out),
+        Formula::Fresh(x) => fresh_rules(prefix, x, universe, out),
+        Formula::SharedKey(p, k, q) => {
+            let fact = wrap(prefix, body.clone());
+            out.push(Emission::new(
+                wrap(prefix, Formula::shared_key(q.clone(), k.clone(), p.clone())),
+                DerivedRule::Symmetry,
+                vec![fact],
+            ));
+        }
+        Formula::SharedSecret(p, y, q) => {
+            let fact = wrap(prefix, body.clone());
+            out.push(Emission::new(
+                wrap(
+                    prefix,
+                    Formula::shared_secret(q.clone(), (**y).clone(), p.clone()),
+                ),
+                DerivedRule::Symmetry,
+                vec![fact],
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// The reverse direction of the two-premise rules: a newly arrived
+/// context fact re-fires the indexed facts it can pair with. Re-firing
+/// re-emits earlier single-premise conclusions too; applying an emission
+/// deduplicates against the fact set, so that costs a budget charge
+/// (exactly as a rescan pass would) but never a spurious fact.
+fn reverse_rules(
+    config: &ProverConfig,
+    prefix: &[Principal],
+    body: &Formula,
+    ctx: &CtxIndex,
+    out: &mut Vec<Emission>,
+) {
+    match body {
+        // Has guards decryption, the believes-sees rules, and promotion —
+        // all for the key holder's own sees facts.
+        Formula::Has(p, _) => {
+            for (seer, m) in &ctx.sees {
+                if seer == p {
+                    sees_rules(config, prefix, seer, m, &ctx.bodies, out);
+                }
+            }
+        }
+        // Message-meaning premises pair with any sees fact in context.
+        Formula::SharedKey(..) | Formula::SharedSecret(..) | Formula::PublicKey(..) => {
+            for (seer, m) in &ctx.sees {
+                sees_rules(config, prefix, seer, m, &ctx.bodies, out);
+            }
+        }
+        // A20: freshness of exactly the said message.
+        Formula::Fresh(x) => {
+            for (p, m) in &ctx.said {
+                if m == &**x {
+                    said_rules(prefix, p, m, false, &ctx.bodies, out);
+                }
+            }
+        }
+        // A15: jurisdiction pairs with says facts of the controller.
+        Formula::Controls(p, _) => {
+            for (q, m) in &ctx.says {
+                if q == p {
+                    said_rules(prefix, q, m, true, &ctx.bodies, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The freshness rules re-checked against messages that just entered the
+/// universe: `fresh(x)` facts already indexed (in any context) conclude
+/// freshness of every new construction with `x` as a direct component.
+fn fresh_closure(idx: &Indexes, new_msgs: &[Message], out: &mut Vec<Emission>) {
+    for m in new_msgs {
+        let mut fire = |x: &Message, rule: DerivedRule| {
+            if let Some(prefixes) = idx.fresh.get(x) {
+                for prefix in prefixes {
+                    out.push(Emission::new(
+                        wrap(prefix, Formula::fresh(m.clone())),
+                        rule,
+                        vec![wrap(prefix, Formula::fresh(x.clone()))],
+                    ));
+                }
             }
         };
-        match body {
-            Formula::And(a, b) => {
-                n += emit(
-                    self,
-                    wrap(prefix, (**a).clone()),
-                    DerivedRule::AndSplit,
-                    vec![fact.clone()],
-                );
-                n += emit(
-                    self,
-                    wrap(prefix, (**b).clone()),
-                    DerivedRule::AndSplit,
-                    vec![fact.clone()],
-                );
-            }
-            Formula::Sees(p, m) => {
-                match &**m {
-                    Message::Tuple(items) => {
-                        for item in items {
-                            n += emit(
-                                self,
-                                wrap(prefix, Formula::sees(p.clone(), item.clone())),
-                                DerivedRule::SeesTuple,
-                                vec![fact.clone()],
-                            );
-                        }
-                    }
-                    Message::Encrypted { body: x, key, .. }
-                        if ctx.contains(&Formula::Has(p.clone(), key.clone())) => {
-                            n += emit(
-                                self,
-                                wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
-                                DerivedRule::SeesDecrypt,
-                                vec![fact.clone(), wrap(prefix, Formula::Has(p.clone(), key.clone()))],
-                            );
-                            // A11: believing one sees the ciphertext.
-                            if prefix.len() < self.config.max_belief_depth {
-                                let mut deeper = prefix.to_vec();
-                                deeper.push(p.clone());
-                                n += emit(
-                                    self,
-                                    wrap(&deeper, Formula::sees(p.clone(), (**m).clone())),
-                                    DerivedRule::BelievesSeesCipher,
-                                    vec![fact.clone()],
-                                );
-                            }
-                        }
-                    Message::Signed { body: x, key, .. }
-                        // A23: the verification key opens the signature.
-                        if ctx.contains(&Formula::Has(p.clone(), key.clone())) => {
-                            n += emit(
-                                self,
-                                wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
-                                DerivedRule::SeesSigned,
-                                vec![fact.clone()],
-                            );
-                            // A27: believing one sees the signature.
-                            if prefix.len() < self.config.max_belief_depth {
-                                let mut deeper = prefix.to_vec();
-                                deeper.push(p.clone());
-                                n += emit(
-                                    self,
-                                    wrap(&deeper, Formula::sees(p.clone(), (**m).clone())),
-                                    DerivedRule::BelievesSeesSigned,
-                                    vec![fact.clone()],
-                                );
-                            }
-                        }
-                    Message::PubEncrypted { body: x, key, .. } => {
-                        // A24: the private key opens public-key ciphertext.
-                        let has_inverse = key.as_key().is_some_and(|k| {
-                            ctx.contains(&Formula::Has(p.clone(), KeyTerm::Key(k.inverse())))
-                        });
-                        if has_inverse {
-                            n += emit(
-                                self,
-                                wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
-                                DerivedRule::SeesPubEnc,
-                                vec![fact.clone()],
-                            );
-                            // A28: believing one sees the ciphertext.
-                            if prefix.len() < self.config.max_belief_depth {
-                                let mut deeper = prefix.to_vec();
-                                deeper.push(p.clone());
-                                n += emit(
-                                    self,
-                                    wrap(&deeper, Formula::sees(p.clone(), (**m).clone())),
-                                    DerivedRule::BelievesSeesPubEnc,
-                                    vec![fact.clone()],
-                                );
-                            }
-                        }
-                    }
-                    Message::Combined { body: x, .. } => {
-                        n += emit(
-                            self,
-                            wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
-                            DerivedRule::SeesCombined,
-                            vec![fact.clone()],
-                        );
-                    }
-                    Message::Forwarded(x) => {
-                        n += emit(
-                            self,
-                            wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
-                            DerivedRule::SeesForwarded,
-                            vec![fact.clone()],
-                        );
-                    }
-                    _ => {}
-                }
-                // Message-meaning: find a shared key/secret in context.
-                n += self.message_meaning(prefix, p, m, ctx, &fact);
-                // Sees-promotion (semantic rule).
-                if !self.config.axioms_only
-                    && prefix.len() < self.config.max_belief_depth
-                    && self.readable_with_held_keys(m, p, ctx)
-                {
-                    let mut deeper = prefix.to_vec();
-                    deeper.push(p.clone());
-                    n += emit(
-                        self,
-                        wrap(&deeper, Formula::sees(p.clone(), (**m).clone())),
-                        DerivedRule::SeesPromotion,
-                        vec![fact.clone()],
-                    );
+        match m {
+            Message::Tuple(items) => {
+                for item in items {
+                    fire(item, DerivedRule::FreshTuple);
                 }
             }
-            Formula::Has(p, k)
-                if !self.config.axioms_only && prefix.len() < self.config.max_belief_depth =>
-            {
+            Message::Encrypted { body, .. } => fire(body, DerivedRule::FreshEncrypted),
+            Message::Combined { body, .. } => fire(body, DerivedRule::FreshCombined),
+            Message::Forwarded(body) => fire(body, DerivedRule::FreshForwarded),
+            Message::Signed { body, .. } => fire(body, DerivedRule::FreshSigned),
+            Message::PubEncrypted { body, .. } => fire(body, DerivedRule::FreshPubEnc),
+            _ => {}
+        }
+    }
+}
+
+/// The rules a `sees` fact drives (A7–A11, A23/A24/A27/A28, message
+/// meaning, sees-promotion).
+fn sees_rules(
+    config: &ProverConfig,
+    prefix: &[Principal],
+    p: &Principal,
+    m: &Message,
+    ctx: &BTreeSet<Formula>,
+    out: &mut Vec<Emission>,
+) {
+    let fact = wrap(prefix, Formula::sees(p.clone(), m.clone()));
+    match m {
+        Message::Tuple(items) => {
+            for item in items {
+                out.push(Emission::new(
+                    wrap(prefix, Formula::sees(p.clone(), item.clone())),
+                    DerivedRule::SeesTuple,
+                    vec![fact.clone()],
+                ));
+            }
+        }
+        Message::Encrypted { body: x, key, .. }
+            if ctx.contains(&Formula::Has(p.clone(), key.clone())) =>
+        {
+            out.push(Emission::new(
+                wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
+                DerivedRule::SeesDecrypt,
+                vec![
+                    fact.clone(),
+                    wrap(prefix, Formula::Has(p.clone(), key.clone())),
+                ],
+            ));
+            // A11: believing one sees the ciphertext.
+            if prefix.len() < config.max_belief_depth {
                 let mut deeper = prefix.to_vec();
                 deeper.push(p.clone());
-                n += emit(
-                    self,
-                    wrap(&deeper, Formula::Has(p.clone(), k.clone())),
-                    DerivedRule::HasPromotion,
+                out.push(Emission::new(
+                    wrap(&deeper, Formula::sees(p.clone(), m.clone())),
+                    DerivedRule::BelievesSeesCipher,
                     vec![fact.clone()],
-                );
+                ));
             }
-            Formula::Said(p, m) | Formula::Says(p, m) => {
-                let says = matches!(body, Formula::Says(..));
-                let rebuild = |p: &Principal, x: Message| {
-                    if says {
-                        Formula::says(p.clone(), x)
-                    } else {
-                        Formula::said(p.clone(), x)
-                    }
+        }
+        Message::Signed { body: x, key, .. }
+            // A23: the verification key opens the signature.
+            if ctx.contains(&Formula::Has(p.clone(), key.clone())) =>
+        {
+            out.push(Emission::new(
+                wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
+                DerivedRule::SeesSigned,
+                vec![fact.clone()],
+            ));
+            // A27: believing one sees the signature.
+            if prefix.len() < config.max_belief_depth {
+                let mut deeper = prefix.to_vec();
+                deeper.push(p.clone());
+                out.push(Emission::new(
+                    wrap(&deeper, Formula::sees(p.clone(), m.clone())),
+                    DerivedRule::BelievesSeesSigned,
+                    vec![fact.clone()],
+                ));
+            }
+        }
+        Message::PubEncrypted { body: x, key, .. } => {
+            // A24: the private key opens public-key ciphertext.
+            let has_inverse = key.as_key().is_some_and(|k| {
+                ctx.contains(&Formula::Has(p.clone(), KeyTerm::Key(k.inverse())))
+            });
+            if has_inverse {
+                out.push(Emission::new(
+                    wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
+                    DerivedRule::SeesPubEnc,
+                    vec![fact.clone()],
+                ));
+                // A28: believing one sees the ciphertext.
+                if prefix.len() < config.max_belief_depth {
+                    let mut deeper = prefix.to_vec();
+                    deeper.push(p.clone());
+                    out.push(Emission::new(
+                        wrap(&deeper, Formula::sees(p.clone(), m.clone())),
+                        DerivedRule::BelievesSeesPubEnc,
+                        vec![fact.clone()],
+                    ));
+                }
+            }
+        }
+        Message::Combined { body: x, .. } => {
+            out.push(Emission::new(
+                wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
+                DerivedRule::SeesCombined,
+                vec![fact.clone()],
+            ));
+        }
+        Message::Forwarded(x) => {
+            out.push(Emission::new(
+                wrap(prefix, Formula::sees(p.clone(), (**x).clone())),
+                DerivedRule::SeesForwarded,
+                vec![fact.clone()],
+            ));
+        }
+        _ => {}
+    }
+    // Message-meaning: find a shared key/secret in context.
+    message_meaning(prefix, m, ctx, &fact, out);
+    // Sees-promotion (semantic rule).
+    if !config.axioms_only
+        && prefix.len() < config.max_belief_depth
+        && readable_with_held_keys(m, p, ctx)
+    {
+        let mut deeper = prefix.to_vec();
+        deeper.push(p.clone());
+        out.push(Emission::new(
+            wrap(&deeper, Formula::sees(p.clone(), m.clone())),
+            DerivedRule::SeesPromotion,
+            vec![fact],
+        ));
+    }
+}
+
+/// The rules a `said`/`says` fact drives (A12/A13 analogues, A20, A15).
+fn said_rules(
+    prefix: &[Principal],
+    p: &Principal,
+    m: &Message,
+    says: bool,
+    ctx: &BTreeSet<Formula>,
+    out: &mut Vec<Emission>,
+) {
+    let rebuild = |p: &Principal, x: Message| {
+        if says {
+            Formula::says(p.clone(), x)
+        } else {
+            Formula::said(p.clone(), x)
+        }
+    };
+    let fact = wrap(prefix, rebuild(p, m.clone()));
+    match m {
+        Message::Tuple(items) => {
+            for item in items {
+                out.push(Emission::new(
+                    wrap(prefix, rebuild(p, item.clone())),
+                    DerivedRule::SaidTuple,
+                    vec![fact.clone()],
+                ));
+            }
+        }
+        Message::Combined { body: x, .. } => {
+            out.push(Emission::new(
+                wrap(prefix, rebuild(p, (**x).clone())),
+                DerivedRule::SaidCombined,
+                vec![fact.clone()],
+            ));
+        }
+        _ => {}
+    }
+    if !says {
+        // A20: fresh + said ⊃ says.
+        if ctx.contains(&Formula::fresh(m.clone())) {
+            out.push(Emission::new(
+                wrap(prefix, Formula::says(p.clone(), m.clone())),
+                DerivedRule::NonceVerification,
+                vec![fact, wrap(prefix, Formula::fresh(m.clone()))],
+            ));
+        }
+    } else {
+        // A15: jurisdiction over recently said formulas.
+        if let Message::Formula(phi) = m {
+            if ctx.contains(&Formula::controls(p.clone(), (**phi).clone())) {
+                out.push(Emission::new(
+                    wrap(prefix, (**phi).clone()),
+                    DerivedRule::Jurisdiction,
+                    vec![
+                        wrap(prefix, Formula::controls(p.clone(), (**phi).clone())),
+                        fact,
+                    ],
+                ));
+            }
+        }
+    }
+}
+
+/// The freshness rules a `fresh` fact drives against the current message
+/// universe (A16–A19, A25/A26).
+fn fresh_rules(
+    prefix: &[Principal],
+    x: &Message,
+    universe: &BTreeSet<Message>,
+    out: &mut Vec<Emission>,
+) {
+    let fact = wrap(prefix, Formula::fresh(x.clone()));
+    for m in universe {
+        let (rule, fires) = match m {
+            Message::Tuple(items) => (DerivedRule::FreshTuple, items.contains(x)),
+            Message::Encrypted { body, .. } => (DerivedRule::FreshEncrypted, **body == *x),
+            Message::Combined { body, .. } => (DerivedRule::FreshCombined, **body == *x),
+            Message::Forwarded(body) => (DerivedRule::FreshForwarded, **body == *x),
+            Message::Signed { body, .. } => (DerivedRule::FreshSigned, **body == *x),
+            Message::PubEncrypted { body, .. } => (DerivedRule::FreshPubEnc, **body == *x),
+            _ => (DerivedRule::FreshTuple, false),
+        };
+        if fires {
+            out.push(Emission::new(
+                wrap(prefix, Formula::fresh(m.clone())),
+                rule,
+                vec![fact.clone()],
+            ));
+        }
+    }
+}
+
+/// A5/A6/A22 within a context: the seen message is ciphertext, a
+/// signature, or a combination whose key/secret the context believes
+/// shared (or whose public key it believes owned).
+fn message_meaning(
+    prefix: &[Principal],
+    m: &Message,
+    ctx: &BTreeSet<Formula>,
+    sees_fact: &Formula,
+    out: &mut Vec<Emission>,
+) {
+    match m {
+        Message::Encrypted { body, key, from } => {
+            for f in ctx {
+                let Formula::SharedKey(p, k, q) = f else {
+                    continue;
                 };
-                match &**m {
-                    Message::Tuple(items) => {
-                        for item in items {
-                            n += emit(
-                                self,
-                                wrap(prefix, rebuild(p, item.clone())),
-                                DerivedRule::SaidTuple,
-                                vec![fact.clone()],
-                            );
-                        }
-                    }
-                    Message::Combined { body: x, .. } => {
-                        n += emit(
-                            self,
-                            wrap(prefix, rebuild(p, (**x).clone())),
-                            DerivedRule::SaidCombined,
-                            vec![fact.clone()],
-                        );
-                    }
-                    _ => {}
+                if k != key {
+                    continue;
                 }
-                if !says {
-                    // A20: fresh + said ⊃ says.
-                    if ctx.contains(&Formula::fresh((**m).clone())) {
-                        n += emit(
-                            self,
-                            wrap(prefix, Formula::says(p.clone(), (**m).clone())),
-                            DerivedRule::NonceVerification,
-                            vec![fact.clone(), wrap(prefix, Formula::fresh((**m).clone()))],
-                        );
-                    }
-                } else {
-                    // A15: jurisdiction over recently said formulas.
-                    if let Message::Formula(phi) = &**m {
-                        if ctx.contains(&Formula::controls(p.clone(), (**phi).clone())) {
-                            n += emit(
-                                self,
-                                wrap(prefix, (**phi).clone()),
-                                DerivedRule::Jurisdiction,
-                                vec![
-                                    wrap(prefix, Formula::controls(p.clone(), (**phi).clone())),
-                                    fact.clone(),
-                                ],
-                            );
-                        }
+                // A5 needs P ≠ S (from field); identify the said-er as
+                // the peer named opposite the matching side.
+                for (side, peer) in [(p, q), (q, p)] {
+                    if side != from {
+                        out.push(Emission::new(
+                            wrap(prefix, Formula::said(peer.clone(), (**body).clone())),
+                            DerivedRule::MessageMeaningKey,
+                            vec![wrap(prefix, f.clone()), sees_fact.clone()],
+                        ));
                     }
                 }
             }
-            Formula::Fresh(x) => {
-                for m in universe {
-                    let (rule, fires) = match m {
-                        Message::Tuple(items) => (DerivedRule::FreshTuple, items.contains(x)),
-                        Message::Encrypted { body, .. } => {
-                            (DerivedRule::FreshEncrypted, **body == **x)
-                        }
-                        Message::Combined { body, .. } => {
-                            (DerivedRule::FreshCombined, **body == **x)
-                        }
-                        Message::Forwarded(body) => (DerivedRule::FreshForwarded, **body == **x),
-                        Message::Signed { body, .. } => (DerivedRule::FreshSigned, **body == **x),
-                        Message::PubEncrypted { body, .. } => {
-                            (DerivedRule::FreshPubEnc, **body == **x)
-                        }
-                        _ => (DerivedRule::FreshTuple, false),
-                    };
-                    if fires {
-                        n += emit(
-                            self,
-                            wrap(prefix, Formula::fresh(m.clone())),
-                            rule,
-                            vec![fact.clone()],
-                        );
-                    }
-                }
-            }
-            Formula::SharedKey(p, k, q) => {
-                n += emit(
-                    self,
-                    wrap(prefix, Formula::shared_key(q.clone(), k.clone(), p.clone())),
-                    DerivedRule::Symmetry,
-                    vec![fact.clone()],
-                );
-            }
-            Formula::SharedSecret(p, y, q) => {
-                n += emit(
-                    self,
-                    wrap(
-                        prefix,
-                        Formula::shared_secret(q.clone(), (**y).clone(), p.clone()),
-                    ),
-                    DerivedRule::Symmetry,
-                    vec![fact.clone()],
-                );
-            }
-            _ => {}
         }
-        n
+        Message::Signed { body, key, .. } => {
+            // A22: only the key's owner signs; no side condition.
+            for f in ctx {
+                let Formula::PublicKey(k, owner) = f else {
+                    continue;
+                };
+                if k != key {
+                    continue;
+                }
+                out.push(Emission::new(
+                    wrap(prefix, Formula::said(owner.clone(), (**body).clone())),
+                    DerivedRule::SignatureMeaning,
+                    vec![wrap(prefix, f.clone()), sees_fact.clone()],
+                ));
+            }
+        }
+        Message::Combined { body, secret, from } => {
+            for f in ctx {
+                let Formula::SharedSecret(p, y, q) = f else {
+                    continue;
+                };
+                if **y != **secret {
+                    continue;
+                }
+                for (side, peer) in [(p, q), (q, p)] {
+                    if side != from {
+                        out.push(Emission::new(
+                            wrap(prefix, Formula::said(peer.clone(), (**body).clone())),
+                            DerivedRule::MessageMeaningSecret,
+                            vec![wrap(prefix, f.clone()), sees_fact.clone()],
+                        ));
+                    }
+                }
+            }
+        }
+        _ => {}
     }
+}
 
-    /// A5/A6 within a context: the seen message is ciphertext or a
-    /// combination whose key/secret the context believes shared.
-    fn message_meaning(
-        &mut self,
-        prefix: &[Principal],
-        seer: &Principal,
-        m: &Message,
-        ctx: &BTreeSet<Formula>,
-        sees_fact: &Formula,
-    ) -> usize {
-        let mut n = 0;
-        match m {
-            Message::Encrypted { body, key, from } => {
-                for f in ctx {
-                    let Formula::SharedKey(p, k, q) = f else {
-                        continue;
-                    };
-                    if k != key {
-                        continue;
-                    }
-                    // A5 needs P ≠ S (from field); identify the said-er as
-                    // the peer named opposite the matching side.
-                    for (side, peer) in [(p, q), (q, p)] {
-                        if side != from {
-                            let concl = wrap(prefix, Formula::said(peer.clone(), (**body).clone()));
-                            if self.add(
-                                concl,
-                                DerivedRule::MessageMeaningKey,
-                                vec![wrap(prefix, f.clone()), sees_fact.clone()],
-                            ) {
-                                n += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            Message::Signed { body, key, .. } => {
-                // A22: only the key's owner signs; no side condition.
-                for f in ctx {
-                    let Formula::PublicKey(k, owner) = f else {
-                        continue;
-                    };
-                    if k != key {
-                        continue;
-                    }
-                    let concl = wrap(prefix, Formula::said(owner.clone(), (**body).clone()));
-                    if self.add(
-                        concl,
-                        DerivedRule::SignatureMeaning,
-                        vec![wrap(prefix, f.clone()), sees_fact.clone()],
-                    ) {
-                        n += 1;
-                    }
-                }
-            }
-            Message::Combined { body, secret, from } => {
-                for f in ctx {
-                    let Formula::SharedSecret(p, y, q) = f else {
-                        continue;
-                    };
-                    if **y != **secret {
-                        continue;
-                    }
-                    for (side, peer) in [(p, q), (q, p)] {
-                        if side != from {
-                            let concl = wrap(prefix, Formula::said(peer.clone(), (**body).clone()));
-                            if self.add(
-                                concl,
-                                DerivedRule::MessageMeaningSecret,
-                                vec![wrap(prefix, f.clone()), sees_fact.clone()],
-                            ) {
-                                n += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            _ => {}
+/// True if every ciphertext inside `m` is under a key the context knows
+/// `p` to hold — then `hide` leaves `m` intact for `p`.
+fn readable_with_held_keys(m: &Message, p: &Principal, ctx: &BTreeSet<Formula>) -> bool {
+    match m {
+        Message::Encrypted { body, key, .. } => {
+            let held = matches!(key, KeyTerm::Key(_))
+                && ctx.contains(&Formula::Has(p.clone(), key.clone()));
+            held && readable_with_held_keys(body, p, ctx)
         }
-        let _ = seer;
-        n
-    }
-
-    /// True if every ciphertext inside `m` is under a key the context
-    /// knows `p` to hold — then `hide` leaves `m` intact for `p`.
-    fn readable_with_held_keys(&self, m: &Message, p: &Principal, ctx: &BTreeSet<Formula>) -> bool {
-        match m {
-            Message::Encrypted { body, key, .. } => {
-                let held = matches!(key, KeyTerm::Key(_))
-                    && ctx.contains(&Formula::Has(p.clone(), key.clone()));
-                held && self.readable_with_held_keys(body, p, ctx)
-            }
-            Message::Tuple(items) => items
-                .iter()
-                .all(|i| self.readable_with_held_keys(i, p, ctx)),
-            Message::Combined { body, secret, .. } => {
-                self.readable_with_held_keys(body, p, ctx)
-                    && self.readable_with_held_keys(secret, p, ctx)
-            }
-            Message::Forwarded(body) => self.readable_with_held_keys(body, p, ctx),
-            Message::PubEncrypted { body, key, .. } => {
-                let held = key.as_key().is_some_and(|k| {
-                    ctx.contains(&Formula::Has(p.clone(), KeyTerm::Key(k.inverse())))
-                });
-                held && self.readable_with_held_keys(body, p, ctx)
-            }
-            Message::Signed { body, key, .. } => {
-                let held = matches!(key, KeyTerm::Key(_))
-                    && ctx.contains(&Formula::Has(p.clone(), key.clone()));
-                held && self.readable_with_held_keys(body, p, ctx)
-            }
-            Message::Formula(_) | Message::Principal(_) | Message::Key(_) | Message::Nonce(_) => {
-                true
-            }
-            Message::Param(_) | Message::Opaque => false,
+        Message::Tuple(items) => items.iter().all(|i| readable_with_held_keys(i, p, ctx)),
+        Message::Combined { body, secret, .. } => {
+            readable_with_held_keys(body, p, ctx) && readable_with_held_keys(secret, p, ctx)
         }
+        Message::Forwarded(body) => readable_with_held_keys(body, p, ctx),
+        Message::PubEncrypted { body, key, .. } => {
+            let held = key
+                .as_key()
+                .is_some_and(|k| ctx.contains(&Formula::Has(p.clone(), KeyTerm::Key(k.inverse()))));
+            held && readable_with_held_keys(body, p, ctx)
+        }
+        Message::Signed { body, key, .. } => {
+            let held = matches!(key, KeyTerm::Key(_))
+                && ctx.contains(&Formula::Has(p.clone(), key.clone()));
+            held && readable_with_held_keys(body, p, ctx)
+        }
+        Message::Formula(_) | Message::Principal(_) | Message::Key(_) | Message::Nonce(_) => true,
+        Message::Param(_) | Message::Opaque => false,
     }
 }
 

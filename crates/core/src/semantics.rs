@@ -22,11 +22,16 @@
 //! Run parameters (Section 8) are resolved against the outer run's
 //! bindings before the inductive definition is applied.
 
-use atl_lang::{can_see, submsgs_of_set, Formula, KeyTerm, Message, MessageSet, Principal};
-use atl_model::{LocalState, Point, Run, System};
+use atl_lang::{
+    can_see, submsgs_of_set, CacheStats, Formula, KeyTerm, Message, MessageSet, Principal,
+    TermCache,
+};
+use atl_model::{LocalState, Point, Run, SendRecord, System};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 /// Error produced during evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -103,11 +108,34 @@ impl GoodRuns {
     }
 }
 
+/// Memoized per-system evaluation state: a [`TermCache`] for the term
+/// operators (`hide`, seen submessages) plus point-level sets the hot
+/// evaluation paths recompute otherwise — the seen set per `(point,
+/// principal)`, each send record's accountable (said) submessages, and
+/// each run's pre-epoch submessage closure.
+///
+/// Everything here depends only on the [`System`], not on the good-run
+/// vector, so one cache can be shared by many [`Semantics`] evaluators
+/// over the same system (see [`Semantics::new_shared`]).
+#[derive(Debug, Default)]
+pub(crate) struct EvalCache {
+    terms: TermCache,
+    // Keyed principal-first so hits borrow the principal instead of
+    // cloning it into a composite key.
+    seen_at: BTreeMap<Principal, BTreeMap<(usize, i64), Rc<MessageSet>>>,
+    hidden_at: BTreeMap<Principal, BTreeMap<(usize, i64), Rc<LocalState>>>,
+    said_rec: BTreeMap<(usize, usize), Rc<MessageSet>>,
+    past: BTreeMap<usize, Rc<MessageSet>>,
+}
+
 /// An evaluator for a fixed system and good-run vector.
 ///
 /// Belief evaluation groups the points of each principal's good runs by
 /// hidden local state once, up front; [`Semantics::without_belief_cache`]
 /// disables this (the ablation measured by `bench_ablation_belief_cache`).
+/// Term-level operations (`hide`, seen/said submessage sets, the
+/// pre-epoch closure) are memoized in an [`EvalCache`];
+/// [`Semantics::without_term_cache`] disables that layer alone.
 ///
 /// # Examples
 ///
@@ -130,31 +158,109 @@ impl GoodRuns {
 pub struct Semantics<'a> {
     system: &'a System,
     goods: GoodRuns,
-    belief_cache: Option<BTreeMap<Principal, BTreeMap<LocalState, Vec<Point>>>>,
+    belief_cache: Option<BTreeMap<Principal, PrincipalBelief>>,
+    cache: Option<Rc<RefCell<EvalCache>>>,
+    // `P believes φ` is constant across a possibility group (every member
+    // sees the same group), so one verdict per (φ, P, group) suffices.
+    // Groups partition the good points, making the first point a sound
+    // group key. Per-evaluator: verdicts depend on the good-run vector.
+    believes_memo: RefCell<BelievesMemo>,
+}
+
+/// Belief verdicts by formula, then believer, then group representative —
+/// nested so lookups borrow every key component.
+type BelievesMemo = BTreeMap<Formula, BTreeMap<Principal, BTreeMap<Point, bool>>>;
+
+/// One principal's precomputed possibility relation: good points grouped
+/// by hidden local state, plus the inverse index from each good point to
+/// its (shared) group — so the hot belief path is a cheap `Point` lookup
+/// instead of a deep hidden-state comparison.
+#[derive(Debug, Default)]
+struct PrincipalBelief {
+    by_state: BTreeMap<Rc<LocalState>, Rc<Vec<Point>>>,
+    by_point: BTreeMap<Point, Rc<Vec<Point>>>,
+}
+
+/// `p`'s hidden local state at `(ri, k)`, memoized per point so repeated
+/// belief queries against the same evaluator (and its `warm` pass) hide
+/// each state once.
+fn hidden_at(
+    cache: &Option<Rc<RefCell<EvalCache>>>,
+    ri: usize,
+    k: i64,
+    state: &atl_model::GlobalState,
+    p: &Principal,
+) -> Rc<LocalState> {
+    let Some(cache) = cache else {
+        return Rc::new(state.local(p).hidden());
+    };
+    let c = &mut *cache.borrow_mut();
+    if let Some(h) = c.hidden_at.get(p).and_then(|m| m.get(&(ri, k))) {
+        return Rc::clone(h);
+    }
+    let rc = Rc::new(state.local(p).hidden_with(&mut c.terms));
+    c.hidden_at
+        .entry(p.clone())
+        .or_default()
+        .insert((ri, k), Rc::clone(&rc));
+    rc
 }
 
 impl<'a> Semantics<'a> {
-    /// Creates an evaluator with the belief cache enabled.
+    /// Creates an evaluator with the belief and term caches enabled.
     pub fn new(system: &'a System, goods: GoodRuns) -> Self {
+        Semantics::new_shared(system, goods, Rc::new(RefCell::new(EvalCache::default())))
+    }
+
+    /// Creates an evaluator over a shared [`EvalCache`]. The cache holds
+    /// facts about the *system* only, so evaluators for different good-run
+    /// vectors over the same system may share one (as the good-run
+    /// construction does across its stages). Sharing a cache across
+    /// *different* systems is a logic error.
+    pub(crate) fn new_shared(
+        system: &'a System,
+        goods: GoodRuns,
+        cache: Rc<RefCell<EvalCache>>,
+    ) -> Self {
         Semantics {
             system,
             goods,
             belief_cache: Some(BTreeMap::new()),
+            cache: Some(cache),
+            believes_memo: RefCell::new(BTreeMap::new()),
+        }
+        .warm()
+    }
+
+    /// Creates an evaluator with the belief cache but no term cache, so
+    /// every `hide`/seen/said query recomputes from scratch (the no-intern
+    /// ablation measured by `bench_ablation_term_cache`).
+    pub fn without_term_cache(system: &'a System, goods: GoodRuns) -> Self {
+        Semantics {
+            system,
+            goods,
+            belief_cache: Some(BTreeMap::new()),
+            cache: None,
+            believes_memo: RefCell::new(BTreeMap::new()),
         }
         .warm()
     }
 
     /// Creates an evaluator that recomputes the possibility relation on
-    /// every belief query (for the ablation benchmark).
+    /// every belief query and caches nothing at all (for the ablation
+    /// benchmark).
     pub fn without_belief_cache(system: &'a System, goods: GoodRuns) -> Self {
         Semantics {
             system,
             goods,
             belief_cache: None,
+            cache: None,
+            believes_memo: RefCell::new(BTreeMap::new()),
         }
     }
 
     fn warm(mut self) -> Self {
+        let eval_cache = self.cache.clone();
         let Some(cache) = self.belief_cache.as_mut() else {
             return self;
         };
@@ -164,20 +270,33 @@ impl<'a> Semantics<'a> {
             principals.insert(p.0.clone());
         }
         for p in principals {
-            let mut by_state: BTreeMap<LocalState, Vec<Point>> = BTreeMap::new();
+            let mut groups: BTreeMap<Rc<LocalState>, Vec<Point>> = BTreeMap::new();
             for &ri in self.goods.get(&p) {
                 let Some(run) = self.system.runs().get(ri) else {
                     continue;
                 };
                 for k in run.times() {
                     let state = run.state(k).expect("time in range");
-                    let hidden = state.local(&p).hidden();
-                    by_state.entry(hidden).or_default().push(Point::new(ri, k));
+                    let hidden = hidden_at(&eval_cache, ri, k, state, &p);
+                    groups.entry(hidden).or_default().push(Point::new(ri, k));
                 }
             }
-            cache.insert(p, by_state);
+            let mut pb = PrincipalBelief::default();
+            for (hidden, points) in groups {
+                let points = Rc::new(points);
+                for &pt in points.iter() {
+                    pb.by_point.insert(pt, Rc::clone(&points));
+                }
+                pb.by_state.insert(hidden, points);
+            }
+            cache.insert(p, pb);
         }
         self
+    }
+
+    /// Term-cache hit/miss counters (`None` when the term cache is off).
+    pub fn term_cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.borrow().terms.stats())
     }
 
     /// The underlying system.
@@ -207,6 +326,11 @@ impl<'a> Semantics<'a> {
     /// [`SemanticsError::BadPoint`] for a point outside the system.
     pub fn eval(&self, point: Point, phi: &Formula) -> Result<bool, SemanticsError> {
         let run = self.run(point)?;
+        // Substitution is the identity on ground formulas; skip the
+        // deep clone it would otherwise pay on every point.
+        if phi.is_ground() {
+            return Ok(self.eval_ground(point, phi));
+        }
         let resolved = run
             .bindings()
             .apply_formula_partial(phi)
@@ -258,11 +382,11 @@ impl<'a> Semantics<'a> {
     fn eval_public_key(&self, point: Point, k: &KeyTerm, p: &Principal) -> bool {
         let KeyTerm::Key(key) = k else { return false };
         let run = &self.system.runs()[point.run];
-        run.send_records().iter().all(|rec| {
+        run.send_records().iter().enumerate().all(|(i, rec)| {
             if rec.sender == *p {
                 return true;
             }
-            rec.said_submsgs().iter().all(|sub| {
+            self.said_set(point.run, i, rec).iter().all(|sub| {
                 let Message::Signed { key: kk, .. } = sub else {
                     return true;
                 };
@@ -281,6 +405,34 @@ impl<'a> Semantics<'a> {
         let Some(state) = run.state(point.time) else {
             return false;
         };
+        if let Some(cache) = &self.cache {
+            // Membership in the memoized seen set is `can_see` by another
+            // name: both walk exactly the readable submessages. A cache hit
+            // skips materializing the local state entirely.
+            let seen = {
+                let c = &mut *cache.borrow_mut();
+                if let Some(s) = c
+                    .seen_at
+                    .get(p)
+                    .and_then(|m| m.get(&(point.run, point.time)))
+                {
+                    Rc::clone(s)
+                } else {
+                    let local = state.local(p);
+                    let mut set = MessageSet::new();
+                    for m in &local.received() {
+                        set.extend(c.terms.seen_submsgs(m, &local.key_set).iter().cloned());
+                    }
+                    let rc = Rc::new(set);
+                    c.seen_at
+                        .entry(p.clone())
+                        .or_default()
+                        .insert((point.run, point.time), Rc::clone(&rc));
+                    rc
+                }
+            };
+            return seen.contains(x);
+        }
         let local = state.local(p);
         local
             .received()
@@ -288,14 +440,30 @@ impl<'a> Semantics<'a> {
             .any(|m| can_see(x, m, &local.key_set))
     }
 
+    /// The accountable submessages of the `idx`-th send record of run
+    /// `run`, memoized when the term cache is on ([`SendRecord::
+    /// said_submsgs`] redoes the seen-set closure on every call).
+    fn said_set(&self, run: usize, idx: usize, rec: &SendRecord) -> Rc<MessageSet> {
+        if let Some(cache) = &self.cache {
+            let c = &mut *cache.borrow_mut();
+            if let Some(s) = c.said_rec.get(&(run, idx)) {
+                return Rc::clone(s);
+            }
+            let rc = Rc::new(rec.said_submsgs());
+            c.said_rec.insert((run, idx), Rc::clone(&rc));
+            return rc;
+        }
+        Rc::new(rec.said_submsgs())
+    }
+
     /// `P said X` (or `P says X` when `recent`) at `(r, k)`.
     fn eval_said(&self, point: Point, p: &Principal, x: &Message, recent: bool) -> bool {
         let run = &self.system.runs()[point.run];
-        run.send_records().iter().any(|rec| {
+        run.send_records().iter().enumerate().any(|(i, rec)| {
             rec.sender == *p
                 && rec.time < point.time
                 && (!recent || rec.time >= 0)
-                && rec.said_submsgs().contains(x)
+                && self.said_set(point.run, i, rec).contains(x)
         })
     }
 
@@ -315,6 +483,18 @@ impl<'a> Semantics<'a> {
     /// before time 0.
     fn eval_fresh(&self, point: Point, x: &Message) -> bool {
         let run = &self.system.runs()[point.run];
+        if let Some(cache) = &self.cache {
+            let c = &mut *cache.borrow_mut();
+            let past = if let Some(s) = c.past.get(&point.run) {
+                Rc::clone(s)
+            } else {
+                let sent: MessageSet = run.sent_before_epoch();
+                let rc = Rc::new(submsgs_of_set(sent.iter()));
+                c.past.insert(point.run, Rc::clone(&rc));
+                rc
+            };
+            return !past.contains(x);
+        }
         let past: MessageSet = run.sent_before_epoch();
         !submsgs_of_set(past.iter()).contains(x)
     }
@@ -332,11 +512,11 @@ impl<'a> Semantics<'a> {
     fn eval_shared_key(&self, point: Point, p: &Principal, k: &KeyTerm, q: &Principal) -> bool {
         let KeyTerm::Key(key) = k else { return false };
         let run = &self.system.runs()[point.run];
-        run.send_records().iter().all(|rec| {
+        run.send_records().iter().enumerate().all(|(i, rec)| {
             if rec.sender == *p || rec.sender == *q {
                 return true;
             }
-            rec.said_submsgs().iter().all(|sub| {
+            self.said_set(point.run, i, rec).iter().all(|sub| {
                 let Message::Encrypted { key: kk, .. } = sub else {
                     return true;
                 };
@@ -355,11 +535,11 @@ impl<'a> Semantics<'a> {
     /// `P =Y= Q`: likewise for messages combined with the secret `Y`.
     fn eval_shared_secret(&self, point: Point, p: &Principal, y: &Message, q: &Principal) -> bool {
         let run = &self.system.runs()[point.run];
-        run.send_records().iter().all(|rec| {
+        run.send_records().iter().enumerate().all(|(i, rec)| {
             if rec.sender == *p || rec.sender == *q {
                 return true;
             }
-            rec.said_submsgs().iter().all(|sub| {
+            self.said_set(point.run, i, rec).iter().all(|sub| {
                 let Message::Combined { secret, .. } = sub else {
                     return true;
                 };
@@ -374,16 +554,35 @@ impl<'a> Semantics<'a> {
     /// The points `P` considers possible at `point`: points of `P`-good
     /// runs whose hidden local state equals `P`'s here.
     pub fn possible_points(&self, point: Point, p: &Principal) -> Vec<Point> {
+        (*self.possible_points_shared(point, p)).clone()
+    }
+
+    fn possible_points_shared(&self, point: Point, p: &Principal) -> Rc<Vec<Point>> {
+        if let Some(pb) = self.belief_cache.as_ref().and_then(|c| c.get(p)) {
+            // Cached principals were fully enumerated at construction, so a
+            // point inside `p`'s good runs resolves by index alone.
+            if let Some(points) = pb.by_point.get(&point) {
+                return Rc::clone(points);
+            }
+            // Outside the good runs (or off the end of one): match the
+            // hidden state here against the precomputed groups.
+            let run = &self.system.runs()[point.run];
+            let Some(state) = run.state(point.time) else {
+                return Rc::new(Vec::new());
+            };
+            let hidden = hidden_at(&self.cache, point.run, point.time, state, p);
+            return pb
+                .by_state
+                .get(&hidden)
+                .map(Rc::clone)
+                .unwrap_or_else(|| Rc::new(Vec::new()));
+        }
+        // No belief cache (or a principal it never saw): scan.
         let run = &self.system.runs()[point.run];
         let Some(state) = run.state(point.time) else {
-            return Vec::new();
+            return Rc::new(Vec::new());
         };
-        let hidden = state.local(p).hidden();
-        if let Some(by_state) = self.belief_cache.as_ref().and_then(|c| c.get(p)) {
-            // Cached principals were enumerated at construction; fall
-            // through to the scan for principals the cache never saw.
-            return by_state.get(&hidden).cloned().unwrap_or_default();
-        }
+        let hidden = hidden_at(&self.cache, point.run, point.time, state, p);
         let mut out = Vec::new();
         for &ri in self.goods.get(p) {
             let Some(r2) = self.system.runs().get(ri) else {
@@ -391,19 +590,43 @@ impl<'a> Semantics<'a> {
             };
             for k in r2.times() {
                 let s2 = r2.state(k).expect("time in range");
-                if s2.local(p).hidden() == hidden {
+                if hidden_at(&self.cache, ri, k, s2, p) == hidden {
                     out.push(Point::new(ri, k));
                 }
             }
         }
-        out
+        Rc::new(out)
     }
 
     /// `P believes φ` at `point`.
     fn eval_believes(&self, point: Point, p: &Principal, phi: &Formula) -> bool {
-        self.possible_points(point, p)
-            .into_iter()
-            .all(|pt| self.eval_ground(pt, phi))
+        let points = self.possible_points_shared(point, p);
+        let Some(&rep) = points.first() else {
+            return true; // no possible points: vacuously believed
+        };
+        // The memo rides with the belief cache; the uncached ablation
+        // evaluator recomputes from scratch, as advertised.
+        if self.belief_cache.is_none() {
+            return points.iter().all(|&pt| self.eval_ground(pt, phi));
+        }
+        if let Some(&v) = self
+            .believes_memo
+            .borrow()
+            .get(phi)
+            .and_then(|m| m.get(p))
+            .and_then(|m| m.get(&rep))
+        {
+            return v;
+        }
+        let v = points.iter().all(|&pt| self.eval_ground(pt, phi));
+        self.believes_memo
+            .borrow_mut()
+            .entry(phi.clone())
+            .or_default()
+            .entry(p.clone())
+            .or_default()
+            .insert(rep, v);
+        v
     }
 }
 
@@ -607,6 +830,32 @@ mod tests {
                 "mismatch at {point:?}"
             );
         }
+    }
+
+    #[test]
+    fn term_cache_matches_uncached_semantics() {
+        let sys = simple_system();
+        let cached = sem(&sys);
+        let no_terms = Semantics::without_term_cache(&sys, GoodRuns::all_runs(&sys));
+        let bare = Semantics::without_belief_cache(&sys, GoodRuns::all_runs(&sys));
+        let formulas = [
+            Formula::sees("B", nonce("X")),
+            Formula::said("A", nonce("X")),
+            Formula::says("A", nonce("X")),
+            Formula::fresh(nonce("X")),
+            Formula::fresh(Message::key(Key::new("Spare"))),
+            Formula::shared_key("A", Key::new("Kab"), "B"),
+            Formula::believes("B", Formula::said("A", nonce("X"))),
+        ];
+        for point in sys.points() {
+            for f in &formulas {
+                let want = bare.eval(point, f).unwrap();
+                assert_eq!(cached.eval(point, f).unwrap(), want, "{f} at {point:?}");
+                assert_eq!(no_terms.eval(point, f).unwrap(), want, "{f} at {point:?}");
+            }
+        }
+        assert!(cached.term_cache_stats().unwrap().hits > 0);
+        assert!(no_terms.term_cache_stats().is_none());
     }
 
     #[test]

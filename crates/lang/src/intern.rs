@@ -1,0 +1,331 @@
+//! Hash-consed interning for terms, and a memoization cache for the
+//! Section 5/6 term operators.
+//!
+//! The semantics and the prover repeatedly walk structurally identical
+//! [`Message`]/[`Formula`] trees: every `sees` query recomputes seen
+//! submessage sets, every possibility check re-hides the same histories.
+//! An [`Interner`] maps each distinct term to a small copyable ID
+//! ([`MsgId`], [`FormulaId`], [`KeySetId`]) with O(1) `Eq`/`Hash`/`Ord`,
+//! so a [`TermCache`] can memoize [`submsgs`], [`seen_submsgs`], and
+//! [`hide_message`] keyed on `(term, keyset)` pairs. Results are shared
+//! behind [`Rc`], so a cache hit costs one hash of the term and no
+//! re-walk of the result.
+//!
+//! The cache is purely an evaluation artifact: callers that want the
+//! uncached behavior simply call the free functions. Equivalence of the
+//! two paths is guarded by the tests below and by the property tests in
+//! `tests/e14_intern_cache.rs`.
+
+use crate::formula::Formula;
+use crate::hide::hide_message;
+use crate::message::Message;
+use crate::submsgs::{seen_submsgs, submsgs, KeySet, MessageSet};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Interned ID of a [`Message`]. Copyable, with cheap `Eq`/`Hash`/`Ord`:
+/// two IDs from the same [`Interner`] are equal iff the terms are equal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(u32);
+
+/// Interned ID of a [`Formula`]; see [`MsgId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FormulaId(u32);
+
+/// Interned ID of a [`KeySet`]; see [`MsgId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeySetId(u32);
+
+impl MsgId {
+    /// The arena index of this ID.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FormulaId {
+    /// The arena index of this ID.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl KeySetId {
+    /// The arena index of this ID.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A hash-consing arena: each distinct message, formula, or key set is
+/// stored once and identified by a dense `u32` ID.
+///
+/// ```
+/// use atl_lang::{Interner, Message, Nonce};
+/// let mut int = Interner::new();
+/// let a = int.message(&Message::nonce(Nonce::new("Na")));
+/// let b = int.message(&Message::nonce(Nonce::new("Na")));
+/// assert_eq!(a, b); // same term, same ID
+/// assert_eq!(int.resolve_message(a), &Message::nonce(Nonce::new("Na")));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    msgs: Vec<Rc<Message>>,
+    msg_ids: HashMap<Rc<Message>, MsgId>,
+    formulas: Vec<Rc<Formula>>,
+    formula_ids: HashMap<Rc<Formula>, FormulaId>,
+    keysets: Vec<Rc<KeySet>>,
+    keyset_ids: HashMap<Rc<KeySet>, KeySetId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `m`, returning its ID (allocating on first sight).
+    pub fn message(&mut self, m: &Message) -> MsgId {
+        if let Some(&id) = self.msg_ids.get(m) {
+            return id;
+        }
+        let id = MsgId(self.msgs.len() as u32);
+        let rc = Rc::new(m.clone());
+        self.msgs.push(Rc::clone(&rc));
+        self.msg_ids.insert(rc, id);
+        id
+    }
+
+    /// Interns `f`, returning its ID (allocating on first sight).
+    pub fn formula(&mut self, f: &Formula) -> FormulaId {
+        if let Some(&id) = self.formula_ids.get(f) {
+            return id;
+        }
+        let id = FormulaId(self.formulas.len() as u32);
+        let rc = Rc::new(f.clone());
+        self.formulas.push(Rc::clone(&rc));
+        self.formula_ids.insert(rc, id);
+        id
+    }
+
+    /// Interns `keys`, returning its ID (allocating on first sight).
+    pub fn keyset(&mut self, keys: &KeySet) -> KeySetId {
+        if let Some(&id) = self.keyset_ids.get(keys) {
+            return id;
+        }
+        let id = KeySetId(self.keysets.len() as u32);
+        let rc = Rc::new(keys.clone());
+        self.keysets.push(Rc::clone(&rc));
+        self.keyset_ids.insert(rc, id);
+        id
+    }
+
+    /// The message an ID stands for. IDs are only minted by this interner's
+    /// `message`, so the index is always in bounds.
+    pub fn resolve_message(&self, id: MsgId) -> &Message {
+        &self.msgs[id.index()]
+    }
+
+    /// The formula an ID stands for.
+    pub fn resolve_formula(&self, id: FormulaId) -> &Formula {
+        &self.formulas[id.index()]
+    }
+
+    /// The key set an ID stands for.
+    pub fn resolve_keyset(&self, id: KeySetId) -> &KeySet {
+        &self.keysets[id.index()]
+    }
+
+    /// How many distinct messages have been interned.
+    pub fn message_count(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// How many distinct formulas have been interned.
+    pub fn formula_count(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// How many distinct key sets have been interned.
+    pub fn keyset_count(&self) -> usize {
+        self.keysets.len()
+    }
+}
+
+/// Hit/miss counters for a [`TermCache`], for ablation reporting and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute and store a fresh result.
+    pub misses: u64,
+}
+
+/// A memoization layer over the Section 5/6 term operators, backed by an
+/// [`Interner`].
+///
+/// Each operator result is computed once per distinct `(term, keyset)` pair
+/// and shared behind [`Rc`] thereafter. The cached results are exactly what
+/// the free functions return:
+///
+/// ```
+/// use atl_lang::{hide_message, seen_submsgs, Key, KeySet, Message, Nonce, Principal, TermCache};
+/// let mut cache = TermCache::new();
+/// let m = Message::encrypted(Message::nonce(Nonce::new("Na")), Key::new("K"), Principal::new("S"));
+/// let keys: KeySet = [Key::new("K")].into_iter().collect();
+/// assert_eq!(*cache.seen_submsgs(&m, &keys), seen_submsgs(&m, &keys));
+/// assert_eq!(*cache.hide(&m, &keys), hide_message(&m, &keys));
+/// assert_eq!(cache.stats().misses, 2);
+/// cache.seen_submsgs(&m, &keys);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TermCache {
+    interner: Interner,
+    submsgs: HashMap<MsgId, Rc<MessageSet>>,
+    seen: HashMap<(MsgId, KeySetId), Rc<MessageSet>>,
+    hidden: HashMap<(MsgId, KeySetId), Rc<Message>>,
+    stats: CacheStats,
+}
+
+impl TermCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TermCache::default()
+    }
+
+    /// The interner backing this cache.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Memoized [`submsgs`].
+    pub fn submsgs(&mut self, m: &Message) -> Rc<MessageSet> {
+        let id = self.interner.message(m);
+        if let Some(s) = self.submsgs.get(&id) {
+            self.stats.hits += 1;
+            return Rc::clone(s);
+        }
+        self.stats.misses += 1;
+        let s = Rc::new(submsgs(m));
+        self.submsgs.insert(id, Rc::clone(&s));
+        s
+    }
+
+    /// Memoized [`seen_submsgs`], keyed on the `(term, keyset)` pair.
+    pub fn seen_submsgs(&mut self, m: &Message, keys: &KeySet) -> Rc<MessageSet> {
+        let key = (self.interner.message(m), self.interner.keyset(keys));
+        if let Some(s) = self.seen.get(&key) {
+            self.stats.hits += 1;
+            return Rc::clone(s);
+        }
+        self.stats.misses += 1;
+        let s = Rc::new(seen_submsgs(m, keys));
+        self.seen.insert(key, Rc::clone(&s));
+        s
+    }
+
+    /// Memoized [`hide_message`], keyed on the `(term, keyset)` pair.
+    pub fn hide(&mut self, m: &Message, keys: &KeySet) -> Rc<Message> {
+        let key = (self.interner.message(m), self.interner.keyset(keys));
+        if let Some(h) = self.hidden.get(&key) {
+            self.stats.hits += 1;
+            return Rc::clone(h);
+        }
+        self.stats.misses += 1;
+        let h = Rc::new(hide_message(m, keys));
+        self.hidden.insert(key, Rc::clone(&h));
+        h
+    }
+
+    /// Memoized [`crate::can_see`]: membership in the memoized seen set.
+    pub fn can_see(&mut self, needle: &Message, hay: &Message, keys: &KeySet) -> bool {
+        self.seen_submsgs(hay, keys).contains(needle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::{Key, Nonce, Principal};
+    use crate::submsgs::can_see;
+
+    fn nonce(s: &str) -> Message {
+        Message::nonce(Nonce::new(s))
+    }
+
+    fn keyset(keys: &[&str]) -> KeySet {
+        keys.iter().map(Key::new).collect()
+    }
+
+    #[test]
+    fn interning_is_injective_on_terms() {
+        let mut int = Interner::new();
+        let a = int.message(&nonce("A"));
+        let b = int.message(&nonce("B"));
+        let a2 = int.message(&nonce("A"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(int.message_count(), 2);
+        assert_eq!(int.resolve_message(b), &nonce("B"));
+
+        let f = Formula::sees(Principal::new("P"), nonce("A"));
+        let fid = int.formula(&f);
+        assert_eq!(int.formula(&f), fid);
+        assert_eq!(int.resolve_formula(fid), &f);
+
+        let ks = keyset(&["K1", "K2"]);
+        let kid = int.keyset(&ks);
+        assert_eq!(int.keyset(&ks), kid);
+        assert_eq!(int.resolve_keyset(kid), &ks);
+    }
+
+    #[test]
+    fn cache_matches_plain_operators() {
+        let s = Principal::new("S");
+        let m = Message::tuple([
+            Message::encrypted(nonce("X"), Key::new("Ka"), s.clone()),
+            Message::encrypted(nonce("Y"), Key::new("Kb"), s.clone()),
+            Message::combined(nonce("B"), nonce("Sec"), s),
+        ]);
+        let mut cache = TermCache::new();
+        for ks in [keyset(&[]), keyset(&["Ka"]), keyset(&["Ka", "Kb"])] {
+            assert_eq!(*cache.submsgs(&m), submsgs(&m));
+            assert_eq!(*cache.seen_submsgs(&m, &ks), seen_submsgs(&m, &ks));
+            assert_eq!(*cache.hide(&m, &ks), hide_message(&m, &ks));
+            assert_eq!(
+                cache.can_see(&nonce("X"), &m, &ks),
+                can_see(&nonce("X"), &m, &ks)
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_queries() {
+        let mut cache = TermCache::new();
+        let m = nonce("N");
+        let ks = keyset(&["K"]);
+        cache.seen_submsgs(&m, &ks);
+        let misses = cache.stats().misses;
+        cache.seen_submsgs(&m, &ks);
+        cache.seen_submsgs(&m, &ks);
+        assert_eq!(cache.stats().misses, misses);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn distinct_keysets_get_distinct_entries() {
+        let s = Principal::new("S");
+        let m = Message::encrypted(nonce("X"), Key::new("K"), s);
+        let mut cache = TermCache::new();
+        assert!(!cache.seen_submsgs(&m, &keyset(&[])).contains(&nonce("X")));
+        assert!(cache
+            .seen_submsgs(&m, &keyset(&["K"]))
+            .contains(&nonce("X")));
+    }
+}

@@ -11,6 +11,8 @@
 //! - [`said_submsgs`] — what a sender is accountable for (Section 5);
 //! - [`hide_message`] — masking unreadable ciphertext (Section 6);
 //! - [`Bindings`] — run-valued parameter substitution (Section 8);
+//! - [`Interner`]/[`TermCache`] — hash-consed term IDs and memoized
+//!   versions of the operators above, for evaluators on hot paths;
 //! - a [`parser`] and `Display` impls for paper-style concrete syntax.
 //!
 //! # Quick example
@@ -32,6 +34,7 @@
 mod display;
 mod formula;
 mod hide;
+mod intern;
 mod message;
 mod name;
 mod submsgs;
@@ -44,6 +47,7 @@ pub mod arbitrary;
 
 pub use formula::Formula;
 pub use hide::hide_message;
+pub use intern::{CacheStats, FormulaId, Interner, KeySetId, MsgId, TermCache};
 pub use message::{KeyTerm, Message};
 pub use name::{Key, Name, Nonce, Param, Principal, Prop};
 pub use submsgs::{

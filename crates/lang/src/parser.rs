@@ -28,6 +28,24 @@ use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
+/// What class of failure a [`ParseError`] reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed input: unexpected token or character.
+    #[default]
+    Syntax,
+    /// The input nests deeper than [`MAX_NESTING_DEPTH`]; rejected up front
+    /// so adversarial spec files cannot overflow the parser's call stack.
+    TooDeep,
+}
+
+/// Maximum nesting depth the parser accepts for formulas and messages.
+///
+/// Deeper input fails with [`ParseErrorKind::TooDeep`]. Real specs nest a
+/// handful of levels; this bound exists to keep recursive descent safe on
+/// adversarial input.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 /// Error raised when parsing fails, with a byte offset into the input.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
@@ -35,6 +53,8 @@ pub struct ParseError {
     pub offset: usize,
     /// Human-readable description of what went wrong.
     pub message: String,
+    /// The class of failure, for callers that handle them differently.
+    pub kind: ParseErrorKind,
 }
 
 impl fmt::Display for ParseError {
@@ -170,6 +190,7 @@ impl<'a> Lexer<'a> {
                     return Err(ParseError {
                         offset: self.pos,
                         message: "expected identifier after `$`".into(),
+                        kind: ParseErrorKind::Syntax,
                     });
                 }
                 let word = after[..len].to_string();
@@ -209,6 +230,7 @@ impl<'a> Lexer<'a> {
                     return Err(ParseError {
                         offset: self.pos,
                         message: format!("unexpected character `{other}`"),
+                        kind: ParseErrorKind::Syntax,
                     })
                 }
             };
@@ -223,6 +245,7 @@ struct Parser<'a> {
     idx: usize,
     syms: &'a Symbols,
     end: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -255,7 +278,27 @@ impl<'a> Parser<'a> {
         ParseError {
             offset: self.offset(),
             message,
+            kind: ParseErrorKind::Syntax,
         }
+    }
+
+    /// Runs `body` one nesting level deeper, failing with
+    /// [`ParseErrorKind::TooDeep`] once [`MAX_NESTING_DEPTH`] is exceeded.
+    fn nested<T>(
+        &mut self,
+        body: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(ParseError {
+                offset: self.offset(),
+                message: format!("nesting deeper than {MAX_NESTING_DEPTH} levels"),
+                kind: ParseErrorKind::TooDeep,
+            });
+        }
+        self.depth += 1;
+        let result = body(self);
+        self.depth -= 1;
+        result
     }
 
     fn ident(&mut self, what: &str) -> Result<String, ParseError> {
@@ -270,14 +313,16 @@ impl<'a> Parser<'a> {
 
     // formula := implication
     fn formula(&mut self) -> Result<Formula, ParseError> {
-        let lhs = self.disjunction()?;
-        if self.peek() == Some(&Tok::Arrow) {
-            self.idx += 1;
-            let rhs = self.formula()?;
-            Ok(Formula::implies(lhs, rhs))
-        } else {
-            Ok(lhs)
-        }
+        self.nested(|p| {
+            let lhs = p.disjunction()?;
+            if p.peek() == Some(&Tok::Arrow) {
+                p.idx += 1;
+                let rhs = p.formula()?;
+                Ok(Formula::implies(lhs, rhs))
+            } else {
+                Ok(lhs)
+            }
+        })
     }
 
     fn disjunction(&mut self) -> Result<Formula, ParseError> {
@@ -301,11 +346,15 @@ impl<'a> Parser<'a> {
     }
 
     fn unary(&mut self) -> Result<Formula, ParseError> {
-        if self.peek() == Some(&Tok::Tilde) {
-            self.idx += 1;
-            return Ok(Formula::not(self.unary()?));
-        }
-        self.atom()
+        // Counted against the nesting depth: `~` chains recurse here
+        // without passing through `formula`.
+        self.nested(|p| {
+            if p.peek() == Some(&Tok::Tilde) {
+                p.idx += 1;
+                return Ok(Formula::not(p.unary()?));
+            }
+            p.atom()
+        })
     }
 
     fn atom(&mut self) -> Result<Formula, ParseError> {
@@ -441,6 +490,10 @@ impl<'a> Parser<'a> {
     }
 
     fn msgatom(&mut self) -> Result<Message, ParseError> {
+        self.nested(Self::msgatom_body)
+    }
+
+    fn msgatom_body(&mut self) -> Result<Message, ParseError> {
         match self.peek() {
             Some(Tok::LParen) => {
                 self.idx += 1;
@@ -560,6 +613,7 @@ pub fn parse_formula(input: &str, syms: &Symbols) -> Result<Formula, ParseError>
         idx: 0,
         syms,
         end: input.len(),
+        depth: 0,
     };
     let f = p.formula()?;
     p.finish(f)
@@ -577,6 +631,7 @@ pub fn parse_message(input: &str, syms: &Symbols) -> Result<Message, ParseError>
         idx: 0,
         syms,
         end: input.len(),
+        depth: 0,
     };
     let m = p.message()?;
     p.finish(m)
@@ -590,6 +645,27 @@ mod tests {
         Symbols::new()
             .principals(["A", "B", "S", "Env"])
             .keys(["Kab", "Kas", "Kbs"])
+    }
+
+    #[test]
+    fn adversarially_deep_input_errors_instead_of_crashing() {
+        // Way past MAX_NESTING_DEPTH: must come back as TooDeep, not a
+        // stack overflow.
+        let deep_msg = format!("{}Na{}", "(".repeat(100_000), ")".repeat(100_000));
+        let err = parse_message(&deep_msg, &syms()).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep);
+        let deep_formula = format!("{}good", "~".repeat(100_000));
+        let err = parse_formula(&deep_formula, &syms()).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep);
+        assert!(err.to_string().contains("nesting deeper than"));
+    }
+
+    #[test]
+    fn reasonable_nesting_stays_within_the_depth_budget() {
+        let nested = format!("{}Na{}", "'".repeat(40), "'".repeat(40));
+        assert!(parse_message(&nested, &syms()).is_ok());
+        let err = parse_formula("A believes (", &syms()).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
     }
 
     #[test]

@@ -41,31 +41,30 @@ pub fn submsgs(m: &Message) -> MessageSet {
     out
 }
 
+// All collectors below use an explicit worklist rather than recursion so
+// that adversarially deep terms cannot overflow the call stack.
 fn collect_submsgs(m: &Message, out: &mut MessageSet) {
-    if !out.insert(m.clone()) {
-        return;
-    }
-    match m {
-        Message::Tuple(items) => {
-            for item in items {
-                collect_submsgs(item, out);
+    let mut stack = vec![m];
+    while let Some(m) = stack.pop() {
+        if !out.insert(m.clone()) {
+            continue;
+        }
+        match m {
+            Message::Tuple(items) => stack.extend(items.iter()),
+            Message::Encrypted { body, .. } => stack.push(body),
+            Message::Combined { body, secret, .. } => {
+                stack.push(body);
+                stack.push(secret);
             }
+            Message::Forwarded(body) => stack.push(body),
+            Message::PubEncrypted { body, .. } | Message::Signed { body, .. } => stack.push(body),
+            Message::Formula(_)
+            | Message::Principal(_)
+            | Message::Key(_)
+            | Message::Nonce(_)
+            | Message::Param(_)
+            | Message::Opaque => {}
         }
-        Message::Encrypted { body, .. } => collect_submsgs(body, out),
-        Message::Combined { body, secret, .. } => {
-            collect_submsgs(body, out);
-            collect_submsgs(secret, out);
-        }
-        Message::Forwarded(body) => collect_submsgs(body, out),
-        Message::PubEncrypted { body, .. } | Message::Signed { body, .. } => {
-            collect_submsgs(body, out)
-        }
-        Message::Formula(_)
-        | Message::Principal(_)
-        | Message::Key(_)
-        | Message::Nonce(_)
-        | Message::Param(_)
-        | Message::Opaque => {}
     }
 }
 
@@ -81,21 +80,24 @@ pub fn submsgs_of_set<'a>(ms: impl IntoIterator<Item = &'a Message>) -> MessageS
 /// True iff `needle` is a submessage of `hay` (including `hay` itself),
 /// without materializing the submessage set.
 pub fn is_submsg(needle: &Message, hay: &Message) -> bool {
-    if needle == hay {
-        return true;
-    }
-    match hay {
-        Message::Tuple(items) => items.iter().any(|item| is_submsg(needle, item)),
-        Message::Encrypted { body, .. } => is_submsg(needle, body),
-        Message::Combined { body, secret, .. } => {
-            is_submsg(needle, body) || is_submsg(needle, secret)
+    let mut stack = vec![hay];
+    while let Some(m) = stack.pop() {
+        if needle == m {
+            return true;
         }
-        Message::Forwarded(body) => is_submsg(needle, body),
-        Message::PubEncrypted { body, .. } | Message::Signed { body, .. } => {
-            is_submsg(needle, body)
+        match m {
+            Message::Tuple(items) => stack.extend(items.iter()),
+            Message::Encrypted { body, .. } => stack.push(body),
+            Message::Combined { body, secret, .. } => {
+                stack.push(body);
+                stack.push(secret);
+            }
+            Message::Forwarded(body) => stack.push(body),
+            Message::PubEncrypted { body, .. } | Message::Signed { body, .. } => stack.push(body),
+            _ => {}
         }
-        _ => false,
     }
+    false
 }
 
 /// The `seen-submsgs_K(M)` operator of Section 5: the components of `M`
@@ -126,36 +128,32 @@ pub fn seen_submsgs(m: &Message, keys: &KeySet) -> MessageSet {
     out
 }
 
-fn collect_seen(m: &Message, keys: &KeySet, out: &mut MessageSet) {
-    if !out.insert(m.clone()) {
-        return;
-    }
+/// Pushes the children of `m` that a holder of `keys` can read onto
+/// `stack`. This single definition of "readable child" backs
+/// [`collect_seen`] and [`can_see`], keeping them equivalent.
+fn push_seen_children<'a>(m: &'a Message, keys: &KeySet, stack: &mut Vec<&'a Message>) {
     match m {
-        Message::Tuple(items) => {
-            for item in items {
-                collect_seen(item, keys, out);
-            }
-        }
+        Message::Tuple(items) => stack.extend(items.iter()),
         Message::Encrypted { body, key, .. } => {
             if let KeyTerm::Key(k) = key {
                 if keys.contains(k) {
-                    collect_seen(body, keys, out);
+                    stack.push(body);
                 }
             }
         }
-        Message::Combined { body, .. } => collect_seen(body, keys, out),
-        Message::Forwarded(body) => collect_seen(body, keys, out),
+        Message::Combined { body, .. } => stack.push(body),
+        Message::Forwarded(body) => stack.push(body),
         Message::PubEncrypted { body, key, .. } => {
             if let KeyTerm::Key(k) = key {
                 if keys.contains(&k.inverse()) {
-                    collect_seen(body, keys, out);
+                    stack.push(body);
                 }
             }
         }
         Message::Signed { body, key, .. } => {
             if let KeyTerm::Key(k) = key {
                 if keys.contains(k) {
-                    collect_seen(body, keys, out);
+                    stack.push(body);
                 }
             }
         }
@@ -165,6 +163,16 @@ fn collect_seen(m: &Message, keys: &KeySet, out: &mut MessageSet) {
         | Message::Nonce(_)
         | Message::Param(_)
         | Message::Opaque => {}
+    }
+}
+
+fn collect_seen(m: &Message, keys: &KeySet, out: &mut MessageSet) {
+    let mut stack = vec![m];
+    while let Some(m) = stack.pop() {
+        if !out.insert(m.clone()) {
+            continue;
+        }
+        push_seen_children(m, keys, &mut stack);
     }
 }
 
@@ -183,27 +191,14 @@ pub fn seen_submsgs_of_set<'a>(
 
 /// True iff `needle ∈ seen-submsgs_keys(hay)` without materializing the set.
 pub fn can_see(needle: &Message, hay: &Message, keys: &KeySet) -> bool {
-    if needle == hay {
-        return true;
+    let mut stack = vec![hay];
+    while let Some(m) = stack.pop() {
+        if needle == m {
+            return true;
+        }
+        push_seen_children(m, keys, &mut stack);
     }
-    match hay {
-        Message::Tuple(items) => items.iter().any(|item| can_see(needle, item, keys)),
-        Message::Encrypted { body, key, .. } => match key {
-            KeyTerm::Key(k) if keys.contains(k) => can_see(needle, body, keys),
-            _ => false,
-        },
-        Message::Combined { body, .. } => can_see(needle, body, keys),
-        Message::Forwarded(body) => can_see(needle, body, keys),
-        Message::PubEncrypted { body, key, .. } => match key {
-            KeyTerm::Key(k) if keys.contains(&k.inverse()) => can_see(needle, body, keys),
-            _ => false,
-        },
-        Message::Signed { body, key, .. } => match key {
-            KeyTerm::Key(k) if keys.contains(k) => can_see(needle, body, keys),
-            _ => false,
-        },
-        _ => false,
-    }
+    false
 }
 
 /// The `said-submsgs_{K,M}(M)` operator of Section 5: the components of a
@@ -245,52 +240,51 @@ pub fn said_submsgs(m: &Message, keys: &KeySet, received: &MessageSet) -> Messag
 }
 
 fn collect_said(m: &Message, keys: &KeySet, received: &MessageSet, out: &mut MessageSet) {
-    if !out.insert(m.clone()) {
-        return;
-    }
-    match m {
-        Message::Tuple(items) => {
-            for item in items {
-                collect_said(item, keys, received, out);
-            }
+    let mut stack = vec![m];
+    while let Some(m) = stack.pop() {
+        if !out.insert(m.clone()) {
+            continue;
         }
-        Message::Encrypted { body, key, .. } => {
-            if let KeyTerm::Key(k) = key {
-                if keys.contains(k) {
-                    collect_said(body, keys, received, out);
+        match m {
+            Message::Tuple(items) => stack.extend(items.iter()),
+            Message::Encrypted { body, key, .. } => {
+                if let KeyTerm::Key(k) = key {
+                    if keys.contains(k) {
+                        stack.push(body);
+                    }
                 }
             }
-        }
-        Message::Combined { body, .. } => collect_said(body, keys, received, out),
-        Message::Forwarded(body) => {
-            let seen_before = received.iter().any(|r| can_see(body, r, keys));
-            if !seen_before {
-                collect_said(body, keys, received, out);
-            }
-        }
-        Message::PubEncrypted { body, key, .. } => {
-            // Anyone holding the public key can construct the ciphertext
-            // and so vouches for its contents.
-            if let KeyTerm::Key(k) = key {
-                if keys.contains(k) {
-                    collect_said(body, keys, received, out);
+            Message::Combined { body, .. } => stack.push(body),
+            Message::Forwarded(body) => {
+                let seen_before = received.iter().any(|r| can_see(body, r, keys));
+                if !seen_before {
+                    stack.push(body);
                 }
             }
-        }
-        Message::Signed { body, key, .. } => {
-            // Only the private-key holder can sign.
-            if let KeyTerm::Key(k) = key {
-                if keys.contains(&k.inverse()) {
-                    collect_said(body, keys, received, out);
+            Message::PubEncrypted { body, key, .. } => {
+                // Anyone holding the public key can construct the ciphertext
+                // and so vouches for its contents.
+                if let KeyTerm::Key(k) = key {
+                    if keys.contains(k) {
+                        stack.push(body);
+                    }
                 }
             }
+            Message::Signed { body, key, .. } => {
+                // Only the private-key holder can sign.
+                if let KeyTerm::Key(k) = key {
+                    if keys.contains(&k.inverse()) {
+                        stack.push(body);
+                    }
+                }
+            }
+            Message::Formula(_)
+            | Message::Principal(_)
+            | Message::Key(_)
+            | Message::Nonce(_)
+            | Message::Param(_)
+            | Message::Opaque => {}
         }
-        Message::Formula(_)
-        | Message::Principal(_)
-        | Message::Key(_)
-        | Message::Nonce(_)
-        | Message::Param(_)
-        | Message::Opaque => {}
     }
 }
 
@@ -423,6 +417,22 @@ mod tests {
         let m = Message::tuple([nonce("Ts"), f.clone()]);
         let said = said_submsgs(&m, &keyset(&[]), &MessageSet::new());
         assert!(said.contains(&f));
+    }
+
+    #[test]
+    fn deeply_nested_terms_do_not_overflow_the_stack() {
+        // A 200_000-deep forwarding chain used to blow the call stack in
+        // the recursive walkers; the explicit-stack versions handle it.
+        // Only clone-free operations are exercised (and the chain is
+        // leaked at the end): the derived Clone/Drop impls recurse by
+        // nature, so materializing collectors stay out of this test.
+        let depth = 200_000;
+        let bottom = nonce("X");
+        let fwd_chain = (0..depth).fold(bottom.clone(), |m, _| Message::forwarded(m));
+        assert!(can_see(&bottom, &fwd_chain, &keyset(&[])));
+        assert!(is_submsg(&bottom, &fwd_chain));
+        assert!(!is_submsg(&nonce("Y"), &fwd_chain));
+        std::mem::forget(fwd_chain);
     }
 
     #[test]

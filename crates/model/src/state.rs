@@ -1,7 +1,7 @@
 //! Local, environment, and global states (Section 5).
 
 use crate::action::{Action, Event};
-use atl_lang::{hide_message, KeySet, Message, MessageSet, Principal};
+use atl_lang::{hide_message, KeySet, Message, MessageSet, Principal, TermCache};
 use std::collections::BTreeMap;
 
 /// A system principal's local state: its local history, its key set, and
@@ -58,17 +58,28 @@ impl LocalState {
     /// Two local states are indistinguishable to their owner exactly when
     /// their hidden forms are equal.
     pub fn hidden(&self) -> LocalState {
+        self.hidden_by(&mut |m, keys| hide_message(m, keys))
+    }
+
+    /// [`Self::hidden`] routed through a [`TermCache`], so repeated hides
+    /// of the same `(message, key set)` pair — ubiquitous when scanning
+    /// many points of the same system — are computed once.
+    pub fn hidden_with(&self, cache: &mut TermCache) -> LocalState {
+        self.hidden_by(&mut |m, keys| (*cache.hide(m, keys)).clone())
+    }
+
+    fn hidden_by(&self, hide: &mut dyn FnMut(&Message, &KeySet) -> Message) -> LocalState {
         LocalState {
             history: self
                 .history
                 .iter()
                 .map(|a| match a {
                     Action::Send { message, to } => Action::Send {
-                        message: hide_message(message, &self.key_set),
+                        message: hide(message, &self.key_set),
                         to: to.clone(),
                     },
                     Action::Receive { message } => Action::Receive {
-                        message: hide_message(message, &self.key_set),
+                        message: hide(message, &self.key_set),
                     },
                     Action::NewKey { key } => Action::NewKey { key: key.clone() },
                 })
@@ -195,6 +206,25 @@ mod tests {
             s
         };
         assert_eq!(mk("X").hidden(), mk("Y").hidden());
+    }
+
+    #[test]
+    fn hidden_with_cache_matches_uncached_hidden() {
+        let mut s = LocalState::with_keys([Key::new("Ka")]);
+        s.history.push(Action::receive(Message::encrypted(
+            nonce("X"),
+            Key::new("Ka"),
+            Principal::new("S"),
+        )));
+        s.history.push(Action::send(
+            Message::encrypted(nonce("Y"), Key::new("Kb"), Principal::new("S")),
+            "B",
+        ));
+        let mut cache = TermCache::new();
+        assert_eq!(s.hidden_with(&mut cache), s.hidden());
+        // Second pass over the same state is answered from the cache.
+        assert_eq!(s.hidden_with(&mut cache), s.hidden());
+        assert!(cache.stats().hits >= 2);
     }
 
     #[test]
