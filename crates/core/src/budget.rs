@@ -13,6 +13,8 @@
 //! *unknown*, not as a refutation.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Resource limits for a saturation-style analysis. The default is
@@ -78,14 +80,27 @@ impl fmt::Display for Budget {
     }
 }
 
+/// Shared state behind every handle to one logical meter.
+#[derive(Debug)]
+struct MeterState {
+    budget: Budget,
+    steps: AtomicU64,
+    started: Instant,
+    exhausted: AtomicBool,
+}
+
 /// Running consumption against a [`Budget`]. Once any axis is exceeded
 /// the meter latches exhausted and refuses all further charges.
+///
+/// A `BudgetMeter` is a *handle*: cloning it yields another handle onto
+/// the same counters, so a single budget can meter several workers at
+/// once. The step axis is charged with a compare-and-swap below the cap,
+/// so under any interleaving exactly `cap` charges succeed in total —
+/// two workers racing a 1-step budget never both proceed — and the
+/// exhausted latch, once set by any handle, is visible to all of them.
 #[derive(Clone, Debug)]
 pub struct BudgetMeter {
-    budget: Budget,
-    steps: u64,
-    started: Instant,
-    exhausted: bool,
+    inner: Arc<MeterState>,
 }
 
 impl BudgetMeter {
@@ -99,42 +114,58 @@ impl BudgetMeter {
             || budget.max_facts == Some(0)
             || budget.max_millis == Some(0);
         BudgetMeter {
-            budget,
-            steps: 0,
-            started: Instant::now(),
-            exhausted: born_exhausted,
+            inner: Arc::new(MeterState {
+                budget,
+                steps: AtomicU64::new(0),
+                started: Instant::now(),
+                exhausted: AtomicBool::new(born_exhausted),
+            }),
         }
     }
 
-    /// Steps charged so far.
+    /// Steps charged so far (across every handle to this meter).
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.inner.steps.load(Ordering::Acquire)
     }
 
-    /// True once any axis has been exceeded.
+    /// True once any axis has been exceeded (by any handle).
     pub fn exhausted(&self) -> bool {
-        self.exhausted
+        self.inner.exhausted.load(Ordering::Acquire)
     }
 
     /// Attempts to charge one derivation step while the tracked fact set
     /// holds `facts_now` entries. Returns false — latching the exhausted
     /// state — if the budget does not cover it.
-    pub fn charge(&mut self, facts_now: usize) -> bool {
-        if self.exhausted {
+    pub fn charge(&self, facts_now: usize) -> bool {
+        let s = &*self.inner;
+        if s.exhausted.load(Ordering::Acquire) {
             return false;
         }
-        let over = self.budget.max_steps.is_some_and(|cap| self.steps >= cap)
-            || self.budget.max_facts.is_some_and(|cap| facts_now >= cap)
-            || self.budget.max_millis.is_some_and(|cap| {
+        let over = s.budget.max_facts.is_some_and(|cap| facts_now >= cap)
+            || s.budget.max_millis.is_some_and(|cap| {
                 // Saturate rather than truncate: a cap near u64::MAX must
                 // not wrap a long elapsed time into "under budget".
-                u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX) >= cap
+                u64::try_from(s.started.elapsed().as_millis()).unwrap_or(u64::MAX) >= cap
             });
         if over {
-            self.exhausted = true;
+            s.exhausted.store(true, Ordering::Release);
             return false;
         }
-        self.steps = self.steps.saturating_add(1);
+        // Claim a step only while strictly below the cap: the CAS loop
+        // guarantees exactly `cap` charges succeed, no matter how many
+        // handles race.
+        let claim = s
+            .steps
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                match s.budget.max_steps {
+                    Some(cap) if n >= cap => None,
+                    _ => Some(n.saturating_add(1)),
+                }
+            });
+        if claim.is_err() {
+            s.exhausted.store(true, Ordering::Release);
+            return false;
+        }
         true
     }
 }
@@ -211,7 +242,7 @@ mod tests {
 
     #[test]
     fn unlimited_budget_never_exhausts() {
-        let mut m = BudgetMeter::start(Budget::unlimited());
+        let m = BudgetMeter::start(Budget::unlimited());
         for i in 0..10_000 {
             assert!(m.charge(i));
         }
@@ -221,7 +252,7 @@ mod tests {
 
     #[test]
     fn step_cap_latches() {
-        let mut m = BudgetMeter::start(Budget::unlimited().steps(3));
+        let m = BudgetMeter::start(Budget::unlimited().steps(3));
         assert!(m.charge(0));
         assert!(m.charge(0));
         assert!(m.charge(0));
@@ -239,7 +270,7 @@ mod tests {
             Budget::unlimited().facts(0),
             Budget::unlimited().millis(0),
         ] {
-            let mut m = BudgetMeter::start(b);
+            let m = BudgetMeter::start(b);
             assert!(m.exhausted(), "{b} should start exhausted");
             assert!(!m.charge(0));
             assert_eq!(m.steps(), 0);
@@ -250,17 +281,88 @@ mod tests {
     fn huge_millis_cap_is_not_truncated() {
         // `as u64` on the elapsed u128 would wrap for huge caps compared
         // against; with saturation the charge fits comfortably.
-        let mut m = BudgetMeter::start(Budget::unlimited().millis(u64::MAX));
+        let m = BudgetMeter::start(Budget::unlimited().millis(u64::MAX));
         assert!(m.charge(0));
         assert!(!m.exhausted());
     }
 
     #[test]
     fn fact_cap_checks_current_size() {
-        let mut m = BudgetMeter::start(Budget::unlimited().facts(5));
+        let m = BudgetMeter::start(Budget::unlimited().facts(5));
         assert!(m.charge(4));
         assert!(!m.charge(5));
         assert!(m.exhausted());
+    }
+
+    #[test]
+    fn clones_share_the_meter() {
+        let m = BudgetMeter::start(Budget::unlimited().steps(2));
+        let h = m.clone();
+        assert!(m.charge(0));
+        assert!(h.charge(0));
+        // Both handles observe the shared totals and the shared latch.
+        assert_eq!(m.steps(), 2);
+        assert!(!m.charge(0));
+        assert!(h.exhausted());
+    }
+
+    #[test]
+    fn two_workers_racing_a_one_step_budget_never_both_proceed() {
+        // Satellite: the CAS claim means exactly one of two racing
+        // charges can succeed on a 1-step budget, on every interleaving.
+        for _ in 0..200 {
+            let m = BudgetMeter::start(Budget::unlimited().steps(1));
+            let (a, b) = std::thread::scope(|scope| {
+                let h1 = m.clone();
+                let h2 = m.clone();
+                let t1 = scope.spawn(move || h1.charge(0));
+                let t2 = scope.spawn(move || h2.charge(0));
+                (t1.join().expect("worker ok"), t2.join().expect("worker ok"))
+            });
+            assert!(
+                a ^ b,
+                "exactly one racing charge may win a 1-step budget (got {a}, {b})"
+            );
+            assert_eq!(m.steps(), 1);
+            assert!(m.exhausted());
+        }
+    }
+
+    #[test]
+    fn racing_workers_never_oversubscribe_a_step_cap() {
+        let m = BudgetMeter::start(Budget::unlimited().steps(64));
+        let wins: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let h = m.clone();
+                    scope.spawn(move || (0..100).filter(|_| h.charge(0)).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().expect("worker ok"))
+                .sum()
+        });
+        assert_eq!(wins, 64, "exactly cap charges succeed across workers");
+        assert_eq!(m.steps(), 64);
+        assert!(m.exhausted());
+    }
+
+    #[test]
+    fn zero_budget_latch_holds_under_concurrency() {
+        let m = BudgetMeter::start(Budget::unlimited().steps(0));
+        let wins: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let h = m.clone();
+                    scope.spawn(move || (0..50).filter(|_| h.charge(0)).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().expect("worker ok"))
+                .sum()
+        });
+        assert_eq!(wins, 0, "a born-exhausted meter admits no charge at all");
+        assert_eq!(m.steps(), 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   counterexample.
 
 use crate::budget::{Budget, BudgetMeter, Saturation};
+use crate::parallel::Pool;
 use crate::semantics::{EvalCache, GoodRuns, Semantics, SemanticsError};
 use atl_lang::{Formula, Principal};
 use atl_model::{Point, System};
@@ -238,7 +239,7 @@ pub fn construct_budgeted(
     budget: Budget,
 ) -> Result<(GoodRuns, ConstructionReport, Saturation), GoodRunsError> {
     assumptions.check()?;
-    let mut meter = BudgetMeter::start(budget);
+    let meter = BudgetMeter::start(budget);
     let mut current = GoodRuns::all_runs(system);
     let all: BTreeSet<usize> = (0..system.len()).collect();
     // Make every assuming principal explicit so `set` updates land.
@@ -272,6 +273,129 @@ pub fn construct_budgeted(
                     if sem.eval(Point::new(ri, 0), body)? {
                         surviving.insert(ri);
                     }
+                }
+                keep = surviving;
+            }
+            stage.insert(p.clone(), keep.len());
+            next.set(p.clone(), keep);
+        }
+        report.stages.push(stage);
+        current = next;
+    }
+    let outcome = if meter.exhausted() {
+        Saturation::BudgetExhausted {
+            facts: report.stages.len(),
+            steps: meter.steps(),
+        }
+    } else {
+        Saturation::Complete {
+            new_facts: report.stages.len(),
+        }
+    };
+    Ok((current, report, outcome))
+}
+
+/// As [`construct_with_report`], with each stage's run-filtering sharded
+/// over `pool` — see [`construct_budgeted_on`].
+///
+/// # Errors
+///
+/// As for [`construct`].
+pub fn construct_on(
+    system: &System,
+    assumptions: &InitialAssumptions,
+    pool: &Pool,
+) -> Result<(GoodRuns, ConstructionReport), GoodRunsError> {
+    construct_budgeted_on(system, assumptions, Budget::unlimited(), pool).map(|(g, r, _)| (g, r))
+}
+
+/// As [`construct_budgeted`], with each `G^j` stage's run-filtering
+/// sharded across `pool`'s workers. The results are **bit-identical** to
+/// the sequential construction:
+///
+/// - candidate runs are dealt to workers by index and the surviving set
+///   is merged back in index order, so each stage's `G^j` vector is the
+///   same `BTreeSet` the sequential filter builds;
+/// - the budget is claimed *deterministically before* the fan-out: the
+///   meter is charged once per candidate, in index order, and only the
+///   prefix those charges cover — exactly the prefix the sequential
+///   path would evaluate before latching — is evaluated at all. A
+///   partial stage is discarded in both paths, so step counts, stage
+///   counts, and the [`Saturation`] outcome agree;
+/// - an evaluation error is reported for the earliest failing candidate
+///   in index order, as the sequential loop would.
+///
+/// Workers share one concurrently-prewarmed [`EvalCache`]
+/// (system-level facts only) and keep per-worker evaluators, so no
+/// locks sit on the evaluation hot path.
+///
+/// # Errors
+///
+/// As for [`construct`].
+pub fn construct_budgeted_on(
+    system: &System,
+    assumptions: &InitialAssumptions,
+    budget: Budget,
+    pool: &Pool,
+) -> Result<(GoodRuns, ConstructionReport, Saturation), GoodRunsError> {
+    if pool.jobs() == 1 {
+        return construct_budgeted(system, assumptions, budget);
+    }
+    assumptions.check()?;
+    let meter = BudgetMeter::start(budget);
+    let mut current = GoodRuns::all_runs(system);
+    let all: BTreeSet<usize> = (0..system.len()).collect();
+    for p in assumptions.principals() {
+        current.set(p.clone(), all.clone());
+    }
+    let mut report = ConstructionReport::default();
+    let warmed = EvalCache::prewarm_on(system, pool);
+    'stages: for j in 1..=assumptions.max_depth() {
+        let mut next = current.clone();
+        let mut stage = BTreeMap::new();
+        for p in assumptions.principals() {
+            let mut keep = current.get(p).clone();
+            for f in assumptions.of(p) {
+                if f.belief_depth() != j {
+                    continue;
+                }
+                let Formula::Believes(_, body) = f else {
+                    unreachable!("checked shape");
+                };
+                // Claim the budget up front, in candidate order: the
+                // prefix these charges cover is exactly the prefix the
+                // sequential loop would evaluate before its meter
+                // latched, so steps and outcomes agree.
+                let order: Vec<usize> = keep.iter().copied().collect();
+                let mut budgeted = order.len();
+                for i in 0..order.len() {
+                    if !meter.charge(report.stages.len()) {
+                        budgeted = i;
+                        break;
+                    }
+                }
+                let verdicts = pool.map_init(
+                    &order[..budgeted],
+                    || {
+                        Semantics::new_shared(
+                            system,
+                            current.clone(),
+                            Rc::new(RefCell::new(warmed.clone())),
+                        )
+                    },
+                    |sem, _, &ri| sem.eval(Point::new(ri, 0), body),
+                );
+                let mut surviving = BTreeSet::new();
+                for (i, v) in verdicts.into_iter().enumerate() {
+                    if v? {
+                        surviving.insert(order[i]);
+                    }
+                }
+                if budgeted < order.len() {
+                    // Out of budget mid-stage: the partial stage is
+                    // discarded and the last completed vector stands,
+                    // exactly as in the sequential path.
+                    break 'stages;
                 }
                 keep = surviving;
             }

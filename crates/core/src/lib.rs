@@ -13,6 +13,9 @@
 //! - [`budget`] — graceful-degradation budgets (steps/facts/wall-clock)
 //!   for the prover and the good-run construction, with three-valued
 //!   verdicts under exhaustion;
+//! - [`parallel`] — a work-stealing pool with deterministic ordered
+//!   merges, behind the sharded good-run construction, concurrent
+//!   belief sweeps, and batch proving;
 //! - [`stability`] — the stability requirement on annotations;
 //! - [`semantics`] — truth at points of a system, with belief as
 //!   resource-bounded defensible knowledge (Section 6);
@@ -52,6 +55,7 @@ pub mod enact;
 pub mod examples;
 pub mod goodruns;
 pub mod kripke;
+pub mod parallel;
 pub mod proof;
 pub mod prover;
 pub mod quantifier;

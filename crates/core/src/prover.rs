@@ -22,6 +22,7 @@
 //! [`ProverConfig::axioms_only`].
 
 use crate::budget::{Budget, BudgetMeter, Saturation, Verdict};
+use crate::parallel::Pool;
 use atl_lang::{Formula, KeyTerm, Message, Principal};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -318,7 +319,18 @@ impl Prover {
     /// As [`saturate`](Self::saturate), but against an explicit budget
     /// (overriding the configured one for this call only).
     pub fn saturate_with(&mut self, budget: Budget) -> Saturation {
-        self.meter = BudgetMeter::start(budget);
+        self.saturate_metered(BudgetMeter::start(budget))
+    }
+
+    /// As [`saturate_with`](Self::saturate_with), but against a caller-
+    /// supplied meter. A [`BudgetMeter`] is a shareable handle, so the
+    /// same meter can be installed into several provers at once — one
+    /// *global* budget that degrades gracefully across concurrent
+    /// saturations (see [`BatchProver::with_shared_budget`]). A prover
+    /// whose fixpoint races another's exhaustion of the shared meter
+    /// reports [`Saturation::BudgetExhausted`] conservatively.
+    pub fn saturate_metered(&mut self, meter: BudgetMeter) -> Saturation {
+        self.meter = meter;
         let before = self.facts.len();
         if self.config.use_worklist {
             self.saturate_worklist();
@@ -996,6 +1008,98 @@ fn readable_with_held_keys(m: &Message, p: &Principal, ctx: &BTreeSet<Formula>) 
         }
         Message::Formula(_) | Message::Principal(_) | Message::Key(_) | Message::Nonce(_) => true,
         Message::Param(_) | Message::Opaque => false,
+    }
+}
+
+/// Saturates independent provers and checks their goals concurrently
+/// over a work-stealing [`Pool`].
+///
+/// Each job owns its fact set — nothing is shared between jobs except,
+/// optionally, one *global* [`Budget`] metered atomically across all of
+/// them ([`BatchProver::with_shared_budget`]). Outcomes come back in job
+/// order; without a shared budget every job is deterministic, so the
+/// batch result is identical to saturating the jobs one by one (the
+/// equivalence `tests/e15_parallel.rs` checks). Under a shared budget
+/// the *total* work is bounded exactly (the meter admits precisely
+/// `cap` charges, whatever the interleaving), but which jobs exhaust
+/// first depends on scheduling — three-valued [`Verdict`]s keep that
+/// honest, degrading to [`Verdict::Unknown`] rather than flipping an
+/// answer.
+///
+/// ```
+/// use atl_core::parallel::Pool;
+/// use atl_core::prover::{BatchProver, Prover};
+/// use atl_core::budget::Verdict;
+/// use atl_lang::{Formula, Key};
+/// let jobs: Vec<(Prover, Vec<Formula>)> = (0..4)
+///     .map(|i| {
+///         let goal = Formula::has("A", Key::new(format!("K{i}")));
+///         (Prover::new([goal.clone()]), vec![goal])
+///     })
+///     .collect();
+/// let outcomes = BatchProver::new(Pool::new(2)).prove_all(jobs);
+/// assert!(outcomes.iter().all(|o| o.verdicts == [Verdict::Proved]));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BatchProver {
+    pool: Pool,
+    shared_budget: Option<Budget>,
+}
+
+/// The outcome of one [`BatchProver`] job.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The saturated prover (fact set and trace included).
+    pub prover: Prover,
+    /// How the job's saturation ended.
+    pub saturation: Saturation,
+    /// One three-valued verdict per goal, in the goals' order.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl BatchProver {
+    /// A batch prover where each job meters its own configured budget.
+    pub fn new(pool: Pool) -> Self {
+        BatchProver {
+            pool,
+            shared_budget: None,
+        }
+    }
+
+    /// A batch prover where all jobs share one global `budget`: a single
+    /// atomically-metered allowance that degrades gracefully across
+    /// workers (each derivation step, whichever job takes it, charges
+    /// the same meter).
+    pub fn with_shared_budget(pool: Pool, budget: Budget) -> Self {
+        BatchProver {
+            pool,
+            shared_budget: Some(budget),
+        }
+    }
+
+    /// Saturates every job and answers its goals, concurrently, with
+    /// outcomes in job order.
+    pub fn prove_all(&self, jobs: Vec<(Prover, Vec<Formula>)>) -> Vec<BatchOutcome> {
+        let meter = self.shared_budget.map(BudgetMeter::start);
+        let tasks: Vec<_> = jobs
+            .into_iter()
+            .map(|(mut prover, goals)| {
+                let meter = meter.clone();
+                move || {
+                    let saturation = match meter {
+                        Some(m) => prover.saturate_metered(m),
+                        None => prover.saturate(),
+                    };
+                    let verdicts = goals.iter().map(|g| prover.verdict(g)).collect();
+                    BatchOutcome {
+                        prover,
+                        saturation,
+                        verdicts,
+                    }
+                }
+            })
+            .collect();
+        self.pool.run(tasks)
     }
 }
 

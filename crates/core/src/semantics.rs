@@ -22,9 +22,10 @@
 //! Run parameters (Section 8) are resolved against the outer run's
 //! bindings before the inductive definition is applied.
 
+use crate::parallel::Pool;
 use atl_lang::{
-    can_see, submsgs_of_set, CacheStats, Formula, KeyTerm, Message, MessageSet, Principal,
-    TermCache,
+    can_see, submsgs_of_set, CacheStats, Formula, Interner, KeyTerm, Message, MessageSet,
+    Principal, TermCache,
 };
 use atl_model::{LocalState, Point, Run, SendRecord, System};
 use std::cell::RefCell;
@@ -32,6 +33,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Error produced during evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -117,15 +119,98 @@ impl GoodRuns {
 /// Everything here depends only on the [`System`], not on the good-run
 /// vector, so one cache can be shared by many [`Semantics`] evaluators
 /// over the same system (see [`Semantics::new_shared`]).
-#[derive(Debug, Default)]
+///
+/// Values are [`Arc`]-shared and the cache is `Send + Clone`: the
+/// parallel paths prewarm one cache ([`EvalCache::prewarm_on`]) and hand
+/// each worker a clone, which shares every memoized set by reference.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct EvalCache {
     terms: TermCache,
     // Keyed principal-first so hits borrow the principal instead of
     // cloning it into a composite key.
-    seen_at: BTreeMap<Principal, BTreeMap<(usize, i64), Rc<MessageSet>>>,
-    hidden_at: BTreeMap<Principal, BTreeMap<(usize, i64), Rc<LocalState>>>,
-    said_rec: BTreeMap<(usize, usize), Rc<MessageSet>>,
-    past: BTreeMap<usize, Rc<MessageSet>>,
+    seen_at: BTreeMap<Principal, BTreeMap<(usize, i64), Arc<MessageSet>>>,
+    hidden_at: BTreeMap<Principal, BTreeMap<(usize, i64), Arc<LocalState>>>,
+    said_rec: BTreeMap<(usize, usize), Arc<MessageSet>>,
+    past: BTreeMap<usize, Arc<MessageSet>>,
+}
+
+/// The per-run slice of a prewarmed cache, computed on one worker.
+struct RunWarm {
+    ri: usize,
+    past: Arc<MessageSet>,
+    said: Vec<(usize, Arc<MessageSet>)>,
+    hidden: Vec<(Principal, i64, Arc<LocalState>)>,
+}
+
+impl EvalCache {
+    /// Builds the system-level sets of the cache concurrently: each run's
+    /// pre-epoch closure, per-send accountable sets, and every
+    /// principal's hidden local state at every point, sharded run-wise
+    /// over `pool`. Workers share a frozen interner seeded with the
+    /// system's sent messages (base IDs stable across workers) and keep
+    /// per-worker scratch [`TermCache`]s that are merged back at join —
+    /// so the result is one coherent cache, whatever the scheduling.
+    pub(crate) fn prewarm_on(system: &System, pool: &Pool) -> EvalCache {
+        let mut seed = Interner::new();
+        for run in system.runs() {
+            for rec in run.send_records() {
+                seed.message(&rec.message);
+            }
+        }
+        let frozen = Arc::new(seed.freeze());
+        let mut principals: BTreeSet<Principal> = system.principals();
+        principals.insert(Principal::environment());
+
+        let runs: Vec<usize> = (0..system.len()).collect();
+        let (warmed, scratches): (Vec<RunWarm>, Vec<TermCache>) = pool.map_init_collect(
+            &runs,
+            || TermCache::with_base(Arc::clone(&frozen)),
+            |terms, _, &ri| {
+                let run = &system.runs()[ri];
+                let sent: MessageSet = run.sent_before_epoch();
+                let past = Arc::new(submsgs_of_set(sent.iter()));
+                let said = run
+                    .send_records()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, rec)| (i, Arc::new(rec.said_submsgs())))
+                    .collect();
+                let mut hidden = Vec::new();
+                for p in &principals {
+                    for k in run.times() {
+                        let state = run.state(k).expect("time in range");
+                        hidden.push((p.clone(), k, Arc::new(state.local(p).hidden_with(terms))));
+                    }
+                }
+                RunWarm {
+                    ri,
+                    past,
+                    said,
+                    hidden,
+                }
+            },
+        );
+
+        let mut cache = EvalCache {
+            terms: TermCache::with_base(frozen),
+            ..EvalCache::default()
+        };
+        // Runs are disjoint, so inserting per-run slices in run order is
+        // a deterministic merge regardless of which worker built which.
+        for w in warmed {
+            cache.past.insert(w.ri, w.past);
+            for (i, s) in w.said {
+                cache.said_rec.insert((w.ri, i), s);
+            }
+            for (p, k, h) in w.hidden {
+                cache.hidden_at.entry(p).or_default().insert((w.ri, k), h);
+            }
+        }
+        for scratch in scratches {
+            cache.terms.absorb(scratch);
+        }
+        cache
+    }
 }
 
 /// An evaluator for a fixed system and good-run vector.
@@ -158,7 +243,12 @@ pub(crate) struct EvalCache {
 pub struct Semantics<'a> {
     system: &'a System,
     goods: GoodRuns,
-    belief_cache: Option<BTreeMap<Principal, PrincipalBelief>>,
+    // Possibility groups are built lazily, one principal at a time, on
+    // the first belief query that mentions the principal — so an
+    // evaluator that never evaluates `believes` never pays for grouping
+    // (the `semantics_constructor` cost is O(1) again), while repeated
+    // belief queries still amortize to a point lookup.
+    belief_cache: Option<RefCell<BTreeMap<Principal, Arc<PrincipalBelief>>>>,
     cache: Option<Rc<RefCell<EvalCache>>>,
     // `P believes φ` is constant across a possibility group (every member
     // sees the same group), so one verdict per (φ, P, group) suffices.
@@ -177,32 +267,32 @@ type BelievesMemo = BTreeMap<Formula, BTreeMap<Principal, BTreeMap<Point, bool>>
 /// instead of a deep hidden-state comparison.
 #[derive(Debug, Default)]
 struct PrincipalBelief {
-    by_state: BTreeMap<Rc<LocalState>, Rc<Vec<Point>>>,
-    by_point: BTreeMap<Point, Rc<Vec<Point>>>,
+    by_state: BTreeMap<Arc<LocalState>, Arc<Vec<Point>>>,
+    by_point: BTreeMap<Point, Arc<Vec<Point>>>,
 }
 
 /// `p`'s hidden local state at `(ri, k)`, memoized per point so repeated
-/// belief queries against the same evaluator (and its `warm` pass) hide
-/// each state once.
+/// belief queries against the same evaluator (and the lazy group build)
+/// hide each state once.
 fn hidden_at(
     cache: &Option<Rc<RefCell<EvalCache>>>,
     ri: usize,
     k: i64,
     state: &atl_model::GlobalState,
     p: &Principal,
-) -> Rc<LocalState> {
+) -> Arc<LocalState> {
     let Some(cache) = cache else {
-        return Rc::new(state.local(p).hidden());
+        return Arc::new(state.local(p).hidden());
     };
     let c = &mut *cache.borrow_mut();
     if let Some(h) = c.hidden_at.get(p).and_then(|m| m.get(&(ri, k))) {
-        return Rc::clone(h);
+        return Arc::clone(h);
     }
-    let rc = Rc::new(state.local(p).hidden_with(&mut c.terms));
+    let rc = Arc::new(state.local(p).hidden_with(&mut c.terms));
     c.hidden_at
         .entry(p.clone())
         .or_default()
-        .insert((ri, k), Rc::clone(&rc));
+        .insert((ri, k), Arc::clone(&rc));
     rc
 }
 
@@ -225,11 +315,10 @@ impl<'a> Semantics<'a> {
         Semantics {
             system,
             goods,
-            belief_cache: Some(BTreeMap::new()),
+            belief_cache: Some(RefCell::new(BTreeMap::new())),
             cache: Some(cache),
             believes_memo: RefCell::new(BTreeMap::new()),
         }
-        .warm()
     }
 
     /// Creates an evaluator with the belief cache but no term cache, so
@@ -239,11 +328,10 @@ impl<'a> Semantics<'a> {
         Semantics {
             system,
             goods,
-            belief_cache: Some(BTreeMap::new()),
+            belief_cache: Some(RefCell::new(BTreeMap::new())),
             cache: None,
             believes_memo: RefCell::new(BTreeMap::new()),
         }
-        .warm()
     }
 
     /// Creates an evaluator that recomputes the possibility relation on
@@ -259,39 +347,41 @@ impl<'a> Semantics<'a> {
         }
     }
 
-    fn warm(mut self) -> Self {
-        let eval_cache = self.cache.clone();
-        let Some(cache) = self.belief_cache.as_mut() else {
-            return self;
-        };
-        let mut principals: BTreeSet<Principal> = self.system.principals();
-        principals.insert(Principal::environment());
-        for p in &self.goods.map {
-            principals.insert(p.0.clone());
+    /// `p`'s possibility groups, built on first use. Grouping enumerates
+    /// every point of `p`'s good runs, which is exactly what the scan
+    /// fallback compares against — so a lazily built group answers every
+    /// later query identically, while evaluators that never touch
+    /// `believes` for `p` never pay for it.
+    fn group_for(
+        &self,
+        groups: &RefCell<BTreeMap<Principal, Arc<PrincipalBelief>>>,
+        p: &Principal,
+    ) -> Arc<PrincipalBelief> {
+        if let Some(pb) = groups.borrow().get(p) {
+            return Arc::clone(pb);
         }
-        for p in principals {
-            let mut groups: BTreeMap<Rc<LocalState>, Vec<Point>> = BTreeMap::new();
-            for &ri in self.goods.get(&p) {
-                let Some(run) = self.system.runs().get(ri) else {
-                    continue;
-                };
-                for k in run.times() {
-                    let state = run.state(k).expect("time in range");
-                    let hidden = hidden_at(&eval_cache, ri, k, state, &p);
-                    groups.entry(hidden).or_default().push(Point::new(ri, k));
-                }
+        let mut by_hidden: BTreeMap<Arc<LocalState>, Vec<Point>> = BTreeMap::new();
+        for &ri in self.goods.get(p) {
+            let Some(run) = self.system.runs().get(ri) else {
+                continue;
+            };
+            for k in run.times() {
+                let state = run.state(k).expect("time in range");
+                let hidden = hidden_at(&self.cache, ri, k, state, p);
+                by_hidden.entry(hidden).or_default().push(Point::new(ri, k));
             }
-            let mut pb = PrincipalBelief::default();
-            for (hidden, points) in groups {
-                let points = Rc::new(points);
-                for &pt in points.iter() {
-                    pb.by_point.insert(pt, Rc::clone(&points));
-                }
-                pb.by_state.insert(hidden, points);
-            }
-            cache.insert(p, pb);
         }
-        self
+        let mut pb = PrincipalBelief::default();
+        for (hidden, points) in by_hidden {
+            let points = Arc::new(points);
+            for &pt in points.iter() {
+                pb.by_point.insert(pt, Arc::clone(&points));
+            }
+            pb.by_state.insert(hidden, points);
+        }
+        let pb = Arc::new(pb);
+        groups.borrow_mut().insert(p.clone(), Arc::clone(&pb));
+        pb
     }
 
     /// Term-cache hit/miss counters (`None` when the term cache is off).
@@ -355,6 +445,83 @@ impl<'a> Semantics<'a> {
         Ok(true)
     }
 
+    /// Evaluates `φ` at every point of `system`, sharded run-wise over
+    /// `pool`, returning the verdicts in [`System::points`] order.
+    ///
+    /// The cache is prewarmed concurrently ([`EvalCache::prewarm_on`]);
+    /// each worker then evaluates with its own cache clone, so verdicts
+    /// are exactly those of a sequential sweep — `tests/e15_parallel.rs`
+    /// holds this path to the single-worker reference.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Semantics::eval`], reporting the error of the earliest
+    /// failing point in [`System::points`] order (as a sequential sweep
+    /// would).
+    pub fn sweep_on(
+        system: &'a System,
+        goods: &GoodRuns,
+        phi: &Formula,
+        pool: &Pool,
+    ) -> Result<Vec<bool>, SemanticsError> {
+        Self::sweep_results(system, goods, phi, pool)
+            .into_iter()
+            .collect()
+    }
+
+    /// As [`Semantics::valid`], sharded over `pool`: true iff `φ` holds
+    /// at every point. Verdict and error agree exactly with the
+    /// sequential `valid` — in particular the answer for a sweep whose
+    /// earliest anomaly (in point order) is a false point is `Ok(false)`
+    /// even if a later point would error, matching `valid`'s early exit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Semantics::eval`].
+    pub fn valid_on(
+        system: &'a System,
+        goods: &GoodRuns,
+        phi: &Formula,
+        pool: &Pool,
+    ) -> Result<bool, SemanticsError> {
+        for r in Self::sweep_results(system, goods, phi, pool) {
+            if !r? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Per-point evaluation outcomes in [`System::points`] order. With
+    /// one job this *is* the sequential sweep; otherwise runs are dealt
+    /// to workers, each with its own evaluator over a clone of one
+    /// prewarmed cache, and the per-run verdict vectors are merged back
+    /// in run order (deterministic whatever the stealing did).
+    fn sweep_results(
+        system: &'a System,
+        goods: &GoodRuns,
+        phi: &Formula,
+        pool: &Pool,
+    ) -> Vec<Result<bool, SemanticsError>> {
+        if pool.jobs() == 1 {
+            let sem = Semantics::new(system, goods.clone());
+            return system.points().map(|pt| sem.eval(pt, phi)).collect();
+        }
+        let warmed = EvalCache::prewarm_on(system, pool);
+        let runs: Vec<usize> = (0..system.len()).collect();
+        let per_run: Vec<Vec<Result<bool, SemanticsError>>> = pool.map_init(
+            &runs,
+            || Semantics::new_shared(system, goods.clone(), Rc::new(RefCell::new(warmed.clone()))),
+            |sem, _, &ri| {
+                let run = &system.runs()[ri];
+                run.times()
+                    .map(|k| sem.eval(Point::new(ri, k), phi))
+                    .collect()
+            },
+        );
+        per_run.into_iter().flatten().collect()
+    }
+
     /// Evaluates a ground formula (callers must have resolved parameters).
     fn eval_ground(&self, point: Point, phi: &Formula) -> bool {
         let run = &self.system.runs()[point.run];
@@ -416,18 +583,18 @@ impl<'a> Semantics<'a> {
                     .get(p)
                     .and_then(|m| m.get(&(point.run, point.time)))
                 {
-                    Rc::clone(s)
+                    Arc::clone(s)
                 } else {
                     let local = state.local(p);
                     let mut set = MessageSet::new();
                     for m in &local.received() {
                         set.extend(c.terms.seen_submsgs(m, &local.key_set).iter().cloned());
                     }
-                    let rc = Rc::new(set);
+                    let rc = Arc::new(set);
                     c.seen_at
                         .entry(p.clone())
                         .or_default()
-                        .insert((point.run, point.time), Rc::clone(&rc));
+                        .insert((point.run, point.time), Arc::clone(&rc));
                     rc
                 }
             };
@@ -443,17 +610,17 @@ impl<'a> Semantics<'a> {
     /// The accountable submessages of the `idx`-th send record of run
     /// `run`, memoized when the term cache is on ([`SendRecord::
     /// said_submsgs`] redoes the seen-set closure on every call).
-    fn said_set(&self, run: usize, idx: usize, rec: &SendRecord) -> Rc<MessageSet> {
+    fn said_set(&self, run: usize, idx: usize, rec: &SendRecord) -> Arc<MessageSet> {
         if let Some(cache) = &self.cache {
             let c = &mut *cache.borrow_mut();
             if let Some(s) = c.said_rec.get(&(run, idx)) {
-                return Rc::clone(s);
+                return Arc::clone(s);
             }
-            let rc = Rc::new(rec.said_submsgs());
-            c.said_rec.insert((run, idx), Rc::clone(&rc));
+            let rc = Arc::new(rec.said_submsgs());
+            c.said_rec.insert((run, idx), Arc::clone(&rc));
             return rc;
         }
-        Rc::new(rec.said_submsgs())
+        Arc::new(rec.said_submsgs())
     }
 
     /// `P said X` (or `P says X` when `recent`) at `(r, k)`.
@@ -486,11 +653,11 @@ impl<'a> Semantics<'a> {
         if let Some(cache) = &self.cache {
             let c = &mut *cache.borrow_mut();
             let past = if let Some(s) = c.past.get(&point.run) {
-                Rc::clone(s)
+                Arc::clone(s)
             } else {
                 let sent: MessageSet = run.sent_before_epoch();
-                let rc = Rc::new(submsgs_of_set(sent.iter()));
-                c.past.insert(point.run, Rc::clone(&rc));
+                let rc = Arc::new(submsgs_of_set(sent.iter()));
+                c.past.insert(point.run, Arc::clone(&rc));
                 rc
             };
             return !past.contains(x);
@@ -557,30 +724,31 @@ impl<'a> Semantics<'a> {
         (*self.possible_points_shared(point, p)).clone()
     }
 
-    fn possible_points_shared(&self, point: Point, p: &Principal) -> Rc<Vec<Point>> {
-        if let Some(pb) = self.belief_cache.as_ref().and_then(|c| c.get(p)) {
-            // Cached principals were fully enumerated at construction, so a
-            // point inside `p`'s good runs resolves by index alone.
+    fn possible_points_shared(&self, point: Point, p: &Principal) -> Arc<Vec<Point>> {
+        if let Some(groups) = self.belief_cache.as_ref() {
+            let pb = self.group_for(groups, p);
+            // The group enumerated every point of `p`'s good runs, so a
+            // point inside them resolves by index alone.
             if let Some(points) = pb.by_point.get(&point) {
-                return Rc::clone(points);
+                return Arc::clone(points);
             }
             // Outside the good runs (or off the end of one): match the
             // hidden state here against the precomputed groups.
             let run = &self.system.runs()[point.run];
             let Some(state) = run.state(point.time) else {
-                return Rc::new(Vec::new());
+                return Arc::new(Vec::new());
             };
             let hidden = hidden_at(&self.cache, point.run, point.time, state, p);
             return pb
                 .by_state
                 .get(&hidden)
-                .map(Rc::clone)
-                .unwrap_or_else(|| Rc::new(Vec::new()));
+                .map(Arc::clone)
+                .unwrap_or_else(|| Arc::new(Vec::new()));
         }
-        // No belief cache (or a principal it never saw): scan.
+        // No belief cache: scan.
         let run = &self.system.runs()[point.run];
         let Some(state) = run.state(point.time) else {
-            return Rc::new(Vec::new());
+            return Arc::new(Vec::new());
         };
         let hidden = hidden_at(&self.cache, point.run, point.time, state, p);
         let mut out = Vec::new();
@@ -595,7 +763,7 @@ impl<'a> Semantics<'a> {
                 }
             }
         }
-        Rc::new(out)
+        Arc::new(out)
     }
 
     /// `P believes φ` at `point`.
@@ -834,7 +1002,22 @@ mod tests {
 
     #[test]
     fn term_cache_matches_uncached_semantics() {
-        let sys = simple_system();
+        // As `simple_system`, plus a second receiver of the same
+        // ciphertext holding the same key set — so the term cache has
+        // genuine cross-principal repeats to dedupe (B's and C's hides
+        // of the cipher share one `(term, keyset)` entry), not just
+        // repeats the point-level memos absorb.
+        let mut b = RunBuilder::new(-1);
+        b.principal("A", [Key::new("Kab")]);
+        b.principal("B", [Key::new("Kab")]);
+        b.principal("C", [Key::new("Kab")]);
+        b.new_key("A", "Spare");
+        let cipher = Message::encrypted(nonce("X"), Key::new("Kab"), Principal::new("A"));
+        b.send("A", cipher.clone(), "B").unwrap();
+        b.receive("B", &cipher).unwrap();
+        b.send("A", cipher.clone(), "C").unwrap();
+        b.receive("C", &cipher).unwrap();
+        let sys = System::new([b.build().unwrap()]);
         let cached = sem(&sys);
         let no_terms = Semantics::without_term_cache(&sys, GoodRuns::all_runs(&sys));
         let bare = Semantics::without_belief_cache(&sys, GoodRuns::all_runs(&sys));

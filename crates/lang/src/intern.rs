@@ -8,8 +8,18 @@
 //! ([`MsgId`], [`FormulaId`], [`KeySetId`]) with O(1) `Eq`/`Hash`/`Ord`,
 //! so a [`TermCache`] can memoize [`submsgs`], [`seen_submsgs`], and
 //! [`hide_message`] keyed on `(term, keyset)` pairs. Results are shared
-//! behind [`Rc`], so a cache hit costs one hash of the term and no
-//! re-walk of the result.
+//! behind [`Arc`], so a cache hit costs one hash of the term and no
+//! re-walk of the result — and both the interner and the cache can cross
+//! thread boundaries for the parallel evaluation paths.
+//!
+//! For multi-worker evaluation an interner can be **frozen** into a
+//! shared read-only table ([`Interner::freeze`]): worker threads then
+//! build scratch interners *on top* of the frozen base
+//! ([`Interner::with_base`]) whose IDs agree with the base for every
+//! term the base knows (IDs are stable), minting fresh IDs only for
+//! genuinely new terms. Per-worker [`TermCache`]s seeded the same way
+//! can be merged back into one cache at join time with
+//! [`TermCache::absorb`].
 //!
 //! The cache is purely an evaluation artifact: callers that want the
 //! uncached behavior simply call the free functions. Equivalence of the
@@ -21,7 +31,7 @@ use crate::hide::hide_message;
 use crate::message::Message;
 use crate::submsgs::{seen_submsgs, submsgs, KeySet, MessageSet};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Interned ID of a [`Message`]. Copyable, with cheap `Eq`/`Hash`/`Ord`:
 /// two IDs from the same [`Interner`] are equal iff the terms are equal.
@@ -70,12 +80,81 @@ impl KeySetId {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Interner {
-    msgs: Vec<Rc<Message>>,
-    msg_ids: HashMap<Rc<Message>, MsgId>,
-    formulas: Vec<Rc<Formula>>,
-    formula_ids: HashMap<Rc<Formula>, FormulaId>,
-    keysets: Vec<Rc<KeySet>>,
-    keyset_ids: HashMap<Rc<KeySet>, KeySetId>,
+    /// Shared read-only table this interner extends; local IDs start at
+    /// the base's counts, so every base ID stays valid here.
+    base: Option<Arc<FrozenInterner>>,
+    msgs: Vec<Arc<Message>>,
+    msg_ids: HashMap<Arc<Message>, MsgId>,
+    formulas: Vec<Arc<Formula>>,
+    formula_ids: HashMap<Arc<Formula>, FormulaId>,
+    keysets: Vec<Arc<KeySet>>,
+    keyset_ids: HashMap<Arc<KeySet>, KeySetId>,
+}
+
+/// A read-only snapshot of an [`Interner`], shareable across threads.
+///
+/// Freezing fixes every ID minted so far; scratch interners created with
+/// [`Interner::with_base`] resolve those IDs against this table and
+/// allocate new IDs strictly above them, so an ID minted by the base
+/// means the same term in every worker.
+///
+/// ```
+/// use atl_lang::{Interner, Message, Nonce};
+/// use std::sync::Arc;
+/// let mut seed = Interner::new();
+/// let na = seed.message(&Message::nonce(Nonce::new("Na")));
+/// let frozen = Arc::new(seed.freeze());
+/// let mut worker = Interner::with_base(Arc::clone(&frozen));
+/// // Base terms keep their IDs; new terms get fresh ones above them.
+/// assert_eq!(worker.message(&Message::nonce(Nonce::new("Na"))), na);
+/// ```
+#[derive(Debug)]
+pub struct FrozenInterner {
+    inner: Interner,
+}
+
+impl FrozenInterner {
+    /// The message a base ID stands for.
+    pub fn resolve_message(&self, id: MsgId) -> &Message {
+        self.inner.resolve_message(id)
+    }
+
+    /// The formula a base ID stands for.
+    pub fn resolve_formula(&self, id: FormulaId) -> &Formula {
+        self.inner.resolve_formula(id)
+    }
+
+    /// The key set a base ID stands for.
+    pub fn resolve_keyset(&self, id: KeySetId) -> &KeySet {
+        self.inner.resolve_keyset(id)
+    }
+
+    /// How many distinct messages the frozen table holds.
+    pub fn message_count(&self) -> usize {
+        self.inner.message_count()
+    }
+
+    /// How many distinct formulas the frozen table holds.
+    pub fn formula_count(&self) -> usize {
+        self.inner.formula_count()
+    }
+
+    /// How many distinct key sets the frozen table holds.
+    pub fn keyset_count(&self) -> usize {
+        self.inner.keyset_count()
+    }
+
+    fn lookup_message(&self, m: &Message) -> Option<MsgId> {
+        self.inner.lookup_message(m)
+    }
+
+    fn lookup_formula(&self, f: &Formula) -> Option<FormulaId> {
+        self.inner.lookup_formula(f)
+    }
+
+    fn lookup_keyset(&self, keys: &KeySet) -> Option<KeySetId> {
+        self.inner.lookup_keyset(keys)
+    }
 }
 
 impl Interner {
@@ -84,71 +163,148 @@ impl Interner {
         Interner::default()
     }
 
+    /// Freezes this interner into a read-only, thread-shareable table.
+    /// Every ID minted so far stays valid (and stable) in scratch
+    /// interners built on top of the result with [`Interner::with_base`].
+    pub fn freeze(self) -> FrozenInterner {
+        FrozenInterner { inner: self }
+    }
+
+    /// Creates a scratch interner extending a frozen base: lookups hit
+    /// the base first (returning the base's stable IDs) and new terms
+    /// are assigned IDs above every base ID.
+    pub fn with_base(base: Arc<FrozenInterner>) -> Self {
+        Interner {
+            base: Some(base),
+            ..Interner::default()
+        }
+    }
+
+    fn base_msgs(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.message_count())
+    }
+
+    fn base_formulas(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.formula_count())
+    }
+
+    fn base_keysets(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.keyset_count())
+    }
+
+    fn lookup_message(&self, m: &Message) -> Option<MsgId> {
+        if let Some(base) = &self.base {
+            if let Some(id) = base.lookup_message(m) {
+                return Some(id);
+            }
+        }
+        self.msg_ids.get(m).copied()
+    }
+
+    fn lookup_formula(&self, f: &Formula) -> Option<FormulaId> {
+        if let Some(base) = &self.base {
+            if let Some(id) = base.lookup_formula(f) {
+                return Some(id);
+            }
+        }
+        self.formula_ids.get(f).copied()
+    }
+
+    fn lookup_keyset(&self, keys: &KeySet) -> Option<KeySetId> {
+        if let Some(base) = &self.base {
+            if let Some(id) = base.lookup_keyset(keys) {
+                return Some(id);
+            }
+        }
+        self.keyset_ids.get(keys).copied()
+    }
+
     /// Interns `m`, returning its ID (allocating on first sight).
     pub fn message(&mut self, m: &Message) -> MsgId {
-        if let Some(&id) = self.msg_ids.get(m) {
+        if let Some(id) = self.lookup_message(m) {
             return id;
         }
-        let id = MsgId(self.msgs.len() as u32);
-        let rc = Rc::new(m.clone());
-        self.msgs.push(Rc::clone(&rc));
+        let id = MsgId((self.base_msgs() + self.msgs.len()) as u32);
+        let rc = Arc::new(m.clone());
+        self.msgs.push(Arc::clone(&rc));
         self.msg_ids.insert(rc, id);
         id
     }
 
     /// Interns `f`, returning its ID (allocating on first sight).
     pub fn formula(&mut self, f: &Formula) -> FormulaId {
-        if let Some(&id) = self.formula_ids.get(f) {
+        if let Some(id) = self.lookup_formula(f) {
             return id;
         }
-        let id = FormulaId(self.formulas.len() as u32);
-        let rc = Rc::new(f.clone());
-        self.formulas.push(Rc::clone(&rc));
+        let id = FormulaId((self.base_formulas() + self.formulas.len()) as u32);
+        let rc = Arc::new(f.clone());
+        self.formulas.push(Arc::clone(&rc));
         self.formula_ids.insert(rc, id);
         id
     }
 
     /// Interns `keys`, returning its ID (allocating on first sight).
     pub fn keyset(&mut self, keys: &KeySet) -> KeySetId {
-        if let Some(&id) = self.keyset_ids.get(keys) {
+        if let Some(id) = self.lookup_keyset(keys) {
             return id;
         }
-        let id = KeySetId(self.keysets.len() as u32);
-        let rc = Rc::new(keys.clone());
-        self.keysets.push(Rc::clone(&rc));
+        let id = KeySetId((self.base_keysets() + self.keysets.len()) as u32);
+        let rc = Arc::new(keys.clone());
+        self.keysets.push(Arc::clone(&rc));
         self.keyset_ids.insert(rc, id);
         id
     }
 
-    /// The message an ID stands for. IDs are only minted by this interner's
-    /// `message`, so the index is always in bounds.
+    /// The message an ID stands for. IDs are only minted by this
+    /// interner's `message` (or its frozen base), so the index is always
+    /// in bounds.
     pub fn resolve_message(&self, id: MsgId) -> &Message {
-        &self.msgs[id.index()]
+        let split = self.base_msgs();
+        if id.index() < split {
+            return self
+                .base
+                .as_ref()
+                .expect("base present")
+                .resolve_message(id);
+        }
+        &self.msgs[id.index() - split]
     }
 
     /// The formula an ID stands for.
     pub fn resolve_formula(&self, id: FormulaId) -> &Formula {
-        &self.formulas[id.index()]
+        let split = self.base_formulas();
+        if id.index() < split {
+            return self
+                .base
+                .as_ref()
+                .expect("base present")
+                .resolve_formula(id);
+        }
+        &self.formulas[id.index() - split]
     }
 
     /// The key set an ID stands for.
     pub fn resolve_keyset(&self, id: KeySetId) -> &KeySet {
-        &self.keysets[id.index()]
+        let split = self.base_keysets();
+        if id.index() < split {
+            return self.base.as_ref().expect("base present").resolve_keyset(id);
+        }
+        &self.keysets[id.index() - split]
     }
 
-    /// How many distinct messages have been interned.
+    /// How many distinct messages have been interned (base included).
     pub fn message_count(&self) -> usize {
-        self.msgs.len()
+        self.base_msgs() + self.msgs.len()
     }
 
-    /// How many distinct formulas have been interned.
+    /// How many distinct formulas have been interned (base included).
     pub fn formula_count(&self) -> usize {
-        self.formulas.len()
+        self.base_formulas() + self.formulas.len()
     }
 
-    /// How many distinct key sets have been interned.
+    /// How many distinct key sets have been interned (base included).
     pub fn keyset_count(&self) -> usize {
-        self.keysets.len()
+        self.base_keysets() + self.keysets.len()
     }
 }
 
@@ -165,7 +321,7 @@ pub struct CacheStats {
 /// [`Interner`].
 ///
 /// Each operator result is computed once per distinct `(term, keyset)` pair
-/// and shared behind [`Rc`] thereafter. The cached results are exactly what
+/// and shared behind [`Arc`] thereafter. The cached results are exactly what
 /// the free functions return:
 ///
 /// ```
@@ -182,9 +338,9 @@ pub struct CacheStats {
 #[derive(Clone, Debug, Default)]
 pub struct TermCache {
     interner: Interner,
-    submsgs: HashMap<MsgId, Rc<MessageSet>>,
-    seen: HashMap<(MsgId, KeySetId), Rc<MessageSet>>,
-    hidden: HashMap<(MsgId, KeySetId), Rc<Message>>,
+    submsgs: HashMap<MsgId, Arc<MessageSet>>,
+    seen: HashMap<(MsgId, KeySetId), Arc<MessageSet>>,
+    hidden: HashMap<(MsgId, KeySetId), Arc<Message>>,
     stats: CacheStats,
 }
 
@@ -192,6 +348,16 @@ impl TermCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         TermCache::default()
+    }
+
+    /// Creates a cache whose interner extends a frozen base, so IDs for
+    /// base terms agree across every worker seeded from the same base
+    /// (see [`Interner::with_base`]).
+    pub fn with_base(base: Arc<FrozenInterner>) -> Self {
+        TermCache {
+            interner: Interner::with_base(base),
+            ..TermCache::default()
+        }
     }
 
     /// The interner backing this cache.
@@ -204,42 +370,76 @@ impl TermCache {
         self.stats
     }
 
+    /// Merges another cache's memoized results into this one (the join
+    /// step of a parallel evaluation: per-worker scratch caches are
+    /// absorbed back into the shared cache). Entries are re-keyed
+    /// through this cache's interner, so the two caches need not share a
+    /// base — though sharing one (see [`TermCache::with_base`]) makes
+    /// the re-keying cheap for every base term. Existing entries win;
+    /// the memoized operators are deterministic, so on a key collision
+    /// both sides hold the same result. Hit/miss counters accumulate.
+    pub fn absorb(&mut self, other: TermCache) {
+        let TermCache {
+            interner,
+            submsgs,
+            seen,
+            hidden,
+            stats,
+        } = other;
+        for (id, set) in submsgs {
+            let nid = self.interner.message(interner.resolve_message(id));
+            self.submsgs.entry(nid).or_insert(set);
+        }
+        for ((mid, kid), set) in seen {
+            let nmid = self.interner.message(interner.resolve_message(mid));
+            let nkid = self.interner.keyset(interner.resolve_keyset(kid));
+            self.seen.entry((nmid, nkid)).or_insert(set);
+        }
+        for ((mid, kid), h) in hidden {
+            let nmid = self.interner.message(interner.resolve_message(mid));
+            let nkid = self.interner.keyset(interner.resolve_keyset(kid));
+            self.hidden.entry((nmid, nkid)).or_insert(h);
+        }
+        self.stats.hits += stats.hits;
+        self.stats.misses += stats.misses;
+    }
+
     /// Memoized [`submsgs`].
-    pub fn submsgs(&mut self, m: &Message) -> Rc<MessageSet> {
+    pub fn submsgs(&mut self, m: &Message) -> Arc<MessageSet> {
         let id = self.interner.message(m);
         if let Some(s) = self.submsgs.get(&id) {
             self.stats.hits += 1;
-            return Rc::clone(s);
+            return Arc::clone(s);
         }
         self.stats.misses += 1;
-        let s = Rc::new(submsgs(m));
-        self.submsgs.insert(id, Rc::clone(&s));
+        let s = Arc::new(submsgs(m));
+        self.submsgs.insert(id, Arc::clone(&s));
         s
     }
 
     /// Memoized [`seen_submsgs`], keyed on the `(term, keyset)` pair.
-    pub fn seen_submsgs(&mut self, m: &Message, keys: &KeySet) -> Rc<MessageSet> {
+    pub fn seen_submsgs(&mut self, m: &Message, keys: &KeySet) -> Arc<MessageSet> {
         let key = (self.interner.message(m), self.interner.keyset(keys));
         if let Some(s) = self.seen.get(&key) {
             self.stats.hits += 1;
-            return Rc::clone(s);
+            return Arc::clone(s);
         }
         self.stats.misses += 1;
-        let s = Rc::new(seen_submsgs(m, keys));
-        self.seen.insert(key, Rc::clone(&s));
+        let s = Arc::new(seen_submsgs(m, keys));
+        self.seen.insert(key, Arc::clone(&s));
         s
     }
 
     /// Memoized [`hide_message`], keyed on the `(term, keyset)` pair.
-    pub fn hide(&mut self, m: &Message, keys: &KeySet) -> Rc<Message> {
+    pub fn hide(&mut self, m: &Message, keys: &KeySet) -> Arc<Message> {
         let key = (self.interner.message(m), self.interner.keyset(keys));
         if let Some(h) = self.hidden.get(&key) {
             self.stats.hits += 1;
-            return Rc::clone(h);
+            return Arc::clone(h);
         }
         self.stats.misses += 1;
-        let h = Rc::new(hide_message(m, keys));
-        self.hidden.insert(key, Rc::clone(&h));
+        let h = Arc::new(hide_message(m, keys));
+        self.hidden.insert(key, Arc::clone(&h));
         h
     }
 
@@ -327,5 +527,92 @@ mod tests {
         assert!(cache
             .seen_submsgs(&m, &keyset(&["K"]))
             .contains(&nonce("X")));
+    }
+
+    #[test]
+    fn frozen_base_ids_are_stable_across_workers() {
+        let mut seed = Interner::new();
+        let na = seed.message(&nonce("Na"));
+        let ks = seed.keyset(&keyset(&["K"]));
+        let f = seed.formula(&Formula::fresh(nonce("Na")));
+        let frozen = Arc::new(seed.freeze());
+
+        // Two independent "workers" extending the same base.
+        let mut w1 = Interner::with_base(Arc::clone(&frozen));
+        let mut w2 = Interner::with_base(Arc::clone(&frozen));
+        assert_eq!(w1.message(&nonce("Na")), na);
+        assert_eq!(w2.message(&nonce("Na")), na);
+        assert_eq!(w1.keyset(&keyset(&["K"])), ks);
+        assert_eq!(w1.formula(&Formula::fresh(nonce("Na"))), f);
+
+        // Fresh terms are minted above every base ID, and resolve.
+        let local = w1.message(&nonce("Nb"));
+        assert!(local.index() >= frozen.message_count());
+        assert_eq!(w1.resolve_message(local), &nonce("Nb"));
+        assert_eq!(w1.resolve_message(na), &nonce("Na"));
+        assert_eq!(w1.message_count(), frozen.message_count() + 1);
+    }
+
+    #[test]
+    fn frozen_interner_is_shareable_across_threads() {
+        let mut seed = Interner::new();
+        let na = seed.message(&nonce("Na"));
+        let frozen = Arc::new(seed.freeze());
+        let ids: Vec<MsgId> = std::thread::scope(|scope| {
+            (0..3)
+                .map(|_| {
+                    let frozen = Arc::clone(&frozen);
+                    scope.spawn(move || {
+                        let mut w = Interner::with_base(frozen);
+                        w.message(&nonce("Na"))
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker ok"))
+                .collect()
+        });
+        assert!(ids.iter().all(|&id| id == na));
+    }
+
+    #[test]
+    fn absorb_merges_scratch_caches() {
+        let mut seed = Interner::new();
+        seed.message(&nonce("Na"));
+        let frozen = Arc::new(seed.freeze());
+
+        let mut main = TermCache::with_base(Arc::clone(&frozen));
+        let mut scratch = TermCache::with_base(Arc::clone(&frozen));
+        let ks = keyset(&["K"]);
+        // Scratch computes one base-term result and one local-term result.
+        scratch.seen_submsgs(&nonce("Na"), &ks);
+        scratch.submsgs(&nonce("Nb"));
+        let scratch_misses = scratch.stats().misses;
+
+        main.absorb(scratch);
+        // Both results now answer from the merged cache (hits, no misses).
+        let misses_before = main.stats().misses;
+        assert_eq!(
+            *main.seen_submsgs(&nonce("Na"), &ks),
+            seen_submsgs(&nonce("Na"), &ks)
+        );
+        assert_eq!(*main.submsgs(&nonce("Nb")), submsgs(&nonce("Nb")));
+        assert_eq!(main.stats().misses, misses_before);
+        assert!(main.stats().misses >= scratch_misses);
+    }
+
+    #[test]
+    fn absorb_works_without_a_shared_base() {
+        let mut a = TermCache::new();
+        let mut b = TermCache::new();
+        // Different interning orders: the same terms get different IDs.
+        a.submsgs(&nonce("X"));
+        b.submsgs(&nonce("Y"));
+        b.submsgs(&nonce("X"));
+        a.absorb(b);
+        let misses = a.stats().misses;
+        assert_eq!(*a.submsgs(&nonce("X")), submsgs(&nonce("X")));
+        assert_eq!(*a.submsgs(&nonce("Y")), submsgs(&nonce("Y")));
+        assert_eq!(a.stats().misses, misses, "absorbed entries answer queries");
     }
 }

@@ -661,6 +661,45 @@ mod tests {
     }
 
     #[test]
+    fn formula_depth_guard_fires_exactly_at_the_documented_bound() {
+        // A `~` chain consumes one level per tilde plus two (the outer
+        // `formula` frame and the atom's `unary` frame): the last chain
+        // that fits is MAX - 2 tildes, and one more trips the guard.
+        let deepest = format!("{}good", "~".repeat(MAX_NESTING_DEPTH - 2));
+        assert!(parse_formula(&deepest, &syms()).is_ok());
+        let err = parse_formula(&format!("~{deepest}"), &syms()).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep);
+        assert!(err.message.contains(&MAX_NESTING_DEPTH.to_string()));
+
+        // Parenthesized grouping burns two levels per paren (`formula` +
+        // `unary`), so the paren bound is MAX / 2 - 1.
+        let fits = MAX_NESTING_DEPTH / 2 - 1;
+        let ok = format!("{}good{}", "(".repeat(fits), ")".repeat(fits));
+        assert!(parse_formula(&ok, &syms()).is_ok());
+        let too = format!("{}good{}", "(".repeat(fits + 1), ")".repeat(fits + 1));
+        assert_eq!(
+            parse_formula(&too, &syms()).unwrap_err().kind,
+            ParseErrorKind::TooDeep
+        );
+    }
+
+    #[test]
+    fn message_depth_guard_fires_exactly_at_the_documented_bound() {
+        // Message grouping and quoting each consume one level, with one
+        // frame of overhead: MAX - 1 parses, MAX trips the guard — and
+        // the guard, not a later syntax error, is what reports it.
+        for (open, close) in [("(", ")"), ("'", "'")] {
+            let fits = MAX_NESTING_DEPTH - 1;
+            let ok = format!("{}Na{}", open.repeat(fits), close.repeat(fits));
+            assert!(parse_message(&ok, &syms()).is_ok(), "{open}…{close}");
+            let too = format!("{}Na{}", open.repeat(fits + 1), close.repeat(fits + 1));
+            let err = parse_message(&too, &syms()).unwrap_err();
+            assert_eq!(err.kind, ParseErrorKind::TooDeep, "{open}…{close}");
+            assert!(err.message.contains(&MAX_NESTING_DEPTH.to_string()));
+        }
+    }
+
+    #[test]
     fn reasonable_nesting_stays_within_the_depth_budget() {
         let nested = format!("{}Na{}", "'".repeat(40), "'".repeat(40));
         assert!(parse_message(&nested, &syms()).is_ok());

@@ -9,6 +9,7 @@ use crate::{
 };
 use atl_ban::analyze;
 use atl_core::annotate::analyze_at;
+use atl_core::parallel::Pool;
 use std::fmt;
 
 /// Which logic an entry was analyzed in.
@@ -83,40 +84,53 @@ fn at_entry(proto: &atl_core::annotate::AtProtocol, expected_success: bool) -> S
     }
 }
 
+/// The suite as independent analysis jobs, in publication order.
+fn suite_jobs() -> Vec<Box<dyn FnOnce() -> SuiteEntry + Send>> {
+    vec![
+        Box::new(|| ban_entry(&kerberos::figure1_ban(), true)),
+        Box::new(|| at_entry(&kerberos::figure1_at(), true)),
+        Box::new(|| ban_entry(&kerberos::full_ban(), true)),
+        Box::new(|| at_entry(&kerberos::full_at(), true)),
+        Box::new(|| ban_entry(&needham_schroeder::ban_protocol(true), true)),
+        Box::new(|| ban_entry(&needham_schroeder::ban_protocol(false), false)),
+        Box::new(|| at_entry(&needham_schroeder::at_protocol(true), true)),
+        Box::new(|| at_entry(&needham_schroeder::at_protocol(false), false)),
+        Box::new(|| at_entry(&yahalom::at_protocol(true), true)),
+        Box::new(|| at_entry(&yahalom::at_protocol(false), false)),
+        Box::new(|| ban_entry(&otway_rees::ban_protocol(), true)),
+        Box::new(|| ban_entry(&otway_rees::ban_protocol_with_second_level_goals(), false)),
+        Box::new(|| at_entry(&otway_rees::at_protocol(), true)),
+        Box::new(|| ban_entry(&wide_mouthed_frog::ban_protocol(), true)),
+        Box::new(|| at_entry(&wide_mouthed_frog::at_protocol(), true)),
+        Box::new(|| ban_entry(&andrew::ban_protocol(false), false)),
+        Box::new(|| ban_entry(&andrew::ban_protocol(true), true)),
+        Box::new(|| at_entry(&andrew::at_protocol(false), false)),
+        Box::new(|| at_entry(&andrew::at_protocol(true), true)),
+        Box::new(|| ban_entry(&x509::ban_protocol(true), true)),
+        Box::new(|| ban_entry(&x509::ban_protocol(false), false)),
+        Box::new(|| at_entry(&x509::at_protocol(true), true)),
+        Box::new(|| at_entry(&x509::at_protocol(false), false)),
+        Box::new(|| at_entry(&x509::at_protocol_signed(true), true)),
+        Box::new(|| at_entry(&x509::at_protocol_signed(false), false)),
+        Box::new(|| ban_entry(&nessett::ban_protocol(), true)),
+        Box::new(|| at_entry(&nessett::at_protocol(), true)),
+        Box::new(|| at_entry(&crate::forwarding::at_protocol(), true)),
+        Box::new(|| at_entry(&crate::reflection::at_protocol(), true)),
+        Box::new(|| at_entry(&crate::reflection::reflected_at_protocol(), false)),
+    ]
+}
+
 /// Analyzes the whole suite.
 pub fn run_suite() -> Vec<SuiteEntry> {
-    vec![
-        ban_entry(&kerberos::figure1_ban(), true),
-        at_entry(&kerberos::figure1_at(), true),
-        ban_entry(&kerberos::full_ban(), true),
-        at_entry(&kerberos::full_at(), true),
-        ban_entry(&needham_schroeder::ban_protocol(true), true),
-        ban_entry(&needham_schroeder::ban_protocol(false), false),
-        at_entry(&needham_schroeder::at_protocol(true), true),
-        at_entry(&needham_schroeder::at_protocol(false), false),
-        at_entry(&yahalom::at_protocol(true), true),
-        at_entry(&yahalom::at_protocol(false), false),
-        ban_entry(&otway_rees::ban_protocol(), true),
-        ban_entry(&otway_rees::ban_protocol_with_second_level_goals(), false),
-        at_entry(&otway_rees::at_protocol(), true),
-        ban_entry(&wide_mouthed_frog::ban_protocol(), true),
-        at_entry(&wide_mouthed_frog::at_protocol(), true),
-        ban_entry(&andrew::ban_protocol(false), false),
-        ban_entry(&andrew::ban_protocol(true), true),
-        at_entry(&andrew::at_protocol(false), false),
-        at_entry(&andrew::at_protocol(true), true),
-        ban_entry(&x509::ban_protocol(true), true),
-        ban_entry(&x509::ban_protocol(false), false),
-        at_entry(&x509::at_protocol(true), true),
-        at_entry(&x509::at_protocol(false), false),
-        at_entry(&x509::at_protocol_signed(true), true),
-        at_entry(&x509::at_protocol_signed(false), false),
-        ban_entry(&nessett::ban_protocol(), true),
-        at_entry(&nessett::at_protocol(), true),
-        at_entry(&crate::forwarding::at_protocol(), true),
-        at_entry(&crate::reflection::at_protocol(), true),
-        at_entry(&crate::reflection::reflected_at_protocol(), false),
-    ]
+    run_suite_on(&Pool::sequential())
+}
+
+/// Analyzes the whole suite with entries sharded over `pool`. Every
+/// entry is an independent analysis (no shared mutable state), and the
+/// outcomes come back in publication order whatever the scheduling, so
+/// the result is identical to [`run_suite`].
+pub fn run_suite_on(pool: &Pool) -> Vec<SuiteEntry> {
+    pool.run(suite_jobs())
 }
 
 /// Renders the suite outcome as an aligned text table.

@@ -15,8 +15,16 @@
 //!     against restrictions 1-5, and report which annotation-procedure
 //!     beliefs survive the degradation
 //! ```
+//!
+//! Every subcommand additionally accepts `--jobs N` anywhere on the
+//! command line: independent analyses (the suite entries, the
+//! baseline/degraded pair under `inject`) are sharded over a
+//! work-stealing pool of `N` workers. The default is the machine's
+//! available parallelism; `--jobs 1` forces the sequential reference
+//! path. Outputs are identical whatever `N` is.
 
 use atl::core::annotate::analyze_at;
+use atl::core::parallel::Pool;
 use atl::core::spec::parse_spec;
 use atl::core::theorems;
 use atl::lang::parser::parse_formula;
@@ -25,18 +33,25 @@ use atl::protocols::suite;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = match take_jobs(&mut args) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(args.get(1)),
         Some("trace") => cmd_trace(args.get(1), args.get(2)),
-        Some("suite") => cmd_suite(),
+        Some("suite") => cmd_suite(&pool),
         Some("proof") => cmd_proof(args.get(1)),
         Some("check-run") => cmd_check_run(args.get(1)),
         Some("eval") => cmd_eval(args.get(1), args.get(2), args.get(3)),
-        Some("inject") => cmd_inject(&args[1..]),
+        Some("inject") => cmd_inject(&args[1..], &pool),
         _ => {
             eprintln!(
-                "usage: atl <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS]>"
+                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS]>"
             );
             return ExitCode::from(2);
         }
@@ -54,6 +69,24 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Strips a global `--jobs N` flag (if present) and builds the pool;
+/// without the flag the pool sizes itself to the machine.
+fn take_jobs(args: &mut Vec<String>) -> Result<Pool, Box<dyn std::error::Error>> {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(Pool::auto());
+    };
+    let n: usize = args
+        .get(i + 1)
+        .ok_or("--jobs needs a value")?
+        .parse()
+        .map_err(|e| format!("--jobs: {e}"))?;
+    if n == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    args.drain(i..=i + 1);
+    Ok(Pool::new(n))
 }
 
 fn load(path: Option<&String>) -> Result<String, Box<dyn std::error::Error>> {
@@ -109,8 +142,8 @@ fn cmd_trace(
     Ok(true)
 }
 
-fn cmd_suite() -> Result<bool, Box<dyn std::error::Error>> {
-    let entries = suite::run_suite();
+fn cmd_suite(pool: &Pool) -> Result<bool, Box<dyn std::error::Error>> {
+    let entries = suite::run_suite_on(pool);
     print!("{}", suite::summary_table(&entries));
     Ok(entries.iter().all(suite::SuiteEntry::matches_expectation))
 }
@@ -250,7 +283,7 @@ fn message_mentions_key(m: &Message, k: &Key) -> bool {
     }
 }
 
-fn cmd_inject(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+fn cmd_inject(args: &[String], pool: &Pool) -> Result<bool, Box<dyn std::error::Error>> {
     use atl::core::annotate::AtStep;
     use atl::core::enact::{enact_with, EnactOptions};
     use atl::model::{execute_with_faults, Action, ExecOptions, ExpectPolicy};
@@ -341,8 +374,15 @@ fn cmd_inject(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             .count()
     };
     let dropped_steps = sends(&at.steps) - sends(&degraded.steps);
-    let baseline = analyze_at(&at);
-    let after = analyze_at(&degraded);
+    // The baseline and degraded analyses are independent; prove the
+    // pair concurrently when the pool has more than one worker.
+    let (at_job, degraded_job) = (at.clone(), degraded.clone());
+    let mut analyses = pool.run(vec![
+        Box::new(move || analyze_at(&at_job)) as Box<dyn FnOnce() -> _ + Send>,
+        Box::new(move || analyze_at(&degraded_job)),
+    ]);
+    let after = analyses.pop().expect("two analyses");
+    let baseline = analyses.pop().expect("two analyses");
     println!(
         "beliefs: {} of {} idealized messages delivered",
         sends(&degraded.steps),
