@@ -1,0 +1,108 @@
+//! Fault-sweep throughput: plans/second through the sharded
+//! enumerate → fingerprint → dedupe → execute pipeline at 1/2/4/8
+//! workers, plus the dedup/cache effect in isolation.
+//!
+//! The 1-worker point is the sequential reference path, so the curve
+//! shows both the fan-out speedup on multi-core machines and the
+//! sharding overhead where there is none. Sweep outputs are identical
+//! at every worker count by construction (tests/e16_sweep.rs); only the
+//! wall-clock may differ.
+
+use atl_core::parallel::Pool;
+use atl_lang::{Message, Nonce};
+use atl_model::{
+    sweep_plans_on, ExecOptions, ExecutionCache, ExpectPolicy, Protocol, Role, SweepGrid,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const WORKERS: &[usize] = &[1, 2, 4, 8];
+
+/// A protocol of `depth` nonce round-trips between A and B, the e16
+/// randomized-protocol shape at a fixed size.
+fn pingpong(depth: u64) -> Protocol {
+    let mut a = Role::new("A", []);
+    let mut b = Role::new("B", []);
+    let policy = ExpectPolicy::skip_after(2);
+    for i in 0..depth {
+        let ping = Message::nonce(Nonce::new(format!("P{i}")));
+        let pong = Message::nonce(Nonce::new(format!("Q{i}")));
+        a = a.send(ping.clone(), "B").expect_with(pong.clone(), policy);
+        b = b.expect_with(ping, policy).send(pong, "A");
+    }
+    Protocol::new(format!("pingpong-{depth}")).role(a).role(b)
+}
+
+/// A grid whose fractional probabilities keep every seed distinct, so
+/// dedup cannot hide the execution cost being measured.
+fn dense_grid() -> SweepGrid {
+    SweepGrid::new()
+        .seeds(0..8)
+        .drop_steps([0.25, 0.6])
+        .replay_steps([0.0, 0.5])
+}
+
+/// Sweep throughput in plans/second at each worker count.
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_sweep_32_plans");
+    let proto = pingpong(4);
+    let opts = ExecOptions::default();
+    let plans = dense_grid().plans();
+    for &jobs in WORKERS {
+        let pool = Pool::new(jobs);
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &pool, |b, pool| {
+            b.iter(|| {
+                let out = sweep_plans_on(&proto, &opts, &plans, pool, &ExecutionCache::new());
+                black_box(out.stats.executed)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The dedup + cache effect: a boundary-heavy grid where most plans
+/// collapse to a few fingerprints, swept cold (dedup only) and warm
+/// (everything served from the shared cache).
+fn bench_dedup_and_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_sweep_dedup");
+    let proto = pingpong(4);
+    let opts = ExecOptions::default();
+    // 8 seeds × {0, 1} drop × {0, 1} replay: seeds are erased on the
+    // boundary columns, so 32 plans dedupe far down before executing.
+    let plans = SweepGrid::new()
+        .seeds(0..8)
+        .drop_steps([0.0, 1.0])
+        .replay_steps([0.0, 1.0])
+        .plans();
+    let pool = Pool::new(2);
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let out = sweep_plans_on(&proto, &opts, &plans, &pool, &ExecutionCache::new());
+            black_box(out.stats.executed)
+        })
+    });
+    let warm = ExecutionCache::new();
+    sweep_plans_on(&proto, &opts, &plans, &pool, &warm);
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let out = sweep_plans_on(&proto, &opts, &plans, &pool, &warm);
+            black_box(out.stats.cache_hits)
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sweep_scaling, bench_dedup_and_cache
+}
+criterion_main!(benches);

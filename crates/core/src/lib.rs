@@ -14,7 +14,8 @@
 //!   for the prover and the good-run construction, with three-valued
 //!   verdicts under exhaustion;
 //! - [`parallel`] — a work-stealing pool with deterministic ordered
-//!   merges, behind the sharded good-run construction, concurrent
+//!   merges (re-exported from `atl_model`, where it also shards fault
+//!   sweeps), behind the sharded good-run construction, concurrent
 //!   belief sweeps, and batch proving;
 //! - [`stability`] — the stability requirement on annotations;
 //! - [`semantics`] — truth at points of a system, with belief as
@@ -25,6 +26,8 @@
 //! - [`quantifier`] — bounded universal quantification (Section 8);
 //! - [`enact`] — turning an idealized protocol into an executable model
 //!   protocol, so runs can be produced, audited, and fault-injected;
+//! - [`sweep`] — parallel fault sweeps over plan grids, with
+//!   belief-survival and semantic-validity reporting per goal;
 //! - [`examples`] — the coin-toss counterexample;
 //! - [`theorems`] — machine-checked reconstructions of the BAN rules;
 //! - [`secrecy`] — the semantic secrecy audit (the paper's future work);
@@ -55,7 +58,6 @@ pub mod enact;
 pub mod examples;
 pub mod goodruns;
 pub mod kripke;
-pub mod parallel;
 pub mod proof;
 pub mod prover;
 pub mod quantifier;
@@ -64,5 +66,7 @@ pub mod semantics;
 pub mod soundness;
 pub mod spec;
 pub mod stability;
+pub mod sweep;
+pub use atl_model::parallel;
 pub mod tautology;
 pub mod theorems;

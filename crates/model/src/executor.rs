@@ -18,8 +18,10 @@
 
 use crate::error::ModelError;
 use crate::faults::{AbandonedStep, ExecReport, FaultEvent, FaultKind, FaultPlan};
+use crate::parallel::Pool;
 use crate::protocol::{ExpectPolicy, MsgPattern, OnTimeout, Protocol, RoleStep};
 use crate::run::{Run, RunBuilder};
+use crate::sweep::{sweep_plans_on, ExecutionCache, SweepGrid, SweepOutcome};
 use crate::system::System;
 use atl_lang::{seen_submsgs_of_set, Message, Principal};
 use rand::prelude::*;
@@ -175,7 +177,13 @@ impl<'a> Driver<'a> {
             }
         }
         if let Some(plan) = self.plan {
-            cap += u64::from(plan.delay_rounds) + 8 * (plan.compromises.len() as u64 + 1);
+            // The delay duration only contributes when delays can fire:
+            // this keeps execution a function of the plan's *canonical*
+            // form (see `PlanFingerprint`), not of inert knobs.
+            if plan.delay_p > 0.0 {
+                cap += u64::from(plan.delay_rounds);
+            }
+            cap += 8 * (plan.compromises.len() as u64 + 1);
         }
         cap.min(u32::MAX as u64) as u32
     }
@@ -626,16 +634,31 @@ pub fn execute_schedules(
 /// Executes the protocol once per fault plan, collecting the distinct
 /// well-formed runs into a system — a degraded-traffic analogue of
 /// [`execute_schedules`] for feeding the semantics with faulty runs.
+///
+/// Internally this rides the sweep engine: plans with identical
+/// [fingerprints](crate::PlanFingerprint) execute once, and the
+/// remaining executions are sharded across an auto-sized pool. The
+/// resulting system is exactly what executing every plan sequentially
+/// would produce.
 pub fn execute_fault_suite(protocol: &Protocol, base: &ExecOptions, plans: &[FaultPlan]) -> System {
-    let mut runs = Vec::new();
-    for plan in plans {
-        if let Ok((run, _)) = execute_with_faults(protocol, base, plan) {
-            if !runs.contains(&run) {
-                runs.push(run);
-            }
-        }
-    }
-    System::new(runs)
+    sweep_plans_on(protocol, base, plans, &Pool::auto(), &ExecutionCache::new()).system()
+}
+
+/// Enumerates `grid`, deduplicates plans by fingerprint, and executes
+/// the survivors sharded across `pool`, with a fresh per-call execution
+/// cache. The outcome — per-plan results in enumeration order plus the
+/// dedup/execution stats — is bit-identical at every worker count.
+///
+/// For multi-stage sweeps that should share executions (or an explicit
+/// plan list), use [`sweep_plans_on`](crate::sweep_plans_on) with a
+/// caller-owned [`ExecutionCache`](crate::ExecutionCache).
+pub fn execute_sweep_on(
+    protocol: &Protocol,
+    base: &ExecOptions,
+    grid: &SweepGrid,
+    pool: &Pool,
+) -> SweepOutcome {
+    sweep_plans_on(protocol, base, &grid.plans(), pool, &ExecutionCache::new())
 }
 
 /// All rotations of `0..n` — a cheap family of distinct schedules.

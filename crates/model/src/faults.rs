@@ -162,6 +162,32 @@ impl FaultPlan {
     }
 }
 
+impl fmt::Display for FaultPlan {
+    /// A compact, deterministic rendering: the seed plus every active
+    /// knob (inert probabilities are omitted).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for (name, p) in [
+            ("drop", self.drop_p),
+            ("dup", self.duplicate_p),
+            ("delay", self.delay_p),
+            ("reorder", self.reorder_p),
+            ("replay", self.replay_p),
+        ] {
+            if p > 0.0 {
+                write!(f, " {name}={p}")?;
+                if name == "delay" {
+                    write!(f, "x{}", self.delay_rounds)?;
+                }
+            }
+        }
+        for (key, t) in &self.compromises {
+            write!(f, " compromise={key}@{t}")?;
+        }
+        Ok(())
+    }
+}
+
 /// An ill-formed [`FaultPlan`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -358,6 +384,38 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(matches!(e, FaultError::BadProbability { .. }));
+    }
+
+    #[test]
+    fn validate_accepts_exact_boundary_probabilities() {
+        // 0.0 and 1.0 are meaningful grid points ("never" / "always"),
+        // not out-of-range values: boundary sweeps must validate.
+        let plan = FaultPlan::new(0)
+            .drop(0.0)
+            .duplicate(1.0)
+            .delay(1.0, 1)
+            .reorder(0.0)
+            .replay(1.0);
+        assert!(plan.validate().is_ok());
+        // Negative zero counts as zero.
+        assert!(FaultPlan::new(0).drop(-0.0).validate().is_ok());
+        // A zero-round delay is only rejected when delays can fire;
+        // an inert delay axis may carry any duration.
+        assert!(FaultPlan::new(0).delay(0.0, 0).validate().is_ok());
+        let e = FaultPlan::new(0).delay(1.0, 0).validate().unwrap_err();
+        assert!(matches!(e, FaultError::BadDelay { rounds: 0 }));
+        assert!(e.to_string().contains("0 rounds"));
+    }
+
+    #[test]
+    fn plan_display_lists_active_knobs_only() {
+        let plan = FaultPlan::new(7)
+            .drop(0.5)
+            .delay(0.25, 3)
+            .compromise("Kab", 2);
+        let shown = plan.to_string();
+        assert_eq!(shown, "seed=7 drop=0.5 delay=0.25x3 compromise=Kab@2");
+        assert_eq!(FaultPlan::new(3).to_string(), "seed=3");
     }
 
     #[test]

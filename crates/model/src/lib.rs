@@ -33,9 +33,11 @@ mod adversary;
 mod error;
 mod executor;
 mod faults;
+pub mod parallel;
 mod protocol;
 mod run;
 mod state;
+mod sweep;
 mod system;
 mod trace;
 mod validate;
@@ -44,13 +46,17 @@ pub use action::{Action, Event};
 pub use adversary::{random_run, random_system, GenConfig};
 pub use error::ModelError;
 pub use executor::{
-    execute, execute_fault_suite, execute_schedules, execute_with_faults, execute_with_report,
-    rotation_schedules, ExecOptions,
+    execute, execute_fault_suite, execute_schedules, execute_sweep_on, execute_with_faults,
+    execute_with_report, rotation_schedules, ExecOptions,
 };
 pub use faults::{AbandonedStep, ExecReport, FaultError, FaultEvent, FaultKind, FaultPlan};
 pub use protocol::{ExpectPolicy, MsgPattern, OnTimeout, Protocol, Role, RoleStep};
 pub use run::{final_env, Run, RunBuilder, SendRecord};
 pub use state::{EnvState, GlobalState, LocalState};
+pub use sweep::{
+    sweep_plans_on, ExecOutcome, ExecutionCache, PlanFingerprint, PlanResult, SweepGrid,
+    SweepOutcome, SweepStats,
+};
 pub use system::{Interpretation, Point, System};
 pub use trace::{parse_trace, render_trace, TraceError};
 pub use validate::{validate_run, Violation};

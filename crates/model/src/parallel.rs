@@ -1,9 +1,11 @@
 //! A small work-stealing pool for the parallel verification paths.
 //!
-//! The parallelizable workloads in this crate — filtering candidate runs
-//! in a `G^j` stage ([`crate::goodruns`]), prewarming per-point
-//! evaluation caches ([`crate::semantics`]), and proving independent
-//! goals ([`crate::prover::BatchProver`]) — all have the same shape: a
+//! The parallelizable workloads in this workspace — executing fault
+//! plans in a sweep ([`crate::sweep_plans_on`]), filtering candidate runs in a
+//! `G^j` good-run stage, prewarming per-point evaluation caches, and
+//! proving independent goals (`atl-core`'s `goodruns`, `semantics`, and
+//! `prover::BatchProver`, which reach this module through the
+//! `atl_core::parallel` re-export) — all have the same shape: a
 //! fixed slice of independent items, each mapped through a pure-ish
 //! function, with results needed **in input order** so the parallel path
 //! is bit-identical to the sequential one. [`Pool::map`] provides
@@ -35,7 +37,7 @@ use std::sync::{Mutex, PoisonError};
 /// themselves are scoped to each [`map`](Pool::map) call.
 ///
 /// ```
-/// use atl_core::parallel::Pool;
+/// use atl_model::parallel::Pool;
 /// let pool = Pool::new(4);
 /// let squares = pool.map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
 /// assert_eq!(squares, vec![1, 4, 9, 16, 25]); // always input order

@@ -14,6 +14,14 @@
 //!     execute the protocol under a fault plan, audit the faulted run
 //!     against restrictions 1-5, and report which annotation-procedure
 //!     beliefs survive the degradation
+//! atl inject <spec.atl> --sweep [--seeds N] [grid flags]
+//!     sweep a fault-plan grid instead: probability flags take
+//!     comma-separated step lists (`--drop 0,0.5,1`), `--seeds N` widens
+//!     the seed range, and `--compromise` grid points are tried both with
+//!     and without the compromise. Equivalent plans are deduplicated by
+//!     fingerprint and executed once over the worker pool; the report
+//!     shows per-plan verdicts, a belief-survival histogram, and the
+//!     semantic validity of each goal over the degraded system.
 //! ```
 //!
 //! Every subcommand additionally accepts `--jobs N` anywhere on the
@@ -189,21 +197,81 @@ fn cmd_eval(
     Ok(verdict)
 }
 
-/// Parsed flags for `atl inject`.
+/// Parsed flags for `atl inject`. Probability flags accept
+/// comma-separated step lists, which only `--sweep` may use; without it
+/// each must be a single value.
 struct InjectFlags {
     path: Option<String>,
-    plan: atl::model::FaultPlan,
+    sweep: bool,
+    seed: u64,
+    seeds: u64,
+    drop: Vec<f64>,
+    dup: Vec<f64>,
+    delay: Vec<f64>,
+    delay_rounds: u32,
+    reorder: Vec<f64>,
+    replay: Vec<f64>,
+    compromises: Vec<(Key, i64)>,
     patience: u32,
     retries: u32,
     public: bool,
     emit_trace: Option<String>,
 }
 
+impl InjectFlags {
+    /// The single fault plan of a non-sweep invocation.
+    fn plan(&self) -> Result<atl::model::FaultPlan, Box<dyn std::error::Error>> {
+        let one = |name: &str, steps: &[f64]| -> Result<f64, Box<dyn std::error::Error>> {
+            match steps {
+                [] => Ok(0.0),
+                [p] => Ok(*p),
+                _ => Err(format!("{name} lists multiple steps; use --sweep to grid them").into()),
+            }
+        };
+        let mut plan = atl::model::FaultPlan::new(self.seed)
+            .drop(one("--drop", &self.drop)?)
+            .duplicate(one("--dup", &self.dup)?)
+            .delay(one("--delay", &self.delay)?, self.delay_rounds)
+            .reorder(one("--reorder", &self.reorder)?)
+            .replay(one("--replay", &self.replay)?);
+        plan.compromises = self.compromises.clone();
+        Ok(plan)
+    }
+
+    /// The plan grid of a `--sweep` invocation: `--seeds N` seeds
+    /// starting at `--seed`, the cartesian product of every step list,
+    /// and (when keys are compromised) both the clean and the
+    /// compromised schedule.
+    fn grid(&self) -> atl::model::SweepGrid {
+        let mut grid = atl::model::SweepGrid::new()
+            .seeds(self.seed..self.seed.saturating_add(self.seeds))
+            .drop_steps(self.drop.iter().copied())
+            .duplicate_steps(self.dup.iter().copied())
+            .delay_steps(self.delay.iter().copied(), self.delay_rounds)
+            .reorder_steps(self.reorder.iter().copied())
+            .replay_steps(self.replay.iter().copied());
+        if !self.compromises.is_empty() {
+            grid = grid
+                .compromise_choice([])
+                .compromise_choice(self.compromises.iter().cloned());
+        }
+        grid
+    }
+}
+
 fn parse_inject_flags(args: &[String]) -> Result<InjectFlags, Box<dyn std::error::Error>> {
-    use atl::model::FaultPlan;
     let mut flags = InjectFlags {
         path: None,
-        plan: FaultPlan::new(0),
+        sweep: false,
+        seed: 0,
+        seeds: 4,
+        drop: Vec::new(),
+        dup: Vec::new(),
+        delay: Vec::new(),
+        delay_rounds: 2,
+        reorder: Vec::new(),
+        replay: Vec::new(),
+        compromises: Vec::new(),
         patience: 6,
         retries: 2,
         public: false,
@@ -214,28 +282,34 @@ fn parse_inject_flags(args: &[String]) -> Result<InjectFlags, Box<dyn std::error
             .map(String::as_str)
             .ok_or_else(|| format!("{flag} needs a value"))
     }
+    fn steps(v: &str) -> Result<Vec<f64>, std::num::ParseFloatError> {
+        v.split(',').map(str::parse).collect()
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--seed" => flags.plan.seed = need(&mut it, "--seed")?.parse()?,
-            "--drop" => flags.plan = flags.plan.drop(need(&mut it, "--drop")?.parse()?),
-            "--dup" => flags.plan = flags.plan.duplicate(need(&mut it, "--dup")?.parse()?),
+            "--sweep" => flags.sweep = true,
+            "--seed" => flags.seed = need(&mut it, "--seed")?.parse()?,
+            "--seeds" => flags.seeds = need(&mut it, "--seeds")?.parse()?,
+            "--drop" => flags.drop = steps(need(&mut it, "--drop")?)?,
+            "--dup" => flags.dup = steps(need(&mut it, "--dup")?)?,
             "--delay" => {
                 let v = need(&mut it, "--delay")?;
                 let (p, rounds) = match v.split_once(':') {
-                    Some((p, r)) => (p.parse()?, r.parse()?),
-                    None => (v.parse()?, 2),
+                    Some((p, r)) => (p, r.parse()?),
+                    None => (v, 2),
                 };
-                flags.plan = flags.plan.delay(p, rounds);
+                flags.delay = steps(p)?;
+                flags.delay_rounds = rounds;
             }
-            "--reorder" => flags.plan = flags.plan.reorder(need(&mut it, "--reorder")?.parse()?),
-            "--replay" => flags.plan = flags.plan.replay(need(&mut it, "--replay")?.parse()?),
+            "--reorder" => flags.reorder = steps(need(&mut it, "--reorder")?)?,
+            "--replay" => flags.replay = steps(need(&mut it, "--replay")?)?,
             "--compromise" => {
                 let v = need(&mut it, "--compromise")?;
                 let (key, t) = v
                     .split_once('@')
                     .ok_or("--compromise takes KEY@TIME, e.g. Kab@2")?;
-                flags.plan = flags.plan.compromise(Key::new(key), t.parse()?);
+                flags.compromises.push((Key::new(key), t.parse()?));
             }
             "--patience" => flags.patience = need(&mut it, "--patience")?.parse()?,
             "--retries" => flags.retries = need(&mut it, "--retries")?.parse()?,
@@ -295,23 +369,37 @@ fn cmd_inject(args: &[String], pool: &Pool) -> Result<bool, Box<dyn std::error::
     } else {
         ExpectPolicy::skip_after(flags.patience)
     };
+    let opts = ExecOptions {
+        public_channel: flags.public,
+        ..ExecOptions::default()
+    };
+
+    if flags.sweep {
+        use atl::core::sweep::{fault_sweep, SweepConfig};
+        let config = SweepConfig {
+            grid: flags.grid(),
+            options: opts,
+            expect_policy: policy,
+        };
+        let report = fault_sweep(&at, &config, pool);
+        print!("{report}");
+        return Ok(report.all_executed() && report.audit_violations == 0);
+    }
+
+    let plan = flags.plan()?;
     let proto = enact_with(
         &at,
         EnactOptions {
             expect_policy: policy,
         },
     );
-    let opts = ExecOptions {
-        public_channel: flags.public,
-        ..ExecOptions::default()
-    };
-    let (run, report) = execute_with_faults(&proto, &opts, &flags.plan)?;
+    let (run, report) = execute_with_faults(&proto, &opts, &plan)?;
 
     println!(
         "protocol {}: {} roles, seed {}",
         at.name,
         proto.roles().len(),
-        flags.plan.seed
+        plan.seed
     );
     println!(
         "execution: {} rounds, times {}..={}, {} sends, {} retransmissions",
@@ -399,7 +487,7 @@ fn cmd_inject(args: &[String], pool: &Pool) -> Result<bool, Box<dyn std::error::
             (false, _) => "unproven",
         };
         println!("  [{tag}] {goal}");
-        for (key, t) in &flags.plan.compromises {
+        for (key, t) in &plan.compromises {
             if formula_mentions_key(goal, key) {
                 println!(
                     "      note: mentions {key}, compromised at t={t} — the \

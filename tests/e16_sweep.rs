@@ -1,0 +1,260 @@
+//! E16: the fault-sweep engine — grid enumeration, fingerprint
+//! deduplication, execution caching, and worker-count invariance.
+//!
+//! The sweep pipeline (`SweepGrid` → fingerprint dedup → shared
+//! `ExecutionCache` → pool-sharded execution → belief-survival report)
+//! must be *invisible* the same way the e15 pool is: every plan's
+//! outcome is byte-identical to executing that plan directly, and the
+//! whole report — stats, per-plan verdicts, survival histogram,
+//! semantic verdicts — renders identically at every `--jobs` count, on
+//! committed specs and on randomized protocols and grids alike.
+
+use atl::core::parallel::Pool;
+use atl::core::spec::parse_spec;
+use atl::core::sweep::{fault_sweep, fault_sweep_with_cache, SweepConfig};
+use atl::lang::{Key, Message, Nonce};
+use atl::model::{
+    execute_fault_suite, execute_with_faults, render_trace, sweep_plans_on, ExecOptions,
+    ExecutionCache, ExpectPolicy, FaultPlan, PlanFingerprint, Protocol, Role, SweepGrid,
+    SweepOutcome,
+};
+use proptest::prelude::*;
+
+const SPECS: &[(&str, &str)] = &[
+    ("andrew_flawed", include_str!("../specs/andrew_flawed.atl")),
+    (
+        "kerberos_figure1",
+        include_str!("../specs/kerberos_figure1.atl"),
+    ),
+    (
+        "needham_schroeder",
+        include_str!("../specs/needham_schroeder.atl"),
+    ),
+    (
+        "wide_mouthed_frog",
+        include_str!("../specs/wide_mouthed_frog.atl"),
+    ),
+];
+
+/// The worker counts checked against the sequential reference.
+const JOBS: &[usize] = &[2, 4];
+
+/// Decodes a probability level from two bits: off, rare, common, certain.
+fn level(bits: u64) -> f64 {
+    [0.0, 0.25, 0.6, 1.0][(bits & 3) as usize]
+}
+
+fn config(grid: SweepGrid) -> SweepConfig {
+    SweepConfig {
+        grid,
+        options: ExecOptions::default(),
+        expect_policy: ExpectPolicy::skip_after(3),
+    }
+}
+
+/// A representative grid: seeds × drop steps × replay steps, with the
+/// boundary probabilities the fingerprint canonicalizes.
+fn spec_grid() -> SweepGrid {
+    SweepGrid::new()
+        .seeds(0..2)
+        .drop_steps([0.0, 0.6, 1.0])
+        .replay_steps([0.0, 1.0])
+}
+
+fn assert_outcomes_equal(a: &SweepOutcome, b: &SweepOutcome, context: &str) {
+    assert_eq!(a.stats, b.stats, "{context}: stats differ");
+    assert_eq!(a.results.len(), b.results.len(), "{context}");
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.plan, y.plan, "{context}");
+        assert_eq!(x.fingerprint, y.fingerprint, "{context}");
+        assert_eq!(*x.outcome, *y.outcome, "{context}: outcome differs");
+    }
+}
+
+/// On every committed spec, the full sweep → belief-survival report is
+/// byte-identical at every worker count: same stats, same per-plan
+/// verdicts, same survival histogram, same semantic verdicts.
+#[test]
+fn spec_sweep_reports_identical_at_every_worker_count() {
+    for (name, src) in SPECS {
+        let (at, _) = parse_spec(src).expect("spec parses");
+        let cfg = config(spec_grid());
+        let reference = fault_sweep(&at, &cfg, &Pool::new(1));
+        // The grid's inert column dedupes across seeds, so the sweep
+        // demonstrably skips redundant executions.
+        assert!(
+            reference.stats.executed < reference.stats.enumerated,
+            "{name}: no plan was deduplicated away"
+        );
+        for &jobs in JOBS {
+            let report = fault_sweep(&at, &cfg, &Pool::new(jobs));
+            assert_eq!(report.stats, reference.stats, "{name} at {jobs} workers");
+            assert_eq!(
+                report.verdicts, reference.verdicts,
+                "{name} at {jobs} workers"
+            );
+            assert_eq!(
+                report.to_string(),
+                reference.to_string(),
+                "{name} at {jobs} workers"
+            );
+        }
+    }
+}
+
+/// Fingerprint deduplication skips redundant executions: three inert
+/// seeds are one execution, and certain-drop plans (whose seed is
+/// erased) collapse across the whole seed range.
+#[test]
+fn fingerprint_dedup_skips_redundant_executions() {
+    let (at, _) = parse_spec(SPECS[2].1).expect("spec parses");
+    let grid = SweepGrid::new().seeds(0..3).drop_steps([0.0, 1.0]);
+    let report = fault_sweep(&at, &config(grid), &Pool::new(1));
+    assert_eq!(report.stats.enumerated, 6);
+    // {inert, certain-drop}: both seed-independent.
+    assert_eq!(report.stats.unique, 2);
+    assert_eq!(report.stats.executed, 2);
+    assert_eq!(report.verdicts.len(), 6, "every plan still gets a verdict");
+}
+
+/// A second sweep over overlapping grids is served from the shared
+/// cache: the common fingerprints execute zero times.
+#[test]
+fn cache_serves_repeat_sweeps_without_reexecution() {
+    let (at, _) = parse_spec(SPECS[1].1).expect("spec parses");
+    let cache = ExecutionCache::new();
+    let pool = Pool::new(2);
+    let cfg = config(spec_grid());
+    let first = fault_sweep_with_cache(&at, &cfg, &pool, &cache);
+    assert_eq!(first.stats.cache_hits, 0);
+    let second = fault_sweep_with_cache(&at, &cfg, &pool, &cache);
+    assert_eq!(second.stats.executed, 0, "everything was cached");
+    assert_eq!(second.stats.cache_hits, second.stats.unique);
+    assert_eq!(second.verdicts, first.verdicts);
+    // Identical reports apart from the hit/executed accounting line.
+    let body = |r: &str| -> String {
+        r.lines()
+            .filter(|l| !l.contains("enumerated"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(body(&second.to_string()), body(&first.to_string()));
+}
+
+/// `execute_fault_suite` now rides the sweep path: its system holds the
+/// distinct well-formed runs in first-occurrence order, exactly as
+/// executing each plan directly and deduplicating by trace would.
+#[test]
+fn fault_suite_matches_direct_executions() {
+    let (at, _) = parse_spec(SPECS[2].1).expect("spec parses");
+    let proto = atl::core::enact::enact_with(
+        &at,
+        atl::core::enact::EnactOptions {
+            expect_policy: ExpectPolicy::skip_after(3),
+        },
+    );
+    let opts = ExecOptions::default();
+    let plans = [
+        FaultPlan::new(0),
+        FaultPlan::new(1), // same fingerprint as seed 0: both inert
+        FaultPlan::new(0).drop(1.0),
+        FaultPlan::new(2).drop(0.6),
+    ];
+    let system = execute_fault_suite(&proto, &opts, &plans);
+    let mut expected: Vec<String> = Vec::new();
+    for plan in &plans {
+        if let Ok((run, _)) = execute_with_faults(&proto, &opts, plan) {
+            let trace = render_trace(&run);
+            if !expected.contains(&trace) {
+                expected.push(trace);
+            }
+        }
+    }
+    let got: Vec<String> = system.runs().iter().map(render_trace).collect();
+    assert_eq!(got, expected);
+}
+
+/// A protocol of `depth` nonce round-trips between A and B — randomized
+/// protocol material for the model-level properties.
+fn pingpong(depth: u64) -> Protocol {
+    let mut a = Role::new("A", []);
+    let mut b = Role::new("B", []);
+    let policy = ExpectPolicy::skip_after(2);
+    for i in 0..depth {
+        let ping = Message::nonce(Nonce::new(format!("P{i}")));
+        let pong = Message::nonce(Nonce::new(format!("Q{i}")));
+        a = a.send(ping.clone(), "B").expect_with(pong.clone(), policy);
+        b = b.expect_with(ping, policy).send(pong, "A");
+    }
+    Protocol::new(format!("pingpong-{depth}")).role(a).role(b)
+}
+
+fn grid_strategy() -> impl Strategy<Value = SweepGrid> {
+    (1u64..3, 0u64..(1 << 15)).prop_map(|(nseeds, k)| {
+        let mut grid = SweepGrid::new()
+            .seeds(0..nseeds)
+            .drop_steps([level(k), level(k >> 2)])
+            .duplicate_steps([level(k >> 4)])
+            .delay_steps([level(k >> 6)], 1 + (k >> 8 & 3) as u32)
+            .reorder_steps([level(k >> 10)])
+            .replay_steps([level(k >> 12)]);
+        if k >> 14 & 1 == 1 {
+            grid = grid
+                .compromise_choice([])
+                .compromise_choice([(Key::new("P0"), 2)]);
+        }
+        grid
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Deduplication and caching are *sound*: every plan's shared
+    /// outcome in a sweep equals executing that plan directly, fresh —
+    /// equal fingerprints never smuggle in a wrong run.
+    #[test]
+    fn swept_outcomes_match_direct_execution(
+        depth in 1u64..4,
+        grid in grid_strategy(),
+    ) {
+        let proto = pingpong(depth);
+        let opts = ExecOptions::default();
+        let outcome = sweep_plans_on(
+            &proto,
+            &opts,
+            &grid.plans(),
+            &Pool::new(2),
+            &ExecutionCache::new(),
+        );
+        for r in &outcome.results {
+            prop_assert_eq!(PlanFingerprint::of(&r.plan), r.fingerprint.clone());
+            let direct = execute_with_faults(&proto, &opts, &r.plan);
+            prop_assert_eq!(
+                &*r.outcome, &direct,
+                "plan {} resolved to a different outcome through the sweep", r.plan
+            );
+        }
+    }
+
+    /// The sweep is worker-count invariant on random protocols and
+    /// grids: identical stats, plans, fingerprints, and outcomes.
+    #[test]
+    fn random_sweeps_identical_at_every_worker_count(
+        depth in 1u64..4,
+        grid in grid_strategy(),
+    ) {
+        let proto = pingpong(depth);
+        let opts = ExecOptions::default();
+        let plans = grid.plans();
+        let reference = sweep_plans_on(
+            &proto, &opts, &plans, &Pool::new(1), &ExecutionCache::new(),
+        );
+        for &jobs in JOBS {
+            let swept = sweep_plans_on(
+                &proto, &opts, &plans, &Pool::new(jobs), &ExecutionCache::new(),
+            );
+            assert_outcomes_equal(&swept, &reference, &format!("{jobs} workers"));
+        }
+    }
+}
