@@ -1,0 +1,103 @@
+//! E17 — serve-mode latency: what a warmed session buys.
+//!
+//! The one-shot CLI pays parse + enact + execute + good-run
+//! construction + prover analysis on *every* invocation; the daemon
+//! pays it once per `LOAD` and then answers from caches. The `cold`
+//! group measures that full build (fresh daemon, `LOAD`, first query,
+//! shutdown — the serve analogue of a one-shot run, round-trips
+//! included); the `warm` group measures repeat queries against a live
+//! session, which is the steady state the daemon exists for. The gap
+//! between the two is the number the warm-vs-cold table in
+//! `BENCH_prover.json` records.
+
+use atl_core::parallel::Pool;
+use atl_core::serve::{Client, ServeConfig, Server};
+use atl_core::spec::parse_spec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SPECS: &[(&str, &str)] = &[
+    (
+        "kerberos_figure1",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../specs/kerberos_figure1.atl"
+        ),
+    ),
+    (
+        "wide_mouthed_frog",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../specs/wide_mouthed_frog.atl"
+        ),
+    ),
+];
+
+fn start() -> Server {
+    Server::start(ServeConfig {
+        port: 0,
+        max_sessions: 8,
+        pool: Pool::new(1),
+    })
+    .expect("bind an ephemeral port")
+}
+
+fn first_goal(path: &str) -> String {
+    let src = std::fs::read_to_string(path).expect("read spec");
+    let (at, _) = parse_spec(&src).expect("spec parses");
+    at.goals.first().expect("spec has goals").to_string()
+}
+
+/// Cold path: a fresh daemon builds the session from scratch — the
+/// serve-side equivalent of one `atl analyze` invocation.
+fn bench_cold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_cold");
+    for (name, path) in SPECS {
+        g.bench_function(format!("{name}_load_analyze"), |b| {
+            b.iter(|| {
+                let server = start();
+                let mut client = Client::connect(server.addr()).expect("connect");
+                let id = client.load(path).expect("load");
+                let resp = client.request(&format!("ANALYZE {id}")).expect("analyze");
+                client.shutdown().expect("shutdown");
+                server.join();
+                black_box(resp.ok)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Warm path: the session is already built, so each query is a memo or
+/// pre-rendered-report lookup plus one TCP round-trip.
+fn bench_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_warm");
+    for (name, path) in SPECS {
+        let goal = first_goal(path);
+        let server = start();
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let id = client.load(path).expect("load");
+        let analyze = format!("ANALYZE {id}");
+        let eval = format!("EVAL {id} 0:3 {goal}");
+        let inject = format!("INJECT {id} --seed 7 --drop 0.5");
+        // Prime the memos so every measured request is the warm path.
+        for req in [&analyze, &eval, &inject] {
+            assert!(client.request(req).expect("prime").ok);
+        }
+        g.bench_function(format!("{name}_analyze"), |b| {
+            b.iter(|| black_box(client.request(&analyze).expect("analyze").ok))
+        });
+        g.bench_function(format!("{name}_eval"), |b| {
+            b.iter(|| black_box(client.request(&eval).expect("eval").ok))
+        });
+        g.bench_function(format!("{name}_inject"), |b| {
+            b.iter(|| black_box(client.request(&inject).expect("inject").ok))
+        });
+        client.shutdown().expect("shutdown");
+        server.join();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold, bench_warm);
+criterion_main!(benches);

@@ -136,6 +136,29 @@ impl AtAnalysis {
     }
 }
 
+/// Renders an analysis as the canonical report text: the summary line,
+/// one warning per linguistically unstable assumption, then one
+/// `[ok]`/`[--]` line per goal. Both `atl analyze` and the serve-mode
+/// daemon print exactly this string, so their outputs are byte-identical
+/// by construction.
+pub fn render_analysis(protocol: &AtProtocol, analysis: &AtAnalysis) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "protocol {}: {} assumptions, {} steps, {} facts derived\n",
+        protocol.name,
+        protocol.assumptions.len(),
+        protocol.steps.len(),
+        analysis.prover.facts().len()
+    );
+    for f in &analysis.unstable_assumptions {
+        let _ = writeln!(out, "  warning: assumption not linguistically stable: {f}");
+    }
+    for (goal, achieved) in &analysis.goals {
+        let _ = writeln!(out, "  [{}] {}", if *achieved { "ok" } else { "--" }, goal);
+    }
+    out
+}
+
 /// Runs the Section 4.3 annotation procedure with default prover options.
 pub fn analyze_at(protocol: &AtProtocol) -> AtAnalysis {
     analyze_at_with(protocol, ProverConfig::default())

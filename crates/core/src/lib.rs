@@ -57,12 +57,14 @@ pub mod budget;
 pub mod enact;
 pub mod examples;
 pub mod goodruns;
+pub mod inject;
 pub mod kripke;
 pub mod proof;
 pub mod prover;
 pub mod quantifier;
 pub mod secrecy;
 pub mod semantics;
+pub mod serve;
 pub mod soundness;
 pub mod spec;
 pub mod stability;

@@ -211,6 +211,18 @@ impl EvalCache {
         }
         cache
     }
+
+    /// The frozen interner snapshot backing this cache's term layer, if
+    /// the cache was prewarmed (a default-constructed cache has none).
+    pub(crate) fn frozen_base(&self) -> Option<&Arc<atl_lang::FrozenInterner>> {
+        self.terms.interner().base()
+    }
+
+    /// How many `(principal, point)` hidden-state entries the cache holds
+    /// (the bulk of a prewarmed cache; surfaced by serve-mode `STATS`).
+    pub(crate) fn hidden_entries(&self) -> usize {
+        self.hidden_at.values().map(BTreeMap::len).sum()
+    }
 }
 
 /// An evaluator for a fixed system and good-run vector.
@@ -1134,5 +1146,58 @@ mod tests {
         let s = sem(&sys);
         assert!(s.valid(&Formula::True).unwrap());
         assert!(!s.valid(&Formula::sees("B", nonce("X"))).unwrap());
+    }
+
+    #[test]
+    fn prewarmed_cache_answers_like_a_fresh_evaluator() {
+        let sys = simple_system();
+        let goods = GoodRuns::all_runs(&sys);
+        let formulas = [
+            Formula::sees("B", nonce("X")),
+            Formula::said("A", nonce("X")),
+            Formula::says("A", nonce("X")),
+            Formula::fresh(nonce("X")),
+            Formula::believes("B", Formula::sees("B", nonce("X"))),
+            Formula::shared_key("A", Key::new("Kab"), "B"),
+        ];
+        for jobs in [1, 2] {
+            let warmed = EvalCache::prewarm_on(&sys, &Pool::new(jobs));
+            let shared =
+                Semantics::new_shared(&sys, goods.clone(), Rc::new(RefCell::new(warmed.clone())));
+            let fresh = Semantics::new(&sys, goods.clone());
+            for k in sys.runs()[0].times() {
+                let at = Point::new(0, k);
+                for f in &formulas {
+                    assert_eq!(
+                        shared.eval(at, f).unwrap(),
+                        fresh.eval(at, f).unwrap(),
+                        "jobs {jobs}, point {at:?}, formula {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prewarm_covers_every_principal_point_and_pins_the_snapshot() {
+        let sys = simple_system();
+        let warmed = EvalCache::prewarm_on(&sys, &Pool::new(1));
+        // One hidden state per (principal ∪ environment) × point.
+        let times = sys.runs()[0].times().count();
+        let principals = sys.principals().len() + 1;
+        assert_eq!(warmed.hidden_entries(), principals * times);
+        // The frozen snapshot holds every sent message; a
+        // default-constructed cache holds no snapshot at all.
+        let base = warmed.frozen_base().expect("prewarmed cache has a base");
+        assert!(base.message_count() >= 1);
+        assert!(EvalCache::default().frozen_base().is_none());
+        // A clone shares the memoized sets (the daemon's per-query
+        // path): same base counts, same hidden coverage.
+        let clone = warmed.clone();
+        assert_eq!(clone.hidden_entries(), warmed.hidden_entries());
+        assert_eq!(
+            clone.frozen_base().map(|b| b.message_count()),
+            warmed.frozen_base().map(|b| b.message_count())
+        );
     }
 }

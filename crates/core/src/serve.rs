@@ -1,0 +1,1075 @@
+//! Serve mode: a long-lived daemon answering `analyze`/`eval`/`inject`
+//! queries from warmed per-spec caches.
+//!
+//! The one-shot CLI re-parses and re-analyzes a spec on every
+//! invocation. [`Server`] instead holds each loaded spec in a
+//! [`Session`]: the parsed [`AtProtocol`], the pre-rendered analysis
+//! report, the fault-free execution as a [`System`], the Section 7
+//! good-run vector, an [`EvalCache`] prewarmed over an
+//! `Arc<FrozenInterner>` snapshot, and an [`ExecutionCache`] for fault
+//! plans — so repeat queries are cache lookups, not reconstructions.
+//!
+//! # Wire protocol
+//!
+//! Line-delimited over loopback TCP. Each request is one line (at most
+//! [`MAX_REQUEST_BYTES`] bytes); each response is either
+//!
+//! ```text
+//! OK <n>          followed by exactly n payload lines
+//! ERR <message>   one line, always parseable
+//! ```
+//!
+//! Requests:
+//!
+//! ```text
+//! LOAD <spec-path>                 parse + warm a session (idempotent by content)
+//! ANALYZE <id>                     the annotation report, bytes of `atl analyze`
+//! EVAL <id> <run:time|time> <phi>  semantic evaluation at a point
+//! INJECT <id> <fault-flags>        single-plan belief-survival report,
+//!                                  bytes of `atl inject`
+//! STATS                            session/cache counters
+//! SHUTDOWN                         stop accepting and wind down
+//! ```
+//!
+//! Sessions are evicted least-recently-used beyond `--max-sessions`;
+//! re-`LOAD`ing an evicted spec rebuilds it (new id) and every query
+//! answer is byte-identical to the pre-eviction bytes, because session
+//! ids never appear in query payloads. Malformed requests, oversized
+//! lines, and mid-request disconnects produce per-connection `ERR`s (or
+//! a dropped connection) without touching other sessions; the
+//! conformance harness for all of this lives in `tests/e17_serve.rs`.
+
+use crate::annotate::{analyze_at, render_analysis, AtProtocol};
+use crate::enact::enact;
+use crate::goodruns::construct_on;
+use crate::inject::{inject_report, InjectRequest};
+use crate::parallel::Pool;
+use crate::semantics::{EvalCache, GoodRuns, Semantics};
+use crate::spec::parse_spec;
+use crate::sweep::belief_assumptions;
+use atl_lang::parser::{parse_formula, Symbols};
+use atl_lang::Key;
+use atl_model::{
+    execute_with_faults, ExecOptions, ExecutionCache, ExpectPolicy, FaultPlan, Point, System,
+};
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Longest request line the daemon accepts, in bytes. Longer lines get
+/// one `ERR` and the connection is closed (the remainder of the line is
+/// unread, so resynchronizing is not possible).
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// The default serve port (`--port` overrides; `0` asks the OS for an
+/// ephemeral port, which tests use).
+pub const DEFAULT_PORT: u16 = 7641;
+
+/// Configuration for [`Server::start`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// TCP port on 127.0.0.1 (0 = OS-assigned ephemeral).
+    pub port: u16,
+    /// How many warmed sessions to keep before LRU eviction (min 1).
+    pub max_sessions: usize,
+    /// Worker pool queries dispatch across (prewarming, good-run
+    /// construction, the inject analysis pair).
+    pub pool: Pool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: DEFAULT_PORT,
+            max_sessions: 8,
+            pool: Pool::auto(),
+        }
+    }
+}
+
+/// Session/cache counters, surfaced by the `STATS` request and by
+/// [`Server::stats`] for in-process tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// `LOAD` requests served.
+    pub loads: u64,
+    /// `LOAD`s that parsed and warmed a new session.
+    pub parsed: u64,
+    /// `LOAD`s answered by an existing session (same spec bytes).
+    pub load_hits: u64,
+    /// Sessions evicted by the LRU policy.
+    pub evictions: u64,
+    /// `ANALYZE` requests served (always from the pre-rendered report).
+    pub analyze_served: u64,
+    /// `EVAL` requests served.
+    pub eval_served: u64,
+    /// `EVAL`s answered from the per-session memo without re-evaluating.
+    pub eval_warm: u64,
+    /// `INJECT` requests served.
+    pub inject_served: u64,
+    /// `INJECT`s answered from the per-session memo without executing.
+    pub inject_warm: u64,
+    /// `INJECT`s whose execution was answered by the [`ExecutionCache`].
+    pub inject_exec_hits: u64,
+}
+
+/// One response on the wire: `OK` with payload lines, or a one-line
+/// `ERR`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// True for `OK`, false for `ERR`.
+    pub ok: bool,
+    /// Payload lines (`OK`) or the single error message (`ERR`).
+    pub lines: Vec<String>,
+}
+
+impl Response {
+    /// An `OK` response carrying `text` split into lines.
+    pub fn from_text(text: &str) -> Response {
+        Response {
+            ok: true,
+            lines: text.lines().map(str::to_string).collect(),
+        }
+    }
+
+    /// An `ERR` response (newlines flattened so it stays one line).
+    pub fn err(message: impl Into<String>) -> Response {
+        let msg: String = message
+            .into()
+            .chars()
+            .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+            .collect();
+        Response {
+            ok: false,
+            lines: vec![msg],
+        }
+    }
+
+    /// The payload as the exact text a one-shot CLI command prints: the
+    /// lines joined with trailing newlines (empty payload → empty
+    /// string).
+    pub fn payload(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The error message, if this is an `ERR` response.
+    pub fn err_message(&self) -> Option<&str> {
+        if self.ok {
+            None
+        } else {
+            self.lines.first().map(String::as_str)
+        }
+    }
+
+    /// The session id of a `LOAD` response (`session <id>: …`).
+    pub fn session_id(&self) -> Option<u64> {
+        let first = self.lines.first()?;
+        let id = first.strip_prefix("session ")?.split(':').next()?;
+        id.parse().ok()
+    }
+
+    fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut out = String::new();
+        if self.ok {
+            out.push_str(&format!("OK {}\n", self.lines.len()));
+            for l in &self.lines {
+                out.push_str(l);
+                out.push('\n');
+            }
+        } else {
+            out.push_str("ERR ");
+            out.push_str(self.lines.first().map(String::as_str).unwrap_or(""));
+            out.push('\n');
+        }
+        w.write_all(out.as_bytes())
+    }
+}
+
+/// A warmed spec: everything `LOAD` builds once so later queries only
+/// read caches.
+struct Session {
+    id: u64,
+    digest: u64,
+    at: AtProtocol,
+    syms: Symbols,
+    /// Pre-rendered `atl analyze` report (and whether every goal held).
+    analysis_text: String,
+    /// The fault-free execution, if the spec runs to completion.
+    system: Option<System>,
+    /// Why there is no system, when there is none.
+    no_system: String,
+    /// Good-run vector over `system` (Section 7 construction, falling
+    /// back to the all-runs vector exactly as the sweep bridge does).
+    goods: GoodRuns,
+    /// Prewarmed evaluation cache holding the frozen-interner snapshot.
+    warmed: EvalCache,
+    /// Fault-plan executions, shared across this session's `INJECT`s.
+    exec_cache: ExecutionCache,
+    eval_memo: Mutex<HashMap<String, Response>>,
+    inject_memo: Mutex<HashMap<String, Response>>,
+}
+
+impl Session {
+    /// The `LOAD` response payload for this session.
+    fn load_line(&self) -> String {
+        format!(
+            "session {}: protocol {} ({} assumption(s), {} step(s), {} goal(s))",
+            self.id,
+            self.at.name,
+            self.at.assumptions.len(),
+            self.at.steps.len(),
+            self.at.goals.len()
+        )
+    }
+}
+
+#[derive(Default)]
+struct Store {
+    sessions: HashMap<u64, Arc<Session>>,
+    by_digest: HashMap<u64, u64>,
+    /// Session ids from least- to most-recently used.
+    recency: Vec<u64>,
+    next_id: u64,
+    stats: ServeStats,
+}
+
+impl Store {
+    fn touch(&mut self, id: u64) {
+        self.recency.retain(|&x| x != id);
+        self.recency.push(id);
+    }
+}
+
+struct ServerState {
+    addr: SocketAddr,
+    max_sessions: usize,
+    pool: Pool,
+    shutdown: AtomicBool,
+    store: Mutex<Store>,
+}
+
+impl ServerState {
+    fn store(&self) -> MutexGuard<'_, Store> {
+        // A poisoned store only means a handler panicked mid-update;
+        // the maps themselves stay consistent (updates are atomic).
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn session(&self, id_text: &str) -> Result<Arc<Session>, Response> {
+        let id: u64 = id_text
+            .parse()
+            .map_err(|_| Response::err(format!("bad session id {id_text:?}")))?;
+        let mut store = self.store();
+        match store.sessions.get(&id).cloned() {
+            Some(s) => {
+                store.touch(id);
+                Ok(s)
+            }
+            None => Err(Response::err(format!(
+                "unknown session {id} (never loaded, or evicted)"
+            ))),
+        }
+    }
+}
+
+/// A running serve-mode daemon. Dropping the handle does **not** stop
+/// it; send `SHUTDOWN` (e.g. via [`Client::shutdown`]) and then
+/// [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds 127.0.0.1 on `config.port` and starts the accept loop in a
+    /// background thread.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding or thread spawning.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            addr,
+            max_sessions: config.max_sessions.max(1),
+            pool: config.pool,
+            shutdown: AtomicBool::new(false),
+            store: Mutex::new(Store::default()),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("atl-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_state))?;
+        Ok(Server {
+            addr,
+            accept: Some(accept),
+            state,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `port` was 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// A snapshot of the counters `STATS` reports.
+    pub fn stats(&self) -> ServeStats {
+        self.state.store().stats
+    }
+
+    /// Waits for the accept loop to exit (after a `SHUTDOWN` request).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let st = Arc::clone(state);
+                let _ = std::thread::Builder::new()
+                    .name("atl-serve-conn".into())
+                    .spawn(move || handle_connection(&st, stream));
+            }
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+enum ReadOutcome {
+    Line(String),
+    TooLong,
+    Eof,
+}
+
+/// Reads one request line, capped at [`MAX_REQUEST_BYTES`]. Invalid
+/// UTF-8 is replaced rather than rejected (the parser then reports an
+/// unknown command), and a trailing `\r` is stripped.
+fn read_request(r: &mut impl BufRead) -> io::Result<ReadOutcome> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                ReadOutcome::Eof
+            } else {
+                ReadOutcome::Line(decode(buf))
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            r.consume(pos + 1);
+            return Ok(if buf.len() > MAX_REQUEST_BYTES {
+                ReadOutcome::TooLong
+            } else {
+                ReadOutcome::Line(decode(buf))
+            });
+        }
+        buf.extend_from_slice(chunk);
+        let n = chunk.len();
+        r.consume(n);
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Ok(ReadOutcome::TooLong);
+        }
+    }
+}
+
+fn decode(mut buf: Vec<u8>) -> String {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Err(_) | Ok(ReadOutcome::Eof) => break,
+            Ok(ReadOutcome::TooLong) => {
+                let resp = Response::err(format!("request line exceeds {MAX_REQUEST_BYTES} bytes"));
+                let _ = resp.write_to(&mut writer);
+                break;
+            }
+            Ok(ReadOutcome::Line(line)) => {
+                // A panic inside a handler must stay a per-connection
+                // error: report it and keep every session intact.
+                let resp = catch_unwind(AssertUnwindSafe(|| dispatch(state, &line)))
+                    .unwrap_or_else(|_| Response::err("internal: request handler panicked"));
+                if resp.write_to(&mut writer).is_err() {
+                    break;
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn dispatch(state: &Arc<ServerState>, line: &str) -> Response {
+    let line = line.trim();
+    if line.is_empty() {
+        return Response::err("empty request");
+    }
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match cmd {
+        "LOAD" => cmd_load(state, rest),
+        "ANALYZE" => cmd_analyze(state, rest),
+        "EVAL" => cmd_eval(state, rest),
+        "INJECT" => cmd_inject(state, rest),
+        "STATS" if rest.is_empty() => cmd_stats(state),
+        "STATS" => Response::err("STATS takes no arguments"),
+        "SHUTDOWN" if rest.is_empty() => cmd_shutdown(state),
+        "SHUTDOWN" => Response::err("SHUTDOWN takes no arguments"),
+        other => Response::err(format!(
+            "unknown command {other:?} (expected LOAD, ANALYZE, EVAL, INJECT, STATS or SHUTDOWN)"
+        )),
+    }
+}
+
+fn content_digest(content: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    content.hash(&mut h);
+    h.finish()
+}
+
+fn cmd_load(state: &Arc<ServerState>, path: &str) -> Response {
+    if path.is_empty() {
+        return Response::err("LOAD takes a spec path");
+    }
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => return Response::err(format!("cannot read {path}: {e}")),
+    };
+    let digest = content_digest(&content);
+    {
+        let mut store = state.store();
+        store.stats.loads += 1;
+        if let Some(&id) = store.by_digest.get(&digest) {
+            if let Some(session) = store.sessions.get(&id).cloned() {
+                store.stats.load_hits += 1;
+                store.touch(id);
+                return Response::from_text(&session.load_line());
+            }
+        }
+    }
+
+    // Parse and warm outside any lock; concurrent LOADs of the same new
+    // spec may both build, in which case the first insert wins below.
+    let (at, syms) = match parse_spec(&content) {
+        Ok(ok) => ok,
+        Err(e) => return Response::err(e.diagnostic(path)),
+    };
+    let analysis_text = render_analysis(&at, &analyze_at(&at));
+    let proto = enact(&at);
+    let (system, no_system) =
+        match execute_with_faults(&proto, &ExecOptions::default(), &FaultPlan::new(0)) {
+            Ok((run, _)) => (Some(System::new([run])), String::new()),
+            Err(e) => (None, e.to_string()),
+        };
+    let (goods, warmed) = match &system {
+        Some(sys) => {
+            let goods = match construct_on(sys, &belief_assumptions(&at), &state.pool) {
+                Ok((g, _)) => g,
+                Err(_) => GoodRuns::all_runs(sys),
+            };
+            (goods, EvalCache::prewarm_on(sys, &state.pool))
+        }
+        None => (
+            GoodRuns::all_runs(&System::new(Vec::<atl_model::Run>::new())),
+            EvalCache::default(),
+        ),
+    };
+
+    let mut store = state.store();
+    // Re-check: another connection may have inserted this digest while
+    // we were building.
+    if let Some(&id) = store.by_digest.get(&digest) {
+        if let Some(session) = store.sessions.get(&id).cloned() {
+            store.stats.load_hits += 1;
+            store.touch(id);
+            return Response::from_text(&session.load_line());
+        }
+    }
+    store.stats.parsed += 1;
+    store.next_id += 1;
+    let id = store.next_id;
+    let session = Arc::new(Session {
+        id,
+        digest,
+        at,
+        syms,
+        analysis_text,
+        system,
+        no_system,
+        goods,
+        warmed,
+        exec_cache: ExecutionCache::new(),
+        eval_memo: Mutex::new(HashMap::new()),
+        inject_memo: Mutex::new(HashMap::new()),
+    });
+    store.by_digest.insert(digest, id);
+    store.sessions.insert(id, Arc::clone(&session));
+    store.touch(id);
+    while store.sessions.len() > state.max_sessions {
+        let victim = store.recency.remove(0);
+        if let Some(gone) = store.sessions.remove(&victim) {
+            store.by_digest.remove(&gone.digest);
+            store.stats.evictions += 1;
+        }
+    }
+    Response::from_text(&session.load_line())
+}
+
+fn cmd_analyze(state: &Arc<ServerState>, rest: &str) -> Response {
+    if rest.is_empty() || rest.split_whitespace().count() != 1 {
+        return Response::err("ANALYZE takes exactly one session id");
+    }
+    let session = match state.session(rest) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    state.store().stats.analyze_served += 1;
+    Response::from_text(&session.analysis_text)
+}
+
+fn cmd_eval(state: &Arc<ServerState>, rest: &str) -> Response {
+    let mut parts = rest.splitn(3, char::is_whitespace);
+    let (Some(id_text), Some(point_text), Some(formula_text)) =
+        (parts.next(), parts.next(), parts.next().map(str::trim))
+    else {
+        return Response::err("EVAL takes <session-id> <run:time|time> <formula>");
+    };
+    let session = match state.session(id_text) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    let memo_key = format!("{point_text} {formula_text}");
+    if let Some(hit) = session
+        .eval_memo
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&memo_key)
+        .cloned()
+    {
+        let mut store = state.store();
+        store.stats.eval_served += 1;
+        store.stats.eval_warm += 1;
+        return hit;
+    }
+
+    let resp = eval_response(&session, point_text, formula_text);
+    session
+        .eval_memo
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(memo_key, resp.clone());
+    state.store().stats.eval_served += 1;
+    resp
+}
+
+/// Evaluates one formula at one point of the session's system, using a
+/// thread-local [`Semantics`] over a clone of the prewarmed cache (the
+/// clone shares every memoized set by `Arc`, so this is the warm path).
+fn eval_response(session: &Session, point_text: &str, formula_text: &str) -> Response {
+    let Some(system) = &session.system else {
+        return Response::err(format!(
+            "session {} has no executable run: {}",
+            session.id, session.no_system
+        ));
+    };
+    let (run_text, time_text) = match point_text.split_once(':') {
+        Some((r, k)) => (r, k),
+        None => ("0", point_text),
+    };
+    let ri: usize = match run_text.parse() {
+        Ok(r) => r,
+        Err(e) => return Response::err(format!("bad run index {run_text:?}: {e}")),
+    };
+    let k: i64 = match time_text.parse() {
+        Ok(k) => k,
+        Err(e) => return Response::err(format!("bad time {time_text:?}: {e}")),
+    };
+    let phi = match parse_formula(formula_text, &session.syms) {
+        Ok(f) => f,
+        Err(e) => return Response::err(e.diagnostic("<formula>")),
+    };
+    let sem = Semantics::new_shared(
+        system,
+        session.goods.clone(),
+        Rc::new(RefCell::new(session.warmed.clone())),
+    );
+    match sem.eval(Point::new(ri, k), &phi) {
+        Ok(verdict) => Response::from_text(&format!("at (run {ri}, time {k}): {phi} = {verdict}")),
+        Err(e) => Response::err(e.to_string()),
+    }
+}
+
+fn cmd_inject(state: &Arc<ServerState>, rest: &str) -> Response {
+    let (id_text, flags_text) = match rest.split_once(char::is_whitespace) {
+        Some((id, flags)) => (id, flags.trim()),
+        None => (rest, ""),
+    };
+    if id_text.is_empty() {
+        return Response::err("INJECT takes <session-id> [fault-flags]");
+    }
+    let session = match state.session(id_text) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    if let Some(hit) = session
+        .inject_memo
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(flags_text)
+        .cloned()
+    {
+        let mut store = state.store();
+        store.stats.inject_served += 1;
+        store.stats.inject_warm += 1;
+        return hit;
+    }
+
+    let (resp, exec_hit) = match parse_plan_flags(flags_text) {
+        Err(msg) => (Response::err(msg), false),
+        Ok(req) => match inject_report(&session.at, &req, &state.pool, &session.exec_cache) {
+            Ok(outcome) => (Response::from_text(&outcome.report), outcome.cache_hit),
+            Err(e) => (Response::err(e.to_string()), false),
+        },
+    };
+    session
+        .inject_memo
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(flags_text.to_string(), resp.clone());
+    let mut store = state.store();
+    store.stats.inject_served += 1;
+    if exec_hit {
+        store.stats.inject_exec_hits += 1;
+    }
+    resp
+}
+
+/// Parses the single-plan fault flags `INJECT` accepts — the same
+/// surface as non-sweep `atl inject` (no `--sweep`, no `--emit-trace`:
+/// the daemon neither grids nor writes files).
+fn parse_plan_flags(text: &str) -> Result<InjectRequest, String> {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    let mut seed: u64 = 0;
+    let (mut drop, mut dup, mut delay, mut reorder, mut replay) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let mut delay_rounds: u32 = 2;
+    let mut compromises: Vec<(Key, i64)> = Vec::new();
+    let mut patience: u32 = 6;
+    let mut retries: u32 = 2;
+    let mut public = false;
+    let mut it = tokens.iter();
+    let need = |it: &mut std::slice::Iter<'_, &str>, flag: &str| -> Result<String, String> {
+        it.next()
+            .map(|s| (*s).to_string())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(tok) = it.next() {
+        match *tok {
+            "--seed" => {
+                seed = need(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--drop" => {
+                drop = need(&mut it, "--drop")?
+                    .parse()
+                    .map_err(|e| format!("--drop: {e}"))?;
+            }
+            "--dup" => {
+                dup = need(&mut it, "--dup")?
+                    .parse()
+                    .map_err(|e| format!("--dup: {e}"))?;
+            }
+            "--delay" => {
+                let v = need(&mut it, "--delay")?;
+                let (p, r) = match v.split_once(':') {
+                    Some((p, r)) => (
+                        p.to_string(),
+                        r.parse().map_err(|e| format!("--delay rounds: {e}"))?,
+                    ),
+                    None => (v, 2),
+                };
+                delay = p.parse().map_err(|e| format!("--delay: {e}"))?;
+                delay_rounds = r;
+            }
+            "--reorder" => {
+                reorder = need(&mut it, "--reorder")?
+                    .parse()
+                    .map_err(|e| format!("--reorder: {e}"))?;
+            }
+            "--replay" => {
+                replay = need(&mut it, "--replay")?
+                    .parse()
+                    .map_err(|e| format!("--replay: {e}"))?;
+            }
+            "--compromise" => {
+                let v = need(&mut it, "--compromise")?;
+                let (key, t) = v
+                    .split_once('@')
+                    .ok_or("--compromise takes KEY@TIME, e.g. Kab@2")?;
+                compromises.push((
+                    Key::new(key),
+                    t.parse().map_err(|e| format!("--compromise time: {e}"))?,
+                ));
+            }
+            "--patience" => {
+                patience = need(&mut it, "--patience")?
+                    .parse()
+                    .map_err(|e| format!("--patience: {e}"))?;
+            }
+            "--retries" => {
+                retries = need(&mut it, "--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--public" => public = true,
+            other => {
+                return Err(format!(
+                "unknown inject flag {other:?} (serve-mode inject takes single-plan fault flags)"
+            ))
+            }
+        }
+    }
+    let mut plan = FaultPlan::new(seed)
+        .drop(drop)
+        .duplicate(dup)
+        .delay(delay, delay_rounds)
+        .reorder(reorder)
+        .replay(replay);
+    plan.compromises = compromises;
+    let policy = if retries > 0 {
+        ExpectPolicy::resend_after(patience, retries)
+    } else {
+        ExpectPolicy::skip_after(patience)
+    };
+    Ok(InjectRequest {
+        plan,
+        policy,
+        options: ExecOptions {
+            public_channel: public,
+            ..ExecOptions::default()
+        },
+    })
+}
+
+fn cmd_stats(state: &Arc<ServerState>) -> Response {
+    let store = state.store();
+    let s = store.stats;
+    let mut ids: Vec<u64> = store.sessions.keys().copied().collect();
+    ids.sort_unstable();
+    let (mut hidden, mut frozen, mut execs) = (0usize, 0usize, 0usize);
+    for id in &ids {
+        let session = &store.sessions[id];
+        hidden += session.warmed.hidden_entries();
+        frozen += session
+            .warmed
+            .frozen_base()
+            .map_or(0, |b| b.message_count());
+        execs += session.exec_cache.len();
+    }
+    let text = format!(
+        "sessions: {} live, capacity {}\n\
+         loads: {} total, {} parsed, {} cache hit(s), {} eviction(s)\n\
+         analyze: {} served\n\
+         eval: {} served, {} warm\n\
+         inject: {} served, {} warm, {} exec-cache hit(s)\n\
+         warmed: {} hidden state(s), {} frozen message(s), {} cached execution(s)",
+        store.sessions.len(),
+        state.max_sessions,
+        s.loads,
+        s.parsed,
+        s.load_hits,
+        s.evictions,
+        s.analyze_served,
+        s.eval_served,
+        s.eval_warm,
+        s.inject_served,
+        s.inject_warm,
+        s.inject_exec_hits,
+        hidden,
+        frozen,
+        execs
+    );
+    Response::from_text(&text)
+}
+
+fn cmd_shutdown(state: &Arc<ServerState>) -> Response {
+    state.shutdown.store(true, Ordering::SeqCst);
+    // Wake the accept loop with a throwaway connection so it observes
+    // the flag and exits.
+    let _ = TcpStream::connect(state.addr);
+    Response::from_text("bye")
+}
+
+/// A minimal blocking client for the wire protocol — the `testutil`
+/// side of the conformance harness, and what `atl client` wraps.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the connect.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on transport failure or an unparseable response
+    /// header (`InvalidData`).
+    pub fn request(&mut self, line: &str) -> io::Result<Response> {
+        let mut msg = line.to_string();
+        msg.push('\n');
+        self.reader.get_mut().write_all(msg.as_bytes())?;
+        let mut header = String::new();
+        if self.reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        let header = header.trim_end_matches(['\n', '\r']);
+        if let Some(msg) = header.strip_prefix("ERR ") {
+            return Ok(Response::err(msg));
+        }
+        let Some(count) = header
+            .strip_prefix("OK ")
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response header {header:?}"),
+            ));
+        };
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut l = String::new();
+            if self.reader.read_line(&mut l)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed mid-payload",
+                ));
+            }
+            while l.ends_with('\n') || l.ends_with('\r') {
+                l.pop();
+            }
+            lines.push(l);
+        }
+        Ok(Response { ok: true, lines })
+    }
+
+    /// `LOAD`s a spec and returns the session id.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` if the daemon said `ERR` or
+    /// the payload carried no session id.
+    pub fn load(&mut self, path: &str) -> io::Result<u64> {
+        let resp = self.request(&format!("LOAD {path}"))?;
+        resp.session_id().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                resp.err_message().unwrap_or("no session id").to_string(),
+            )
+        })
+    }
+
+    /// Sends `SHUTDOWN`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request`].
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.request("SHUTDOWN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_test_server(max_sessions: usize) -> Server {
+        Server::start(ServeConfig {
+            port: 0,
+            max_sessions,
+            pool: Pool::new(1),
+        })
+        .expect("bind ephemeral port")
+    }
+
+    fn spec_file(name: &str, content: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("atl-serve-unit-{}-{name}.atl", std::process::id()));
+        std::fs::write(&path, content).expect("write temp spec");
+        path
+    }
+
+    const TOY: &str = "protocol toy\n\
+        principals A B\n\
+        keys Kab\n\
+        assume A believes (A <-Kab-> B)\n\
+        assume A has Kab\n\
+        assume B has Kab\n\
+        step A -> B : {Na}Kab@A\n\
+        goal B sees {Na}Kab@A\n";
+
+    #[test]
+    fn response_framing_round_trips() {
+        let ok = Response::from_text("a\nb\n");
+        assert_eq!(ok.lines, vec!["a", "b"]);
+        assert_eq!(ok.payload(), "a\nb\n");
+        let err = Response::err("multi\nline\rmessage");
+        assert_eq!(err.err_message(), Some("multi line message"));
+        let mut buf = Vec::new();
+        ok.write_to(&mut buf).expect("write");
+        assert_eq!(buf, b"OK 2\na\nb\n");
+        buf.clear();
+        err.write_to(&mut buf).expect("write");
+        assert_eq!(buf, b"ERR multi line message\n");
+    }
+
+    #[test]
+    fn session_id_parses_from_load_line() {
+        let resp = Response::from_text("session 12: protocol toy (1 assumption(s), …)");
+        assert_eq!(resp.session_id(), Some(12));
+        assert_eq!(Response::err("nope").session_id(), None);
+    }
+
+    #[test]
+    fn unknown_commands_and_bad_ids_yield_err() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        for req in [
+            "FROBNICATE",
+            "",
+            "ANALYZE",
+            "ANALYZE 999",
+            "ANALYZE not-a-number",
+            "EVAL 1",
+            "INJECT",
+            "STATS please",
+            "LOAD",
+        ] {
+            let resp = c.request(req).expect("parseable response");
+            assert!(!resp.ok, "request {req:?} must fail, got {resp:?}");
+        }
+        c.shutdown().expect("shutdown");
+        server.join();
+    }
+
+    #[test]
+    fn lru_eviction_recycles_oldest_session() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let specs: Vec<std::path::PathBuf> = (0..3)
+            .map(|i| spec_file(&format!("lru{i}"), &format!("{TOY}# variant {i}\n")))
+            .collect();
+        let a = c
+            .load(specs[0].to_str().expect("utf8 path"))
+            .expect("load a");
+        let b = c
+            .load(specs[1].to_str().expect("utf8 path"))
+            .expect("load b");
+        // Touch a so b is the LRU victim.
+        assert!(c.request(&format!("ANALYZE {a}")).expect("analyze").ok);
+        let _c3 = c
+            .load(specs[2].to_str().expect("utf8 path"))
+            .expect("load c");
+        let stats = server.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.parsed, 3);
+        let gone = c.request(&format!("ANALYZE {b}")).expect("response");
+        assert!(!gone.ok, "evicted session must be unknown");
+        assert!(c.request(&format!("ANALYZE {a}")).expect("analyze").ok);
+        c.shutdown().expect("shutdown");
+        server.join();
+        for p in specs {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn plan_flags_parse_like_the_cli() {
+        let req = parse_plan_flags("--seed 9 --drop 0.5 --delay 0.25:3 --compromise Kab@2")
+            .expect("valid flags");
+        assert_eq!(req.plan.seed, 9);
+        assert_eq!(req.plan.compromises, vec![(Key::new("Kab"), 2)]);
+        assert!(parse_plan_flags("--sweep").is_err());
+        assert!(parse_plan_flags("--drop").is_err());
+        assert!(parse_plan_flags("--drop nan-ish").is_err());
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let server = start_test_server(2);
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let big = vec![b'x'; MAX_REQUEST_BYTES + 10];
+        stream.write_all(&big).expect("write oversized");
+        stream.write_all(b"\n").expect("newline");
+        let mut reply = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut reply)
+            .expect("read reply");
+        assert!(reply.starts_with("ERR "), "got {reply:?}");
+        // The daemon is still healthy for new connections.
+        let mut c = Client::connect(server.addr()).expect("connect again");
+        assert!(c.request("STATS").expect("stats").ok);
+        c.shutdown().expect("shutdown");
+        server.join();
+    }
+}

@@ -35,6 +35,17 @@ pub struct SpecError {
     pub message: String,
 }
 
+impl SpecError {
+    /// The one-line `file:line: message` diagnostic for this error.
+    ///
+    /// The CLI (`atl analyze` / `atl eval`, exit code 3) and the serve
+    /// daemon (`ERR` responses) both report parse failures with exactly
+    /// this string, so the two surfaces stay byte-identical.
+    pub fn diagnostic(&self, origin: &str) -> String {
+        format!("{origin}:{}: {}", self.line, self.message)
+    }
+}
+
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "spec line {}: {}", self.line, self.message)

@@ -222,7 +222,7 @@ pub fn degrade_at(at: &AtProtocol, mask: &[bool]) -> AtProtocol {
 
 /// The belief-shaped assumptions of `at`, as the initial-assumption
 /// vector the Section 7 good-run construction expects.
-fn belief_assumptions(at: &AtProtocol) -> InitialAssumptions {
+pub(crate) fn belief_assumptions(at: &AtProtocol) -> InitialAssumptions {
     let mut init = InitialAssumptions::new();
     for f in &at.assumptions {
         if let Formula::Believes(p, body) = f {

@@ -180,6 +180,14 @@ impl Interner {
         }
     }
 
+    /// The frozen snapshot this interner extends, if it was built with
+    /// [`Interner::with_base`]. Long-lived holders (the serve daemon's
+    /// warmed sessions) use this to report how many terms the shared
+    /// snapshot pins without walking the tables.
+    pub fn base(&self) -> Option<&Arc<FrozenInterner>> {
+        self.base.as_ref()
+    }
+
     fn base_msgs(&self) -> usize {
         self.base.as_ref().map_or(0, |b| b.message_count())
     }

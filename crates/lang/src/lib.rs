@@ -47,7 +47,7 @@ pub mod arbitrary;
 
 pub use formula::Formula;
 pub use hide::hide_message;
-pub use intern::{CacheStats, FormulaId, Interner, KeySetId, MsgId, TermCache};
+pub use intern::{CacheStats, FormulaId, FrozenInterner, Interner, KeySetId, MsgId, TermCache};
 pub use message::{KeyTerm, Message};
 pub use name::{Key, Name, Nonce, Param, Principal, Prop};
 pub use submsgs::{

@@ -57,6 +57,17 @@ pub struct ParseError {
     pub kind: ParseErrorKind,
 }
 
+impl ParseError {
+    /// The one-line `origin:offset: message` diagnostic for this error,
+    /// with the byte offset in the position slot (formulas are
+    /// single-line, so the offset is the column). Matches the
+    /// `file:line: message` shape spec/trace errors use, so every parse
+    /// failure a tool reports has the same form.
+    pub fn diagnostic(&self, origin: &str) -> String {
+        format!("{origin}:{}: {}", self.offset, self.message)
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "parse error at byte {}: {}", self.offset, self.message)

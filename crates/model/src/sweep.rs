@@ -811,4 +811,71 @@ mod tests {
         assert_eq!(sys.len(), 1);
         assert!(sys.runs()[0].send_records().iter().all(|r| r.sender != env));
     }
+
+    #[test]
+    fn execution_cache_grows_monotonically_without_eviction() {
+        let proto = lossy_ping_pong();
+        let opts = ExecOptions::default();
+        let pool = Pool::sequential();
+        let cache = ExecutionCache::new();
+        assert!(cache.is_empty());
+        let mut lens = Vec::new();
+        for seed in 0..6u64 {
+            // drop 0.5 draws the RNG, so every seed is a distinct
+            // fingerprint.
+            let plan = FaultPlan::new(seed).drop(0.5);
+            let out = sweep_plans_on(&proto, &opts, std::slice::from_ref(&plan), &pool, &cache);
+            assert_eq!(out.stats.cache_hits, 0, "seed {seed} was never cached");
+            assert_eq!(out.stats.executed, 1);
+            lens.push(cache.len());
+        }
+        // Growth only: no entry is ever displaced by a later one.
+        assert!(lens.windows(2).all(|w| w[0] < w[1]), "lens {lens:?}");
+        assert_eq!(cache.len(), 6);
+        // Every early fingerprint still answers — the cache is
+        // eviction-free, unlike the daemon's LRU session store above it.
+        let plans: Vec<FaultPlan> = (0..6).map(|s| FaultPlan::new(s).drop(0.5)).collect();
+        let replay = sweep_plans_on(&proto, &opts, &plans, &pool, &cache);
+        assert_eq!(replay.stats.cache_hits, 6);
+        assert_eq!(replay.stats.executed, 0);
+        assert_eq!(cache.len(), 6);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn execution_cache_keys_by_protocol_and_options() {
+        let proto = lossy_ping_pong();
+        let pool = Pool::sequential();
+        let cache = ExecutionCache::new();
+        let plan = FaultPlan::new(0);
+        let first = sweep_plans_on(
+            &proto,
+            &ExecOptions::default(),
+            std::slice::from_ref(&plan),
+            &pool,
+            &cache,
+        );
+        assert_eq!(first.stats.executed, 1);
+        // Same plan, different execution options: a distinct context
+        // digest, so no false hit.
+        let public = ExecOptions {
+            public_channel: true,
+            ..ExecOptions::default()
+        };
+        let second = sweep_plans_on(&proto, &public, std::slice::from_ref(&plan), &pool, &cache);
+        assert_eq!(second.stats.cache_hits, 0);
+        assert_eq!(second.stats.executed, 1);
+        assert_eq!(cache.len(), 2);
+        // And the original context still hits.
+        let again = sweep_plans_on(
+            &proto,
+            &ExecOptions::default(),
+            std::slice::from_ref(&plan),
+            &pool,
+            &cache,
+        );
+        assert_eq!(again.stats.cache_hits, 1);
+        assert_eq!(cache.len(), 2);
+    }
 }

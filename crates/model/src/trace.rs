@@ -37,6 +37,15 @@ pub struct TraceError {
     pub message: String,
 }
 
+impl TraceError {
+    /// The one-line `file:line: message` diagnostic for this error, the
+    /// format every parse failure surfaces in (CLI exit code 3, daemon
+    /// `ERR` lines).
+    pub fn diagnostic(&self, origin: &str) -> String {
+        format!("{origin}:{}: {}", self.line, self.message)
+    }
+}
+
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "trace line {}: {}", self.line, self.message)

@@ -22,6 +22,14 @@
 //!     fingerprint and executed once over the worker pool; the report
 //!     shows per-plan verdicts, a belief-survival histogram, and the
 //!     semantic validity of each goal over the degraded system.
+//! atl serve [--port N] [--max-sessions N]
+//!     run the serve-mode daemon: a long-lived loopback TCP server that
+//!     parses each spec once into a warmed session (frozen interner,
+//!     good-run vector, eval/execution caches) and answers
+//!     LOAD/ANALYZE/EVAL/INJECT/STATS/SHUTDOWN requests from it.
+//! atl client [--port N] REQUEST...
+//!     send one request line to a running daemon and print the payload
+//!     (the conformance smoke test's transport).
 //! ```
 //!
 //! Every subcommand additionally accepts `--jobs N` anywhere on the
@@ -30,8 +38,13 @@
 //! work-stealing pool of `N` workers. The default is the machine's
 //! available parallelism; `--jobs 1` forces the sequential reference
 //! path. Outputs are identical whatever `N` is.
+//!
+//! Exit codes: 0 success, 1 goal/verdict failure, 2 usage or runtime
+//! error, 3 parse error (reported as a one-line `file:position: message`
+//! diagnostic — the same string a serve-mode daemon returns in its `ERR`
+//! line for the same input).
 
-use atl::core::annotate::analyze_at;
+use atl::core::annotate::{analyze_at, render_analysis};
 use atl::core::parallel::Pool;
 use atl::core::spec::parse_spec;
 use atl::core::theorems;
@@ -39,6 +52,21 @@ use atl::lang::parser::parse_formula;
 use atl::lang::{Formula, Key, KeyTerm, Message, Nonce, Principal};
 use atl::protocols::suite;
 use std::process::ExitCode;
+
+/// A parse failure rendered as its one-line `file:position: message`
+/// diagnostic; `main` maps it to exit code 3 so scripted callers (and
+/// the serve conformance harness) can tell "bad input" from "bad
+/// invocation".
+#[derive(Debug)]
+struct ParseDiag(String);
+
+impl std::fmt::Display for ParseDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseDiag {}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,9 +85,11 @@ fn main() -> ExitCode {
         Some("check-run") => cmd_check_run(args.get(1)),
         Some("eval") => cmd_eval(args.get(1), args.get(2), args.get(3)),
         Some("inject") => cmd_inject(&args[1..], &pool),
+        Some("serve") => cmd_serve(&args[1..], pool),
+        Some("client") => cmd_client(&args[1..]),
         _ => {
             eprintln!(
-                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS]>"
+                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS] | serve [--port N] [--max-sessions N] | client [--port N] REQUEST...>"
             );
             return ExitCode::from(2);
         }
@@ -74,7 +104,11 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            if e.downcast_ref::<ParseDiag>().is_some() {
+                ExitCode::from(3)
+            } else {
+                ExitCode::from(2)
+            }
         }
     }
 }
@@ -97,27 +131,24 @@ fn take_jobs(args: &mut Vec<String>) -> Result<Pool, Box<dyn std::error::Error>>
     Ok(Pool::new(n))
 }
 
-fn load(path: Option<&String>) -> Result<String, Box<dyn std::error::Error>> {
+fn load(path: Option<&String>) -> Result<(String, String), Box<dyn std::error::Error>> {
     let path = path.ok_or("missing spec path")?;
-    Ok(std::fs::read_to_string(path)?)
+    Ok((path.clone(), std::fs::read_to_string(path)?))
+}
+
+/// Parses a spec, mapping failures to the exit-code-3 diagnostic.
+fn parse_spec_diag(
+    path: Option<&String>,
+) -> Result<(atl::core::annotate::AtProtocol, atl::lang::parser::Symbols), Box<dyn std::error::Error>>
+{
+    let (path, content) = load(path)?;
+    parse_spec(&content).map_err(|e| ParseDiag(e.diagnostic(&path)).into())
 }
 
 fn cmd_analyze(path: Option<&String>) -> Result<bool, Box<dyn std::error::Error>> {
-    let (proto, _) = parse_spec(&load(path)?)?;
+    let (proto, _) = parse_spec_diag(path)?;
     let analysis = analyze_at(&proto);
-    println!(
-        "protocol {}: {} assumptions, {} steps, {} facts derived",
-        proto.name,
-        proto.assumptions.len(),
-        proto.steps.len(),
-        analysis.prover.facts().len()
-    );
-    for f in &analysis.unstable_assumptions {
-        println!("  warning: assumption not linguistically stable: {f}");
-    }
-    for (goal, achieved) in &analysis.goals {
-        println!("  [{}] {}", if *achieved { "ok" } else { "--" }, goal);
-    }
+    print!("{}", render_analysis(&proto, &analysis));
     Ok(analysis.succeeded())
 }
 
@@ -125,9 +156,9 @@ fn cmd_trace(
     path: Option<&String>,
     goal: Option<&String>,
 ) -> Result<bool, Box<dyn std::error::Error>> {
-    let (proto, syms) = parse_spec(&load(path)?)?;
+    let (proto, syms) = parse_spec_diag(path)?;
     let goal_text = goal.ok_or("missing goal formula")?;
-    let goal = parse_formula(goal_text, &syms)?;
+    let goal = parse_formula(goal_text, &syms).map_err(|e| ParseDiag(e.diagnostic("<formula>")))?;
     let analysis = analyze_at(&proto);
     if !analysis.prover.holds(&goal) {
         println!("goal not derivable: {goal}");
@@ -157,7 +188,8 @@ fn cmd_suite(pool: &Pool) -> Result<bool, Box<dyn std::error::Error>> {
 }
 
 fn cmd_check_run(path: Option<&String>) -> Result<bool, Box<dyn std::error::Error>> {
-    let (run, _) = atl::model::parse_trace(&load(path)?)?;
+    let (path, content) = load(path)?;
+    let (run, _) = atl::model::parse_trace(&content).map_err(|e| ParseDiag(e.diagnostic(&path)))?;
     println!(
         "run: times {}..={}, {} events, {} sends",
         run.start_time(),
@@ -184,8 +216,11 @@ fn cmd_eval(
 ) -> Result<bool, Box<dyn std::error::Error>> {
     use atl::core::semantics::{GoodRuns, Semantics};
     use atl::model::{Point, System};
-    let (run, syms) = atl::model::parse_trace(&load(path)?)?;
-    let phi = parse_formula(formula.ok_or("missing formula")?, &syms)?;
+    let (path, content) = load(path)?;
+    let (run, syms) =
+        atl::model::parse_trace(&content).map_err(|e| ParseDiag(e.diagnostic(&path)))?;
+    let phi = parse_formula(formula.ok_or("missing formula")?, &syms)
+        .map_err(|e| ParseDiag(e.diagnostic("<formula>")))?;
     let k: i64 = match time {
         Some(t) => t.parse()?,
         None => run.horizon(),
@@ -324,46 +359,12 @@ fn parse_inject_flags(args: &[String]) -> Result<InjectFlags, Box<dyn std::error
     Ok(flags)
 }
 
-/// Does `f` mention the key `k` anywhere (directly or inside a message)?
-fn formula_mentions_key(f: &Formula, k: &Key) -> bool {
-    let kt = |t: &KeyTerm| matches!(t, KeyTerm::Key(key) if key == k || &key.inverse() == k);
-    match f {
-        Formula::Prop(_) | Formula::True => false,
-        Formula::Not(g) => formula_mentions_key(g, k),
-        Formula::And(a, b) => formula_mentions_key(a, k) || formula_mentions_key(b, k),
-        Formula::Believes(_, g) | Formula::Controls(_, g) => formula_mentions_key(g, k),
-        Formula::Sees(_, m) | Formula::Said(_, m) | Formula::Says(_, m) | Formula::Fresh(m) => {
-            message_mentions_key(m, k)
-        }
-        Formula::SharedSecret(_, m, _) => message_mentions_key(m, k),
-        Formula::SharedKey(_, t, _) | Formula::Has(_, t) | Formula::PublicKey(t, _) => kt(t),
-    }
-}
-
-fn message_mentions_key(m: &Message, k: &Key) -> bool {
-    let kt = |t: &KeyTerm| matches!(t, KeyTerm::Key(key) if key == k || &key.inverse() == k);
-    match m {
-        Message::Key(key) => key == k,
-        Message::Formula(f) => formula_mentions_key(f, k),
-        Message::Tuple(items) => items.iter().any(|i| message_mentions_key(i, k)),
-        Message::Encrypted { body, key, .. }
-        | Message::Signed { body, key, .. }
-        | Message::PubEncrypted { body, key, .. } => kt(key) || message_mentions_key(body, k),
-        Message::Combined { body, secret, .. } => {
-            message_mentions_key(body, k) || message_mentions_key(secret, k)
-        }
-        Message::Forwarded(body) => message_mentions_key(body, k),
-        _ => false,
-    }
-}
-
 fn cmd_inject(args: &[String], pool: &Pool) -> Result<bool, Box<dyn std::error::Error>> {
-    use atl::core::annotate::AtStep;
-    use atl::core::enact::{enact_with, EnactOptions};
-    use atl::model::{execute_with_faults, Action, ExecOptions, ExpectPolicy};
+    use atl::core::inject::{inject_report, InjectRequest};
+    use atl::model::{ExecOptions, ExecutionCache, ExpectPolicy};
 
     let flags = parse_inject_flags(args)?;
-    let (at, _syms) = parse_spec(&load(flags.path.as_ref())?)?;
+    let (at, _syms) = parse_spec_diag(flags.path.as_ref())?;
     let policy = if flags.retries > 0 {
         ExpectPolicy::resend_after(flags.patience, flags.retries)
     } else {
@@ -386,129 +387,81 @@ fn cmd_inject(args: &[String], pool: &Pool) -> Result<bool, Box<dyn std::error::
         return Ok(report.all_executed() && report.audit_violations == 0);
     }
 
-    let plan = flags.plan()?;
-    let proto = enact_with(
-        &at,
-        EnactOptions {
-            expect_policy: policy,
-        },
-    );
-    let (run, report) = execute_with_faults(&proto, &opts, &plan)?;
-
-    println!(
-        "protocol {}: {} roles, seed {}",
-        at.name,
-        proto.roles().len(),
-        plan.seed
-    );
-    println!(
-        "execution: {} rounds, times {}..={}, {} sends, {} retransmissions",
-        report.rounds,
-        run.start_time(),
-        run.horizon(),
-        run.send_records().len(),
-        report.retries
-    );
-    if report.faults.is_empty() {
-        println!("faults injected: none");
-    } else {
-        println!("faults injected:");
-        for f in &report.faults {
-            println!("  t={} {}: {}", f.time, f.kind, f.detail);
-        }
-    }
-    for a in &report.abandoned {
-        println!(
-            "  !! {} abandoned step {}: {}",
-            a.principal, a.step_index, a.detail
-        );
-    }
-
-    let violations = atl::model::validate_run(&run);
-    if violations.is_empty() {
-        println!("audit: restrictions 1-5 all satisfied by the faulted run");
-    } else {
-        for v in &violations {
-            println!("  !! {v}");
-        }
-    }
+    // The single-plan report is shared with the serve daemon
+    // (`atl_core::inject`); a one-shot invocation passes a fresh
+    // execution cache.
+    let req = InjectRequest {
+        plan: flags.plan()?,
+        policy,
+        options: opts,
+    };
+    let outcome = inject_report(&at, &req, pool, &ExecutionCache::new())?;
+    print!("{}", outcome.report);
     if let Some(path) = &flags.emit_trace {
-        std::fs::write(path, atl::model::render_trace(&run))?;
+        std::fs::write(path, atl::model::render_trace(&outcome.run))?;
         println!("trace written to {path}");
     }
+    Ok(outcome.ok)
+}
 
-    // Belief survival: re-run the annotation procedure over only the
-    // steps whose messages were actually delivered in the faulted run.
-    let delivered = |to: &Principal, m: &Message| {
-        *to == Principal::environment()
-            || run.events().any(|(_, e)| {
-                e.actor == *to && matches!(&e.action, Action::Receive { message } if message == m)
-            })
+fn cmd_serve(args: &[String], pool: Pool) -> Result<bool, Box<dyn std::error::Error>> {
+    use atl::core::serve::{ServeConfig, Server};
+
+    let mut config = ServeConfig {
+        pool,
+        ..ServeConfig::default()
     };
-    let mut degraded = at.clone();
-    degraded.steps = at
-        .steps
-        .iter()
-        .filter(|s| match s {
-            AtStep::Send { to, message, .. } => delivered(to, message),
-            AtStep::NewKey { .. } => true,
-        })
-        .cloned()
-        .collect();
-    let sends = |steps: &[AtStep]| {
-        steps
-            .iter()
-            .filter(|s| matches!(s, AtStep::Send { .. }))
-            .count()
-    };
-    let dropped_steps = sends(&at.steps) - sends(&degraded.steps);
-    // The baseline and degraded analyses are independent; prove the
-    // pair concurrently when the pool has more than one worker.
-    let (at_job, degraded_job) = (at.clone(), degraded.clone());
-    let mut analyses = pool.run(vec![
-        Box::new(move || analyze_at(&at_job)) as Box<dyn FnOnce() -> _ + Send>,
-        Box::new(move || analyze_at(&degraded_job)),
-    ]);
-    let after = analyses.pop().expect("two analyses");
-    let baseline = analyses.pop().expect("two analyses");
-    println!(
-        "beliefs: {} of {} idealized messages delivered",
-        sends(&degraded.steps),
-        sends(&at.steps)
-    );
-    let mut lost = 0;
-    for ((goal, base_ok), (_, now_ok)) in baseline.goals.iter().zip(&after.goals) {
-        let tag = match (base_ok, now_ok) {
-            (true, true) => "survives",
-            (true, false) => {
-                lost += 1;
-                "degraded"
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => config.port = it.next().ok_or("--port needs a value")?.parse()?,
+            "--max-sessions" => {
+                config.max_sessions = it
+                    .next()
+                    .ok_or("--max-sessions needs a value")?
+                    .parse::<usize>()?
+                    .max(1);
             }
-            (false, _) => "unproven",
-        };
-        println!("  [{tag}] {goal}");
-        for (key, t) in &plan.compromises {
-            if formula_mentions_key(goal, key) {
-                println!(
-                    "      note: mentions {key}, compromised at t={t} — the \
-                     environment holds this key from then on"
-                );
-            }
+            other => return Err(format!("unknown serve flag {other}").into()),
         }
     }
-    if dropped_steps == 0 && lost == 0 && violations.is_empty() {
-        println!("verdict: run well-formed; all idealized beliefs survive this plan");
-    } else {
-        println!(
-            "verdict: run {}; {lost} belief(s) degraded, {dropped_steps} message(s) undelivered",
-            if violations.is_empty() {
-                "well-formed"
-            } else {
-                "ILL-FORMED"
-            }
-        );
+    let server = Server::start(config)?;
+    println!("serving on 127.0.0.1:{}", server.port());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    server.join();
+    println!("shutdown complete");
+    Ok(true)
+}
+
+fn cmd_client(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    use atl::core::serve::{Client, DEFAULT_PORT};
+
+    let mut port = DEFAULT_PORT;
+    let mut words: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => port = it.next().ok_or("--port needs a value")?.parse()?,
+            other => words.push(other),
+        }
     }
-    Ok(violations.is_empty())
+    if words.is_empty() {
+        return Err("client needs a request, e.g. `atl client STATS`".into());
+    }
+    let addr = std::net::SocketAddr::from(([127, 0, 0, 1], port));
+    let mut client = Client::connect(addr)?;
+    let resp = client.request(&words.join(" "))?;
+    match resp.err_message() {
+        None => {
+            print!("{}", resp.payload());
+            Ok(true)
+        }
+        Some(msg) => {
+            eprintln!("error: {msg}");
+            Ok(false)
+        }
+    }
 }
 
 fn cmd_proof(which: Option<&String>) -> Result<bool, Box<dyn std::error::Error>> {
