@@ -38,6 +38,7 @@ fn start() -> Server {
         port: 0,
         max_sessions: 8,
         pool: Pool::new(1),
+        ..ServeConfig::default()
     })
     .expect("bind an ephemeral port")
 }

@@ -1,0 +1,948 @@
+//! The coordinator half of the distributed sweep fabric.
+//!
+//! A fault sweep is embarrassingly parallel once its grid is
+//! fingerprint-deduplicated, so `atl inject --sweep` can deal shards of
+//! plans to serve-mode daemons (`crate::serve`, the `SWEEP` verb) on
+//! other processes or machines and merge the wire-rendered outcomes
+//! back. This module is everything above the wire:
+//!
+//! - [`OutcomeStore`] — a persistent, content-addressed, crash-safe
+//!   store of execution outcomes keyed by `(context digest, plan
+//!   fingerprint)`. Writes are atomic (temp file + rename), loads verify
+//!   a length + checksum frame and re-parse the payload, and anything
+//!   truncated, bit-flipped, or mislabeled is discarded and recomputed
+//!   rather than trusted. A coordinator killed mid-sweep therefore
+//!   resumes from whatever outcomes it had committed.
+//! - [`FabricConfig`] / [`FabricStats`] — knobs (shard size, per-shard
+//!   deadline, bounded retries with exponential backoff, per-worker
+//!   failure budget) and accounting for where each outcome came from.
+//! - [`fabric_sweep`] — the coordinator. It resolves outcomes store →
+//!   remote workers → local execution, requeues shards from dead or
+//!   hung workers, and degrades gracefully to fully in-process
+//!   execution when every worker is lost, so the sweep *always*
+//!   completes.
+//!
+//! Correctness bar: the printed [`FaultSweepReport`] is byte-identical
+//! to a single-process `atl inject --sweep` whatever the worker count,
+//! which workers die, or how the sweep is resumed. That holds by
+//! construction — outcomes round-trip exactly through
+//! [`atl_model::wire`], and the report is assembled by the same
+//! [`sweep_plans_resolve`] + [`survival_report`] path a local sweep
+//! uses, with a resolver that merely *sources* outcomes differently.
+//! `tests/e18_fabric.rs` holds it there under chaos (killed, hung, and
+//! restarted workers; resumed coordinators; corrupted stores).
+
+use crate::annotate::AtProtocol;
+use crate::enact::{enact_with, EnactOptions};
+use crate::parallel::Pool;
+use crate::serve::{render_exec_options, render_policy, Client, MAX_REQUEST_BYTES};
+use crate::sweep::{survival_report, FaultSweepReport, SweepConfig};
+use atl_model::wire::{parse_outcome, render_outcome, render_plan};
+use atl_model::{
+    execute_with_faults, sweep_plans_resolve, ExecOutcome, ExecutionCache, FaultPlan,
+    PlanFingerprint, Protocol,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// The FNV-1a 64-bit checksum guarding store entries against bit rot.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A persistent on-disk store of execution outcomes, one file per
+/// `(context digest, plan fingerprint)` key.
+///
+/// Layout: `<dir>/<context:016x>-<fingerprint digest:016x>.outcome`,
+/// each file framed as
+///
+/// ```text
+/// atl-outcome v1
+/// key <context:016x> <fingerprint wire rendering>
+/// len <body bytes> sum <fnv-1a 64:016x>
+/// <body: atl_model::wire::render_outcome>
+/// ```
+///
+/// The full fingerprint rendering in the `key` line disambiguates any
+/// (astronomically unlikely) digest collision and catches entries
+/// renamed onto the wrong key. Saves go through a uniquely named temp
+/// file in the same directory and a `rename`, so concurrent writers and
+/// killed processes leave either the old entry, the new entry, or
+/// nothing — never a torn file at the final path. Loads verify the
+/// header, the key, the exact length, the checksum, and a full reparse;
+/// any failure deletes the entry and reports a miss, so corruption
+/// costs one recomputation, never a wrong answer.
+pub struct OutcomeStore {
+    dir: PathBuf,
+    tmp_counter: AtomicU64,
+}
+
+impl OutcomeStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from `create_dir_all`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<OutcomeStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(OutcomeStore {
+            dir,
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    fn entry_path(&self, context: u64, fp: &PlanFingerprint) -> PathBuf {
+        self.dir
+            .join(format!("{context:016x}-{:016x}.outcome", fp.digest()))
+    }
+
+    /// Loads the outcome stored under `(context, fp)`, or `None` on a
+    /// miss. A present-but-invalid entry (truncated, bit-flipped, or
+    /// keyed to something else) is removed and reported as a miss.
+    pub fn load(&self, context: u64, fp: &PlanFingerprint) -> Option<ExecOutcome> {
+        let path = self.entry_path(context, fp);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match Self::decode(&text, context, fp) {
+            Some(outcome) => Some(outcome),
+            None => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn decode(text: &str, context: u64, fp: &PlanFingerprint) -> Option<ExecOutcome> {
+        let rest = text.strip_prefix("atl-outcome v1\n")?;
+        let (key_line, rest) = rest.split_once('\n')?;
+        if key_line != format!("key {context:016x} {}", fp.wire()) {
+            return None;
+        }
+        let (frame, body) = rest.split_once('\n')?;
+        let mut parts = frame.split_whitespace();
+        let (Some("len"), Some(len), Some("sum"), Some(sum), None) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return None;
+        };
+        let len: usize = len.parse().ok()?;
+        let sum = u64::from_str_radix(sum, 16).ok()?;
+        if body.len() != len || fnv64(body.as_bytes()) != sum {
+            return None;
+        }
+        parse_outcome(body).ok()
+    }
+
+    /// Atomically persists `outcome` under `(context, fp)`. Concurrent
+    /// writers of the same key write identical bytes, so whichever
+    /// rename lands last is indistinguishable from the first.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from writing or renaming the temp file.
+    pub fn save(
+        &self,
+        context: u64,
+        fp: &PlanFingerprint,
+        outcome: &ExecOutcome,
+    ) -> io::Result<()> {
+        let body = render_outcome(outcome);
+        let content = format!(
+            "atl-outcome v1\nkey {context:016x} {}\nlen {} sum {:016x}\n{body}",
+            fp.wire(),
+            body.len(),
+            fnv64(body.as_bytes())
+        );
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &content)?;
+        std::fs::rename(&tmp, self.entry_path(context, fp))
+    }
+
+    /// How many committed entries the store holds (temp files excluded).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "outcome"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True if the store holds no committed entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// How the coordinator shards, retries, and falls back.
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// Worker daemon addresses (`host:port`). Empty means every outcome
+    /// is resolved from the store or locally.
+    pub workers: Vec<String>,
+    /// Directory of the persistent [`OutcomeStore`], if any.
+    pub store: Option<PathBuf>,
+    /// Most plans per shard (shards also split to respect the daemon's
+    /// request-line cap).
+    pub shard_plans: usize,
+    /// Deadline for any single worker interaction (connect, load, one
+    /// shard). A worker silent past this is treated as failed.
+    pub deadline: Duration,
+    /// How many times a shard is requeued after worker failures before
+    /// it falls back to local execution.
+    pub shard_retries: u32,
+    /// Consecutive failures after which a worker is abandoned for the
+    /// rest of the sweep.
+    pub worker_failures: u32,
+    /// Base backoff before a failed worker retries; doubles per
+    /// consecutive failure (capped at 2 s).
+    pub backoff: Duration,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            workers: Vec::new(),
+            store: None,
+            shard_plans: 16,
+            deadline: Duration::from_secs(30),
+            shard_retries: 3,
+            worker_failures: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Where a fabric sweep's outcomes came from, and what it survived.
+///
+/// Printed to stderr by the CLI so stdout stays byte-identical to a
+/// single-process sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Workers configured.
+    pub workers: usize,
+    /// Shards dealt to the worker queue.
+    pub shards: usize,
+    /// Outcomes answered by the persistent store.
+    pub store_hits: usize,
+    /// Outcomes executed by remote workers.
+    pub remote_resolved: usize,
+    /// Outcomes executed in-process (no workers, lost workers, or
+    /// exhausted shard retries).
+    pub local_resolved: usize,
+    /// Shard attempts requeued after a worker failure.
+    pub requeues: usize,
+    /// Workers abandoned after too many consecutive failures.
+    pub workers_lost: usize,
+}
+
+impl fmt::Display for FabricStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fabric: {} shard(s) over {} worker(s); {} store hit(s), {} remote, {} local, \
+             {} requeue(s), {} worker(s) lost",
+            self.shards,
+            self.workers,
+            self.store_hits,
+            self.remote_resolved,
+            self.local_resolved,
+            self.requeues,
+            self.workers_lost
+        )
+    }
+}
+
+/// A stable digest of everything besides the plan that determines a
+/// distributed execution: the spec bytes (what workers `LOAD`) and the
+/// enacted policy/options. Store entries and shards key off this, so a
+/// store shared between specs, or a worker serving a stale spec file,
+/// can never alias outcomes across contexts.
+fn fabric_context(spec_text: &str, config: &SweepConfig) -> u64 {
+    // DefaultHasher::new() is keyed with constants, so this digest is
+    // stable across processes — the same precedent as the plan
+    // fingerprint digest and the serve-session content digest.
+    let mut h = DefaultHasher::new();
+    spec_text.hash(&mut h);
+    format!("{:?}", config.expect_policy).hash(&mut h);
+    format!("{:?}", config.options).hash(&mut h);
+    h.finish()
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One plan's slot in a shard: where its outcome goes, its identity,
+/// and its exact wire rendering.
+struct ShardEntry {
+    /// Index into the resolver's output vector.
+    slot: usize,
+    /// Index into the full plan list (for local re-execution).
+    plan_idx: usize,
+    fp: PlanFingerprint,
+    line: String,
+}
+
+struct Shard {
+    entries: Vec<ShardEntry>,
+    attempts: u32,
+}
+
+/// Everything the worker threads share.
+struct SweepShared<'a> {
+    queue: Mutex<VecDeque<Shard>>,
+    /// Shards not yet committed to `slots` or `leftover`.
+    pending: AtomicUsize,
+    slots: Mutex<Vec<Option<Arc<ExecOutcome>>>>,
+    /// Shards that exhausted their retries (drained locally afterward).
+    leftover: Mutex<Vec<Shard>>,
+    store: Option<&'a OutcomeStore>,
+    context: u64,
+    spec_path: &'a str,
+    request_head: String,
+    fabric: &'a FabricConfig,
+    requeues: AtomicUsize,
+    remote: AtomicUsize,
+    lost: AtomicUsize,
+}
+
+/// Runs a fault sweep whose outcomes are resolved store → workers →
+/// local, and reports where they came from. The returned report is
+/// byte-identical to [`crate::sweep::fault_sweep`] on the same spec and
+/// config.
+///
+/// `spec_path` is the path workers `LOAD`; its bytes (which `at` was
+/// parsed from) also key the outcome store, so resuming against an
+/// edited spec misses cleanly instead of replaying stale outcomes.
+///
+/// # Errors
+///
+/// Any [`io::Error`] from reading the spec or opening the store. Worker
+/// failures are *not* errors — they are absorbed by requeue and local
+/// fallback.
+pub fn fabric_sweep(
+    at: &AtProtocol,
+    spec_path: &str,
+    config: &SweepConfig,
+    fabric: &FabricConfig,
+    pool: &Pool,
+) -> io::Result<(FaultSweepReport, FabricStats)> {
+    let spec_text = std::fs::read_to_string(spec_path)?;
+    let store = match &fabric.store {
+        Some(dir) => Some(OutcomeStore::open(dir)?),
+        None => None,
+    };
+    let context = fabric_context(&spec_text, config);
+    let proto = enact_with(
+        at,
+        EnactOptions {
+            expect_policy: config.expect_policy,
+        },
+    );
+    let plans = config.grid.plans();
+    let mut stats = FabricStats {
+        workers: fabric.workers.len(),
+        ..FabricStats::default()
+    };
+    // A fresh in-memory cache per sweep: the persistent store is the
+    // cross-run memory, and a fresh cache keeps the printed SweepStats
+    // line identical to a one-shot local sweep.
+    let outcome = sweep_plans_resolve(context, &plans, &ExecutionCache::new(), |missing| {
+        resolve_missing(
+            &proto,
+            spec_path,
+            config,
+            fabric,
+            pool,
+            store.as_ref(),
+            context,
+            &plans,
+            missing,
+            &mut stats,
+        )
+    });
+    Ok((survival_report(at, outcome, pool), stats))
+}
+
+/// The fabric resolver: fills one outcome per missing fingerprint, in
+/// order, sourcing each from the store, a worker, or local execution.
+#[allow(clippy::too_many_arguments)]
+fn resolve_missing(
+    proto: &Protocol,
+    spec_path: &str,
+    config: &SweepConfig,
+    fabric: &FabricConfig,
+    pool: &Pool,
+    store: Option<&OutcomeStore>,
+    context: u64,
+    plans: &[FaultPlan],
+    missing: &[(usize, PlanFingerprint)],
+    stats: &mut FabricStats,
+) -> Vec<Arc<ExecOutcome>> {
+    let mut slots: Vec<Option<Arc<ExecOutcome>>> = vec![None; missing.len()];
+
+    // Store pass: anything a previous (possibly killed) sweep committed
+    // is reused verbatim.
+    let mut unresolved: Vec<ShardEntry> = Vec::new();
+    for (slot, (plan_idx, fp)) in missing.iter().enumerate() {
+        if let Some(hit) = store.and_then(|s| s.load(context, fp)) {
+            stats.store_hits += 1;
+            slots[slot] = Some(Arc::new(hit));
+            continue;
+        }
+        unresolved.push(ShardEntry {
+            slot,
+            plan_idx: *plan_idx,
+            fp: fp.clone(),
+            line: render_plan(&plans[*plan_idx]),
+        });
+    }
+
+    if !unresolved.is_empty() && !fabric.workers.is_empty() {
+        let shards = build_shards(unresolved, fabric);
+        stats.shards = shards.len();
+        let shared = SweepShared {
+            pending: AtomicUsize::new(shards.len()),
+            queue: Mutex::new(shards.into()),
+            slots: Mutex::new(slots),
+            leftover: Mutex::new(Vec::new()),
+            store,
+            context,
+            spec_path,
+            request_head: format!(
+                "policy={} options={}",
+                render_policy(&config.expect_policy),
+                render_exec_options(&config.options)
+            ),
+            fabric,
+            requeues: AtomicUsize::new(0),
+            remote: AtomicUsize::new(0),
+            lost: AtomicUsize::new(0),
+        };
+        std::thread::scope(|s| {
+            for addr in &fabric.workers {
+                let shared = &shared;
+                s.spawn(move || worker_loop(addr, shared));
+            }
+        });
+        stats.requeues = shared.requeues.load(Ordering::SeqCst);
+        stats.remote_resolved = shared.remote.load(Ordering::SeqCst);
+        stats.workers_lost = shared.lost.load(Ordering::SeqCst);
+        slots = lock(&shared.slots).drain(..).collect();
+        // Whatever the workers could not finish — exhausted retries, or
+        // the whole fleet lost — drains locally below.
+        unresolved = lock(&shared.queue)
+            .drain(..)
+            .chain(lock(&shared.leftover).drain(..))
+            .flat_map(|shard| shard.entries)
+            .collect();
+        unresolved.sort_by_key(|e| e.slot);
+    }
+
+    // Local fallback (and the whole path when no workers are given):
+    // execute over the pool exactly as a local sweep would.
+    if !unresolved.is_empty() {
+        stats.local_resolved = unresolved.len();
+        let executed = pool.map(&unresolved, |_, entry| {
+            Arc::new(execute_with_faults(
+                proto,
+                &config.options,
+                &plans[entry.plan_idx],
+            ))
+        });
+        for (entry, outcome) in unresolved.iter().zip(executed) {
+            if let Some(store) = store {
+                let _ = store.save(context, &entry.fp, &outcome);
+            }
+            slots[entry.slot] = Some(outcome);
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("fabric resolver filled every slot"))
+        .collect()
+}
+
+/// Request-line budget for the plan list of one shard, leaving ample
+/// headroom under [`MAX_REQUEST_BYTES`] for the verb, session id,
+/// policy, and options.
+const SHARD_LINE_BUDGET: usize = MAX_REQUEST_BYTES - 16 * 1024;
+
+/// Deals entries into shards of at most `shard_plans` plans, splitting
+/// early whenever the rendered request line would approach the daemon's
+/// cap.
+fn build_shards(entries: Vec<ShardEntry>, fabric: &FabricConfig) -> Vec<Shard> {
+    let per_shard = fabric.shard_plans.max(1);
+    let mut shards: Vec<Shard> = Vec::new();
+    let mut current: Vec<ShardEntry> = Vec::new();
+    let mut current_bytes = 0usize;
+    for entry in entries {
+        let cost = entry.line.len() + 1;
+        if !current.is_empty()
+            && (current.len() >= per_shard || current_bytes + cost > SHARD_LINE_BUDGET)
+        {
+            shards.push(Shard {
+                entries: std::mem::take(&mut current),
+                attempts: 0,
+            });
+            current_bytes = 0;
+        }
+        current_bytes += cost;
+        current.push(entry);
+    }
+    if !current.is_empty() {
+        shards.push(Shard {
+            entries: current,
+            attempts: 0,
+        });
+    }
+    shards
+}
+
+/// One worker thread: pops shards, executes them on its daemon, and
+/// commits the outcomes. Failures requeue the shard (bounded), back off
+/// exponentially, and — after `worker_failures` consecutive ones —
+/// abandon the worker. The loop exits when every shard is committed
+/// somewhere or the worker is abandoned; a hung daemon cannot wedge it
+/// because every interaction is bounded by the deadline.
+fn worker_loop(addr_text: &str, shared: &SweepShared<'_>) {
+    let mut conn: Option<(Client, u64)> = None;
+    let mut consecutive: u32 = 0;
+    loop {
+        if shared.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let Some(mut shard) = lock(&shared.queue).pop_front() else {
+            // Other workers hold the remaining shards; stay available in
+            // case one fails and requeues.
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        match try_shard(addr_text, shared, &mut conn, &shard) {
+            Ok(outcomes) => {
+                consecutive = 0;
+                {
+                    let mut slots = lock(&shared.slots);
+                    for (entry, outcome) in shard.entries.iter().zip(outcomes) {
+                        if let Some(store) = shared.store {
+                            let _ = store.save(shared.context, &entry.fp, &outcome);
+                        }
+                        slots[entry.slot] = Some(Arc::new(outcome));
+                    }
+                }
+                shared
+                    .remote
+                    .fetch_add(shard.entries.len(), Ordering::SeqCst);
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(_why) => {
+                conn = None;
+                consecutive += 1;
+                shard.attempts += 1;
+                if shard.attempts > shared.fabric.shard_retries {
+                    lock(&shared.leftover).push(shard);
+                    shared.pending.fetch_sub(1, Ordering::SeqCst);
+                } else {
+                    shared.requeues.fetch_add(1, Ordering::SeqCst);
+                    lock(&shared.queue).push_back(shard);
+                }
+                if consecutive >= shared.fabric.worker_failures.max(1) {
+                    shared.lost.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                let exp = shared
+                    .fabric
+                    .backoff
+                    .saturating_mul(1u32 << (consecutive - 1).min(5));
+                std::thread::sleep(exp.min(Duration::from_secs(2)));
+            }
+        }
+    }
+}
+
+/// One bounded attempt at one shard: (re)connect, health-probe, load the
+/// spec, send the `SWEEP` request, and decode + verify the response.
+fn try_shard(
+    addr_text: &str,
+    shared: &SweepShared<'_>,
+    conn: &mut Option<(Client, u64)>,
+    shard: &Shard,
+) -> Result<Vec<ExecOutcome>, String> {
+    if conn.is_none() {
+        let addr: SocketAddr = addr_text
+            .to_socket_addrs()
+            .map_err(|e| format!("worker {addr_text}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("worker {addr_text}: no address"))?;
+        let deadline = shared.fabric.deadline;
+        let mut client = Client::connect_timeout(addr, deadline)
+            .map_err(|e| format!("worker {addr_text}: connect: {e}"))?;
+        client
+            .set_timeout(Some(deadline))
+            .map_err(|e| format!("worker {addr_text}: timeout: {e}"))?;
+        // Health probe: a daemon that accepts but cannot answer STATS is
+        // as dead as one that refuses the connection.
+        let probe = client
+            .request("STATS")
+            .map_err(|e| format!("worker {addr_text}: probe: {e}"))?;
+        if !probe.ok {
+            return Err(format!(
+                "worker {addr_text}: probe refused: {}",
+                probe.err_message().unwrap_or("")
+            ));
+        }
+        let id = client
+            .load(shared.spec_path)
+            .map_err(|e| format!("worker {addr_text}: load: {e}"))?;
+        *conn = Some((client, id));
+    }
+    let (client, id) = conn.as_mut().expect("connection established above");
+    let plans: Vec<&str> = shard.entries.iter().map(|e| e.line.as_str()).collect();
+    let request = format!(
+        "SWEEP {id} {} plans={}",
+        shared.request_head,
+        plans.join(";")
+    );
+    let resp = client
+        .request(&request)
+        .map_err(|e| format!("worker {addr_text}: sweep: {e}"))?;
+    if !resp.ok {
+        return Err(format!(
+            "worker {addr_text}: sweep refused: {}",
+            resp.err_message().unwrap_or("")
+        ));
+    }
+    let digests: Vec<u64> = shard.entries.iter().map(|e| e.fp.digest()).collect();
+    decode_sweep_response(&resp.lines, &digests).map_err(|why| format!("worker {addr_text}: {why}"))
+}
+
+/// Decodes a `SWEEP` response into one outcome per expected plan,
+/// verifying the count, the ordering, and each fingerprint digest
+/// against what the coordinator computed itself — a worker answering
+/// for the wrong plans (stale spec, broken dedup) is a shard failure,
+/// not silent corruption.
+fn decode_sweep_response(lines: &[String], expected: &[u64]) -> Result<Vec<ExecOutcome>, String> {
+    let mut it = lines.iter();
+    let header = it.next().ok_or("empty SWEEP response")?;
+    let count: usize = header
+        .strip_prefix("plans ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("bad SWEEP response header {header:?}"))?;
+    if count != expected.len() {
+        return Err(format!(
+            "SWEEP response carries {count} outcome(s), expected {}",
+            expected.len()
+        ));
+    }
+    let mut outcomes = Vec::with_capacity(count);
+    for (i, &digest) in expected.iter().enumerate() {
+        let head = it
+            .next()
+            .ok_or_else(|| format!("truncated SWEEP response at outcome {i}"))?;
+        let mut parts = head.split_whitespace();
+        let (Some("outcome"), Some(idx), Some(fp), Some(len), None) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return Err(format!("bad outcome header {head:?}"));
+        };
+        if idx.parse() != Ok(i) {
+            return Err(format!("outcome {i} answered out of order: {head:?}"));
+        }
+        let fp = fp
+            .strip_prefix("fp=")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| format!("bad fingerprint in {head:?}"))?;
+        if fp != digest {
+            return Err(format!(
+                "outcome {i} fingerprint {fp:016x} does not match expected {digest:016x}"
+            ));
+        }
+        let len: usize = len
+            .strip_prefix("lines=")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("bad line count in {head:?}"))?;
+        let mut body = String::new();
+        for _ in 0..len {
+            body.push_str(
+                it.next()
+                    .ok_or_else(|| format!("truncated outcome {i} body"))?,
+            );
+            body.push('\n');
+        }
+        outcomes.push(parse_outcome(&body).map_err(|e| e.to_string())?);
+    }
+    if it.next().is_some() {
+        return Err("trailing lines after SWEEP response".to_string());
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_spec;
+    use crate::sweep::fault_sweep;
+    use atl_model::{ExecOptions, ExpectPolicy, ModelError, SweepGrid};
+
+    const TOY: &str = "protocol toy\n\
+        principals A B\n\
+        keys Kab\n\
+        assume A believes (A <-Kab-> B)\n\
+        assume A has Kab\n\
+        assume B has Kab\n\
+        step A -> B : {Na}Kab@A\n\
+        goal B sees {Na}Kab@A\n";
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("atl-fabric-unit-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn toy_outcomes() -> (PlanFingerprint, ExecOutcome, PlanFingerprint, ExecOutcome) {
+        let (at, _) = parse_spec(TOY).expect("parse toy spec");
+        let proto = enact_with(
+            &at,
+            EnactOptions {
+                expect_policy: ExpectPolicy::skip_after(3),
+            },
+        );
+        let clean_plan = FaultPlan::new(0);
+        let clean = execute_with_faults(&proto, &ExecOptions::default(), &clean_plan);
+        let failed: ExecOutcome = Err(ModelError::MalformedRun("fabricated\nfailure".into()));
+        (
+            PlanFingerprint::of(&clean_plan),
+            clean,
+            PlanFingerprint::of(&FaultPlan::new(0).drop(1.0)),
+            failed,
+        )
+    }
+
+    #[test]
+    fn store_round_trips_ok_and_err_outcomes() {
+        let dir = temp_dir("roundtrip");
+        let store = OutcomeStore::open(&dir).expect("open");
+        assert!(store.is_empty());
+        let (fp_ok, ok, fp_err, failed) = toy_outcomes();
+        store.save(7, &fp_ok, &ok).expect("save ok");
+        store.save(7, &fp_err, &failed).expect("save err");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.load(7, &fp_ok), Some(ok));
+        // Errors reconstitute to an identical rendering.
+        let back = store
+            .load(7, &fp_err)
+            .expect("hit")
+            .expect_err("err outcome");
+        assert_eq!(back.to_string(), failed.expect_err("err").to_string());
+        // A different context never aliases.
+        assert_eq!(store.load(8, &fp_ok), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_discards_truncated_entry() {
+        let dir = temp_dir("truncated");
+        let store = OutcomeStore::open(&dir).expect("open");
+        let (fp, ok, _, _) = toy_outcomes();
+        store.save(1, &fp, &ok).expect("save");
+        let path = store.entry_path(1, &fp);
+        let text = std::fs::read_to_string(&path).expect("read entry");
+        // Cut mid-body: the length frame no longer matches.
+        std::fs::write(&path, &text[..text.len() - 10]).expect("truncate");
+        assert_eq!(store.load(1, &fp), None);
+        // The corrupt file was removed, so the store is self-healing.
+        assert!(!path.exists());
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_discards_garbage_and_bitflips() {
+        let dir = temp_dir("garbage");
+        let store = OutcomeStore::open(&dir).expect("open");
+        let (fp, ok, _, _) = toy_outcomes();
+        // Pure garbage at the right path.
+        std::fs::write(store.entry_path(2, &fp), b"not an outcome at all\x00\xff").expect("write");
+        assert_eq!(store.load(2, &fp), None);
+        // A single flipped bit in the body fails the checksum.
+        store.save(2, &fp, &ok).expect("save");
+        let path = store.entry_path(2, &fp);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("flip");
+        assert_eq!(store.load(2, &fp), None);
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_discards_entry_keyed_to_another_plan() {
+        let dir = temp_dir("wrongkey");
+        let store = OutcomeStore::open(&dir).expect("open");
+        let (fp_ok, ok, fp_other, _) = toy_outcomes();
+        store.save(3, &fp_ok, &ok).expect("save");
+        // Rename the entry onto a different key: digest says one plan,
+        // the embedded key line says another.
+        std::fs::rename(store.entry_path(3, &fp_ok), store.entry_path(3, &fp_other))
+            .expect("rename");
+        assert_eq!(store.load(3, &fp_other), None);
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_key_never_tear() {
+        let dir = temp_dir("concurrent");
+        let store = OutcomeStore::open(&dir).expect("open");
+        let (fp, ok, _, _) = toy_outcomes();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (store, fp, ok) = (&store, &fp, &ok);
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        store.save(4, fp, ok).expect("save");
+                        // Interleaved loads must see a whole entry or a
+                        // miss — never a torn one surviving validation.
+                        if let Some(seen) = store.load(4, fp) {
+                            assert_eq!(&seen, ok);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.load(4, &fp), Some(ok));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_response_decoding_rejects_mismatches() {
+        let lines = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
+        // Wrong count, bad header, fingerprint mismatch, truncation.
+        assert!(decode_sweep_response(&lines(&[]), &[1]).is_err());
+        assert!(decode_sweep_response(&lines(&["plans 2"]), &[1]).is_err());
+        assert!(decode_sweep_response(&lines(&["plans 1", "huh"]), &[1]).is_err());
+        assert!(decode_sweep_response(
+            &lines(&["plans 1", "outcome 0 fp=00000000000000ff lines=1", "err %"]),
+            &[1]
+        )
+        .is_err());
+        assert!(decode_sweep_response(
+            &lines(&["plans 1", "outcome 0 fp=0000000000000001 lines=3", "err %"]),
+            &[1]
+        )
+        .is_err());
+        // A well-formed error outcome decodes.
+        let ok = decode_sweep_response(
+            &lines(&[
+                "plans 1",
+                "outcome 0 fp=0000000000000001 lines=1",
+                "err boom",
+            ]),
+            &[1],
+        )
+        .expect("decode");
+        assert_eq!(ok[0].as_ref().expect_err("err").to_string(), "boom");
+        // Trailing garbage is rejected.
+        assert!(decode_sweep_response(
+            &lines(&[
+                "plans 1",
+                "outcome 0 fp=0000000000000001 lines=1",
+                "err boom",
+                "extra"
+            ]),
+            &[1]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shards_respect_count_and_byte_budgets() {
+        let entry = |slot: usize, line: &str| ShardEntry {
+            slot,
+            plan_idx: slot,
+            fp: PlanFingerprint::of(&FaultPlan::new(0)),
+            line: line.to_string(),
+        };
+        let fabric = FabricConfig {
+            shard_plans: 2,
+            ..FabricConfig::default()
+        };
+        let shards = build_shards((0..5).map(|i| entry(i, "p")).collect(), &fabric);
+        assert_eq!(
+            shards.iter().map(|s| s.entries.len()).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        // A huge rendering splits even below the plan count.
+        let big = "x".repeat(SHARD_LINE_BUDGET - 1);
+        let shards = build_shards(vec![entry(0, &big), entry(1, &big)], &fabric);
+        assert_eq!(shards.len(), 2);
+    }
+
+    #[test]
+    fn workerless_fabric_matches_local_sweep_and_resumes_from_store() {
+        let dir = temp_dir("resume");
+        let spec =
+            std::env::temp_dir().join(format!("atl-fabric-unit-{}-resume.atl", std::process::id()));
+        std::fs::write(&spec, TOY).expect("write spec");
+        let (at, _) = parse_spec(TOY).expect("parse");
+        let config = SweepConfig {
+            grid: SweepGrid::new().seeds(0..2).drop_steps([0.0, 0.5, 1.0]),
+            options: ExecOptions::default(),
+            expect_policy: ExpectPolicy::skip_after(3),
+        };
+        let pool = Pool::sequential();
+        let reference = fault_sweep(&at, &config, &pool).to_string();
+        let fabric = FabricConfig {
+            store: Some(dir.clone()),
+            ..FabricConfig::default()
+        };
+        let spec_path = spec.to_str().expect("utf8 path");
+        let (cold, cold_stats) =
+            fabric_sweep(&at, spec_path, &config, &fabric, &pool).expect("cold sweep");
+        assert_eq!(cold.to_string(), reference);
+        assert_eq!(cold_stats.store_hits, 0);
+        assert!(cold_stats.local_resolved > 0);
+        // A second coordinator (as after a kill) resumes purely from the
+        // store: no local execution, byte-identical report.
+        let (warm, warm_stats) =
+            fabric_sweep(&at, spec_path, &config, &fabric, &pool).expect("warm sweep");
+        assert_eq!(warm.to_string(), reference);
+        assert_eq!(warm_stats.local_resolved, 0);
+        assert_eq!(warm_stats.store_hits, cold_stats.local_resolved);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&spec);
+    }
+}

@@ -28,6 +28,9 @@
 //!   protocol, so runs can be produced, audited, and fault-injected;
 //! - [`sweep`] — parallel fault sweeps over plan grids, with
 //!   belief-survival and semantic-validity reporting per goal;
+//! - [`fabric`] — the distributed sweep coordinator: shards plan grids
+//!   across serve-mode daemons with retries, requeues, and a crash-safe
+//!   persistent outcome store, degrading to local execution;
 //! - [`examples`] — the coin-toss counterexample;
 //! - [`theorems`] — machine-checked reconstructions of the BAN rules;
 //! - [`secrecy`] — the semantic secrecy audit (the paper's future work);
@@ -56,6 +59,7 @@ pub mod axioms;
 pub mod budget;
 pub mod enact;
 pub mod examples;
+pub mod fabric;
 pub mod goodruns;
 pub mod inject;
 pub mod kripke;

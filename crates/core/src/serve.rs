@@ -27,20 +27,34 @@
 //! EVAL <id> <run:time|time> <phi>  semantic evaluation at a point
 //! INJECT <id> <fault-flags>        single-plan belief-survival report,
 //!                                  bytes of `atl inject`
+//! SWEEP <id> policy=<p> options=<o> plans=<plan>;<plan>;…
+//!                                  execute a shard of fault plans, one
+//!                                  wire-rendered outcome per plan
 //! STATS                            session/cache counters
 //! SHUTDOWN                         stop accepting and wind down
 //! ```
+//!
+//! `SWEEP` is the worker half of the distributed fabric
+//! (`crate::fabric`): plans arrive in the exact [`atl_model::wire`]
+//! rendering, execute against the session's [`ExecutionCache`], and the
+//! response carries each outcome keyed by its fingerprint digest —
+//! `outcome <i> fp=<16 hex> lines=<n>` followed by `n` lines of
+//! [`atl_model::wire::render_outcome`].
 //!
 //! Sessions are evicted least-recently-used beyond `--max-sessions`;
 //! re-`LOAD`ing an evicted spec rebuilds it (new id) and every query
 //! answer is byte-identical to the pre-eviction bytes, because session
 //! ids never appear in query payloads. Malformed requests, oversized
 //! lines, and mid-request disconnects produce per-connection `ERR`s (or
-//! a dropped connection) without touching other sessions; the
-//! conformance harness for all of this lives in `tests/e17_serve.rs`.
+//! a dropped connection) without touching other sessions; a connection
+//! idle past the configured timeout is reaped (counted in `STATS`)
+//! rather than pinning its thread forever, and `SHUTDOWN` waits — up to
+//! a bounded drain deadline — for in-flight requests to finish writing
+//! before the accept loop exits. The conformance harness for all of
+//! this lives in `tests/e17_serve.rs`.
 
 use crate::annotate::{analyze_at, render_analysis, AtProtocol};
-use crate::enact::enact;
+use crate::enact::{enact, enact_with, EnactOptions};
 use crate::goodruns::construct_on;
 use crate::inject::{inject_report, InjectRequest};
 use crate::parallel::Pool;
@@ -49,8 +63,10 @@ use crate::spec::parse_spec;
 use crate::sweep::belief_assumptions;
 use atl_lang::parser::{parse_formula, Symbols};
 use atl_lang::Key;
+use atl_model::wire::{parse_plan, render_outcome};
 use atl_model::{
-    execute_with_faults, ExecOptions, ExecutionCache, ExpectPolicy, FaultPlan, Point, System,
+    execute_with_faults, sweep_plans_on, ExecOptions, ExecutionCache, ExpectPolicy, FaultPlan,
+    OnTimeout, Point, System,
 };
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
@@ -60,9 +76,10 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Longest request line the daemon accepts, in bytes. Longer lines get
 /// one `ERR` and the connection is closed (the remainder of the line is
@@ -83,6 +100,13 @@ pub struct ServeConfig {
     /// Worker pool queries dispatch across (prewarming, good-run
     /// construction, the inject analysis pair).
     pub pool: Pool,
+    /// How long a connection may sit idle between requests before it is
+    /// reaped (`None` disables reaping). A half-open client can
+    /// therefore no longer pin a connection thread forever.
+    pub idle_timeout: Option<Duration>,
+    /// How long `SHUTDOWN` waits for in-flight requests to finish
+    /// writing before the accept loop exits anyway.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +115,8 @@ impl Default for ServeConfig {
             port: DEFAULT_PORT,
             max_sessions: 8,
             pool: Pool::auto(),
+            idle_timeout: Some(Duration::from_secs(300)),
+            drain_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -119,6 +145,12 @@ pub struct ServeStats {
     pub inject_warm: u64,
     /// `INJECT`s whose execution was answered by the [`ExecutionCache`].
     pub inject_exec_hits: u64,
+    /// `SWEEP` shards served.
+    pub sweep_served: u64,
+    /// Fault plans received across all `SWEEP` shards.
+    pub sweep_plans: u64,
+    /// Connections closed for sitting idle past the timeout.
+    pub reaped: u64,
 }
 
 /// One response on the wire: `OK` with payload lines, or a one-line
@@ -257,7 +289,13 @@ struct ServerState {
     addr: SocketAddr,
     max_sessions: usize,
     pool: Pool,
+    idle_timeout: Option<Duration>,
+    drain_deadline: Duration,
     shutdown: AtomicBool,
+    /// Requests currently being handled or written; `SHUTDOWN` drains
+    /// this to zero (bounded by `drain_deadline`) before the accept
+    /// loop exits.
+    active: AtomicUsize,
     store: Mutex<Store>,
 }
 
@@ -308,7 +346,10 @@ impl Server {
             addr,
             max_sessions: config.max_sessions.max(1),
             pool: config.pool,
+            idle_timeout: config.idle_timeout,
+            drain_deadline: config.drain_deadline,
             shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
             store: Mutex::new(Store::default()),
         });
         let accept_state = Arc::clone(&state);
@@ -367,6 +408,14 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             }
         }
     }
+    // Drain: in-flight requests (including the SHUTDOWN response
+    // itself) finish dispatching and writing before the loop — and with
+    // it `Server::join` — returns, bounded by the drain deadline so a
+    // wedged handler cannot hold shutdown hostage.
+    let deadline = Instant::now() + state.drain_deadline;
+    while state.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 enum ReadOutcome {
@@ -415,6 +464,10 @@ fn decode(mut buf: Vec<u8>) -> String {
 }
 
 fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    // The timeout is set on the shared socket, so it governs the read
+    // half cloned below: a client idle between requests for longer than
+    // this trips `WouldBlock`/`TimedOut` and the connection is reaped.
+    let _ = stream.set_read_timeout(state.idle_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -422,7 +475,18 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     let mut writer = stream;
     loop {
         match read_request(&mut reader) {
-            Err(_) | Ok(ReadOutcome::Eof) => break,
+            Err(e) => {
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) {
+                    state.store().stats.reaped += 1;
+                    let _ =
+                        Response::err("connection idle past timeout; reaped").write_to(&mut writer);
+                }
+                break;
+            }
+            Ok(ReadOutcome::Eof) => break,
             Ok(ReadOutcome::TooLong) => {
                 let resp = Response::err(format!("request line exceeds {MAX_REQUEST_BYTES} bytes"));
                 let _ = resp.write_to(&mut writer);
@@ -430,13 +494,15 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
             }
             Ok(ReadOutcome::Line(line)) => {
                 // A panic inside a handler must stay a per-connection
-                // error: report it and keep every session intact.
+                // error: report it and keep every session intact. The
+                // active count brackets dispatch *and* the response
+                // write, so a draining shutdown never truncates a reply.
+                state.active.fetch_add(1, Ordering::SeqCst);
                 let resp = catch_unwind(AssertUnwindSafe(|| dispatch(state, &line)))
                     .unwrap_or_else(|_| Response::err("internal: request handler panicked"));
-                if resp.write_to(&mut writer).is_err() {
-                    break;
-                }
-                if state.shutdown.load(Ordering::SeqCst) {
+                let wrote = resp.write_to(&mut writer);
+                state.active.fetch_sub(1, Ordering::SeqCst);
+                if wrote.is_err() || state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
             }
@@ -458,12 +524,14 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> Response {
         "ANALYZE" => cmd_analyze(state, rest),
         "EVAL" => cmd_eval(state, rest),
         "INJECT" => cmd_inject(state, rest),
+        "SWEEP" => cmd_sweep(state, rest),
         "STATS" if rest.is_empty() => cmd_stats(state),
         "STATS" => Response::err("STATS takes no arguments"),
         "SHUTDOWN" if rest.is_empty() => cmd_shutdown(state),
         "SHUTDOWN" => Response::err("SHUTDOWN takes no arguments"),
         other => Response::err(format!(
-            "unknown command {other:?} (expected LOAD, ANALYZE, EVAL, INJECT, STATS or SHUTDOWN)"
+            "unknown command {other:?} (expected LOAD, ANALYZE, EVAL, INJECT, SWEEP, STATS or \
+             SHUTDOWN)"
         )),
     }
 }
@@ -798,6 +866,171 @@ fn parse_plan_flags(text: &str) -> Result<InjectRequest, String> {
     })
 }
 
+/// Renders an [`ExpectPolicy`] for the `SWEEP` request line:
+/// `<patience|->:<stall|skip|resend:<retries>>`.
+pub(crate) fn render_policy(policy: &ExpectPolicy) -> String {
+    let patience = match policy.patience {
+        Some(p) => p.to_string(),
+        None => "-".to_string(),
+    };
+    let timeout = match policy.on_timeout {
+        OnTimeout::Stall => "stall".to_string(),
+        OnTimeout::Skip => "skip".to_string(),
+        OnTimeout::Resend { max_retries } => format!("resend:{max_retries}"),
+    };
+    format!("{patience}:{timeout}")
+}
+
+fn parse_policy(text: &str) -> Result<ExpectPolicy, String> {
+    let (patience, timeout) = text
+        .split_once(':')
+        .ok_or_else(|| format!("bad policy {text:?}"))?;
+    let patience = match patience {
+        "-" => None,
+        p => Some(p.parse().map_err(|e| format!("policy patience: {e}"))?),
+    };
+    let on_timeout = match timeout {
+        "stall" => OnTimeout::Stall,
+        "skip" => OnTimeout::Skip,
+        resend => match resend.split_once(':') {
+            Some(("resend", r)) => OnTimeout::Resend {
+                max_retries: r.parse().map_err(|e| format!("policy retries: {e}"))?,
+            },
+            _ => return Err(format!("bad policy timeout {timeout:?}")),
+        },
+    };
+    Ok(ExpectPolicy {
+        patience,
+        on_timeout,
+    })
+}
+
+/// Renders [`ExecOptions`] for the `SWEEP` request line:
+/// `<start-time>:<0|1 public>:<schedule csv|->`.
+pub(crate) fn render_exec_options(options: &ExecOptions) -> String {
+    let schedule = if options.schedule.is_empty() {
+        "-".to_string()
+    } else {
+        options
+            .schedule
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{}:{}:{}",
+        options.start_time,
+        u8::from(options.public_channel),
+        schedule
+    )
+}
+
+fn parse_exec_options(text: &str) -> Result<ExecOptions, String> {
+    let mut parts = text.split(':');
+    let (Some(start), Some(public), Some(schedule), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!("bad options {text:?}"));
+    };
+    let schedule = if schedule == "-" {
+        Vec::new()
+    } else {
+        schedule
+            .split(',')
+            .map(|s| s.parse().map_err(|e| format!("options schedule: {e}")))
+            .collect::<Result<Vec<usize>, String>>()?
+    };
+    Ok(ExecOptions {
+        start_time: start
+            .parse()
+            .map_err(|e| format!("options start time: {e}"))?,
+        public_channel: match public {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("options public flag {other:?} is not 0/1")),
+        },
+        schedule,
+    })
+}
+
+/// `SWEEP <id> policy=<p> options=<o> plans=<plan>;<plan>;…` — the
+/// worker half of the distributed fabric. The shard executes through
+/// the same [`sweep_plans_on`] path as a local sweep, against the
+/// session's [`ExecutionCache`], so repeated fingerprints across shards
+/// and sweeps cost nothing; the response returns one wire-rendered
+/// outcome per plan, in request order, keyed by fingerprint digest.
+fn cmd_sweep(state: &Arc<ServerState>, rest: &str) -> Response {
+    let (id_text, rest) = match rest.split_once(char::is_whitespace) {
+        Some((id, rest)) => (id, rest.trim()),
+        None => (rest, ""),
+    };
+    if id_text.is_empty() {
+        return Response::err("SWEEP takes <session-id> policy=<p> options=<o> plans=<plans>");
+    }
+    let session = match state.session(id_text) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    let Some((head, plans_text)) = rest.split_once("plans=") else {
+        return Response::err("SWEEP needs a plans= field");
+    };
+    let (mut policy, mut options) = (None, None);
+    for token in head.split_whitespace() {
+        let Some((field, value)) = token.split_once('=') else {
+            return Response::err(format!("bad SWEEP field {token:?}"));
+        };
+        let parsed = match field {
+            "policy" => parse_policy(value).map(|p| policy = Some(p)),
+            "options" => parse_exec_options(value).map(|o| options = Some(o)),
+            other => Err(format!("unknown SWEEP field {other:?}")),
+        };
+        if let Err(msg) = parsed {
+            return Response::err(msg);
+        }
+    }
+    let (Some(policy), Some(options)) = (policy, options) else {
+        return Response::err("SWEEP needs policy= and options= before plans=");
+    };
+    let mut plans: Vec<FaultPlan> = Vec::new();
+    for part in plans_text.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match parse_plan(part) {
+            Ok(plan) => plans.push(plan),
+            Err(e) => return Response::err(e.to_string()),
+        }
+    }
+    if plans.is_empty() {
+        return Response::err("SWEEP shard carries no plans");
+    }
+
+    let proto = enact_with(
+        &session.at,
+        EnactOptions {
+            expect_policy: policy,
+        },
+    );
+    let outcome = sweep_plans_on(&proto, &options, &plans, &state.pool, &session.exec_cache);
+    let mut lines = vec![format!("plans {}", outcome.results.len())];
+    for (i, r) in outcome.results.iter().enumerate() {
+        let rendered = render_outcome(&r.outcome);
+        let body: Vec<&str> = rendered.lines().collect();
+        lines.push(format!(
+            "outcome {i} fp={:016x} lines={}",
+            r.fingerprint.digest(),
+            body.len()
+        ));
+        lines.extend(body.into_iter().map(str::to_string));
+    }
+    let mut store = state.store();
+    store.stats.sweep_served += 1;
+    store.stats.sweep_plans += plans.len() as u64;
+    Response { ok: true, lines }
+}
+
 fn cmd_stats(state: &Arc<ServerState>) -> Response {
     let store = state.store();
     let s = store.stats;
@@ -819,6 +1052,8 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
          analyze: {} served\n\
          eval: {} served, {} warm\n\
          inject: {} served, {} warm, {} exec-cache hit(s)\n\
+         sweep: {} shard(s) served, {} plan(s)\n\
+         connections: {} reaped\n\
          warmed: {} hidden state(s), {} frozen message(s), {} cached execution(s)",
         store.sessions.len(),
         state.max_sessions,
@@ -832,6 +1067,9 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
         s.inject_served,
         s.inject_warm,
         s.inject_exec_hits,
+        s.sweep_served,
+        s.sweep_plans,
+        s.reaped,
         hidden,
         frozen,
         execs
@@ -864,6 +1102,32 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
         })
+    }
+
+    /// Connects with a bounded connect timeout — the fabric coordinator
+    /// uses this so a dead worker address fails fast instead of hanging
+    /// in the OS connect queue.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the connect, including `TimedOut`.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Bounds how long any single read on this connection may block
+    /// (`None` restores blocking reads). With a timeout set, a hung
+    /// daemon surfaces as a `WouldBlock`/`TimedOut` request error the
+    /// coordinator can treat as a shard failure.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the socket option.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     /// Sends one request line and reads the response.
@@ -942,12 +1206,14 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atl_model::PlanFingerprint;
 
     fn start_test_server(max_sessions: usize) -> Server {
         Server::start(ServeConfig {
             port: 0,
             max_sessions,
             pool: Pool::new(1),
+            ..ServeConfig::default()
         })
         .expect("bind ephemeral port")
     }
@@ -1052,6 +1318,171 @@ mod tests {
         assert!(parse_plan_flags("--sweep").is_err());
         assert!(parse_plan_flags("--drop").is_err());
         assert!(parse_plan_flags("--drop nan-ish").is_err());
+    }
+
+    #[test]
+    fn policy_and_options_render_parse_round_trip() {
+        for policy in [
+            ExpectPolicy::wait_forever(),
+            ExpectPolicy::skip_after(7),
+            ExpectPolicy::resend_after(3, 2),
+            ExpectPolicy {
+                patience: Some(4),
+                on_timeout: OnTimeout::Stall,
+            },
+        ] {
+            let rendered = render_policy(&policy);
+            assert_eq!(parse_policy(&rendered), Ok(policy), "{rendered}");
+        }
+        assert!(parse_policy("7").is_err());
+        assert!(parse_policy("x:skip").is_err());
+        assert!(parse_policy("3:resend").is_err());
+        for options in [
+            ExecOptions::default(),
+            ExecOptions {
+                start_time: -4,
+                public_channel: true,
+                schedule: vec![1, 0, 1],
+            },
+        ] {
+            let rendered = render_exec_options(&options);
+            let parsed = parse_exec_options(&rendered).expect("options parse");
+            assert_eq!(parsed.start_time, options.start_time, "{rendered}");
+            assert_eq!(parsed.public_channel, options.public_channel);
+            assert_eq!(parsed.schedule, options.schedule);
+        }
+        assert!(parse_exec_options("0:2:-").is_err());
+        assert!(parse_exec_options("0:1").is_err());
+    }
+
+    #[test]
+    fn sweep_shard_returns_wire_outcomes_matching_local_execution() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let spec = spec_file("sweep", TOY);
+        let id = c.load(spec.to_str().expect("utf8 path")).expect("load");
+        let plans = [FaultPlan::new(0), FaultPlan::new(1).drop(1.0)];
+        let request = format!(
+            "SWEEP {id} policy={} options={} plans={};{}",
+            render_policy(&ExpectPolicy::skip_after(3)),
+            render_exec_options(&ExecOptions::default()),
+            atl_model::wire::render_plan(&plans[0]),
+            atl_model::wire::render_plan(&plans[1]),
+        );
+        let resp = c.request(&request).expect("sweep");
+        assert!(resp.ok, "{resp:?}");
+        assert_eq!(resp.lines[0], "plans 2");
+        // Decode both outcomes and check them against direct local
+        // execution under the same policy and options.
+        let (content, _) = parse_spec(TOY).expect("spec parses");
+        let proto = enact_with(
+            &content,
+            EnactOptions {
+                expect_policy: ExpectPolicy::skip_after(3),
+            },
+        );
+        let mut cursor = 1;
+        for plan in &plans {
+            let header = &resp.lines[cursor];
+            let n: usize = header
+                .rsplit_once("lines=")
+                .and_then(|(_, n)| n.parse().ok())
+                .expect("outcome header");
+            let fp = PlanFingerprint::of(plan);
+            assert!(
+                header.contains(&format!("fp={:016x}", fp.digest())),
+                "{header}"
+            );
+            let body = resp.lines[cursor + 1..cursor + 1 + n].join("\n") + "\n";
+            let outcome = atl_model::wire::parse_outcome(&body).expect("outcome parses");
+            let direct = execute_with_faults(&proto, &ExecOptions::default(), plan);
+            assert_eq!(outcome, direct);
+            cursor += 1 + n;
+        }
+        assert_eq!(cursor, resp.lines.len());
+        // Bad shards fail cleanly.
+        for bad in [
+            format!("SWEEP {id}"),
+            format!("SWEEP {id} policy=3:skip options=0:0:- plans="),
+            format!("SWEEP {id} policy=3:skip plans=seed=0"),
+            format!("SWEEP {id} policy=3:skip options=0:0:- plans=garbage"),
+        ] {
+            assert!(!c.request(&bad).expect("response").ok, "{bad:?}");
+        }
+        c.shutdown().expect("shutdown");
+        server.join();
+        let _ = std::fs::remove_file(spec);
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_and_counted() {
+        let server = Server::start(ServeConfig {
+            port: 0,
+            max_sessions: 2,
+            pool: Pool::new(1),
+            idle_timeout: Some(Duration::from_millis(80)),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        // A half-open client: connects, never sends.
+        let idle = TcpStream::connect(server.addr()).expect("connect");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().reaped == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.stats().reaped, 1, "idle connection was not reaped");
+        // The daemon stays healthy and STATS surfaces the count.
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let stats = c.request("STATS").expect("stats");
+        assert!(stats.lines.iter().any(|l| l == "connections: 1 reaped"));
+        drop(idle);
+        c.shutdown().expect("shutdown");
+        server.join();
+    }
+
+    #[test]
+    fn shutdown_drains_inflight_requests_before_join_returns() {
+        let server = start_test_server(2);
+        // Simulate an in-flight request: the accept loop must wait for
+        // it even after SHUTDOWN, because `active` brackets dispatch and
+        // response write.
+        server.state.active.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&server.state);
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            state.active.fetch_sub(1, Ordering::SeqCst);
+        });
+        let mut c = Client::connect(server.addr()).expect("connect");
+        c.shutdown().expect("shutdown");
+        let started = Instant::now();
+        server.join();
+        assert!(
+            started.elapsed() >= Duration::from_millis(100),
+            "join returned before the in-flight request finished"
+        );
+        release.join().expect("release thread");
+    }
+
+    #[test]
+    fn drain_deadline_bounds_shutdown_wait() {
+        let server = Server::start(ServeConfig {
+            port: 0,
+            max_sessions: 2,
+            pool: Pool::new(1),
+            drain_deadline: Duration::from_millis(120),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        // A request that never finishes must not hold shutdown hostage.
+        server.state.active.fetch_add(1, Ordering::SeqCst);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        c.shutdown().expect("shutdown");
+        let started = Instant::now();
+        server.join();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "drain deadline did not bound the shutdown wait"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::semantics::{GoodRuns, Semantics};
 use atl_lang::{Formula, Message, Principal};
 use atl_model::{
     sweep_plans_on, validate_run, Action, ExecOptions, ExecutionCache, ExpectPolicy, FaultPlan,
-    Run, SweepGrid, SweepStats,
+    Run, SweepGrid, SweepOutcome, SweepStats,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -251,7 +251,15 @@ pub fn fault_sweep_with_cache(
         },
     );
     let outcome = sweep_plans_on(&proto, &config.options, &config.grid.plans(), pool, cache);
+    survival_report(at, outcome, pool)
+}
 
+/// Turns a finished [`SweepOutcome`] into the belief-survival report —
+/// the half of the pipeline *after* execution. Split out so callers
+/// that resolve outcomes differently (the distributed fabric, which
+/// executes plans on remote daemons and persisted stores) feed the very
+/// same annotation/semantics/rendering path as a local sweep.
+pub fn survival_report(at: &AtProtocol, outcome: SweepOutcome, pool: &Pool) -> FaultSweepReport {
     // One annotation pass per distinct delivery mask (many plans resolve
     // to the same delivered-step pattern), sharded over the pool
     // together with the baseline. Masks are keyed first-occurrence, so

@@ -44,6 +44,11 @@ pub enum ModelError {
     },
     /// A fault-injection plan was ill-formed (see [`FaultError`]).
     Fault(FaultError),
+    /// An error reconstituted from its rendered form after a wire or
+    /// store round-trip (see [`crate::wire`]). Carries the original
+    /// error's display string verbatim, so reports built from remote or
+    /// persisted outcomes render byte-identically to local ones.
+    Reconstituted(String),
 }
 
 impl fmt::Display for ModelError {
@@ -65,6 +70,7 @@ impl fmt::Display for ModelError {
                 waiting_for,
             } => write!(f, "protocol stalled: {principal} waiting for {waiting_for}"),
             ModelError::Fault(e) => write!(f, "fault plan rejected: {e}"),
+            ModelError::Reconstituted(rendered) => f.write_str(rendered),
         }
     }
 }

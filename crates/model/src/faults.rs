@@ -254,6 +254,24 @@ impl fmt::Display for FaultKind {
     }
 }
 
+impl std::str::FromStr for FaultKind {
+    type Err = String;
+
+    /// Parses the exact rendering [`FaultKind`]'s `Display` produces —
+    /// the inverse the wire/store codec needs.
+    fn from_str(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "drop" => FaultKind::Drop,
+            "duplicate" => FaultKind::Duplicate,
+            "delay" => FaultKind::Delay,
+            "reorder" => FaultKind::Reorder,
+            "replay" => FaultKind::Replay,
+            "compromise" => FaultKind::Compromise,
+            other => return Err(format!("unknown fault kind {other:?}")),
+        })
+    }
+}
+
 /// One fault the executor applied, located in run time.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultEvent {

@@ -324,6 +324,44 @@ impl PlanFingerprint {
     pub fn seed_matters(&self) -> bool {
         self.seed.is_some()
     }
+
+    /// A canonical single-line rendering of the fingerprint, stable
+    /// across processes: the surviving seed (or `-`), the canonical
+    /// probability bit patterns, the surviving delay duration, and the
+    /// escaped compromise schedule. Distinct fingerprints render
+    /// distinctly, so the rendering (and [`digest`](Self::digest) of it)
+    /// can key wire messages and on-disk store entries.
+    pub fn wire(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = match self.seed {
+            Some(seed) => format!("seed={seed}"),
+            None => "seed=-".to_string(),
+        };
+        let _ = write!(
+            out,
+            " probs={:016x},{:016x},{:016x},{:016x},{:016x} rounds={}",
+            self.probs[0],
+            self.probs[1],
+            self.probs[2],
+            self.probs[3],
+            self.probs[4],
+            self.delay_rounds
+        );
+        for (key, t) in &self.compromises {
+            let _ = write!(out, " comp={}@{t}", crate::wire::escape(&key.to_string()));
+        }
+        out
+    }
+
+    /// A stable 64-bit digest of [`wire`](Self::wire), used to key
+    /// outcomes compactly in the serve protocol and the outcome store.
+    pub fn digest(&self) -> u64 {
+        // Like `context_digest` below: `DefaultHasher::new()` is keyed
+        // with constants, so the digest is stable across processes.
+        let mut h = DefaultHasher::new();
+        self.wire().hash(&mut h);
+        h.finish()
+    }
 }
 
 /// The outcome of executing one plan: the run and report, or the error.
@@ -501,6 +539,38 @@ pub fn sweep_plans_on(
     cache: &ExecutionCache,
 ) -> SweepOutcome {
     let digest = context_digest(protocol, options);
+    sweep_plans_resolve(digest, plans, cache, |missing| {
+        pool.map(missing, |_, (i, _)| {
+            Arc::new(execute_with_faults(protocol, options, &plans[*i]))
+        })
+    })
+}
+
+/// The generalized sweep engine: like [`sweep_plans_on`], but the
+/// executions themselves come from a caller-supplied resolver, so the
+/// same dedup/cache/merge/accounting path serves local pools, remote
+/// workers, and persisted outcome stores — whatever resolves a
+/// fingerprint, the assembled [`SweepOutcome`] is identical.
+///
+/// `context` is the caller's digest of everything besides the plan that
+/// determines an execution (protocol and options for local sweeps; spec
+/// text and options for distributed ones). `resolve` receives the
+/// missing `(plan index, fingerprint)` pairs in enumeration order and
+/// must return one outcome per pair, in the same order; the engine
+/// inserts them into `cache` and merges by index, so resolution order
+/// inside the resolver never shows in the output. `stats.executed`
+/// counts the fingerprints the resolver was asked for, however it
+/// obtained them.
+pub fn sweep_plans_resolve<F>(
+    context: u64,
+    plans: &[FaultPlan],
+    cache: &ExecutionCache,
+    resolve: F,
+) -> SweepOutcome
+where
+    F: FnOnce(&[(usize, PlanFingerprint)]) -> Vec<Arc<ExecOutcome>>,
+{
+    let digest = context;
     let mut stats = SweepStats {
         enumerated: plans.len(),
         ..SweepStats::default()
@@ -530,7 +600,7 @@ pub fn sweep_plans_on(
     // and merged back in index order.
     let mut resolved: BTreeMap<PlanFingerprint, Arc<ExecOutcome>> = BTreeMap::new();
     let mut seen: std::collections::BTreeSet<PlanFingerprint> = std::collections::BTreeSet::new();
-    let mut missing: Vec<usize> = Vec::new();
+    let mut missing: Vec<(usize, PlanFingerprint)> = Vec::new();
     for (i, (fp, invalid)) in slots.iter().enumerate() {
         if invalid.is_some() || !seen.insert(fp.clone()) {
             continue;
@@ -540,16 +610,18 @@ pub fn sweep_plans_on(
                 stats.cache_hits += 1;
                 resolved.insert(fp.clone(), hit);
             }
-            None => missing.push(i),
+            None => missing.push((i, fp.clone())),
         }
     }
     stats.unique = seen.len();
     stats.executed = missing.len();
-    let executed: Vec<Arc<ExecOutcome>> = pool.map(&missing, |_, &i| {
-        Arc::new(execute_with_faults(protocol, options, &plans[i]))
-    });
-    for (&i, outcome) in missing.iter().zip(executed) {
-        let fp = &slots[i].0;
+    let executed: Vec<Arc<ExecOutcome>> = resolve(&missing);
+    assert_eq!(
+        executed.len(),
+        missing.len(),
+        "sweep resolver returned the wrong number of outcomes"
+    );
+    for ((_, fp), outcome) in missing.iter().zip(executed) {
         cache.insert((digest, fp.clone()), Arc::clone(&outcome));
         resolved.insert(fp.clone(), outcome);
     }

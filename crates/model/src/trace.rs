@@ -24,7 +24,7 @@
 use crate::error::ModelError;
 use crate::run::{Run, RunBuilder};
 use atl_lang::parser::{parse_message, Symbols};
-use atl_lang::{Key, Param};
+use atl_lang::{Key, Param, Principal};
 use std::error::Error;
 use std::fmt;
 
@@ -195,7 +195,18 @@ pub fn parse_trace(input: &str) -> Result<(Run, Symbols), TraceError> {
                 let (Some(p), Some(k), None) = (parts.next(), parts.next(), parts.next()) else {
                     return Err(err(lineno, "newkey takes exactly `newkey P K`"));
                 };
-                builder.new_key(p, k);
+                // `__pad` is the reserved padding key (see
+                // `RunBuilder::idle`): the executor emits it without
+                // recording any history, so replay it through the same
+                // path — otherwise a rendered run would not parse back
+                // to an equal run, and outcomes shipped through the
+                // wire codec would stop deduplicating against local
+                // executions.
+                if k == "__pad" && p == Principal::environment().to_string() {
+                    builder.idle();
+                } else {
+                    builder.new_key(p, k);
+                }
             }
             _ => unreachable!("filtered in first pass"),
         }
@@ -298,6 +309,22 @@ recv B : {X}Kzz@Env
     #[test]
     fn render_parse_roundtrip() {
         let (run, _) = parse_trace(GOOD).unwrap();
+        let rendered = render_trace(&run);
+        let (again, _) = parse_trace(&rendered).unwrap();
+        assert_eq!(run, again);
+    }
+
+    #[test]
+    fn padded_runs_roundtrip_to_equality() {
+        // Executor-style padding (`idle`) emits `newkey Env __pad`
+        // without recording history; the parser must replay it through
+        // the same path or the reconstructed run compares unequal.
+        let mut b = RunBuilder::new(0);
+        b.principal("A", [Key::new("K")]);
+        b.new_key("A", "K2");
+        b.idle();
+        b.idle();
+        let run = b.build().unwrap();
         let rendered = render_trace(&run);
         let (again, _) = parse_trace(&rendered).unwrap();
         assert_eq!(run, again);

@@ -1,0 +1,496 @@
+//! A line-oriented wire/store codec for fault plans and execution
+//! outcomes.
+//!
+//! The distributed sweep fabric moves two kinds of values between
+//! processes: [`FaultPlan`]s travel coordinator → worker inside a
+//! `SWEEP` request, and [`ExecOutcome`]s travel back (and into the
+//! on-disk outcome store). Both directions must be *exact*: a plan that
+//! round-trips through text has to execute to the very same run
+//! (probabilities are carried as f64 bit patterns, never decimal), and
+//! an outcome that round-trips has to compare equal to the locally
+//! computed one, so distributed sweep reports stay byte-identical to
+//! single-process ones.
+//!
+//! Renderings are ASCII, one logical record per line. Free-form text
+//! (fault details, key names, error messages) is percent-escaped so a
+//! record never gains an accidental newline or field separator; runs are
+//! embedded via [`render_trace`]/[`parse_trace`] with an explicit line
+//! count for framing. Errors reconstitute as
+//! [`ModelError::Reconstituted`], which displays the original rendering
+//! verbatim.
+//!
+//! Parsing is paranoid by design: every length is checked, every field
+//! must parse, and trailing garbage is an error — a truncated or
+//! bit-flipped record must be *rejected*, not half-trusted, because the
+//! outcome store treats any [`WireError`] as "discard and recompute".
+
+use crate::error::ModelError;
+use crate::faults::{AbandonedStep, ExecReport, FaultEvent, FaultKind, FaultPlan};
+use crate::sweep::ExecOutcome;
+use crate::trace::{parse_trace, render_trace};
+use atl_lang::{Key, Principal};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a wire record fails to parse or verify.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire: {}", self.0)
+    }
+}
+
+impl Error for WireError {}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError(message.into())
+}
+
+/// Percent-escapes `text` so the result contains only printable ASCII
+/// with no whitespace and no `%`, `;`, `,`, `@` (the separators the
+/// plan/outcome grammars use). The empty string renders as `%` alone so
+/// every field stays a non-empty token.
+pub fn escape(text: &str) -> String {
+    if text.is_empty() {
+        return "%".to_string();
+    }
+    let mut out = String::with_capacity(text.len());
+    for &b in text.as_bytes() {
+        let plain = b.is_ascii_graphic() && !matches!(b, b'%' | b';' | b',' | b'@');
+        if plain {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02x}"));
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+///
+/// # Errors
+///
+/// [`WireError`] on a malformed `%` sequence, embedded whitespace, or
+/// invalid UTF-8 after unescaping.
+pub fn unescape(token: &str) -> Result<String, WireError> {
+    if token == "%" {
+        return Ok(String::new());
+    }
+    let bytes = token.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| err(format!("truncated escape in {token:?}")))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| err("non-ASCII escape"))?;
+            out.push(
+                u8::from_str_radix(hex, 16)
+                    .map_err(|_| err(format!("bad escape %{hex} in {token:?}")))?,
+            );
+            i += 3;
+        } else if b.is_ascii_graphic() {
+            out.push(b);
+            i += 1;
+        } else {
+            return Err(err(format!("raw byte {b:#04x} in escaped token {token:?}")));
+        }
+    }
+    String::from_utf8(out).map_err(|_| err(format!("invalid UTF-8 after unescaping {token:?}")))
+}
+
+/// Renders a plan as one line of exact fields: the seed, the five
+/// probabilities as f64 bit patterns (so fractional grid steps survive
+/// the round-trip bit-for-bit), the delay duration, and the compromise
+/// schedule with percent-escaped key names.
+pub fn render_plan(plan: &FaultPlan) -> String {
+    let bits = |p: f64| format!("{:016x}", p.to_bits());
+    let mut out = format!(
+        "seed={} probs={},{},{},{},{} rounds={}",
+        plan.seed,
+        bits(plan.drop_p),
+        bits(plan.duplicate_p),
+        bits(plan.delay_p),
+        bits(plan.reorder_p),
+        bits(plan.replay_p),
+        plan.delay_rounds
+    );
+    if !plan.compromises.is_empty() {
+        let comps: Vec<String> = plan
+            .compromises
+            .iter()
+            .map(|(k, t)| format!("{}@{t}", escape(&k.to_string())))
+            .collect();
+        out.push_str(&format!(" comp={}", comps.join(",")));
+    }
+    out
+}
+
+/// Parses the rendering of [`render_plan`] back into a plan.
+///
+/// # Errors
+///
+/// [`WireError`] on any missing, duplicate, or malformed field.
+pub fn parse_plan(text: &str) -> Result<FaultPlan, WireError> {
+    let mut seed: Option<u64> = None;
+    let mut probs: Option<[f64; 5]> = None;
+    let mut rounds: Option<u32> = None;
+    let mut compromises: Vec<(Key, i64)> = Vec::new();
+    for token in text.split_whitespace() {
+        let (field, value) = token
+            .split_once('=')
+            .ok_or_else(|| err(format!("plan token {token:?} has no `=`")))?;
+        match field {
+            "seed" => {
+                seed = Some(value.parse().map_err(|e| err(format!("plan seed: {e}")))?);
+            }
+            "probs" => {
+                let parts: Vec<&str> = value.split(',').collect();
+                if parts.len() != 5 {
+                    return Err(err(format!(
+                        "expected 5 probabilities, got {}",
+                        parts.len()
+                    )));
+                }
+                let mut ps = [0.0f64; 5];
+                for (slot, part) in ps.iter_mut().zip(&parts) {
+                    let bits = u64::from_str_radix(part, 16)
+                        .map_err(|e| err(format!("probability bits {part:?}: {e}")))?;
+                    *slot = f64::from_bits(bits);
+                }
+                probs = Some(ps);
+            }
+            "rounds" => {
+                rounds = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(format!("plan rounds: {e}")))?,
+                );
+            }
+            "comp" => {
+                for entry in value.split(',') {
+                    let (key, t) = entry
+                        .split_once('@')
+                        .ok_or_else(|| err(format!("compromise {entry:?} has no `@`")))?;
+                    compromises.push((
+                        Key::new(unescape(key)?),
+                        t.parse()
+                            .map_err(|e| err(format!("compromise time: {e}")))?,
+                    ));
+                }
+            }
+            other => return Err(err(format!("unknown plan field {other:?}"))),
+        }
+    }
+    let (Some(seed), Some([drop, dup, delay, reorder, replay]), Some(rounds)) =
+        (seed, probs, rounds)
+    else {
+        return Err(err(format!("plan {text:?} is missing required fields")));
+    };
+    let mut plan = FaultPlan::new(seed)
+        .drop(drop)
+        .duplicate(dup)
+        .delay(delay, rounds)
+        .reorder(reorder)
+        .replay(replay);
+    plan.compromises = compromises;
+    Ok(plan)
+}
+
+/// Renders one execution outcome as framed text (every line
+/// newline-terminated). Successful outcomes carry the [`ExecReport`]
+/// fields and the run in trace format with an explicit line count;
+/// failures carry the error's display string.
+pub fn render_outcome(outcome: &ExecOutcome) -> String {
+    use std::fmt::Write as _;
+    match outcome {
+        Ok((run, report)) => {
+            let trace = render_trace(run);
+            let trace_lines: Vec<&str> = trace.lines().collect();
+            let mut out = format!(
+                "ok retries={} rounds={} faults={} abandoned={} trace={}\n",
+                report.retries,
+                report.rounds,
+                report.faults.len(),
+                report.abandoned.len(),
+                trace_lines.len()
+            );
+            for f in &report.faults {
+                let _ = writeln!(out, "fault {} {} {}", f.time, f.kind, escape(&f.detail));
+            }
+            for a in &report.abandoned {
+                let _ = writeln!(
+                    out,
+                    "abandon {} {} {}",
+                    escape(&a.principal.to_string()),
+                    a.step_index,
+                    escape(&a.detail)
+                );
+            }
+            for line in trace_lines {
+                let _ = writeln!(out, "{line}");
+            }
+            out
+        }
+        Err(e) => format!("err {}\n", escape(&e.to_string())),
+    }
+}
+
+/// Parses the rendering of [`render_outcome`]. Errors come back as
+/// [`ModelError::Reconstituted`], which displays identically to the
+/// original error.
+///
+/// # Errors
+///
+/// [`WireError`] if the header, counts, fault/abandon records, or the
+/// embedded trace fail to parse, or if trailing garbage follows the
+/// declared payload.
+pub fn parse_outcome(text: &str) -> Result<ExecOutcome, WireError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| err("empty outcome"))?;
+    if let Some(message) = header.strip_prefix("err ") {
+        if lines.next().is_some() {
+            return Err(err("trailing lines after error record"));
+        }
+        return Ok(Err(ModelError::Reconstituted(unescape(message.trim())?)));
+    }
+    let rest = header
+        .strip_prefix("ok ")
+        .ok_or_else(|| err(format!("bad outcome header {header:?}")))?;
+    let mut retries: Option<u32> = None;
+    let mut rounds: Option<u32> = None;
+    let mut faults: Option<usize> = None;
+    let mut abandoned: Option<usize> = None;
+    let mut trace: Option<usize> = None;
+    for token in rest.split_whitespace() {
+        let (field, value) = token
+            .split_once('=')
+            .ok_or_else(|| err(format!("outcome token {token:?} has no `=`")))?;
+        let slot = match field {
+            "retries" => &mut retries,
+            "rounds" => &mut rounds,
+            _ => {
+                let slot = match field {
+                    "faults" => &mut faults,
+                    "abandoned" => &mut abandoned,
+                    "trace" => &mut trace,
+                    other => return Err(err(format!("unknown outcome field {other:?}"))),
+                };
+                *slot = Some(value.parse().map_err(|e| err(format!("{field}: {e}")))?);
+                continue;
+            }
+        };
+        *slot = Some(value.parse().map_err(|e| err(format!("{field}: {e}")))?);
+    }
+    let (Some(retries), Some(rounds), Some(faults), Some(abandoned), Some(trace)) =
+        (retries, rounds, faults, abandoned, trace)
+    else {
+        return Err(err("outcome header is missing required fields"));
+    };
+
+    let mut report = ExecReport {
+        retries,
+        rounds,
+        ..ExecReport::default()
+    };
+    for _ in 0..faults {
+        let line = lines.next().ok_or_else(|| err("truncated fault records"))?;
+        let mut parts = line.split_whitespace();
+        let (Some("fault"), Some(time), Some(kind), Some(detail), None) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return Err(err(format!("bad fault record {line:?}")));
+        };
+        report.faults.push(FaultEvent {
+            time: time.parse().map_err(|e| err(format!("fault time: {e}")))?,
+            kind: kind.parse::<FaultKind>().map_err(err)?,
+            detail: unescape(detail)?,
+        });
+    }
+    for _ in 0..abandoned {
+        let line = lines
+            .next()
+            .ok_or_else(|| err("truncated abandon records"))?;
+        let mut parts = line.split_whitespace();
+        let (Some("abandon"), Some(principal), Some(step), Some(detail), None) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return Err(err(format!("bad abandon record {line:?}")));
+        };
+        report.abandoned.push(AbandonedStep {
+            principal: Principal::new(unescape(principal)?),
+            step_index: step
+                .parse()
+                .map_err(|e| err(format!("abandon step: {e}")))?,
+            detail: unescape(detail)?,
+        });
+    }
+    let mut trace_text = String::new();
+    for _ in 0..trace {
+        let line = lines.next().ok_or_else(|| err("truncated trace"))?;
+        trace_text.push_str(line);
+        trace_text.push('\n');
+    }
+    if lines.next().is_some() {
+        return Err(err("trailing lines after outcome payload"));
+    }
+    let (run, _) = parse_trace(&trace_text).map_err(|e| err(format!("embedded trace: {e}")))?;
+    Ok(Ok((run, report)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{execute_with_faults, ExecOptions};
+    use crate::protocol::{ExpectPolicy, Protocol, Role};
+    use atl_lang::{Message, Nonce};
+
+    fn lossy() -> Protocol {
+        Protocol::new("lossy")
+            .role(
+                Role::new("A", [])
+                    .send(Message::nonce(Nonce::new("ping")), "B")
+                    .expect_with(
+                        Message::nonce(Nonce::new("pong")),
+                        ExpectPolicy::resend_after(2, 1),
+                    ),
+            )
+            .role(
+                Role::new("B", [])
+                    .expect_with(
+                        Message::nonce(Nonce::new("ping")),
+                        ExpectPolicy::skip_after(3),
+                    )
+                    .send(Message::nonce(Nonce::new("pong")), "A"),
+            )
+    }
+
+    #[test]
+    fn escape_round_trips_hostile_text() {
+        for text in [
+            "",
+            "plain",
+            "with space",
+            "semi;colon,comma@at%percent",
+            "new\nline\ttab",
+            "unicode: Kαβ→",
+        ] {
+            let escaped = escape(text);
+            assert!(
+                escaped
+                    .bytes()
+                    .all(|b| b.is_ascii_graphic() && !matches!(b, b';' | b',' | b'@')),
+                "{escaped:?} leaks separators"
+            );
+            assert_eq!(unescape(&escaped).expect("unescape"), text);
+        }
+        assert!(unescape("%zz").is_err());
+        assert!(unescape("%1").is_err());
+        assert!(unescape("a b").is_err());
+    }
+
+    #[test]
+    fn plan_round_trip_is_bit_exact() {
+        // 0.1 has no finite decimal representation: only a bit-pattern
+        // rendering survives exactly.
+        let mut plan = FaultPlan::new(u64::MAX)
+            .drop(0.1)
+            .duplicate(0.30000000000000004)
+            .delay(f64::MIN_POSITIVE, 9)
+            .reorder(1.0)
+            .replay(0.625);
+        plan.compromises = vec![(Key::new("Kab"), -3), (Key::new("K with space"), 2)];
+        let rendered = render_plan(&plan);
+        assert_eq!(rendered.lines().count(), 1, "plans are single-line");
+        let parsed = parse_plan(&rendered).expect("parse");
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.drop_p.to_bits(), plan.drop_p.to_bits());
+        // Inert plan: no comp field at all.
+        let inert = FaultPlan::new(0);
+        assert_eq!(parse_plan(&render_plan(&inert)).expect("parse"), inert);
+    }
+
+    #[test]
+    fn plan_parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "seed=1",
+            "seed=x probs=0,0,0,0,0 rounds=2",
+            "seed=1 probs=0,0,0,0 rounds=2",
+            "seed=1 probs=0,0,0,0,zz rounds=2",
+            "seed=1 probs=0,0,0,0,0 rounds=2 comp=Kab",
+            "seed=1 probs=0,0,0,0,0 rounds=2 frob=1",
+        ] {
+            assert!(parse_plan(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn ok_outcome_round_trips_to_equality() {
+        let opts = ExecOptions::default();
+        // A plan with drops, retries, and abandonment exercises every
+        // record type.
+        let plan = FaultPlan::new(3).drop(0.6).duplicate(0.5).replay(0.5);
+        let outcome: ExecOutcome = execute_with_faults(&lossy(), &opts, &plan);
+        let rendered = render_outcome(&outcome);
+        let parsed = parse_outcome(&rendered).expect("parse");
+        assert_eq!(parsed, outcome);
+        // Clean outcome too.
+        let clean: ExecOutcome = execute_with_faults(&lossy(), &opts, &FaultPlan::new(0));
+        assert_eq!(
+            parse_outcome(&render_outcome(&clean)).expect("parse"),
+            clean
+        );
+    }
+
+    #[test]
+    fn err_outcome_round_trips_display() {
+        let outcome: ExecOutcome = Err(ModelError::MalformedRun("it broke\nbadly".into()));
+        let rendered = render_outcome(&outcome);
+        assert_eq!(rendered.lines().count(), 1);
+        let parsed = parse_outcome(&rendered).expect("parse");
+        let e = parsed.expect_err("error outcome");
+        assert_eq!(e.to_string(), "malformed run: it broke\nbadly");
+    }
+
+    #[test]
+    fn outcome_parse_rejects_corruption() {
+        let opts = ExecOptions::default();
+        let outcome: ExecOutcome =
+            execute_with_faults(&lossy(), &opts, &FaultPlan::new(0).drop(1.0));
+        let rendered = render_outcome(&outcome);
+        // Truncations at every line boundary fail cleanly.
+        let lines: Vec<&str> = rendered.lines().collect();
+        for cut in 0..lines.len() {
+            let truncated = lines[..cut].join("\n");
+            assert!(
+                parse_outcome(&truncated).is_err(),
+                "truncation to {cut} lines must not parse"
+            );
+        }
+        // Trailing garbage is rejected, not ignored.
+        let padded = format!("{rendered}garbage\n");
+        assert!(parse_outcome(&padded).is_err());
+        // Garbage headers.
+        for bad in [
+            "",
+            "huh",
+            "ok retries=1",
+            "ok retries=x rounds=0 faults=0 abandoned=0 trace=0",
+        ] {
+            assert!(parse_outcome(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

@@ -22,11 +22,28 @@
 //!     fingerprint and executed once over the worker pool; the report
 //!     shows per-plan verdicts, a belief-survival histogram, and the
 //!     semantic validity of each goal over the degraded system.
-//! atl serve [--port N] [--max-sessions N]
+//! atl inject <spec.atl> --sweep --workers host:port,... [--store DIR]
+//!            [--shard N] [--deadline-ms N] [--shard-retries N]
+//!            [--worker-failures N] [--backoff-ms N]
+//!     run the sweep over the distributed fabric instead: shards of the
+//!     deduplicated grid are dealt to serve-mode daemons (the SWEEP
+//!     verb), outcomes are merged back by fingerprint, and `--store`
+//!     persists every outcome in a crash-safe content-addressed store so
+//!     a killed coordinator resumes instead of re-executing. Dead or
+//!     hung workers are retried with backoff, their shards requeued, and
+//!     the sweep degrades to in-process execution if every worker is
+//!     lost — stdout is byte-identical to the single-process sweep in
+//!     all cases (fabric accounting goes to stderr). `--store` without
+//!     `--workers` gives a purely local but resumable sweep.
+//! atl serve [--port N] [--max-sessions N] [--idle-timeout SECS]
+//!           [--drain SECS]
 //!     run the serve-mode daemon: a long-lived loopback TCP server that
 //!     parses each spec once into a warmed session (frozen interner,
 //!     good-run vector, eval/execution caches) and answers
-//!     LOAD/ANALYZE/EVAL/INJECT/STATS/SHUTDOWN requests from it.
+//!     LOAD/ANALYZE/EVAL/INJECT/SWEEP/STATS/SHUTDOWN requests from it.
+//!     Connections idle past `--idle-timeout` (default 300, 0 disables)
+//!     are reaped; SHUTDOWN waits up to `--drain` seconds (default 10)
+//!     for in-flight requests to finish writing.
 //! atl client [--port N] REQUEST...
 //!     send one request line to a running daemon and print the payload
 //!     (the conformance smoke test's transport).
@@ -89,7 +106,7 @@ fn main() -> ExitCode {
         Some("client") => cmd_client(&args[1..]),
         _ => {
             eprintln!(
-                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS] | serve [--port N] [--max-sessions N] | client [--port N] REQUEST...>"
+                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS] | serve [--port N] [--max-sessions N] [--idle-timeout SECS] [--drain SECS] | client [--port N] REQUEST...>"
             );
             return ExitCode::from(2);
         }
@@ -251,6 +268,15 @@ struct InjectFlags {
     retries: u32,
     public: bool,
     emit_trace: Option<String>,
+    /// Fabric flags (sweep only): worker daemon addresses and the
+    /// persistent outcome store.
+    workers: Vec<String>,
+    store: Option<String>,
+    shard: usize,
+    deadline_ms: u64,
+    shard_retries: u32,
+    worker_failures: u32,
+    backoff_ms: u64,
 }
 
 impl InjectFlags {
@@ -311,6 +337,13 @@ fn parse_inject_flags(args: &[String]) -> Result<InjectFlags, Box<dyn std::error
         retries: 2,
         public: false,
         emit_trace: None,
+        workers: Vec::new(),
+        store: None,
+        shard: 16,
+        deadline_ms: 30_000,
+        shard_retries: 3,
+        worker_failures: 3,
+        backoff_ms: 50,
     };
     fn need<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
         it.next()
@@ -350,6 +383,21 @@ fn parse_inject_flags(args: &[String]) -> Result<InjectFlags, Box<dyn std::error
             "--retries" => flags.retries = need(&mut it, "--retries")?.parse()?,
             "--public" => flags.public = true,
             "--emit-trace" => flags.emit_trace = Some(need(&mut it, "--emit-trace")?.to_string()),
+            "--workers" => {
+                flags.workers = need(&mut it, "--workers")?
+                    .split(',')
+                    .filter(|w| !w.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--store" => flags.store = Some(need(&mut it, "--store")?.to_string()),
+            "--shard" => flags.shard = need(&mut it, "--shard")?.parse()?,
+            "--deadline-ms" => flags.deadline_ms = need(&mut it, "--deadline-ms")?.parse()?,
+            "--shard-retries" => flags.shard_retries = need(&mut it, "--shard-retries")?.parse()?,
+            "--worker-failures" => {
+                flags.worker_failures = need(&mut it, "--worker-failures")?.parse()?;
+            }
+            "--backoff-ms" => flags.backoff_ms = need(&mut it, "--backoff-ms")?.parse()?,
             other if !other.starts_with("--") && flags.path.is_none() => {
                 flags.path = Some(other.to_string());
             }
@@ -382,9 +430,30 @@ fn cmd_inject(args: &[String], pool: &Pool) -> Result<bool, Box<dyn std::error::
             options: opts,
             expect_policy: policy,
         };
+        if !flags.workers.is_empty() || flags.store.is_some() {
+            use atl::core::fabric::{fabric_sweep, FabricConfig};
+            use std::time::Duration;
+            let fabric = FabricConfig {
+                workers: flags.workers.clone(),
+                store: flags.store.as_ref().map(std::path::PathBuf::from),
+                shard_plans: flags.shard.max(1),
+                deadline: Duration::from_millis(flags.deadline_ms.max(1)),
+                shard_retries: flags.shard_retries,
+                worker_failures: flags.worker_failures,
+                backoff: Duration::from_millis(flags.backoff_ms),
+            };
+            let spec_path = flags.path.as_ref().expect("spec parsed above");
+            let (report, fabric_stats) = fabric_sweep(&at, spec_path, &config, &fabric, pool)?;
+            eprintln!("{fabric_stats}");
+            print!("{report}");
+            return Ok(report.all_executed() && report.audit_violations == 0);
+        }
         let report = fault_sweep(&at, &config, pool);
         print!("{report}");
         return Ok(report.all_executed() && report.audit_violations == 0);
+    }
+    if !flags.workers.is_empty() || flags.store.is_some() {
+        return Err("--workers/--store require --sweep".into());
     }
 
     // The single-plan report is shared with the serve daemon
@@ -421,6 +490,14 @@ fn cmd_serve(args: &[String], pool: Pool) -> Result<bool, Box<dyn std::error::Er
                     .ok_or("--max-sessions needs a value")?
                     .parse::<usize>()?
                     .max(1);
+            }
+            "--idle-timeout" => {
+                let secs: u64 = it.next().ok_or("--idle-timeout needs a value")?.parse()?;
+                config.idle_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            "--drain" => {
+                let secs: u64 = it.next().ok_or("--drain needs a value")?.parse()?;
+                config.drain_deadline = std::time::Duration::from_secs(secs);
             }
             other => return Err(format!("unknown serve flag {other}").into()),
         }

@@ -47,6 +47,7 @@ fn start(jobs: usize, max_sessions: usize) -> Server {
         port: 0,
         max_sessions,
         pool: Pool::new(jobs),
+        ..ServeConfig::default()
     })
     .expect("bind an ephemeral port")
 }
@@ -280,7 +281,7 @@ fn repeat_queries_hit_caches_and_stats_report_them() {
 
     let stats = c.request("STATS").expect("stats");
     let s = server.stats();
-    assert_eq!(stats.lines.len(), 6);
+    assert_eq!(stats.lines.len(), 8);
     assert_eq!(stats.lines[0], "sessions: 1 live, capacity 8");
     assert_eq!(
         stats.lines[1],
@@ -300,6 +301,14 @@ fn repeat_queries_hit_caches_and_stats_report_them() {
             s.inject_served, s.inject_warm, s.inject_exec_hits
         )
     );
+    assert_eq!(
+        stats.lines[5],
+        format!(
+            "sweep: {} shard(s) served, {} plan(s)",
+            s.sweep_served, s.sweep_plans
+        )
+    );
+    assert_eq!(stats.lines[6], format!("connections: {} reaped", s.reaped));
     stop(server, &mut c);
 }
 
