@@ -240,24 +240,31 @@ impl Default for FabricConfig {
 /// Where a fabric sweep's outcomes came from, and what it survived.
 ///
 /// Printed to stderr by the CLI so stdout stays byte-identical to a
-/// single-process sweep.
+/// single-process sweep. Every counter is a `u64` (like [`ServeStats`] on
+/// the daemon side) so long-lived coordinators on 32-bit hosts cannot
+/// wrap, and each one counts *committed* work: a shard requeued after a
+/// timeout contributes to `requeues` per failed submission, but its
+/// entries reach `remote_resolved`/`local_resolved` exactly once — when
+/// an execution actually resolves them.
+///
+/// [`ServeStats`]: crate::serve::ServeStats
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FabricStats {
     /// Workers configured.
-    pub workers: usize,
+    pub workers: u64,
     /// Shards dealt to the worker queue.
-    pub shards: usize,
+    pub shards: u64,
     /// Outcomes answered by the persistent store.
-    pub store_hits: usize,
+    pub store_hits: u64,
     /// Outcomes executed by remote workers.
-    pub remote_resolved: usize,
+    pub remote_resolved: u64,
     /// Outcomes executed in-process (no workers, lost workers, or
     /// exhausted shard retries).
-    pub local_resolved: usize,
+    pub local_resolved: u64,
     /// Shard attempts requeued after a worker failure.
-    pub requeues: usize,
+    pub requeues: u64,
     /// Workers abandoned after too many consecutive failures.
-    pub workers_lost: usize,
+    pub workers_lost: u64,
 }
 
 impl fmt::Display for FabricStats {
@@ -326,9 +333,9 @@ struct SweepShared<'a> {
     spec_path: &'a str,
     request_head: String,
     fabric: &'a FabricConfig,
-    requeues: AtomicUsize,
-    remote: AtomicUsize,
-    lost: AtomicUsize,
+    requeues: AtomicU64,
+    remote: AtomicU64,
+    lost: AtomicU64,
 }
 
 /// Runs a fault sweep whose outcomes are resolved store → workers →
@@ -366,7 +373,7 @@ pub fn fabric_sweep(
     );
     let plans = config.grid.plans();
     let mut stats = FabricStats {
-        workers: fabric.workers.len(),
+        workers: fabric.workers.len() as u64,
         ..FabricStats::default()
     };
     // A fresh in-memory cache per sweep: the persistent store is the
@@ -425,7 +432,7 @@ fn resolve_missing(
 
     if !unresolved.is_empty() && !fabric.workers.is_empty() {
         let shards = build_shards(unresolved, fabric);
-        stats.shards = shards.len();
+        stats.shards = shards.len() as u64;
         let shared = SweepShared {
             pending: AtomicUsize::new(shards.len()),
             queue: Mutex::new(shards.into()),
@@ -440,9 +447,9 @@ fn resolve_missing(
                 render_exec_options(&config.options)
             ),
             fabric,
-            requeues: AtomicUsize::new(0),
-            remote: AtomicUsize::new(0),
-            lost: AtomicUsize::new(0),
+            requeues: AtomicU64::new(0),
+            remote: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
         };
         std::thread::scope(|s| {
             for addr in &fabric.workers {
@@ -467,7 +474,7 @@ fn resolve_missing(
     // Local fallback (and the whole path when no workers are given):
     // execute over the pool exactly as a local sweep would.
     if !unresolved.is_empty() {
-        stats.local_resolved = unresolved.len();
+        stats.local_resolved = unresolved.len() as u64;
         let executed = pool.map(&unresolved, |_, entry| {
             Arc::new(execute_with_faults(
                 proto,
@@ -558,7 +565,7 @@ fn worker_loop(addr_text: &str, shared: &SweepShared<'_>) {
                 }
                 shared
                     .remote
-                    .fetch_add(shard.entries.len(), Ordering::SeqCst);
+                    .fetch_add(shard.entries.len() as u64, Ordering::SeqCst);
                 shared.pending.fetch_sub(1, Ordering::SeqCst);
             }
             Err(_why) => {
@@ -909,6 +916,62 @@ mod tests {
         let big = "x".repeat(SHARD_LINE_BUDGET - 1);
         let shards = build_shards(vec![entry(0, &big), entry(1, &big)], &fabric);
         assert_eq!(shards.len(), 2);
+    }
+
+    #[test]
+    fn requeued_shards_count_once_per_execution_not_per_submission() {
+        // A worker address that refuses every connect: the one shard is
+        // submitted `shard_retries + 1` times (each failure requeues it,
+        // except the last, which exhausts the retries), yet the outcome
+        // counters must reflect executions only — every plan resolves
+        // locally exactly once, and nothing is double-counted remote.
+        let dead_addr = {
+            let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        };
+        let spec = std::env::temp_dir().join(format!(
+            "atl-fabric-unit-{}-requeue.atl",
+            std::process::id()
+        ));
+        std::fs::write(&spec, TOY).expect("write spec");
+        let (at, _) = parse_spec(TOY).expect("parse");
+        let config = SweepConfig {
+            grid: SweepGrid::new().seeds(0..3).drop_steps([0.5]),
+            options: ExecOptions::default(),
+            expect_policy: ExpectPolicy::skip_after(3),
+        };
+        let fabric = FabricConfig {
+            workers: vec![dead_addr],
+            shard_plans: 64,
+            shard_retries: 2,
+            worker_failures: 3,
+            deadline: Duration::from_millis(200),
+            backoff: Duration::from_millis(1),
+            ..FabricConfig::default()
+        };
+        let pool = Pool::sequential();
+        let (report, stats) = fabric_sweep(
+            &at,
+            spec.to_str().expect("utf8 path"),
+            &config,
+            &fabric,
+            &pool,
+        )
+        .expect("sweep completes despite the dead worker");
+        // 3 seeds × drop 0.5 = 3 unique fingerprints, all resolved
+        // locally exactly once — 3 failed submissions inflate nothing.
+        assert_eq!(stats.shards, 1, "{stats}");
+        assert_eq!(stats.requeues, 2, "{stats}");
+        assert_eq!(stats.workers_lost, 1, "{stats}");
+        assert_eq!(stats.remote_resolved, 0, "{stats}");
+        assert_eq!(stats.local_resolved, 3, "{stats}");
+        assert_eq!(stats.store_hits, 0, "{stats}");
+        // And the report is still byte-identical to a local sweep.
+        assert_eq!(
+            report.to_string(),
+            fault_sweep(&at, &config, &pool).to_string()
+        );
+        let _ = std::fs::remove_file(&spec);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod fabric;
 pub mod goodruns;
 pub mod inject;
 pub mod kripke;
+pub mod metrics;
 pub mod proof;
 pub mod prover;
 pub mod quantifier;

@@ -1,13 +1,32 @@
 //! Serve mode: a long-lived daemon answering `analyze`/`eval`/`inject`
-//! queries from warmed per-spec caches.
+//! queries from warmed per-spec caches, over a bounded connection pool.
 //!
 //! The one-shot CLI re-parses and re-analyzes a spec on every
 //! invocation. [`Server`] instead holds each loaded spec in a
 //! [`Session`]: the parsed [`AtProtocol`], the pre-rendered analysis
 //! report, the fault-free execution as a [`System`], the Section 7
-//! good-run vector, an [`EvalCache`] prewarmed over an
-//! `Arc<FrozenInterner>` snapshot, and an [`ExecutionCache`] for fault
-//! plans — so repeat queries are cache lookups, not reconstructions.
+//! good-run vector, and an [`EvalCache`] prewarmed over an
+//! `Arc<FrozenInterner>` snapshot — so repeat queries are cache
+//! lookups, not reconstructions. Fault-plan executions go through one
+//! **server-global** [`ExecutionCache`] keyed by `(protocol+options
+//! digest, plan fingerprint)`, so identical plans dedupe across
+//! sessions — and across spec files that differ only in comments, since
+//! the key hashes the enacted protocol, not the spec bytes.
+//!
+//! # Connection pool and backpressure
+//!
+//! The accept loop never spawns per-connection threads. A fixed set of
+//! connection workers (`--conn-workers`, mirroring the hand-rolled
+//! `atl-model::parallel` pool: plain `Mutex` + `Condvar`, poison
+//! tolerated) drains a bounded accept queue (`--queue-depth`). When the
+//! queue is full the daemon answers a fast one-line `ERR busy` and
+//! closes, rather than piling up unbounded threads; when the shutdown
+//! flag is up, accepted-but-unserved connections (including any still
+//! queued) get a framed `ERR shutting down` instead of a silently
+//! dropped socket. Time spent queued does not count against
+//! `--idle-timeout` — the idle clock starts when a worker picks the
+//! connection up — and `SHUTDOWN` still waits, bounded by `--drain`,
+//! for in-flight requests to finish writing.
 //!
 //! # Wire protocol
 //!
@@ -30,13 +49,17 @@
 //! SWEEP <id> policy=<p> options=<o> plans=<plan>;<plan>;…
 //!                                  execute a shard of fault plans, one
 //!                                  wire-rendered outcome per plan
-//! STATS                            session/cache counters
+//! STATS                            session/cache counters (fixed 8-line text)
+//! METRICS                          Prometheus-style text exposition
+//!                                  (crate::metrics): per-verb latency
+//!                                  histograms, queue/worker gauges,
+//!                                  backpressure and cache counters
 //! SHUTDOWN                         stop accepting and wind down
 //! ```
 //!
 //! `SWEEP` is the worker half of the distributed fabric
 //! (`crate::fabric`): plans arrive in the exact [`atl_model::wire`]
-//! rendering, execute against the session's [`ExecutionCache`], and the
+//! rendering, execute against the global [`ExecutionCache`], and the
 //! response carries each outcome keyed by its fingerprint digest —
 //! `outcome <i> fp=<16 hex> lines=<n>` followed by `n` lines of
 //! [`atl_model::wire::render_outcome`].
@@ -44,47 +67,58 @@
 //! Sessions are evicted least-recently-used beyond `--max-sessions`;
 //! re-`LOAD`ing an evicted spec rebuilds it (new id) and every query
 //! answer is byte-identical to the pre-eviction bytes, because session
-//! ids never appear in query payloads. Malformed requests, oversized
-//! lines, and mid-request disconnects produce per-connection `ERR`s (or
-//! a dropped connection) without touching other sessions; a connection
-//! idle past the configured timeout is reaped (counted in `STATS`)
-//! rather than pinning its thread forever, and `SHUTDOWN` waits — up to
-//! a bounded drain deadline — for in-flight requests to finish writing
-//! before the accept loop exits. The conformance harness for all of
-//! this lives in `tests/e17_serve.rs`.
+//! ids never appear in query payloads. Malformed requests and
+//! mid-request disconnects produce per-connection `ERR`s (or a dropped
+//! connection) without touching other sessions; an oversized request
+//! line is drained through its terminating newline (bounded by
+//! [`MAX_DRAIN_BYTES`]) before the `ERR` goes out, so a pipelined
+//! follow-up request on the same connection still parses from a line
+//! boundary. A connection idle past the configured timeout is reaped
+//! (counted in `STATS`) rather than pinning its worker forever, and
+//! `SHUTDOWN` waits — up to a bounded drain deadline — for in-flight
+//! requests to finish writing before the accept loop exits. The
+//! conformance harnesses live in `tests/e17_serve.rs` (protocol) and
+//! `tests/e19_pool.rs` (pool widths, backpressure, metrics).
 
 use crate::annotate::{analyze_at, render_analysis, AtProtocol};
 use crate::enact::{enact, enact_with, EnactOptions};
 use crate::goodruns::construct_on;
 use crate::inject::{inject_report, InjectRequest};
+use crate::metrics::{ExtraMetric, MetricKind, ServeMetrics, Verb};
 use crate::parallel::Pool;
 use crate::semantics::{EvalCache, GoodRuns, Semantics};
 use crate::spec::parse_spec;
 use crate::sweep::belief_assumptions;
 use atl_lang::parser::{parse_formula, Symbols};
 use atl_lang::Key;
-use atl_model::wire::{parse_plan, render_outcome};
+use atl_model::wire::{parse_plan_list, render_outcome};
 use atl_model::{
     execute_with_faults, sweep_plans_on, ExecOptions, ExecutionCache, ExpectPolicy, FaultPlan,
     OnTimeout, Point, System,
 };
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Longest request line the daemon accepts, in bytes. Longer lines get
-/// one `ERR` and the connection is closed (the remainder of the line is
-/// unread, so resynchronizing is not possible).
+/// Longest request line the daemon accepts, in bytes. A longer line is
+/// answered with one `ERR` after its remainder is drained through the
+/// terminating newline, so the connection stays usable for pipelined
+/// follow-ups.
 pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// How much of an oversized line the daemon will discard looking for
+/// the terminating newline before giving up and closing the connection
+/// (a client streaming an unbounded junk line must not pin a worker).
+pub const MAX_DRAIN_BYTES: usize = 16 * MAX_REQUEST_BYTES;
 
 /// The default serve port (`--port` overrides; `0` asks the OS for an
 /// ephemeral port, which tests use).
@@ -102,11 +136,21 @@ pub struct ServeConfig {
     pub pool: Pool,
     /// How long a connection may sit idle between requests before it is
     /// reaped (`None` disables reaping). A half-open client can
-    /// therefore no longer pin a connection thread forever.
+    /// therefore no longer pin a connection worker forever.
     pub idle_timeout: Option<Duration>,
     /// How long `SHUTDOWN` waits for in-flight requests to finish
     /// writing before the accept loop exits anyway.
     pub drain_deadline: Duration,
+    /// Connection workers: the fixed number of threads serving
+    /// connections (min 1). Concurrency never exceeds this.
+    pub conn_workers: usize,
+    /// Accept-queue depth: how many accepted connections may wait for a
+    /// worker (min 1). Overflow is answered `ERR busy` and closed.
+    pub queue_depth: usize,
+    /// Capacity of the global [`ExecutionCache`] (`None` = unbounded).
+    /// Eviction is oldest-inserted-first and never invalidates outcomes
+    /// already handed to in-flight requests.
+    pub exec_cache_capacity: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +161,9 @@ impl Default for ServeConfig {
             pool: Pool::auto(),
             idle_timeout: Some(Duration::from_secs(300)),
             drain_deadline: Duration::from_secs(10),
+            conn_workers: 8,
+            queue_depth: 64,
+            exec_cache_capacity: None,
         }
     }
 }
@@ -149,6 +196,9 @@ pub struct ServeStats {
     pub sweep_served: u64,
     /// Fault plans received across all `SWEEP` shards.
     pub sweep_plans: u64,
+    /// `SWEEP` plans whose execution was answered by the shared
+    /// [`ExecutionCache`] (cross-shard and cross-session dedupe).
+    pub sweep_exec_hits: u64,
     /// Connections closed for sitting idle past the timeout.
     pub reaped: u64,
 }
@@ -248,8 +298,6 @@ struct Session {
     goods: GoodRuns,
     /// Prewarmed evaluation cache holding the frozen-interner snapshot.
     warmed: EvalCache,
-    /// Fault-plan executions, shared across this session's `INJECT`s.
-    exec_cache: ExecutionCache,
     eval_memo: Mutex<HashMap<String, Response>>,
     inject_memo: Mutex<HashMap<String, Response>>,
 }
@@ -285,17 +333,97 @@ impl Store {
     }
 }
 
+/// The bounded accept queue between the accept loop and the connection
+/// workers: plain `Mutex` + `Condvar`, mirroring
+/// `atl_model::parallel::Pool`'s hand-rolled discipline (no channels,
+/// poison tolerated).
+struct AcceptQueue {
+    capacity: usize,
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl AcceptQueue {
+    fn new(capacity: usize) -> AcceptQueue {
+        AcceptQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues an accepted connection, or hands it back when the queue
+    /// is full (backpressure) or already closed (shutdown).
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.items.push_back(stream);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next queued connection; `None` once the queue is
+    /// closed and drained, which is each worker's exit signal.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(stream) = inner.items.pop_front() {
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue, wakes every worker, and returns whatever was
+    /// still waiting so the caller can refuse it with a framed error.
+    fn close(&self) -> Vec<TcpStream> {
+        let mut inner = self.lock();
+        inner.closed = true;
+        let leftover: Vec<TcpStream> = inner.items.drain(..).collect();
+        drop(inner);
+        self.ready.notify_all();
+        leftover
+    }
+}
+
 struct ServerState {
     addr: SocketAddr,
     max_sessions: usize,
     pool: Pool,
     idle_timeout: Option<Duration>,
     drain_deadline: Duration,
+    conn_workers: usize,
     shutdown: AtomicBool,
     /// Requests currently being handled or written; `SHUTDOWN` drains
     /// this to zero (bounded by `drain_deadline`) before the accept
     /// loop exits.
     active: AtomicUsize,
+    /// Accepted connections waiting for a worker.
+    queue: AcceptQueue,
+    /// The server-global fault-plan execution cache: keyed by
+    /// `(protocol+options digest, plan fingerprint)`, so `INJECT` and
+    /// `SWEEP` dedupe identical executions across sessions.
+    exec_cache: ExecutionCache,
+    metrics: ServeMetrics,
     store: Mutex<Store>,
 }
 
@@ -342,16 +470,34 @@ impl Server {
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         let addr = listener.local_addr()?;
+        let conn_workers = config.conn_workers.max(1);
         let state = Arc::new(ServerState {
             addr,
             max_sessions: config.max_sessions.max(1),
             pool: config.pool,
             idle_timeout: config.idle_timeout,
             drain_deadline: config.drain_deadline,
+            conn_workers,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            queue: AcceptQueue::new(config.queue_depth),
+            exec_cache: match config.exec_cache_capacity {
+                Some(cap) => ExecutionCache::bounded(cap),
+                None => ExecutionCache::new(),
+            },
+            metrics: ServeMetrics::new(),
             store: Mutex::new(Store::default()),
         });
+        // The fixed connection workers. Handles are dropped: workers
+        // exit on their own once the queue closes, and a worker blocked
+        // reading a still-connected idle client must not hang
+        // `Server::join` (which only joins the accept loop).
+        for i in 0..conn_workers {
+            let worker_state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("atl-serve-conn-{i}"))
+                .spawn(move || worker_loop(&worker_state))?;
+        }
         let accept_state = Arc::clone(&state);
         let accept = std::thread::Builder::new()
             .name("atl-serve-accept".into())
@@ -386,20 +532,39 @@ impl Server {
     }
 }
 
+/// Answers an accepted-but-unserved connection with a framed error
+/// instead of silently dropping the socket.
+fn refuse_shutting_down(state: &ServerState, mut stream: TcpStream) {
+    state.metrics.shutdown_refused();
+    let _ = Response::err("shutting down").write_to(&mut stream);
+}
+
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    // The shutdown flag is only checked after `accept` returns — every
+    // wake source (a real client, `cmd_shutdown`'s throwaway connect)
+    // delivers a connection or an error, and checking only then
+    // guarantees a connection racing the flag is refused with a framed
+    // error rather than left in a backlog the dropped listener resets.
     loop {
-        if state.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
         match listener.accept() {
             Ok((stream, _)) => {
                 if state.shutdown.load(Ordering::SeqCst) {
+                    // Accepted between the shutdown check and the
+                    // enqueue: refuse with a framed error, never a
+                    // silently dropped socket.
+                    refuse_shutting_down(state, stream);
                     break;
                 }
-                let st = Arc::clone(state);
-                let _ = std::thread::Builder::new()
-                    .name("atl-serve-conn".into())
-                    .spawn(move || handle_connection(&st, stream));
+                match state.queue.push(stream) {
+                    Ok(()) => state.metrics.queue_entered(),
+                    Err(stream) => {
+                        // Backpressure: the queue is full, answer fast
+                        // rather than piling up unbounded work.
+                        state.metrics.rejected();
+                        let mut w = stream;
+                        let _ = Response::err("busy").write_to(&mut w);
+                    }
+                }
             }
             Err(_) => {
                 if state.shutdown.load(Ordering::SeqCst) {
@@ -407,6 +572,12 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 }
             }
         }
+    }
+    // Close the queue: workers exit once it drains, and connections
+    // still queued get the same framed refusal as the race above.
+    for stream in state.queue.close() {
+        state.metrics.queue_left();
+        refuse_shutting_down(state, stream);
     }
     // Drain: in-flight requests (including the SHUTDOWN response
     // itself) finish dispatching and writing before the loop — and with
@@ -418,15 +589,36 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     }
 }
 
+/// One connection worker: drains the accept queue until it closes. The
+/// busy/idle bracket makes `busy_workers_peak` the observable proof
+/// that concurrency never exceeds the configured pool width.
+fn worker_loop(state: &Arc<ServerState>) {
+    while let Some(stream) = state.queue.pop() {
+        state.metrics.queue_left();
+        state.metrics.worker_busy();
+        handle_connection(state, stream);
+        state.metrics.worker_idle();
+    }
+}
+
 enum ReadOutcome {
     Line(String),
-    TooLong,
+    /// The line exceeded [`MAX_REQUEST_BYTES`]. `resynced` is true when
+    /// the terminating newline was found (possibly after draining), so
+    /// the connection sits on a line boundary and may keep serving
+    /// pipelined follow-ups; false means the drain gave up (EOF or
+    /// [`MAX_DRAIN_BYTES`]) and the connection must close.
+    TooLong {
+        resynced: bool,
+    },
     Eof,
 }
 
 /// Reads one request line, capped at [`MAX_REQUEST_BYTES`]. Invalid
 /// UTF-8 is replaced rather than rejected (the parser then reports an
-/// unknown command), and a trailing `\r` is stripped.
+/// unknown command), and a trailing `\r` is stripped. An oversized line
+/// is drained through its terminating newline so a pipelined follow-up
+/// request is not parsed mid-payload.
 fn read_request(r: &mut impl BufRead) -> io::Result<ReadOutcome> {
     let mut buf: Vec<u8> = Vec::new();
     loop {
@@ -442,7 +634,7 @@ fn read_request(r: &mut impl BufRead) -> io::Result<ReadOutcome> {
             buf.extend_from_slice(&chunk[..pos]);
             r.consume(pos + 1);
             return Ok(if buf.len() > MAX_REQUEST_BYTES {
-                ReadOutcome::TooLong
+                ReadOutcome::TooLong { resynced: true }
             } else {
                 ReadOutcome::Line(decode(buf))
             });
@@ -451,7 +643,31 @@ fn read_request(r: &mut impl BufRead) -> io::Result<ReadOutcome> {
         let n = chunk.len();
         r.consume(n);
         if buf.len() > MAX_REQUEST_BYTES {
-            return Ok(ReadOutcome::TooLong);
+            let resynced = drain_oversized_line(r)?;
+            return Ok(ReadOutcome::TooLong { resynced });
+        }
+    }
+}
+
+/// Discards the remainder of an oversized line through its terminating
+/// newline. Returns whether the newline was found within
+/// [`MAX_DRAIN_BYTES`] (true = the stream is back on a line boundary).
+fn drain_oversized_line(r: &mut impl BufRead) -> io::Result<bool> {
+    let mut drained = 0usize;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(false);
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            r.consume(pos + 1);
+            return Ok(true);
+        }
+        drained += chunk.len();
+        let n = chunk.len();
+        r.consume(n);
+        if drained > MAX_DRAIN_BYTES {
+            return Ok(false);
         }
     }
 }
@@ -487,19 +703,31 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
                 break;
             }
             Ok(ReadOutcome::Eof) => break,
-            Ok(ReadOutcome::TooLong) => {
+            Ok(ReadOutcome::TooLong { resynced }) => {
                 let resp = Response::err(format!("request line exceeds {MAX_REQUEST_BYTES} bytes"));
-                let _ = resp.write_to(&mut writer);
-                break;
+                let wrote = resp.write_to(&mut writer);
+                // Resynced on a line boundary: pipelined follow-ups on
+                // this connection still parse. Otherwise close.
+                if wrote.is_err() || !resynced {
+                    break;
+                }
             }
             Ok(ReadOutcome::Line(line)) => {
                 // A panic inside a handler must stay a per-connection
                 // error: report it and keep every session intact. The
                 // active count brackets dispatch *and* the response
                 // write, so a draining shutdown never truncates a reply.
+                let verb = Verb::of_command(line.split_whitespace().next().unwrap_or(""));
+                let started = Instant::now();
                 state.active.fetch_add(1, Ordering::SeqCst);
                 let resp = catch_unwind(AssertUnwindSafe(|| dispatch(state, &line)))
                     .unwrap_or_else(|_| Response::err("internal: request handler panicked"));
+                // Observe before the write: once a client has read its
+                // response, its request is guaranteed to be counted, so
+                // a METRICS scrape sequenced after the reply never
+                // under-reports. (The histogram spans dispatch to
+                // response assembly, not the socket write.)
+                state.metrics.observe(verb, started.elapsed());
                 let wrote = resp.write_to(&mut writer);
                 state.active.fetch_sub(1, Ordering::SeqCst);
                 if wrote.is_err() || state.shutdown.load(Ordering::SeqCst) {
@@ -527,11 +755,13 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> Response {
         "SWEEP" => cmd_sweep(state, rest),
         "STATS" if rest.is_empty() => cmd_stats(state),
         "STATS" => Response::err("STATS takes no arguments"),
+        "METRICS" if rest.is_empty() => cmd_metrics(state),
+        "METRICS" => Response::err("METRICS takes no arguments"),
         "SHUTDOWN" if rest.is_empty() => cmd_shutdown(state),
         "SHUTDOWN" => Response::err("SHUTDOWN takes no arguments"),
         other => Response::err(format!(
-            "unknown command {other:?} (expected LOAD, ANALYZE, EVAL, INJECT, SWEEP, STATS or \
-             SHUTDOWN)"
+            "unknown command {other:?} (expected LOAD, ANALYZE, EVAL, INJECT, SWEEP, STATS, \
+             METRICS or SHUTDOWN)"
         )),
     }
 }
@@ -613,7 +843,6 @@ fn cmd_load(state: &Arc<ServerState>, path: &str) -> Response {
         no_system,
         goods,
         warmed,
-        exec_cache: ExecutionCache::new(),
         eval_memo: Mutex::new(HashMap::new()),
         inject_memo: Mutex::new(HashMap::new()),
     });
@@ -741,7 +970,7 @@ fn cmd_inject(state: &Arc<ServerState>, rest: &str) -> Response {
 
     let (resp, exec_hit) = match parse_plan_flags(flags_text) {
         Err(msg) => (Response::err(msg), false),
-        Ok(req) => match inject_report(&session.at, &req, &state.pool, &session.exec_cache) {
+        Ok(req) => match inject_report(&session.at, &req, &state.pool, &state.exec_cache) {
             Ok(outcome) => (Response::from_text(&outcome.report), outcome.cache_hit),
             Err(e) => (Response::err(e.to_string()), false),
         },
@@ -957,9 +1186,10 @@ fn parse_exec_options(text: &str) -> Result<ExecOptions, String> {
 /// `SWEEP <id> policy=<p> options=<o> plans=<plan>;<plan>;…` — the
 /// worker half of the distributed fabric. The shard executes through
 /// the same [`sweep_plans_on`] path as a local sweep, against the
-/// session's [`ExecutionCache`], so repeated fingerprints across shards
-/// and sweeps cost nothing; the response returns one wire-rendered
-/// outcome per plan, in request order, keyed by fingerprint digest.
+/// server-global [`ExecutionCache`], so repeated fingerprints across
+/// shards, sweeps, and sessions cost nothing; the response returns one
+/// wire-rendered outcome per plan, in request order, keyed by
+/// fingerprint digest.
 fn cmd_sweep(state: &Arc<ServerState>, rest: &str) -> Response {
     let (id_text, rest) = match rest.split_once(char::is_whitespace) {
         Some((id, rest)) => (id, rest.trim()),
@@ -992,17 +1222,10 @@ fn cmd_sweep(state: &Arc<ServerState>, rest: &str) -> Response {
     let (Some(policy), Some(options)) = (policy, options) else {
         return Response::err("SWEEP needs policy= and options= before plans=");
     };
-    let mut plans: Vec<FaultPlan> = Vec::new();
-    for part in plans_text.split(';') {
-        let part = part.trim();
-        if part.is_empty() {
-            continue;
-        }
-        match parse_plan(part) {
-            Ok(plan) => plans.push(plan),
-            Err(e) => return Response::err(e.to_string()),
-        }
-    }
+    let plans = match parse_plan_list(plans_text) {
+        Ok(plans) => plans,
+        Err(e) => return Response::err(e.to_string()),
+    };
     if plans.is_empty() {
         return Response::err("SWEEP shard carries no plans");
     }
@@ -1013,7 +1236,7 @@ fn cmd_sweep(state: &Arc<ServerState>, rest: &str) -> Response {
             expect_policy: policy,
         },
     );
-    let outcome = sweep_plans_on(&proto, &options, &plans, &state.pool, &session.exec_cache);
+    let outcome = sweep_plans_on(&proto, &options, &plans, &state.pool, &state.exec_cache);
     let mut lines = vec![format!("plans {}", outcome.results.len())];
     for (i, r) in outcome.results.iter().enumerate() {
         let rendered = render_outcome(&r.outcome);
@@ -1028,6 +1251,7 @@ fn cmd_sweep(state: &Arc<ServerState>, rest: &str) -> Response {
     let mut store = state.store();
     store.stats.sweep_served += 1;
     store.stats.sweep_plans += plans.len() as u64;
+    store.stats.sweep_exec_hits += outcome.stats.cache_hits as u64;
     Response { ok: true, lines }
 }
 
@@ -1036,7 +1260,7 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
     let s = store.stats;
     let mut ids: Vec<u64> = store.sessions.keys().copied().collect();
     ids.sort_unstable();
-    let (mut hidden, mut frozen, mut execs) = (0usize, 0usize, 0usize);
+    let (mut hidden, mut frozen) = (0usize, 0usize);
     for id in &ids {
         let session = &store.sessions[id];
         hidden += session.warmed.hidden_entries();
@@ -1044,8 +1268,8 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
             .warmed
             .frozen_base()
             .map_or(0, |b| b.message_count());
-        execs += session.exec_cache.len();
     }
+    let execs = state.exec_cache.len();
     let text = format!(
         "sessions: {} live, capacity {}\n\
          loads: {} total, {} parsed, {} cache hit(s), {} eviction(s)\n\
@@ -1075,6 +1299,126 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
         execs
     );
     Response::from_text(&text)
+}
+
+/// `METRICS` — Prometheus-style text exposition from `crate::metrics`:
+/// per-verb request counters and latency histograms, queue/worker
+/// gauges with peaks, backpressure counters, and the session/cache
+/// counters `STATS` reports in fixed text, re-exposed as scrapeable
+/// series. Counter totals and `STATS` never disagree: both read the
+/// same [`ServeStats`] under the store lock.
+fn cmd_metrics(state: &Arc<ServerState>) -> Response {
+    let (stats, sessions_live, hidden, frozen) = {
+        let store = state.store();
+        let (mut hidden, mut frozen) = (0usize, 0usize);
+        for session in store.sessions.values() {
+            hidden += session.warmed.hidden_entries();
+            frozen += session
+                .warmed
+                .frozen_base()
+                .map_or(0, |b| b.message_count());
+        }
+        (store.stats, store.sessions.len(), hidden, frozen)
+    };
+    let extras = [
+        ExtraMetric {
+            name: "atl_serve_sessions_live",
+            help: "Warmed sessions currently resident.",
+            kind: MetricKind::Gauge,
+            value: sessions_live as u64,
+        },
+        ExtraMetric {
+            name: "atl_serve_session_capacity",
+            help: "Session capacity before LRU eviction.",
+            kind: MetricKind::Gauge,
+            value: state.max_sessions as u64,
+        },
+        ExtraMetric {
+            name: "atl_serve_connection_workers",
+            help: "Fixed connection worker threads (the concurrency bound).",
+            kind: MetricKind::Gauge,
+            value: state.conn_workers as u64,
+        },
+        ExtraMetric {
+            name: "atl_serve_queue_capacity",
+            help: "Accept-queue depth before overflow is answered ERR busy.",
+            kind: MetricKind::Gauge,
+            value: state.queue.capacity as u64,
+        },
+        ExtraMetric {
+            name: "atl_serve_inflight_requests",
+            help: "Requests currently dispatching or writing.",
+            kind: MetricKind::Gauge,
+            value: state.active.load(Ordering::SeqCst) as u64,
+        },
+        ExtraMetric {
+            name: "atl_serve_sessions_evicted_total",
+            help: "Sessions evicted by the LRU policy.",
+            kind: MetricKind::Counter,
+            value: stats.evictions,
+        },
+        ExtraMetric {
+            name: "atl_serve_load_cache_hits_total",
+            help: "LOADs answered by an existing session.",
+            kind: MetricKind::Counter,
+            value: stats.load_hits,
+        },
+        ExtraMetric {
+            name: "atl_serve_eval_warm_total",
+            help: "EVALs answered from the per-session memo.",
+            kind: MetricKind::Counter,
+            value: stats.eval_warm,
+        },
+        ExtraMetric {
+            name: "atl_serve_inject_warm_total",
+            help: "INJECTs answered from the per-session memo.",
+            kind: MetricKind::Counter,
+            value: stats.inject_warm,
+        },
+        ExtraMetric {
+            name: "atl_serve_exec_cache_entries",
+            help: "Entries resident in the global execution cache.",
+            kind: MetricKind::Gauge,
+            value: state.exec_cache.len() as u64,
+        },
+        ExtraMetric {
+            name: "atl_serve_exec_cache_evictions_total",
+            help: "Entries evicted from the bounded global execution cache.",
+            kind: MetricKind::Counter,
+            value: state.exec_cache.evictions(),
+        },
+        ExtraMetric {
+            name: "atl_serve_exec_cache_hits_total",
+            help: "INJECT and SWEEP executions answered by the global execution cache.",
+            kind: MetricKind::Counter,
+            value: stats.inject_exec_hits + stats.sweep_exec_hits,
+        },
+        ExtraMetric {
+            name: "atl_serve_sweep_plans_total",
+            help: "Fault plans received across all SWEEP shards.",
+            kind: MetricKind::Counter,
+            value: stats.sweep_plans,
+        },
+        ExtraMetric {
+            name: "atl_serve_reaped_total",
+            help: "Connections closed for sitting idle past the timeout.",
+            kind: MetricKind::Counter,
+            value: stats.reaped,
+        },
+        ExtraMetric {
+            name: "atl_serve_warmed_hidden_states",
+            help: "Hidden-state entries across all warmed eval caches.",
+            kind: MetricKind::Gauge,
+            value: hidden as u64,
+        },
+        ExtraMetric {
+            name: "atl_serve_warmed_frozen_messages",
+            help: "Frozen interner messages across all warmed eval caches.",
+            kind: MetricKind::Gauge,
+            value: frozen as u64,
+        },
+    ];
+    Response::from_text(&state.metrics.render(&extras))
 }
 
 fn cmd_shutdown(state: &Arc<ServerState>) -> Response {
@@ -1486,20 +1830,253 @@ mod tests {
     }
 
     #[test]
-    fn oversized_request_line_is_rejected() {
+    fn oversized_request_line_is_drained_and_connection_stays_usable() {
         let server = start_test_server(2);
         let mut stream = TcpStream::connect(server.addr()).expect("connect");
-        let big = vec![b'x'; MAX_REQUEST_BYTES + 10];
-        stream.write_all(&big).expect("write oversized");
-        stream.write_all(b"\n").expect("newline");
+        // Pipelined in one write: an oversized junk line followed by a
+        // valid STATS. The daemon must drain the junk through its
+        // newline so STATS parses from a line boundary, not mid-payload.
+        let mut payload = vec![b'x'; MAX_REQUEST_BYTES + 10];
+        payload.extend_from_slice(b"\nSTATS\n");
+        stream.write_all(&payload).expect("write oversized + STATS");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        assert!(reply.starts_with("ERR "), "got {reply:?}");
+        reply.clear();
+        reader.read_line(&mut reply).expect("read follow-up header");
+        assert!(
+            reply.starts_with("OK "),
+            "pipelined follow-up must parse, got {reply:?}"
+        );
+        // A junk line with no newline at all must close once the drain
+        // budget runs out rather than pinning a worker forever. The
+        // payload overshoots the worst-case legal consumption (request
+        // cap + drain budget + buffered chunks) so the server must give
+        // up mid-stream; the reply may then be the framed ERR or a
+        // reset from the close racing our writes — the bug being tested
+        // for is the read timing out because the worker stayed pinned.
+        drop(reader);
+        drop(stream);
+        let unbounded = TcpStream::connect(server.addr()).expect("connect");
+        unbounded
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let endless = vec![b'y'; MAX_DRAIN_BYTES + 4 * MAX_REQUEST_BYTES];
+        let mut w = unbounded.try_clone().expect("clone");
+        let _ = w.write_all(&endless);
+        let mut reply = String::new();
+        match BufReader::new(&unbounded).read_line(&mut reply) {
+            Ok(0) => {}
+            Ok(_) => assert!(reply.starts_with("ERR "), "got {reply:?}"),
+            Err(e) => assert!(
+                !matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ),
+                "worker stayed pinned on an unbounded junk line: {e}"
+            ),
+        }
+        // The daemon is still healthy for new connections.
+        let mut c = Client::connect(server.addr()).expect("connect again");
+        assert!(c.request("STATS").expect("stats").ok);
+        c.shutdown().expect("shutdown");
+        server.join();
+    }
+
+    #[test]
+    fn connection_accepted_during_shutdown_gets_framed_error() {
+        let server = start_test_server(2);
+        // Force the race deterministically: raise the shutdown flag
+        // before the accept loop sees the connection, so the
+        // accepted-after-shutdown branch must answer with a framed ERR
+        // rather than silently dropping the socket.
+        server.state.shutdown.store(true, Ordering::SeqCst);
+        // The refusal is written on accept, before any request arrives —
+        // so the client only reads (writing first could race the
+        // server-side close into an RST that clobbers the reply).
+        let stream = TcpStream::connect(server.addr()).expect("connect");
         let mut reply = String::new();
         BufReader::new(&stream)
             .read_line(&mut reply)
             .expect("read reply");
-        assert!(reply.starts_with("ERR "), "got {reply:?}");
-        // The daemon is still healthy for new connections.
-        let mut c = Client::connect(server.addr()).expect("connect again");
-        assert!(c.request("STATS").expect("stats").ok);
+        assert_eq!(reply.trim_end(), "ERR shutting down", "got {reply:?}");
+        assert_eq!(server.state.metrics.shutdown_refused_total(), 1);
+        server.join();
+    }
+
+    #[test]
+    fn racing_clients_against_shutdown_never_see_silent_drop() {
+        // Fire connection attempts while SHUTDOWN lands. Every client
+        // that gets a connection and writes a request must either read a
+        // framed response line or hit a transport error — never a clean
+        // EOF with zero response bytes (the old silently-dropped-socket
+        // bug).
+        let server = start_test_server(2);
+        let addr = server.addr();
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || -> Option<bool> {
+                    let mut stream = TcpStream::connect(addr).ok()?;
+                    stream.write_all(b"STATS\n").ok()?;
+                    let mut reply = String::new();
+                    match BufReader::new(&stream).read_line(&mut reply) {
+                        Ok(0) => Some(false), // clean EOF, no bytes: the bug
+                        Ok(_) => Some(reply.starts_with("OK ") || reply.starts_with("ERR ")),
+                        Err(_) => None, // RST mid-handshake: acceptable
+                    }
+                })
+            })
+            .collect();
+        let mut c = Client::connect(addr).expect("connect");
+        c.shutdown().expect("shutdown");
+        server.join();
+        for client in clients {
+            if let Some(framed) = client.join().expect("client thread") {
+                assert!(framed, "a racing client saw a silent drop");
+            }
+        }
+    }
+
+    #[test]
+    fn full_accept_queue_answers_busy() {
+        // One worker, queue depth 1. Occupy the worker with a held-open
+        // connection mid-request cadence, fill the queue, then overflow.
+        let server = Server::start(ServeConfig {
+            port: 0,
+            max_sessions: 2,
+            pool: Pool::new(1),
+            conn_workers: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let mut occupant = Client::connect(server.addr()).expect("occupy worker");
+        assert!(occupant.request("STATS").expect("stats").ok);
+        // The occupant keeps its connection open, so the single worker
+        // stays parked in read_request for this connection.
+        let queued = TcpStream::connect(server.addr()).expect("fills queue");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut saw_busy = false;
+        while Instant::now() < deadline && !saw_busy {
+            let overflow = TcpStream::connect(server.addr()).expect("overflow connect");
+            let mut reply = String::new();
+            // A rejected connection gets one line and a close; a queued
+            // one would block, so bound the read.
+            overflow
+                .set_read_timeout(Some(Duration::from_millis(200)))
+                .expect("timeout");
+            match BufReader::new(&overflow).read_line(&mut reply) {
+                Ok(n) if n > 0 && reply.trim_end() == "ERR busy" => saw_busy = true,
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        assert!(saw_busy, "overflow connection was never answered ERR busy");
+        assert!(
+            server.state.metrics.rejected_total() >= 1,
+            "rejection must be counted"
+        );
+        drop(queued);
+        occupant.shutdown().expect("shutdown");
+        server.join();
+    }
+
+    #[test]
+    fn resent_sweep_shard_counts_per_execution_and_hits_global_cache() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let spec = spec_file("resent", TOY);
+        let id = c.load(spec.to_str().expect("utf8 path")).expect("load");
+        let request = format!(
+            "SWEEP {id} policy={} options={} plans={};{}",
+            render_policy(&ExpectPolicy::skip_after(3)),
+            render_exec_options(&ExecOptions::default()),
+            atl_model::wire::render_plan(&FaultPlan::new(0)),
+            atl_model::wire::render_plan(&FaultPlan::new(1).drop(1.0)),
+        );
+        let first = c.request(&request).expect("first shard");
+        // The coordinator resending a timed-out shard must not inflate
+        // plan totals beyond what was actually received, and the replay
+        // must be answered by the global cache with identical bytes.
+        let second = c.request(&request).expect("resent shard");
+        assert_eq!(first, second, "resent shard must be byte-identical");
+        let stats = server.stats();
+        assert_eq!(stats.sweep_served, 2);
+        assert_eq!(stats.sweep_plans, 4);
+        assert_eq!(
+            stats.sweep_exec_hits, 2,
+            "the resent shard must be served from the global ExecutionCache"
+        );
+        c.shutdown().expect("shutdown");
+        server.join();
+        let _ = std::fs::remove_file(spec);
+    }
+
+    #[test]
+    fn metrics_exposition_parses_and_counts_match_stats() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let spec = spec_file("metrics", TOY);
+        let id = c.load(spec.to_str().expect("utf8 path")).expect("load");
+        assert!(c.request(&format!("ANALYZE {id}")).expect("analyze").ok);
+        assert!(
+            c.request("METRICS then some").expect("bad").err_message()
+                == Some("METRICS takes no arguments")
+        );
+        let resp = c.request("METRICS").expect("metrics");
+        assert!(resp.ok, "{resp:?}");
+        let text = resp.payload();
+        let samples = crate::metrics::check_exposition(&text).expect("valid exposition");
+        assert!(samples > 20, "suspiciously few samples: {samples}");
+        for needle in [
+            "atl_serve_requests_total{verb=\"load\"} 1",
+            "atl_serve_requests_total{verb=\"analyze\"} 1",
+            "atl_serve_rejected_total 0",
+            "atl_serve_connection_workers 8",
+            "atl_serve_sessions_live 1",
+        ] {
+            assert!(
+                text.lines().any(|l| l == needle),
+                "missing {needle:?} in:\n{text}"
+            );
+        }
+        c.shutdown().expect("shutdown");
+        server.join();
+        let _ = std::fs::remove_file(spec);
+    }
+
+    #[test]
+    fn worker_concurrency_never_exceeds_pool_width() {
+        let width = 2;
+        let server = Server::start(ServeConfig {
+            port: 0,
+            max_sessions: 2,
+            pool: Pool::new(1),
+            conn_workers: width,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let clients: Vec<_> = (0..6)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        let mut c = Client::connect(addr).expect("connect");
+                        assert!(c.request("STATS").expect("stats").ok);
+                    }
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        let peak = server.state.metrics.busy_workers_peak();
+        assert!(
+            (1..=width as u64).contains(&peak),
+            "busy-worker peak {peak} escaped the configured width {width}"
+        );
+        let mut c = Client::connect(addr).expect("connect");
         c.shutdown().expect("shutdown");
         server.join();
     }

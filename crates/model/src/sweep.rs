@@ -367,8 +367,19 @@ impl PlanFingerprint {
 /// The outcome of executing one plan: the run and report, or the error.
 pub type ExecOutcome = Result<(Run, ExecReport), ModelError>;
 
-/// The cache's key→outcome map: context digest + canonical plan.
-type CacheMap = HashMap<(u64, PlanFingerprint), Arc<ExecOutcome>>;
+/// The cache key: context digest + canonical plan.
+type CacheKey = (u64, PlanFingerprint);
+
+/// The cache's storage plus the bookkeeping a bounded cache needs.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<ExecOutcome>>,
+    /// Keys in insertion order, consulted only when `capacity` is set.
+    order: std::collections::VecDeque<CacheKey>,
+    /// FIFO eviction threshold; `None` means the cache never evicts.
+    capacity: Option<usize>,
+    evictions: u64,
+}
 
 /// A process-wide, thread-safe cache of executions keyed by
 /// `(protocol digest, plan fingerprint)`.
@@ -377,21 +388,36 @@ type CacheMap = HashMap<(u64, PlanFingerprint), Arc<ExecOutcome>>;
 /// serve every stage of a multi-stage sweep (and the baseline/degraded
 /// pair of an `inject` analysis) across threads. Entries hold the full
 /// [`ExecOutcome`] behind an `Arc`, so hits are reference bumps, not
-/// deep run copies.
+/// deep run copies — and an outcome handed out before an eviction stays
+/// valid for as long as the holder keeps its `Arc`, so evicting never
+/// invalidates in-flight work.
+///
+/// [`new`](Self::new) is unbounded (growth-only, the historical
+/// behavior); [`bounded`](Self::bounded) evicts oldest-inserted-first
+/// once the capacity is exceeded, which long-lived daemons use to put a
+/// ceiling on memory.
 #[derive(Clone, Debug, Default)]
 pub struct ExecutionCache {
-    entries: Arc<Mutex<CacheMap>>,
+    entries: Arc<Mutex<CacheInner>>,
 }
 
 impl ExecutionCache {
-    /// An empty cache.
+    /// An empty, unbounded cache: entries are never evicted.
     pub fn new() -> Self {
         ExecutionCache::default()
     }
 
+    /// An empty cache that holds at most `capacity` entries (min 1),
+    /// evicting the oldest-inserted once full.
+    pub fn bounded(capacity: usize) -> Self {
+        let cache = ExecutionCache::default();
+        cache.lock().capacity = Some(capacity.max(1));
+        cache
+    }
+
     /// How many distinct executions the cache holds.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.lock().map.len()
     }
 
     /// True if nothing has been cached yet.
@@ -399,24 +425,46 @@ impl ExecutionCache {
         self.len() == 0
     }
 
+    /// How many entries a bounded cache has evicted so far (always 0
+    /// for an unbounded cache; never reset, including by `clear`).
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
+    }
+
     /// Drops every entry (e.g. between unrelated protocols in a
     /// long-lived process).
     pub fn clear(&self) {
-        self.lock().clear();
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheMap> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
         // A poisoned map only means a panic elsewhere mid-insert; the
         // map itself is still consistent (inserts are atomic).
         self.entries.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn get(&self, key: &(u64, PlanFingerprint)) -> Option<Arc<ExecOutcome>> {
-        self.lock().get(key).cloned()
+    fn get(&self, key: &CacheKey) -> Option<Arc<ExecOutcome>> {
+        self.lock().map.get(key).cloned()
     }
 
-    fn insert(&self, key: (u64, PlanFingerprint), outcome: Arc<ExecOutcome>) {
-        self.lock().insert(key, outcome);
+    fn insert(&self, key: CacheKey, outcome: Arc<ExecOutcome>) {
+        let mut inner = self.lock();
+        if inner.map.insert(key.clone(), outcome).is_none() && inner.capacity.is_some() {
+            inner.order.push_back(key);
+        }
+        while inner
+            .capacity
+            .is_some_and(|capacity| inner.map.len() > capacity)
+        {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            if inner.map.remove(&victim).is_some() {
+                inner.evictions += 1;
+            }
+        }
     }
 }
 
@@ -913,6 +961,43 @@ mod tests {
         assert_eq!(cache.len(), 6);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_without_invalidating_holders() {
+        let proto = lossy_ping_pong();
+        let opts = ExecOptions::default();
+        let pool = Pool::sequential();
+        let cache = ExecutionCache::bounded(2);
+        assert_eq!(cache.evictions(), 0);
+        // Three distinct fingerprints through a 2-entry cache.
+        let plans: Vec<FaultPlan> = (0..3).map(|s| FaultPlan::new(s).drop(0.5)).collect();
+        let first = sweep_plans_on(&proto, &opts, &plans[..1], &pool, &cache);
+        let held = Arc::clone(&first.results[0].outcome);
+        sweep_plans_on(&proto, &opts, &plans[1..2], &pool, &cache);
+        sweep_plans_on(&proto, &opts, &plans[2..], &pool, &cache);
+        assert_eq!(cache.len(), 2, "capacity bounds the cache");
+        assert_eq!(cache.evictions(), 1, "oldest entry was evicted");
+        // Eviction never invalidates an outcome already handed out: the
+        // Arc taken before the eviction still reads the same execution.
+        assert_eq!(held.as_ref(), first.results[0].outcome.as_ref());
+        assert!(held.as_ref().is_ok());
+        // The evicted (oldest) fingerprint re-executes; the two newest
+        // still answer from the cache.
+        let replay = sweep_plans_on(&proto, &opts, &plans, &pool, &cache);
+        assert_eq!(replay.stats.cache_hits, 2);
+        assert_eq!(replay.stats.executed, 1);
+        // Evictions are monotonic and survive `clear`.
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.evictions() >= 1);
+        // An unbounded cache never evicts, whatever flows through it.
+        let unbounded = ExecutionCache::new();
+        for plan in &plans {
+            sweep_plans_on(&proto, &opts, std::slice::from_ref(plan), &pool, &unbounded);
+        }
+        assert_eq!(unbounded.len(), 3);
+        assert_eq!(unbounded.evictions(), 0);
     }
 
     #[test]

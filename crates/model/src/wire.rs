@@ -201,6 +201,32 @@ pub fn parse_plan(text: &str) -> Result<FaultPlan, WireError> {
     Ok(plan)
 }
 
+/// Renders a plan list as the `;`-separated form the serve protocol's
+/// `SWEEP` verb carries in its `plans=` field.
+pub fn render_plan_list<'a>(plans: impl IntoIterator<Item = &'a FaultPlan>) -> String {
+    plans
+        .into_iter()
+        .map(render_plan)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parses a `;`-separated plan list (the `plans=` field of a `SWEEP`
+/// request). Empty segments — including a trailing separator — are
+/// skipped, so an empty input parses to an empty list; whether that is
+/// acceptable is the caller's call.
+///
+/// # Errors
+///
+/// The first [`WireError`] from [`parse_plan`] over the segments.
+pub fn parse_plan_list(text: &str) -> Result<Vec<FaultPlan>, WireError> {
+    text.split(';')
+        .map(str::trim)
+        .filter(|part| !part.is_empty())
+        .map(parse_plan)
+        .collect()
+}
+
 /// Renders one execution outcome as framed text (every line
 /// newline-terminated). Successful outcomes carry the [`ExecReport`]
 /// fields and the run in trace format with an explicit line count;
@@ -420,6 +446,25 @@ mod tests {
         // Inert plan: no comp field at all.
         let inert = FaultPlan::new(0);
         assert_eq!(parse_plan(&render_plan(&inert)).expect("parse"), inert);
+    }
+
+    #[test]
+    fn plan_list_round_trips_and_skips_empty_segments() {
+        let plans = vec![
+            FaultPlan::new(0),
+            FaultPlan::new(7).drop(0.5),
+            FaultPlan::new(1).replay(1.0),
+        ];
+        let rendered = render_plan_list(&plans);
+        assert_eq!(rendered.matches(';').count(), 2);
+        assert_eq!(parse_plan_list(&rendered).expect("parse"), plans);
+        // Trailing and doubled separators are harmless; pure emptiness
+        // parses to the empty list.
+        let sloppy = format!("{rendered};; ;");
+        assert_eq!(parse_plan_list(&sloppy).expect("parse"), plans);
+        assert_eq!(parse_plan_list("").expect("parse"), Vec::<FaultPlan>::new());
+        // A bad segment fails the whole list.
+        assert!(parse_plan_list(&format!("{rendered};garbage")).is_err());
     }
 
     #[test]

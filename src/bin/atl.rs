@@ -36,14 +36,27 @@
 //!     all cases (fabric accounting goes to stderr). `--store` without
 //!     `--workers` gives a purely local but resumable sweep.
 //! atl serve [--port N] [--max-sessions N] [--idle-timeout SECS]
-//!           [--drain SECS]
+//!           [--drain SECS] [--conn-workers N] [--queue-depth N]
+//!           [--exec-cache-cap N]
 //!     run the serve-mode daemon: a long-lived loopback TCP server that
 //!     parses each spec once into a warmed session (frozen interner,
-//!     good-run vector, eval/execution caches) and answers
-//!     LOAD/ANALYZE/EVAL/INJECT/SWEEP/STATS/SHUTDOWN requests from it.
-//!     Connections idle past `--idle-timeout` (default 300, 0 disables)
-//!     are reaped; SHUTDOWN waits up to `--drain` seconds (default 10)
-//!     for in-flight requests to finish writing.
+//!     good-run vector, eval caches) and answers
+//!     LOAD/ANALYZE/EVAL/INJECT/SWEEP/STATS/METRICS/SHUTDOWN requests
+//!     from it. Fault-plan executions (INJECT and SWEEP) share one
+//!     global execution cache keyed by protocol+options digest and plan
+//!     fingerprint, so identical plans dedupe across sessions;
+//!     `--exec-cache-cap` bounds it (oldest-first eviction, default
+//!     unbounded). Connections are served by a fixed pool of
+//!     `--conn-workers` threads (default 8) draining a bounded accept
+//!     queue of `--queue-depth` connections (default 64); overflow is
+//!     answered with a fast `ERR busy`, and connections accepted while
+//!     shutting down get `ERR shutting down` instead of a dropped
+//!     socket. METRICS returns a Prometheus-style text exposition
+//!     (per-verb latency histograms, queue/worker gauges, backpressure
+//!     and cache counters). Connections idle past `--idle-timeout`
+//!     (default 300, 0 disables) are reaped; SHUTDOWN waits up to
+//!     `--drain` seconds (default 10) for in-flight requests to finish
+//!     writing.
 //! atl client [--port N] REQUEST...
 //!     send one request line to a running daemon and print the payload
 //!     (the conformance smoke test's transport).
@@ -106,7 +119,7 @@ fn main() -> ExitCode {
         Some("client") => cmd_client(&args[1..]),
         _ => {
             eprintln!(
-                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS] | serve [--port N] [--max-sessions N] [--idle-timeout SECS] [--drain SECS] | client [--port N] REQUEST...>"
+                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS] | serve [--port N] [--max-sessions N] [--idle-timeout SECS] [--drain SECS] [--conn-workers N] [--queue-depth N] [--exec-cache-cap N] | client [--port N] REQUEST...>"
             );
             return ExitCode::from(2);
         }
@@ -498,6 +511,24 @@ fn cmd_serve(args: &[String], pool: Pool) -> Result<bool, Box<dyn std::error::Er
             "--drain" => {
                 let secs: u64 = it.next().ok_or("--drain needs a value")?.parse()?;
                 config.drain_deadline = std::time::Duration::from_secs(secs);
+            }
+            "--conn-workers" => {
+                config.conn_workers = it
+                    .next()
+                    .ok_or("--conn-workers needs a value")?
+                    .parse::<usize>()?
+                    .max(1);
+            }
+            "--queue-depth" => {
+                config.queue_depth = it
+                    .next()
+                    .ok_or("--queue-depth needs a value")?
+                    .parse::<usize>()?
+                    .max(1);
+            }
+            "--exec-cache-cap" => {
+                let cap: usize = it.next().ok_or("--exec-cache-cap needs a value")?.parse()?;
+                config.exec_cache_capacity = (cap > 0).then_some(cap);
             }
             other => return Err(format!("unknown serve flag {other}").into()),
         }

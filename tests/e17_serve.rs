@@ -25,7 +25,7 @@ use atl::model::{execute_with_faults, ExecOptions, FaultPlan, Point, System};
 use proptest::prelude::*;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
 use std::process::Command;
 
@@ -519,18 +519,70 @@ fn truncated_pipelined_and_oversized_requests_stay_per_connection() {
         assert!(second.starts_with("ERR "), "got {second:?}");
     }
 
-    // An oversized line: one ERR, connection closed, daemon healthy.
+    // An oversized line: one ERR, the junk drained through its newline,
+    // and a pipelined follow-up on the same connection still parses
+    // from the line boundary instead of mid-payload.
     {
         let mut s = TcpStream::connect(server.addr()).expect("connect");
-        s.write_all(&vec![b'y'; MAX_REQUEST_BYTES + 1])
-            .expect("big");
-        s.write_all(b"\n").expect("newline");
+        let mut payload = vec![b'y'; MAX_REQUEST_BYTES + 1];
+        payload.extend_from_slice(b"\nSTATS\n");
+        s.write_all(&payload).expect("big + pipelined STATS");
         let mut r = BufReader::new(s);
         let mut reply = String::new();
         r.read_line(&mut reply).expect("reply");
         assert!(reply.starts_with("ERR "), "got {reply:?}");
-        let mut rest = String::new();
-        assert_eq!(r.read_to_string(&mut rest).expect("eof"), 0);
+        let mut second = String::new();
+        r.read_line(&mut second).expect("follow-up header");
+        assert!(
+            second.starts_with("OK "),
+            "pipelined follow-up after oversized line must parse, got {second:?}"
+        );
+    }
+
+    // Fuzz the boundary: random junk lines straddling the cap, each
+    // followed by a pipelined STATS — every junk line answers exactly
+    // one ERR and never desynchronizes the stream.
+    {
+        let mut seed = 0xE17_5EEDu64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed
+        };
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        let mut r = BufReader::new(s.try_clone().expect("clone"));
+        for _ in 0..8 {
+            let len = MAX_REQUEST_BYTES - 2 + (next() % 64) as usize;
+            let mut junk: Vec<u8> = (0..len)
+                .map(|_| {
+                    let b = (next() % 256) as u8;
+                    if b == b'\n' {
+                        b'x'
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            junk.extend_from_slice(b"\nSTATS\n");
+            s.write_all(&junk).expect("junk + STATS");
+            let mut first = String::new();
+            r.read_line(&mut first).expect("first header");
+            // Over the cap: the oversize ERR. Under it: an unknown-
+            // command ERR. Either way exactly one ERR line.
+            assert!(first.starts_with("ERR "), "junk line answered {first:?}");
+            let mut second = String::new();
+            r.read_line(&mut second).expect("second header");
+            let n: usize = second
+                .trim_start_matches("OK ")
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("STATS after junk got {second:?}"));
+            for _ in 0..n {
+                let mut l = String::new();
+                r.read_line(&mut l).expect("payload line");
+            }
+        }
     }
 
     let mut c = client(&server);
