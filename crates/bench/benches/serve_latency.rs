@@ -196,5 +196,153 @@ fn bench_sustained(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cold, bench_warm, bench_sustained);
+/// E20 — delta reload per edit class, against the cost of building the
+/// edited spec cold.
+///
+/// `cold_load_fresh_spec` is the baseline: a LOAD of never-seen content
+/// on a live daemon (parse + analyze + execute + construct + prewarm,
+/// no daemon start-up in the number). Each reload benchmark ping-pongs
+/// one session between the base spec and one edited twin, so every
+/// measured request is a real `RELOAD` of changed content (for the
+/// comment-only twin the canonical digest is unchanged, so the reload
+/// is the dedupe no-op — by design). The daemon's own counters are
+/// printed after each group as proof the answers came from reused work.
+fn bench_reload(c: &mut Criterion) {
+    let src = std::fs::read_to_string(SPECS[0].1).expect("read spec");
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let file = |tag: &str, content: &str| {
+        let p = dir.join(format!("atl-bench-reload-{pid}-{tag}.atl"));
+        std::fs::write(&p, content).expect("write bench spec");
+        p
+    };
+    // The message edit reorders the components inside the Kbs cipher
+    // *consistently in both steps* (S builds it, A forwards it), so the
+    // edited spec still executes and the reload exercises the pointwise
+    // cache rewarm rather than the no-system fallback.
+    let message_edit = src.replace("{Ts, <<A <-Kab-> B>>}Kbs", "{<<A <-Kab-> B>>, Ts}Kbs");
+    assert_ne!(src, message_edit, "the spec must contain the cipher");
+    let edits = [
+        (
+            "comment_only",
+            format!("{src}# an edit that says nothing\n"),
+        ),
+        ("message_changed", message_edit),
+    ];
+    let mut g = c.benchmark_group("serve_reload");
+
+    {
+        let server = start();
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let mut n = 0u64;
+        g.bench_function("cold_load_fresh_spec", |b| {
+            b.iter(|| {
+                // Unique canonical content every iteration (renamed
+                // protocol), so each LOAD is a full cold build.
+                n += 1;
+                let fresh = src.replacen(
+                    "protocol kerberos-figure1",
+                    &format!("protocol kerberos-figure1-{n}"),
+                    1,
+                );
+                let p = file("cold", &fresh);
+                black_box(client.load(p.to_str().expect("utf8")).expect("load"))
+            })
+        });
+        client.shutdown().expect("shutdown");
+        server.join();
+        let _ = std::fs::remove_file(dir.join(format!("atl-bench-reload-{pid}-cold.atl")));
+    }
+
+    // Single-assumption reloads are measured on a monotonically growing
+    // spec chain: step i of the chain is the base spec plus i fresh
+    // belief assumptions, so each measured request is exactly the "one
+    // assumption added" delta (a ping-pong would average in the reverse
+    // edit, which is an assumption *removal* and analyses from scratch
+    // by design). The chain is written out before the loop so the
+    // measurement is the RELOAD round-trip, not file I/O.
+    {
+        let mut grown = src.clone();
+        let chain: Vec<_> = (0..64)
+            .map(|i| {
+                grown.push_str(&format!("assume A believes fresh(Zb{i})\n"));
+                file(&format!("grow-{i}"), &grown)
+            })
+            .collect();
+        let base_path = file("grow-base", &src);
+        let server = start();
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let id = client
+            .load(base_path.to_str().expect("utf8"))
+            .expect("load base");
+        let mut n = 0usize;
+        g.bench_function("assumption_added_delta_reload", |b| {
+            b.iter(|| {
+                let p = &chain[n % chain.len()];
+                n += 1;
+                let resp = client
+                    .request(&format!("RELOAD {id} {}", p.display()))
+                    .expect("reload");
+                assert!(resp.ok, "{resp:?}");
+                black_box(resp.lines.len())
+            })
+        });
+        let s = server.stats();
+        eprintln!(
+            "serve_reload/assumption_added: reloads={} delta={} full={}",
+            s.reloads, s.reload_delta, s.reload_full
+        );
+        client.shutdown().expect("shutdown");
+        server.join();
+        for p in chain {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_file(base_path);
+    }
+
+    for (name, edited) in &edits {
+        let base_path = file(&format!("{name}-base"), &src);
+        let edited_path = file(name, edited);
+        let server = start();
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let id = client
+            .load(base_path.to_str().expect("utf8"))
+            .expect("load base");
+        let targets = [
+            edited_path.to_str().expect("utf8").to_string(),
+            base_path.to_str().expect("utf8").to_string(),
+        ];
+        let mut flip = 0usize;
+        g.bench_function(format!("{name}_delta_reload"), |b| {
+            b.iter(|| {
+                let to = &targets[flip % 2];
+                flip += 1;
+                let resp = client
+                    .request(&format!("RELOAD {id} {to}"))
+                    .expect("reload");
+                assert!(resp.ok, "{resp:?}");
+                black_box(resp.lines.len())
+            })
+        });
+        let s = server.stats();
+        eprintln!(
+            "serve_reload/{name}: reloads={} delta={} full={}",
+            s.reloads, s.reload_delta, s.reload_full
+        );
+        client.shutdown().expect("shutdown");
+        server.join();
+        for p in [base_path, edited_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold,
+    bench_warm,
+    bench_sustained,
+    bench_reload
+);
 criterion_main!(benches);

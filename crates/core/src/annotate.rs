@@ -142,18 +142,35 @@ impl AtAnalysis {
 /// daemon print exactly this string, so their outputs are byte-identical
 /// by construction.
 pub fn render_analysis(protocol: &AtProtocol, analysis: &AtAnalysis) -> String {
+    render_report(
+        protocol,
+        analysis.prover.facts().len(),
+        &analysis.unstable_assumptions,
+        &analysis.goals,
+    )
+}
+
+/// The one report renderer behind both [`render_analysis`] and
+/// [`AnalysisResume::render`]: byte-identity between a cold analysis and
+/// a resumed one is then a statement about the inputs, not the printing.
+fn render_report(
+    protocol: &AtProtocol,
+    facts_derived: usize,
+    unstable_assumptions: &[Formula],
+    goals: &[(Formula, bool)],
+) -> String {
     use std::fmt::Write as _;
     let mut out = format!(
         "protocol {}: {} assumptions, {} steps, {} facts derived\n",
         protocol.name,
         protocol.assumptions.len(),
         protocol.steps.len(),
-        analysis.prover.facts().len()
+        facts_derived
     );
-    for f in &analysis.unstable_assumptions {
+    for f in unstable_assumptions {
         let _ = writeln!(out, "  warning: assumption not linguistically stable: {f}");
     }
-    for (goal, achieved) in &analysis.goals {
+    for (goal, achieved) in goals {
         let _ = writeln!(out, "  [{}] {}", if *achieved { "ok" } else { "--" }, goal);
     }
     out
@@ -197,6 +214,178 @@ pub fn analyze_at_with(protocol: &AtProtocol, config: ProverConfig) -> AtAnalysi
         prover,
         goals,
         unstable_assumptions,
+    }
+}
+
+/// Incrementally re-runs the annotation procedure after an edit that
+/// only **added** assumptions, starting from a previous analysis.
+///
+/// Each annotation level of the edited protocol is the closure of the
+/// previous run's level plus the new assumptions — for a closure
+/// operator, `cl(S ∪ A) = cl(cl(S) ∪ A)` — so every level, the final
+/// fact set, the goal verdicts, and with them the rendered report bytes
+/// are identical to a cold [`analyze_at`] of `new`. Only the derivation
+/// trace differs: facts resumed from a stored level reappear as given.
+/// The saved work is substantial: a cold analysis re-fires the full
+/// rule set once per step, while the resume pays one delta saturation
+/// per level, each proportional to the added assumptions' consequences.
+///
+/// The caller guarantees that `new.steps` equals the analyzed
+/// protocol's steps and that `new.assumptions` is the old assumption
+/// multiset plus `added` (in any order); goals may differ freely — they
+/// never feed the closure. Prover options are [`ProverConfig::default`],
+/// matching [`analyze_at`].
+pub fn reanalyze_at(old: &AtAnalysis, new: &AtProtocol, added: &[Formula]) -> AtAnalysis {
+    // Intermediate levels: rebuild each stored closure at its fixpoint
+    // and extend it with the added assumptions alone.
+    let intermediate = old.annotations.len().saturating_sub(1);
+    let mut annotations: Vec<BTreeSet<Formula>> = old.annotations[..intermediate]
+        .iter()
+        .map(|level| {
+            let mut p = Prover::at_fixpoint(level.iter().cloned(), ProverConfig::default());
+            p.saturate_delta(added.iter().cloned());
+            p.facts().clone()
+        })
+        .collect();
+    // Final level: extend the stored prover itself, keeping its trace.
+    let mut prover = old.prover.clone();
+    prover.saturate_delta(added.iter().cloned());
+    annotations.push(prover.facts().clone());
+    finish_reanalysis(new, annotations, prover)
+}
+
+fn finish_reanalysis(
+    new: &AtProtocol,
+    annotations: Vec<BTreeSet<Formula>>,
+    prover: Prover,
+) -> AtAnalysis {
+    let unstable_assumptions = new
+        .assumptions
+        .iter()
+        .filter(|f| !is_linguistically_stable(f))
+        .cloned()
+        .collect();
+    let goals = new
+        .goals
+        .iter()
+        .map(|g| (g.clone(), prover.holds(g)))
+        .collect();
+    AtAnalysis {
+        annotations,
+        prover,
+        goals,
+        unstable_assumptions,
+    }
+}
+
+/// An annotation run packaged for repeated in-place resumption (the
+/// serve daemon's `RELOAD`): the saturated prover at every annotation
+/// level — `levels[i]`'s fact set is annotation level `i`, the last
+/// entry is the final closure — **with trigger indexes intact**, plus
+/// the computed goal verdicts and stability warnings.
+///
+/// Unlike [`reanalyze_at`], which rebuilds each stored closure via
+/// [`Prover::at_fixpoint`] (re-indexing every fact), advancing a resume
+/// mutates its provers in place: an edit that adds assumptions costs one
+/// delta saturation per level, proportional to the *new* consequences
+/// only. An owner that threads the same resume through a chain of edits
+/// never clones a prover at all.
+#[derive(Clone, Debug)]
+pub struct AnalysisResume {
+    levels: Vec<Prover>,
+    unstable_assumptions: Vec<Formula>,
+    goals: Vec<(Formula, bool)>,
+}
+
+/// Runs the Section 4.3 annotation procedure like [`analyze_at`], but
+/// returns the run packaged for in-place resumption. The extra cost over
+/// a plain analysis is one prover clone per protocol step.
+pub fn analyze_at_resumable(protocol: &AtProtocol) -> AnalysisResume {
+    let mut prover = Prover::with_config(
+        protocol.assumptions.iter().cloned(),
+        ProverConfig::default(),
+    );
+    prover.saturate();
+    let mut levels = Vec::with_capacity(protocol.steps.len() + 1);
+    for step in &protocol.steps {
+        levels.push(prover.clone());
+        match step {
+            AtStep::Send { to, message, .. } => {
+                prover.assume(Formula::sees(to.clone(), message.clone()));
+            }
+            AtStep::NewKey { principal, key } => {
+                prover.assume(Formula::has(principal.clone(), key.clone()));
+            }
+        }
+        prover.saturate();
+    }
+    levels.push(prover);
+    let mut resume = AnalysisResume {
+        levels,
+        unstable_assumptions: Vec::new(),
+        goals: Vec::new(),
+    };
+    resume.reverdict(protocol);
+    resume
+}
+
+impl AnalysisResume {
+    /// Re-verifies for an edited protocol by extending every level with
+    /// `added` **in place** — one delta saturation each, no re-indexing,
+    /// no clone. The same contract as [`reanalyze_at`]: `new.steps`
+    /// equals the analyzed steps and `new.assumptions` is the old
+    /// multiset plus `added` (goals may differ freely; `added` may be
+    /// empty for a goal-only edit). Afterwards this resume is exactly
+    /// what [`analyze_at_resumable`] of `new` would have built — same
+    /// levels, verdicts, warnings, and report bytes — by the closure
+    /// argument `cl(S ∪ A) = cl(cl(S) ∪ A)`.
+    pub fn advance(&mut self, new: &AtProtocol, added: &[Formula]) {
+        for p in &mut self.levels {
+            p.saturate_delta(added.iter().cloned());
+        }
+        self.reverdict(new);
+    }
+
+    fn reverdict(&mut self, protocol: &AtProtocol) {
+        self.unstable_assumptions = protocol
+            .assumptions
+            .iter()
+            .filter(|f| !is_linguistically_stable(f))
+            .cloned()
+            .collect();
+        let last = self.final_prover();
+        self.goals = protocol
+            .goals
+            .iter()
+            .map(|g| (g.clone(), last.holds(g)))
+            .collect();
+    }
+
+    fn final_prover(&self) -> &Prover {
+        self.levels.last().expect("at least the initial level")
+    }
+
+    /// The canonical report for the current state — byte-identical to
+    /// [`render_analysis`] over a cold analysis of the same protocol.
+    pub fn render(&self, protocol: &AtProtocol) -> String {
+        render_report(
+            protocol,
+            self.final_prover().facts().len(),
+            &self.unstable_assumptions,
+            &self.goals,
+        )
+    }
+
+    /// Extracts the full [`AtAnalysis`] view (cloning every level) —
+    /// for callers that need the annotation sets themselves rather than
+    /// the report.
+    pub fn to_analysis(&self) -> AtAnalysis {
+        AtAnalysis {
+            annotations: self.levels.iter().map(|p| p.facts().clone()).collect(),
+            prover: self.final_prover().clone(),
+            goals: self.goals.clone(),
+            unstable_assumptions: self.unstable_assumptions.clone(),
+        }
     }
 }
 
@@ -294,6 +483,94 @@ mod tests {
         )));
         let analysis = analyze_at(&proto);
         assert_eq!(analysis.unstable_assumptions.len(), 1);
+    }
+
+    #[test]
+    fn reanalysis_matches_cold_analysis_for_added_assumptions() {
+        let full = figure1_at();
+        // Hold back each assumption in turn; resuming the reduced
+        // analysis with the held-out assumption must reproduce the cold
+        // analysis of the full protocol: every annotation level, the
+        // goal verdicts, and the rendered report bytes.
+        for held_out in 0..full.assumptions.len() {
+            let mut reduced = full.clone();
+            let added = reduced.assumptions.remove(held_out);
+            let old = analyze_at(&reduced);
+            let resumed = reanalyze_at(&old, &full, std::slice::from_ref(&added));
+            let cold = analyze_at(&full);
+            assert_eq!(resumed.annotations, cold.annotations, "level {held_out}");
+            assert_eq!(resumed.goals, cold.goals);
+            assert_eq!(resumed.prover.facts(), cold.prover.facts());
+            assert_eq!(
+                render_analysis(&full, &resumed),
+                render_analysis(&full, &cold)
+            );
+        }
+    }
+
+    #[test]
+    fn resumable_analysis_advances_in_place_and_matches_cold_analysis() {
+        // Start from a protocol holding back two assumptions, then feed
+        // them back one edit at a time through the same in-place resume.
+        // After every edit the resume must be indistinguishable from a
+        // cold analysis of the current protocol — annotation levels,
+        // verdicts, prover closure, and report bytes.
+        let full = figure1_at();
+        let mut proto = full.clone();
+        let second = proto.assumptions.remove(5);
+        let first = proto.assumptions.remove(1);
+        let mut resume = analyze_at_resumable(&proto);
+        assert_eq!(
+            resume.to_analysis().annotations,
+            analyze_at(&proto).annotations
+        );
+        for added in [first, second] {
+            proto = proto.clone().assume(added.clone());
+            resume.advance(&proto, std::slice::from_ref(&added));
+            let cold = analyze_at(&proto);
+            let resumed = resume.to_analysis();
+            assert_eq!(resumed.annotations, cold.annotations);
+            assert_eq!(resumed.goals, cold.goals);
+            assert_eq!(resumed.prover.facts(), cold.prover.facts());
+            assert_eq!(resume.render(&proto), render_analysis(&proto, &cold));
+        }
+        // A goal-only edit advances with an empty delta: the closure is
+        // untouched and only the verdict lines move.
+        proto = proto.goal(Formula::has("A", Key::new("Kmissing")));
+        resume.advance(&proto, &[]);
+        let cold = analyze_at(&proto);
+        assert_eq!(resume.to_analysis().goals, cold.goals);
+        assert_eq!(resume.render(&proto), render_analysis(&proto, &cold));
+    }
+
+    #[test]
+    fn reanalysis_with_no_additions_recomputes_goals_only() {
+        // Goal-only edits resume with an empty delta: the closure is
+        // untouched and only the verdict lines change.
+        let base = figure1_at();
+        let old = analyze_at(&base);
+        let mut goal_edit = base.clone();
+        goal_edit
+            .goals
+            .push(Formula::has("A", Key::new("Kmissing")));
+        let resumed = reanalyze_at(&old, &goal_edit, &[]);
+        let cold = analyze_at(&goal_edit);
+        assert_eq!(resumed.annotations, cold.annotations);
+        assert_eq!(resumed.goals, cold.goals);
+        assert_eq!(
+            render_analysis(&goal_edit, &resumed),
+            render_analysis(&goal_edit, &cold)
+        );
+    }
+
+    #[test]
+    fn reanalysis_recomputes_stability_warnings() {
+        let unstable = Formula::not(Formula::sees("A", Message::nonce(Nonce::new("X"))));
+        let base = AtProtocol::new("t").assume(Formula::has("A", Key::new("K")));
+        let old = analyze_at(&base);
+        let edited = base.clone().assume(unstable.clone());
+        let resumed = reanalyze_at(&old, &edited, std::slice::from_ref(&unstable));
+        assert_eq!(resumed.unstable_assumptions, vec![unstable]);
     }
 
     #[test]

@@ -418,6 +418,208 @@ pub fn construct_budgeted_on(
     Ok((current, report, outcome))
 }
 
+/// A per-stage record of a *completed* Section 7 construction, enough to
+/// resume a later construction from the first stage an assumption edit
+/// invalidates.
+///
+/// Stage `j` of the construction filters each `G_i^{j-1}` by the bodies
+/// of `P_i`'s depth-`j` assumptions, relative to the whole vector
+/// `G^{j-1}`. So the output of stage `j` is fully determined by the
+/// vector after stage `j-1` together with the per-principal depth-`j`
+/// assumption lists — the checkpoint stores exactly those two things per
+/// stage, and [`resume_construct_on`] replays only the suffix whose
+/// inputs changed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConstructionCheckpoint {
+    /// `vectors[0]` is the initial vector `G^0`; `vectors[j]` is the
+    /// vector after stage `j` completed.
+    vectors: Vec<GoodRuns>,
+    /// `inputs[j-1]` maps each principal with depth-`j` assumptions to
+    /// those assumptions, in registration order. Principals *without*
+    /// depth-`j` assumptions are omitted: stage `j` passes them through
+    /// unchanged, so they cannot affect its output.
+    inputs: Vec<BTreeMap<Principal, Vec<Formula>>>,
+}
+
+impl ConstructionCheckpoint {
+    /// The number of completed stages recorded.
+    pub fn stages(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// How many leading stages a construction for `assumptions` could
+    /// reuse from this checkpoint: the longest prefix of stages whose
+    /// inputs are unchanged.
+    pub fn reusable_stages(&self, assumptions: &InitialAssumptions) -> usize {
+        self.inputs
+            .iter()
+            .zip(stage_inputs(assumptions))
+            .take_while(|(old, new)| **old == *new)
+            .count()
+    }
+}
+
+/// The per-stage inputs of the construction for `assumptions`: element
+/// `j-1` maps each principal to its depth-`j` assumptions (principals
+/// with none at that depth omitted).
+fn stage_inputs(assumptions: &InitialAssumptions) -> Vec<BTreeMap<Principal, Vec<Formula>>> {
+    (1..=assumptions.max_depth())
+        .map(|j| {
+            assumptions
+                .principals()
+                .filter_map(|p| {
+                    let fs: Vec<Formula> = assumptions
+                        .of(p)
+                        .iter()
+                        .filter(|f| f.belief_depth() == j)
+                        .cloned()
+                        .collect();
+                    (!fs.is_empty()).then(|| (p.clone(), fs))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// As [`construct_on`], also returning a [`ConstructionCheckpoint`] that
+/// a later [`resume_construct_on`] can pick up from.
+///
+/// # Errors
+///
+/// As for [`construct`].
+pub fn construct_checkpointed_on(
+    system: &System,
+    assumptions: &InitialAssumptions,
+    pool: &Pool,
+) -> Result<(GoodRuns, ConstructionReport, ConstructionCheckpoint), GoodRunsError> {
+    let warmed = EvalCache::prewarm_on(system, pool);
+    construct_checkpointed_with(system, assumptions, pool, &warmed)
+}
+
+/// [`construct_checkpointed_on`] over a caller-prewarmed cache, so serve
+/// sessions reuse the snapshot they already hold.
+pub(crate) fn construct_checkpointed_with(
+    system: &System,
+    assumptions: &InitialAssumptions,
+    pool: &Pool,
+    warmed: &EvalCache,
+) -> Result<(GoodRuns, ConstructionReport, ConstructionCheckpoint), GoodRunsError> {
+    resume_construct_with(
+        system,
+        assumptions,
+        &ConstructionCheckpoint::default(),
+        pool,
+        warmed,
+    )
+    .map(|(g, report, ckpt, _)| (g, report, ckpt))
+}
+
+/// Re-runs the construction for `assumptions`, reusing from `prior`
+/// every leading stage whose inputs are unchanged and recomputing only
+/// the suffix. Returns the vector, report, and a fresh checkpoint —
+/// **identical** to what [`construct_checkpointed_on`] computes from
+/// scratch on the same system — plus the number of stages reused.
+///
+/// `prior` must come from a construction over the *same* [`System`]
+/// (same run set); the assumptions may differ arbitrarily.
+///
+/// # Errors
+///
+/// As for [`construct`].
+pub fn resume_construct_on(
+    system: &System,
+    assumptions: &InitialAssumptions,
+    prior: &ConstructionCheckpoint,
+    pool: &Pool,
+) -> Result<(GoodRuns, ConstructionReport, ConstructionCheckpoint, usize), GoodRunsError> {
+    let warmed = EvalCache::prewarm_on(system, pool);
+    resume_construct_with(system, assumptions, prior, pool, &warmed)
+}
+
+/// [`resume_construct_on`] over a caller-prewarmed cache.
+pub(crate) fn resume_construct_with(
+    system: &System,
+    assumptions: &InitialAssumptions,
+    prior: &ConstructionCheckpoint,
+    pool: &Pool,
+    warmed: &EvalCache,
+) -> Result<(GoodRuns, ConstructionReport, ConstructionCheckpoint, usize), GoodRunsError> {
+    assumptions.check()?;
+    let reused = prior.reusable_stages(assumptions);
+    let plain = GoodRuns::all_runs(system);
+    // Re-anchor a stored vector to the *new* assuming-principal set:
+    // explicit entries for exactly those principals, with the stored
+    // (semantic) value of each — `get` defaults new principals to "all
+    // runs", which is what the cold construction's initialization gives
+    // them, since a genuinely new principal with depth ≤ `reused`
+    // assumptions would have changed those stages' inputs.
+    let anchor = |stored: Option<&GoodRuns>| {
+        let stored = stored.unwrap_or(&plain);
+        let mut v = GoodRuns::all_runs(system);
+        for p in assumptions.principals() {
+            v.set(p.clone(), stored.get(p).clone());
+        }
+        v
+    };
+    let mut checkpoint = ConstructionCheckpoint {
+        vectors: (0..=reused).map(|j| anchor(prior.vectors.get(j))).collect(),
+        inputs: stage_inputs(assumptions),
+    };
+    let mut report = ConstructionReport::default();
+    for j in 1..=reused {
+        report.stages.push(
+            assumptions
+                .principals()
+                .map(|p| (p.clone(), checkpoint.vectors[j].get(p).len()))
+                .collect(),
+        );
+    }
+    let mut current = checkpoint.vectors[reused].clone();
+    // The replayed suffix is the unbudgeted construction loop, stage
+    // fan-out and merge order included, so the result is bit-identical
+    // to a cold construction at any pool width.
+    for j in (reused + 1)..=assumptions.max_depth() {
+        let mut next = current.clone();
+        let mut stage = BTreeMap::new();
+        for p in assumptions.principals() {
+            let mut keep = current.get(p).clone();
+            for f in assumptions.of(p) {
+                if f.belief_depth() != j {
+                    continue;
+                }
+                let Formula::Believes(_, body) = f else {
+                    unreachable!("checked shape");
+                };
+                let order: Vec<usize> = keep.iter().copied().collect();
+                let verdicts = pool.map_init(
+                    &order,
+                    || {
+                        Semantics::new_shared(
+                            system,
+                            current.clone(),
+                            Rc::new(RefCell::new(warmed.clone())),
+                        )
+                    },
+                    |sem, _, &ri| sem.eval(Point::new(ri, 0), body),
+                );
+                let mut surviving = BTreeSet::new();
+                for (i, v) in verdicts.into_iter().enumerate() {
+                    if v? {
+                        surviving.insert(order[i]);
+                    }
+                }
+                keep = surviving;
+            }
+            stage.insert(p.clone(), keep.len());
+            next.set(p.clone(), keep);
+        }
+        report.stages.push(stage);
+        checkpoint.vectors.push(next.clone());
+        current = next;
+    }
+    Ok((current, report, checkpoint, reused))
+}
+
 /// True if `goods` *supports* `assumptions`: every assumption holds at
 /// every time-0 point of the system, relative to `goods`.
 ///
@@ -725,6 +927,88 @@ mod tests {
         let (full, _, outcome) = construct_budgeted(&sys, &i, Budget::unlimited()).unwrap();
         assert!(outcome.is_complete());
         assert_eq!(full, construct(&sys, &i).unwrap());
+    }
+
+    fn depth_two_assumptions() -> InitialAssumptions {
+        let mut i = InitialAssumptions::new();
+        let base = Formula::shared_key("A", Key::new("Kab"), "B");
+        i.assume("A", base.clone());
+        i.assume("B", base.clone());
+        i.assume("A", Formula::believes("B", base));
+        i
+    }
+
+    #[test]
+    fn checkpointed_construction_matches_plain() {
+        let sys = two_run_system();
+        let i = depth_two_assumptions();
+        for jobs in [1, 2] {
+            let pool = Pool::new(jobs);
+            let (goods, report) = construct_on(&sys, &i, &pool).unwrap();
+            let (g2, r2, ckpt) = construct_checkpointed_on(&sys, &i, &pool).unwrap();
+            assert_eq!(goods, g2);
+            assert_eq!(report, r2);
+            assert_eq!(ckpt.stages(), 2);
+            assert_eq!(ckpt.reusable_stages(&i), 2);
+        }
+    }
+
+    #[test]
+    fn resume_matches_cold_construction_for_every_edit_class() {
+        let sys = two_run_system();
+        let old = depth_two_assumptions();
+        let base = Formula::shared_key("A", Key::new("Kab"), "B");
+
+        // Each (edit, reusable-stage floor): depth-2 addition keeps
+        // stage 1; depth-1 edits invalidate everything; pure reorders
+        // and no-ops keep both stages.
+        let mut add_depth2 = old.clone();
+        add_depth2.assume("B", Formula::believes("A", base.clone()));
+        let mut add_depth1 = old.clone();
+        add_depth1.assume(
+            "B",
+            Formula::not(Formula::shared_key("B", Key::new("Kx"), "A")),
+        );
+        let mut removed = InitialAssumptions::new();
+        removed.assume("A", base.clone());
+        removed.assume("A", Formula::believes("B", base.clone()));
+        let mut new_principal = old.clone();
+        new_principal.assume("S", Formula::True);
+        let edits: [(InitialAssumptions, usize); 5] = [
+            (old.clone(), 2),
+            (add_depth2, 1),
+            (add_depth1, 0),
+            (removed, 0),
+            (new_principal, 0),
+        ];
+
+        for jobs in [1, 2] {
+            let pool = Pool::new(jobs);
+            let (_, _, ckpt) = construct_checkpointed_on(&sys, &old, &pool).unwrap();
+            for (new, want_reused) in &edits {
+                let (warm, warm_report, warm_ckpt, reused) =
+                    resume_construct_on(&sys, new, &ckpt, &pool).unwrap();
+                let (cold, cold_report, cold_ckpt) =
+                    construct_checkpointed_on(&sys, new, &pool).unwrap();
+                assert_eq!(warm, cold, "vector mismatch at jobs={jobs}");
+                assert_eq!(warm_report, cold_report);
+                assert_eq!(warm_ckpt, cold_ckpt, "checkpoint must be rebuilt as-cold");
+                assert_eq!(reused, *want_reused);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_malformed_assumptions() {
+        let sys = two_run_system();
+        let pool = Pool::new(1);
+        let (_, _, ckpt) = construct_checkpointed_on(&sys, &key_assumption(), &pool).unwrap();
+        let mut bad = InitialAssumptions::new();
+        bad.assume("A", Formula::not(Formula::believes("A", Formula::True)));
+        assert!(matches!(
+            resume_construct_on(&sys, &bad, &ckpt, &pool),
+            Err(GoodRunsError::ViolatesI1(_))
+        ));
     }
 
     #[test]

@@ -79,6 +79,8 @@ impl LatencyHistogram {
 pub enum Verb {
     /// `LOAD`
     Load,
+    /// `RELOAD`
+    Reload,
     /// `ANALYZE`
     Analyze,
     /// `EVAL`
@@ -99,8 +101,9 @@ pub enum Verb {
 
 impl Verb {
     /// Every verb, in the order the exposition lists them.
-    pub const ALL: [Verb; 9] = [
+    pub const ALL: [Verb; 10] = [
         Verb::Load,
+        Verb::Reload,
         Verb::Analyze,
         Verb::Eval,
         Verb::Inject,
@@ -115,6 +118,7 @@ impl Verb {
     pub fn label(self) -> &'static str {
         match self {
             Verb::Load => "load",
+            Verb::Reload => "reload",
             Verb::Analyze => "analyze",
             Verb::Eval => "eval",
             Verb::Inject => "inject",
@@ -130,6 +134,7 @@ impl Verb {
     pub fn of_command(cmd: &str) -> Verb {
         match cmd {
             "LOAD" => Verb::Load,
+            "RELOAD" => Verb::Reload,
             "ANALYZE" => Verb::Analyze,
             "EVAL" => Verb::Eval,
             "INJECT" => Verb::Inject,
@@ -475,6 +480,7 @@ mod tests {
     #[test]
     fn verb_classification_covers_the_wire_protocol() {
         assert_eq!(Verb::of_command("LOAD"), Verb::Load);
+        assert_eq!(Verb::of_command("RELOAD"), Verb::Reload);
         assert_eq!(Verb::of_command("METRICS"), Verb::Metrics);
         assert_eq!(Verb::of_command("FROBNICATE"), Verb::Other);
         assert_eq!(Verb::of_command(""), Verb::Other);
@@ -517,7 +523,7 @@ mod tests {
             value: 3,
         }]);
         let samples = check_exposition(&text).expect("exposition parses");
-        assert!(samples > 9 * (BUCKET_BOUNDS_MICROS.len() + 3));
+        assert!(samples > 10 * (BUCKET_BOUNDS_MICROS.len() + 3));
         assert!(text.contains("atl_serve_requests_total{verb=\"analyze\"} 2"));
         assert!(text.contains(
             "atl_serve_request_duration_seconds_bucket{verb=\"analyze\",le=\"0.000016\"} 1"

@@ -214,6 +214,18 @@ pub struct Prover {
     trace: Vec<Step>,
     config: ProverConfig,
     meter: BudgetMeter,
+    /// True iff `facts` is the closure a completed saturation reached and
+    /// nothing was assumed since — the precondition for
+    /// [`saturate_delta`](Self::saturate_delta) to skip re-firing it.
+    saturated: bool,
+    /// The worklist indexes as a completed saturation left them (every
+    /// current fact indexed), cached so the next
+    /// [`saturate_delta`](Self::saturate_delta) — including on a clone of
+    /// this prover — starts from them instead of re-indexing the whole
+    /// closure, which otherwise dominates an incremental re-analysis.
+    /// `None` whenever the cache could be stale (facts assumed since, a
+    /// saturation cut short, or a prover rebuilt from bare facts).
+    idx: Option<Indexes>,
 }
 
 /// Splits off the belief prefix of a formula.
@@ -248,6 +260,8 @@ impl Prover {
             trace: Vec::new(),
             config,
             meter: BudgetMeter::start(Budget::unlimited()),
+            saturated: false,
+            idx: None,
         };
         for f in facts {
             prover.add(f, DerivedRule::Given, Vec::new());
@@ -255,9 +269,25 @@ impl Prover {
         prover
     }
 
+    /// Reconstructs a prover directly at a known fixpoint: `facts` must
+    /// be the exact fact set of a completed saturation (e.g. a stored
+    /// annotation level from [`analyze_at`](crate::annotate::analyze_at)).
+    /// The facts are seeded as given — the original derivation trace is
+    /// not recoverable — and
+    /// [`saturate_delta`](Self::saturate_delta) extends from them
+    /// incrementally instead of re-firing the full rule set.
+    pub fn at_fixpoint(facts: impl IntoIterator<Item = Formula>, config: ProverConfig) -> Self {
+        let mut prover = Prover::with_config(facts, config);
+        prover.saturated = true;
+        prover
+    }
+
     /// Adds a fact (e.g. an annotation `Q sees X` after a step).
     pub fn assume(&mut self, f: Formula) {
-        self.add(f, DerivedRule::Given, Vec::new());
+        if self.add(f, DerivedRule::Given, Vec::new()) {
+            self.saturated = false;
+            self.idx = None;
+        }
     }
 
     /// The current fact set.
@@ -331,6 +361,7 @@ impl Prover {
     /// reports [`Saturation::BudgetExhausted`] conservatively.
     pub fn saturate_metered(&mut self, meter: BudgetMeter) -> Saturation {
         self.meter = meter;
+        self.idx = None;
         let before = self.facts.len();
         if self.config.use_worklist {
             self.saturate_worklist();
@@ -341,6 +372,75 @@ impl Prover {
                 }
             }
         }
+        self.saturated = !self.meter.exhausted();
+        if self.meter.exhausted() {
+            Saturation::BudgetExhausted {
+                facts: self.facts.len(),
+                steps: self.meter.steps(),
+            }
+        } else {
+            Saturation::Complete {
+                new_facts: self.facts.len() - before,
+            }
+        }
+    }
+
+    /// Adds `added` as given facts and re-saturates **incrementally**:
+    /// the current fact set — already a fixpoint after a completed
+    /// [`saturate`](Self::saturate) — is indexed without re-firing any
+    /// rule, and only the genuinely novel facts (and their consequences)
+    /// enter the worklist. The closure is a unique fixpoint, so the
+    /// resulting fact set is identical to seeding a fresh prover with
+    /// the enlarged assumption set and saturating from scratch: every
+    /// rule instance with at least one novel premise fires when its last
+    /// novel premise is processed — the same last-arrival trigger
+    /// discipline the full worklist relies on — and instances over only
+    /// old facts already fired before the delta. Falls back to a full
+    /// [`saturate`](Self::saturate) for the rescan engine
+    /// (`use_worklist: false`), or when the fact set is not a completed
+    /// fixpoint (never saturated, budget-exhausted, or assumed-into
+    /// since).
+    pub fn saturate_delta(&mut self, added: impl IntoIterator<Item = Formula>) -> Saturation {
+        if !self.config.use_worklist || !self.saturated {
+            for f in added {
+                self.add(f, DerivedRule::Given, Vec::new());
+            }
+            return self.saturate();
+        }
+        let mut novel: BTreeSet<Formula> = BTreeSet::new();
+        for f in added {
+            if self.add(f.clone(), DerivedRule::Given, Vec::new()) {
+                novel.insert(f);
+            }
+        }
+        if novel.is_empty() {
+            return Saturation::Complete { new_facts: 0 };
+        }
+        self.meter = BudgetMeter::start(self.config.budget);
+        let before = self.facts.len();
+        // A cached index from the last completed saturation already
+        // covers every pre-delta fact (the novel ones were only just
+        // added), so reuse it; otherwise index the old closure once.
+        let mut idx = match self.idx.take() {
+            Some(idx) => idx,
+            None => {
+                let mut idx = Indexes::default();
+                for f in &self.facts {
+                    if novel.contains(f) {
+                        continue;
+                    }
+                    let (prefix, body) = strip(f);
+                    idx.insert(&prefix, body);
+                }
+                idx
+            }
+        };
+        // Novel facts drain in BTreeSet order, matching the full
+        // saturation's deterministic seeding.
+        let mut queue: VecDeque<Formula> = novel.into_iter().collect();
+        self.drain_worklist(&mut idx, &mut queue);
+        self.saturated = !self.meter.exhausted();
+        self.idx = if self.saturated { Some(idx) } else { None };
         if self.meter.exhausted() {
             Saturation::BudgetExhausted {
                 facts: self.facts.len(),
@@ -421,6 +521,18 @@ impl Prover {
         // from scratch each call, which also makes an exhausted saturation
         // resumable with a larger budget.
         let mut queue: VecDeque<Formula> = self.facts.iter().cloned().collect();
+        self.drain_worklist(&mut idx, &mut queue);
+        // A fully drained queue means `idx` covers the whole closure —
+        // keep it so the next delta skips the re-index entirely.
+        if !self.meter.exhausted() {
+            self.idx = Some(idx);
+        }
+    }
+
+    /// Drains the worklist to its fixpoint (or budget): each popped fact
+    /// is indexed, then fires the forward, reverse, and freshness rules
+    /// against everything indexed so far.
+    fn drain_worklist(&mut self, idx: &mut Indexes, queue: &mut VecDeque<Formula>) {
         let mut out: Vec<Emission> = Vec::new();
         while let Some(fact) = queue.pop_front() {
             if self.meter.exhausted() {
@@ -440,8 +552,8 @@ impl Prover {
                 );
                 reverse_rules(&self.config, &prefix, &body, ctx, &mut out);
             }
-            fresh_closure(&idx, &new_msgs, &mut out);
-            self.apply(&mut out, Some(&mut queue));
+            fresh_closure(idx, &new_msgs, &mut out);
+            self.apply(&mut out, Some(queue));
         }
     }
 
@@ -1367,6 +1479,109 @@ mod tests {
         let outcome = p.saturate();
         assert!(!outcome.is_complete());
         assert!(p.facts().len() <= 3);
+    }
+
+    /// A figure-1-shaped seed set with enough rule interplay (decryption,
+    /// message meaning, nonce verification, jurisdiction) to exercise
+    /// every trigger direction of the worklist.
+    fn figure1_seeds() -> Vec<Formula> {
+        let msg = Message::encrypted(
+            Message::tuple([nonce("Ts"), kab().into_message()]),
+            Key::new("Kbs"),
+            "S",
+        );
+        vec![
+            Formula::believes("B", Formula::shared_key("B", Key::new("Kbs"), "S")),
+            Formula::believes("B", Formula::fresh(nonce("Ts"))),
+            Formula::believes("B", Formula::controls("S", kab())),
+            Formula::has("B", Key::new("Kbs")),
+            Formula::sees("B", msg),
+        ]
+    }
+
+    #[test]
+    fn delta_saturation_reaches_the_cold_fixpoint() {
+        let seeds = figure1_seeds();
+        // Hold back each seed in turn; the delta-resumed closure must
+        // equal the cold closure over the full set.
+        for held_out in 0..seeds.len() {
+            let mut warm = Prover::new(
+                seeds
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != held_out)
+                    .map(|(_, f)| f.clone()),
+            );
+            assert!(warm.saturate().is_complete());
+            assert!(warm.saturate_delta([seeds[held_out].clone()]).is_complete());
+            let mut cold = Prover::new(seeds.iter().cloned());
+            cold.saturate();
+            assert_eq!(
+                warm.facts(),
+                cold.facts(),
+                "held-out seed {held_out} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_with_known_fact_is_a_no_op() {
+        let mut p = Prover::new(figure1_seeds());
+        p.saturate();
+        let n = p.facts().len();
+        let outcome = p.saturate_delta([Formula::has("B", Key::new("Kbs"))]);
+        assert_eq!(outcome, Saturation::Complete { new_facts: 0 });
+        assert_eq!(p.facts().len(), n);
+    }
+
+    #[test]
+    fn delta_falls_back_when_not_at_a_fixpoint() {
+        // An assume() between saturations invalidates the fixpoint, so
+        // the delta path must re-run the full saturation and still land
+        // on the cold closure.
+        let seeds = figure1_seeds();
+        let mut warm = Prover::new(seeds[..3].iter().cloned());
+        warm.saturate();
+        warm.assume(seeds[3].clone());
+        warm.saturate_delta([seeds[4].clone()]);
+        let mut cold = Prover::new(seeds.iter().cloned());
+        cold.saturate();
+        assert_eq!(warm.facts(), cold.facts());
+        // A never-saturated prover likewise falls back.
+        let mut fresh = Prover::new(seeds[..4].iter().cloned());
+        fresh.saturate_delta([seeds[4].clone()]);
+        assert_eq!(fresh.facts(), cold.facts());
+    }
+
+    #[test]
+    fn at_fixpoint_resumes_a_stored_closure() {
+        let seeds = figure1_seeds();
+        let mut base = Prover::new(seeds[..4].iter().cloned());
+        base.saturate();
+        // Rebuild from the bare fact set (as a stored annotation level
+        // would be) and extend incrementally.
+        let mut resumed =
+            Prover::at_fixpoint(base.facts().iter().cloned(), ProverConfig::default());
+        assert!(resumed.saturate_delta([seeds[4].clone()]).is_complete());
+        let mut cold = Prover::new(seeds.iter().cloned());
+        cold.saturate();
+        assert_eq!(resumed.facts(), cold.facts());
+        assert!(resumed.holds(&Formula::believes("B", kab())));
+    }
+
+    #[test]
+    fn delta_respects_the_rescan_engine() {
+        let seeds = figure1_seeds();
+        let config = ProverConfig {
+            use_worklist: false,
+            ..ProverConfig::default()
+        };
+        let mut warm = Prover::with_config(seeds[..4].iter().cloned(), config);
+        warm.saturate();
+        warm.saturate_delta([seeds[4].clone()]);
+        let mut cold = Prover::with_config(seeds.iter().cloned(), config);
+        cold.saturate();
+        assert_eq!(warm.facts(), cold.facts());
     }
 
     #[test]

@@ -134,6 +134,16 @@ pub(crate) struct EvalCache {
     past: BTreeMap<usize, Arc<MessageSet>>,
 }
 
+/// How much of a prior cache [`EvalCache::prewarm_delta_on`] kept: the
+/// entries carried over by reference versus the rewarmed cache's size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct RewarmStats {
+    /// Memoized sets carried over from the prior cache.
+    pub(crate) reused: usize,
+    /// Memoized sets in the rewarmed cache.
+    pub(crate) total: usize,
+}
+
 /// The per-run slice of a prewarmed cache, computed on one worker.
 struct RunWarm {
     ri: usize,
@@ -212,6 +222,141 @@ impl EvalCache {
         cache
     }
 
+    /// Rewarms a cache for an *edited* system, carrying over from `old`
+    /// (prewarmed for `old_system`) every memoized set whose inputs are
+    /// untouched by the edit — reuse is decided pointwise, by comparing
+    /// the model-level input of each entry:
+    ///
+    /// - a run's pre-epoch closure, iff its pre-epoch sent set is equal;
+    /// - a send record's accountable set, iff the record is equal;
+    /// - a `(principal, point)` hidden state, iff the principal's local
+    ///   state at that point is equal.
+    ///
+    /// The frozen interner snapshot is kept from `old` when it has one:
+    /// messages new to the edited system intern into per-worker scratch
+    /// layers exactly as evaluation-time terms do, so no snapshot is
+    /// rebuilt. Term ids never reach any output, so the rewarmed cache
+    /// answers byte-identically to [`EvalCache::prewarm_on`] on the
+    /// edited system.
+    pub(crate) fn prewarm_delta_on(
+        system: &System,
+        old_system: &System,
+        old: &EvalCache,
+        pool: &Pool,
+    ) -> (EvalCache, RewarmStats) {
+        let frozen = match old.frozen_base() {
+            Some(base) => Arc::clone(base),
+            None => {
+                let mut seed = Interner::new();
+                for run in system.runs() {
+                    for rec in run.send_records() {
+                        seed.message(&rec.message);
+                    }
+                }
+                Arc::new(seed.freeze())
+            }
+        };
+        let mut principals: BTreeSet<Principal> = system.principals();
+        principals.insert(Principal::environment());
+
+        // Borrow the Arc-valued maps individually: the `TermCache` layer
+        // is not shared across workers, but these are.
+        let (old_past, old_said, old_hidden) = (&old.past, &old.said_rec, &old.hidden_at);
+
+        let runs: Vec<usize> = (0..system.len()).collect();
+        let (warmed, scratches): (Vec<(RunWarm, RewarmStats)>, Vec<TermCache>) = pool
+            .map_init_collect(
+                &runs,
+                || TermCache::with_base(Arc::clone(&frozen)),
+                |terms, _, &ri| {
+                    let run = &system.runs()[ri];
+                    let old_run = old_system.runs().get(ri);
+                    let mut stats = RewarmStats::default();
+
+                    let sent: MessageSet = run.sent_before_epoch();
+                    stats.total += 1;
+                    let past = match old_run.filter(|o| o.sent_before_epoch() == sent) {
+                        Some(_) if old_past.contains_key(&ri) => {
+                            stats.reused += 1;
+                            Arc::clone(&old_past[&ri])
+                        }
+                        _ => Arc::new(submsgs_of_set(sent.iter())),
+                    };
+
+                    let said = run
+                        .send_records()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, rec)| {
+                            stats.total += 1;
+                            let cached = old_run
+                                .filter(|o| o.send_records().get(i) == Some(rec))
+                                .and_then(|_| old_said.get(&(ri, i)));
+                            let set = match cached {
+                                Some(s) => {
+                                    stats.reused += 1;
+                                    Arc::clone(s)
+                                }
+                                None => Arc::new(rec.said_submsgs()),
+                            };
+                            (i, set)
+                        })
+                        .collect();
+
+                    let mut hidden = Vec::new();
+                    for p in &principals {
+                        let old_p = old_hidden.get(p);
+                        for k in run.times() {
+                            let state = run.state(k).expect("time in range");
+                            stats.total += 1;
+                            let cached = old_run
+                                .and_then(|o| o.state(k))
+                                .filter(|os| os.local(p) == state.local(p))
+                                .and_then(|_| old_p.and_then(|m| m.get(&(ri, k))));
+                            let h = match cached {
+                                Some(h) => {
+                                    stats.reused += 1;
+                                    Arc::clone(h)
+                                }
+                                None => Arc::new(state.local(p).hidden_with(terms)),
+                            };
+                            hidden.push((p.clone(), k, h));
+                        }
+                    }
+                    (
+                        RunWarm {
+                            ri,
+                            past,
+                            said,
+                            hidden,
+                        },
+                        stats,
+                    )
+                },
+            );
+
+        let mut cache = EvalCache {
+            terms: TermCache::with_base(frozen),
+            ..EvalCache::default()
+        };
+        let mut stats = RewarmStats::default();
+        for (w, s) in warmed {
+            stats.reused += s.reused;
+            stats.total += s.total;
+            cache.past.insert(w.ri, w.past);
+            for (i, set) in w.said {
+                cache.said_rec.insert((w.ri, i), set);
+            }
+            for (p, k, h) in w.hidden {
+                cache.hidden_at.entry(p).or_default().insert((w.ri, k), h);
+            }
+        }
+        for scratch in scratches {
+            cache.terms.absorb(scratch);
+        }
+        (cache, stats)
+    }
+
     /// The frozen interner snapshot backing this cache's term layer, if
     /// the cache was prewarmed (a default-constructed cache has none).
     pub(crate) fn frozen_base(&self) -> Option<&Arc<atl_lang::FrozenInterner>> {
@@ -222,6 +367,12 @@ impl EvalCache {
     /// (the bulk of a prewarmed cache; surfaced by serve-mode `STATS`).
     pub(crate) fn hidden_entries(&self) -> usize {
         self.hidden_at.values().map(BTreeMap::len).sum()
+    }
+
+    /// Total memoized points across the three point-indexed maps — the
+    /// denominator serve-mode `RELOAD` reports cache reuse against.
+    pub(crate) fn entry_count(&self) -> usize {
+        self.past.len() + self.said_rec.len() + self.hidden_entries()
     }
 }
 
@@ -1176,6 +1327,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn delta_prewarm_reuses_untouched_points_and_answers_like_cold() {
+        let old_sys = simple_system();
+        // The edited system: same shape, different payload in the sent
+        // cipher — states before the send are untouched.
+        let edited = {
+            let mut b = RunBuilder::new(-1);
+            b.principal("A", [Key::new("Kab")]);
+            b.principal("B", [Key::new("Kab")]);
+            b.new_key("A", "Spare");
+            let cipher = Message::encrypted(nonce("Y"), Key::new("Kab"), Principal::new("A"));
+            b.send("A", cipher.clone(), "B").unwrap();
+            b.receive("B", &cipher).unwrap();
+            System::new([b.build().unwrap()])
+        };
+        let formulas = [
+            Formula::sees("B", nonce("Y")),
+            Formula::sees("B", nonce("X")),
+            Formula::said("A", nonce("Y")),
+            Formula::fresh(nonce("Y")),
+            Formula::believes("B", Formula::sees("B", nonce("Y"))),
+            Formula::shared_key("A", Key::new("Kab"), "B"),
+        ];
+        for jobs in [1, 2] {
+            let pool = Pool::new(jobs);
+            let old = EvalCache::prewarm_on(&old_sys, &pool);
+            let (delta, stats) = EvalCache::prewarm_delta_on(&edited, &old_sys, &old, &pool);
+            // The pre-edit prefix is carried over, the suffix is not.
+            assert!(stats.reused > 0, "untouched points must be reused");
+            assert!(stats.reused < stats.total, "edited points must not be");
+            assert_eq!(
+                stats.total,
+                EvalCache::prewarm_on(&edited, &pool).hidden_entries()
+                    + 1
+                    + edited.runs()[0].send_records().len()
+            );
+            // The interner snapshot is the old one, kept by reference.
+            assert!(Arc::ptr_eq(
+                delta.frozen_base().unwrap(),
+                old.frozen_base().unwrap()
+            ));
+            // And evaluation over the rewarmed cache matches a fresh
+            // evaluator on the edited system, everywhere.
+            let goods = GoodRuns::all_runs(&edited);
+            let shared =
+                Semantics::new_shared(&edited, goods.clone(), Rc::new(RefCell::new(delta)));
+            let fresh = Semantics::new(&edited, goods);
+            for k in edited.runs()[0].times() {
+                let at = Point::new(0, k);
+                for f in &formulas {
+                    assert_eq!(
+                        shared.eval(at, f).unwrap(),
+                        fresh.eval(at, f).unwrap(),
+                        "jobs {jobs}, point {at:?}, formula {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_prewarm_of_an_identical_system_reuses_everything() {
+        let sys = simple_system();
+        let pool = Pool::new(1);
+        let old = EvalCache::prewarm_on(&sys, &pool);
+        let (delta, stats) = EvalCache::prewarm_delta_on(&sys, &sys, &old, &pool);
+        assert_eq!(stats.reused, stats.total);
+        assert_eq!(delta.hidden_entries(), old.hidden_entries());
     }
 
     #[test]

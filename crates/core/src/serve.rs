@@ -41,7 +41,13 @@
 //! Requests:
 //!
 //! ```text
-//! LOAD <spec-path>                 parse + warm a session (idempotent by content)
+//! LOAD <spec-path>                 parse + warm a session (idempotent by
+//!                                  canonicalized content: comments and
+//!                                  surrounding whitespace don't count)
+//! RELOAD <id> <spec-path>          re-point a live session at an edited
+//!                                  spec, reusing every stage and cache
+//!                                  the edit leaves untouched (see
+//!                                  "Incremental reload" below)
 //! ANALYZE <id>                     the annotation report, bytes of `atl analyze`
 //! EVAL <id> <run:time|time> <phi>  semantic evaluation at a point
 //! INJECT <id> <fault-flags>        single-plan belief-survival report,
@@ -49,7 +55,7 @@
 //! SWEEP <id> policy=<p> options=<o> plans=<plan>;<plan>;…
 //!                                  execute a shard of fault plans, one
 //!                                  wire-rendered outcome per plan
-//! STATS                            session/cache counters (fixed 8-line text)
+//! STATS                            session/cache counters (fixed 9-line text)
 //! METRICS                          Prometheus-style text exposition
 //!                                  (crate::metrics): per-verb latency
 //!                                  histograms, queue/worker gauges,
@@ -63,6 +69,26 @@
 //! response carries each outcome keyed by its fingerprint digest —
 //! `outcome <i> fp=<16 hex> lines=<n>` followed by `n` lines of
 //! [`atl_model::wire::render_outcome`].
+//!
+//! # Incremental reload
+//!
+//! `RELOAD <id> <path>` diffs the newly parsed spec against the
+//! session's current one ([`crate::spec::SpecDiff`]) and rebuilds only
+//! what the edit invalidates: the annotation closure resumes from its
+//! previous fixpoint when assumptions were only added or reordered
+//! (delta saturation), the enacted protocol — and with it the executed
+//! [`System`], the frozen-interner snapshot, and the warmed
+//! [`EvalCache`] — is kept whenever the edit is goal/belief-only, the
+//! Section 7 construction resumes from the first invalidated stage via
+//! its [`ConstructionCheckpoint`], and an edited system rewarms its
+//! cache pointwise ([`EvalCache` delta prewarm]) instead of from
+//! scratch. The reloaded session keeps its id, records its parent's
+//! digest as lineage, and answers every query **byte-identically** to a
+//! cold `LOAD` of the edited spec — the reuse conditions are all
+//! equality-gated on the inputs that determine each answer. `STATS`
+//! line 3 and the `atl_serve_reload_*` metrics count how often the
+//! delta path (something reused) versus the full path (nothing
+//! reusable) ran.
 //!
 //! Sessions are evicted least-recently-used beyond `--max-sessions`;
 //! re-`LOAD`ing an evicted spec rebuilds it (new id) and every query
@@ -80,21 +106,21 @@
 //! conformance harnesses live in `tests/e17_serve.rs` (protocol) and
 //! `tests/e19_pool.rs` (pool widths, backpressure, metrics).
 
-use crate::annotate::{analyze_at, render_analysis, AtProtocol};
+use crate::annotate::{analyze_at_resumable, AnalysisResume, AtProtocol};
 use crate::enact::{enact, enact_with, EnactOptions};
-use crate::goodruns::construct_on;
+use crate::goodruns::{construct_checkpointed_with, resume_construct_with, ConstructionCheckpoint};
 use crate::inject::{inject_report, InjectRequest};
 use crate::metrics::{ExtraMetric, MetricKind, ServeMetrics, Verb};
 use crate::parallel::Pool;
-use crate::semantics::{EvalCache, GoodRuns, Semantics};
-use crate::spec::parse_spec;
+use crate::semantics::{EvalCache, GoodRuns, RewarmStats, Semantics};
+use crate::spec::{canonicalize_spec, parse_spec, SpecDiff};
 use crate::sweep::belief_assumptions;
 use atl_lang::parser::{parse_formula, Symbols};
 use atl_lang::Key;
 use atl_model::wire::{parse_plan_list, render_outcome};
 use atl_model::{
     execute_with_faults, sweep_plans_on, ExecOptions, ExecutionCache, ExpectPolicy, FaultPlan,
-    OnTimeout, Point, System,
+    OnTimeout, Point, Protocol, System,
 };
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
@@ -180,6 +206,13 @@ pub struct ServeStats {
     pub load_hits: u64,
     /// Sessions evicted by the LRU policy.
     pub evictions: u64,
+    /// `RELOAD` requests served (successfully re-pointed a session).
+    pub reloads: u64,
+    /// `RELOAD`s that reused at least one stage/cache from the prior
+    /// session (including the unchanged-content no-op).
+    pub reload_delta: u64,
+    /// `RELOAD`s that could reuse nothing and rebuilt everything.
+    pub reload_full: u64,
     /// `ANALYZE` requests served (always from the pre-rendered report).
     pub analyze_served: u64,
     /// `EVAL` requests served.
@@ -285,10 +318,23 @@ impl Response {
 struct Session {
     id: u64,
     digest: u64,
+    /// The canonical digest of the spec this session was `RELOAD`ed
+    /// from, when it was (lineage; `None` for a fresh `LOAD`).
+    parent: Option<u64>,
     at: AtProtocol,
     syms: Symbols,
+    /// The annotation run packaged for in-place resumption. A `RELOAD`
+    /// *takes* it (the session is retiring anyway) and advances the
+    /// provers directly — no per-level clone, no re-indexing. `None`
+    /// only after a concurrent reload already claimed it, in which case
+    /// the loser re-analyzes cold.
+    resume: Mutex<Option<AnalysisResume>>,
     /// Pre-rendered `atl analyze` report (and whether every goal held).
     analysis_text: String,
+    /// The enacted default protocol — the executor-visible surface. Two
+    /// specs with equal `proto` execute identically, which is what lets
+    /// `RELOAD` keep the system for goal/belief-only edits.
+    proto: Protocol,
     /// The fault-free execution, if the spec runs to completion.
     system: Option<System>,
     /// Why there is no system, when there is none.
@@ -296,6 +342,9 @@ struct Session {
     /// Good-run vector over `system` (Section 7 construction, falling
     /// back to the all-runs vector exactly as the sweep bridge does).
     goods: GoodRuns,
+    /// Per-stage record of the construction, for `RELOAD` resume
+    /// (`None` when the construction fell back or there is no system).
+    checkpoint: Option<ConstructionCheckpoint>,
     /// Prewarmed evaluation cache holding the frozen-interner snapshot.
     warmed: EvalCache,
     eval_memo: Mutex<HashMap<String, Response>>,
@@ -749,6 +798,7 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> Response {
     };
     match cmd {
         "LOAD" => cmd_load(state, rest),
+        "RELOAD" => cmd_reload(state, rest),
         "ANALYZE" => cmd_analyze(state, rest),
         "EVAL" => cmd_eval(state, rest),
         "INJECT" => cmd_inject(state, rest),
@@ -760,15 +810,18 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> Response {
         "SHUTDOWN" if rest.is_empty() => cmd_shutdown(state),
         "SHUTDOWN" => Response::err("SHUTDOWN takes no arguments"),
         other => Response::err(format!(
-            "unknown command {other:?} (expected LOAD, ANALYZE, EVAL, INJECT, SWEEP, STATS, \
-             METRICS or SHUTDOWN)"
+            "unknown command {other:?} (expected LOAD, RELOAD, ANALYZE, EVAL, INJECT, SWEEP, \
+             STATS, METRICS or SHUTDOWN)"
         )),
     }
 }
 
+/// Digest of the *canonicalized* spec text: comments and insignificant
+/// whitespace are erased first, so comment-only twins share a digest and
+/// hit the `LOAD` dedupe path instead of building a second session.
 fn content_digest(content: &str) -> u64 {
     let mut h = DefaultHasher::new();
-    content.hash(&mut h);
+    canonicalize_spec(content).hash(&mut h);
     h.finish()
 }
 
@@ -799,23 +852,31 @@ fn cmd_load(state: &Arc<ServerState>, path: &str) -> Response {
         Ok(ok) => ok,
         Err(e) => return Response::err(e.diagnostic(path)),
     };
-    let analysis_text = render_analysis(&at, &analyze_at(&at));
+    let resume = analyze_at_resumable(&at);
+    let analysis_text = resume.render(&at);
     let proto = enact(&at);
     let (system, no_system) =
         match execute_with_faults(&proto, &ExecOptions::default(), &FaultPlan::new(0)) {
             Ok((run, _)) => (Some(System::new([run])), String::new()),
             Err(e) => (None, e.to_string()),
         };
-    let (goods, warmed) = match &system {
+    let (goods, checkpoint, warmed) = match &system {
         Some(sys) => {
-            let goods = match construct_on(sys, &belief_assumptions(&at), &state.pool) {
-                Ok((g, _)) => g,
-                Err(_) => GoodRuns::all_runs(sys),
+            let warmed = EvalCache::prewarm_on(sys, &state.pool);
+            let (goods, checkpoint) = match construct_checkpointed_with(
+                sys,
+                &belief_assumptions(&at),
+                &state.pool,
+                &warmed,
+            ) {
+                Ok((g, _, ckpt)) => (g, Some(ckpt)),
+                Err(_) => (GoodRuns::all_runs(sys), None),
             };
-            (goods, EvalCache::prewarm_on(sys, &state.pool))
+            (goods, checkpoint, warmed)
         }
         None => (
             GoodRuns::all_runs(&System::new(Vec::<atl_model::Run>::new())),
+            None,
             EvalCache::default(),
         ),
     };
@@ -836,12 +897,16 @@ fn cmd_load(state: &Arc<ServerState>, path: &str) -> Response {
     let session = Arc::new(Session {
         id,
         digest,
+        parent: None,
         at,
         syms,
+        resume: Mutex::new(Some(resume)),
         analysis_text,
+        proto,
         system,
         no_system,
         goods,
+        checkpoint,
         warmed,
         eval_memo: Mutex::new(HashMap::new()),
         inject_memo: Mutex::new(HashMap::new()),
@@ -852,11 +917,235 @@ fn cmd_load(state: &Arc<ServerState>, path: &str) -> Response {
     while store.sessions.len() > state.max_sessions {
         let victim = store.recency.remove(0);
         if let Some(gone) = store.sessions.remove(&victim) {
-            store.by_digest.remove(&gone.digest);
+            // Lineage-aware: a reloaded session's old digests no longer
+            // map to it, so only drop the mapping this victim still owns.
+            if store.by_digest.get(&gone.digest) == Some(&victim) {
+                store.by_digest.remove(&gone.digest);
+            }
             store.stats.evictions += 1;
         }
     }
     Response::from_text(&session.load_line())
+}
+
+/// `RELOAD <session-id> <spec-path>`: re-point a live session at an
+/// edited spec, structurally diffing the new parse against the old one
+/// and reusing every artifact whose inputs are untouched — the analysis
+/// closure (advanced in place via [`AnalysisResume`] when assumptions
+/// were only added), the executed system (kept when the enacted protocol is
+/// equal), the Section 7 construction (stage checkpoint resume), and the
+/// evaluation cache (pointwise rewarm). The rebuilt session keeps its id
+/// and records the old digest as its parent.
+fn cmd_reload(state: &Arc<ServerState>, rest: &str) -> Response {
+    let Some((id_text, path)) = rest.split_once(char::is_whitespace) else {
+        return Response::err("RELOAD takes <session-id> <spec-path>");
+    };
+    let path = path.trim();
+    let old = match state.session(id_text) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => return Response::err(format!("cannot read {path}: {e}")),
+    };
+    let digest = content_digest(&content);
+    if digest == old.digest {
+        // Canonically unchanged content: the live session already *is*
+        // the cold load of this spec.
+        let mut store = state.store();
+        store.stats.reloads += 1;
+        store.stats.reload_delta += 1;
+        store.touch(old.id);
+        return Response::from_text(&format!(
+            "{}\nreload unchanged: session kept as-is",
+            old.load_line()
+        ));
+    }
+
+    // Build outside the store lock, exactly like LOAD.
+    let (at, syms) = match parse_spec(&content) {
+        Ok(ok) => ok,
+        Err(e) => return Response::err(e.diagnostic(path)),
+    };
+    let diff = SpecDiff::classify(&old.at, &old.syms, &at, &syms);
+
+    // Analysis: take the retiring session's resume and advance it in
+    // place — identical protocol ⇒ as-is; assumptions only added (or a
+    // goal-only edit) ⇒ one delta saturation per level; otherwise, or
+    // when a concurrent reload already claimed the resume, re-analyze
+    // cold. `AnalysisResume::advance` requires unchanged steps, which
+    // `analysis_resumable` guarantees.
+    let taken = old
+        .resume
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    let (resume, analysis_reused) = if at == old.at {
+        match taken {
+            Some(r) => (r, true),
+            None => (analyze_at_resumable(&at), false),
+        }
+    } else {
+        match (diff.analysis_resumable(), taken) {
+            (Some(added), Some(mut r)) => {
+                r.advance(&at, added);
+                (r, true)
+            }
+            _ => (analyze_at_resumable(&at), false),
+        }
+    };
+    let analysis_text = resume.render(&at);
+
+    // Execution: `enact` ignores goals and belief assumptions, so any
+    // edit that leaves the enacted protocol equal keeps the system (and
+    // the executor-visible digest for the global execution cache).
+    let proto = enact(&at);
+    let system_reused = proto == old.proto;
+    let (system, no_system) = if system_reused {
+        (old.system.clone(), old.no_system.clone())
+    } else {
+        match execute_with_faults(&proto, &ExecOptions::default(), &FaultPlan::new(0)) {
+            Ok((run, _)) => (Some(System::new([run])), String::new()),
+            Err(e) => (None, e.to_string()),
+        }
+    };
+
+    // Evaluation cache: reuse wholesale with the system, rewarm
+    // pointwise against the old snapshot when the system changed, or
+    // prewarm cold when there was nothing to diff against.
+    let (warmed, rewarm) = match (&system, system_reused, &old.system) {
+        (Some(_), true, _) => {
+            let total = old.warmed.entry_count();
+            (
+                old.warmed.clone(),
+                RewarmStats {
+                    reused: total,
+                    total,
+                },
+            )
+        }
+        (Some(sys), false, Some(old_sys)) => {
+            EvalCache::prewarm_delta_on(sys, old_sys, &old.warmed, &state.pool)
+        }
+        (Some(sys), false, None) => {
+            let warmed = EvalCache::prewarm_on(sys, &state.pool);
+            let total = warmed.entry_count();
+            (warmed, RewarmStats { reused: 0, total })
+        }
+        (None, _, _) => (EvalCache::default(), RewarmStats::default()),
+    };
+
+    // Good-run construction: clone when nothing it depends on moved,
+    // resume from the stage checkpoint when only the belief assumptions
+    // moved, rebuild otherwise (always over the freshly warmed cache).
+    let beliefs = belief_assumptions(&at);
+    let mut stages_reused = 0usize;
+    let (goods, checkpoint) = match &system {
+        Some(sys) => {
+            if system_reused && beliefs == belief_assumptions(&old.at) {
+                stages_reused = old
+                    .checkpoint
+                    .as_ref()
+                    .map_or(0, ConstructionCheckpoint::stages);
+                (old.goods.clone(), old.checkpoint.clone())
+            } else if system_reused && old.checkpoint.is_some() {
+                let prior = old.checkpoint.clone().unwrap_or_default();
+                match resume_construct_with(sys, &beliefs, &prior, &state.pool, &warmed) {
+                    Ok((g, _, ckpt, reused)) => {
+                        stages_reused = reused;
+                        (g, Some(ckpt))
+                    }
+                    Err(_) => (GoodRuns::all_runs(sys), None),
+                }
+            } else {
+                match construct_checkpointed_with(sys, &beliefs, &state.pool, &warmed) {
+                    Ok((g, _, ckpt)) => (g, Some(ckpt)),
+                    Err(_) => (GoodRuns::all_runs(sys), None),
+                }
+            }
+        }
+        None => (
+            GoodRuns::all_runs(&System::new(Vec::<atl_model::Run>::new())),
+            None,
+        ),
+    };
+
+    // Response memos answer over (system, goods, symbols) for EVAL and
+    // over the full protocol text for INJECT — carry each across only
+    // when its inputs are bytewise stable.
+    let eval_memo = if system_reused && syms == old.syms && goods == old.goods {
+        old.eval_memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    } else {
+        HashMap::new()
+    };
+    let inject_memo = if at == old.at {
+        old.inject_memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    } else {
+        HashMap::new()
+    };
+
+    let delta = analysis_reused || system_reused || stages_reused > 0 || rewarm.reused > 0;
+    let summary = format!(
+        "reload {}: analysis {}, system {}, stages reused {}, cache points reused {}/{}",
+        diff.kind(),
+        if analysis_reused {
+            "reused"
+        } else {
+            "recomputed"
+        },
+        if system_reused {
+            "reused"
+        } else {
+            "re-executed"
+        },
+        stages_reused,
+        rewarm.reused,
+        rewarm.total,
+    );
+
+    let session = Arc::new(Session {
+        id: old.id,
+        digest,
+        parent: Some(old.digest),
+        at,
+        syms,
+        resume: Mutex::new(Some(resume)),
+        analysis_text,
+        proto,
+        system,
+        no_system,
+        goods,
+        checkpoint,
+        warmed,
+        eval_memo: Mutex::new(eval_memo),
+        inject_memo: Mutex::new(inject_memo),
+    });
+
+    let mut store = state.store();
+    store.stats.reloads += 1;
+    if delta {
+        store.stats.reload_delta += 1;
+    } else {
+        store.stats.reload_full += 1;
+    }
+    // Re-point the session in place: same id, new digest. The old
+    // digest's dedupe mapping dies with the edit (unless some other
+    // session owns it); the new digest maps here unless a session
+    // already owns it — dedupe never steals.
+    if store.by_digest.get(&old.digest) == Some(&old.id) {
+        store.by_digest.remove(&old.digest);
+    }
+    store.by_digest.entry(digest).or_insert(old.id);
+    store.sessions.insert(old.id, Arc::clone(&session));
+    store.touch(old.id);
+    Response::from_text(&format!("{}\n{}", session.load_line(), summary))
 }
 
 fn cmd_analyze(state: &Arc<ServerState>, rest: &str) -> Response {
@@ -1273,6 +1562,7 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
     let text = format!(
         "sessions: {} live, capacity {}\n\
          loads: {} total, {} parsed, {} cache hit(s), {} eviction(s)\n\
+         reloads: {} total, {} delta, {} full\n\
          analyze: {} served\n\
          eval: {} served, {} warm\n\
          inject: {} served, {} warm, {} exec-cache hit(s)\n\
@@ -1285,6 +1575,9 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
         s.parsed,
         s.load_hits,
         s.evictions,
+        s.reloads,
+        s.reload_delta,
+        s.reload_full,
         s.analyze_served,
         s.eval_served,
         s.eval_warm,
@@ -1308,17 +1601,18 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
 /// series. Counter totals and `STATS` never disagree: both read the
 /// same [`ServeStats`] under the store lock.
 fn cmd_metrics(state: &Arc<ServerState>) -> Response {
-    let (stats, sessions_live, hidden, frozen) = {
+    let (stats, sessions_live, hidden, frozen, lineage) = {
         let store = state.store();
-        let (mut hidden, mut frozen) = (0usize, 0usize);
+        let (mut hidden, mut frozen, mut lineage) = (0usize, 0usize, 0usize);
         for session in store.sessions.values() {
             hidden += session.warmed.hidden_entries();
             frozen += session
                 .warmed
                 .frozen_base()
                 .map_or(0, |b| b.message_count());
+            lineage += usize::from(session.parent.is_some());
         }
-        (store.stats, store.sessions.len(), hidden, frozen)
+        (store.stats, store.sessions.len(), hidden, frozen, lineage)
     };
     let extras = [
         ExtraMetric {
@@ -1404,6 +1698,30 @@ fn cmd_metrics(state: &Arc<ServerState>) -> Response {
             help: "Connections closed for sitting idle past the timeout.",
             kind: MetricKind::Counter,
             value: stats.reaped,
+        },
+        ExtraMetric {
+            name: "atl_serve_reloads_total",
+            help: "RELOAD requests that re-pointed a session.",
+            kind: MetricKind::Counter,
+            value: stats.reloads,
+        },
+        ExtraMetric {
+            name: "atl_serve_reload_delta_total",
+            help: "RELOADs that reused at least one stage or cache from the prior session.",
+            kind: MetricKind::Counter,
+            value: stats.reload_delta,
+        },
+        ExtraMetric {
+            name: "atl_serve_reload_full_total",
+            help: "RELOADs that could reuse nothing and rebuilt everything.",
+            kind: MetricKind::Counter,
+            value: stats.reload_full,
+        },
+        ExtraMetric {
+            name: "atl_serve_sessions_with_lineage",
+            help: "Live sessions currently re-pointed from a parent spec digest.",
+            kind: MetricKind::Gauge,
+            value: lineage as u64,
         },
         ExtraMetric {
             name: "atl_serve_warmed_hidden_states",
@@ -1537,6 +1855,20 @@ impl Client {
         })
     }
 
+    /// `RELOAD`s a session from an edited spec and returns the full
+    /// response (load line plus the reuse summary line).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` if the daemon said `ERR`.
+    pub fn reload(&mut self, id: u64, path: &str) -> io::Result<Response> {
+        let resp = self.request(&format!("RELOAD {id} {path}"))?;
+        if let Some(msg) = resp.err_message() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, msg.to_string()));
+        }
+        Ok(resp)
+    }
+
     /// Sends `SHUTDOWN`.
     ///
     /// # Errors
@@ -1627,7 +1959,12 @@ mod tests {
         let server = start_test_server(2);
         let mut c = Client::connect(server.addr()).expect("connect");
         let specs: Vec<std::path::PathBuf> = (0..3)
-            .map(|i| spec_file(&format!("lru{i}"), &format!("{TOY}# variant {i}\n")))
+            .map(|i| {
+                // Distinct *canonical* content per variant — a comment
+                // suffix would now dedupe to one session.
+                let variant = TOY.replace("protocol toy", &format!("protocol toy{i}"));
+                spec_file(&format!("lru{i}"), &variant)
+            })
             .collect();
         let a = c
             .load(specs[0].to_str().expect("utf8 path"))
@@ -2043,6 +2380,237 @@ mod tests {
         c.shutdown().expect("shutdown");
         server.join();
         let _ = std::fs::remove_file(spec);
+    }
+
+    /// TOY with one belief assumption appended (analysis resumes, the
+    /// enacted protocol — and so the system — is untouched).
+    const TOY_ADDED: &str = "protocol toy\n\
+        principals A B\n\
+        keys Kab\n\
+        assume A believes (A <-Kab-> B)\n\
+        assume A has Kab\n\
+        assume B has Kab\n\
+        assume B believes (A <-Kab-> B)\n\
+        step A -> B : {Na}Kab@A\n\
+        goal B sees {Na}Kab@A\n";
+
+    /// TOY with a different goal (nothing the executor or the annotation
+    /// closure sees changes).
+    const TOY_GOAL: &str = "protocol toy\n\
+        principals A B\n\
+        keys Kab\n\
+        assume A believes (A <-Kab-> B)\n\
+        assume A has Kab\n\
+        assume B has Kab\n\
+        step A -> B : {Na}Kab@A\n\
+        goal A believes (A <-Kab-> B)\n";
+
+    /// TOY with the step message changed (the executor-visible surface
+    /// moves: new system, pointwise cache rewarm).
+    const TOY_MSG: &str = "protocol toy\n\
+        principals A B\n\
+        keys Kab\n\
+        assume A believes (A <-Kab-> B)\n\
+        assume A has Kab\n\
+        assume B has Kab\n\
+        step A -> B : {Nb}Kab@A\n\
+        goal B sees {Nb}Kab@A\n";
+
+    #[test]
+    fn comment_only_twin_load_is_a_dedupe_hit() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let plain = spec_file("twin-plain", TOY);
+        let twin_text: String = format!(
+            "# twin header\n\n{}\n   # trailing note\n",
+            TOY.lines()
+                .map(|l| format!("   {l}   # inline note\n"))
+                .collect::<String>()
+        );
+        let twin = spec_file("twin-commented", &twin_text);
+        let a = c.load(plain.to_str().expect("utf8 path")).expect("load");
+        let b = c.load(twin.to_str().expect("utf8 path")).expect("twin");
+        assert_eq!(a, b, "comment-only twin must dedupe to the same session");
+        let stats = server.stats();
+        assert_eq!(
+            (stats.loads, stats.parsed, stats.load_hits),
+            (2, 1, 1),
+            "the twin must be a cache hit, not a second build"
+        );
+        c.shutdown().expect("shutdown");
+        server.join();
+        for p in [plain, twin] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn reload_of_unchanged_content_is_a_counted_noop() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let spec = spec_file("reload-noop", TOY);
+        let path = spec.to_str().expect("utf8 path");
+        let id = c.load(path).expect("load");
+        let analyze = c.request(&format!("ANALYZE {id}")).expect("analyze");
+        let resp = c.reload(id, path).expect("reload");
+        assert_eq!(resp.lines.len(), 2, "{resp:?}");
+        assert_eq!(resp.lines[1], "reload unchanged: session kept as-is");
+        assert_eq!(resp.session_id(), Some(id));
+        assert_eq!(
+            c.request(&format!("ANALYZE {id}")).expect("analyze"),
+            analyze,
+            "a no-op reload must not perturb the session"
+        );
+        let stats = server.stats();
+        assert_eq!(
+            (stats.reloads, stats.reload_delta, stats.reload_full),
+            (1, 1, 0)
+        );
+        assert_eq!(stats.parsed, 1, "unchanged content must not re-parse");
+        c.shutdown().expect("shutdown");
+        server.join();
+        let _ = std::fs::remove_file(spec);
+    }
+
+    #[test]
+    fn reload_rejects_bad_arguments_and_unknown_sessions() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let spec = spec_file("reload-args", TOY);
+        let path = spec.to_str().expect("utf8 path");
+        for bad in [
+            "RELOAD".to_string(),
+            "RELOAD 1".to_string(),
+            format!("RELOAD 999 {path}"),
+            format!("RELOAD not-a-number {path}"),
+            "RELOAD 1 /no/such/spec.atl".to_string(),
+        ] {
+            let resp = c.request(&bad).expect("response");
+            assert!(!resp.ok, "request {bad:?} must fail, got {resp:?}");
+        }
+        assert_eq!(server.stats().reloads, 0);
+        c.shutdown().expect("shutdown");
+        server.join();
+        let _ = std::fs::remove_file(spec);
+    }
+
+    /// The proof obligation, per edit class: a delta-reloaded session
+    /// answers `ANALYZE`/`EVAL`/`INJECT` byte-identically to a cold
+    /// daemon that loaded the edited spec from scratch.
+    #[test]
+    fn reload_answers_byte_identical_to_cold_load_per_edit_class() {
+        for (name, edited, goal) in [
+            ("assumption-added", TOY_ADDED, "B sees {Na}Kab@A"),
+            ("goal-changed", TOY_GOAL, "A believes (A <-Kab-> B)"),
+            ("message-changed", TOY_MSG, "B sees {Nb}Kab@A"),
+        ] {
+            let base = spec_file(&format!("reload-{name}-base"), TOY);
+            let edited_path = spec_file(&format!("reload-{name}-edited"), edited);
+            let epath = edited_path.to_str().expect("utf8 path");
+
+            let warm_srv = start_test_server(2);
+            let mut warm = Client::connect(warm_srv.addr()).expect("connect");
+            let id = warm
+                .load(base.to_str().expect("utf8 path"))
+                .expect("load base");
+            let resp = warm.reload(id, epath).expect("reload");
+            assert_eq!(resp.session_id(), Some(id), "{name}: id must be kept");
+
+            let cold_srv = start_test_server(2);
+            let mut cold = Client::connect(cold_srv.addr()).expect("connect");
+            let cold_id = cold.load(epath).expect("cold load");
+
+            let queries = [
+                "ANALYZE {id}".to_string(),
+                format!("EVAL {{id}} 0:0 {goal}"),
+                format!("EVAL {{id}} 0:2 {goal}"),
+                "INJECT {id} --seed 7 --drop 0.5".to_string(),
+            ];
+            for q in &queries {
+                let warm_resp = warm
+                    .request(&q.replace("{id}", &id.to_string()))
+                    .expect("warm query");
+                let cold_resp = cold
+                    .request(&q.replace("{id}", &cold_id.to_string()))
+                    .expect("cold query");
+                assert_eq!(
+                    warm_resp, cold_resp,
+                    "{name}: {q} differs between delta reload and cold load"
+                );
+            }
+
+            let stats = warm_srv.stats();
+            assert_eq!(stats.reloads, 1, "{name}");
+            assert_eq!(
+                stats.reload_delta + stats.reload_full,
+                1,
+                "{name}: every reload is classified exactly once"
+            );
+            if name != "message-changed" {
+                assert_eq!(
+                    stats.reload_delta, 1,
+                    "{name}: an executor-invisible edit must be a delta reload"
+                );
+            }
+
+            warm.shutdown().expect("shutdown");
+            warm_srv.join();
+            cold.shutdown().expect("shutdown");
+            cold_srv.join();
+            for p in [base, edited_path] {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+
+    #[test]
+    fn reload_repoints_digest_mapping_and_tracks_lineage() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let base = spec_file("lineage-base", TOY);
+        let edited = spec_file("lineage-edited", TOY_GOAL);
+        let id = c.load(base.to_str().expect("utf8 path")).expect("load");
+        c.reload(id, edited.to_str().expect("utf8 path"))
+            .expect("reload");
+        // The edited digest now dedupes onto the reloaded session...
+        assert_eq!(
+            c.load(edited.to_str().expect("utf8 path")).expect("load"),
+            id,
+            "LOAD of the edited spec must hit the reloaded session"
+        );
+        // ...while the old digest no longer points anywhere, so loading
+        // the original builds a fresh session instead of resurrecting a
+        // stale mapping.
+        let fresh = c.load(base.to_str().expect("utf8 path")).expect("load");
+        assert_ne!(fresh, id, "the pre-edit digest must not alias the reload");
+        let stats = server.stats();
+        assert_eq!((stats.parsed, stats.load_hits), (2, 1));
+        let metrics = c.request("METRICS").expect("metrics");
+        assert!(
+            metrics
+                .lines
+                .iter()
+                .any(|l| l == "atl_serve_sessions_with_lineage 1"),
+            "lineage gauge missing in:\n{}",
+            metrics.payload()
+        );
+        // Evicting the fresh session must not disturb the reloaded
+        // session's digest mapping (capacity 2: touch the reloaded
+        // session so the fresh one is the LRU victim of a third load).
+        let third = spec_file("lineage-third", TOY_MSG);
+        assert!(c.request(&format!("ANALYZE {id}")).expect("touch").ok);
+        c.load(third.to_str().expect("utf8 path")).expect("load");
+        assert_eq!(server.stats().evictions, 1);
+        assert_eq!(
+            c.load(edited.to_str().expect("utf8 path")).expect("load"),
+            id,
+            "eviction of an unrelated session must keep the reloaded mapping"
+        );
+        c.shutdown().expect("shutdown");
+        server.join();
+        for p in [base, edited, third] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::annotate::AtProtocol;
 use atl_lang::parser::{parse_formula, parse_message, ParseError, Symbols};
-use atl_lang::Key;
+use atl_lang::{Formula, Key};
 use std::error::Error;
 use std::fmt;
 
@@ -154,6 +154,149 @@ pub fn parse_spec(input: &str) -> Result<(AtProtocol, Symbols), SpecError> {
     Ok((proto, syms))
 }
 
+/// Canonicalizes spec text for content addressing: comments are
+/// stripped, lines trimmed, and blank lines dropped — so two spec files
+/// that differ only in comments or surrounding whitespace canonicalize
+/// identically (and serve-mode `LOAD`/`RELOAD`, which digest this form,
+/// treat them as the same spec). Directive-internal spacing is kept
+/// untouched: [`parse_spec`] begins with exactly this stripping, so
+/// equal canonical forms guarantee line-for-line parse equivalence, and
+/// nothing more aggressive is attempted.
+pub fn canonicalize_spec(input: &str) -> String {
+    let mut out = String::new();
+    for raw in input.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// How the assumption list changed between two parses of a spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AssumptionDelta {
+    /// Same multiset of assumptions (possibly reordered).
+    Unchanged,
+    /// Every old assumption survives; the genuinely new ones are listed
+    /// in new-spec order. Monotone for the annotation closure, so the
+    /// analysis can resume from its previous fixpoint.
+    Added(Vec<Formula>),
+    /// Assumptions were removed or modified — not monotone; the
+    /// analysis must be recomputed.
+    Rewritten,
+}
+
+/// Structural classification of a spec edit: which components of the
+/// parsed protocol (and its symbol table) actually changed. This is
+/// what the serve-mode `RELOAD` path keys its reuse decisions on —
+/// comment/whitespace-only edits never reach it, because the canonical
+/// content digest ([`canonicalize_spec`]) already deduplicates them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecDiff {
+    /// The `protocol` name changed.
+    pub name_changed: bool,
+    /// The declared symbol table (`principals`/`keys` lines) changed —
+    /// queries against the spec may now parse differently.
+    pub symbols_changed: bool,
+    /// How the assumptions changed.
+    pub assumptions: AssumptionDelta,
+    /// A `step`/`newkey` line changed (message, route, or order).
+    pub steps_changed: bool,
+    /// The goal list changed.
+    pub goals_changed: bool,
+}
+
+impl SpecDiff {
+    /// Classifies the edit between two parsed specs.
+    pub fn classify(
+        old_at: &AtProtocol,
+        old_syms: &Symbols,
+        new_at: &AtProtocol,
+        new_syms: &Symbols,
+    ) -> SpecDiff {
+        SpecDiff {
+            name_changed: old_at.name != new_at.name,
+            symbols_changed: old_syms != new_syms,
+            assumptions: assumption_delta(&old_at.assumptions, &new_at.assumptions),
+            steps_changed: old_at.steps != new_at.steps,
+            goals_changed: old_at.goals != new_at.goals,
+        }
+    }
+
+    /// True if nothing structural changed at all.
+    pub fn identical(&self) -> bool {
+        !self.name_changed
+            && !self.symbols_changed
+            && self.assumptions == AssumptionDelta::Unchanged
+            && !self.steps_changed
+            && !self.goals_changed
+    }
+
+    /// The assumptions newly added, when the edit is monotone for the
+    /// annotation closure: steps unchanged and no assumption removed or
+    /// modified. `Some(&[])` means the closure itself is untouched
+    /// (goal/name/symbol edits only). `None` means the analysis must be
+    /// recomputed from scratch.
+    pub fn analysis_resumable(&self) -> Option<&[Formula]> {
+        if self.steps_changed {
+            return None;
+        }
+        match &self.assumptions {
+            AssumptionDelta::Unchanged => Some(&[]),
+            AssumptionDelta::Added(added) => Some(added),
+            AssumptionDelta::Rewritten => None,
+        }
+    }
+
+    /// The dominant edit class, for counters and reload reports.
+    pub fn kind(&self) -> &'static str {
+        if self.identical() {
+            return "unchanged";
+        }
+        if self.symbols_changed {
+            return "symbols-changed";
+        }
+        if self.steps_changed {
+            return "message-changed";
+        }
+        match self.assumptions {
+            AssumptionDelta::Added(_) => "assumption-added",
+            AssumptionDelta::Rewritten => "assumptions-rewritten",
+            AssumptionDelta::Unchanged => {
+                if self.goals_changed {
+                    "goal-changed"
+                } else {
+                    "renamed"
+                }
+            }
+        }
+    }
+}
+
+/// Multiset difference of assumption lists: each new assumption
+/// consumes one matching old occurrence; leftovers on the new side are
+/// additions, leftovers on the old side mean a rewrite.
+fn assumption_delta(old: &[Formula], new: &[Formula]) -> AssumptionDelta {
+    let mut remaining: Vec<Option<&Formula>> = old.iter().map(Some).collect();
+    let mut added = Vec::new();
+    for f in new {
+        match remaining.iter().position(|r| r.is_some_and(|g| g == f)) {
+            Some(i) => remaining[i] = None,
+            None => added.push(f.clone()),
+        }
+    }
+    if remaining.iter().any(Option::is_some) {
+        AssumptionDelta::Rewritten
+    } else if added.is_empty() {
+        AssumptionDelta::Unchanged
+    } else {
+        AssumptionDelta::Added(added)
+    }
+}
+
 /// Renders an [`AtProtocol`] back into the spec format (a round-trippable
 /// inverse of [`parse_spec`] up to symbol declarations supplied by the
 /// caller).
@@ -259,5 +402,112 @@ goal B believes (A <-Kab-> B)
         let rendered = render_spec(&proto, &["A", "B", "S"], &["Kab", "Kas", "Kbs"]);
         let (again, _) = parse_spec(&rendered).unwrap();
         assert_eq!(proto, again);
+    }
+
+    #[test]
+    fn canonicalization_erases_comments_and_whitespace_only() {
+        let noisy = "# banner\n\n  protocol t   # named\n\nassume A has Kab\n";
+        let clean = "protocol t\nassume A has Kab\n";
+        assert_eq!(canonicalize_spec(noisy), canonicalize_spec(clean));
+        // Directive-internal spacing is significant to the parser's
+        // token splitting, so it must survive canonicalization.
+        assert_eq!(canonicalize_spec("goal A  has Kab"), "goal A  has Kab\n");
+        // And a real edit must change the canonical form.
+        assert_ne!(
+            canonicalize_spec(clean),
+            canonicalize_spec("protocol t\nassume B has Kab\n")
+        );
+    }
+
+    #[test]
+    fn canonical_twins_parse_identically() {
+        let noisy = format!("# preamble\n{FIGURE1}\n# postscript\n");
+        let (a, sa) = parse_spec(FIGURE1).unwrap();
+        let (b, sb) = parse_spec(&noisy).unwrap();
+        assert_eq!(canonicalize_spec(FIGURE1), canonicalize_spec(&noisy));
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    fn diff(old: &str, new: &str) -> SpecDiff {
+        let (oa, os) = parse_spec(old).unwrap();
+        let (na, ns) = parse_spec(new).unwrap();
+        SpecDiff::classify(&oa, &os, &na, &ns)
+    }
+
+    #[test]
+    fn classifies_each_edit_class() {
+        let base = FIGURE1;
+        let d = diff(base, base);
+        assert!(d.identical());
+        assert_eq!(d.kind(), "unchanged");
+        assert_eq!(d.analysis_resumable(), Some(&[][..]));
+
+        let added = format!("{base}assume B believes fresh(Tb)\n");
+        let d = diff(base, &added);
+        assert_eq!(d.kind(), "assumption-added");
+        let delta = d.analysis_resumable().unwrap();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].to_string(), "B believes fresh(Tb)");
+
+        let removed = base.replacen("assume B has Kbs\n", "", 1);
+        let d = diff(base, &removed);
+        assert_eq!(d.kind(), "assumptions-rewritten");
+        assert_eq!(d.analysis_resumable(), None);
+
+        let modified = base.replacen("fresh(Ts)", "fresh(Tb)", 1);
+        let d = diff(base, &modified);
+        assert_eq!(d.kind(), "assumptions-rewritten");
+
+        let message = base.replacen("{Ts,", "{Tb,", 1);
+        let d = diff(base, &message);
+        assert!(d.steps_changed);
+        assert_eq!(d.kind(), "message-changed");
+        assert_eq!(d.analysis_resumable(), None);
+
+        let principals = base.replacen("principals A B S", "principals A B S E", 1);
+        let d = diff(base, &principals);
+        assert_eq!(d.kind(), "symbols-changed");
+
+        let goal = base.replacen("goal B believes", "goal B sees Kab\ngoal B believes", 1);
+        let d = diff(base, &goal);
+        assert!(d.goals_changed && !d.steps_changed);
+        assert_eq!(d.kind(), "goal-changed");
+        assert_eq!(d.analysis_resumable(), Some(&[][..]));
+
+        let renamed = base.replacen("kerberos-figure1-spec", "kerberos-b", 1);
+        let d = diff(base, &renamed);
+        assert_eq!(d.kind(), "renamed");
+        assert_eq!(d.analysis_resumable(), Some(&[][..]));
+    }
+
+    #[test]
+    fn assumption_delta_is_a_multiset_diff() {
+        let (at, syms) = parse_spec(FIGURE1).unwrap();
+        let f = |s: &str| parse_formula(s, &syms).unwrap();
+        let old = at.assumptions.clone();
+
+        // Reordering is Unchanged: same multiset.
+        let mut reordered = old.clone();
+        reordered.reverse();
+        assert_eq!(
+            assumption_delta(&old, &reordered),
+            AssumptionDelta::Unchanged
+        );
+
+        // A duplicated occurrence counts as an addition...
+        let mut dup = old.clone();
+        dup.push(old[0].clone());
+        assert_eq!(
+            assumption_delta(&old, &dup),
+            AssumptionDelta::Added(vec![old[0].clone()])
+        );
+        // ...and removing one of two equal occurrences is a rewrite.
+        assert_eq!(assumption_delta(&dup, &old), AssumptionDelta::Rewritten);
+
+        // Simultaneous add + remove is a rewrite, not an add.
+        let mut swapped = old.clone();
+        swapped[0] = f("B believes fresh(Tb)");
+        assert_eq!(assumption_delta(&old, &swapped), AssumptionDelta::Rewritten);
     }
 }

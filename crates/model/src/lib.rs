@@ -55,8 +55,8 @@ pub use protocol::{ExpectPolicy, MsgPattern, OnTimeout, Protocol, Role, RoleStep
 pub use run::{final_env, Run, RunBuilder, SendRecord};
 pub use state::{EnvState, GlobalState, LocalState};
 pub use sweep::{
-    sweep_plans_on, sweep_plans_resolve, ExecOutcome, ExecutionCache, PlanFingerprint, PlanResult,
-    SweepGrid, SweepOutcome, SweepStats,
+    execution_context_digest, sweep_plans_on, sweep_plans_resolve, ExecOutcome, ExecutionCache,
+    PlanFingerprint, PlanResult, SweepGrid, SweepOutcome, SweepStats,
 };
 pub use system::{Interpretation, Point, System};
 pub use trace::{parse_trace, render_trace, TraceError};

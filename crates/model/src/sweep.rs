@@ -356,7 +356,7 @@ impl PlanFingerprint {
     /// A stable 64-bit digest of [`wire`](Self::wire), used to key
     /// outcomes compactly in the serve protocol and the outcome store.
     pub fn digest(&self) -> u64 {
-        // Like `context_digest` below: `DefaultHasher::new()` is keyed
+        // Like `execution_context_digest` below: `DefaultHasher::new()` is keyed
         // with constants, so the digest is stable across processes.
         let mut h = DefaultHasher::new();
         self.wire().hash(&mut h);
@@ -469,8 +469,13 @@ impl ExecutionCache {
 }
 
 /// A stable digest of everything besides the plan that determines a
-/// faulted execution: the protocol and the execution options.
-fn context_digest(protocol: &Protocol, options: &ExecOptions) -> u64 {
+/// faulted execution: the protocol and the execution options. This is
+/// the context half of the [`ExecutionCache`] key, so any edit that
+/// changes executor-visible behavior changes the digest — a cache shared
+/// across spec reloads can never serve a pre-edit outcome for a
+/// post-edit protocol. (Goal and belief-assumption edits leave the
+/// enacted [`Protocol`] untouched and legitimately keep the digest.)
+pub fn execution_context_digest(protocol: &Protocol, options: &ExecOptions) -> u64 {
     // `DefaultHasher::new()` is keyed with constants, so the digest is
     // stable within and across processes for the same inputs. The debug
     // rendering covers every field of both structures.
@@ -586,7 +591,7 @@ pub fn sweep_plans_on(
     pool: &Pool,
     cache: &ExecutionCache,
 ) -> SweepOutcome {
-    let digest = context_digest(protocol, options);
+    let digest = execution_context_digest(protocol, options);
     sweep_plans_resolve(digest, plans, cache, |missing| {
         pool.map(missing, |_, (i, _)| {
             Arc::new(execute_with_faults(protocol, options, &plans[*i]))

@@ -41,8 +41,14 @@
 //!     run the serve-mode daemon: a long-lived loopback TCP server that
 //!     parses each spec once into a warmed session (frozen interner,
 //!     good-run vector, eval caches) and answers
-//!     LOAD/ANALYZE/EVAL/INJECT/SWEEP/STATS/METRICS/SHUTDOWN requests
-//!     from it. Fault-plan executions (INJECT and SWEEP) share one
+//!     LOAD/RELOAD/ANALYZE/EVAL/INJECT/SWEEP/STATS/METRICS/SHUTDOWN
+//!     requests from it. LOAD digests are canonical (comments and
+//!     insignificant whitespace erased), so comment-only twins dedupe
+//!     to one session; `RELOAD <id> <spec>` re-points a live session at
+//!     an edited spec, diffing the new parse against the old one and
+//!     reusing every stage and cache whose inputs are untouched —
+//!     answers stay byte-identical to a cold load of the edited spec.
+//!     Fault-plan executions (INJECT and SWEEP) share one
 //!     global execution cache keyed by protocol+options digest and plan
 //!     fingerprint, so identical plans dedupe across sessions;
 //!     `--exec-cache-cap` bounds it (oldest-first eviction, default

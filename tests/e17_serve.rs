@@ -281,7 +281,7 @@ fn repeat_queries_hit_caches_and_stats_report_them() {
 
     let stats = c.request("STATS").expect("stats");
     let s = server.stats();
-    assert_eq!(stats.lines.len(), 8);
+    assert_eq!(stats.lines.len(), 9);
     assert_eq!(stats.lines[0], "sessions: 1 live, capacity 8");
     assert_eq!(
         stats.lines[1],
@@ -292,23 +292,30 @@ fn repeat_queries_hit_caches_and_stats_report_them() {
     );
     assert_eq!(
         stats.lines[2],
+        format!(
+            "reloads: {} total, {} delta, {} full",
+            s.reloads, s.reload_delta, s.reload_full
+        )
+    );
+    assert_eq!(
+        stats.lines[3],
         format!("analyze: {} served", s.analyze_served)
     );
     assert_eq!(
-        stats.lines[4],
+        stats.lines[5],
         format!(
             "inject: {} served, {} warm, {} exec-cache hit(s)",
             s.inject_served, s.inject_warm, s.inject_exec_hits
         )
     );
     assert_eq!(
-        stats.lines[5],
+        stats.lines[6],
         format!(
             "sweep: {} shard(s) served, {} plan(s)",
             s.sweep_served, s.sweep_plans
         )
     );
-    assert_eq!(stats.lines[6], format!("connections: {} reaped", s.reaped));
+    assert_eq!(stats.lines[7], format!("connections: {} reaped", s.reaped));
     stop(server, &mut c);
 }
 

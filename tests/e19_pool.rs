@@ -202,16 +202,24 @@ fn global_execution_cache_dedupes_across_sessions_without_changing_bytes() {
     let server = start_pool(4);
     let mut c = Client::connect(server.addr()).expect("connect");
 
-    // Two spec files, identical protocol, different bytes (comments) —
-    // distinct sessions, same protocol core, so the (protocol+options,
-    // fingerprint) cache key collides on purpose.
+    // Two spec files, identical executor-visible protocol, distinct
+    // *canonical* bytes (comment-only twins would now dedupe to one
+    // session): twin b swaps two adjacent belief assumptions, which
+    // reorders the parse but changes nothing any saturation, execution,
+    // or report depends on — distinct sessions, same protocol core, so
+    // the (protocol+options, fingerprint) cache key collides on purpose.
     let src = std::fs::read_to_string(spec_path("kerberos_figure1")).expect("read spec");
     let dir = std::env::temp_dir();
     let pid = std::process::id();
     let twin_a = dir.join(format!("atl-e19-{pid}-a.atl"));
     let twin_b = dir.join(format!("atl-e19-{pid}-b.atl"));
-    std::fs::write(&twin_a, format!("# twin a\n{src}")).expect("write twin a");
-    std::fs::write(&twin_b, format!("# twin b\n{src}")).expect("write twin b");
+    let swapped = src.replace(
+        "assume A believes (A <-Kas-> S)\nassume B believes (B <-Kbs-> S)",
+        "assume B believes (B <-Kbs-> S)\nassume A believes (A <-Kas-> S)",
+    );
+    assert_ne!(src, swapped, "the spec must contain the adjacent pair");
+    std::fs::write(&twin_a, &src).expect("write twin a");
+    std::fs::write(&twin_b, &swapped).expect("write twin b");
     let a = c.load(twin_a.to_str().expect("utf8")).expect("load a");
     let b = c.load(twin_b.to_str().expect("utf8")).expect("load b");
     assert_ne!(a, b, "distinct spec bytes must get distinct sessions");
