@@ -10,9 +10,14 @@
 //! between the two is the number the warm-vs-cold table in
 //! `BENCH_prover.json` records.
 
+use atl_core::annotate::analyze_at;
+use atl_core::monitor::Monitor;
 use atl_core::parallel::Pool;
+use atl_core::semantics::{GoodRuns, Semantics};
 use atl_core::serve::{Client, ServeConfig, Server};
 use atl_core::spec::parse_spec;
+use atl_lang::parser::parse_formula;
+use atl_model::{parse_trace, Point, System};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -338,11 +343,123 @@ fn bench_reload(c: &mut Criterion) {
     g.finish();
 }
 
+/// A synthetic live run for the monitor benchmarks: a send/recv/newkey
+/// rotation with fresh nonces, so the term space keeps growing the way
+/// a real protocol run's does.
+fn monitor_trace(events: usize) -> Vec<String> {
+    let mut lines = vec![
+        "run start 0".to_string(),
+        "principal A keys Kab".to_string(),
+        "principal B keys Kab".to_string(),
+    ];
+    for i in 0..events {
+        match i % 4 {
+            0 => lines.push(format!("send A -> B : {{N{i}, <<A <-Kab-> B>>}}Kab@A")),
+            1 => lines.push(format!("recv B : {{N{}, <<A <-Kab-> B>>}}Kab@A", i - 1)),
+            2 => lines.push(format!("send B -> A : {{N{i}, N0}}Kab@B")),
+            _ => lines.push(format!("recv A : {{N{}, N0}}Kab@B", i - 1)),
+        }
+    }
+    lines
+}
+
+/// E21 — streaming monitor: one incremental event against the batch
+/// re-walk of the same prefix.
+///
+/// At each prefix length the monitor is pre-fed the whole prefix; the
+/// `incremental` benchmark clones it and feeds the next event (one
+/// delta saturation + one cache append + re-verdict), while the
+/// `batch_rewalk` benchmark recreates the same session state without
+/// incrementality: re-parse the full prefix-plus-event text, rebuild
+/// the system, prewarm and evaluate from scratch, and re-run the full
+/// annotation closure over every ingested fact (`analyze_at`) — the
+/// monitor keeps that closure current per event, so an honest re-walk
+/// must rebuild it too. The eprintln lines — feed timed alone, clone
+/// outside the measured region — are what `BENCH_prover.json` records.
+fn bench_monitor(c: &mut Criterion) {
+    let pool = Pool::new(1);
+    let formulas = [
+        "B sees N0".to_string(),
+        "B sees N3".to_string(),
+        "Env has Kab".to_string(),
+    ];
+    let mut g = c.benchmark_group("serve_monitor");
+    for n in [4usize, 16, 64] {
+        let lines = monitor_trace(n + 1);
+        let (prefix, next) = lines.split_at(lines.len() - 1);
+        let next = next[0].as_str();
+        let mut warmed = Monitor::new("bench", formulas.clone()).expect("monitor");
+        for line in prefix {
+            warmed.feed_line(line, &pool).expect("prefix feeds");
+        }
+        let full_text = {
+            let mut t = lines.join("\n");
+            t.push('\n');
+            t
+        };
+        let proto_full = {
+            let mut complete = warmed.clone();
+            complete.feed_line(next, &pool).expect("event feeds");
+            complete.protocol().clone()
+        };
+        let batch_rewalk = || {
+            let (run, syms) = parse_trace(&full_text).expect("trace parses");
+            let k = run.horizon();
+            let sys = System::new([run]);
+            let sem = Semantics::new(&sys, GoodRuns::all_runs(&sys));
+            let verdicts: Vec<bool> = formulas
+                .iter()
+                .map(|f| {
+                    let phi = parse_formula(f, &syms).expect("formula");
+                    sem.eval(Point::new(0, k), &phi).expect("in range")
+                })
+                .collect();
+            black_box(verdicts);
+            black_box(analyze_at(&proto_full).goals.len());
+        };
+
+        // Per-event numbers with the clone outside the timed region.
+        const REPS: u32 = 30;
+        let mut incremental = Duration::ZERO;
+        for _ in 0..REPS {
+            let mut m = warmed.clone();
+            let t = Instant::now();
+            let out = m.feed_line(next, &pool).expect("event feeds");
+            incremental += t.elapsed();
+            assert_eq!(out.len(), formulas.len());
+        }
+        let mut batch = Duration::ZERO;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            batch_rewalk();
+            batch += t.elapsed();
+        }
+        let speedup = batch.as_secs_f64() / incremental.as_secs_f64();
+        eprintln!(
+            "serve_monitor/prefix{n}: incremental={:?} batch={:?} speedup={speedup:.1}x",
+            incremental / REPS,
+            batch / REPS
+        );
+
+        g.bench_function(format!("prefix{n}_event_incremental"), |b| {
+            b.iter(|| {
+                let mut m = warmed.clone();
+                black_box(m.feed_line(next, &pool).expect("event feeds"))
+            })
+        });
+        g.bench_function(format!("prefix{n}_event_batch_rewalk"), |b| {
+            b.iter(batch_rewalk)
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_cold,
     bench_warm,
     bench_sustained,
-    bench_reload
+    bench_reload,
+    bench_monitor
 );
 criterion_main!(benches);

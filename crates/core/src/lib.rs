@@ -20,6 +20,9 @@
 //! - [`stability`] — the stability requirement on annotations;
 //! - [`semantics`] — truth at points of a system, with belief as
 //!   resource-bounded defensible knowledge (Section 6);
+//! - [`monitor`] — the streaming online monitor: a live run prefix,
+//!   fed one trace event at a time, re-verdicted at delta cost per
+//!   event instead of a batch re-walk;
 //! - [`goodruns`] — the Section 7 construction of good-run vectors, with
 //!   support and optimality checks (Theorems 2 and 3);
 //! - [`soundness`] — the Theorem 1 model-checker over generated systems;
@@ -64,6 +67,7 @@ pub mod goodruns;
 pub mod inject;
 pub mod kripke;
 pub mod metrics;
+pub mod monitor;
 pub mod proof;
 pub mod prover;
 pub mod quantifier;

@@ -89,6 +89,10 @@ pub enum Verb {
     Inject,
     /// `SWEEP`
     Sweep,
+    /// `MONITOR`
+    Monitor,
+    /// `EVENT`
+    Event,
     /// `STATS`
     Stats,
     /// `METRICS`
@@ -101,13 +105,15 @@ pub enum Verb {
 
 impl Verb {
     /// Every verb, in the order the exposition lists them.
-    pub const ALL: [Verb; 10] = [
+    pub const ALL: [Verb; 12] = [
         Verb::Load,
         Verb::Reload,
         Verb::Analyze,
         Verb::Eval,
         Verb::Inject,
         Verb::Sweep,
+        Verb::Monitor,
+        Verb::Event,
         Verb::Stats,
         Verb::Metrics,
         Verb::Shutdown,
@@ -123,6 +129,8 @@ impl Verb {
             Verb::Eval => "eval",
             Verb::Inject => "inject",
             Verb::Sweep => "sweep",
+            Verb::Monitor => "monitor",
+            Verb::Event => "event",
             Verb::Stats => "stats",
             Verb::Metrics => "metrics",
             Verb::Shutdown => "shutdown",
@@ -139,6 +147,8 @@ impl Verb {
             "EVAL" => Verb::Eval,
             "INJECT" => Verb::Inject,
             "SWEEP" => Verb::Sweep,
+            "MONITOR" => Verb::Monitor,
+            "EVENT" => Verb::Event,
             "STATS" => Verb::Stats,
             "METRICS" => Verb::Metrics,
             "SHUTDOWN" => Verb::Shutdown,
@@ -482,6 +492,8 @@ mod tests {
         assert_eq!(Verb::of_command("LOAD"), Verb::Load);
         assert_eq!(Verb::of_command("RELOAD"), Verb::Reload);
         assert_eq!(Verb::of_command("METRICS"), Verb::Metrics);
+        assert_eq!(Verb::of_command("MONITOR"), Verb::Monitor);
+        assert_eq!(Verb::of_command("EVENT"), Verb::Event);
         assert_eq!(Verb::of_command("FROBNICATE"), Verb::Other);
         assert_eq!(Verb::of_command(""), Verb::Other);
         for verb in Verb::ALL {

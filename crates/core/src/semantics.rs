@@ -357,6 +357,67 @@ impl EvalCache {
         (cache, stats)
     }
 
+    /// Extends the cache in place after run `ri` of `system` was grown by
+    /// [`System::extend_run`]: every entry computed before the append is
+    /// kept by reference and only sets the new suffix can introduce are
+    /// computed, so the cost per appended event is O(principals), not
+    /// O(points) — the streaming monitor's per-event path.
+    ///
+    /// `from_time` is the run's horizon *before* the append. Appending is
+    /// safe for every map in the cache:
+    ///
+    /// - `past`: appended events carry times ≥ 1 (a built run's horizon
+    ///   is ≥ 0), so the pre-epoch sent set cannot grow;
+    /// - `said_rec`: send records are append-only, existing indices are
+    ///   untouched;
+    /// - `hidden_at` / `seen_at`: the only retroactive edit an append
+    ///   makes is popping a delivered message from an env *buffer* at the
+    ///   old final state ([`Run::extend_unchecked`]), and no local view —
+    ///   hence no hidden state and no seen set — reads buffers.
+    pub(crate) fn extend_appended(
+        &mut self,
+        system: &System,
+        ri: usize,
+        from_time: i64,
+    ) -> RewarmStats {
+        let reused = self.entry_count();
+        let run = &system.runs()[ri];
+        let mut principals: BTreeSet<Principal> = system.principals();
+        principals.insert(Principal::environment());
+
+        let EvalCache {
+            terms,
+            hidden_at,
+            said_rec,
+            past,
+            ..
+        } = self;
+
+        past.entry(ri)
+            .or_insert_with(|| Arc::new(submsgs_of_set(run.sent_before_epoch().iter())));
+
+        let known = said_rec.range((ri, 0)..(ri, usize::MAX)).count();
+        for (i, rec) in run.send_records().iter().enumerate().skip(known) {
+            said_rec.insert((ri, i), Arc::new(rec.said_submsgs()));
+        }
+
+        for p in &principals {
+            let map = hidden_at.entry(p.clone()).or_default();
+            let mut k = from_time + 1;
+            while k <= run.horizon() {
+                let state = run.state(k).expect("time in range");
+                map.entry((ri, k))
+                    .or_insert_with(|| Arc::new(state.local(p).hidden_with(terms)));
+                k += 1;
+            }
+        }
+
+        RewarmStats {
+            reused,
+            total: self.entry_count(),
+        }
+    }
+
     /// The frozen interner snapshot backing this cache's term layer, if
     /// the cache was prewarmed (a default-constructed cache has none).
     pub(crate) fn frozen_base(&self) -> Option<&Arc<atl_lang::FrozenInterner>> {
@@ -1387,6 +1448,129 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn extend_appended_matches_fresh_prewarm_at_every_prefix() {
+        let formulas = [
+            Formula::sees("B", nonce("X")),
+            Formula::said("A", nonce("X")),
+            Formula::fresh(nonce("X")),
+            Formula::believes("B", Formula::sees("B", nonce("X"))),
+            Formula::shared_key("A", Key::new("Kab"), "B"),
+        ];
+        for jobs in [1, 2] {
+            let pool = Pool::new(jobs);
+            let mut b = RunBuilder::new(-1);
+            b.principal("A", [Key::new("Kab")]);
+            b.principal("B", [Key::new("Kab")]);
+            b.new_key("A", "Spare");
+            let mut sys = System::new([b.build().unwrap()]);
+            let mut warmed = EvalCache::prewarm_on(&sys, &pool);
+
+            let cipher = Message::encrypted(nonce("X"), Key::new("Kab"), Principal::new("A"));
+            b.send("A", cipher.clone(), "B").unwrap();
+            let extend = |b: &mut RunBuilder, sys: &mut System, warmed: &mut EvalCache| {
+                let from = sys.runs()[0].horizon();
+                let before = warmed.entry_count();
+                sys.extend_run(
+                    0,
+                    b.last_event().unwrap().clone(),
+                    b.current_state().clone(),
+                );
+                let stats = warmed.extend_appended(sys, 0, from);
+                // Every pre-append entry is kept; only the new point's
+                // sets are added.
+                assert_eq!(stats.reused, before, "jobs {jobs}");
+                assert_eq!(
+                    stats.total,
+                    EvalCache::prewarm_on(sys, &pool).entry_count(),
+                    "jobs {jobs}"
+                );
+            };
+            extend(&mut b, &mut sys, &mut warmed);
+            b.receive("B", &cipher).unwrap();
+            extend(&mut b, &mut sys, &mut warmed);
+            b.new_key("B", "Late");
+            extend(&mut b, &mut sys, &mut warmed);
+
+            // The extended cache answers exactly like a cold evaluator
+            // over the extended system, at every point.
+            let goods = GoodRuns::all_runs(&sys);
+            let shared = Semantics::new_shared(&sys, goods.clone(), Rc::new(RefCell::new(warmed)));
+            let fresh = Semantics::new(&sys, goods);
+            for k in sys.runs()[0].times() {
+                let at = Point::new(0, k);
+                for f in &formulas {
+                    assert_eq!(
+                        shared.eval(at, f).unwrap(),
+                        fresh.eval(at, f).unwrap(),
+                        "jobs {jobs}, point {at:?}, formula {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_prewarm_of_an_empty_system_is_empty() {
+        let empty = System::new([]);
+        let pool = Pool::new(2);
+        let (cache, stats) =
+            EvalCache::prewarm_delta_on(&empty, &empty, &EvalCache::default(), &pool);
+        assert_eq!(
+            stats,
+            RewarmStats {
+                reused: 0,
+                total: 0
+            }
+        );
+        assert_eq!(cache.entry_count(), 0);
+    }
+
+    #[test]
+    fn delta_prewarm_of_a_single_point_run() {
+        // One state, no events: the smallest run a monitor can hold.
+        let mut b = RunBuilder::new(0);
+        b.principal("A", [Key::new("K")]);
+        let sys = System::new([b.build().unwrap()]);
+        assert_eq!(sys.runs()[0].times().count(), 1);
+        let pool = Pool::new(1);
+        let old = EvalCache::prewarm_on(&sys, &pool);
+        let (delta, stats) = EvalCache::prewarm_delta_on(&sys, &sys, &old, &pool);
+        assert_eq!(stats.reused, stats.total);
+        assert_eq!(delta.entry_count(), old.entry_count());
+        let s = Semantics::new_shared(&sys, GoodRuns::all_runs(&sys), Rc::new(RefCell::new(delta)));
+        assert!(s
+            .eval(Point::new(0, 0), &Formula::has("A", Key::new("K")))
+            .unwrap());
+    }
+
+    #[test]
+    fn delta_prewarm_after_append_invalidates_zero_points() {
+        // Appending an event leaves every old point's inputs untouched
+        // (the popped env buffer is invisible to local views), so a
+        // delta prewarm over the extension reuses the old cache whole.
+        let mut b = RunBuilder::new(-1);
+        b.principal("A", [Key::new("Kab")]);
+        b.principal("B", [Key::new("Kab")]);
+        b.new_key("A", "Spare");
+        let cipher = Message::encrypted(nonce("X"), Key::new("Kab"), Principal::new("A"));
+        b.send("A", cipher.clone(), "B").unwrap();
+        b.receive("B", &cipher).unwrap();
+        let old_sys = System::new([b.build().unwrap()]);
+        let pool = Pool::new(1);
+        let old = EvalCache::prewarm_on(&old_sys, &pool);
+        let mut extended = old_sys.clone();
+        b.new_key("B", "Late");
+        extended.extend_run(
+            0,
+            b.last_event().unwrap().clone(),
+            b.current_state().clone(),
+        );
+        let (_, stats) = EvalCache::prewarm_delta_on(&extended, &old_sys, &old, &pool);
+        assert_eq!(stats.reused, old.entry_count(), "zero points invalidated");
+        assert!(stats.total > stats.reused, "the new point is fresh work");
     }
 
     #[test]

@@ -111,24 +111,26 @@ use crate::enact::{enact, enact_with, EnactOptions};
 use crate::goodruns::{construct_checkpointed_with, resume_construct_with, ConstructionCheckpoint};
 use crate::inject::{inject_report, InjectRequest};
 use crate::metrics::{ExtraMetric, MetricKind, ServeMetrics, Verb};
+use crate::monitor::{Monitor, MonitorStats};
 use crate::parallel::Pool;
 use crate::semantics::{EvalCache, GoodRuns, RewarmStats, Semantics};
 use crate::spec::{canonicalize_spec, parse_spec, SpecDiff};
 use crate::sweep::belief_assumptions;
 use atl_lang::parser::{parse_formula, Symbols};
 use atl_lang::Key;
-use atl_model::wire::{parse_plan_list, render_outcome};
+use atl_model::wire::{parse_checkpoint, parse_plan_list, render_checkpoint, render_outcome};
 use atl_model::{
     execute_with_faults, sweep_plans_on, ExecOptions, ExecutionCache, ExpectPolicy, FaultPlan,
     OnTimeout, Point, Protocol, System,
 };
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -151,7 +153,7 @@ pub const MAX_DRAIN_BYTES: usize = 16 * MAX_REQUEST_BYTES;
 pub const DEFAULT_PORT: u16 = 7641;
 
 /// Configuration for [`Server::start`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// TCP port on 127.0.0.1 (0 = OS-assigned ephemeral).
     pub port: u16,
@@ -177,6 +179,10 @@ pub struct ServeConfig {
     /// Eviction is oldest-inserted-first and never invalidates outcomes
     /// already handed to in-flight requests.
     pub exec_cache_capacity: Option<usize>,
+    /// Directory where monitor sessions checkpoint after every event
+    /// (`None` disables persistence). On start the daemon replays every
+    /// checkpoint found there, so monitors survive a restart.
+    pub monitor_store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -190,6 +196,7 @@ impl Default for ServeConfig {
             conn_workers: 8,
             queue_depth: 64,
             exec_cache_capacity: None,
+            monitor_store: None,
         }
     }
 }
@@ -234,6 +241,20 @@ pub struct ServeStats {
     pub sweep_exec_hits: u64,
     /// Connections closed for sitting idle past the timeout.
     pub reaped: u64,
+    /// Monitor sessions opened (`MONITOR` requests plus checkpoints
+    /// replayed at startup).
+    pub monitors: u64,
+    /// Trace events ingested across all monitor sessions.
+    pub monitor_events: u64,
+    /// Memoized point sets monitor extensions carried over instead of
+    /// recomputing.
+    pub monitor_points_reused: u64,
+    /// Monitor events served by the incremental path (one delta
+    /// saturation + one cache append).
+    pub monitor_delta: u64,
+    /// Monitor events that required a full prefix build and prewarm
+    /// (the first buildable prefix of each session).
+    pub monitor_full: u64,
 }
 
 /// One response on the wire: `OK` with payload lines, or a one-line
@@ -474,6 +495,17 @@ struct ServerState {
     exec_cache: ExecutionCache,
     metrics: ServeMetrics,
     store: Mutex<Store>,
+    /// Live monitor sessions, by id. Independent of the spec-session
+    /// store: `RELOAD` never touches them.
+    monitors: Mutex<Monitors>,
+    /// Where monitor checkpoints persist (`None` = in-memory only).
+    monitor_store: Option<PathBuf>,
+}
+
+#[derive(Default)]
+struct Monitors {
+    sessions: BTreeMap<u64, Arc<Mutex<Monitor>>>,
+    next_id: u64,
 }
 
 impl ServerState {
@@ -481,6 +513,10 @@ impl ServerState {
         // A poisoned store only means a handler panicked mid-update;
         // the maps themselves stay consistent (updates are atomic).
         self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn monitors(&self) -> MutexGuard<'_, Monitors> {
+        self.monitors.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn session(&self, id_text: &str) -> Result<Arc<Session>, Response> {
@@ -536,7 +572,13 @@ impl Server {
             },
             metrics: ServeMetrics::new(),
             store: Mutex::new(Store::default()),
+            monitors: Mutex::new(Monitors::default()),
+            monitor_store: config.monitor_store.clone(),
         });
+        if let Some(dir) = &state.monitor_store {
+            std::fs::create_dir_all(dir)?;
+            resume_monitors(&state, dir);
+        }
         // The fixed connection workers. Handles are dropped: workers
         // exit on their own once the queue closes, and a worker blocked
         // reading a still-connected idle client must not hang
@@ -803,6 +845,8 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> Response {
         "EVAL" => cmd_eval(state, rest),
         "INJECT" => cmd_inject(state, rest),
         "SWEEP" => cmd_sweep(state, rest),
+        "MONITOR" => cmd_monitor(state, rest),
+        "EVENT" => cmd_event(state, rest),
         "STATS" if rest.is_empty() => cmd_stats(state),
         "STATS" => Response::err("STATS takes no arguments"),
         "METRICS" if rest.is_empty() => cmd_metrics(state),
@@ -811,7 +855,7 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> Response {
         "SHUTDOWN" => Response::err("SHUTDOWN takes no arguments"),
         other => Response::err(format!(
             "unknown command {other:?} (expected LOAD, RELOAD, ANALYZE, EVAL, INJECT, SWEEP, \
-             STATS, METRICS or SHUTDOWN)"
+             MONITOR, EVENT, STATS, METRICS or SHUTDOWN)"
         )),
     }
 }
@@ -1544,6 +1588,141 @@ fn cmd_sweep(state: &Arc<ServerState>, rest: &str) -> Response {
     Response { ok: true, lines }
 }
 
+/// `MONITOR <formula>[;<formula>...]` — open a streaming monitor
+/// session watching the given formulas. Replies `monitor <id>: watching
+/// <n> formula(s)`; subsequent `EVENT <id> <line>` requests feed the
+/// run one trace line at a time.
+fn cmd_monitor(state: &Arc<ServerState>, rest: &str) -> Response {
+    let texts: Vec<String> = rest
+        .split(';')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect();
+    if texts.is_empty() {
+        return Response::err("MONITOR takes <formula>[;<formula>...]");
+    }
+    let id = {
+        let mut monitors = state.monitors();
+        let id = monitors.next_id.max(1);
+        monitors.next_id = id + 1;
+        id
+    };
+    let monitor = match Monitor::new(format!("monitor-{id}"), texts) {
+        Ok(m) => m,
+        Err(e) => return Response::err(e.diagnostic("monitor")),
+    };
+    let count = monitor.formula_count();
+    let monitor = Arc::new(Mutex::new(monitor));
+    state.monitors().sessions.insert(id, Arc::clone(&monitor));
+    state.store().stats.monitors += 1;
+    persist_monitor(state, id, &monitor);
+    Response::from_text(&format!("monitor {id}: watching {count} formula(s)"))
+}
+
+/// `EVENT <id> <trace line>` — extend monitor `<id>` by one trace line.
+/// Replies with the monitor's output for that line: verdict lines in
+/// the exact `atl eval` format for events, a pre-epoch marker before
+/// time 0, and nothing for directives.
+fn cmd_event(state: &Arc<ServerState>, rest: &str) -> Response {
+    let (id_text, line) = match rest.split_once(char::is_whitespace) {
+        Some((id, line)) => (id, line),
+        None => (rest, ""),
+    };
+    if id_text.is_empty() {
+        return Response::err("EVENT takes <monitor-id> <trace line>");
+    }
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::err(format!("bad monitor id {id_text:?}"));
+    };
+    let Some(monitor) = state.monitors().sessions.get(&id).map(Arc::clone) else {
+        return Response::err(format!("no monitor {id}"));
+    };
+    let mut guard = monitor.lock().unwrap_or_else(PoisonError::into_inner);
+    let before = guard.stats();
+    let outcome = guard.feed_line(line, &state.pool);
+    let after = guard.stats();
+    drop(guard);
+    record_monitor_delta(state, before, after);
+    match outcome {
+        Ok(lines) => {
+            persist_monitor(state, id, &monitor);
+            Response { ok: true, lines }
+        }
+        Err(e) => Response::err(e.diagnostic("event")),
+    }
+}
+
+/// Fold the stats delta from one `feed_line` call into [`ServeStats`],
+/// so `STATS` and `METRICS` aggregate across all monitor sessions.
+fn record_monitor_delta(state: &Arc<ServerState>, before: MonitorStats, after: MonitorStats) {
+    let mut store = state.store();
+    store.stats.monitor_events += (after.events - before.events) as u64;
+    store.stats.monitor_points_reused += (after.points_reused - before.points_reused) as u64;
+    store.stats.monitor_delta += (after.delta_saturations - before.delta_saturations) as u64;
+    store.stats.monitor_full += (after.full_saturations - before.full_saturations) as u64;
+}
+
+/// Checkpoint one monitor into the store directory (tmp-file + rename,
+/// the same crash-safe discipline as the fabric outcome store). A
+/// persistence failure never fails the request: the monitor stays
+/// correct in memory and the next event retries the write.
+fn persist_monitor(state: &Arc<ServerState>, id: u64, monitor: &Arc<Mutex<Monitor>>) {
+    let Some(dir) = &state.monitor_store else {
+        return;
+    };
+    let cp = monitor
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .checkpoint(id);
+    let text = render_checkpoint(&cp);
+    let tmp = dir.join(format!(".tmp-{}-{id}", std::process::id()));
+    let path = dir.join(format!("monitor-{id}"));
+    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Replay every checkpoint in the store directory at startup, so
+/// monitor sessions survive a daemon restart. Unreadable or invalid
+/// files are skipped: a half-written checkpoint must not stop the
+/// server from coming up.
+fn resume_monitors(state: &Arc<ServerState>, dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(id_text) = name.to_str().and_then(|n| n.strip_prefix("monitor-")) else {
+            continue;
+        };
+        let Ok(id) = id_text.parse::<u64>() else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let Ok(cp) = parse_checkpoint(&text) else {
+            continue;
+        };
+        let Ok(monitor) = Monitor::resume(&cp, &state.pool) else {
+            continue;
+        };
+        let stats = monitor.stats();
+        {
+            let mut store = state.store();
+            store.stats.monitors += 1;
+            store.stats.monitor_events += stats.events as u64;
+            store.stats.monitor_points_reused += stats.points_reused as u64;
+            store.stats.monitor_delta += stats.delta_saturations as u64;
+            store.stats.monitor_full += stats.full_saturations as u64;
+        }
+        let mut monitors = state.monitors();
+        monitors.sessions.insert(id, Arc::new(Mutex::new(monitor)));
+        monitors.next_id = monitors.next_id.max(id + 1);
+    }
+}
+
 fn cmd_stats(state: &Arc<ServerState>) -> Response {
     let store = state.store();
     let s = store.stats;
@@ -1567,6 +1746,7 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
          eval: {} served, {} warm\n\
          inject: {} served, {} warm, {} exec-cache hit(s)\n\
          sweep: {} shard(s) served, {} plan(s)\n\
+         monitor: {} session(s), {} event(s), {} point(s) reused, {} delta, {} full\n\
          connections: {} reaped\n\
          warmed: {} hidden state(s), {} frozen message(s), {} cached execution(s)",
         store.sessions.len(),
@@ -1586,6 +1766,11 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
         s.inject_exec_hits,
         s.sweep_served,
         s.sweep_plans,
+        state.monitors().sessions.len(),
+        s.monitor_events,
+        s.monitor_points_reused,
+        s.monitor_delta,
+        s.monitor_full,
         s.reaped,
         hidden,
         frozen,
@@ -1734,6 +1919,42 @@ fn cmd_metrics(state: &Arc<ServerState>) -> Response {
             help: "Frozen interner messages across all warmed eval caches.",
             kind: MetricKind::Gauge,
             value: frozen as u64,
+        },
+        ExtraMetric {
+            name: "atl_serve_monitors_live",
+            help: "Monitor sessions currently resident.",
+            kind: MetricKind::Gauge,
+            value: state.monitors().sessions.len() as u64,
+        },
+        ExtraMetric {
+            name: "atl_serve_monitors_total",
+            help: "Monitor sessions opened (MONITOR requests plus resumed checkpoints).",
+            kind: MetricKind::Counter,
+            value: stats.monitors,
+        },
+        ExtraMetric {
+            name: "atl_serve_monitor_events_total",
+            help: "Trace events ingested across all monitor sessions.",
+            kind: MetricKind::Counter,
+            value: stats.monitor_events,
+        },
+        ExtraMetric {
+            name: "atl_serve_monitor_points_reused_total",
+            help: "Memoized point sets carried over by incremental monitor extensions.",
+            kind: MetricKind::Counter,
+            value: stats.monitor_points_reused,
+        },
+        ExtraMetric {
+            name: "atl_serve_monitor_delta_saturations_total",
+            help: "Monitor events served by the incremental delta path.",
+            kind: MetricKind::Counter,
+            value: stats.monitor_delta,
+        },
+        ExtraMetric {
+            name: "atl_serve_monitor_full_saturations_total",
+            help: "Monitor events that required a full prefix build and prewarm.",
+            kind: MetricKind::Counter,
+            value: stats.monitor_full,
         },
     ];
     Response::from_text(&state.metrics.render(&extras))
@@ -2647,5 +2868,165 @@ mod tests {
         let mut c = Client::connect(addr).expect("connect");
         c.shutdown().expect("shutdown");
         server.join();
+    }
+
+    /// The trace the monitor tests stream, one line per EVENT. Same
+    /// shape as the `crate::monitor` unit fixture: a pre-epoch header,
+    /// then three events that bring the run to horizon 2.
+    const MONITOR_TRACE: &[&str] = &[
+        "run start -1",
+        "principal A keys Kab",
+        "principal B keys Kab",
+        "newkey A Spare",
+        "send A -> B : {X}Kab@A",
+        "recv B : {X}Kab@A",
+    ];
+
+    #[test]
+    fn monitor_wire_verbs_match_the_in_process_engine() {
+        let server = start_test_server(2);
+        let mut c = Client::connect(server.addr()).expect("connect");
+
+        // Argument validation before any session exists.
+        for req in ["MONITOR", "MONITOR   ;  ;", "EVENT", "EVENT 7 run start 0"] {
+            let resp = c.request(req).expect("response");
+            assert!(!resp.ok, "request {req:?} must fail, got {resp:?}");
+        }
+
+        let opened = c.request("MONITOR B sees X; Env has Kab").expect("monitor");
+        assert_eq!(opened.lines, vec!["monitor 1: watching 2 formula(s)"]);
+
+        // Reference: the same engine driven in-process.
+        let pool = Pool::new(1);
+        let mut reference = Monitor::new(
+            "monitor-1",
+            ["B sees X".to_string(), "Env has Kab".to_string()],
+        )
+        .expect("reference monitor");
+        for line in MONITOR_TRACE {
+            let resp = c.request(&format!("EVENT 1 {line}")).expect("event");
+            assert!(resp.ok, "{resp:?}");
+            let expected = reference.feed_line(line, &pool).expect("reference feed");
+            assert_eq!(resp.lines, expected, "wire and engine diverge on {line:?}");
+        }
+        // Verdict lines carry the exact `atl eval` format.
+        let last = c
+            .request("EVENT 1 newkey Env __pad")
+            .expect("idle event")
+            .lines;
+        assert_eq!(
+            last,
+            vec![
+                "at (run 0, time 3): B sees X = true",
+                "at (run 0, time 3): Env has Kab = false",
+            ]
+        );
+        reference
+            .feed_line("newkey Env __pad", &pool)
+            .expect("reference idle");
+
+        // A bad line is rejected with a positioned diagnostic and does
+        // not corrupt the session: the next event still verdicts.
+        let bad = c.request("EVENT 1 recv B :").expect("bad event");
+        let msg = bad.err_message().expect("ERR reply");
+        assert!(msg.starts_with("event:8:"), "unexpected diagnostic {msg:?}");
+        let again = c.request("EVENT 1 newkey Env __pad").expect("event");
+        assert_eq!(
+            again.lines,
+            reference
+                .feed_line("newkey Env __pad", &pool)
+                .expect("feed")
+        );
+
+        let unknown = c.request("EVENT 99 run start 0").expect("response");
+        assert_eq!(unknown.err_message(), Some("no monitor 99"));
+
+        // STATS grows a monitor line; the batch lines CI greps survive.
+        let stats = c.request("STATS").expect("stats").payload();
+        assert!(
+            stats
+                .lines()
+                .any(|l| l
+                    == "monitor: 1 session(s), 5 event(s), 49 point(s) reused, 4 delta, 1 full"),
+            "missing monitor line in:\n{stats}"
+        );
+        assert!(stats.lines().any(|l| l.starts_with("reloads: ")));
+        assert!(stats.lines().any(|l| l.starts_with("connections: ")));
+
+        // METRICS stays a valid exposition and carries the new series.
+        let metrics = c.request("METRICS").expect("metrics").payload();
+        crate::metrics::check_exposition(&metrics).expect("valid exposition");
+        for needle in [
+            "atl_serve_monitors_live 1",
+            "atl_serve_monitors_total 1",
+            "atl_serve_monitor_events_total 5",
+            "atl_serve_monitor_delta_saturations_total 4",
+            "atl_serve_monitor_full_saturations_total 1",
+            "atl_serve_requests_total{verb=\"monitor\"} 3",
+            "atl_serve_requests_total{verb=\"event\"} 12",
+        ] {
+            assert!(
+                metrics.lines().any(|l| l == needle),
+                "missing {needle:?} in:\n{metrics}"
+            );
+        }
+        c.shutdown().expect("shutdown");
+        server.join();
+    }
+
+    #[test]
+    fn monitor_checkpoints_survive_a_daemon_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "atl-serve-unit-{}-monitor-store",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            port: 0,
+            max_sessions: 2,
+            pool: Pool::new(1),
+            monitor_store: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config.clone()).expect("bind");
+        let mut c = Client::connect(server.addr()).expect("connect");
+        assert!(c.request("MONITOR B sees X").expect("monitor").ok);
+        let split = 5;
+        for line in &MONITOR_TRACE[..split] {
+            assert!(c.request(&format!("EVENT 1 {line}")).expect("event").ok);
+        }
+        c.shutdown().expect("shutdown");
+        server.join();
+
+        // Restart over the same store: the session resumes with its id
+        // and history, and fresh MONITORs allocate past it.
+        let server = Server::start(config).expect("rebind");
+        let mut c = Client::connect(server.addr()).expect("reconnect");
+        let pool = Pool::new(1);
+        let mut reference = Monitor::new("monitor-1", ["B sees X".to_string()]).expect("reference");
+        for line in &MONITOR_TRACE[..split] {
+            reference.feed_line(line, &pool).expect("reference feed");
+        }
+        for line in &MONITOR_TRACE[split..] {
+            let resp = c.request(&format!("EVENT 1 {line}")).expect("event");
+            assert!(resp.ok, "{resp:?}");
+            assert_eq!(
+                resp.lines,
+                reference.feed_line(line, &pool).expect("reference feed"),
+                "post-restart divergence on {line:?}"
+            );
+        }
+        let opened = c.request("MONITOR A has Kab").expect("second monitor");
+        assert_eq!(opened.lines, vec!["monitor 2: watching 1 formula(s)"]);
+        let stats = c.request("STATS").expect("stats").payload();
+        assert!(
+            stats
+                .lines()
+                .any(|l| l.starts_with("monitor: 2 session(s), 3 event(s),")),
+            "missing resumed monitor counters in:\n{stats}"
+        );
+        c.shutdown().expect("shutdown");
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -59,5 +59,5 @@ pub use sweep::{
     PlanFingerprint, PlanResult, SweepGrid, SweepOutcome, SweepStats,
 };
 pub use system::{Interpretation, Point, System};
-pub use trace::{parse_trace, render_trace, TraceError};
+pub use trace::{parse_trace, render_trace, FeedOutcome, TraceError, TraceFeed};
 pub use validate::{validate_run, Violation};

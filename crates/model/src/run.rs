@@ -186,6 +186,52 @@ impl Run {
             .map(|rec| rec.message.clone())
             .collect()
     }
+
+    /// Appends one event and its post-state in place, without checking
+    /// the Section 5 restrictions — the streaming-monitor analogue of
+    /// rebuilding the run from a longer prefix. Appending never touches
+    /// earlier states or events, so every fact derived from the old
+    /// prefix (local states, send records, the pre-epoch sent set at
+    /// times the run already covered) stays valid; the result is equal
+    /// to a [`Run::from_parts`] rebuild with the extended state/event
+    /// vectors.
+    pub fn extend_unchecked(&mut self, event: Event, post_state: GlobalState) {
+        match &event.action {
+            Action::Send { message, to } => {
+                // The pre-state of the appended event is the current
+                // final state; its local view is the sender's context at
+                // send time, exactly what `compute_send_records` reads.
+                let pre = self.states.last().expect("runs have at least one state");
+                let local = pre.local(&event.actor);
+                self.send_records.push(SendRecord {
+                    time: self.horizon(),
+                    sender: event.actor.clone(),
+                    to: to.clone(),
+                    message: message.clone(),
+                    key_set: local.key_set.clone(),
+                    received: local.received(),
+                });
+            }
+            Action::Receive { message } => {
+                // [`RunBuilder::receive`] pops the buffer *before*
+                // snapshotting the pre-state, so the recorded pre-state
+                // of a receive never shows the delivered message in
+                // flight. Mirror that here or the extended run would
+                // differ from a batch rebuild in exactly that buffer
+                // slot. Local states (all the semantics reads) are
+                // untouched either way.
+                let pre = self.states.last_mut().expect("runs have a state");
+                if let Some(buffer) = pre.env.buffers.get_mut(&event.actor) {
+                    if let Some(pos) = buffer.iter().position(|m| m == message) {
+                        buffer.remove(pos);
+                    }
+                }
+            }
+            Action::NewKey { .. } => {}
+        }
+        self.events.push(event);
+        self.states.push(post_state);
+    }
 }
 
 /// Checked, stepwise construction of a [`Run`].
@@ -291,6 +337,21 @@ impl RunBuilder {
     /// A view of the global state as currently built.
     pub fn current_state(&self) -> &GlobalState {
         &self.current
+    }
+
+    /// The most recently appended event, if any — how a streaming
+    /// consumer picks up the event it just applied (paired with
+    /// [`RunBuilder::current_state`], the event's post-state) to extend
+    /// an already-built [`Run`] via [`Run::extend_unchecked`].
+    pub fn last_event(&self) -> Option<&Event> {
+        self.events.last()
+    }
+
+    /// The run's initial global state: the declared principals with
+    /// their starting key sets, before any event (the pre-state of the
+    /// first event once one exists).
+    pub fn initial_state(&self) -> &GlobalState {
+        self.states.first().unwrap_or(&self.current)
     }
 
     fn step(&mut self, event: Event) {
@@ -720,6 +781,55 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].sender, Principal::new("A"));
         assert!(recs[0].said_submsgs().contains(&nonce("X")));
+    }
+
+    #[test]
+    fn extend_unchecked_equals_rebuild_at_every_prefix() {
+        // Replay a run with sends (pre- and post-epoch), receives, and
+        // newkeys event by event: a run extended in place must equal a
+        // full rebuild of the same prefix after every single event.
+        let mut b = RunBuilder::new(-1);
+        b.principal("A", [Key::new("K")]);
+        b.principal("B", []);
+        b.send("A", nonce("old"), "B").unwrap();
+        b.receive("B", &nonce("old")).unwrap();
+        b.new_key("B", "K2");
+        b.send("B", nonce("new"), "A").unwrap();
+        b.receive("A", &nonce("new")).unwrap();
+        let full = b.build().unwrap();
+
+        let mut replay = RunBuilder::new(-1);
+        replay.principal("A", [Key::new("K")]);
+        replay.principal("B", []);
+        let mut extended: Option<Run> = None;
+        for (_, event) in full.events() {
+            match &event.action {
+                Action::Send { message, to } => {
+                    replay
+                        .send(event.actor.clone(), message.clone(), to.clone())
+                        .unwrap();
+                }
+                Action::Receive { message } => {
+                    replay.receive(event.actor.clone(), message).unwrap();
+                }
+                Action::NewKey { key } => {
+                    replay.new_key(event.actor.clone(), key.clone());
+                }
+            }
+            match &mut extended {
+                None if replay.now() >= 0 => extended = Some(replay.build().unwrap()),
+                None => {}
+                Some(run) => {
+                    let ev = replay.last_event().expect("just appended").clone();
+                    run.extend_unchecked(ev, replay.current_state().clone());
+                    let rebuilt = replay.build().unwrap();
+                    assert_eq!(*run, rebuilt, "extension diverged from rebuild");
+                    assert_eq!(run.send_records(), rebuilt.send_records());
+                    assert_eq!(run.sent_before_epoch(), rebuilt.sent_before_epoch());
+                }
+            }
+        }
+        assert_eq!(extended.expect("run crossed the epoch"), full);
     }
 
     #[test]

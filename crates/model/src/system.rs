@@ -141,6 +141,24 @@ impl System {
         &self.runs[idx]
     }
 
+    /// Extends the run at `idx` in place by one event (see
+    /// [`Run::extend_unchecked`]) — the streaming monitor grows a live
+    /// run prefix this way instead of rebuilding the system per event.
+    /// Explicit interpretation entries are point-addressed and appending
+    /// only adds points, so `π` stays valid as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn extend_run(
+        &mut self,
+        idx: usize,
+        event: crate::action::Event,
+        post_state: crate::state::GlobalState,
+    ) {
+        self.runs[idx].extend_unchecked(event, post_state);
+    }
+
     /// The interpretation `π`.
     pub fn interpretation(&self) -> &Interpretation {
         &self.interp

@@ -76,6 +76,161 @@ fn split_keys(rest: &str, lineno: usize) -> Result<(String, Vec<String>), TraceE
     Ok((name, keys))
 }
 
+/// One classified trace line. Both the batch parser ([`parse_trace`])
+/// and the streaming feed ([`TraceFeed`]) go through
+/// [`classify_line`] + the `apply_*` helpers below, so there is exactly
+/// one grammar — a line means the same thing whether it arrives from a
+/// file, stdin, or the serve-mode `EVENT` verb.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TraceLine {
+    /// Blank or comment-only.
+    Blank,
+    /// `run start <time>`.
+    RunStart(i64),
+    /// `principal P keys K1 K2 …`.
+    Principal { name: String, keys: Vec<String> },
+    /// `env keys K1 K2 …`.
+    EnvKeys(Vec<String>),
+    /// `bind PARAM = MESSAGE` (message text kept raw; it parses against
+    /// the symbol table when applied).
+    Bind { param: String, value: String },
+    /// `send`/`recv`/`newkey` with its argument text.
+    Action { keyword: ActionKind, rest: String },
+}
+
+/// The three action keywords.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ActionKind {
+    Send,
+    Recv,
+    NewKey,
+}
+
+/// Classifies one raw line (comments stripped) without touching any
+/// builder state.
+fn classify_line(raw: &str, lineno: usize) -> Result<TraceLine, TraceError> {
+    let line = raw.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(TraceLine::Blank);
+    }
+    let (keyword, rest) = match line.split_once(char::is_whitespace) {
+        Some((k, r)) => (k, r.trim()),
+        None => (line, ""),
+    };
+    match keyword {
+        "run" => {
+            let rest = rest
+                .strip_prefix("start")
+                .map(str::trim)
+                .ok_or_else(|| err(lineno, "expected `run start <time>`"))?;
+            let t = rest
+                .parse()
+                .map_err(|_| err(lineno, format!("bad start time `{rest}`")))?;
+            Ok(TraceLine::RunStart(t))
+        }
+        "principal" => {
+            let (name, keys) = split_keys(rest, lineno)?;
+            Ok(TraceLine::Principal { name, keys })
+        }
+        "env" => {
+            let keys = rest
+                .strip_prefix("keys")
+                .map(str::trim)
+                .ok_or_else(|| err(lineno, "expected `env keys K1 K2 …`"))?;
+            Ok(TraceLine::EnvKeys(
+                keys.split_whitespace().map(str::to_string).collect(),
+            ))
+        }
+        "bind" => {
+            let Some((param, value)) = rest.split_once('=') else {
+                return Err(err(lineno, "expected `bind PARAM = MESSAGE`"));
+            };
+            Ok(TraceLine::Bind {
+                param: param.trim().to_string(),
+                value: value.trim().to_string(),
+            })
+        }
+        "send" | "recv" | "newkey" => {
+            if rest.is_empty() {
+                return Err(err(lineno, format!("`{keyword}` takes arguments")));
+            }
+            let keyword = match keyword {
+                "send" => ActionKind::Send,
+                "recv" => ActionKind::Recv,
+                _ => ActionKind::NewKey,
+            };
+            Ok(TraceLine::Action {
+                keyword,
+                rest: rest.to_string(),
+            })
+        }
+        other => Err(err(lineno, format!("unknown directive `{other}`"))),
+    }
+}
+
+/// Applies a `bind` directive (the message parses against `syms`).
+fn apply_bind(
+    builder: &mut RunBuilder,
+    syms: &Symbols,
+    param: &str,
+    value: &str,
+    lineno: usize,
+) -> Result<(), TraceError> {
+    let m = parse_message(value, syms).map_err(|e| err(lineno, e.to_string()))?;
+    builder.bind_param(Param::new(param), m);
+    Ok(())
+}
+
+/// Applies one action line to the builder.
+fn apply_action(
+    builder: &mut RunBuilder,
+    syms: &Symbols,
+    keyword: ActionKind,
+    rest: &str,
+    lineno: usize,
+) -> Result<(), TraceError> {
+    match keyword {
+        ActionKind::Send => {
+            let Some((route, message)) = rest.split_once(':') else {
+                return Err(err(lineno, "send needs `FROM -> TO : MESSAGE`"));
+            };
+            let Some((from, to)) = route.split_once("->") else {
+                return Err(err(lineno, "send route needs `FROM -> TO`"));
+            };
+            let m = parse_message(message.trim(), syms).map_err(|e| err(lineno, e.to_string()))?;
+            builder.send_unchecked(from.trim(), m, to.trim());
+        }
+        ActionKind::Recv => {
+            let Some((p, message)) = rest.split_once(':') else {
+                return Err(err(lineno, "recv needs `P : MESSAGE`"));
+            };
+            let m = parse_message(message.trim(), syms).map_err(|e| err(lineno, e.to_string()))?;
+            builder
+                .receive(p.trim(), &m)
+                .map_err(|e| err(lineno, e.to_string()))?;
+        }
+        ActionKind::NewKey => {
+            let mut parts = rest.split_whitespace();
+            let (Some(p), Some(k), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(err(lineno, "newkey takes exactly `newkey P K`"));
+            };
+            // `__pad` is the reserved padding key (see
+            // `RunBuilder::idle`): the executor emits it without
+            // recording any history, so replay it through the same
+            // path — otherwise a rendered run would not parse back
+            // to an equal run, and outcomes shipped through the
+            // wire codec would stop deduplicating against local
+            // executions.
+            if k == "__pad" && p == Principal::environment().to_string() {
+                builder.idle();
+            } else {
+                builder.new_key(p, k);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Parses a trace into a [`Run`] (unchecked — audit with
 /// [`validate_run`](crate::validate::validate_run)) plus the declared
 /// symbol table, for parsing queries against the run.
@@ -91,32 +246,16 @@ pub fn parse_trace(input: &str) -> Result<(Run, Symbols), TraceError> {
     let mut syms = Symbols::new().principals(["Env".to_string()]);
     let mut builder: Option<RunBuilder> = None;
     let mut header_done = false;
-    let mut pending: Vec<(usize, String)> = Vec::new();
+    let mut pending: Vec<(usize, TraceLine)> = Vec::new();
 
     // First pass: header (so the symbol table is complete before any
     // message parses).
     for (i, raw) in input.lines().enumerate() {
         let lineno = i + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let (keyword, rest) = match line.split_once(char::is_whitespace) {
-            Some((k, r)) => (k, r.trim()),
-            None => (line, ""),
-        };
-        match keyword {
-            "run" => {
-                let rest = rest
-                    .strip_prefix("start")
-                    .map(str::trim)
-                    .ok_or_else(|| err(lineno, "expected `run start <time>`"))?;
-                start_time = rest
-                    .parse()
-                    .map_err(|_| err(lineno, format!("bad start time `{rest}`")))?;
-            }
-            "principal" => {
-                let (name, keys) = split_keys(rest, lineno)?;
+        match classify_line(raw, lineno)? {
+            TraceLine::Blank => {}
+            TraceLine::RunStart(t) => start_time = t,
+            TraceLine::Principal { name, keys } => {
                 syms = syms.principals([name.clone()]).keys(keys.clone());
                 builder
                     .get_or_insert_with(|| RunBuilder::new(start_time))
@@ -125,96 +264,174 @@ pub fn parse_trace(input: &str) -> Result<(Run, Symbols), TraceError> {
                     return Err(err(lineno, "principal declarations must precede actions"));
                 }
             }
-            "env" => {
-                let keys = rest
-                    .strip_prefix("keys")
-                    .map(str::trim)
-                    .ok_or_else(|| err(lineno, "expected `env keys K1 K2 …`"))?;
-                let keys: Vec<String> = keys.split_whitespace().map(str::to_string).collect();
+            TraceLine::EnvKeys(keys) => {
                 syms = syms.keys(keys.clone()).principals(["Env".to_string()]);
                 builder
                     .get_or_insert_with(|| RunBuilder::new(start_time))
                     .env_keys(keys.iter().map(Key::new));
             }
-            "bind" => {
-                let Some((param, value)) = rest.split_once('=') else {
-                    return Err(err(lineno, "expected `bind PARAM = MESSAGE`"));
-                };
-                pending.push((
-                    lineno,
-                    format!("bind\u{1}{}\u{1}{}", param.trim(), value.trim()),
-                ));
-            }
-            "send" | "recv" | "newkey" => {
+            line @ TraceLine::Bind { .. } => pending.push((lineno, line)),
+            line @ TraceLine::Action { .. } => {
                 header_done = true;
-                pending.push((lineno, line.to_string()));
+                pending.push((lineno, line));
             }
-            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
         }
     }
     let mut builder = builder.ok_or_else(|| err(0, "trace declares no principals"))?;
 
     // Second pass: actions, with the full symbol table.
     for (lineno, line) in pending {
-        if let Some(rest) = line.strip_prefix("bind\u{1}") {
-            let (param, value) = rest
-                .split_once('\u{1}')
-                .ok_or_else(|| err(lineno, "expected `bind PARAM = MESSAGE`"))?;
-            let m = parse_message(value, &syms).map_err(|e| err(lineno, e.to_string()))?;
-            builder.bind_param(Param::new(param), m);
-            continue;
-        }
-        let (keyword, rest) = line
-            .split_once(char::is_whitespace)
-            .ok_or_else(|| err(lineno, format!("`{line}` takes arguments")))?;
-        let rest = rest.trim();
-        match keyword {
-            "send" => {
-                let Some((route, message)) = rest.split_once(':') else {
-                    return Err(err(lineno, "send needs `FROM -> TO : MESSAGE`"));
-                };
-                let Some((from, to)) = route.split_once("->") else {
-                    return Err(err(lineno, "send route needs `FROM -> TO`"));
-                };
-                let m =
-                    parse_message(message.trim(), &syms).map_err(|e| err(lineno, e.to_string()))?;
-                builder.send_unchecked(from.trim(), m, to.trim());
+        match line {
+            TraceLine::Bind { param, value } => {
+                apply_bind(&mut builder, &syms, &param, &value, lineno)?;
             }
-            "recv" => {
-                let Some((p, message)) = rest.split_once(':') else {
-                    return Err(err(lineno, "recv needs `P : MESSAGE`"));
-                };
-                let m =
-                    parse_message(message.trim(), &syms).map_err(|e| err(lineno, e.to_string()))?;
-                builder
-                    .receive(p.trim(), &m)
-                    .map_err(|e| err(lineno, e.to_string()))?;
+            TraceLine::Action { keyword, rest } => {
+                apply_action(&mut builder, &syms, keyword, &rest, lineno)?;
             }
-            "newkey" => {
-                let mut parts = rest.split_whitespace();
-                let (Some(p), Some(k), None) = (parts.next(), parts.next(), parts.next()) else {
-                    return Err(err(lineno, "newkey takes exactly `newkey P K`"));
-                };
-                // `__pad` is the reserved padding key (see
-                // `RunBuilder::idle`): the executor emits it without
-                // recording any history, so replay it through the same
-                // path — otherwise a rendered run would not parse back
-                // to an equal run, and outcomes shipped through the
-                // wire codec would stop deduplicating against local
-                // executions.
-                if k == "__pad" && p == Principal::environment().to_string() {
-                    builder.idle();
-                } else {
-                    builder.new_key(p, k);
-                }
-            }
-            _ => unreachable!("filtered in first pass"),
+            _ => unreachable!("only bind and action lines are deferred"),
         }
     }
     let run = builder
         .build()
         .map_err(|e: ModelError| err(0, e.to_string()))?;
     Ok((run, syms))
+}
+
+/// What one line fed to a [`TraceFeed`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedOutcome {
+    /// A blank line, comment, or header directive: no event appended.
+    Directive,
+    /// An action line: one event appended, performed at `time`.
+    Event {
+        /// The time at which the appended event was performed.
+        time: i64,
+    },
+}
+
+/// A streaming, line-at-a-time trace parser — the same grammar as
+/// [`parse_trace`] (both go through one shared classifier and one shared
+/// set of apply helpers), applied incrementally so a consumer can react
+/// after every event instead of waiting for the whole trace.
+///
+/// One divergence is deliberate and *stricter*, never looser: a stream
+/// cannot defer directives, so `run start`, `env keys`, and `bind` are
+/// rejected once the first action has been fed (the batch parser hoists
+/// them in its first pass). Every trace produced by
+/// [`render_trace`] is well-ordered and parses identically either way.
+///
+/// Line numbers for diagnostics count every fed line (including blanks
+/// and comments), so a `TraceError` from a feed carries the same
+/// `file:line:` position the batch parser would report for the same
+/// input.
+#[derive(Clone, Debug, Default)]
+pub struct TraceFeed {
+    start_time: i64,
+    syms: Symbols,
+    builder: Option<RunBuilder>,
+    header_done: bool,
+    lineno: usize,
+}
+
+impl TraceFeed {
+    /// An empty feed (start time 0 until a `run start` line arrives).
+    pub fn new() -> Self {
+        TraceFeed {
+            start_time: 0,
+            syms: Symbols::new().principals(["Env".to_string()]),
+            builder: None,
+            header_done: false,
+            lineno: 0,
+        }
+    }
+
+    /// 1-based number of the last fed line (0 before the first feed).
+    pub fn line(&self) -> usize {
+        self.lineno
+    }
+
+    /// The symbol table declared by the header so far.
+    pub fn symbols(&self) -> &Symbols {
+        &self.syms
+    }
+
+    /// The run under construction, if any declaration arrived yet.
+    pub fn builder(&self) -> Option<&RunBuilder> {
+        self.builder.as_ref()
+    }
+
+    /// Builds the current prefix as a [`Run`], or `None` while the
+    /// prefix is still unbuildable (no declarations yet, or a past-epoch
+    /// prefix that has not reached time 0 — exactly the prefixes
+    /// [`parse_trace`] rejects too).
+    pub fn try_build(&self) -> Option<Run> {
+        self.builder.clone()?.build().ok()
+    }
+
+    /// Feeds one line.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] positioned at the fed line on any problem — the
+    /// same errors [`parse_trace`] reports, plus the stream-order
+    /// rejections documented on [`TraceFeed`].
+    pub fn feed(&mut self, raw: &str) -> Result<FeedOutcome, TraceError> {
+        self.lineno += 1;
+        let lineno = self.lineno;
+        match classify_line(raw, lineno)? {
+            TraceLine::Blank => Ok(FeedOutcome::Directive),
+            TraceLine::RunStart(t) => {
+                if self.builder.is_some() {
+                    return Err(err(lineno, "`run start` must precede declarations"));
+                }
+                self.start_time = t;
+                Ok(FeedOutcome::Directive)
+            }
+            TraceLine::Principal { name, keys } => {
+                if self.header_done {
+                    return Err(err(lineno, "principal declarations must precede actions"));
+                }
+                let syms = std::mem::take(&mut self.syms);
+                self.syms = syms.principals([name.clone()]).keys(keys.clone());
+                self.builder
+                    .get_or_insert_with(|| RunBuilder::new(self.start_time))
+                    .principal(name.as_str(), keys.iter().map(Key::new));
+                Ok(FeedOutcome::Directive)
+            }
+            TraceLine::EnvKeys(keys) => {
+                if self.header_done {
+                    return Err(err(lineno, "`env keys` must precede actions in a stream"));
+                }
+                let syms = std::mem::take(&mut self.syms);
+                self.syms = syms.keys(keys.clone()).principals(["Env".to_string()]);
+                self.builder
+                    .get_or_insert_with(|| RunBuilder::new(self.start_time))
+                    .env_keys(keys.iter().map(Key::new));
+                Ok(FeedOutcome::Directive)
+            }
+            TraceLine::Bind { param, value } => {
+                if self.header_done {
+                    return Err(err(lineno, "`bind` must precede actions in a stream"));
+                }
+                let builder = self
+                    .builder
+                    .get_or_insert_with(|| RunBuilder::new(self.start_time));
+                apply_bind(builder, &self.syms, &param, &value, lineno)?;
+                Ok(FeedOutcome::Directive)
+            }
+            TraceLine::Action { keyword, rest } => {
+                let builder = self
+                    .builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "trace declares no principals"))?;
+                self.header_done = true;
+                apply_action(builder, &self.syms, keyword, &rest, lineno)?;
+                Ok(FeedOutcome::Event {
+                    time: builder.now() - 1,
+                })
+            }
+        }
+    }
 }
 
 /// Renders a run back into the trace format. Parameters, principal key
@@ -328,6 +545,85 @@ recv B : {X}Kzz@Env
         let rendered = render_trace(&run);
         let (again, _) = parse_trace(&rendered).unwrap();
         assert_eq!(run, again);
+    }
+
+    #[test]
+    fn streaming_feed_matches_batch_at_every_buildable_prefix() {
+        let mut feed = TraceFeed::new();
+        let lines: Vec<&str> = GOOD.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            let outcome = feed.feed(line).unwrap();
+            assert_eq!(feed.line(), i + 1);
+            if !matches!(outcome, FeedOutcome::Event { .. }) {
+                continue;
+            }
+            // The streamed prefix must agree with a batch parse of the
+            // same prefix text whenever the batch parse succeeds.
+            let prefix = lines[..=i].join("\n");
+            match parse_trace(&prefix) {
+                Ok((batch_run, batch_syms)) => {
+                    assert_eq!(feed.try_build().expect("buildable"), batch_run);
+                    assert_eq!(*feed.symbols(), batch_syms);
+                }
+                Err(_) => assert!(feed.try_build().is_none(), "prefix ends before time 0"),
+            }
+        }
+        let (full, _) = parse_trace(GOOD).unwrap();
+        assert_eq!(feed.try_build().unwrap(), full);
+    }
+
+    #[test]
+    fn streaming_feed_shares_the_batch_grammar_errors() {
+        // Same bad lines, same messages, same line numbers.
+        for (bad, needle) in [
+            ("run start x", "bad start time"),
+            ("frobnicate", "unknown directive"),
+            ("send", "takes arguments"),
+            ("recv A Na", "recv needs"),
+        ] {
+            let text = format!("run start 0\nprincipal A keys K\n{bad}\n");
+            let batch = parse_trace(&text).unwrap_err();
+            let mut feed = TraceFeed::new();
+            let mut stream_err = None;
+            for line in text.lines() {
+                if let Err(e) = feed.feed(line) {
+                    stream_err = Some(e);
+                    break;
+                }
+            }
+            let stream = stream_err.expect("stream rejects too");
+            assert_eq!(batch, stream, "{bad}");
+            assert!(batch.message.contains(needle), "{bad}: {}", batch.message);
+        }
+    }
+
+    #[test]
+    fn streaming_feed_rejects_late_header_directives() {
+        let mut feed = TraceFeed::new();
+        feed.feed("principal A keys K").unwrap();
+        feed.feed("newkey A K2").unwrap();
+        for late in [
+            "principal B keys K",
+            "env keys Ke",
+            "bind P = K",
+            "run start -1",
+        ] {
+            let e = feed.clone().feed(late).unwrap_err();
+            assert_eq!(e.line, 3, "{late}");
+        }
+        // Actions keep flowing after a rejected line was *not* applied.
+        assert!(matches!(
+            feed.feed("newkey A K3").unwrap(),
+            FeedOutcome::Event { time: 1 }
+        ));
+    }
+
+    #[test]
+    fn streaming_feed_requires_declarations_before_actions() {
+        let mut feed = TraceFeed::new();
+        let e = feed.feed("newkey A K").unwrap_err();
+        assert!(e.message.contains("no principals"));
+        assert!(feed.try_build().is_none());
     }
 
     #[test]

@@ -376,6 +376,126 @@ pub fn parse_outcome(text: &str) -> Result<ExecOutcome, WireError> {
     Ok(Ok((run, report)))
 }
 
+/// A monitor session's durable state: the watched formula texts plus
+/// every raw trace line fed so far, in order.
+///
+/// A monitor is resumed by *replay* — re-feeding the recorded lines
+/// through the same [`crate::TraceFeed`] path a live session uses — so
+/// the checkpoint stores inputs, not derived state, and a resumed
+/// session is byte-identical to one that never went down.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MonitorCheckpoint {
+    /// The session id the daemon assigned.
+    pub id: u64,
+    /// The monitor's name (the protocol name in its summary).
+    pub name: String,
+    /// The formula texts the session watches, as given to `MONITOR`.
+    pub formulas: Vec<String>,
+    /// Every raw line fed to the session so far, in ingestion order.
+    pub lines: Vec<String>,
+}
+
+/// FNV-1a over `data` (the checksum the outcome store uses; duplicated
+/// here because the store's copy is private to another crate).
+fn fnv64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders a checkpoint in the outcome-store frame style: a versioned
+/// header, counted percent-escaped payload lines, and an FNV-1a checksum
+/// over the payload so a truncated or bit-flipped file is rejected, not
+/// half-replayed.
+pub fn render_checkpoint(cp: &MonitorCheckpoint) -> String {
+    let mut body = String::new();
+    for f in &cp.formulas {
+        body.push_str(&escape(f));
+        body.push('\n');
+    }
+    for l in &cp.lines {
+        body.push_str(&escape(l));
+        body.push('\n');
+    }
+    format!(
+        "atl-monitor v1\nid {} name {}\nformulas {} lines {} sum {:016x}\n{body}",
+        cp.id,
+        escape(&cp.name),
+        cp.formulas.len(),
+        cp.lines.len(),
+        fnv64(body.as_bytes())
+    )
+}
+
+/// Reverses [`render_checkpoint`].
+///
+/// # Errors
+///
+/// [`WireError`] on a bad header, count/checksum mismatch, malformed
+/// escape, or trailing garbage.
+pub fn parse_checkpoint(text: &str) -> Result<MonitorCheckpoint, WireError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("atl-monitor v1") => {}
+        other => return Err(err(format!("bad checkpoint header {other:?}"))),
+    }
+    let id_line = lines.next().ok_or_else(|| err("missing id line"))?;
+    let (id, name) = id_line
+        .strip_prefix("id ")
+        .and_then(|rest| rest.split_once(" name "))
+        .ok_or_else(|| err(format!("bad id line {id_line:?}")))?;
+    let id: u64 = id.parse().map_err(|e| err(format!("checkpoint id: {e}")))?;
+    let name = unescape(name)?;
+    let frame = lines.next().ok_or_else(|| err("missing frame line"))?;
+    let mut parts = frame.split_whitespace();
+    let (Some("formulas"), Some(nf), Some("lines"), Some(nl), Some("sum"), Some(sum), None) = (
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+    ) else {
+        return Err(err(format!("bad frame line {frame:?}")));
+    };
+    let nf: usize = nf.parse().map_err(|e| err(format!("formula count: {e}")))?;
+    let nl: usize = nl.parse().map_err(|e| err(format!("line count: {e}")))?;
+    let sum = u64::from_str_radix(sum, 16).map_err(|e| err(format!("checksum: {e}")))?;
+
+    let mut body = String::new();
+    let mut tokens = Vec::with_capacity(nf + nl);
+    for _ in 0..nf + nl {
+        let line = lines.next().ok_or_else(|| err("truncated payload"))?;
+        body.push_str(line);
+        body.push('\n');
+        tokens.push(line);
+    }
+    if lines.next().is_some() {
+        return Err(err("trailing lines after checkpoint payload"));
+    }
+    if fnv64(body.as_bytes()) != sum {
+        return Err(err("checkpoint checksum mismatch"));
+    }
+    let formulas = tokens[..nf]
+        .iter()
+        .map(|t| unescape(t))
+        .collect::<Result<_, _>>()?;
+    let lines = tokens[nf..]
+        .iter()
+        .map(|t| unescape(t))
+        .collect::<Result<_, _>>()?;
+    Ok(MonitorCheckpoint {
+        id,
+        name,
+        formulas,
+        lines,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +656,54 @@ mod tests {
             "ok retries=x rounds=0 faults=0 abandoned=0 trace=0",
         ] {
             assert!(parse_outcome(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exactly() {
+        let cp = MonitorCheckpoint {
+            id: 42,
+            name: "ns resumed".into(),
+            formulas: vec!["Env has Kab".into(), "B believes (A said X)".into()],
+            lines: vec![
+                "run start -2".into(),
+                "principal A keys Kab".into(),
+                "".into(),
+                "# a comment with % and ; in it".into(),
+                "send A -> B : {X}Kab".into(),
+            ],
+        };
+        let rendered = render_checkpoint(&cp);
+        assert_eq!(parse_checkpoint(&rendered), Ok(cp.clone()));
+        // An empty session round-trips too.
+        let empty = MonitorCheckpoint::default();
+        assert_eq!(parse_checkpoint(&render_checkpoint(&empty)), Ok(empty));
+    }
+
+    #[test]
+    fn checkpoint_parse_rejects_corruption() {
+        let cp = MonitorCheckpoint {
+            id: 7,
+            name: "t".into(),
+            formulas: vec!["Env has K".into()],
+            lines: vec!["run start 0".into(), "principal A keys K".into()],
+        };
+        let rendered = render_checkpoint(&cp);
+        let lines: Vec<&str> = rendered.lines().collect();
+        for cut in 0..lines.len() {
+            let truncated = lines[..cut].join("\n");
+            assert!(
+                parse_checkpoint(&truncated).is_err(),
+                "truncation to {cut} lines must not parse"
+            );
+        }
+        assert!(parse_checkpoint(&format!("{rendered}garbage\n")).is_err());
+        // A flipped payload byte trips the checksum.
+        let flipped = rendered.replace("run%20start%200", "run%20start%201");
+        assert_ne!(flipped, rendered);
+        assert!(parse_checkpoint(&flipped).is_err());
+        for bad in ["", "atl-monitor v2", "atl-monitor v1\nid x name t"] {
+            assert!(parse_checkpoint(bad).is_err(), "{bad:?} must not parse");
         }
     }
 }

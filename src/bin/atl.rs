@@ -120,12 +120,13 @@ fn main() -> ExitCode {
         Some("proof") => cmd_proof(args.get(1)),
         Some("check-run") => cmd_check_run(args.get(1)),
         Some("eval") => cmd_eval(args.get(1), args.get(2), args.get(3)),
+        Some("monitor") => cmd_monitor(&args[1..], &pool),
         Some("inject") => cmd_inject(&args[1..], &pool),
         Some("serve") => cmd_serve(&args[1..], pool),
         Some("client") => cmd_client(&args[1..]),
         _ => {
             eprintln!(
-                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | inject SPEC [FAULT-FLAGS] | serve [--port N] [--max-sessions N] [--idle-timeout SECS] [--drain SECS] [--conn-workers N] [--queue-depth N] [--exec-cache-cap N] | client [--port N] REQUEST...>"
+                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | monitor <TRACE | --stdin> FORMULA... | inject SPEC [FAULT-FLAGS] | serve [--port N] [--max-sessions N] [--idle-timeout SECS] [--drain SECS] [--conn-workers N] [--queue-depth N] [--exec-cache-cap N] [--store DIR] | client [--port N] REQUEST...>"
             );
             return ExitCode::from(2);
         }
@@ -266,6 +267,47 @@ fn cmd_eval(
     let verdict = sem.eval(Point::new(0, k), &phi)?;
     println!("at (run 0, time {k}): {phi} = {verdict}");
     Ok(verdict)
+}
+
+/// `atl monitor <TRACE | --stdin> FORMULA...` — stream a trace one
+/// line at a time through the incremental monitor, printing each
+/// event's verdict lines (exact `atl eval` format) as they land, with
+/// the annotation-closure summary on stderr at end of stream. Exit
+/// codes match the batch CLI: 3 on a parse diagnostic, 1 when the last
+/// verdict of any watched formula is false, 0 otherwise.
+fn cmd_monitor(args: &[String], pool: &Pool) -> Result<bool, Box<dyn std::error::Error>> {
+    use atl::core::monitor::Monitor;
+    use std::io::BufRead as _;
+
+    let (origin, source): (String, Box<dyn std::io::BufRead>) =
+        match args.first().map(String::as_str) {
+            Some("--stdin") => ("stdin".into(), Box::new(std::io::stdin().lock())),
+            Some(path) => (
+                path.to_string(),
+                Box::new(std::io::BufReader::new(std::fs::File::open(path)?)),
+            ),
+            None => return Err("monitor needs a trace (path or --stdin) and a formula".into()),
+        };
+    let formulas: Vec<String> = args[1..].to_vec();
+    if formulas.is_empty() {
+        return Err("monitor needs at least one formula to watch".into());
+    }
+    let mut monitor =
+        Monitor::new("monitor", formulas).map_err(|e| ParseDiag(e.diagnostic(&origin)))?;
+    for line in source.lines() {
+        let line = line?;
+        match monitor.feed_line(&line, pool) {
+            Ok(out) => {
+                for l in out {
+                    println!("{l}");
+                }
+            }
+            Err(e) if e.is_parse() => return Err(ParseDiag(e.diagnostic(&origin)).into()),
+            Err(e) => return Err(e.to_string().into()),
+        }
+    }
+    eprint!("{}", monitor.summary());
+    Ok(monitor.last_verdicts().iter().all(|v| *v))
 }
 
 /// Parsed flags for `atl inject`. Probability flags accept
@@ -535,6 +577,9 @@ fn cmd_serve(args: &[String], pool: Pool) -> Result<bool, Box<dyn std::error::Er
             "--exec-cache-cap" => {
                 let cap: usize = it.next().ok_or("--exec-cache-cap needs a value")?.parse()?;
                 config.exec_cache_capacity = (cap > 0).then_some(cap);
+            }
+            "--store" => {
+                config.monitor_store = Some(it.next().ok_or("--store needs a value")?.into());
             }
             other => return Err(format!("unknown serve flag {other}").into()),
         }

@@ -281,7 +281,7 @@ fn repeat_queries_hit_caches_and_stats_report_them() {
 
     let stats = c.request("STATS").expect("stats");
     let s = server.stats();
-    assert_eq!(stats.lines.len(), 9);
+    assert_eq!(stats.lines.len(), 10);
     assert_eq!(stats.lines[0], "sessions: 1 live, capacity 8");
     assert_eq!(
         stats.lines[1],
@@ -315,7 +315,14 @@ fn repeat_queries_hit_caches_and_stats_report_them() {
             s.sweep_served, s.sweep_plans
         )
     );
-    assert_eq!(stats.lines[7], format!("connections: {} reaped", s.reaped));
+    assert_eq!(
+        stats.lines[7],
+        format!(
+            "monitor: 0 session(s), {} event(s), {} point(s) reused, {} delta, {} full",
+            s.monitor_events, s.monitor_points_reused, s.monitor_delta, s.monitor_full
+        )
+    );
+    assert_eq!(stats.lines[8], format!("connections: {} reaped", s.reaped));
     stop(server, &mut c);
 }
 
