@@ -1,0 +1,167 @@
+//! Coverage-guided hunt throughput and yield: plans/second through the
+//! mutate → fingerprint-dedupe → sweep → classify → shrink pipeline,
+//! cold versus warm shared cache, and the hunt against an exhaustive
+//! sweep of the same mutation axes.
+//!
+//! The hunt's report is cache-warmth invariant by construction (the
+//! budget counts resolved plans, not cache misses — tests/e22_hunt.rs),
+//! so cold and warm runs do identical search work; only executions are
+//! saved. The exhaustive group is the comparison the E22 experiment
+//! quotes: signatures found per plan resolved, fuzzer versus grid.
+
+use atl_core::parallel::Pool;
+use atl_lang::{Key, Message, Nonce};
+use atl_model::{
+    hunt_plans_on, sweep_plans_on, ExecOptions, ExecOutcome, ExecutionCache, ExpectPolicy,
+    FaultKind, HuntConfig, MutationSpace, Protocol, Role,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A protocol of `depth` nonce round-trips between A and B, the e16/e22
+/// randomized-protocol shape at a fixed size.
+fn pingpong(depth: u64) -> Protocol {
+    let mut a = Role::new("A", []);
+    let mut b = Role::new("B", []);
+    let policy = ExpectPolicy::skip_after(2);
+    for i in 0..depth {
+        let ping = Message::nonce(Nonce::new(format!("P{i}")));
+        let pong = Message::nonce(Nonce::new(format!("Q{i}")));
+        a = a.send(ping.clone(), "B").expect_with(pong.clone(), policy);
+        b = b.expect_with(ping, policy).send(pong, "A");
+    }
+    Protocol::new(format!("pingpong-{depth}")).role(a).role(b)
+}
+
+fn space() -> MutationSpace {
+    MutationSpace::new()
+        .prob_steps([0.0, 0.25, 0.5, 0.75, 1.0])
+        .seeds(0..2)
+        .candidate(Key::new("P0"), 2)
+}
+
+fn config_for(budget: usize) -> HuntConfig {
+    HuntConfig {
+        seed: 1,
+        budget,
+        batch: 16,
+        space: space(),
+        seed_plans: Vec::new(),
+    }
+}
+
+/// The same protocol-independent classifier e22 uses: fault kinds fired
+/// plus the abandoned count.
+fn classify(outcome: &ExecOutcome) -> String {
+    match outcome {
+        Ok((_, report)) => {
+            let kinds: String = [
+                FaultKind::Drop,
+                FaultKind::Duplicate,
+                FaultKind::Delay,
+                FaultKind::Reorder,
+                FaultKind::Replay,
+                FaultKind::Compromise,
+            ]
+            .iter()
+            .map(|k| {
+                if report.faults_of(*k).next().is_some() {
+                    'x'
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+            format!("faults={kinds} abandoned={}", report.abandoned.len())
+        }
+        Err(_) => "failed".to_string(),
+    }
+}
+
+/// Hunt throughput (a fixed 96-plan budget, shrinking included), cold
+/// shared cache versus fully warm: the warm point isolates the search
+/// machinery itself (mutation, dedup, classification, bookkeeping) from
+/// execution cost.
+fn bench_hunt_cold_vs_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hunt_search_96_budget");
+    let proto = pingpong(3);
+    let opts = ExecOptions::default();
+    let config = config_for(96);
+    let pool = Pool::new(2);
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let out = hunt_plans_on(
+                &proto,
+                &opts,
+                &config,
+                &pool,
+                &ExecutionCache::new(),
+                None,
+                |_, o| classify(o),
+            );
+            black_box(out.classes.len())
+        })
+    });
+    let warm = ExecutionCache::new();
+    hunt_plans_on(&proto, &opts, &config, &pool, &warm, None, |_, o| {
+        classify(o)
+    });
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let out = hunt_plans_on(&proto, &opts, &config, &pool, &warm, None, |_, o| {
+                classify(o)
+            });
+            black_box(out.stats.cache_hits)
+        })
+    });
+    g.finish();
+}
+
+/// The hunt against the exhaustive grid over the same axes: the grid
+/// resolves every unique fingerprint of the space; the hunt resolves
+/// its budget. The E22 experiment quotes the yield ratio (signatures
+/// per plan resolved); this group pins the wall-clock side.
+fn bench_hunt_vs_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hunt_vs_exhaustive");
+    let proto = pingpong(3);
+    let opts = ExecOptions::default();
+    let pool = Pool::new(2);
+    let config = config_for(96);
+    g.bench_function("hunt", |b| {
+        b.iter(|| {
+            let out = hunt_plans_on(
+                &proto,
+                &opts,
+                &config,
+                &pool,
+                &ExecutionCache::new(),
+                None,
+                |_, o| classify(o),
+            );
+            black_box(out.classes.len())
+        })
+    });
+    let plans = space().grid().plans();
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            let out = sweep_plans_on(&proto, &opts, &plans, &pool, &ExecutionCache::new());
+            black_box(out.stats.executed)
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hunt_cold_vs_warm, bench_hunt_vs_exhaustive
+}
+criterion_main!(benches);

@@ -34,6 +34,9 @@
 //! - [`fabric`] — the distributed sweep coordinator: shards plan grids
 //!   across serve-mode daemons with retries, requeues, and a crash-safe
 //!   persistent outcome store, degrading to local execution;
+//! - [`hunt`] — coverage-guided attack search: a feedback-directed
+//!   fuzzer over fault plans whose coverage signal is the belief-survival
+//!   signature, with shrunk minimal plans per degradation class;
 //! - [`examples`] — the coin-toss counterexample;
 //! - [`theorems`] — machine-checked reconstructions of the BAN rules;
 //! - [`secrecy`] — the semantic secrecy audit (the paper's future work);
@@ -64,6 +67,7 @@ pub mod enact;
 pub mod examples;
 pub mod fabric;
 pub mod goodruns;
+pub mod hunt;
 pub mod inject;
 pub mod kripke;
 pub mod metrics;

@@ -89,6 +89,8 @@ pub enum Verb {
     Inject,
     /// `SWEEP`
     Sweep,
+    /// `HUNT`
+    Hunt,
     /// `MONITOR`
     Monitor,
     /// `EVENT`
@@ -105,13 +107,14 @@ pub enum Verb {
 
 impl Verb {
     /// Every verb, in the order the exposition lists them.
-    pub const ALL: [Verb; 12] = [
+    pub const ALL: [Verb; 13] = [
         Verb::Load,
         Verb::Reload,
         Verb::Analyze,
         Verb::Eval,
         Verb::Inject,
         Verb::Sweep,
+        Verb::Hunt,
         Verb::Monitor,
         Verb::Event,
         Verb::Stats,
@@ -129,6 +132,7 @@ impl Verb {
             Verb::Eval => "eval",
             Verb::Inject => "inject",
             Verb::Sweep => "sweep",
+            Verb::Hunt => "hunt",
             Verb::Monitor => "monitor",
             Verb::Event => "event",
             Verb::Stats => "stats",
@@ -147,6 +151,7 @@ impl Verb {
             "EVAL" => Verb::Eval,
             "INJECT" => Verb::Inject,
             "SWEEP" => Verb::Sweep,
+            "HUNT" => Verb::Hunt,
             "MONITOR" => Verb::Monitor,
             "EVENT" => Verb::Event,
             "STATS" => Verb::Stats,

@@ -55,7 +55,11 @@
 //! SWEEP <id> policy=<p> options=<o> plans=<plan>;<plan>;…
 //!                                  execute a shard of fault plans, one
 //!                                  wire-rendered outcome per plan
-//! STATS                            session/cache counters (fixed 9-line text)
+//! HUNT <id> [seed=N] [budget=N] [batch=N]
+//!                                  coverage-guided attack search over the
+//!                                  session's fault-plan space, bytes of
+//!                                  `atl hunt` (see `crate::hunt`)
+//! STATS                            session/cache counters (fixed 11-line text)
 //! METRICS                          Prometheus-style text exposition
 //!                                  (crate::metrics): per-verb latency
 //!                                  histograms, queue/worker gauges,
@@ -109,6 +113,7 @@
 use crate::annotate::{analyze_at_resumable, AnalysisResume, AtProtocol};
 use crate::enact::{enact, enact_with, EnactOptions};
 use crate::goodruns::{construct_checkpointed_with, resume_construct_with, ConstructionCheckpoint};
+use crate::hunt::{default_space, hunt_report, HuntSettings};
 use crate::inject::{inject_report, InjectRequest};
 use crate::metrics::{ExtraMetric, MetricKind, ServeMetrics, Verb};
 use crate::monitor::{Monitor, MonitorStats};
@@ -121,7 +126,7 @@ use atl_lang::Key;
 use atl_model::wire::{parse_checkpoint, parse_plan_list, render_checkpoint, render_outcome};
 use atl_model::{
     execute_with_faults, sweep_plans_on, ExecOptions, ExecutionCache, ExpectPolicy, FaultPlan,
-    OnTimeout, Point, Protocol, System,
+    HuntConfig, OnTimeout, Point, Protocol, System,
 };
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
@@ -239,6 +244,14 @@ pub struct ServeStats {
     /// `SWEEP` plans whose execution was answered by the shared
     /// [`ExecutionCache`] (cross-shard and cross-session dedupe).
     pub sweep_exec_hits: u64,
+    /// `HUNT` requests served.
+    pub hunts_served: u64,
+    /// Fault-plan executions spent across all `HUNT` requests
+    /// (mutation rounds plus shrinking probes).
+    pub hunt_plans: u64,
+    /// Distinct degradation classes reported across all `HUNT`
+    /// requests.
+    pub hunt_classes: u64,
     /// Connections closed for sitting idle past the timeout.
     pub reaped: u64,
     /// Monitor sessions opened (`MONITOR` requests plus checkpoints
@@ -845,6 +858,7 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> Response {
         "EVAL" => cmd_eval(state, rest),
         "INJECT" => cmd_inject(state, rest),
         "SWEEP" => cmd_sweep(state, rest),
+        "HUNT" => cmd_hunt(state, rest),
         "MONITOR" => cmd_monitor(state, rest),
         "EVENT" => cmd_event(state, rest),
         "STATS" if rest.is_empty() => cmd_stats(state),
@@ -855,7 +869,7 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> Response {
         "SHUTDOWN" => Response::err("SHUTDOWN takes no arguments"),
         other => Response::err(format!(
             "unknown command {other:?} (expected LOAD, RELOAD, ANALYZE, EVAL, INJECT, SWEEP, \
-             MONITOR, EVENT, STATS, METRICS or SHUTDOWN)"
+             HUNT, MONITOR, EVENT, STATS, METRICS or SHUTDOWN)"
         )),
     }
 }
@@ -1588,6 +1602,67 @@ fn cmd_sweep(state: &Arc<ServerState>, rest: &str) -> Response {
     Response { ok: true, lines }
 }
 
+/// `HUNT <id> [seed=N] [budget=N] [batch=N]` — run the coverage-guided
+/// attack search (`crate::hunt`) against a warmed session. The fuzzer's
+/// mutation space is derived from the session's protocol keys
+/// ([`default_space`]), executions ride the server-global
+/// [`ExecutionCache`] (so a repeated `HUNT`, or one overlapping a
+/// `SWEEP`, re-executes nothing it has already seen), and the response
+/// is the deterministic report `atl hunt` would print for the same
+/// seed and budget.
+fn cmd_hunt(state: &Arc<ServerState>, rest: &str) -> Response {
+    let (id_text, rest) = match rest.split_once(char::is_whitespace) {
+        Some((id, rest)) => (id, rest.trim()),
+        None => (rest, ""),
+    };
+    if id_text.is_empty() {
+        return Response::err("HUNT takes <session-id> [seed=N] [budget=N] [batch=N]");
+    }
+    let session = match state.session(id_text) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    let (mut seed, mut budget, mut batch) = (0u64, 256usize, 32usize);
+    for token in rest.split_whitespace() {
+        let Some((field, value)) = token.split_once('=') else {
+            return Response::err(format!("bad HUNT field {token:?}"));
+        };
+        let parsed = match field {
+            "seed" => value.parse().map(|v| seed = v).map_err(|e| e.to_string()),
+            "budget" => value.parse().map(|v| budget = v).map_err(|e| e.to_string()),
+            "batch" => value
+                .parse()
+                .map(|v: usize| batch = v.max(1))
+                .map_err(|e| e.to_string()),
+            other => Err(format!("unknown HUNT field {other:?}")),
+        };
+        if let Err(msg) = parsed {
+            return Response::err(format!("bad HUNT {field}: {msg}"));
+        }
+    }
+    let settings = HuntSettings {
+        config: HuntConfig {
+            seed,
+            budget,
+            batch,
+            space: default_space(&session.at),
+            seed_plans: Vec::new(),
+        },
+        ..HuntSettings::default()
+    };
+    let report = hunt_report(&session.at, &settings, &state.pool, &state.exec_cache, None);
+    let (executed, classes) = (
+        report.outcome.stats.executed as u64,
+        report.outcome.classes.len() as u64,
+    );
+    let response = Response::from_text(&report.to_string());
+    let mut store = state.store();
+    store.stats.hunts_served += 1;
+    store.stats.hunt_plans += executed;
+    store.stats.hunt_classes += classes;
+    response
+}
+
 /// `MONITOR <formula>[;<formula>...]` — open a streaming monitor
 /// session watching the given formulas. Replies `monitor <id>: watching
 /// <n> formula(s)`; subsequent `EVENT <id> <line>` requests feed the
@@ -1746,6 +1821,7 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
          eval: {} served, {} warm\n\
          inject: {} served, {} warm, {} exec-cache hit(s)\n\
          sweep: {} shard(s) served, {} plan(s)\n\
+         hunt: {} hunt(s) served, {} plan(s), {} class(es)\n\
          monitor: {} session(s), {} event(s), {} point(s) reused, {} delta, {} full\n\
          connections: {} reaped\n\
          warmed: {} hidden state(s), {} frozen message(s), {} cached execution(s)",
@@ -1766,6 +1842,9 @@ fn cmd_stats(state: &Arc<ServerState>) -> Response {
         s.inject_exec_hits,
         s.sweep_served,
         s.sweep_plans,
+        s.hunts_served,
+        s.hunt_plans,
+        s.hunt_classes,
         state.monitors().sessions.len(),
         s.monitor_events,
         s.monitor_points_reused,
@@ -1877,6 +1956,24 @@ fn cmd_metrics(state: &Arc<ServerState>) -> Response {
             help: "Fault plans received across all SWEEP shards.",
             kind: MetricKind::Counter,
             value: stats.sweep_plans,
+        },
+        ExtraMetric {
+            name: "atl_serve_hunts_total",
+            help: "HUNT requests served.",
+            kind: MetricKind::Counter,
+            value: stats.hunts_served,
+        },
+        ExtraMetric {
+            name: "atl_serve_hunt_plans_total",
+            help: "Fault-plan executions spent across all HUNT requests.",
+            kind: MetricKind::Counter,
+            value: stats.hunt_plans,
+        },
+        ExtraMetric {
+            name: "atl_serve_hunt_classes_total",
+            help: "Distinct degradation classes reported across all HUNT requests.",
+            kind: MetricKind::Counter,
+            value: stats.hunt_classes,
         },
         ExtraMetric {
             name: "atl_serve_reaped_total",

@@ -196,7 +196,7 @@ fn delivered(run: &Run, to: &Principal, message: &Message) -> bool {
 
 /// The mask of idealized `→` steps whose message `run` delivered
 /// (`true` = keep; `newkey` steps are always kept).
-fn delivery_mask(at: &AtProtocol, run: &Run) -> Vec<bool> {
+pub(crate) fn delivery_mask(at: &AtProtocol, run: &Run) -> Vec<bool> {
     at.steps
         .iter()
         .map(|s| match s {

@@ -36,6 +36,7 @@ mod faults;
 pub mod parallel;
 mod protocol;
 mod run;
+mod search;
 mod state;
 mod sweep;
 mod system;
@@ -53,6 +54,9 @@ pub use executor::{
 pub use faults::{AbandonedStep, ExecReport, FaultError, FaultEvent, FaultKind, FaultPlan};
 pub use protocol::{ExpectPolicy, MsgPattern, OnTimeout, Protocol, Role, RoleStep};
 pub use run::{final_env, Run, RunBuilder, SendRecord};
+pub use search::{
+    hunt_plans_on, DegradationClass, HuntConfig, HuntOutcome, HuntStats, HuntStore, MutationSpace,
+};
 pub use state::{EnvState, GlobalState, LocalState};
 pub use sweep::{
     execution_context_digest, sweep_plans_on, sweep_plans_resolve, ExecOutcome, ExecutionCache,

@@ -1,0 +1,953 @@
+//! Feedback-directed attack search over [`FaultPlan`]s.
+//!
+//! A sweep *measures* a grid; this module *searches* a space. The search
+//! is a coverage-guided fuzzer in the AFL tradition, specialized to the
+//! paper's adversary model:
+//!
+//! 1. **Mutation** — a [`MutationSpace`] bounds the search (probability
+//!    palette, seed range, delay durations, compromise candidates) and
+//!    perturbs one to three axes of a parent plan per mutant, from a
+//!    seeded deterministic RNG. Mutants never escape
+//!    [`FaultPlan::validate`]: probabilities are drawn from the palette
+//!    (clamped to `[0, 1]`) and a positive delay always keeps a positive
+//!    duration.
+//! 2. **Coverage** — the signal is the pair (fingerprint novelty,
+//!    degradation signature). [`PlanFingerprint`] novelty gates
+//!    *execution*: a mutant canonically equal to anything already tried
+//!    is discarded free of charge. Signature novelty gates the
+//!    *corpus*: the caller-supplied classifier maps each execution to a
+//!    degradation signature (e.g. the per-goal belief-survival verdict
+//!    vector), and a plan producing a never-before-seen signature
+//!    founds a new [`DegradationClass`] and enters the corpus.
+//! 3. **Energy** — corpus entries are picked energy-weighted as mutation
+//!    parents; each pick spends energy, so fresh discoveries get a burst
+//!    of follow-up mutants and old ones decay to a trickle.
+//! 4. **Shrinking** — each class's witness is delta-debugged toward the
+//!    identity plan axis by axis while its signature is preserved; the
+//!    fixpoint is the *minimal* plan reported for the class, and by
+//!    construction flipping any single minimized axis further toward
+//!    identity loses the signature.
+//!
+//! Execution rides [`sweep_plans_on`]: dedup, the shared
+//! [`ExecutionCache`], and `--jobs` parallelism come for free, and the
+//! whole search — batch generation is sequential, sweeps merge by index,
+//! shrinking is deterministic — is byte-identical at every worker count.
+//!
+//! A [`HuntStore`] persists the corpus with the outcome-store checksum
+//! discipline, so a killed hunt resumes without re-discovering (or
+//! duplicating) its classes.
+
+use crate::executor::ExecOptions;
+use crate::faults::FaultPlan;
+use crate::parallel::Pool;
+use crate::protocol::Protocol;
+use crate::sweep::{
+    execution_context_digest, sweep_plans_on, ExecOutcome, ExecutionCache, PlanFingerprint,
+    SweepGrid,
+};
+use crate::wire;
+use atl_lang::Key;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The bounds of a mutation search: which values each plan axis may
+/// take. The same space also describes the exhaustive grid
+/// ([`grid`](MutationSpace::grid)) a `--sweep` of the same axes would
+/// enumerate, which is what hunt efficiency is measured against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MutationSpace {
+    /// The probability palette every fault axis draws from. Values are
+    /// clamped to `[0, 1]` at mutation time, so an unruly palette still
+    /// cannot produce an invalid plan.
+    pub prob_steps: Vec<f64>,
+    /// The seed range; the identity plan uses `seeds.start`.
+    pub seeds: std::ops::Range<u64>,
+    /// Delay durations (scheduler rounds) a mutation may pick. Zero
+    /// entries are repaired to 1 when the delay probability is positive.
+    pub delay_rounds: Vec<u32>,
+    /// Compromise `(key, time)` pairs a mutation may toggle on or off.
+    pub compromise_candidates: Vec<(Key, i64)>,
+    /// How many compromises one plan may carry at once.
+    pub max_compromises: usize,
+}
+
+impl Default for MutationSpace {
+    fn default() -> Self {
+        MutationSpace::new()
+    }
+}
+
+impl MutationSpace {
+    /// The default space: the five-point probability palette
+    /// `{0, ¼, ½, ¾, 1}`, seeds `0..2`, the default delay duration, no
+    /// compromise candidates, at most one compromise per plan.
+    pub fn new() -> Self {
+        MutationSpace {
+            prob_steps: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            seeds: 0..2,
+            delay_rounds: vec![2],
+            compromise_candidates: Vec::new(),
+            max_compromises: 1,
+        }
+    }
+
+    /// Sets the probability palette.
+    pub fn prob_steps(mut self, steps: impl IntoIterator<Item = f64>) -> Self {
+        self.prob_steps = steps.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed range.
+    pub fn seeds(mut self, seeds: std::ops::Range<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Adds one compromise candidate.
+    pub fn candidate(mut self, key: Key, time: i64) -> Self {
+        self.compromise_candidates.push((key, time));
+        self
+    }
+
+    /// The identity plan of the space: the lowest seed, everything
+    /// inert. This is the fuzzer's round-zero input and the fixed point
+    /// shrinking aims at.
+    pub fn identity(&self) -> FaultPlan {
+        FaultPlan::new(self.seeds.start)
+    }
+
+    /// The exhaustive grid over the same axes: the cartesian product of
+    /// the seed range, the probability palette on all five fault axes,
+    /// and the no-compromise choice plus each single candidate. A hunt
+    /// is measured against the *unique fingerprints* of this grid — the
+    /// executions an `atl inject --sweep` of the same space would need.
+    pub fn grid(&self) -> SweepGrid {
+        let steps = || self.prob_steps.iter().map(|p| p.clamp(0.0, 1.0));
+        let rounds = self.delay_rounds.first().copied().unwrap_or(2).max(1);
+        let mut grid = SweepGrid::new()
+            .seeds(self.seeds.clone())
+            .drop_steps(steps())
+            .duplicate_steps(steps())
+            .delay_steps(steps(), rounds)
+            .reorder_steps(steps())
+            .replay_steps(steps());
+        if !self.compromise_candidates.is_empty() {
+            grid = grid.compromise_choice([]);
+            for c in &self.compromise_candidates {
+                grid = grid.compromise_choice([c.clone()]);
+            }
+        }
+        grid
+    }
+
+    /// One mutation step: clone `parent`, perturb one to three axes
+    /// drawn from `rng`, and repair the result so
+    /// [`FaultPlan::validate`] always accepts it.
+    pub fn mutate(&self, rng: &mut StdRng, parent: &FaultPlan) -> FaultPlan {
+        let mut plan = parent.clone();
+        let edits = 1 + rng.gen_range(0..3u32);
+        for _ in 0..edits {
+            let mut axis = rng.gen_range(0..8u32);
+            if axis == 7 && self.compromise_candidates.is_empty() {
+                axis = 5;
+            }
+            match axis {
+                0..=4 => {
+                    let step = self.pick_prob(rng);
+                    match axis {
+                        0 => plan.drop_p = step,
+                        1 => plan.duplicate_p = step,
+                        2 => plan.delay_p = step,
+                        3 => plan.reorder_p = step,
+                        _ => plan.replay_p = step,
+                    }
+                }
+                5 => {
+                    plan.seed = if self.seeds.is_empty() {
+                        0
+                    } else {
+                        self.seeds.start
+                            + rng.gen_range(0..(self.seeds.end - self.seeds.start).max(1))
+                    };
+                }
+                6 => {
+                    let palette: &[u32] = if self.delay_rounds.is_empty() {
+                        &[2]
+                    } else {
+                        &self.delay_rounds
+                    };
+                    plan.delay_rounds = palette[rng.gen_range(0..palette.len())];
+                }
+                _ => {
+                    let i = rng.gen_range(0..self.compromise_candidates.len());
+                    let candidate = self.compromise_candidates[i].clone();
+                    if let Some(at) = plan.compromises.iter().position(|c| *c == candidate) {
+                        plan.compromises.remove(at);
+                    } else if plan.compromises.len() < self.max_compromises {
+                        plan.compromises.push(candidate);
+                        plan.compromises.sort();
+                    }
+                }
+            }
+        }
+        // Repair: the palette is caller-supplied, so clamp junk instead
+        // of letting it reach `validate`; a positive delay probability
+        // must keep a positive duration (`BadDelay`).
+        for p in [
+            &mut plan.drop_p,
+            &mut plan.duplicate_p,
+            &mut plan.delay_p,
+            &mut plan.reorder_p,
+            &mut plan.replay_p,
+        ] {
+            *p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        }
+        if plan.delay_p > 0.0 && plan.delay_rounds == 0 {
+            plan.delay_rounds = 1;
+        }
+        plan
+    }
+
+    fn pick_prob(&self, rng: &mut StdRng) -> f64 {
+        if self.prob_steps.is_empty() {
+            return 0.0;
+        }
+        self.prob_steps[rng.gen_range(0..self.prob_steps.len())]
+    }
+}
+
+/// How to run a hunt: the deterministic RNG seed, the execution budget,
+/// the per-round batch size, the mutation bounds, and any seed corpus
+/// (e.g. plans reconstructed from a live monitor prefix).
+#[derive(Clone, Debug)]
+pub struct HuntConfig {
+    /// Seed of the mutation RNG; the whole search is a pure function of
+    /// it (plus the protocol, options, space, and seed plans).
+    pub seed: u64,
+    /// Stop generating new batches once this many plans have been
+    /// resolved (fresh executions plus cache hits; deduplicated mutants
+    /// are free). Counting resolved plans rather than cache misses keeps
+    /// the search trajectory — and therefore the report — independent of
+    /// how warm the shared cache happens to be.
+    pub budget: usize,
+    /// Mutants generated per round before executing them as one sweep.
+    pub batch: usize,
+    /// The mutation bounds.
+    pub space: MutationSpace,
+    /// Extra round-zero inputs beside the identity plan.
+    pub seed_plans: Vec<FaultPlan>,
+}
+
+impl Default for HuntConfig {
+    fn default() -> Self {
+        HuntConfig {
+            seed: 0,
+            budget: 256,
+            batch: 32,
+            space: MutationSpace::new(),
+            seed_plans: Vec::new(),
+        }
+    }
+}
+
+/// Bookkeeping for one hunt.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HuntStats {
+    /// Mutation/execution rounds run (round 1 is the seed corpus).
+    pub rounds: usize,
+    /// Mutants generated, including discarded duplicates.
+    pub generated: usize,
+    /// Mutants discarded before execution because their fingerprint had
+    /// already been tried.
+    pub duplicates: usize,
+    /// Plans resolved (fresh executions plus cache hits), including
+    /// shrinking probes. This is what the budget counts, so the number
+    /// is identical whether the shared cache started cold or warm.
+    pub executed: usize,
+    /// Of the resolved plans, how many the shared cache answered
+    /// without a fresh execution.
+    pub cache_hits: usize,
+    /// Shrinking probes (each is one plan checked for signature
+    /// preservation; probes with known fingerprints hit the cache).
+    pub shrink_trials: usize,
+    /// Classes resumed from a [`HuntStore`] instead of rediscovered.
+    pub resumed: usize,
+}
+
+impl fmt::Display for HuntStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} round(s), {} mutant(s) generated ({} duplicate(s) discarded), \
+             {} executed, {} cache hit(s), {} shrink trial(s), {} class(es) resumed",
+            self.rounds,
+            self.generated,
+            self.duplicates,
+            self.executed,
+            self.cache_hits,
+            self.shrink_trials,
+            self.resumed
+        )
+    }
+}
+
+/// One distinct degradation signature the hunt observed, with the plan
+/// that first produced it and the shrunk minimal reproducer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradationClass {
+    /// The classifier's signature for this class.
+    pub signature: String,
+    /// The first plan observed to produce the signature.
+    pub witness: FaultPlan,
+    /// The witness delta-debugged toward the identity plan: every
+    /// single-axis reduction the space offers loses the signature.
+    pub minimal: FaultPlan,
+    /// How many executed plans landed in this class.
+    pub members: usize,
+}
+
+/// Everything a hunt produced: the classes in discovery order, the
+/// signature of the identity (fault-free) plan, and the accounting.
+#[derive(Clone, Debug)]
+pub struct HuntOutcome {
+    /// Distinct degradation classes, in discovery order. The identity
+    /// plan's class is discovered first unless the store resumed it.
+    pub classes: Vec<DegradationClass>,
+    /// The identity plan's signature — the "no attack" class, so every
+    /// *other* class is a distinct way the protocol degrades.
+    pub baseline: String,
+    /// Generation/execution/shrinking accounting.
+    pub stats: HuntStats,
+}
+
+impl HuntOutcome {
+    /// The classes whose signature differs from the baseline — the
+    /// distinct attacks found.
+    pub fn attacks(&self) -> impl Iterator<Item = &DegradationClass> {
+        self.classes.iter().filter(|c| c.signature != self.baseline)
+    }
+}
+
+/// Initial mutation energy of a fresh corpus entry.
+const INITIAL_ENERGY: u32 = 8;
+
+/// Runs the feedback-directed search. `classify` maps one executed plan
+/// to its degradation signature; the hunt treats signatures as opaque
+/// strings. `store`, when given, persists each newly founded class and
+/// seeds the corpus from previously persisted ones (resuming a killed
+/// hunt without duplicate signatures); persistence failures are
+/// silently ignored — the store is a cache of discoveries, never the
+/// source of truth.
+///
+/// The result is byte-identical at every `pool` worker count: mutants
+/// are generated sequentially from the seeded RNG, executions ride the
+/// jobs-invariant [`sweep_plans_on`], classification walks batches in
+/// generation order, and shrinking is deterministic.
+pub fn hunt_plans_on<C>(
+    protocol: &Protocol,
+    options: &ExecOptions,
+    config: &HuntConfig,
+    pool: &Pool,
+    cache: &ExecutionCache,
+    store: Option<&HuntStore>,
+    mut classify: C,
+) -> HuntOutcome
+where
+    C: FnMut(&FaultPlan, &ExecOutcome) -> String,
+{
+    let context = execution_context_digest(protocol, options);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = HuntStats::default();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut sigs: BTreeMap<String, usize> = BTreeMap::new();
+    let mut classes: Vec<DegradationClass> = Vec::new();
+    let mut corpus: Vec<(FaultPlan, u32)> = Vec::new();
+
+    // Resume: persisted classes are trusted (the store checksums them),
+    // so their signatures and fingerprints count as already seen.
+    if let Some(store) = store {
+        for (signature, plan) in store.load(context) {
+            seen.insert(PlanFingerprint::of(&plan).wire());
+            if sigs.contains_key(&signature) {
+                continue;
+            }
+            sigs.insert(signature.clone(), classes.len());
+            classes.push(DegradationClass {
+                signature,
+                minimal: plan.clone(),
+                witness: plan.clone(),
+                members: 1,
+            });
+            corpus.push((plan, INITIAL_ENERGY));
+            stats.resumed += 1;
+        }
+    }
+
+    // Round zero: the identity plan plus any seed corpus, minus what the
+    // store already covered.
+    let mut pending: Vec<FaultPlan> = Vec::new();
+    for plan in std::iter::once(config.space.identity()).chain(config.seed_plans.iter().cloned()) {
+        if plan.validate().is_ok() && seen.insert(PlanFingerprint::of(&plan).wire()) {
+            pending.push(plan);
+        }
+    }
+
+    // The baseline signature comes from a dedicated identity execution
+    // so it is never confused with the first mutant on a resumed hunt;
+    // round zero re-sees the identity plan as a free cache hit.
+    let baseline = {
+        let identity = config.space.identity();
+        let outcome = sweep_plans_on(
+            protocol,
+            options,
+            std::slice::from_ref(&identity),
+            pool,
+            cache,
+        );
+        stats.executed += outcome.stats.executed + outcome.stats.cache_hits;
+        stats.cache_hits += outcome.stats.cache_hits;
+        classify(&identity, outcome.results[0].outcome.as_ref())
+    };
+
+    loop {
+        if !pending.is_empty() {
+            stats.rounds += 1;
+            let outcome = sweep_plans_on(protocol, options, &pending, pool, cache);
+            stats.executed += outcome.stats.executed + outcome.stats.cache_hits;
+            stats.cache_hits += outcome.stats.cache_hits;
+            for result in &outcome.results {
+                let signature = classify(&result.plan, result.outcome.as_ref());
+                match sigs.get(&signature) {
+                    Some(&slot) => classes[slot].members += 1,
+                    None => {
+                        sigs.insert(signature.clone(), classes.len());
+                        if let Some(store) = store {
+                            let _ = store.save(context, &signature, &result.plan);
+                        }
+                        classes.push(DegradationClass {
+                            signature,
+                            minimal: result.plan.clone(),
+                            witness: result.plan.clone(),
+                            members: 1,
+                        });
+                        corpus.push((result.plan.clone(), INITIAL_ENERGY));
+                    }
+                }
+            }
+        }
+        if stats.executed >= config.budget {
+            break;
+        }
+
+        // Next batch: energy-weighted parents, fingerprint-deduplicated
+        // mutants. A bounded attempt count keeps a saturated space (every
+        // mutant already seen) from spinning forever.
+        let want = config.batch.min(config.budget - stats.executed).max(1);
+        pending.clear();
+        let mut attempts = 0usize;
+        while pending.len() < want && attempts < want.saturating_mul(16) {
+            attempts += 1;
+            let parent = pick_parent(&mut rng, &mut corpus, &config.space);
+            let mutant = config.space.mutate(&mut rng, &parent);
+            stats.generated += 1;
+            if seen.insert(PlanFingerprint::of(&mutant).wire()) {
+                pending.push(mutant);
+            } else {
+                stats.duplicates += 1;
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+    }
+
+    // Shrink every class toward the identity plan.
+    for class in &mut classes {
+        let (minimal, probes, spent) = shrink(
+            protocol,
+            options,
+            &config.space,
+            pool,
+            cache,
+            &class.witness,
+            &class.signature,
+            &mut classify,
+        );
+        stats.shrink_trials += probes;
+        stats.executed += spent;
+        class.minimal = minimal;
+    }
+
+    HuntOutcome {
+        classes,
+        baseline,
+        stats,
+    }
+}
+
+/// Energy-weighted parent pick; falls back to the identity plan while
+/// the corpus is empty. Each pick spends one energy point (floor 1), so
+/// recent discoveries dominate briefly and then even out.
+fn pick_parent(
+    rng: &mut StdRng,
+    corpus: &mut [(FaultPlan, u32)],
+    space: &MutationSpace,
+) -> FaultPlan {
+    if corpus.is_empty() {
+        return space.identity();
+    }
+    let total: u64 = corpus.iter().map(|(_, e)| u64::from(*e)).sum();
+    let mut ticket = rng.gen_range(0..total.max(1));
+    for (plan, energy) in corpus.iter_mut() {
+        let weight = u64::from(*energy);
+        if ticket < weight {
+            *energy = (*energy).saturating_sub(1).max(1);
+            return plan.clone();
+        }
+        ticket -= weight;
+    }
+    corpus[0].0.clone()
+}
+
+/// Delta-debugs `witness` toward the identity plan while `target` is
+/// preserved: repeatedly accept the first single-axis reduction
+/// (compromise removal, a lower palette probability, the default delay
+/// duration, the identity seed) that keeps the signature, until a full
+/// pass finds none. That final failed pass is the minimality
+/// certificate: every single-axis reduction the space offers was tried
+/// against the result and lost the signature.
+#[allow(clippy::too_many_arguments)]
+fn shrink<C>(
+    protocol: &Protocol,
+    options: &ExecOptions,
+    space: &MutationSpace,
+    pool: &Pool,
+    cache: &ExecutionCache,
+    witness: &FaultPlan,
+    target: &str,
+    classify: &mut C,
+) -> (FaultPlan, usize, usize)
+where
+    C: FnMut(&FaultPlan, &ExecOutcome) -> String,
+{
+    let mut current = witness.clone();
+    let mut probes = 0usize;
+    let mut spent = 0usize;
+    let mut check = |candidate: &FaultPlan| -> bool {
+        if candidate.validate().is_err() {
+            return false;
+        }
+        probes += 1;
+        let outcome = sweep_plans_on(
+            protocol,
+            options,
+            std::slice::from_ref(candidate),
+            pool,
+            cache,
+        );
+        spent += outcome.stats.executed + outcome.stats.cache_hits;
+        classify(candidate, outcome.results[0].outcome.as_ref()) == target
+    };
+    'fixpoint: loop {
+        for candidate in reductions(space, &current) {
+            if check(&candidate) {
+                current = candidate;
+                continue 'fixpoint;
+            }
+        }
+        break;
+    }
+    (current, probes, spent)
+}
+
+/// Every single-axis reduction of `plan` toward the identity plan, in a
+/// fixed order: drop each compromise, walk each probability axis down
+/// through the palette (always ending at 0), restore the default delay
+/// duration, restore the identity seed.
+fn reductions(space: &MutationSpace, plan: &FaultPlan) -> Vec<FaultPlan> {
+    let mut out = Vec::new();
+    for i in 0..plan.compromises.len() {
+        let mut candidate = plan.clone();
+        candidate.compromises.remove(i);
+        out.push(candidate);
+    }
+    type Axis = (fn(&FaultPlan) -> f64, fn(&mut FaultPlan, f64));
+    let axes: [Axis; 5] = [
+        (|p| p.drop_p, |p, v| p.drop_p = v),
+        (|p| p.duplicate_p, |p, v| p.duplicate_p = v),
+        (|p| p.delay_p, |p, v| p.delay_p = v),
+        (|p| p.reorder_p, |p, v| p.reorder_p = v),
+        (|p| p.replay_p, |p, v| p.replay_p = v),
+    ];
+    for (get, set) in axes {
+        let current = get(plan);
+        let mut lower: Vec<f64> = std::iter::once(0.0)
+            .chain(space.prob_steps.iter().map(|p| p.clamp(0.0, 1.0)))
+            .filter(|v| *v < current)
+            .collect();
+        lower.sort_by(f64::total_cmp);
+        lower.dedup();
+        for v in lower {
+            let mut candidate = plan.clone();
+            set(&mut candidate, v);
+            out.push(candidate);
+        }
+    }
+    let identity = space.identity();
+    if plan.delay_p > 0.0 && plan.delay_rounds != identity.delay_rounds {
+        let mut candidate = plan.clone();
+        candidate.delay_rounds = identity.delay_rounds;
+        out.push(candidate);
+    }
+    if plan.seed != identity.seed {
+        let mut candidate = plan.clone();
+        candidate.seed = identity.seed;
+        out.push(candidate);
+    }
+    out
+}
+
+/// A directory of persisted hunt discoveries, one checksummed file per
+/// degradation class, in the outcome-store frame style: a versioned
+/// header, the context digest and plan fingerprint as the key, a
+/// length-and-FNV-checksummed payload. A truncated or bit-flipped entry
+/// is deleted on load and simply re-found by the next hunt; saves are
+/// atomic (temp file + rename), so a `kill -9` mid-write never leaves a
+/// half entry behind.
+#[derive(Debug)]
+pub struct HuntStore {
+    dir: PathBuf,
+    counter: AtomicU64,
+}
+
+impl HuntStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(HuntStore {
+            dir,
+            counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persists one class atomically under
+    /// `{context:016x}-{fingerprint:016x}.corpus`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from writing or renaming the entry.
+    pub fn save(&self, context: u64, signature: &str, plan: &FaultPlan) -> io::Result<()> {
+        let fingerprint = PlanFingerprint::of(plan);
+        let body = format!("{}\n{}\n", wire::escape(signature), wire::render_plan(plan));
+        let text = format!(
+            "atl-corpus v1\nkey {context:016x} {}\nlen {} sum {:016x}\n{body}",
+            fingerprint.wire(),
+            body.len(),
+            wire::fnv64(body.as_bytes()),
+        );
+        let name = format!("{context:016x}-{:016x}.corpus", fingerprint.digest());
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, self.dir.join(name))
+    }
+
+    /// Loads every verifiable entry for `context`, in filename order.
+    /// Entries that fail the header, length, checksum, or
+    /// fingerprint-consistency check are deleted, not returned.
+    pub fn load(&self, context: u64) -> Vec<(String, FaultPlan)> {
+        let prefix = format!("{context:016x}-");
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = entries
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with(&prefix) && n.ends_with(".corpus"))
+            .collect();
+        names.sort();
+        let mut out = Vec::new();
+        for name in names {
+            let path = self.dir.join(&name);
+            match std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| parse_entry(context, &t))
+            {
+                Some(entry) => out.push(entry),
+                None => {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses and verifies one store entry; `None` means corrupt.
+fn parse_entry(context: u64, text: &str) -> Option<(String, FaultPlan)> {
+    let mut lines = text.lines();
+    if lines.next() != Some("atl-corpus v1") {
+        return None;
+    }
+    let key = lines.next()?;
+    let mut key_fields = key.splitn(3, ' ');
+    if key_fields.next() != Some("key") {
+        return None;
+    }
+    if u64::from_str_radix(key_fields.next()?, 16).ok()? != context {
+        return None;
+    }
+    let stored_fp = key_fields.next()?.to_string();
+    let frame = lines.next()?;
+    let mut frame_fields = frame.split(' ');
+    if frame_fields.next() != Some("len") {
+        return None;
+    }
+    let len: usize = frame_fields.next()?.parse().ok()?;
+    if frame_fields.next() != Some("sum") {
+        return None;
+    }
+    let sum = u64::from_str_radix(frame_fields.next()?, 16).ok()?;
+    let header_end = text.match_indices('\n').nth(2)?.0 + 1;
+    let body = &text[header_end..];
+    if body.len() != len || wire::fnv64(body.as_bytes()) != sum {
+        return None;
+    }
+    let mut body_lines = body.lines();
+    let signature = wire::unescape(body_lines.next()?).ok()?;
+    let plan = wire::parse_plan(body_lines.next()?).ok()?;
+    if plan.validate().is_err() || PlanFingerprint::of(&plan).wire() != stored_fp {
+        return None;
+    }
+    Some((signature, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ExpectPolicy, Role};
+    use atl_lang::{Message, Nonce};
+
+    fn nonce(s: &str) -> Message {
+        Message::nonce(Nonce::new(s))
+    }
+
+    /// The lossy ping-pong of the sweep tests: drop-sensitive, so fault
+    /// axes actually change the degradation signature.
+    fn lossy_ping_pong() -> Protocol {
+        Protocol::new("ping-pong")
+            .role(
+                Role::new("A", [])
+                    .send(nonce("ping"), "B")
+                    .expect_with(nonce("pong"), ExpectPolicy::skip_after(3)),
+            )
+            .role(
+                Role::new("B", [])
+                    .expect_with(nonce("ping"), ExpectPolicy::skip_after(3))
+                    .send(nonce("pong"), "A"),
+            )
+    }
+
+    /// A classifier over the executor-level outcome: which fault kinds
+    /// fired plus how many steps were abandoned, or the error class.
+    fn classify(_plan: &FaultPlan, outcome: &ExecOutcome) -> String {
+        match outcome {
+            Ok((_, report)) => {
+                let kinds: Vec<String> = report
+                    .faults
+                    .iter()
+                    .map(|f| f.kind.to_string())
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                format!(
+                    "faults={} abandoned={}",
+                    kinds.join("+"),
+                    report.abandoned.len()
+                )
+            }
+            Err(e) => format!("failed {e}"),
+        }
+    }
+
+    fn config() -> HuntConfig {
+        HuntConfig {
+            seed: 7,
+            budget: 40,
+            batch: 8,
+            space: MutationSpace::new().prob_steps([0.0, 0.5, 1.0]),
+            seed_plans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn hunt_is_deterministic_across_worker_counts() {
+        let run = |jobs: usize| {
+            let pool = if jobs == 1 {
+                Pool::sequential()
+            } else {
+                Pool::new(jobs)
+            };
+            hunt_plans_on(
+                &lossy_ping_pong(),
+                &ExecOptions::default(),
+                &config(),
+                &pool,
+                &ExecutionCache::new(),
+                None,
+                classify,
+            )
+        };
+        let reference = run(1);
+        assert!(reference.classes.len() > 1, "{:?}", reference.classes);
+        for jobs in [2, 4] {
+            let outcome = run(jobs);
+            assert_eq!(outcome.classes, reference.classes, "jobs={jobs}");
+            assert_eq!(outcome.stats, reference.stats, "jobs={jobs}");
+            assert_eq!(outcome.baseline, reference.baseline, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn minimal_plans_reproduce_their_signature() {
+        let proto = lossy_ping_pong();
+        let options = ExecOptions::default();
+        let outcome = hunt_plans_on(
+            &proto,
+            &options,
+            &config(),
+            &Pool::sequential(),
+            &ExecutionCache::new(),
+            None,
+            classify,
+        );
+        for class in &outcome.classes {
+            let check = sweep_plans_on(
+                &proto,
+                &options,
+                std::slice::from_ref(&class.minimal),
+                &Pool::sequential(),
+                &ExecutionCache::new(),
+            );
+            let sig = classify(&class.minimal, check.results[0].outcome.as_ref());
+            assert_eq!(
+                sig, class.signature,
+                "minimal plan of {:?}",
+                class.signature
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_never_escapes_validate() {
+        let space = MutationSpace {
+            // A deliberately unruly palette: out-of-range and NaN steps
+            // must be repaired, never emitted.
+            prob_steps: vec![-0.5, 0.0, 0.5, 1.0, 1.5, f64::NAN],
+            seeds: 0..4,
+            delay_rounds: vec![0, 1, 3],
+            compromise_candidates: vec![(Key::new("K"), 0), (Key::new("K"), 2)],
+            max_compromises: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut plan = space.identity();
+        for step in 0..2000 {
+            plan = space.mutate(&mut rng, &plan);
+            assert!(plan.validate().is_ok(), "step {step}: {plan:?}");
+            assert!(plan.compromises.len() <= 2, "step {step}: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn store_round_trips_resumes_and_discards_corruption() {
+        let dir =
+            std::env::temp_dir().join(format!("atl-search-unit-{}-store", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = HuntStore::open(&dir).unwrap();
+        let context = 0xfeed;
+        let plan = FaultPlan::new(3).drop(0.5).compromise(Key::new("Kab"), 2);
+        store.save(context, "sig with spaces", &plan).unwrap();
+        assert_eq!(
+            store.load(context),
+            vec![("sig with spaces".to_string(), plan.clone())]
+        );
+        // A different context sees nothing.
+        assert!(store.load(0xbeef).is_empty());
+        // Corrupt the entry: it is discarded (and deleted), not served.
+        let name = format!(
+            "{context:016x}-{:016x}.corpus",
+            PlanFingerprint::of(&plan).digest()
+        );
+        let path = dir.join(&name);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("tampered\n");
+        std::fs::write(&path, text).unwrap();
+        assert!(store.load(context).is_empty());
+        assert!(!path.exists(), "corrupt entry should be deleted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_hunt_does_not_duplicate_signatures() {
+        let dir =
+            std::env::temp_dir().join(format!("atl-search-unit-{}-resume", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = HuntStore::open(&dir).unwrap();
+        let proto = lossy_ping_pong();
+        let options = ExecOptions::default();
+        let pool = Pool::sequential();
+        // A short first hunt, as if killed early.
+        let mut short = config();
+        short.budget = 10;
+        let first = hunt_plans_on(
+            &proto,
+            &options,
+            &short,
+            &pool,
+            &ExecutionCache::new(),
+            Some(&store),
+            classify,
+        );
+        assert!(first.stats.resumed == 0 && !first.classes.is_empty());
+        // Resume with the full budget: persisted classes come back from
+        // the store, and no signature appears twice.
+        let second = hunt_plans_on(
+            &proto,
+            &options,
+            &config(),
+            &pool,
+            &ExecutionCache::new(),
+            Some(&store),
+            classify,
+        );
+        assert_eq!(second.stats.resumed, first.classes.len());
+        let mut sigs: Vec<&str> = second
+            .classes
+            .iter()
+            .map(|c| c.signature.as_str())
+            .collect();
+        let before = sigs.len();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), before, "duplicate signatures after resume");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

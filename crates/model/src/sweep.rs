@@ -249,11 +249,17 @@ impl SweepGrid {
 ///
 /// - probabilities `≤ 0` are inert and collapse to one value; `≥ 1` fire
 ///   unconditionally without consuming randomness;
-/// - the seed is erased when no decision can draw from the RNG stream:
-///   no probability lies strictly inside `(0, 1)`, a certain reorder is
-///   masked by a certain drop or delay, and replay never fires (firing
-///   reorders and replays draw extra randomness even at probability 1);
-/// - the delay duration is erased when delays can never fire.
+/// - a certain drop masks the delay and reorder decisions entirely (the
+///   executor evaluates them only when the message was not dropped), and
+///   a certain delay masks the reorder decision: a masked reorder
+///   probability collapses to zero, and a masked positive delay
+///   probability collapses to one — its exact value can no longer
+///   matter, but its *positivity* still sizes the executor's round cap;
+/// - the seed is erased when no reachable decision can draw from the RNG
+///   stream: no *unmasked* probability lies strictly inside `(0, 1)`,
+///   reorders never fire, and replays never fire (firing reorders and
+///   replays draw extra randomness even at probability 1);
+/// - the delay duration is erased when the delay axis is fully inert.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PlanFingerprint {
     /// The seed, kept only if some decision draws randomness.
@@ -283,27 +289,47 @@ impl PlanFingerprint {
                 p.to_bits()
             }
         }
+        // The executor gates delay on `!drop` and reorder on
+        // `!drop && !delay` (short-circuit: a masked `gen_bool` is never
+        // evaluated and consumes nothing), so a certain drop makes the
+        // delay and reorder decisions unreachable, and a certain delay
+        // makes the reorder decision unreachable.
+        let drop_certain = plan.drop_p >= 1.0;
+        let delay_reachable = !drop_certain;
+        let reorder_reachable = !drop_certain && plan.delay_p < 1.0;
+        // A masked positive delay probability still adds `delay_rounds`
+        // to the executor's round cap (`delay_p > 0.0` is the cap's
+        // guard), so positivity survives canonicalization even though
+        // the exact value cannot matter; a masked reorder probability is
+        // completely inert and collapses to zero.
+        let delay_bits = if !delay_reachable && plan.delay_p > 0.0 {
+            1.0f64.to_bits()
+        } else {
+            canon(plan.delay_p)
+        };
+        let reorder_bits = if reorder_reachable {
+            canon(plan.reorder_p)
+        } else {
+            0.0f64.to_bits()
+        };
         let probs = [
             canon(plan.drop_p),
             canon(plan.duplicate_p),
-            canon(plan.delay_p),
-            canon(plan.reorder_p),
+            delay_bits,
+            reorder_bits,
             canon(plan.replay_p),
         ];
-        let fractional = [
-            plan.drop_p,
-            plan.duplicate_p,
-            plan.delay_p,
-            plan.reorder_p,
-            plan.replay_p,
-        ]
-        .iter()
-        .any(|&p| p > 0.0 && p < 1.0);
-        // With every probability at 0 or 1, the only remaining draws are
-        // the reorder span (when a reorder actually fires: certain
-        // reorder not masked by a certain drop or delay) and the replay
-        // pick (when a replay fires).
-        let reorder_fires = plan.reorder_p >= 1.0 && plan.drop_p < 1.0 && plan.delay_p < 1.0;
+        let draws = |p: f64| p > 0.0 && p < 1.0;
+        let fractional = draws(plan.drop_p)
+            || draws(plan.duplicate_p)
+            || (delay_reachable && draws(plan.delay_p))
+            || (reorder_reachable && draws(plan.reorder_p))
+            || draws(plan.replay_p);
+        // With every reachable probability at 0 or 1, the only remaining
+        // draws are the reorder span (when a reorder actually fires:
+        // certain reorder not masked by a certain drop or delay) and the
+        // replay pick (when a replay fires).
+        let reorder_fires = reorder_reachable && plan.reorder_p >= 1.0;
         let replay_fires = plan.replay_p >= 1.0;
         let seed = (fractional || reorder_fires || replay_fires).then_some(plan.seed);
         let delay_rounds = if plan.delay_p > 0.0 {
@@ -794,6 +820,46 @@ mod tests {
             PlanFingerprint::of(&FaultPlan::new(0).compromise("Kab", 2)),
             PlanFingerprint::of(&FaultPlan::new(0))
         );
+    }
+
+    #[test]
+    fn fingerprint_erases_axes_the_rng_never_consumes() {
+        // The executor evaluates the delay decision only when the
+        // message was not dropped: under a certain drop a fractional
+        // delay probability is never sampled, so the seed cannot matter
+        // and two plans differing only in it must canonicalize
+        // identically.
+        let a = FaultPlan::new(1).drop(1.0).delay(0.5, 3);
+        let b = FaultPlan::new(99).drop(1.0).delay(0.5, 3);
+        assert_eq!(PlanFingerprint::of(&a), PlanFingerprint::of(&b));
+        assert!(!PlanFingerprint::of(&a).seed_matters());
+        // The exact masked delay probability cannot matter either —
+        // only its positivity survives (it still sizes the round cap).
+        let c = FaultPlan::new(1).drop(1.0).delay(0.9, 3);
+        assert_eq!(PlanFingerprint::of(&a), PlanFingerprint::of(&c));
+        assert_ne!(
+            PlanFingerprint::of(&a),
+            PlanFingerprint::of(&FaultPlan::new(1).drop(1.0)),
+            "delay positivity still sizes the round cap"
+        );
+        // A reorder masked by a certain delay is never sampled and is
+        // completely inert: it collapses to the no-reorder plan.
+        let d = FaultPlan::new(1).delay(1.0, 2).reorder(0.5);
+        let e = FaultPlan::new(1).delay(1.0, 2).reorder(0.3);
+        assert_eq!(PlanFingerprint::of(&d), PlanFingerprint::of(&e));
+        assert_eq!(
+            PlanFingerprint::of(&d),
+            PlanFingerprint::of(&FaultPlan::new(1).delay(1.0, 2))
+        );
+        assert!(!PlanFingerprint::of(&d).seed_matters());
+        // The collapses are sound: equal fingerprints, equal executions.
+        let proto = lossy_ping_pong();
+        let opts = ExecOptions::default();
+        let ra = execute_with_faults(&proto, &opts, &a).unwrap();
+        assert_eq!(ra, execute_with_faults(&proto, &opts, &b).unwrap());
+        assert_eq!(ra, execute_with_faults(&proto, &opts, &c).unwrap());
+        let rd = execute_with_faults(&proto, &opts, &d).unwrap();
+        assert_eq!(rd, execute_with_faults(&proto, &opts, &e).unwrap());
     }
 
     #[test]

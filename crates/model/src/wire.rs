@@ -397,7 +397,7 @@ pub struct MonitorCheckpoint {
 
 /// FNV-1a over `data` (the checksum the outcome store uses; duplicated
 /// here because the store's copy is private to another crate).
-fn fnv64(data: &[u8]) -> u64 {
+pub(crate) fn fnv64(data: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &byte in data {
         hash ^= u64::from(byte);

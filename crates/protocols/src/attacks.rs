@@ -8,7 +8,7 @@
 
 use crate::needham_schroeder::kab;
 use atl_lang::{Key, Message, Nonce, Principal};
-use atl_model::{Run, RunBuilder};
+use atl_model::{FaultPlan, Run, RunBuilder};
 
 /// The NS ticket `{A ↔Kab↔ B}Kbs`, minted by `S` in the *previous* epoch.
 pub fn old_ticket() -> Message {
@@ -67,6 +67,84 @@ pub fn denning_sacco_run() -> Run {
     b.build().expect("well-formed attack run")
 }
 
+/// A named, hand-written attack expressed as a [`FaultPlan`] against a
+/// committed spec: the regression oracle for the coverage-guided hunt
+/// (`atl hunt` must rediscover every fixture's degradation signature
+/// from a null corpus — see `tests/e22_hunt.rs`).
+///
+/// Every fixture stays inside the hunt's default mutation space: plan
+/// probabilities come from the default palette `{0, 0.25, 0.5, 0.75,
+/// 1}`, seeds from `{0, 1}`, delays run the default two rounds, and
+/// compromises name a protocol key at time 0 or 2 — so each signature
+/// is reachable by mutation, not just by this exact plan.
+#[derive(Clone, Debug)]
+pub struct AttackFixture {
+    /// Short stable identifier (used in test diagnostics).
+    pub name: &'static str,
+    /// Which committed spec the plan attacks (basename, no extension).
+    pub spec_name: &'static str,
+    /// The spec source, compiled in so tests need no path juggling.
+    pub spec: &'static str,
+    /// The hand-written attack plan.
+    pub plan: FaultPlan,
+    /// What the attack demonstrates, documentation-grade.
+    pub rationale: &'static str,
+}
+
+/// Every hand-written fault-plan attack, in a stable order.
+///
+/// The star exhibit mirrors [`denning_sacco_run`]: compromising the old
+/// session key `Kab` after distribution (time 2) and replaying recorded
+/// traffic is exactly the Denning–Sacco scenario, expressed as a fault
+/// plan instead of a hand-built run.
+pub fn attack_fixtures() -> Vec<AttackFixture> {
+    vec![
+        AttackFixture {
+            name: "ns-denning-sacco",
+            spec_name: "needham_schroeder",
+            spec: include_str!("../../../specs/needham_schroeder.atl"),
+            plan: FaultPlan::new(0).compromise(Key::new("Kab"), 2).replay(0.5),
+            rationale: "The Denning–Sacco scenario as a fault plan: the \
+                        environment learns the session key after \
+                        distribution and replays recorded traffic.",
+        },
+        AttackFixture {
+            name: "ns-total-loss",
+            spec_name: "needham_schroeder",
+            spec: include_str!("../../../specs/needham_schroeder.atl"),
+            plan: FaultPlan::new(0).drop(1.0),
+            rationale: "Certain loss starves every role past its resend \
+                        budget: all three key-establishment beliefs die.",
+        },
+        AttackFixture {
+            name: "kerberos-half-loss",
+            spec_name: "kerberos_figure1",
+            spec: include_str!("../../../specs/kerberos_figure1.atl"),
+            plan: FaultPlan::new(0).drop(0.5),
+            rationale: "A lossy channel that eats the ticket or the \
+                        authenticator leaves the Figure 1 exchange \
+                        incomplete.",
+        },
+        AttackFixture {
+            name: "wmf-server-key-compromise",
+            spec_name: "wide_mouthed_frog",
+            spec: include_str!("../../../specs/wide_mouthed_frog.atl"),
+            plan: FaultPlan::new(0).compromise(Key::new("Kas"), 0),
+            rationale: "Compromising A's long-term server key at the \
+                        epoch boundary poisons the only trust anchor \
+                        the one-message transfer has.",
+        },
+        AttackFixture {
+            name: "andrew-reorder-storm",
+            spec_name: "andrew_flawed",
+            spec: include_str!("../../../specs/andrew_flawed.atl"),
+            plan: FaultPlan::new(1).reorder(0.75).duplicate(0.5),
+            rationale: "Reordered and duplicated handshake traffic on \
+                        the already-flawed Andrew exchange.",
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +156,51 @@ mod tests {
         let run = denning_sacco_run();
         let end = run.horizon();
         (System::new([run]), end)
+    }
+
+    #[test]
+    fn fixtures_validate_and_stay_inside_the_default_mutation_space() {
+        use atl_core::hunt::default_space;
+        use atl_core::spec::parse_spec;
+        let fixtures = attack_fixtures();
+        assert!(fixtures.len() >= 5);
+        for f in &fixtures {
+            f.plan
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: invalid plan: {e:?}", f.name));
+            let (at, _) = parse_spec(f.spec)
+                .unwrap_or_else(|e| panic!("{}: spec does not parse: {e:?}", f.name));
+            let space = default_space(&at);
+            // Reachability: every axis value the fixture uses is one the
+            // default mutation space can generate, so the hunt can in
+            // principle reconstruct the fixture's signature.
+            for p in [
+                f.plan.drop_p,
+                f.plan.duplicate_p,
+                f.plan.delay_p,
+                f.plan.reorder_p,
+                f.plan.replay_p,
+            ] {
+                assert!(
+                    space.prob_steps.contains(&p),
+                    "{}: probability {p} is outside the default palette",
+                    f.name
+                );
+            }
+            assert!(
+                space.seeds.contains(&f.plan.seed),
+                "{}: seed {} is outside the default seed range",
+                f.name,
+                f.plan.seed
+            );
+            for c in &f.plan.compromises {
+                assert!(
+                    space.compromise_candidates.contains(c),
+                    "{}: {c:?} is not a default compromise candidate",
+                    f.name
+                );
+            }
+        }
     }
 
     #[test]

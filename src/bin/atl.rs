@@ -35,6 +35,21 @@
 //!     lost — stdout is byte-identical to the single-process sweep in
 //!     all cases (fabric accounting goes to stderr). `--store` without
 //!     `--workers` gives a purely local but resumable sweep.
+//! atl hunt <spec.atl> [--seed N] [--budget N] [--batch N] [--steps P,P,...]
+//!          [--compromise K@T] [--store DIR] [--from-monitor FILE]
+//!          [--patience N] [--retries N] [--public]
+//!     search the fault-plan space for attacks instead of enumerating a
+//!     grid: a feedback-directed fuzzer mutates plans from a seeded
+//!     deterministic RNG, executes only never-before-seen fingerprints
+//!     through the sweep engine, and keeps one class per distinct
+//!     belief-survival signature, each shrunk to a minimal reproducer.
+//!     Compromise candidates default to every key the spec mentions;
+//!     `--compromise` adds more. `--store DIR` persists the corpus with
+//!     checksummed entries, so a killed hunt resumes without duplicate
+//!     signatures; `--from-monitor FILE` seeds the corpus from a
+//!     persisted monitor checkpoint (compromises and replays
+//!     reconstructed from the live prefix). Output is byte-identical at
+//!     every `--jobs` count.
 //! atl serve [--port N] [--max-sessions N] [--idle-timeout SECS]
 //!           [--drain SECS] [--conn-workers N] [--queue-depth N]
 //!           [--exec-cache-cap N]
@@ -122,11 +137,12 @@ fn main() -> ExitCode {
         Some("eval") => cmd_eval(args.get(1), args.get(2), args.get(3)),
         Some("monitor") => cmd_monitor(&args[1..], &pool),
         Some("inject") => cmd_inject(&args[1..], &pool),
+        Some("hunt") => cmd_hunt(&args[1..], &pool),
         Some("serve") => cmd_serve(&args[1..], pool),
         Some("client") => cmd_client(&args[1..]),
         _ => {
             eprintln!(
-                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | monitor <TRACE | --stdin> FORMULA... | inject SPEC [FAULT-FLAGS] | serve [--port N] [--max-sessions N] [--idle-timeout SECS] [--drain SECS] [--conn-workers N] [--queue-depth N] [--exec-cache-cap N] [--store DIR] | client [--port N] REQUEST...>"
+                "usage: atl [--jobs N] <analyze SPEC | trace SPEC GOAL | suite | proof NAME | check-run TRACE | eval TRACE FORMULA [TIME] | monitor <TRACE | --stdin> FORMULA... | inject SPEC [FAULT-FLAGS] | hunt SPEC [--seed N] [--budget N] [--batch N] [--steps P,...] [--compromise K@T] [--store DIR] [--from-monitor FILE] | serve [--port N] [--max-sessions N] [--idle-timeout SECS] [--drain SECS] [--conn-workers N] [--queue-depth N] [--exec-cache-cap N] [--store DIR] | client [--port N] REQUEST...>"
             );
             return ExitCode::from(2);
         }
@@ -532,6 +548,108 @@ fn cmd_inject(args: &[String], pool: &Pool) -> Result<bool, Box<dyn std::error::
         println!("trace written to {path}");
     }
     Ok(outcome.ok)
+}
+
+/// `atl hunt SPEC [flags]` — coverage-guided attack search. The spec's
+/// keys become compromise candidates automatically; the report lists
+/// one class per distinct belief-survival signature with its shrunk
+/// minimal plan. Exit code 0 when the hunt completes (finding attacks
+/// is the tool doing its job, not a failure).
+fn cmd_hunt(args: &[String], pool: &Pool) -> Result<bool, Box<dyn std::error::Error>> {
+    use atl::core::hunt::{default_space, hunt_report, seeds_from_checkpoint, HuntSettings};
+    use atl::model::{ExecOptions, ExecutionCache, ExpectPolicy, FaultPlan, HuntConfig, HuntStore};
+
+    let mut path: Option<String> = None;
+    let mut seed: u64 = 0;
+    let mut budget: usize = 256;
+    let mut batch: usize = 32;
+    let mut steps: Option<Vec<f64>> = None;
+    let mut compromises: Vec<(Key, i64)> = Vec::new();
+    let mut store_dir: Option<String> = None;
+    let mut from_monitor: Option<String> = None;
+    let mut patience: u32 = 6;
+    let mut retries: u32 = 2;
+    let mut public = false;
+    fn need<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+        it.next()
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    }
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => seed = need(&mut it, "--seed")?.parse()?,
+            "--budget" => budget = need(&mut it, "--budget")?.parse()?,
+            "--batch" => batch = need(&mut it, "--batch")?.parse::<usize>()?.max(1),
+            "--steps" => {
+                let parsed = need(&mut it, "--steps")?
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<Vec<f64>, _>>()?;
+                if let Some(p) = parsed.iter().find(|p| !(0.0..=1.0).contains(*p)) {
+                    return Err(format!("--steps probability {p} is outside [0, 1]").into());
+                }
+                steps = Some(parsed);
+            }
+            "--compromise" => {
+                let v = need(&mut it, "--compromise")?;
+                let (key, t) = v
+                    .split_once('@')
+                    .ok_or("--compromise takes KEY@TIME, e.g. Kab@2")?;
+                compromises.push((Key::new(key), t.parse()?));
+            }
+            "--store" => store_dir = Some(need(&mut it, "--store")?.to_string()),
+            "--from-monitor" => {
+                from_monitor = Some(need(&mut it, "--from-monitor")?.to_string());
+            }
+            "--patience" => patience = need(&mut it, "--patience")?.parse()?,
+            "--retries" => retries = need(&mut it, "--retries")?.parse()?,
+            "--public" => public = true,
+            other if !other.starts_with("--") && path.is_none() => {
+                path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown hunt flag {other}").into()),
+        }
+    }
+    let (at, _syms) = parse_spec_diag(path.as_ref())?;
+    let mut space = default_space(&at);
+    if let Some(steps) = steps {
+        space.prob_steps = steps;
+    }
+    for (key, t) in compromises {
+        if !space.compromise_candidates.contains(&(key.clone(), t)) {
+            space = space.candidate(key, t);
+        }
+    }
+    let seed_plans: Vec<FaultPlan> = match &from_monitor {
+        Some(file) => seeds_from_checkpoint(&std::fs::read_to_string(file)?)?,
+        None => Vec::new(),
+    };
+    let settings = HuntSettings {
+        config: HuntConfig {
+            seed,
+            budget,
+            batch,
+            space,
+            seed_plans,
+        },
+        options: ExecOptions {
+            public_channel: public,
+            ..ExecOptions::default()
+        },
+        expect_policy: if retries > 0 {
+            ExpectPolicy::resend_after(patience, retries)
+        } else {
+            ExpectPolicy::skip_after(patience)
+        },
+    };
+    let store = match &store_dir {
+        Some(dir) => Some(HuntStore::open(dir)?),
+        None => None,
+    };
+    let report = hunt_report(&at, &settings, pool, &ExecutionCache::new(), store.as_ref());
+    print!("{report}");
+    Ok(true)
 }
 
 fn cmd_serve(args: &[String], pool: Pool) -> Result<bool, Box<dyn std::error::Error>> {

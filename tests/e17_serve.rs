@@ -281,7 +281,7 @@ fn repeat_queries_hit_caches_and_stats_report_them() {
 
     let stats = c.request("STATS").expect("stats");
     let s = server.stats();
-    assert_eq!(stats.lines.len(), 10);
+    assert_eq!(stats.lines.len(), 11);
     assert_eq!(stats.lines[0], "sessions: 1 live, capacity 8");
     assert_eq!(
         stats.lines[1],
@@ -318,11 +318,61 @@ fn repeat_queries_hit_caches_and_stats_report_them() {
     assert_eq!(
         stats.lines[7],
         format!(
+            "hunt: {} hunt(s) served, {} plan(s), {} class(es)",
+            s.hunts_served, s.hunt_plans, s.hunt_classes
+        )
+    );
+    assert_eq!(
+        stats.lines[8],
+        format!(
             "monitor: 0 session(s), {} event(s), {} point(s) reused, {} delta, {} full",
             s.monitor_events, s.monitor_points_reused, s.monitor_delta, s.monitor_full
         )
     );
-    assert_eq!(stats.lines[8], format!("connections: {} reaped", s.reaped));
+    assert_eq!(stats.lines[9], format!("connections: {} reaped", s.reaped));
+    stop(server, &mut c);
+}
+
+/// `HUNT` is transparent like every other verb: the first hunt on a
+/// fresh daemon answers byte-for-byte what the one-shot CLI prints for
+/// the same spec, seed, and budget (both start from a cold execution
+/// cache), a repeat hunt re-derives the identical classes from the warm
+/// global cache (only the cache-hit counter in the stats line may
+/// move), and the `STATS` hunt counters account for both.
+#[test]
+fn hunt_matches_the_cli_and_repeats_from_the_warm_cache() {
+    let server = start(2, 2);
+    let mut c = client(&server);
+    let path = spec_path("needham_schroeder");
+    let id = c.load(&path).expect("load");
+    let query = format!("HUNT {id} seed=7 budget=48 batch=8");
+    let first = c.request(&query).expect("hunt");
+    assert!(first.ok, "HUNT answers OK: {:?}", first.lines);
+    let cli = cli_stdout(&[
+        "hunt", &path, "--seed", "7", "--budget", "48", "--batch", "8",
+    ]);
+    assert_eq!(first.lines.join("\n") + "\n", cli);
+    let s1 = server.stats();
+    assert_eq!(s1.hunts_served, 1);
+    assert!(s1.hunt_plans > 0, "hunt executions are accounted");
+    assert!(s1.hunt_classes > 0, "hunt found at least one class");
+
+    let second = c.request(&query).expect("hunt again");
+    let strip = |r: &Response| -> Vec<String> {
+        r.lines
+            .iter()
+            .filter(|l| !l.contains("cache hit"))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(
+        strip(&first),
+        strip(&second),
+        "repeat HUNT re-derives identical classes"
+    );
+    let s2 = server.stats();
+    assert_eq!(s2.hunts_served, 2);
+    assert_eq!(s2.hunt_classes, 2 * s1.hunt_classes);
     stop(server, &mut c);
 }
 
